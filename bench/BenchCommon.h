@@ -1,0 +1,114 @@
+//===--- BenchCommon.h - Shared harness for the figure benches ----------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nine execution variants of Fig. 9 / Fig. 12 and helpers to tune and
+/// time them. Tuning uses the guided heuristic of Section VIII-C (the
+/// paper's exhaustive search is available through bench/fig11_sweep and
+/// bench/ablation_tuning; Section VIII-C itself argues the guided search
+/// reaches within a few percent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_BENCH_BENCHCOMMON_H
+#define DPO_BENCH_BENCHCOMMON_H
+
+#include "tuner/Tuner.h"
+#include "workloads/Catalog.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dpo {
+namespace bench {
+
+struct Variant {
+  const char *Name;
+  bool NoCdp = false;
+  VariantMask Mask; ///< Ignored for NoCdp/CDP.
+  bool Plain = false;
+};
+
+inline std::vector<Variant> figureVariants() {
+  auto MaskOf = [](bool T, bool C, bool A, bool KlapOnly = false) {
+    VariantMask Mask;
+    Mask.Thresholding = T;
+    Mask.Coarsening = C;
+    Mask.Aggregation = A;
+    if (KlapOnly)
+      Mask.Granularities = {AggGranularity::Warp, AggGranularity::Block,
+                            AggGranularity::Grid};
+    return Mask;
+  };
+  std::vector<Variant> Variants;
+  Variants.push_back({"No CDP", /*NoCdp=*/true, {}, false});
+  Variants.push_back({"CDP", false, {}, /*Plain=*/true});
+  Variants.push_back({"KLAP (CDP+A)", false,
+                      MaskOf(false, false, true, /*KlapOnly=*/true), false});
+  Variants.push_back({"CDP+T", false, MaskOf(true, false, false), false});
+  Variants.push_back({"CDP+C", false, MaskOf(false, true, false), false});
+  Variants.push_back({"CDP+T+C", false, MaskOf(true, true, false), false});
+  Variants.push_back({"CDP+T+A", false, MaskOf(true, false, true), false});
+  Variants.push_back({"CDP+C+A", false, MaskOf(false, true, true), false});
+  Variants.push_back({"CDP+T+C+A", false, MaskOf(true, true, true), false});
+  return Variants;
+}
+
+struct VariantTime {
+  std::string Variant;
+  double TimeUs = 0;
+  ExecConfig Config;
+  SimResult Result;
+};
+
+inline VariantTime runVariant(const GpuModel &Gpu,
+                              const std::vector<NestedBatch> &Batches,
+                              const Variant &V) {
+  VariantTime Out;
+  Out.Variant = V.Name;
+  if (V.NoCdp) {
+    Out.Config = ExecConfig::noCdp();
+    Out.Result = simulateBatches(Gpu, Batches, Out.Config);
+  } else if (V.Plain) {
+    Out.Config = ExecConfig::cdp();
+    Out.Result = simulateBatches(Gpu, Batches, Out.Config);
+  } else {
+    TuneResult Tuned = guidedTune(Gpu, Batches, V.Mask);
+    Out.Config = Tuned.Config;
+    Out.Result = Tuned.Result;
+  }
+  Out.TimeUs = Out.Result.TimeUs;
+  return Out;
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / Values.size());
+}
+
+inline std::string configSummary(const ExecConfig &C) {
+  std::string S;
+  if (C.NoCdp)
+    return "serial";
+  S += C.Threshold ? ("T=" + std::to_string(*C.Threshold)) : "T=-";
+  S += " C=" + std::to_string(C.CoarsenFactor);
+  S += " A=";
+  S += aggGranularityName(C.Agg);
+  if (C.Agg == AggGranularity::MultiBlock)
+    S += "(" + std::to_string(C.AggGroupBlocks) + ")";
+  return S;
+}
+
+} // namespace bench
+} // namespace dpo
+
+#endif // DPO_BENCH_BENCHCOMMON_H

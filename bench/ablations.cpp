@@ -1,0 +1,119 @@
+//===--- ablations.cpp - Design-choice ablations beyond the paper's figures ----===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three ablations DESIGN.md calls out:
+///  1. multi-block group size (the paper fixes the trade-off qualitatively;
+///     we sweep it),
+///  2. the Section V-B aggregation threshold on/off at block granularity,
+///  3. coarsening-factor sensitivity with vs. without aggregation
+///     (Section VIII-C: flat above ~8; synergy with aggregation),
+/// plus the Section VIII-C fixed-threshold-128 summary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+using namespace dpo;
+using namespace dpo::bench;
+
+int main() {
+  GpuModel Gpu;
+
+  // 1. Multi-block group-size sweep (BFS and SSSP on KRON).
+  std::printf("=== Ablation: multi-block aggregation group size (speedup "
+              "over CDP) ===\n");
+  std::printf("%-12s", "case");
+  const uint32_t Groups[] = {1, 2, 4, 8, 16, 32, 64};
+  for (uint32_t G : Groups)
+    std::printf(" %8u", G);
+  std::printf("\n");
+  for (BenchCase Case : {BenchCase{BenchmarkId::BFS, DatasetId::KRON},
+                         BenchCase{BenchmarkId::SSSP, DatasetId::KRON}}) {
+    const WorkloadOutput &Work = runCase(Case);
+    double Cdp = simulateBatches(Gpu, Work.Batches, ExecConfig::cdp()).TimeUs;
+    std::printf("%-12s", Case.name().c_str());
+    for (uint32_t G : Groups) {
+      ExecConfig C;
+      C.Threshold = 128;
+      C.CoarsenFactor = 8;
+      C.Agg = AggGranularity::MultiBlock;
+      C.AggGroupBlocks = G;
+      std::printf(" %8.2f",
+                  Cdp / simulateBatches(Gpu, Work.Batches, C).TimeUs);
+    }
+    std::printf("\n");
+  }
+
+  // 2. Aggregation threshold (Section V-B) at block granularity on the
+  // low-nested-parallelism SP/RAND-3 case (many groups have few
+  // participants there).
+  std::printf("\n=== Ablation: Section V-B aggregation threshold (block "
+              "granularity, SP/RAND-3) ===\n");
+  {
+    BenchCase Case{BenchmarkId::SP, DatasetId::RAND3};
+    const WorkloadOutput &Work = runCase(Case);
+    double Cdp = simulateBatches(Gpu, Work.Batches, ExecConfig::cdp()).TimeUs;
+    std::printf("%-18s %10s\n", "agg-threshold", "speedup");
+    for (uint32_t AT : {0u, 2u, 4u, 8u, 16u, 32u}) {
+      ExecConfig C;
+      C.Agg = AggGranularity::Block;
+      C.AggThresholdEnabled = AT > 0;
+      C.AggThreshold = AT;
+      double T = simulateBatches(Gpu, Work.Batches, C).TimeUs;
+      std::printf("%-18s %10.2f\n",
+                  AT ? std::to_string(AT).c_str() : "off", Cdp / T);
+    }
+  }
+
+  // 3. Coarsening-factor sensitivity with/without aggregation (BFS/KRON).
+  std::printf("\n=== Ablation: coarsening factor with vs. without "
+              "aggregation (BFS/KRON, speedup over CDP) ===\n");
+  {
+    BenchCase Case{BenchmarkId::BFS, DatasetId::KRON};
+    const WorkloadOutput &Work = runCase(Case);
+    double Cdp = simulateBatches(Gpu, Work.Batches, ExecConfig::cdp()).TimeUs;
+    std::printf("%-10s %12s %12s\n", "factor", "no-agg", "multi-block");
+    for (uint32_t F : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      ExecConfig NoAgg;
+      NoAgg.Threshold = 128;
+      NoAgg.CoarsenFactor = F;
+      ExecConfig WithAgg = NoAgg;
+      WithAgg.Agg = AggGranularity::MultiBlock;
+      std::printf("%-10u %12.2f %12.2f\n", F,
+                  Cdp / simulateBatches(Gpu, Work.Batches, NoAgg).TimeUs,
+                  Cdp / simulateBatches(Gpu, Work.Batches, WithAgg).TimeUs);
+    }
+  }
+
+  // 4. Fixed threshold 128 vs. tuned (Section VIII-C).
+  std::printf("\n=== Ablation: fixed threshold 128 vs tuned (Section "
+              "VIII-C) ===\n");
+  {
+    std::vector<double> TunedOverCA, FixedOverCA;
+    for (const BenchCase &Case : figure9Cases()) {
+      const WorkloadOutput &Work = runCase(Case);
+      VariantMask CA;
+      CA.Coarsening = CA.Aggregation = true;
+      double BaseCA = guidedTune(Gpu, Work.Batches, CA).Result.TimeUs;
+
+      VariantMask TCA = CA;
+      TCA.Thresholding = true;
+      double Tuned = guidedTune(Gpu, Work.Batches, TCA).Result.TimeUs;
+
+      ExecConfig Fixed = guidedTune(Gpu, Work.Batches, TCA).Config;
+      Fixed.Threshold = 128;
+      double FixedT = simulateBatches(Gpu, Work.Batches, Fixed).TimeUs;
+
+      TunedOverCA.push_back(BaseCA / Tuned);
+      FixedOverCA.push_back(BaseCA / FixedT);
+    }
+    std::printf("CDP+T+C+A over CDP+C+A: tuned threshold %.2fx (paper "
+                "3.1x), fixed 128 %.2fx (paper 1.9x)\n",
+                geomean(TunedOverCA), geomean(FixedOverCA));
+  }
+  return 0;
+}

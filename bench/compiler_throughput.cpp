@@ -1,0 +1,123 @@
+//===--- compiler_throughput.cpp - Pass pipeline micro-benchmarks --------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the source-to-source pipeline
+/// itself: parse, print, each pass, the combined flow, and VM compilation.
+/// Generated inputs scale the number of parent/child kernel pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+#include "transform/Pipeline.h"
+#include "vm/VM.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+using namespace dpo;
+
+namespace {
+
+std::string makeSource(unsigned Pairs) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Pairs; ++I) {
+    OS << "__global__ void child" << I << "(int *data, int n) {\n"
+       << "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       << "  if (i < n) {\n"
+       << "    data[i] = data[i] * " << (I + 2) << " + i;\n"
+       << "  }\n"
+       << "}\n"
+       << "__global__ void parent" << I
+       << "(int *data, int *counts, int numV) {\n"
+       << "  int v = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       << "  if (v < numV) {\n"
+       << "    int count = counts[v];\n"
+       << "    if (count > 0) {\n"
+       << "      child" << I << "<<<(count + 63) / 64, 64>>>(data, count);\n"
+       << "    }\n"
+       << "  }\n"
+       << "}\n";
+  }
+  return OS.str();
+}
+
+void BM_Parse(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  for (auto _ : State) {
+    ASTContext Ctx;
+    DiagnosticEngine Diags;
+    benchmark::DoNotOptimize(parseSource(Source, Ctx, Diags));
+  }
+  State.SetBytesProcessed((int64_t)State.iterations() * Source.size());
+}
+BENCHMARK(BM_Parse)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Print(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(printTranslationUnit(TU));
+}
+BENCHMARK(BM_Print)->Arg(1)->Arg(8)->Arg(64);
+
+void runPipelineBench(benchmark::State &State, bool T, bool C, bool A) {
+  std::string Source = makeSource(State.range(0));
+  PipelineOptions Options;
+  Options.EnableThresholding = T;
+  Options.EnableCoarsening = C;
+  Options.EnableAggregation = A;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    std::string Out = transformSource(Source, Options, Diags);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+
+void BM_Thresholding(benchmark::State &State) {
+  runPipelineBench(State, true, false, false);
+}
+BENCHMARK(BM_Thresholding)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Coarsening(benchmark::State &State) {
+  runPipelineBench(State, false, true, false);
+}
+BENCHMARK(BM_Coarsening)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Aggregation(benchmark::State &State) {
+  runPipelineBench(State, false, false, true);
+}
+BENCHMARK(BM_Aggregation)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_FullPipeline(benchmark::State &State) {
+  runPipelineBench(State, true, true, true);
+}
+BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_VmCompile(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  PipelineOptions Options;
+  Options.EnableThresholding = Options.EnableCoarsening =
+      Options.EnableAggregation = true;
+  Options.useLiteralKnobs();
+  DiagnosticEngine Diags;
+  std::string Transformed = transformSource(Source, Options, Diags);
+  for (auto _ : State) {
+    DiagnosticEngine D2;
+    ASTContext Ctx;
+    TranslationUnit *TU = parseSource(Transformed, Ctx, D2);
+    benchmark::DoNotOptimize(compileProgram(TU, D2));
+  }
+}
+BENCHMARK(BM_VmCompile)->Arg(1)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

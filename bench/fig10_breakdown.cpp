@@ -1,0 +1,63 @@
+//===--- fig10_breakdown.cpp - Reproduces Fig. 10 ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-time breakdown (parent work / child work / launch /
+/// aggregation / disaggregation) for KLAP (CDP+A), CDP+T+A, and
+/// CDP+T+C+A, normalized to KLAP's total, per benchmark/dataset pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+using namespace dpo;
+using namespace dpo::bench;
+
+int main() {
+  GpuModel Gpu;
+
+  VariantMask Klap;
+  Klap.Aggregation = true;
+  Klap.Granularities = {AggGranularity::Warp, AggGranularity::Block,
+                        AggGranularity::Grid};
+  VariantMask TA;
+  TA.Thresholding = true;
+  TA.Aggregation = true;
+  VariantMask TCA = TA;
+  TCA.Coarsening = true;
+
+  struct Row {
+    const char *Name;
+    VariantMask Mask;
+  };
+  const Row Rows[] = {
+      {"KLAP (CDP+A)", Klap}, {"CDP+T+A", TA}, {"CDP+T+C+A", TCA}};
+
+  std::printf("=== Figure 10: execution-time breakdown, normalized to "
+              "KLAP (CDP+A) total (lower is better) ===\n");
+  std::printf("%-12s %-13s %8s %8s %8s %8s %8s %8s\n", "case", "variant",
+              "parent", "child", "launch", "agg", "disagg", "total");
+
+  for (const BenchCase &Case : figure9Cases()) {
+    const WorkloadOutput &Work = runCase(Case);
+    double Norm = 0;
+    for (const Row &R : Rows) {
+      TuneResult Tuned = guidedTune(Gpu, Work.Batches, R.Mask);
+      const PhaseBreakdown &B = Tuned.Result.Breakdown;
+      if (Norm == 0)
+        Norm = Tuned.Result.TimeUs; // KLAP total
+      std::printf("%-12s %-13s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                  Case.name().c_str(), R.Name, B.ParentWork / Norm,
+                  B.ChildWork / Norm, B.Launch / Norm, B.Aggregation / Norm,
+                  B.Disaggregation / Norm, Tuned.Result.TimeUs / Norm);
+    }
+  }
+
+  std::printf("\nExpected shape (paper): thresholding moves time from "
+              "child to parent and shrinks launch/agg/disagg; coarsening "
+              "further shrinks launch and disaggregation.\n");
+  return 0;
+}

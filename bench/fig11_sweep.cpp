@@ -1,0 +1,65 @@
+//===--- fig11_sweep.cpp - Reproduces Fig. 11 ----------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For each of the seven Fig. 11 benchmark plots: speedup over CDP as a
+/// function of the launch threshold (columns) for each aggregation
+/// granularity (rows: none/warp/block/multi-block/grid), at the best
+/// coarsening factor found for that benchmark. This is the paper's
+/// exhaustive design-space view.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+using namespace dpo;
+using namespace dpo::bench;
+
+int main() {
+  GpuModel Gpu;
+
+  for (const BenchCase &Case : figure11Cases()) {
+    const WorkloadOutput &Work = runCase(Case);
+    double CdpTime = simulateBatches(Gpu, Work.Batches, ExecConfig::cdp()).TimeUs;
+
+    // Best coarsening factor (with full tuning), as the figure captions do.
+    VariantMask Full;
+    Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+    TuneResult Best = exhaustiveTune(Gpu, Work.Batches, Full);
+    uint32_t Factor = Best.Config.CoarsenFactor;
+
+    std::printf("=== Figure 11: %s (coarsening factor = %u) ===\n",
+                Case.name().c_str(), Factor);
+    std::vector<std::optional<uint32_t>> Thresholds = {std::nullopt};
+    for (uint32_t T : defaultThresholdSweep())
+      Thresholds.push_back(T);
+
+    std::printf("%-12s", "granularity");
+    for (auto T : Thresholds)
+      std::printf(" %7s", T ? std::to_string(*T).c_str() : "none");
+    std::printf("\n");
+
+    const AggGranularity Grans[] = {AggGranularity::Grid,
+                                    AggGranularity::MultiBlock,
+                                    AggGranularity::Block, AggGranularity::Warp,
+                                    AggGranularity::None};
+    for (AggGranularity G : Grans) {
+      std::printf("%-12s", aggGranularityName(G));
+      for (auto T : Thresholds) {
+        ExecConfig C;
+        C.Threshold = T;
+        C.CoarsenFactor = Factor;
+        C.Agg = G;
+        C.AggGroupBlocks = 8;
+        double Time = simulateBatches(Gpu, Work.Batches, C).TimeUs;
+        std::printf(" %7.2f", CdpTime / Time);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===--- fig12_road.cpp - Reproduces Fig. 12 -----------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The low-nested-parallelism experiment: the five graph benchmarks on the
+/// road graph (avg degree ~3). CDP collapses; the optimizations recover
+/// most — but not all — of the No-CDP performance because merely containing
+/// a launch instruction costs instructions (Section VIII-D).
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+#include <map>
+
+using namespace dpo;
+using namespace dpo::bench;
+
+int main() {
+  GpuModel Gpu;
+  std::vector<Variant> Variants = figureVariants();
+
+  std::printf("=== Figure 12: road graph (USA-road-d.NY-like), speedup "
+              "over CDP ===\n");
+  std::printf("%-12s", "case");
+  for (const Variant &V : Variants)
+    std::printf(" %12s", V.Name);
+  std::printf("\n");
+
+  std::map<std::string, std::vector<double>> SpeedupsByVariant;
+  std::vector<double> NoCdpOverFull;
+
+  for (const BenchCase &Case : figure12Cases()) {
+    const WorkloadOutput &Work = runCase(Case);
+    double CdpTime = 0;
+    std::map<std::string, double> Times;
+    for (const Variant &V : Variants) {
+      VariantTime T = runVariant(Gpu, Work.Batches, V);
+      Times[V.Name] = T.TimeUs;
+      if (std::string(V.Name) == "CDP")
+        CdpTime = T.TimeUs;
+    }
+    std::printf("%-12s", Case.name().c_str());
+    for (const Variant &V : Variants) {
+      double Speedup = CdpTime / Times[V.Name];
+      SpeedupsByVariant[V.Name].push_back(Speedup);
+      std::printf(" %12.2f", Speedup);
+    }
+    std::printf("\n");
+    NoCdpOverFull.push_back(Times["CDP+T+C+A"] / Times["No CDP"]);
+  }
+
+  std::printf("%-12s", "GEOMEAN");
+  for (const Variant &V : Variants)
+    std::printf(" %12.2f", geomean(SpeedupsByVariant[V.Name]));
+  std::printf("\n\n");
+
+  std::printf("paper's observation: optimized CDP recovers much but NOT "
+              "all of No CDP (launch-presence penalty).\n");
+  std::printf("  CDP+T+C+A time / No CDP time (geomean, >1 means No CDP "
+              "still wins): %.2fx\n",
+              geomean(NoCdpOverFull));
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===--- fig9_performance.cpp - Reproduces Fig. 9 (and the VIII-C claim) ------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints, for each of the 14 benchmark/dataset pairs, the speedup over
+/// plain CDP of all nine Fig. 9 variants, plus the geomean row the paper
+/// quotes (CDP+T+C+A: 43x over CDP, 8.7x over No CDP, 3.6x over KLAP).
+/// Pass --fixed-threshold=128 to reproduce the Section VIII-C fixed-
+/// threshold experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+
+#include <cstring>
+#include <map>
+
+using namespace dpo;
+using namespace dpo::bench;
+
+int main(int argc, char **argv) {
+  std::optional<uint32_t> FixedThreshold;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--fixed-threshold=", 18) == 0)
+      FixedThreshold = (uint32_t)atoi(argv[I] + 18);
+
+  GpuModel Gpu;
+  std::vector<Variant> Variants = figureVariants();
+
+  std::printf("=== Figure 9: speedup over CDP (higher is better) ===\n");
+  if (FixedThreshold)
+    std::printf("(threshold fixed at %u for all thresholding variants)\n",
+                *FixedThreshold);
+  std::printf("%-12s", "case");
+  for (const Variant &V : Variants)
+    std::printf(" %12s", V.Name);
+  std::printf("\n");
+
+  std::map<std::string, std::vector<double>> SpeedupsByVariant;
+  std::vector<double> FullOverKlap, FullOverNoCdp, FullOverCdpCA;
+
+  for (const BenchCase &Case : figure9Cases()) {
+    const WorkloadOutput &Work = runCase(Case);
+    double CdpTime = 0;
+    std::map<std::string, VariantTime> Times;
+    for (const Variant &V : Variants) {
+      VariantTime T = runVariant(Gpu, Work.Batches, V);
+      if (FixedThreshold && T.Config.Threshold)
+        T.Config.Threshold = *FixedThreshold;
+      if (FixedThreshold && T.Config.Threshold) {
+        T.Result = simulateBatches(Gpu, Work.Batches, T.Config);
+        T.TimeUs = T.Result.TimeUs;
+      }
+      Times[V.Name] = T;
+      if (std::string(V.Name) == "CDP")
+        CdpTime = T.TimeUs;
+    }
+
+    std::printf("%-12s", Case.name().c_str());
+    for (const Variant &V : Variants) {
+      double Speedup = CdpTime / Times[V.Name].TimeUs;
+      SpeedupsByVariant[V.Name].push_back(Speedup);
+      std::printf(" %12.2f", Speedup);
+    }
+    std::printf("\n");
+
+    FullOverKlap.push_back(Times["KLAP (CDP+A)"].TimeUs /
+                           Times["CDP+T+C+A"].TimeUs);
+    FullOverNoCdp.push_back(Times["No CDP"].TimeUs /
+                            Times["CDP+T+C+A"].TimeUs);
+    FullOverCdpCA.push_back(Times["CDP+C+A"].TimeUs /
+                            Times["CDP+T+C+A"].TimeUs);
+  }
+
+  std::printf("%-12s", "GEOMEAN");
+  for (const Variant &V : Variants)
+    std::printf(" %12.2f", geomean(SpeedupsByVariant[V.Name]));
+  std::printf("\n\n");
+
+  std::printf("paper-quoted geomeans (reference -> measured):\n");
+  std::printf("  CDP+T+C+A over CDP:    paper 43.0x -> %.1fx\n",
+              geomean(SpeedupsByVariant["CDP+T+C+A"]));
+  std::printf("  CDP+T+C+A over No CDP: paper  8.7x -> %.1fx\n",
+              geomean(FullOverNoCdp));
+  std::printf("  CDP+T+C+A over KLAP:   paper  3.6x -> %.1fx\n",
+              geomean(FullOverKlap));
+  std::printf("  CDP+A over CDP:        paper 12.1x -> %.1fx\n",
+              geomean(SpeedupsByVariant["KLAP (CDP+A)"]));
+  std::printf("  CDP+T over CDP:        paper 13.4x -> %.1fx\n",
+              geomean(SpeedupsByVariant["CDP+T"]));
+  std::printf("  CDP+T+C+A over CDP+C+A: paper 3.1x -> %.1fx\n",
+              geomean(FullOverCdpCA));
+  return 0;
+}

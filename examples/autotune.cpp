@@ -1,0 +1,60 @@
+//===--- autotune.cpp - Guided vs. exhaustive tuning (Section VIII-C) ----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunes the full pipeline for SSSP on a web-like graph, comparing the
+/// paper's guided heuristic (threshold from the 6k-8k launch budget, large
+/// coarsening factor, no warp granularity) against the exhaustive sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace dpo;
+
+int main() {
+  CsrGraph G = makeWebGraph(/*NumVertices=*/60000, /*AvgDegree=*/9.0,
+                            /*Seed=*/21);
+  std::printf("graph: %u vertices, %llu edges\n", G.NumVertices,
+              (unsigned long long)G.numEdges());
+  WorkloadOutput Sssp = runSssp(G, 0);
+  std::printf("SSSP: %zu kernel invocations, %llu total child units\n\n",
+              Sssp.Batches.size(),
+              (unsigned long long)Sssp.totalChildUnits());
+
+  GpuModel Gpu;
+  VariantMask Full;
+  Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+
+  auto Describe = [](const char *Name, const TuneResult &R) {
+    std::printf("%-11s: %8.1f us in %4u probes  (threshold=%s, factor=%u, "
+                "granularity=%s",
+                Name, R.Result.TimeUs, R.Probes,
+                R.Config.Threshold ? std::to_string(*R.Config.Threshold).c_str()
+                                   : "-",
+                R.Config.CoarsenFactor, aggGranularityName(R.Config.Agg));
+    if (R.Config.Agg == AggGranularity::MultiBlock)
+      std::printf(", group=%u", R.Config.AggGroupBlocks);
+    std::printf(")\n");
+  };
+
+  TuneResult Guided = guidedTune(Gpu, Sssp.Batches, Full);
+  Describe("guided", Guided);
+  TuneResult Exhaustive = exhaustiveTune(Gpu, Sssp.Batches, Full);
+  Describe("exhaustive", Exhaustive);
+
+  std::printf("\nguided is within %.1f%% of exhaustive using %.1f%% of the "
+              "probes.\n",
+              (Guided.Result.TimeUs / Exhaustive.Result.TimeUs - 1.0) * 100.0,
+              100.0 * Guided.Probes / Exhaustive.Probes);
+  std::printf("launch-budget rule picked threshold %u (aiming for <= 8000 "
+              "dynamic launches).\n",
+              thresholdForLaunchBudget(Sssp.Batches, 8000));
+  return 0;
+}

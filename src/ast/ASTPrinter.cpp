@@ -1,0 +1,637 @@
+//===--- ASTPrinter.cpp -------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace dpo;
+
+unsigned Type::storeSizeBytes() const {
+  if (isPointer())
+    return 8;
+  switch (Kind) {
+  case BuiltinKind::Void: return 0;
+  case BuiltinKind::Bool:
+  case BuiltinKind::Char:
+  case BuiltinKind::UChar: return 1;
+  case BuiltinKind::Short:
+  case BuiltinKind::UShort: return 2;
+  case BuiltinKind::Int:
+  case BuiltinKind::UInt:
+  case BuiltinKind::Float: return 4;
+  case BuiltinKind::Long:
+  case BuiltinKind::ULong:
+  case BuiltinKind::LongLong:
+  case BuiltinKind::ULongLong:
+  case BuiltinKind::Double: return 8;
+  case BuiltinKind::Dim3: return 12;
+  case BuiltinKind::Named: return 8;
+  }
+  return 8;
+}
+
+std::string Type::str() const {
+  std::string Result;
+  if (IsConst)
+    Result += "const ";
+  switch (Kind) {
+  case BuiltinKind::Void: Result += "void"; break;
+  case BuiltinKind::Bool: Result += "bool"; break;
+  case BuiltinKind::Char: Result += "char"; break;
+  case BuiltinKind::Short: Result += "short"; break;
+  case BuiltinKind::Int: Result += "int"; break;
+  case BuiltinKind::Long: Result += "long"; break;
+  case BuiltinKind::LongLong: Result += "long long"; break;
+  case BuiltinKind::UChar: Result += "unsigned char"; break;
+  case BuiltinKind::UShort: Result += "unsigned short"; break;
+  case BuiltinKind::UInt: Result += "unsigned int"; break;
+  case BuiltinKind::ULong: Result += "unsigned long"; break;
+  case BuiltinKind::ULongLong: Result += "unsigned long long"; break;
+  case BuiltinKind::Float: Result += "float"; break;
+  case BuiltinKind::Double: Result += "double"; break;
+  case BuiltinKind::Dim3: Result += "dim3"; break;
+  case BuiltinKind::Named: Result += Name; break;
+  }
+  for (unsigned I = 0; I < PointerDepth; ++I)
+    Result += I == 0 ? " *" : "*";
+  if (IsRestrict)
+    Result += " __restrict__";
+  return Result;
+}
+
+std::string CallExpr::calleeName() const {
+  if (const auto *Ref = dyn_cast<DeclRefExpr>(Callee))
+    return Ref->name();
+  return std::string();
+}
+
+bool dpo::isAssignmentOp(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Assign:
+  case BinaryOpKind::MulAssign:
+  case BinaryOpKind::DivAssign:
+  case BinaryOpKind::RemAssign:
+  case BinaryOpKind::AddAssign:
+  case BinaryOpKind::SubAssign:
+  case BinaryOpKind::ShlAssign:
+  case BinaryOpKind::ShrAssign:
+  case BinaryOpKind::AndAssign:
+  case BinaryOpKind::XorAssign:
+  case BinaryOpKind::OrAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+BinaryOpKind dpo::compoundAssignBaseOp(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::MulAssign: return BinaryOpKind::Mul;
+  case BinaryOpKind::DivAssign: return BinaryOpKind::Div;
+  case BinaryOpKind::RemAssign: return BinaryOpKind::Rem;
+  case BinaryOpKind::AddAssign: return BinaryOpKind::Add;
+  case BinaryOpKind::SubAssign: return BinaryOpKind::Sub;
+  case BinaryOpKind::ShlAssign: return BinaryOpKind::Shl;
+  case BinaryOpKind::ShrAssign: return BinaryOpKind::Shr;
+  case BinaryOpKind::AndAssign: return BinaryOpKind::BitAnd;
+  case BinaryOpKind::XorAssign: return BinaryOpKind::BitXor;
+  case BinaryOpKind::OrAssign: return BinaryOpKind::BitOr;
+  default:
+    assert(false && "not a compound assignment");
+    return Op;
+  }
+}
+
+std::string_view dpo::binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Mul: return "*";
+  case BinaryOpKind::Div: return "/";
+  case BinaryOpKind::Rem: return "%";
+  case BinaryOpKind::Add: return "+";
+  case BinaryOpKind::Sub: return "-";
+  case BinaryOpKind::Shl: return "<<";
+  case BinaryOpKind::Shr: return ">>";
+  case BinaryOpKind::LT: return "<";
+  case BinaryOpKind::GT: return ">";
+  case BinaryOpKind::LE: return "<=";
+  case BinaryOpKind::GE: return ">=";
+  case BinaryOpKind::EQ: return "==";
+  case BinaryOpKind::NE: return "!=";
+  case BinaryOpKind::BitAnd: return "&";
+  case BinaryOpKind::BitXor: return "^";
+  case BinaryOpKind::BitOr: return "|";
+  case BinaryOpKind::LAnd: return "&&";
+  case BinaryOpKind::LOr: return "||";
+  case BinaryOpKind::Assign: return "=";
+  case BinaryOpKind::MulAssign: return "*=";
+  case BinaryOpKind::DivAssign: return "/=";
+  case BinaryOpKind::RemAssign: return "%=";
+  case BinaryOpKind::AddAssign: return "+=";
+  case BinaryOpKind::SubAssign: return "-=";
+  case BinaryOpKind::ShlAssign: return "<<=";
+  case BinaryOpKind::ShrAssign: return ">>=";
+  case BinaryOpKind::AndAssign: return "&=";
+  case BinaryOpKind::XorAssign: return "^=";
+  case BinaryOpKind::OrAssign: return "|=";
+  case BinaryOpKind::Comma: return ",";
+  }
+  return "?";
+}
+
+std::string_view dpo::unaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Plus: return "+";
+  case UnaryOpKind::Minus: return "-";
+  case UnaryOpKind::Not: return "!";
+  case UnaryOpKind::BitNot: return "~";
+  case UnaryOpKind::PreInc:
+  case UnaryOpKind::PostInc: return "++";
+  case UnaryOpKind::PreDec:
+  case UnaryOpKind::PostDec: return "--";
+  case UnaryOpKind::Deref: return "*";
+  case UnaryOpKind::AddrOf: return "&";
+  }
+  return "?";
+}
+
+namespace {
+
+/// C operator precedence levels; larger binds tighter.
+enum Precedence : unsigned {
+  PrecComma = 1,
+  PrecAssign = 2,
+  PrecConditional = 3,
+  PrecLOr = 4,
+  PrecLAnd = 5,
+  PrecBitOr = 6,
+  PrecBitXor = 7,
+  PrecBitAnd = 8,
+  PrecEquality = 9,
+  PrecRelational = 10,
+  PrecShift = 11,
+  PrecAdditive = 12,
+  PrecMultiplicative = 13,
+  PrecUnary = 14,
+  PrecPostfix = 15,
+  PrecPrimary = 16,
+};
+
+unsigned binaryPrecedence(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Mul:
+  case BinaryOpKind::Div:
+  case BinaryOpKind::Rem:
+    return PrecMultiplicative;
+  case BinaryOpKind::Add:
+  case BinaryOpKind::Sub:
+    return PrecAdditive;
+  case BinaryOpKind::Shl:
+  case BinaryOpKind::Shr:
+    return PrecShift;
+  case BinaryOpKind::LT:
+  case BinaryOpKind::GT:
+  case BinaryOpKind::LE:
+  case BinaryOpKind::GE:
+    return PrecRelational;
+  case BinaryOpKind::EQ:
+  case BinaryOpKind::NE:
+    return PrecEquality;
+  case BinaryOpKind::BitAnd:
+    return PrecBitAnd;
+  case BinaryOpKind::BitXor:
+    return PrecBitXor;
+  case BinaryOpKind::BitOr:
+    return PrecBitOr;
+  case BinaryOpKind::LAnd:
+    return PrecLAnd;
+  case BinaryOpKind::LOr:
+    return PrecLOr;
+  case BinaryOpKind::Comma:
+    return PrecComma;
+  default:
+    return PrecAssign;
+  }
+}
+
+class Printer {
+public:
+  explicit Printer(std::ostringstream &OS) : OS(OS) {}
+
+  std::string exprText(const Expr *E, unsigned MinPrec);
+  void stmt(const Stmt *S, unsigned Indent, bool SuppressIndent = false);
+  void varDeclGroup(const std::vector<VarDecl *> &Decls);
+  void declarator(const VarDecl *D, bool WithBaseType);
+
+private:
+  unsigned precedenceOf(const Expr *E) {
+    switch (E->kind()) {
+    case StmtKind::Binary:
+      return binaryPrecedence(cast<BinaryOperator>(E)->op());
+    case StmtKind::Conditional:
+      return PrecConditional;
+    case StmtKind::Unary:
+      return cast<UnaryOperator>(E)->isPostfix() ? PrecPostfix : PrecUnary;
+    case StmtKind::Cast:
+      return PrecUnary;
+    case StmtKind::Member:
+    case StmtKind::ArraySubscript:
+    case StmtKind::Call:
+      return PrecPostfix;
+    default:
+      return PrecPrimary;
+    }
+  }
+
+  std::string render(const Expr *E);
+
+  /// Prints a statement controlled by if/for/while. Compound bodies open on
+  /// the header line; other bodies go on the next line, indented one level.
+  /// Returns true if the body was braced (so the caller can join `else`).
+  bool controlled(const Stmt *Body, unsigned Indent);
+
+  std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+  std::ostringstream &OS;
+};
+
+std::string Printer::exprText(const Expr *E, unsigned MinPrec) {
+  std::string Text = render(E);
+  if (precedenceOf(E) < MinPrec)
+    return "(" + Text + ")";
+  return Text;
+}
+
+std::string Printer::render(const Expr *E) {
+  switch (E->kind()) {
+  case StmtKind::IntegerLit: {
+    const auto *Lit = cast<IntegerLiteral>(E);
+    if (!Lit->spelling().empty())
+      return Lit->spelling();
+    return std::to_string(Lit->value());
+  }
+  case StmtKind::FloatLit: {
+    const auto *Lit = cast<FloatLiteral>(E);
+    if (!Lit->spelling().empty())
+      return Lit->spelling();
+    std::ostringstream Tmp;
+    Tmp << Lit->value();
+    std::string Text = Tmp.str();
+    if (Text.find('.') == std::string::npos &&
+        Text.find('e') == std::string::npos)
+      Text += ".0";
+    return Text;
+  }
+  case StmtKind::BoolLit:
+    return cast<BoolLiteral>(E)->value() ? "true" : "false";
+  case StmtKind::StringLit:
+    return cast<StringLiteral>(E)->spelling();
+  case StmtKind::DeclRef:
+    return cast<DeclRefExpr>(E)->name();
+  case StmtKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    return exprText(M->base(), PrecPostfix) + (M->isArrow() ? "->" : ".") +
+           M->member();
+  }
+  case StmtKind::ArraySubscript: {
+    const auto *Sub = cast<ArraySubscriptExpr>(E);
+    return exprText(Sub->base(), PrecPostfix) + "[" +
+           exprText(Sub->index(), PrecComma) + "]";
+  }
+  case StmtKind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    std::string Text = exprText(Call->callee(), PrecPostfix) + "(";
+    for (size_t I = 0; I < Call->args().size(); ++I) {
+      if (I != 0)
+        Text += ", ";
+      Text += exprText(Call->args()[I], PrecAssign);
+    }
+    return Text + ")";
+  }
+  case StmtKind::Unary: {
+    const auto *U = cast<UnaryOperator>(E);
+    if (U->isPostfix())
+      return exprText(U->operand(), PrecPostfix) +
+             std::string(unaryOpSpelling(U->op()));
+    std::string Operand = exprText(U->operand(), PrecUnary);
+    std::string Spelling(unaryOpSpelling(U->op()));
+    // `- -x` must not become `--x`; `+ +x` must not become `++x`.
+    if ((Spelling == "-" && Operand.starts_with('-')) ||
+        (Spelling == "+" && Operand.starts_with('+')))
+      return Spelling + " " + Operand;
+    return Spelling + Operand;
+  }
+  case StmtKind::Binary: {
+    const auto *B = cast<BinaryOperator>(E);
+    unsigned Prec = binaryPrecedence(B->op());
+    if (isAssignmentOp(B->op()))
+      return exprText(B->lhs(), PrecUnary) + " " +
+             std::string(binaryOpSpelling(B->op())) + " " +
+             exprText(B->rhs(), PrecAssign);
+    if (B->op() == BinaryOpKind::Comma)
+      return exprText(B->lhs(), PrecComma) + ", " +
+             exprText(B->rhs(), PrecAssign);
+    return exprText(B->lhs(), Prec) + " " +
+           std::string(binaryOpSpelling(B->op())) + " " +
+           exprText(B->rhs(), Prec + 1);
+  }
+  case StmtKind::Conditional: {
+    const auto *C = cast<ConditionalOperator>(E);
+    return exprText(C->cond(), PrecLOr) + " ? " +
+           exprText(C->trueExpr(), PrecAssign) + " : " +
+           exprText(C->falseExpr(), PrecConditional);
+  }
+  case StmtKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    return "(" + C->type().str() + ")" + exprText(C->operand(), PrecUnary);
+  }
+  case StmtKind::Paren:
+    return "(" + exprText(cast<ParenExpr>(E)->inner(), PrecComma) + ")";
+  case StmtKind::SizeofE:
+    return "sizeof(" + cast<SizeofExpr>(E)->queriedType().str() + ")";
+  case StmtKind::Launch: {
+    const auto *L = cast<LaunchExpr>(E);
+    std::string Text = L->kernel() + "<<<" +
+                       exprText(L->gridDim(), PrecAssign) + ", " +
+                       exprText(L->blockDim(), PrecAssign);
+    if (L->sharedMem()) {
+      Text += ", " + exprText(L->sharedMem(), PrecAssign);
+      if (L->stream())
+        Text += ", " + exprText(L->stream(), PrecAssign);
+    }
+    Text += ">>>(";
+    for (size_t I = 0; I < L->args().size(); ++I) {
+      if (I != 0)
+        Text += ", ";
+      Text += exprText(L->args()[I], PrecAssign);
+    }
+    return Text + ")";
+  }
+  default:
+    assert(false && "render called on a non-expression");
+    return std::string();
+  }
+}
+
+void Printer::declarator(const VarDecl *D, bool WithBaseType) {
+  if (WithBaseType) {
+    if (D->isShared())
+      OS << "__shared__ ";
+    std::string TypeText = D->type().str();
+    OS << TypeText;
+    if (!TypeText.empty() && TypeText.back() != '*')
+      OS << ' ';
+  } else {
+    for (unsigned I = 0; I < D->type().pointerDepth(); ++I)
+      OS << '*';
+  }
+  OS << D->name();
+  for (const Expr *Dim : D->arrayDims())
+    OS << '[' << exprText(Dim, PrecComma) << ']';
+  if (D->init())
+    OS << " = " << exprText(D->init(), PrecAssign);
+}
+
+void Printer::varDeclGroup(const std::vector<VarDecl *> &Decls) {
+  assert(!Decls.empty() && "empty declaration group");
+  declarator(Decls.front(), /*WithBaseType=*/true);
+  for (size_t I = 1; I < Decls.size(); ++I) {
+    OS << ", ";
+    declarator(Decls[I], /*WithBaseType=*/false);
+  }
+}
+
+bool Printer::controlled(const Stmt *Body, unsigned Indent) {
+  if (Body && isa<CompoundStmt>(Body)) {
+    OS << " {\n";
+    for (const Stmt *Child : cast<CompoundStmt>(Body)->body())
+      stmt(Child, Indent + 1);
+    OS << pad(Indent) << "}";
+    return true;
+  }
+  OS << "\n";
+  stmt(Body, Indent + 1);
+  return false;
+}
+
+void Printer::stmt(const Stmt *S, unsigned Indent, bool SuppressIndent) {
+  std::string Pad = SuppressIndent ? std::string() : pad(Indent);
+  if (!S) {
+    OS << Pad << ";\n";
+    return;
+  }
+
+  if (const auto *E = dyn_cast<Expr>(S)) {
+    OS << Pad << exprText(E, PrecComma) << ";\n";
+    return;
+  }
+
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    OS << Pad << "{\n";
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      stmt(Child, Indent + 1);
+    OS << pad(Indent) << "}\n";
+    return;
+  }
+  case StmtKind::DeclS:
+    OS << Pad;
+    varDeclGroup(cast<DeclStmt>(S)->decls());
+    OS << ";\n";
+    return;
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    OS << Pad << "if (" << exprText(If->cond(), PrecComma) << ")";
+    bool Braced = controlled(If->thenStmt(), Indent);
+    if (!If->elseStmt()) {
+      if (Braced)
+        OS << "\n";
+      return;
+    }
+    if (Braced)
+      OS << " else";
+    else
+      OS << pad(Indent) << "else";
+    if (const auto *ElseIf = dyn_cast<IfStmt>(If->elseStmt())) {
+      OS << ' ';
+      stmt(ElseIf, Indent, /*SuppressIndent=*/true);
+      return;
+    }
+    bool ElseBraced = controlled(If->elseStmt(), Indent);
+    if (ElseBraced)
+      OS << "\n";
+    return;
+  }
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    OS << Pad << "for (";
+    if (const Stmt *Init = For->init()) {
+      if (const auto *DS = dyn_cast<DeclStmt>(Init))
+        varDeclGroup(DS->decls());
+      else if (const auto *E = dyn_cast<Expr>(Init))
+        OS << exprText(E, PrecComma);
+    }
+    OS << "; ";
+    if (For->cond())
+      OS << exprText(For->cond(), PrecComma);
+    OS << "; ";
+    if (For->inc())
+      OS << exprText(For->inc(), PrecComma);
+    OS << ")";
+    if (controlled(For->body(), Indent))
+      OS << "\n";
+    return;
+  }
+  case StmtKind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    OS << Pad << "while (" << exprText(While->cond(), PrecComma) << ")";
+    if (controlled(While->body(), Indent))
+      OS << "\n";
+    return;
+  }
+  case StmtKind::Do: {
+    const auto *Do = cast<DoStmt>(S);
+    OS << Pad << "do";
+    bool Braced = controlled(Do->body(), Indent);
+    if (Braced)
+      OS << " while (" << exprText(Do->cond(), PrecComma) << ");\n";
+    else
+      OS << pad(Indent) << "while (" << exprText(Do->cond(), PrecComma)
+         << ");\n";
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *Ret = cast<ReturnStmt>(S);
+    OS << Pad << "return";
+    if (Ret->value())
+      OS << ' ' << exprText(Ret->value(), PrecComma);
+    OS << ";\n";
+    return;
+  }
+  case StmtKind::Break:
+    OS << Pad << "break;\n";
+    return;
+  case StmtKind::Continue:
+    OS << Pad << "continue;\n";
+    return;
+  case StmtKind::Null:
+    OS << Pad << ";\n";
+    return;
+  default:
+    assert(false && "unhandled statement kind in printStmt");
+  }
+}
+
+} // namespace
+
+std::string dpo::printExpr(const Expr *E) {
+  std::ostringstream OS;
+  Printer P(OS);
+  return P.exprText(E, PrecComma);
+}
+
+std::string dpo::printStmt(const Stmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  Printer P(OS);
+  P.stmt(S, Indent);
+  return OS.str();
+}
+
+std::string dpo::printDecl(const Decl *D) {
+  std::ostringstream OS;
+  switch (D->kind()) {
+  case DeclKind::Raw:
+    OS << cast<RawDecl>(D)->text() << '\n';
+    break;
+  case DeclKind::Var: {
+    Printer P(OS);
+    std::vector<VarDecl *> Group = {const_cast<VarDecl *>(cast<VarDecl>(D))};
+    P.varDeclGroup(Group);
+    OS << ";\n";
+    break;
+  }
+  case DeclKind::Function: {
+    const auto *F = cast<FunctionDecl>(D);
+    const FunctionQualifiers &Q = F->qualifiers();
+    if (Q.Extern)
+      OS << "extern ";
+    if (Q.Static)
+      OS << "static ";
+    if (Q.Global)
+      OS << "__global__ ";
+    if (Q.Device)
+      OS << "__device__ ";
+    if (Q.Host)
+      OS << "__host__ ";
+    if (Q.ForceInline)
+      OS << "__forceinline__ ";
+    if (Q.Inline)
+      OS << "inline ";
+    std::string RetText = F->returnType().str();
+    OS << RetText;
+    if (!RetText.empty() && RetText.back() != '*')
+      OS << ' ';
+    OS << F->name() << '(';
+    Printer P(OS);
+    for (size_t I = 0; I < F->params().size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      P.declarator(F->params()[I], /*WithBaseType=*/true);
+    }
+    OS << ')';
+    if (F->body()) {
+      OS << ' ';
+      std::ostringstream Body;
+      Printer BP(Body);
+      BP.stmt(F->body(), 0);
+      std::string Text = Body.str();
+      OS << Text.substr(Text.find('{'));
+    } else {
+      OS << ";\n";
+    }
+    break;
+  }
+  case DeclKind::TranslationUnit:
+    return printTranslationUnit(cast<TranslationUnit>(D));
+  }
+  return OS.str();
+}
+
+std::string dpo::printTranslationUnit(const TranslationUnit *TU) {
+  std::string Result;
+  for (const Decl *D : TU->decls()) {
+    Result += printDecl(D);
+    if (!isa<RawDecl>(D))
+      Result += '\n';
+  }
+  return Result;
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  FunctionDecl *Declaration = nullptr;
+  for (Decl *D : Decls) {
+    if (auto *F = dyn_cast<FunctionDecl>(D)) {
+      if (F->name() != Name)
+        continue;
+      if (F->isDefinition())
+        return F;
+      Declaration = F;
+    }
+  }
+  return Declaration;
+}
+
+std::vector<FunctionDecl *> TranslationUnit::kernels() const {
+  std::vector<FunctionDecl *> Result;
+  for (Decl *D : Decls)
+    if (auto *F = dyn_cast<FunctionDecl>(D))
+      if (F->isKernel() && F->isDefinition())
+        Result.push_back(F);
+  return Result;
+}

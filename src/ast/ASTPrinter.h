@@ -1,0 +1,46 @@
+//===--- ASTPrinter.h - AST back to CUDA source ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an AST back to compilable CUDA source. Parenthesization is
+/// precedence-driven, so `(N + b - 1) / b` re-prints exactly as written and
+/// synthesized expressions are never mis-associated. Round-trip fidelity
+/// (parse -> print -> parse yields a structurally equal tree) is enforced by
+/// the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_ASTPRINTER_H
+#define DPO_AST_ASTPRINTER_H
+
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+#include <string>
+
+namespace dpo {
+
+/// Prints a whole translation unit.
+std::string printTranslationUnit(const TranslationUnit *TU);
+
+/// Prints one declaration (function, variable, raw text).
+std::string printDecl(const Decl *D);
+
+/// Prints a statement at the given indentation depth (two spaces per level).
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Prints an expression.
+std::string printExpr(const Expr *E);
+
+/// Spelling of a binary operator, e.g. "+", "<<=".
+std::string_view binaryOpSpelling(BinaryOpKind Op);
+
+/// Spelling of a unary operator, e.g. "!", "++".
+std::string_view unaryOpSpelling(UnaryOpKind Op);
+
+} // namespace dpo
+
+#endif // DPO_AST_ASTPRINTER_H

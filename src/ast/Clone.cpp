@@ -1,0 +1,204 @@
+//===--- Clone.cpp ------------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Clone.h"
+
+#include "support/Casting.h"
+
+using namespace dpo;
+
+static std::vector<Expr *> cloneExprs(ASTContext &Ctx,
+                                      const std::vector<Expr *> &Exprs) {
+  std::vector<Expr *> Result;
+  Result.reserve(Exprs.size());
+  for (const Expr *E : Exprs)
+    Result.push_back(cloneExpr(Ctx, E));
+  return Result;
+}
+
+Expr *dpo::cloneExpr(ASTContext &Ctx, const Expr *E) {
+  if (!E)
+    return nullptr;
+  Expr *Result = nullptr;
+  switch (E->kind()) {
+  case StmtKind::IntegerLit: {
+    const auto *Lit = cast<IntegerLiteral>(E);
+    Result = Ctx.create<IntegerLiteral>(Lit->value(), Lit->spelling());
+    break;
+  }
+  case StmtKind::FloatLit: {
+    const auto *Lit = cast<FloatLiteral>(E);
+    Result = Ctx.create<FloatLiteral>(Lit->value(), Lit->spelling());
+    break;
+  }
+  case StmtKind::BoolLit:
+    Result = Ctx.create<BoolLiteral>(cast<BoolLiteral>(E)->value());
+    break;
+  case StmtKind::StringLit:
+    Result = Ctx.create<StringLiteral>(cast<StringLiteral>(E)->spelling());
+    break;
+  case StmtKind::DeclRef:
+    Result = Ctx.create<DeclRefExpr>(cast<DeclRefExpr>(E)->name());
+    break;
+  case StmtKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    Result = Ctx.create<MemberExpr>(cloneExpr(Ctx, M->base()), M->member(),
+                                    M->isArrow());
+    break;
+  }
+  case StmtKind::ArraySubscript: {
+    const auto *Sub = cast<ArraySubscriptExpr>(E);
+    Result = Ctx.create<ArraySubscriptExpr>(cloneExpr(Ctx, Sub->base()),
+                                            cloneExpr(Ctx, Sub->index()));
+    break;
+  }
+  case StmtKind::Call: {
+    const auto *Call = cast<CallExpr>(E);
+    Result = Ctx.create<CallExpr>(cloneExpr(Ctx, Call->callee()),
+                                  cloneExprs(Ctx, Call->args()));
+    break;
+  }
+  case StmtKind::Unary: {
+    const auto *U = cast<UnaryOperator>(E);
+    Result = Ctx.create<UnaryOperator>(U->op(), cloneExpr(Ctx, U->operand()));
+    break;
+  }
+  case StmtKind::Binary: {
+    const auto *B = cast<BinaryOperator>(E);
+    Result = Ctx.create<BinaryOperator>(B->op(), cloneExpr(Ctx, B->lhs()),
+                                        cloneExpr(Ctx, B->rhs()));
+    break;
+  }
+  case StmtKind::Conditional: {
+    const auto *C = cast<ConditionalOperator>(E);
+    Result = Ctx.create<ConditionalOperator>(cloneExpr(Ctx, C->cond()),
+                                             cloneExpr(Ctx, C->trueExpr()),
+                                             cloneExpr(Ctx, C->falseExpr()));
+    break;
+  }
+  case StmtKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Result = Ctx.create<CastExpr>(C->type(), cloneExpr(Ctx, C->operand()));
+    break;
+  }
+  case StmtKind::Paren:
+    Result = Ctx.create<ParenExpr>(cloneExpr(Ctx, cast<ParenExpr>(E)->inner()));
+    break;
+  case StmtKind::SizeofE:
+    Result = Ctx.create<SizeofExpr>(cast<SizeofExpr>(E)->queriedType());
+    break;
+  case StmtKind::Launch: {
+    const auto *L = cast<LaunchExpr>(E);
+    Result = Ctx.create<LaunchExpr>(
+        L->kernel(), cloneExpr(Ctx, L->gridDim()), cloneExpr(Ctx, L->blockDim()),
+        cloneExpr(Ctx, L->sharedMem()), cloneExpr(Ctx, L->stream()),
+        cloneExprs(Ctx, L->args()));
+    break;
+  }
+  default:
+    assert(false && "cloneExpr on non-expression kind");
+    return nullptr;
+  }
+  Result->setType(E->type());
+  Result->setLoc(E->loc());
+  return Result;
+}
+
+VarDecl *dpo::cloneVarDecl(ASTContext &Ctx, const VarDecl *D) {
+  if (!D)
+    return nullptr;
+  auto *Clone =
+      Ctx.create<VarDecl>(D->type(), D->name(), cloneExpr(Ctx, D->init()));
+  Clone->setShared(D->isShared());
+  Clone->setLoc(D->loc());
+  for (const Expr *Dim : D->arrayDims())
+    Clone->arrayDims().push_back(cloneExpr(Ctx, Dim));
+  return Clone;
+}
+
+Stmt *dpo::cloneStmt(ASTContext &Ctx, const Stmt *S) {
+  if (!S)
+    return nullptr;
+  if (const auto *E = dyn_cast<Expr>(S))
+    return cloneExpr(Ctx, E);
+
+  Stmt *Result = nullptr;
+  switch (S->kind()) {
+  case StmtKind::Compound: {
+    std::vector<Stmt *> Body;
+    for (const Stmt *Child : cast<CompoundStmt>(S)->body())
+      Body.push_back(cloneStmt(Ctx, Child));
+    Result = Ctx.create<CompoundStmt>(std::move(Body));
+    break;
+  }
+  case StmtKind::DeclS: {
+    std::vector<VarDecl *> Decls;
+    for (const VarDecl *D : cast<DeclStmt>(S)->decls())
+      Decls.push_back(cloneVarDecl(Ctx, D));
+    Result = Ctx.create<DeclStmt>(std::move(Decls));
+    break;
+  }
+  case StmtKind::If: {
+    const auto *If = cast<IfStmt>(S);
+    Result = Ctx.create<IfStmt>(cloneExpr(Ctx, If->cond()),
+                                cloneStmt(Ctx, If->thenStmt()),
+                                cloneStmt(Ctx, If->elseStmt()));
+    break;
+  }
+  case StmtKind::For: {
+    const auto *For = cast<ForStmt>(S);
+    Result = Ctx.create<ForStmt>(
+        cloneStmt(Ctx, For->init()), cloneExpr(Ctx, For->cond()),
+        cloneExpr(Ctx, For->inc()), cloneStmt(Ctx, For->body()));
+    break;
+  }
+  case StmtKind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    Result = Ctx.create<WhileStmt>(cloneExpr(Ctx, While->cond()),
+                                   cloneStmt(Ctx, While->body()));
+    break;
+  }
+  case StmtKind::Do: {
+    const auto *Do = cast<DoStmt>(S);
+    Result = Ctx.create<DoStmt>(cloneStmt(Ctx, Do->body()),
+                                cloneExpr(Ctx, Do->cond()));
+    break;
+  }
+  case StmtKind::Return:
+    Result =
+        Ctx.create<ReturnStmt>(cloneExpr(Ctx, cast<ReturnStmt>(S)->value()));
+    break;
+  case StmtKind::Break:
+    Result = Ctx.create<BreakStmt>();
+    break;
+  case StmtKind::Continue:
+    Result = Ctx.create<ContinueStmt>();
+    break;
+  case StmtKind::Null:
+    Result = Ctx.create<NullStmt>();
+    break;
+  default:
+    assert(false && "unhandled statement kind in cloneStmt");
+    return nullptr;
+  }
+  Result->setLoc(S->loc());
+  return Result;
+}
+
+FunctionDecl *dpo::cloneFunction(ASTContext &Ctx, const FunctionDecl *F) {
+  if (!F)
+    return nullptr;
+  std::vector<VarDecl *> Params;
+  for (const VarDecl *P : F->params())
+    Params.push_back(cloneVarDecl(Ctx, P));
+  auto *Body = F->body()
+                   ? cast<CompoundStmt>(cloneStmt(Ctx, F->body()))
+                   : nullptr;
+  auto *Clone = Ctx.create<FunctionDecl>(F->qualifiers(), F->returnType(),
+                                         F->name(), std::move(Params), Body);
+  Clone->setLoc(F->loc());
+  return Clone;
+}

@@ -1,0 +1,31 @@
+//===--- Clone.h - Deep-copying AST subtrees --------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep clones of expressions, statements, and declarations into a target
+/// ASTContext. The thresholding pass clones whole kernel bodies to build
+/// the serial version; passes clone grid/block dimension expressions when
+/// they must appear in more than one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_CLONE_H
+#define DPO_AST_CLONE_H
+
+#include "ast/ASTContext.h"
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+namespace dpo {
+
+Expr *cloneExpr(ASTContext &Ctx, const Expr *E);
+Stmt *cloneStmt(ASTContext &Ctx, const Stmt *S);
+VarDecl *cloneVarDecl(ASTContext &Ctx, const VarDecl *D);
+FunctionDecl *cloneFunction(ASTContext &Ctx, const FunctionDecl *F);
+
+} // namespace dpo
+
+#endif // DPO_AST_CLONE_H

@@ -1,0 +1,156 @@
+//===--- Decl.h - Declaration AST nodes -------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_DECL_H
+#define DPO_AST_DECL_H
+
+#include "ast/Stmt.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+enum class DeclKind : unsigned char {
+  Var,
+  Function,
+  Raw,
+  TranslationUnit,
+};
+
+class Decl {
+public:
+  DeclKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+  void setLoc(SourceLocation L) { Loc = L; }
+
+  Decl(const Decl &) = delete;
+  Decl &operator=(const Decl &) = delete;
+
+protected:
+  explicit Decl(DeclKind Kind) : Kind(Kind) {}
+  ~Decl() = default;
+
+private:
+  DeclKind Kind;
+  SourceLocation Loc;
+};
+
+/// A variable or parameter declaration. Array declarators keep their
+/// dimension expressions (`int buf[2][N]` has two array dims).
+class VarDecl : public Decl {
+public:
+  VarDecl(Type Ty, std::string Name, Expr *Init = nullptr)
+      : Decl(DeclKind::Var), Ty(std::move(Ty)), Name(std::move(Name)),
+        Init(Init) {}
+
+  const Type &type() const { return Ty; }
+  void setType(Type T) { Ty = std::move(T); }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  Expr *init() const { return Init; }
+  Expr *&initSlot() { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  bool isShared() const { return Shared; }
+  void setShared(bool V) { Shared = V; }
+
+  const std::vector<Expr *> &arrayDims() const { return ArrayDims; }
+  std::vector<Expr *> &arrayDims() { return ArrayDims; }
+  bool isArray() const { return !ArrayDims.empty(); }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Var; }
+
+private:
+  Type Ty;
+  std::string Name;
+  Expr *Init;
+  bool Shared = false;
+  std::vector<Expr *> ArrayDims;
+};
+
+/// CUDA execution-space qualifiers on a function.
+struct FunctionQualifiers {
+  bool Global = false; ///< __global__ (kernel)
+  bool Device = false; ///< __device__
+  bool Host = false;   ///< __host__
+  bool Static = false;
+  bool Inline = false;
+  bool ForceInline = false;
+  bool Extern = false;
+};
+
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(FunctionQualifiers Quals, Type ReturnType, std::string Name,
+               std::vector<VarDecl *> Params, CompoundStmt *Body)
+      : Decl(DeclKind::Function), Quals(Quals), ReturnType(std::move(ReturnType)),
+        Name(std::move(Name)), Params(std::move(Params)), Body(Body) {}
+
+  const FunctionQualifiers &qualifiers() const { return Quals; }
+  FunctionQualifiers &qualifiers() { return Quals; }
+  const Type &returnType() const { return ReturnType; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  const std::vector<VarDecl *> &params() const { return Params; }
+  std::vector<VarDecl *> &params() { return Params; }
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+
+  bool isKernel() const { return Quals.Global; }
+  bool isDefinition() const { return Body != nullptr; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::Function;
+  }
+
+private:
+  FunctionQualifiers Quals;
+  Type ReturnType;
+  std::string Name;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body; ///< Null for a prototype.
+};
+
+/// Verbatim text passed through the pipeline unchanged (preprocessor lines
+/// and any top-level construct outside our subset).
+class RawDecl : public Decl {
+public:
+  explicit RawDecl(std::string Text)
+      : Decl(DeclKind::Raw), Text(std::move(Text)) {}
+
+  const std::string &text() const { return Text; }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Raw; }
+
+private:
+  std::string Text;
+};
+
+class TranslationUnit : public Decl {
+public:
+  TranslationUnit() : Decl(DeclKind::TranslationUnit) {}
+
+  const std::vector<Decl *> &decls() const { return Decls; }
+  std::vector<Decl *> &decls() { return Decls; }
+
+  /// Finds the first function definition or declaration named \p Name.
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+  /// All __global__ function definitions, in source order.
+  std::vector<FunctionDecl *> kernels() const;
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::TranslationUnit;
+  }
+
+private:
+  std::vector<Decl *> Decls;
+};
+
+} // namespace dpo
+
+#endif // DPO_AST_DECL_H

@@ -1,0 +1,253 @@
+//===--- Equivalence.cpp ------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Equivalence.h"
+
+#include "support/Casting.h"
+
+using namespace dpo;
+
+static const Expr *stripParens(const Expr *E) {
+  while (const auto *P = dyn_cast_or_null<ParenExpr>(E))
+    E = P->inner();
+  return E;
+}
+
+bool dpo::structurallyEqual(const Expr *A, const Expr *B) {
+  A = stripParens(A);
+  B = stripParens(B);
+  if (!A || !B)
+    return A == B;
+  if (A->kind() != B->kind())
+    return false;
+
+  switch (A->kind()) {
+  case StmtKind::IntegerLit:
+    return cast<IntegerLiteral>(A)->value() == cast<IntegerLiteral>(B)->value();
+  case StmtKind::FloatLit:
+    return cast<FloatLiteral>(A)->value() == cast<FloatLiteral>(B)->value();
+  case StmtKind::BoolLit:
+    return cast<BoolLiteral>(A)->value() == cast<BoolLiteral>(B)->value();
+  case StmtKind::StringLit:
+    return cast<StringLiteral>(A)->spelling() ==
+           cast<StringLiteral>(B)->spelling();
+  case StmtKind::DeclRef:
+    return cast<DeclRefExpr>(A)->name() == cast<DeclRefExpr>(B)->name();
+  case StmtKind::Member: {
+    const auto *MA = cast<MemberExpr>(A);
+    const auto *MB = cast<MemberExpr>(B);
+    return MA->member() == MB->member() && MA->isArrow() == MB->isArrow() &&
+           structurallyEqual(MA->base(), MB->base());
+  }
+  case StmtKind::ArraySubscript: {
+    const auto *SA = cast<ArraySubscriptExpr>(A);
+    const auto *SB = cast<ArraySubscriptExpr>(B);
+    return structurallyEqual(SA->base(), SB->base()) &&
+           structurallyEqual(SA->index(), SB->index());
+  }
+  case StmtKind::Call: {
+    const auto *CA = cast<CallExpr>(A);
+    const auto *CB = cast<CallExpr>(B);
+    if (CA->args().size() != CB->args().size())
+      return false;
+    if (!structurallyEqual(CA->callee(), CB->callee()))
+      return false;
+    for (size_t I = 0; I < CA->args().size(); ++I)
+      if (!structurallyEqual(CA->args()[I], CB->args()[I]))
+        return false;
+    return true;
+  }
+  case StmtKind::Unary: {
+    const auto *UA = cast<UnaryOperator>(A);
+    const auto *UB = cast<UnaryOperator>(B);
+    return UA->op() == UB->op() &&
+           structurallyEqual(UA->operand(), UB->operand());
+  }
+  case StmtKind::Binary: {
+    const auto *BA = cast<BinaryOperator>(A);
+    const auto *BB = cast<BinaryOperator>(B);
+    return BA->op() == BB->op() && structurallyEqual(BA->lhs(), BB->lhs()) &&
+           structurallyEqual(BA->rhs(), BB->rhs());
+  }
+  case StmtKind::Conditional: {
+    const auto *CA = cast<ConditionalOperator>(A);
+    const auto *CB = cast<ConditionalOperator>(B);
+    return structurallyEqual(CA->cond(), CB->cond()) &&
+           structurallyEqual(CA->trueExpr(), CB->trueExpr()) &&
+           structurallyEqual(CA->falseExpr(), CB->falseExpr());
+  }
+  case StmtKind::Cast: {
+    const auto *CA = cast<CastExpr>(A);
+    const auto *CB = cast<CastExpr>(B);
+    return CA->type() == CB->type() &&
+           structurallyEqual(CA->operand(), CB->operand());
+  }
+  case StmtKind::SizeofE:
+    return cast<SizeofExpr>(A)->queriedType() ==
+           cast<SizeofExpr>(B)->queriedType();
+  case StmtKind::Launch: {
+    const auto *LA = cast<LaunchExpr>(A);
+    const auto *LB = cast<LaunchExpr>(B);
+    if (LA->kernel() != LB->kernel() ||
+        LA->args().size() != LB->args().size())
+      return false;
+    if (!structurallyEqual(LA->gridDim(), LB->gridDim()) ||
+        !structurallyEqual(LA->blockDim(), LB->blockDim()))
+      return false;
+    if ((LA->sharedMem() == nullptr) != (LB->sharedMem() == nullptr) ||
+        (LA->stream() == nullptr) != (LB->stream() == nullptr))
+      return false;
+    if (LA->sharedMem() && !structurallyEqual(LA->sharedMem(), LB->sharedMem()))
+      return false;
+    if (LA->stream() && !structurallyEqual(LA->stream(), LB->stream()))
+      return false;
+    for (size_t I = 0; I < LA->args().size(); ++I)
+      if (!structurallyEqual(LA->args()[I], LB->args()[I]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool dpo::structurallyEqual(const VarDecl *A, const VarDecl *B) {
+  if (!A || !B)
+    return A == B;
+  if (A->name() != B->name() || !(A->type() == B->type()) ||
+      A->isShared() != B->isShared() ||
+      A->arrayDims().size() != B->arrayDims().size())
+    return false;
+  if ((A->init() == nullptr) != (B->init() == nullptr))
+    return false;
+  if (A->init() && !structurallyEqual(A->init(), B->init()))
+    return false;
+  for (size_t I = 0; I < A->arrayDims().size(); ++I)
+    if (!structurallyEqual(A->arrayDims()[I], B->arrayDims()[I]))
+      return false;
+  return true;
+}
+
+bool dpo::structurallyEqual(const Stmt *A, const Stmt *B) {
+  if (!A || !B)
+    return A == B;
+
+  const auto *EA = dyn_cast<Expr>(A);
+  const auto *EB = dyn_cast<Expr>(B);
+  if ((EA != nullptr) != (EB != nullptr))
+    return false;
+  if (EA)
+    return structurallyEqual(EA, EB);
+
+  if (A->kind() != B->kind())
+    return false;
+
+  switch (A->kind()) {
+  case StmtKind::Compound: {
+    const auto *CA = cast<CompoundStmt>(A);
+    const auto *CB = cast<CompoundStmt>(B);
+    if (CA->body().size() != CB->body().size())
+      return false;
+    for (size_t I = 0; I < CA->body().size(); ++I)
+      if (!structurallyEqual(CA->body()[I], CB->body()[I]))
+        return false;
+    return true;
+  }
+  case StmtKind::DeclS: {
+    const auto *DA = cast<DeclStmt>(A);
+    const auto *DB = cast<DeclStmt>(B);
+    if (DA->decls().size() != DB->decls().size())
+      return false;
+    for (size_t I = 0; I < DA->decls().size(); ++I)
+      if (!structurallyEqual(DA->decls()[I], DB->decls()[I]))
+        return false;
+    return true;
+  }
+  case StmtKind::If: {
+    const auto *IA = cast<IfStmt>(A);
+    const auto *IB = cast<IfStmt>(B);
+    return structurallyEqual(IA->cond(), IB->cond()) &&
+           structurallyEqual(IA->thenStmt(), IB->thenStmt()) &&
+           structurallyEqual(IA->elseStmt(), IB->elseStmt());
+  }
+  case StmtKind::For: {
+    const auto *FA = cast<ForStmt>(A);
+    const auto *FB = cast<ForStmt>(B);
+    return structurallyEqual(FA->init(), FB->init()) &&
+           structurallyEqual(FA->cond(), FB->cond()) &&
+           structurallyEqual(FA->inc(), FB->inc()) &&
+           structurallyEqual(FA->body(), FB->body());
+  }
+  case StmtKind::While: {
+    const auto *WA = cast<WhileStmt>(A);
+    const auto *WB = cast<WhileStmt>(B);
+    return structurallyEqual(WA->cond(), WB->cond()) &&
+           structurallyEqual(WA->body(), WB->body());
+  }
+  case StmtKind::Do: {
+    const auto *DA = cast<DoStmt>(A);
+    const auto *DB = cast<DoStmt>(B);
+    return structurallyEqual(DA->body(), DB->body()) &&
+           structurallyEqual(DA->cond(), DB->cond());
+  }
+  case StmtKind::Return:
+    return structurallyEqual(cast<ReturnStmt>(A)->value(),
+                             cast<ReturnStmt>(B)->value());
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Null:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool dpo::structurallyEqual(const FunctionDecl *A, const FunctionDecl *B) {
+  if (!A || !B)
+    return A == B;
+  const FunctionQualifiers &QA = A->qualifiers();
+  const FunctionQualifiers &QB = B->qualifiers();
+  if (QA.Global != QB.Global || QA.Device != QB.Device || QA.Host != QB.Host)
+    return false;
+  if (A->name() != B->name() || !(A->returnType() == B->returnType()) ||
+      A->params().size() != B->params().size())
+    return false;
+  for (size_t I = 0; I < A->params().size(); ++I)
+    if (!structurallyEqual(A->params()[I], B->params()[I]))
+      return false;
+  if ((A->body() == nullptr) != (B->body() == nullptr))
+    return false;
+  return !A->body() || structurallyEqual(A->body(), B->body());
+}
+
+bool dpo::structurallyEqual(const TranslationUnit *A,
+                            const TranslationUnit *B) {
+  if (A->decls().size() != B->decls().size())
+    return false;
+  for (size_t I = 0; I < A->decls().size(); ++I) {
+    const Decl *DA = A->decls()[I];
+    const Decl *DB = B->decls()[I];
+    if (DA->kind() != DB->kind())
+      return false;
+    switch (DA->kind()) {
+    case DeclKind::Raw:
+      if (cast<RawDecl>(DA)->text() != cast<RawDecl>(DB)->text())
+        return false;
+      break;
+    case DeclKind::Var:
+      if (!structurallyEqual(cast<VarDecl>(DA), cast<VarDecl>(DB)))
+        return false;
+      break;
+    case DeclKind::Function:
+      if (!structurallyEqual(cast<FunctionDecl>(DA), cast<FunctionDecl>(DB)))
+        return false;
+      break;
+    case DeclKind::TranslationUnit:
+      return false;
+    }
+  }
+  return true;
+}

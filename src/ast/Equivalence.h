@@ -1,0 +1,31 @@
+//===--- Equivalence.h - Structural AST comparison ---------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality of AST subtrees, ignoring transparent parentheses
+/// and literal spellings (0x10 == 16). Used by round-trip tests
+/// (parse(print(parse(s))) must equal parse(s)) and by transformation tests
+/// that compare pass output against hand-built expected trees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_EQUIVALENCE_H
+#define DPO_AST_EQUIVALENCE_H
+
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+namespace dpo {
+
+bool structurallyEqual(const Expr *A, const Expr *B);
+bool structurallyEqual(const Stmt *A, const Stmt *B);
+bool structurallyEqual(const VarDecl *A, const VarDecl *B);
+bool structurallyEqual(const FunctionDecl *A, const FunctionDecl *B);
+bool structurallyEqual(const TranslationUnit *A, const TranslationUnit *B);
+
+} // namespace dpo
+
+#endif // DPO_AST_EQUIVALENCE_H

@@ -1,0 +1,575 @@
+//===--- Stmt.h - Statement and expression AST nodes ------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement/expression hierarchy for the CUDA-C subset. Following
+/// Clang, Expr derives from Stmt so expressions can appear directly as
+/// statements. Nodes are allocated and owned by an ASTContext; children are
+/// raw non-owning pointers. Dynamic typing uses the hand-rolled
+/// isa/dyn_cast machinery keyed on StmtKind ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_STMT_H
+#define DPO_AST_STMT_H
+
+#include "ast/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+class VarDecl;
+
+enum class StmtKind : unsigned char {
+  // Statements.
+  Compound,
+  DeclS,
+  If,
+  For,
+  While,
+  Do,
+  Return,
+  Break,
+  Continue,
+  Null,
+  // Expressions (contiguous range; keep FirstExpr/LastExpr in sync).
+  IntegerLit,
+  FloatLit,
+  BoolLit,
+  StringLit,
+  DeclRef,
+  Member,
+  ArraySubscript,
+  Call,
+  Unary,
+  Binary,
+  Conditional,
+  Cast,
+  Paren,
+  SizeofE,
+  Launch,
+};
+
+constexpr StmtKind FirstExprKind = StmtKind::IntegerLit;
+constexpr StmtKind LastExprKind = StmtKind::Launch;
+
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLocation loc() const { return Loc; }
+  void setLoc(SourceLocation L) { Loc = L; }
+
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+
+protected:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+  ~Stmt() = default;
+
+private:
+  StmtKind Kind;
+  SourceLocation Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all expressions. Carries the (parser- or pass-computed)
+/// static type used by the printer and the bytecode compiler.
+class Expr : public Stmt {
+public:
+  const Type &type() const { return Ty; }
+  void setType(Type T) { Ty = std::move(T); }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() >= FirstExprKind && S->kind() <= LastExprKind;
+  }
+
+protected:
+  explicit Expr(StmtKind Kind) : Stmt(Kind) {}
+
+private:
+  Type Ty;
+};
+
+class IntegerLiteral : public Expr {
+public:
+  explicit IntegerLiteral(uint64_t Value, std::string Spelling = "")
+      : Expr(StmtKind::IntegerLit), Value(Value),
+        Spelling(std::move(Spelling)) {
+    setType(Type(BuiltinKind::Int));
+  }
+
+  uint64_t value() const { return Value; }
+
+  /// Verbatim source spelling if this literal came from the parser (so hex
+  /// constants and suffixes survive re-printing); empty for synthesized
+  /// literals.
+  const std::string &spelling() const { return Spelling; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::IntegerLit;
+  }
+
+private:
+  uint64_t Value;
+  std::string Spelling;
+};
+
+class FloatLiteral : public Expr {
+public:
+  explicit FloatLiteral(double Value, std::string Spelling = "")
+      : Expr(StmtKind::FloatLit), Value(Value), Spelling(std::move(Spelling)) {
+    setType(Type(BuiltinKind::Double));
+  }
+
+  double value() const { return Value; }
+  const std::string &spelling() const { return Spelling; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::FloatLit; }
+
+private:
+  double Value;
+  std::string Spelling;
+};
+
+class BoolLiteral : public Expr {
+public:
+  explicit BoolLiteral(bool Value) : Expr(StmtKind::BoolLit), Value(Value) {
+    setType(Type(BuiltinKind::Bool));
+  }
+
+  bool value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+class StringLiteral : public Expr {
+public:
+  /// \p Spelling includes the surrounding quotes.
+  explicit StringLiteral(std::string Spelling)
+      : Expr(StmtKind::StringLit), Spelling(std::move(Spelling)) {
+    setType(Type(BuiltinKind::Char, /*PointerDepth=*/1, /*IsConst=*/true));
+  }
+
+  const std::string &spelling() const { return Spelling; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::StringLit;
+  }
+
+private:
+  std::string Spelling;
+};
+
+/// A use of a named entity. Our subset resolves names lazily (analyses look
+/// names up in scope maps), so this only stores the identifier.
+class DeclRefExpr : public Expr {
+public:
+  explicit DeclRefExpr(std::string Name)
+      : Expr(StmtKind::DeclRef), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DeclRef; }
+
+private:
+  std::string Name;
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(Expr *Base, std::string Member, bool IsArrow)
+      : Expr(StmtKind::Member), Base(Base), Member(std::move(Member)),
+        IsArrow(IsArrow) {}
+
+  Expr *base() const { return Base; }
+  Expr *&baseSlot() { return Base; }
+  const std::string &member() const { return Member; }
+  bool isArrow() const { return IsArrow; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Member; }
+
+private:
+  Expr *Base;
+  std::string Member;
+  bool IsArrow;
+};
+
+class ArraySubscriptExpr : public Expr {
+public:
+  ArraySubscriptExpr(Expr *Base, Expr *Index)
+      : Expr(StmtKind::ArraySubscript), Base(Base), Index(Index) {}
+
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+  Expr *&baseSlot() { return Base; }
+  Expr *&indexSlot() { return Index; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ArraySubscript;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(Expr *Callee, std::vector<Expr *> Args)
+      : Expr(StmtKind::Call), Callee(Callee), Args(std::move(Args)) {}
+
+  Expr *callee() const { return Callee; }
+  Expr *&calleeSlot() { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+  std::vector<Expr *> &args() { return Args; }
+
+  /// Callee name if the callee is a plain identifier, else empty.
+  std::string calleeName() const;
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+enum class UnaryOpKind : unsigned char {
+  Plus,
+  Minus,
+  Not,    ///< logical !
+  BitNot, ///< ~
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+  Deref,
+  AddrOf,
+};
+
+class UnaryOperator : public Expr {
+public:
+  UnaryOperator(UnaryOpKind Op, Expr *Operand)
+      : Expr(StmtKind::Unary), Op(Op), Operand(Operand) {}
+
+  UnaryOpKind op() const { return Op; }
+  Expr *operand() const { return Operand; }
+  Expr *&operandSlot() { return Operand; }
+
+  bool isPostfix() const {
+    return Op == UnaryOpKind::PostInc || Op == UnaryOpKind::PostDec;
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  Expr *Operand;
+};
+
+enum class BinaryOpKind : unsigned char {
+  Mul, Div, Rem,
+  Add, Sub,
+  Shl, Shr,
+  LT, GT, LE, GE,
+  EQ, NE,
+  BitAnd, BitXor, BitOr,
+  LAnd, LOr,
+  Assign, MulAssign, DivAssign, RemAssign, AddAssign, SubAssign, ShlAssign,
+  ShrAssign, AndAssign, XorAssign, OrAssign,
+  Comma,
+};
+
+/// True for `=` and all compound assignments.
+bool isAssignmentOp(BinaryOpKind Op);
+
+/// For compound assignments, the underlying arithmetic op (`+=` -> Add).
+BinaryOpKind compoundAssignBaseOp(BinaryOpKind Op);
+
+class BinaryOperator : public Expr {
+public:
+  BinaryOperator(BinaryOpKind Op, Expr *LHS, Expr *RHS)
+      : Expr(StmtKind::Binary), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOpKind op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+  Expr *&lhsSlot() { return LHS; }
+  Expr *&rhsSlot() { return RHS; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class ConditionalOperator : public Expr {
+public:
+  ConditionalOperator(Expr *Cond, Expr *TrueExpr, Expr *FalseExpr)
+      : Expr(StmtKind::Conditional), Cond(Cond), TrueExpr(TrueExpr),
+        FalseExpr(FalseExpr) {}
+
+  Expr *cond() const { return Cond; }
+  Expr *trueExpr() const { return TrueExpr; }
+  Expr *falseExpr() const { return FalseExpr; }
+  Expr *&condSlot() { return Cond; }
+  Expr *&trueSlot() { return TrueExpr; }
+  Expr *&falseSlot() { return FalseExpr; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueExpr;
+  Expr *FalseExpr;
+};
+
+/// A C-style cast `(float)x`.
+class CastExpr : public Expr {
+public:
+  CastExpr(Type TargetType, Expr *Operand)
+      : Expr(StmtKind::Cast), Operand(Operand) {
+    setType(std::move(TargetType));
+  }
+
+  Expr *operand() const { return Operand; }
+  Expr *&operandSlot() { return Operand; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Cast; }
+
+private:
+  Expr *Operand;
+};
+
+class ParenExpr : public Expr {
+public:
+  explicit ParenExpr(Expr *Inner) : Expr(StmtKind::Paren), Inner(Inner) {}
+
+  Expr *inner() const { return Inner; }
+  Expr *&innerSlot() { return Inner; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Paren; }
+
+private:
+  Expr *Inner;
+};
+
+/// `sizeof(type)` or `sizeof expr`; we only need the type form.
+class SizeofExpr : public Expr {
+public:
+  explicit SizeofExpr(Type Queried)
+      : Expr(StmtKind::SizeofE), Queried(std::move(Queried)) {
+    setType(Type(BuiltinKind::ULong));
+  }
+
+  const Type &queriedType() const { return Queried; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::SizeofE; }
+
+private:
+  Type Queried;
+};
+
+/// A dynamic-parallelism kernel launch `kernel<<<grid, block[, smem[,
+/// stream]]>>>(args)`. CUDA treats this as an expression of type void; so do
+/// we, which lets it appear as an expression statement.
+class LaunchExpr : public Expr {
+public:
+  LaunchExpr(std::string Kernel, Expr *GridDim, Expr *BlockDim, Expr *SharedMem,
+             Expr *Stream, std::vector<Expr *> Args)
+      : Expr(StmtKind::Launch), Kernel(std::move(Kernel)), GridDim(GridDim),
+        BlockDim(BlockDim), SharedMem(SharedMem), Stream(Stream),
+        Args(std::move(Args)) {
+    setType(Type(BuiltinKind::Void));
+  }
+
+  const std::string &kernel() const { return Kernel; }
+  void setKernel(std::string K) { Kernel = std::move(K); }
+  Expr *gridDim() const { return GridDim; }
+  Expr *blockDim() const { return BlockDim; }
+  Expr *sharedMem() const { return SharedMem; }
+  Expr *stream() const { return Stream; }
+  Expr *&gridDimSlot() { return GridDim; }
+  Expr *&blockDimSlot() { return BlockDim; }
+  Expr *&sharedMemSlot() { return SharedMem; }
+  Expr *&streamSlot() { return Stream; }
+  const std::vector<Expr *> &args() const { return Args; }
+  std::vector<Expr *> &args() { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Launch; }
+
+private:
+  std::string Kernel;
+  Expr *GridDim;
+  Expr *BlockDim;
+  Expr *SharedMem; ///< May be null.
+  Expr *Stream;    ///< May be null.
+  std::vector<Expr *> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class CompoundStmt : public Stmt {
+public:
+  explicit CompoundStmt(std::vector<Stmt *> Body = {})
+      : Stmt(StmtKind::Compound), Body(std::move(Body)) {}
+
+  const std::vector<Stmt *> &body() const { return Body; }
+  std::vector<Stmt *> &body() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Compound; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// A declaration statement. Multi-declarator statements (`int a, b;`) keep
+/// all declarators together so they re-print naturally.
+class DeclStmt : public Stmt {
+public:
+  explicit DeclStmt(std::vector<VarDecl *> Decls)
+      : Stmt(StmtKind::DeclS), Decls(std::move(Decls)) {}
+
+  const std::vector<VarDecl *> &decls() const { return Decls; }
+  std::vector<VarDecl *> &decls() { return Decls; }
+  VarDecl *singleDecl() const {
+    return Decls.size() == 1 ? Decls.front() : nullptr;
+  }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::DeclS; }
+
+private:
+  std::vector<VarDecl *> Decls;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If), Cond(Cond), Then(Then), Else(Else) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+  Expr *&condSlot() { return Cond; }
+  Stmt *&thenSlot() { return Then; }
+  Stmt *&elseSlot() { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; ///< May be null.
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body)
+      : Stmt(StmtKind::For), Init(Init), Cond(Cond), Inc(Inc), Body(Body) {}
+
+  Stmt *init() const { return Init; } ///< DeclStmt, Expr, or null.
+  Expr *cond() const { return Cond; } ///< May be null.
+  Expr *inc() const { return Inc; }   ///< May be null.
+  Stmt *body() const { return Body; }
+  Stmt *&initSlot() { return Init; }
+  Expr *&condSlot() { return Cond; }
+  Expr *&incSlot() { return Inc; }
+  Stmt *&bodySlot() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While), Cond(Cond), Body(Body) {}
+
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  Expr *&condSlot() { return Cond; }
+  Stmt *&bodySlot() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(Stmt *Body, Expr *Cond)
+      : Stmt(StmtKind::Do), Body(Body), Cond(Cond) {}
+
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+  Stmt *&bodySlot() { return Body; }
+  Expr *&condSlot() { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Do; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(Expr *Value) : Stmt(StmtKind::Return), Value(Value) {}
+
+  Expr *value() const { return Value; } ///< May be null.
+  Expr *&valueSlot() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Continue; }
+};
+
+class NullStmt : public Stmt {
+public:
+  NullStmt() : Stmt(StmtKind::Null) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Null; }
+};
+
+} // namespace dpo
+
+#endif // DPO_AST_STMT_H

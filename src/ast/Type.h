@@ -1,0 +1,142 @@
+//===--- Type.h - Value-semantics type representation ----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types in the CUDA-C subset. A source-to-source tool needs just enough
+/// type structure to re-print declarations faithfully and to drive the
+/// bytecode compiler's int/float decisions, so Type is a small value type:
+/// a builtin (or named struct) kind, a pointer depth, and qualifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_TYPE_H
+#define DPO_AST_TYPE_H
+
+#include <string>
+
+namespace dpo {
+
+enum class BuiltinKind : unsigned char {
+  Void,
+  Bool,
+  Char,
+  Short,
+  Int,
+  Long,
+  LongLong,
+  UChar,
+  UShort,
+  UInt,
+  ULong,
+  ULongLong,
+  Float,
+  Double,
+  Dim3,  ///< CUDA's dim3 (three unsigned components x, y, z).
+  Named, ///< A struct or typedef we treat opaquely.
+};
+
+class Type {
+public:
+  Type() = default;
+  explicit Type(BuiltinKind Kind, unsigned PointerDepth = 0,
+                bool IsConst = false)
+      : Kind(Kind), PointerDepth(PointerDepth), IsConst(IsConst) {}
+
+  static Type named(std::string Name, unsigned PointerDepth = 0) {
+    Type T(BuiltinKind::Named, PointerDepth);
+    T.Name = std::move(Name);
+    return T;
+  }
+
+  BuiltinKind kind() const { return Kind; }
+  unsigned pointerDepth() const { return PointerDepth; }
+  bool isConst() const { return IsConst; }
+  bool isRestrict() const { return IsRestrict; }
+  const std::string &name() const { return Name; }
+
+  void setConst(bool V) { IsConst = V; }
+  void setRestrict(bool V) { IsRestrict = V; }
+
+  bool isPointer() const { return PointerDepth > 0; }
+  bool isVoid() const { return Kind == BuiltinKind::Void && !isPointer(); }
+  bool isDim3() const { return Kind == BuiltinKind::Dim3 && !isPointer(); }
+
+  bool isFloating() const {
+    return !isPointer() &&
+           (Kind == BuiltinKind::Float || Kind == BuiltinKind::Double);
+  }
+
+  bool isInteger() const {
+    if (isPointer())
+      return false;
+    switch (Kind) {
+    case BuiltinKind::Bool:
+    case BuiltinKind::Char:
+    case BuiltinKind::Short:
+    case BuiltinKind::Int:
+    case BuiltinKind::Long:
+    case BuiltinKind::LongLong:
+    case BuiltinKind::UChar:
+    case BuiltinKind::UShort:
+    case BuiltinKind::UInt:
+    case BuiltinKind::ULong:
+    case BuiltinKind::ULongLong:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool isUnsigned() const {
+    switch (Kind) {
+    case BuiltinKind::UChar:
+    case BuiltinKind::UShort:
+    case BuiltinKind::UInt:
+    case BuiltinKind::ULong:
+    case BuiltinKind::ULongLong:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Type of the object a pointer points at; no-op on non-pointers.
+  Type pointee() const {
+    Type T = *this;
+    if (T.PointerDepth > 0)
+      --T.PointerDepth;
+    return T;
+  }
+
+  Type pointerTo() const {
+    Type T = *this;
+    ++T.PointerDepth;
+    return T;
+  }
+
+  /// Size in bytes of a scalar of this type in device memory. Pointers are
+  /// 8 bytes; dim3 is 12 (three 32-bit components).
+  unsigned storeSizeBytes() const;
+
+  /// Renders the type as C source, e.g. "const unsigned int *".
+  std::string str() const;
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.Kind == B.Kind && A.PointerDepth == B.PointerDepth &&
+           A.IsConst == B.IsConst && A.Name == B.Name;
+  }
+
+private:
+  BuiltinKind Kind = BuiltinKind::Int;
+  unsigned PointerDepth = 0;
+  bool IsConst = false;
+  bool IsRestrict = false;
+  std::string Name; ///< Only for BuiltinKind::Named.
+};
+
+} // namespace dpo
+
+#endif // DPO_AST_TYPE_H

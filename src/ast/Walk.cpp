@@ -1,0 +1,214 @@
+//===--- Walk.cpp -----------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Walk.h"
+
+#include "support/Casting.h"
+
+using namespace dpo;
+
+namespace {
+
+/// Enumerates every direct child slot of a statement. Expression slots and
+/// statement slots are reported through separate callbacks so rewriters can
+/// keep the Expr/Stmt typing.
+struct SlotVisitor {
+  std::function<void(Expr *&)> ExprSlot;
+  std::function<void(Stmt *&)> StmtSlot;
+
+  void visitChildren(Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Compound:
+      for (Stmt *&Child : cast<CompoundStmt>(S)->body())
+        stmt(Child);
+      return;
+    case StmtKind::DeclS:
+      for (VarDecl *D : cast<DeclStmt>(S)->decls()) {
+        if (D->initSlot())
+          expr(D->initSlot());
+        for (Expr *&Dim : D->arrayDims())
+          expr(Dim);
+      }
+      return;
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      expr(If->condSlot());
+      stmt(If->thenSlot());
+      if (If->elseSlot())
+        stmt(If->elseSlot());
+      return;
+    }
+    case StmtKind::For: {
+      auto *For = cast<ForStmt>(S);
+      if (For->initSlot())
+        stmt(For->initSlot());
+      if (For->condSlot())
+        expr(For->condSlot());
+      if (For->incSlot())
+        expr(For->incSlot());
+      stmt(For->bodySlot());
+      return;
+    }
+    case StmtKind::While: {
+      auto *While = cast<WhileStmt>(S);
+      expr(While->condSlot());
+      stmt(While->bodySlot());
+      return;
+    }
+    case StmtKind::Do: {
+      auto *Do = cast<DoStmt>(S);
+      stmt(Do->bodySlot());
+      expr(Do->condSlot());
+      return;
+    }
+    case StmtKind::Return: {
+      auto *Ret = cast<ReturnStmt>(S);
+      if (Ret->valueSlot())
+        expr(Ret->valueSlot());
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Null:
+      return;
+    case StmtKind::IntegerLit:
+    case StmtKind::FloatLit:
+    case StmtKind::BoolLit:
+    case StmtKind::StringLit:
+    case StmtKind::DeclRef:
+    case StmtKind::SizeofE:
+      return;
+    case StmtKind::Member:
+      expr(cast<MemberExpr>(S)->baseSlot());
+      return;
+    case StmtKind::ArraySubscript: {
+      auto *Sub = cast<ArraySubscriptExpr>(S);
+      expr(Sub->baseSlot());
+      expr(Sub->indexSlot());
+      return;
+    }
+    case StmtKind::Call: {
+      auto *Call = cast<CallExpr>(S);
+      expr(Call->calleeSlot());
+      for (Expr *&Arg : Call->args())
+        expr(Arg);
+      return;
+    }
+    case StmtKind::Unary:
+      expr(cast<UnaryOperator>(S)->operandSlot());
+      return;
+    case StmtKind::Binary: {
+      auto *Bin = cast<BinaryOperator>(S);
+      expr(Bin->lhsSlot());
+      expr(Bin->rhsSlot());
+      return;
+    }
+    case StmtKind::Conditional: {
+      auto *Cond = cast<ConditionalOperator>(S);
+      expr(Cond->condSlot());
+      expr(Cond->trueSlot());
+      expr(Cond->falseSlot());
+      return;
+    }
+    case StmtKind::Cast:
+      expr(cast<CastExpr>(S)->operandSlot());
+      return;
+    case StmtKind::Paren:
+      expr(cast<ParenExpr>(S)->innerSlot());
+      return;
+    case StmtKind::Launch: {
+      auto *Launch = cast<LaunchExpr>(S);
+      expr(Launch->gridDimSlot());
+      expr(Launch->blockDimSlot());
+      if (Launch->sharedMemSlot())
+        expr(Launch->sharedMemSlot());
+      if (Launch->streamSlot())
+        expr(Launch->streamSlot());
+      for (Expr *&Arg : Launch->args())
+        expr(Arg);
+      return;
+    }
+    }
+  }
+
+private:
+  void expr(Expr *&Slot) {
+    if (ExprSlot)
+      ExprSlot(Slot);
+  }
+  void stmt(Stmt *&Slot) {
+    if (StmtSlot)
+      StmtSlot(Slot);
+  }
+};
+
+} // namespace
+
+void dpo::forEachStmt(Stmt *S, const std::function<void(Stmt *)> &Fn) {
+  if (!S)
+    return;
+  Fn(S);
+  SlotVisitor V;
+  V.ExprSlot = [&](Expr *&Child) { forEachStmt(Child, Fn); };
+  V.StmtSlot = [&](Stmt *&Child) { forEachStmt(Child, Fn); };
+  V.visitChildren(S);
+}
+
+void dpo::forEachExpr(Stmt *S, const std::function<void(Expr *)> &Fn) {
+  forEachStmt(S, [&](Stmt *Node) {
+    if (auto *E = dyn_cast<Expr>(Node))
+      Fn(E);
+  });
+}
+
+void dpo::forEachStmt(const Stmt *S,
+                      const std::function<void(const Stmt *)> &Fn) {
+  forEachStmt(const_cast<Stmt *>(S),
+              [&](Stmt *Node) { Fn(static_cast<const Stmt *>(Node)); });
+}
+
+void dpo::forEachExpr(const Stmt *S,
+                      const std::function<void(const Expr *)> &Fn) {
+  forEachExpr(const_cast<Stmt *>(S),
+              [&](Expr *Node) { Fn(static_cast<const Expr *>(Node)); });
+}
+
+void dpo::rewriteExprSlot(Expr *&Slot,
+                          const std::function<Expr *(Expr *)> &Fn) {
+  if (!Slot)
+    return;
+  SlotVisitor V;
+  V.ExprSlot = [&](Expr *&Child) { rewriteExprSlot(Child, Fn); };
+  V.StmtSlot = [&](Stmt *&Child) { rewriteExprs(Child, Fn); };
+  V.visitChildren(Slot);
+  if (Expr *Replacement = Fn(Slot))
+    Slot = Replacement;
+}
+
+void dpo::rewriteExprs(Stmt *Root, const std::function<Expr *(Expr *)> &Fn) {
+  if (!Root)
+    return;
+  // When the root is itself an expression we cannot replace the caller's
+  // pointer, but we can rewrite everything below it.
+  SlotVisitor V;
+  V.ExprSlot = [&](Expr *&Child) { rewriteExprSlot(Child, Fn); };
+  V.StmtSlot = [&](Stmt *&Child) { rewriteExprs(Child, Fn); };
+  V.visitChildren(Root);
+}
+
+void dpo::rewriteStmts(Stmt *Root, const std::function<Stmt *(Stmt *)> &Fn) {
+  if (!Root)
+    return;
+  SlotVisitor V;
+  V.StmtSlot = [&](Stmt *&Child) {
+    rewriteStmts(Child, Fn);
+    if (Stmt *Replacement = Fn(Child))
+      Child = Replacement;
+  };
+  // Expressions nested inside other expressions are not statement positions;
+  // do not descend through ExprSlot.
+  V.visitChildren(Root);
+}

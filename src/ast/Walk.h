@@ -1,0 +1,59 @@
+//===--- Walk.h - AST traversal and in-place rewriting ----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traversal helpers used by analyses and passes. Two families:
+///
+///  - forEachStmt / forEachExpr: read-only pre-order walks.
+///  - rewriteExprs / rewriteStmts: bottom-up rewrites that can replace any
+///    expression (or statement) slot in place.
+///
+/// Walks descend into DeclStmt initializers and array dimensions, and into
+/// every launch-expression operand (grid/block dims, shared-mem, stream,
+/// arguments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_AST_WALK_H
+#define DPO_AST_WALK_H
+
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+#include <functional>
+
+namespace dpo {
+
+/// Pre-order visit of \p S and every statement/expression below it.
+void forEachStmt(Stmt *S, const std::function<void(Stmt *)> &Fn);
+
+/// Pre-order visit of every expression below (and including, if applicable)
+/// \p S.
+void forEachExpr(Stmt *S, const std::function<void(Expr *)> &Fn);
+
+/// Const overloads.
+void forEachStmt(const Stmt *S, const std::function<void(const Stmt *)> &Fn);
+void forEachExpr(const Stmt *S, const std::function<void(const Expr *)> &Fn);
+
+/// Bottom-up expression rewrite. For every expression slot in the tree under
+/// \p Root (children first), calls \p Fn; a non-null result replaces the
+/// slot. Returning null keeps the existing node. When \p Root itself is an
+/// expression, the caller's pointer cannot be rewritten; use the slot-based
+/// overload for that.
+void rewriteExprs(Stmt *Root, const std::function<Expr *(Expr *)> &Fn);
+
+/// Slot-based variant that can also replace the root expression.
+void rewriteExprSlot(Expr *&Slot, const std::function<Expr *(Expr *)> &Fn);
+
+/// Bottom-up statement rewrite: visits every statement slot (compound-body
+/// entries, if/else branches, loop bodies) under \p Root, children first.
+/// A non-null result from \p Fn replaces the slot. Expressions used as
+/// statements are visited too (they are statements).
+void rewriteStmts(Stmt *Root, const std::function<Stmt *(Stmt *)> &Fn);
+
+} // namespace dpo
+
+#endif // DPO_AST_WALK_H

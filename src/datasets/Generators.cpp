@@ -1,0 +1,155 @@
+//===--- Generators.cpp -------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+using namespace dpo;
+
+CsrGraph dpo::makeKronGraph(unsigned ScaleLog2, double EdgeFactor,
+                            uint64_t Seed) {
+  const uint32_t N = 1u << ScaleLog2;
+  const uint64_t M = (uint64_t)(N * EdgeFactor);
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+
+  // RMAT quadrant probabilities (Graph500 kron parameters).
+  const double A = 0.57, B = 0.19, C = 0.19;
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  Edges.reserve(M);
+  for (uint64_t E = 0; E < M; ++E) {
+    uint32_t Src = 0, Dst = 0;
+    for (unsigned Level = 0; Level < ScaleLog2; ++Level) {
+      double R = U(Rng);
+      unsigned Quadrant = R < A           ? 0
+                          : R < A + B     ? 1
+                          : R < A + B + C ? 2
+                                          : 3;
+      Src = (Src << 1) | (Quadrant >> 1);
+      Dst = (Dst << 1) | (Quadrant & 1);
+    }
+    Edges.push_back({Src, Dst});
+  }
+  return CsrGraph::fromEdges(N, std::move(Edges), /*Symmetrize=*/true,
+                             /*MaxWeight=*/64, Seed);
+}
+
+CsrGraph dpo::makeWebGraph(uint32_t NumVertices, double AvgDegree,
+                           uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  // Lognormal out-degrees, clipped; web graphs have a heavy tail plus
+  // strong locality (most links stay within a "site" neighborhood).
+  std::lognormal_distribution<double> DegDist(std::log(AvgDegree * 0.45), 1.1);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  std::normal_distribution<double> Near(0.0, 2000.0);
+
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  Edges.reserve((size_t)(NumVertices * AvgDegree / 2 * 1.1));
+  uint64_t Budget = (uint64_t)(NumVertices * AvgDegree / 2);
+  for (uint32_t V = 0; V < NumVertices && Edges.size() < Budget; ++V) {
+    unsigned Degree = (unsigned)std::min(DegDist(Rng), 2500.0);
+    for (unsigned E = 0; E < Degree; ++E) {
+      uint32_t Target;
+      if (U(Rng) < 0.8) {
+        int64_t Offset = (int64_t)Near(Rng);
+        int64_t T = (int64_t)V + (Offset == 0 ? 1 : Offset);
+        Target = (uint32_t)((T % NumVertices + NumVertices) % NumVertices);
+      } else {
+        Target = (uint32_t)(Rng() % NumVertices);
+      }
+      if (Target != V)
+        Edges.push_back({V, Target});
+    }
+  }
+  return CsrGraph::fromEdges(NumVertices, std::move(Edges),
+                             /*Symmetrize=*/true, /*MaxWeight=*/64, Seed);
+}
+
+CsrGraph dpo::makeRoadGraph(uint32_t Side, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  auto Id = [Side](uint32_t X, uint32_t Y) { return Y * Side + X; };
+
+  // 2-D lattice with ~25% of the street segments removed: average degree
+  // about 3, maximum 4 from the lattice plus a few diagonal "highways"
+  // (degree can reach 8 but no more).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t Y = 0; Y < Side; ++Y)
+    for (uint32_t X = 0; X < Side; ++X) {
+      if (X + 1 < Side && U(Rng) > 0.25)
+        Edges.push_back({Id(X, Y), Id(X + 1, Y)});
+      if (Y + 1 < Side && U(Rng) > 0.25)
+        Edges.push_back({Id(X, Y), Id(X, Y + 1)});
+      if (X + 1 < Side && Y + 1 < Side && U(Rng) < 0.005)
+        Edges.push_back({Id(X, Y), Id(X + 1, Y + 1)});
+    }
+  return CsrGraph::fromEdges(Side * Side, std::move(Edges),
+                             /*Symmetrize=*/true, /*MaxWeight=*/64, Seed);
+}
+
+SatFormula dpo::makeRandomKSat(uint32_t NumVars, uint32_t NumClauses,
+                               uint32_t K, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  SatFormula F;
+  F.NumVars = NumVars;
+  F.K = K;
+  F.ClauseLits.reserve((size_t)NumClauses * K);
+  std::vector<uint32_t> Vars(K);
+  for (uint32_t C = 0; C < NumClauses; ++C) {
+    // K distinct variables per clause.
+    for (uint32_t I = 0; I < K; ++I) {
+      bool Fresh = false;
+      while (!Fresh) {
+        Vars[I] = (uint32_t)(Rng() % NumVars);
+        Fresh = true;
+        for (uint32_t J = 0; J < I; ++J)
+          if (Vars[J] == Vars[I])
+            Fresh = false;
+      }
+      uint32_t Negated = (uint32_t)(Rng() & 1);
+      F.ClauseLits.push_back(Vars[I] * 2 + Negated);
+    }
+  }
+
+  // Occurrence CSR.
+  F.OccRowPtr.assign(NumVars + 1, 0);
+  for (uint32_t L : F.ClauseLits)
+    ++F.OccRowPtr[L / 2 + 1];
+  for (uint32_t V = 0; V < NumVars; ++V)
+    F.OccRowPtr[V + 1] += F.OccRowPtr[V];
+  F.OccClause.resize(F.ClauseLits.size());
+  std::vector<uint32_t> Cursor(F.OccRowPtr.begin(), F.OccRowPtr.end() - 1);
+  for (uint32_t I = 0; I < F.ClauseLits.size(); ++I)
+    F.OccClause[Cursor[F.ClauseLits[I] / 2]++] = I / K;
+  return F;
+}
+
+BezierDataset dpo::makeBezierLines(uint32_t NumLines, uint32_t MaxTessellation,
+                                   double CurvatureScale, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<float> Coord(0.0f, 1000.0f);
+  BezierDataset D;
+  D.MaxTessellation = MaxTessellation;
+  D.Lines.resize(NumLines);
+  for (BezierLine &L : D.Lines) {
+    L.P0 = {Coord(Rng), Coord(Rng)};
+    L.P1 = {Coord(Rng), Coord(Rng)};
+    L.P2 = {Coord(Rng), Coord(Rng)};
+    // Curvature proxy: deviation of the control point from the chord
+    // (matches the CUDA sample's computeCurvature idea).
+    float Mx = (L.P0[0] + L.P2[0]) * 0.5f;
+    float My = (L.P0[1] + L.P2[1]) * 0.5f;
+    float Dev = std::sqrt((L.P1[0] - Mx) * (L.P1[0] - Mx) +
+                          (L.P1[1] - My) * (L.P1[1] - My));
+    double Tess = Dev / 1000.0 * CurvatureScale * MaxTessellation;
+    L.Tessellation =
+        (uint32_t)std::clamp<double>(Tess, 4.0, (double)MaxTessellation);
+  }
+  return D;
+}

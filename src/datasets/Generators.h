@@ -1,0 +1,85 @@
+//===--- Generators.h - Synthetic stand-ins for the Table I datasets ----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators approximating the paper's datasets (Table I).
+/// The performance story depends on sizes and degree distributions, which
+/// these match at the cited scales:
+///
+///   KRON        kron_g500-simple-logn16: 65,536 vertices, ~2.4M edges,
+///               power-law (RMAT a=.57 b=.19 c=.19 d=.05)
+///   CNR         cnr-2000 web graph: 325,557 vertices, ~2.7M edges,
+///               lognormal out-degrees with link locality
+///   ROAD_NY     USA-road-d.NY: 264,346 vertices, ~730k arcs, avg degree 3,
+///               max degree 8 (grid-like, low nested parallelism)
+///   RAND-3      random 3-SAT, 10,000 variables, 42,000 clauses
+///   5-SAT       satisfiable 5-SAT, 117,296 literals (23,459 clauses)
+///   T0032-C16 / T2048-C64  Bezier line sets: 20,000 lines, max
+///               tessellation 32 (curvature 16) / 2048 (curvature 64)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_DATASETS_GENERATORS_H
+#define DPO_DATASETS_GENERATORS_H
+
+#include "datasets/Graph.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dpo {
+
+/// RMAT/Kronecker power-law graph (KRON stand-in).
+CsrGraph makeKronGraph(unsigned ScaleLog2 = 16, double EdgeFactor = 18.7,
+                       uint64_t Seed = 0x5eed);
+
+/// Web-crawl-like graph with lognormal degrees and locality (CNR stand-in).
+CsrGraph makeWebGraph(uint32_t NumVertices = 325557, double AvgDegree = 8.4,
+                      uint64_t Seed = 0xc0ffee);
+
+/// Road-network-like grid graph: average degree ~3, max degree <= 8
+/// (USA-road-d.NY stand-in).
+CsrGraph makeRoadGraph(uint32_t Side = 514, uint64_t Seed = 0x40ad);
+
+/// A k-SAT formula in clause and occurrence (variable -> clauses) form.
+struct SatFormula {
+  uint32_t NumVars = 0;
+  uint32_t K = 3;
+  /// Clause literals: variable index with sign bit (var*2 + negated).
+  std::vector<uint32_t> ClauseLits; ///< NumClauses * K.
+  uint32_t numClauses() const { return ClauseLits.size() / K; }
+
+  /// Occurrence CSR: for each variable, the clauses containing it.
+  std::vector<uint32_t> OccRowPtr;
+  std::vector<uint32_t> OccClause;
+  uint32_t occurrences(uint32_t Var) const {
+    return OccRowPtr[Var + 1] - OccRowPtr[Var];
+  }
+};
+
+/// Uniform random k-SAT (RAND-3 / 5-SAT stand-ins).
+SatFormula makeRandomKSat(uint32_t NumVars, uint32_t NumClauses, uint32_t K,
+                          uint64_t Seed = 0x5a7);
+
+/// Bezier tessellation input: quadratic curves with a per-line tessellation
+/// factor derived from curvature, clamped to [4, MaxTessellation].
+struct BezierLine {
+  std::array<float, 2> P0, P1, P2;
+  uint32_t Tessellation = 0;
+};
+
+struct BezierDataset {
+  std::vector<BezierLine> Lines;
+  uint32_t MaxTessellation = 32;
+};
+
+BezierDataset makeBezierLines(uint32_t NumLines, uint32_t MaxTessellation,
+                              double CurvatureScale, uint64_t Seed = 0xbe21e5);
+
+} // namespace dpo
+
+#endif // DPO_DATASETS_GENERATORS_H

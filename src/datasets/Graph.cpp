@@ -1,0 +1,73 @@
+//===--- Graph.cpp ------------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+using namespace dpo;
+
+CsrGraph CsrGraph::fromEdges(uint32_t NumVertices,
+                             std::vector<std::pair<uint32_t, uint32_t>> Edges,
+                             bool Symmetrize, uint32_t MaxWeight,
+                             uint64_t WeightSeed) {
+  if (Symmetrize) {
+    size_t Original = Edges.size();
+    Edges.reserve(Original * 2);
+    for (size_t I = 0; I < Original; ++I)
+      Edges.push_back({Edges[I].second, Edges[I].first});
+  }
+  // Dedup self-loops and duplicates for a clean CSR.
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                             [](const auto &E) { return E.first == E.second; }),
+              Edges.end());
+
+  CsrGraph G;
+  G.NumVertices = NumVertices;
+  G.RowPtr.assign(NumVertices + 1, 0);
+  for (const auto &[U, V] : Edges) {
+    assert(U < NumVertices && V < NumVertices && "edge endpoint out of range");
+    ++G.RowPtr[U + 1];
+  }
+  for (uint32_t V = 0; V < NumVertices; ++V)
+    G.RowPtr[V + 1] += G.RowPtr[V];
+  G.Col.resize(Edges.size());
+  std::vector<uint32_t> Cursor(G.RowPtr.begin(), G.RowPtr.end() - 1);
+  for (const auto &[U, V] : Edges)
+    G.Col[Cursor[U]++] = V;
+
+  if (MaxWeight > 0) {
+    G.Weight.resize(G.Col.size());
+    std::mt19937_64 Rng(WeightSeed);
+    std::uniform_int_distribution<uint32_t> Dist(1, MaxWeight);
+    for (size_t I = 0; I < G.Col.size(); ++I)
+      G.Weight[I] = Dist(Rng);
+    // Symmetric weights: make w(u,v) == w(v,u) by hashing the endpoints.
+    for (uint32_t U = 0; U < NumVertices; ++U)
+      for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E) {
+        uint32_t V = G.Col[E];
+        uint64_t A = std::min(U, V), B = std::max(U, V);
+        uint64_t H = (A * 0x9E3779B97F4A7C15ull) ^ (B * 0xC2B2AE3D27D4EB4Full);
+        G.Weight[E] = 1 + (uint32_t)(H % MaxWeight);
+      }
+  }
+  return G;
+}
+
+CsrGraph CsrGraph::headSubgraph(uint32_t Count) const {
+  Count = std::min(Count, NumVertices);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t U = 0; U < Count; ++U)
+    for (uint32_t E = RowPtr[U]; E < RowPtr[U + 1]; ++E)
+      if (Col[E] < Count)
+        Edges.push_back({U, Col[E]});
+  return fromEdges(Count, std::move(Edges), /*Symmetrize=*/false,
+                   Weight.empty() ? 0 : 64);
+}

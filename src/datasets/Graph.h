@@ -1,0 +1,51 @@
+//===--- Graph.h - CSR graphs for the workload suite --------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_DATASETS_GRAPH_H
+#define DPO_DATASETS_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpo {
+
+/// A directed graph in compressed sparse row form (undirected graphs store
+/// both arc directions). Edge weights are optional (SSSP/MST use them).
+struct CsrGraph {
+  uint32_t NumVertices = 0;
+  std::vector<uint32_t> RowPtr; ///< Size NumVertices + 1.
+  std::vector<uint32_t> Col;
+  std::vector<uint32_t> Weight; ///< Empty or parallel to Col.
+
+  uint64_t numEdges() const { return Col.size(); }
+  uint32_t degree(uint32_t V) const { return RowPtr[V + 1] - RowPtr[V]; }
+
+  double avgDegree() const {
+    return NumVertices ? (double)numEdges() / NumVertices : 0;
+  }
+  uint32_t maxDegree() const {
+    uint32_t Max = 0;
+    for (uint32_t V = 0; V < NumVertices; ++V)
+      Max = std::max(Max, degree(V));
+    return Max;
+  }
+
+  /// Builds CSR from an edge list; optionally adds the reverse arcs and
+  /// assigns deterministic pseudo-random weights in [1, MaxWeight].
+  static CsrGraph fromEdges(uint32_t NumVertices,
+                            std::vector<std::pair<uint32_t, uint32_t>> Edges,
+                            bool Symmetrize, uint32_t MaxWeight = 0,
+                            uint64_t WeightSeed = 1);
+
+  /// The induced subgraph on vertices [0, Count).
+  CsrGraph headSubgraph(uint32_t Count) const;
+};
+
+} // namespace dpo
+
+#endif // DPO_DATASETS_GRAPH_H

@@ -1,0 +1,459 @@
+//===--- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace dpo;
+
+std::string_view dpo::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntegerLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "floating literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::CharLiteral: return "character literal";
+  case TokenKind::PreprocessorLine: return "preprocessor line";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwBool: return "'bool'";
+  case TokenKind::KwChar: return "'char'";
+  case TokenKind::KwShort: return "'short'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwLong: return "'long'";
+  case TokenKind::KwFloat: return "'float'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwSigned: return "'signed'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::KwStruct: return "'struct'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwSizeof: return "'sizeof'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::KwGlobal: return "'__global__'";
+  case TokenKind::KwDevice: return "'__device__'";
+  case TokenKind::KwHost: return "'__host__'";
+  case TokenKind::KwShared: return "'__shared__'";
+  case TokenKind::KwRestrict: return "'__restrict__'";
+  case TokenKind::KwExtern: return "'extern'";
+  case TokenKind::KwInline: return "'inline'";
+  case TokenKind::KwForceInline: return "'__forceinline__'";
+  case TokenKind::KwNoInline: return "'__noinline__'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Period: return "'.'";
+  case TokenKind::Arrow: return "'->'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::ColonColon: return "'::'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Equal: return "'='";
+  case TokenKind::PlusEqual: return "'+='";
+  case TokenKind::MinusEqual: return "'-='";
+  case TokenKind::StarEqual: return "'*='";
+  case TokenKind::SlashEqual: return "'/='";
+  case TokenKind::PercentEqual: return "'%='";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::ExclaimEqual: return "'!='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Exclaim: return "'!'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::LessLess: return "'<<'";
+  case TokenKind::GreaterGreater: return "'>>'";
+  case TokenKind::LessLessEqual: return "'<<='";
+  case TokenKind::GreaterGreaterEqual: return "'>>='";
+  case TokenKind::AmpEqual: return "'&='";
+  case TokenKind::PipeEqual: return "'|='";
+  case TokenKind::CaretEqual: return "'^='";
+  case TokenKind::LaunchBegin: return "'<<<'";
+  case TokenKind::LaunchEnd: return "'>>>'";
+  }
+  return "unknown token";
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"void", TokenKind::KwVoid},
+      {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},
+      {"unsigned", TokenKind::KwUnsigned},
+      {"signed", TokenKind::KwSigned},
+      {"const", TokenKind::KwConst},
+      {"static", TokenKind::KwStatic},
+      {"struct", TokenKind::KwStruct},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"__global__", TokenKind::KwGlobal},
+      {"__device__", TokenKind::KwDevice},
+      {"__host__", TokenKind::KwHost},
+      {"__shared__", TokenKind::KwShared},
+      {"__restrict__", TokenKind::KwRestrict},
+      {"extern", TokenKind::KwExtern},
+      {"inline", TokenKind::KwInline},
+      {"__forceinline__", TokenKind::KwForceInline},
+      {"__noinline__", TokenKind::KwNoInline},
+  };
+  return Table;
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of buffer");
+  char C = Buffer[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+    AtLineStart = true;
+  } else {
+    ++Column;
+    if (!std::isspace((unsigned char)C))
+      AtLineStart = false;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace((unsigned char)C)) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Start = location();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, size_t StartPos) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text.assign(Buffer.substr(StartPos, Pos - StartPos));
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  while (!atEnd() && (std::isalnum((unsigned char)peek()) || peek() == '_'))
+    advance();
+  std::string_view Text = Buffer.substr(Start, Pos - Start);
+  auto It = keywordTable().find(Text);
+  TokenKind Kind = It != keywordTable().end() ? It->second
+                                              : TokenKind::Identifier;
+  return makeToken(Kind, Loc, Start);
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  bool IsFloat = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (!atEnd() && std::isxdigit((unsigned char)peek()))
+      advance();
+  } else {
+    while (!atEnd() && std::isdigit((unsigned char)peek()))
+      advance();
+    if (peek() == '.' && std::isdigit((unsigned char)peek(1))) {
+      IsFloat = true;
+      advance();
+      while (!atEnd() && std::isdigit((unsigned char)peek()))
+        advance();
+    } else if (peek() == '.' && !std::isalpha((unsigned char)peek(1)) &&
+               peek(1) != '_') {
+      // Trailing-dot float such as `1.`.
+      IsFloat = true;
+      advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      unsigned Skip = (peek(1) == '+' || peek(1) == '-') ? 2 : 1;
+      if (std::isdigit((unsigned char)peek(Skip))) {
+        IsFloat = true;
+        for (unsigned I = 0; I < Skip; ++I)
+          advance();
+        while (!atEnd() && std::isdigit((unsigned char)peek()))
+          advance();
+      }
+    }
+  }
+
+  // Suffixes: f/F makes it float; u/U/l/L are integer suffixes.
+  if (peek() == 'f' || peek() == 'F') {
+    IsFloat = true;
+    advance();
+  } else {
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+      advance();
+  }
+  return makeToken(IsFloat ? TokenKind::FloatLiteral
+                           : TokenKind::IntegerLiteral,
+                   Loc, Start);
+}
+
+Token Lexer::lexStringLiteral() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  advance(); // opening quote
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\' && Pos + 1 < Buffer.size())
+      advance();
+    advance();
+  }
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated string literal");
+    return makeToken(TokenKind::Eof, Loc, Start);
+  }
+  advance(); // closing quote
+  return makeToken(TokenKind::StringLiteral, Loc, Start);
+}
+
+Token Lexer::lexCharLiteral() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  advance(); // opening quote
+  while (!atEnd() && peek() != '\'') {
+    if (peek() == '\\' && Pos + 1 < Buffer.size())
+      advance();
+    advance();
+  }
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated character literal");
+    return makeToken(TokenKind::Eof, Loc, Start);
+  }
+  advance(); // closing quote
+  return makeToken(TokenKind::CharLiteral, Loc, Start);
+}
+
+Token Lexer::lexPreprocessorLine() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  // Consume up to the end of line, honoring backslash continuations.
+  while (!atEnd()) {
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      continue;
+    }
+    if (peek() == '\n')
+      break;
+    advance();
+  }
+  return makeToken(TokenKind::PreprocessorLine, Loc, Start);
+}
+
+Token Lexer::lexPunctuator() {
+  SourceLocation Loc = location();
+  size_t Start = Pos;
+  char C = advance();
+  auto Two = [&](char Next, TokenKind K2, TokenKind K1) {
+    if (peek() == Next) {
+      advance();
+      return K2;
+    }
+    return K1;
+  };
+
+  switch (C) {
+  case '(': return makeToken(TokenKind::LParen, Loc, Start);
+  case ')': return makeToken(TokenKind::RParen, Loc, Start);
+  case '{': return makeToken(TokenKind::LBrace, Loc, Start);
+  case '}': return makeToken(TokenKind::RBrace, Loc, Start);
+  case '[': return makeToken(TokenKind::LBracket, Loc, Start);
+  case ']': return makeToken(TokenKind::RBracket, Loc, Start);
+  case ';': return makeToken(TokenKind::Semi, Loc, Start);
+  case ',': return makeToken(TokenKind::Comma, Loc, Start);
+  case '.': return makeToken(TokenKind::Period, Loc, Start);
+  case '?': return makeToken(TokenKind::Question, Loc, Start);
+  case ':':
+    return makeToken(Two(':', TokenKind::ColonColon, TokenKind::Colon), Loc,
+                     Start);
+  case '~': return makeToken(TokenKind::Tilde, Loc, Start);
+  case '+':
+    if (peek() == '+') {
+      advance();
+      return makeToken(TokenKind::PlusPlus, Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::PlusEqual, TokenKind::Plus), Loc,
+                     Start);
+  case '-':
+    if (peek() == '-') {
+      advance();
+      return makeToken(TokenKind::MinusMinus, Loc, Start);
+    }
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow, Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::MinusEqual, TokenKind::Minus), Loc,
+                     Start);
+  case '*':
+    return makeToken(Two('=', TokenKind::StarEqual, TokenKind::Star), Loc,
+                     Start);
+  case '/':
+    return makeToken(Two('=', TokenKind::SlashEqual, TokenKind::Slash), Loc,
+                     Start);
+  case '%':
+    return makeToken(Two('=', TokenKind::PercentEqual, TokenKind::Percent),
+                     Loc, Start);
+  case '=':
+    return makeToken(Two('=', TokenKind::EqualEqual, TokenKind::Equal), Loc,
+                     Start);
+  case '!':
+    return makeToken(Two('=', TokenKind::ExclaimEqual, TokenKind::Exclaim),
+                     Loc, Start);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::AmpEqual, TokenKind::Amp), Loc,
+                     Start);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::PipeEqual, TokenKind::Pipe), Loc,
+                     Start);
+  case '^':
+    return makeToken(Two('=', TokenKind::CaretEqual, TokenKind::Caret), Loc,
+                     Start);
+  case '<':
+    if (peek() == '<' && peek(1) == '<') {
+      advance();
+      advance();
+      return makeToken(TokenKind::LaunchBegin, Loc, Start);
+    }
+    if (peek() == '<') {
+      advance();
+      return makeToken(Two('=', TokenKind::LessLessEqual, TokenKind::LessLess),
+                       Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::LessEqual, TokenKind::Less), Loc,
+                     Start);
+  case '>':
+    if (peek() == '>' && peek(1) == '>') {
+      advance();
+      advance();
+      return makeToken(TokenKind::LaunchEnd, Loc, Start);
+    }
+    if (peek() == '>') {
+      advance();
+      return makeToken(
+          Two('=', TokenKind::GreaterGreaterEqual, TokenKind::GreaterGreater),
+          Loc, Start);
+    }
+    return makeToken(Two('=', TokenKind::GreaterEqual, TokenKind::Greater),
+                     Loc, Start);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokenKind::Eof, Loc, Start);
+  }
+}
+
+Token Lexer::lex() {
+  skipWhitespaceAndComments();
+  if (atEnd()) {
+    Token Tok;
+    Tok.Kind = TokenKind::Eof;
+    Tok.Loc = location();
+    return Tok;
+  }
+  char C = peek();
+  if (C == '#' && AtLineStart)
+    return lexPreprocessorLine();
+  if (std::isalpha((unsigned char)C) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit((unsigned char)C))
+    return lexNumber();
+  if (C == '"')
+    return lexStringLiteral();
+  if (C == '\'')
+    return lexCharLiteral();
+  return lexPunctuator();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = lex();
+    bool IsEof = Tok.is(TokenKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (IsEof)
+      break;
+  }
+  return Tokens;
+}

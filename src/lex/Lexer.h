@@ -1,0 +1,64 @@
+//===--- Lexer.h - CUDA-C subset lexer --------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the CUDA-C subset. Skips `//` and `/* */`
+/// comments, tracks line/column, and turns each preprocessor line into a
+/// single PreprocessorLine token so the parser can pass it through
+/// unchanged (the source-to-source passes must not disturb `#include`s).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_LEX_LEXER_H
+#define DPO_LEX_LEXER_H
+
+#include "lex/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dpo {
+
+class Lexer {
+public:
+  Lexer(std::string_view Buffer, DiagnosticEngine &Diags)
+      : Buffer(Buffer), Diags(Diags) {}
+
+  /// Lexes the next token. Returns an Eof token at end of input and after
+  /// any error (errors are reported to the DiagnosticEngine).
+  Token lex();
+
+  /// Lexes the whole buffer. The returned vector always ends with Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned LookAhead = 0) const {
+    return Pos + LookAhead < Buffer.size() ? Buffer[Pos + LookAhead] : '\0';
+  }
+  char advance();
+  bool atEnd() const { return Pos >= Buffer.size(); }
+  SourceLocation location() const { return {Line, Column, (uint32_t)Pos}; }
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind, SourceLocation Loc, size_t StartPos);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexStringLiteral();
+  Token lexCharLiteral();
+  Token lexPreprocessorLine();
+  Token lexPunctuator();
+
+  std::string_view Buffer;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  bool AtLineStart = true;
+};
+
+} // namespace dpo
+
+#endif // DPO_LEX_LEXER_H

@@ -1,0 +1,93 @@
+//===--- Token.h - CUDA-C subset tokens -------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the CUDA-C subset understood by the frontend. The launch
+/// delimiters `<<<` / `>>>` are first-class tokens (our subset has no
+/// templates, so there is no ambiguity with nested angle brackets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_LEX_TOKEN_H
+#define DPO_LEX_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace dpo {
+
+enum class TokenKind : unsigned char {
+  Eof,
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  StringLiteral,
+  CharLiteral,
+  PreprocessorLine, ///< A whole `#...` line, passed through verbatim.
+
+  // Keywords.
+  KwVoid, KwBool, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwUnsigned, KwSigned, KwConst, KwStatic, KwStruct, KwIf, KwElse, KwFor,
+  KwWhile, KwDo, KwReturn, KwBreak, KwContinue, KwSizeof, KwTrue, KwFalse,
+  KwGlobal, KwDevice, KwHost, KwShared, KwRestrict, KwExtern, KwInline,
+  KwForceInline, KwNoInline,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma, Period,
+  Arrow, Question, Colon, ColonColon,
+
+  // Operators.
+  Plus, Minus, Star, Slash, Percent, Equal, PlusEqual, MinusEqual, StarEqual,
+  SlashEqual, PercentEqual, PlusPlus, MinusMinus, EqualEqual, ExclaimEqual,
+  Less, Greater, LessEqual, GreaterEqual, AmpAmp, PipePipe, Exclaim, Amp,
+  Pipe, Caret, Tilde, LessLess, GreaterGreater, LessLessEqual,
+  GreaterGreaterEqual, AmpEqual, PipeEqual, CaretEqual,
+
+  // Dynamic-parallelism launch delimiters.
+  LaunchBegin, ///< `<<<`
+  LaunchEnd,   ///< `>>>`
+};
+
+/// Returns a human-readable spelling for diagnostics ("'<<<'", "identifier").
+std::string_view tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text; ///< Verbatim spelling (identifier name, literal text...).
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  template <typename... Ts> bool isOneOf(TokenKind K, Ts... Ks) const {
+    return is(K) || (... || is(Ks));
+  }
+
+  /// True for tokens that can start a type in our subset.
+  bool isTypeKeyword() const {
+    switch (Kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwBool:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwSigned:
+    case TokenKind::KwConst:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+} // namespace dpo
+
+#endif // DPO_LEX_TOKEN_H

@@ -1,0 +1,1191 @@
+//===--- Parser.cpp -----------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+
+#include "ast/ASTPrinter.h"
+#include "lex/Lexer.h"
+#include "support/Casting.h"
+
+#include <cstdlib>
+
+using namespace dpo;
+
+Parser::Parser(std::vector<Token> Tokens, ASTContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+  TypeNames = {"dim3", "size_t", "uint", "uint32_t", "uint64_t", "int32_t",
+               "int64_t", "cudaStream_t"};
+  // File scope.
+  pushScope();
+  // CUDA built-in variables available inside kernels. Declaring them at file
+  // scope is harmless for our subset and keeps typing simple.
+  declare("threadIdx", Type(BuiltinKind::Dim3));
+  declare("blockIdx", Type(BuiltinKind::Dim3));
+  declare("blockDim", Type(BuiltinKind::Dim3));
+  declare("gridDim", Type(BuiltinKind::Dim3));
+  declare("warpSize", Type(BuiltinKind::Int));
+  FunctionReturnTypes["dim3"] = Type(BuiltinKind::Dim3);
+}
+
+Token Parser::consume() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+
+bool Parser::tryConsume(TokenKind Kind) {
+  if (cur().is(Kind)) {
+    consume();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(TokenKind Kind, std::string_view Context) {
+  if (tryConsume(Kind))
+    return true;
+  error("expected " + std::string(tokenKindName(Kind)) + " " +
+        std::string(Context) + ", found " +
+        std::string(tokenKindName(cur().Kind)));
+  return false;
+}
+
+void Parser::error(std::string Message) {
+  Diags.error(cur().Loc, std::move(Message));
+}
+
+void Parser::declare(const std::string &Name, const Type &Ty) {
+  assert(!Scopes.empty() && "no scope to declare into");
+  Scopes.back()[Name] = Ty;
+}
+
+Type Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return Type(BuiltinKind::Int);
+}
+
+bool Parser::isTypeName(const Token &Tok) const {
+  return Tok.is(TokenKind::Identifier) && TypeNames.count(Tok.Text) != 0;
+}
+
+bool Parser::startsType(const Token &Tok) const {
+  return Tok.isTypeKeyword() || isTypeName(Tok);
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+Type Parser::parseType() {
+  bool IsConst = false;
+  bool SawUnsigned = false;
+  bool SawSigned = false;
+  int LongCount = 0;
+  BuiltinKind Base = BuiltinKind::Int;
+  bool SawBase = false;
+  std::string NamedType;
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    switch (cur().Kind) {
+    case TokenKind::KwConst:
+      IsConst = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwUnsigned:
+      SawUnsigned = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwSigned:
+      SawSigned = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwVoid:
+      Base = BuiltinKind::Void;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwBool:
+      Base = BuiltinKind::Bool;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwChar:
+      Base = BuiltinKind::Char;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwShort:
+      Base = BuiltinKind::Short;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwInt:
+      Base = BuiltinKind::Int;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwLong:
+      ++LongCount;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwFloat:
+      Base = BuiltinKind::Float;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwDouble:
+      Base = BuiltinKind::Double;
+      SawBase = true;
+      consume();
+      Progress = true;
+      break;
+    case TokenKind::KwStruct:
+      consume();
+      if (cur().is(TokenKind::Identifier)) {
+        NamedType = consume().Text;
+        Base = BuiltinKind::Named;
+        SawBase = true;
+      } else {
+        error("expected struct name");
+      }
+      Progress = true;
+      break;
+    case TokenKind::Identifier:
+      if (!SawBase && !SawUnsigned && !SawSigned && isTypeName(cur())) {
+        std::string Name = consume().Text;
+        if (Name == "dim3") {
+          Base = BuiltinKind::Dim3;
+        } else if (Name == "size_t" || Name == "uint64_t") {
+          Base = BuiltinKind::ULong;
+          SawUnsigned = false;
+        } else if (Name == "uint" || Name == "uint32_t") {
+          Base = BuiltinKind::UInt;
+        } else if (Name == "int32_t") {
+          Base = BuiltinKind::Int;
+        } else if (Name == "int64_t") {
+          Base = BuiltinKind::Long;
+        } else {
+          Base = BuiltinKind::Named;
+          NamedType = Name;
+        }
+        SawBase = true;
+        Progress = true;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+
+  if (LongCount == 1)
+    Base = BuiltinKind::Long;
+  else if (LongCount >= 2)
+    Base = BuiltinKind::LongLong;
+
+  if (SawUnsigned) {
+    switch (Base) {
+    case BuiltinKind::Char: Base = BuiltinKind::UChar; break;
+    case BuiltinKind::Short: Base = BuiltinKind::UShort; break;
+    case BuiltinKind::Int: Base = BuiltinKind::UInt; break;
+    case BuiltinKind::Long: Base = BuiltinKind::ULong; break;
+    case BuiltinKind::LongLong: Base = BuiltinKind::ULongLong; break;
+    default: Base = BuiltinKind::UInt; break;
+    }
+    if (!SawBase)
+      Base = BuiltinKind::UInt;
+  }
+
+  Type Result = Base == BuiltinKind::Named ? Type::named(NamedType)
+                                           : Type(Base);
+  Result.setConst(IsConst);
+
+  while (cur().is(TokenKind::Star)) {
+    consume();
+    Result = Result.pointerTo();
+    // `const` or `__restrict__` after a star.
+    while (cur().isOneOf(TokenKind::KwConst, TokenKind::KwRestrict)) {
+      if (cur().is(TokenKind::KwRestrict))
+        Result.setRestrict(true);
+      consume();
+    }
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+FunctionQualifiers Parser::parseFunctionQualifiers(bool &SawAny) {
+  FunctionQualifiers Quals;
+  SawAny = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = true;
+    switch (cur().Kind) {
+    case TokenKind::KwGlobal: Quals.Global = true; break;
+    case TokenKind::KwDevice: Quals.Device = true; break;
+    case TokenKind::KwHost: Quals.Host = true; break;
+    case TokenKind::KwStatic: Quals.Static = true; break;
+    case TokenKind::KwInline: Quals.Inline = true; break;
+    case TokenKind::KwForceInline: Quals.ForceInline = true; break;
+    case TokenKind::KwNoInline: break; // Accepted and dropped.
+    case TokenKind::KwExtern: Quals.Extern = true; break;
+    default:
+      Progress = false;
+      break;
+    }
+    if (Progress) {
+      consume();
+      SawAny = true;
+    }
+  }
+  return Quals;
+}
+
+VarDecl *Parser::parseDeclarator(Type BaseType, bool IsShared) {
+  // Extra stars bind to this declarator: `int *a`.
+  Type Ty = BaseType;
+  while (tryConsume(TokenKind::Star))
+    Ty = Ty.pointerTo();
+
+  if (!cur().is(TokenKind::Identifier)) {
+    error("expected identifier in declaration");
+    return nullptr;
+  }
+  SourceLocation Loc = cur().Loc;
+  std::string Name = consume().Text;
+
+  auto *D = Ctx.create<VarDecl>(Ty, Name);
+  D->setLoc(Loc);
+  D->setShared(IsShared);
+
+  // Array dimensions.
+  while (tryConsume(TokenKind::LBracket)) {
+    Expr *Dim = nullptr;
+    if (!cur().is(TokenKind::RBracket))
+      Dim = parseAssignment();
+    if (!expect(TokenKind::RBracket, "after array dimension"))
+      return nullptr;
+    if (Dim)
+      D->arrayDims().push_back(Dim);
+  }
+
+  // Initializer: `= expr` or constructor syntax `name(args)` (dim3 only in
+  // our subset).
+  if (tryConsume(TokenKind::Equal)) {
+    Expr *Init = parseAssignment();
+    if (!Init)
+      return nullptr;
+    D->setInit(Init);
+  } else if (cur().is(TokenKind::LParen)) {
+    consume();
+    std::vector<Expr *> Args;
+    if (!cur().is(TokenKind::RParen)) {
+      do {
+        Expr *Arg = parseAssignment();
+        if (!Arg)
+          return nullptr;
+        Args.push_back(Arg);
+      } while (tryConsume(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after constructor arguments"))
+      return nullptr;
+    auto *Callee = Ctx.ref(Ty.isDim3() ? "dim3" : Ty.str());
+    auto *Init = Ctx.create<CallExpr>(Callee, std::move(Args));
+    Init->setType(Ty);
+    D->setInit(Init);
+  }
+
+  // Arrays decay to pointers for typing purposes.
+  Type ScopeTy = D->isArray() ? Ty.pointerTo() : Ty;
+  declare(Name, ScopeTy);
+  return D;
+}
+
+DeclStmt *Parser::parseDeclStmt(bool ConsumeSemi) {
+  bool IsShared = tryConsume(TokenKind::KwShared);
+  Type BaseType = parseType();
+  std::vector<VarDecl *> Decls;
+  do {
+    VarDecl *D = parseDeclarator(BaseType, IsShared);
+    if (!D)
+      return nullptr;
+    Decls.push_back(D);
+  } while (tryConsume(TokenKind::Comma));
+  if (ConsumeSemi && !expect(TokenKind::Semi, "after declaration"))
+    return nullptr;
+  return Ctx.create<DeclStmt>(std::move(Decls));
+}
+
+FunctionDecl *Parser::parseFunctionRest(FunctionQualifiers Quals,
+                                        Type ReturnType, std::string Name) {
+  // At '('.
+  expect(TokenKind::LParen, "after function name");
+  pushScope();
+  std::vector<VarDecl *> Params;
+  if (!cur().is(TokenKind::RParen)) {
+    do {
+      if (cur().is(TokenKind::KwVoid) && peek().is(TokenKind::RParen)) {
+        consume();
+        break;
+      }
+      Type ParamType = parseType();
+      VarDecl *P = parseDeclarator(ParamType, /*IsShared=*/false);
+      if (!P) {
+        popScope();
+        return nullptr;
+      }
+      Params.push_back(P);
+    } while (tryConsume(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameter list")) {
+    popScope();
+    return nullptr;
+  }
+
+  FunctionReturnTypes[Name] = ReturnType;
+
+  CompoundStmt *Body = nullptr;
+  if (cur().is(TokenKind::LBrace)) {
+    Body = parseCompoundStmt();
+    if (!Body) {
+      popScope();
+      return nullptr;
+    }
+  } else if (!expect(TokenKind::Semi, "after function prototype")) {
+    popScope();
+    return nullptr;
+  }
+  popScope();
+
+  auto *F = Ctx.create<FunctionDecl>(Quals, std::move(ReturnType),
+                                     std::move(Name), std::move(Params), Body);
+  return F;
+}
+
+Decl *Parser::parseTopLevelDecl() {
+  if (cur().is(TokenKind::PreprocessorLine)) {
+    auto *Raw = Ctx.create<RawDecl>(consume().Text);
+    return Raw;
+  }
+
+  bool SawQual = false;
+  FunctionQualifiers Quals = parseFunctionQualifiers(SawQual);
+
+  if (!startsType(cur())) {
+    error("expected declaration at top level, found " +
+          std::string(tokenKindName(cur().Kind)));
+    return nullptr;
+  }
+
+  Type Ty = parseType();
+  if (!cur().is(TokenKind::Identifier)) {
+    error("expected identifier in top-level declaration");
+    return nullptr;
+  }
+
+  // Function if '(' follows the name; variable otherwise.
+  if (peek().is(TokenKind::LParen)) {
+    std::string Name = consume().Text;
+    return parseFunctionRest(Quals, std::move(Ty), std::move(Name));
+  }
+
+  VarDecl *D = parseDeclarator(Ty, /*IsShared=*/false);
+  if (!D)
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after global variable"))
+    return nullptr;
+  return D;
+}
+
+TranslationUnit *Parser::parseTranslationUnit() {
+  auto *TU = Ctx.create<TranslationUnit>();
+  while (!cur().is(TokenKind::Eof)) {
+    Decl *D = parseTopLevelDecl();
+    if (!D)
+      return nullptr;
+    TU->decls().push_back(D);
+  }
+  return Diags.hasErrors() ? nullptr : TU;
+}
+
+Expr *Parser::parseStandaloneExpr() {
+  Expr *E = parseExpr();
+  if (!E || Diags.hasErrors())
+    return nullptr;
+  if (!cur().is(TokenKind::Eof)) {
+    error("unexpected trailing tokens after expression");
+    return nullptr;
+  }
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Parser::parseCompoundStmt() {
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  pushScope();
+  std::vector<Stmt *> Body;
+  while (!cur().is(TokenKind::RBrace) && !cur().is(TokenKind::Eof)) {
+    Stmt *S = parseStmt();
+    if (!S) {
+      popScope();
+      return nullptr;
+    }
+    Body.push_back(S);
+  }
+  popScope();
+  if (!expect(TokenKind::RBrace, "to close block"))
+    return nullptr;
+  return Ctx.create<CompoundStmt>(std::move(Body));
+}
+
+Stmt *Parser::parseIfStmt() {
+  consume(); // 'if'
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after if condition"))
+    return nullptr;
+  Stmt *Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (tryConsume(TokenKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Ctx.create<IfStmt>(Cond, Then, Else);
+}
+
+Stmt *Parser::parseForStmt() {
+  consume(); // 'for'
+  if (!expect(TokenKind::LParen, "after 'for'"))
+    return nullptr;
+  pushScope();
+
+  Stmt *Init = nullptr;
+  if (!cur().is(TokenKind::Semi)) {
+    if (startsType(cur()) || cur().is(TokenKind::KwShared)) {
+      Init = parseDeclStmt(/*ConsumeSemi=*/false);
+    } else {
+      Init = parseExpr();
+    }
+    if (!Init) {
+      popScope();
+      return nullptr;
+    }
+  }
+  if (!expect(TokenKind::Semi, "after for-init")) {
+    popScope();
+    return nullptr;
+  }
+
+  Expr *Cond = nullptr;
+  if (!cur().is(TokenKind::Semi)) {
+    Cond = parseExpr();
+    if (!Cond) {
+      popScope();
+      return nullptr;
+    }
+  }
+  if (!expect(TokenKind::Semi, "after for-condition")) {
+    popScope();
+    return nullptr;
+  }
+
+  Expr *Inc = nullptr;
+  if (!cur().is(TokenKind::RParen)) {
+    Inc = parseExpr();
+    if (!Inc) {
+      popScope();
+      return nullptr;
+    }
+  }
+  if (!expect(TokenKind::RParen, "after for-increment")) {
+    popScope();
+    return nullptr;
+  }
+
+  Stmt *Body = parseStmt();
+  popScope();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<ForStmt>(Init, Cond, Inc, Body);
+}
+
+Stmt *Parser::parseWhileStmt() {
+  consume(); // 'while'
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after while condition"))
+    return nullptr;
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Ctx.create<WhileStmt>(Cond, Body);
+}
+
+Stmt *Parser::parseDoStmt() {
+  consume(); // 'do'
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  if (!expect(TokenKind::KwWhile, "after do-body"))
+    return nullptr;
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "after do-while condition"))
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after do-while"))
+    return nullptr;
+  return Ctx.create<DoStmt>(Body, Cond);
+}
+
+Stmt *Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseCompoundStmt();
+  case TokenKind::Semi:
+    consume();
+    return Ctx.create<NullStmt>();
+  case TokenKind::KwIf:
+    return parseIfStmt();
+  case TokenKind::KwFor:
+    return parseForStmt();
+  case TokenKind::KwWhile:
+    return parseWhileStmt();
+  case TokenKind::KwDo:
+    return parseDoStmt();
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = nullptr;
+    if (!cur().is(TokenKind::Semi)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semi, "after return"))
+      return nullptr;
+    return Ctx.create<ReturnStmt>(Value);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    if (!expect(TokenKind::Semi, "after 'break'"))
+      return nullptr;
+    return Ctx.create<BreakStmt>();
+  case TokenKind::KwContinue:
+    consume();
+    if (!expect(TokenKind::Semi, "after 'continue'"))
+      return nullptr;
+    return Ctx.create<ContinueStmt>();
+  case TokenKind::KwShared:
+    return parseDeclStmt(/*ConsumeSemi=*/true);
+  default:
+    break;
+  }
+
+  // Declaration?
+  if (startsType(cur())) {
+    // Distinguish `x * y;` (expression) from `T *y;` (declaration): type
+    // keywords always start declarations; for known type names require a
+    // declarator-looking continuation.
+    return parseDeclStmt(/*ConsumeSemi=*/true);
+  }
+
+  // Expression statement.
+  Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!expect(TokenKind::Semi, "after expression"))
+    return nullptr;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned tokenBinaryPrecedence(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Star:
+  case TokenKind::Slash:
+  case TokenKind::Percent:
+    return 13;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 12;
+  case TokenKind::LessLess:
+  case TokenKind::GreaterGreater:
+    return 11;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+  case TokenKind::LessEqual:
+  case TokenKind::GreaterEqual:
+    return 10;
+  case TokenKind::EqualEqual:
+  case TokenKind::ExclaimEqual:
+    return 9;
+  case TokenKind::Amp:
+    return 8;
+  case TokenKind::Caret:
+    return 7;
+  case TokenKind::Pipe:
+    return 6;
+  case TokenKind::AmpAmp:
+    return 5;
+  case TokenKind::PipePipe:
+    return 4;
+  default:
+    return 0;
+  }
+}
+
+BinaryOpKind tokenToBinaryOp(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Star: return BinaryOpKind::Mul;
+  case TokenKind::Slash: return BinaryOpKind::Div;
+  case TokenKind::Percent: return BinaryOpKind::Rem;
+  case TokenKind::Plus: return BinaryOpKind::Add;
+  case TokenKind::Minus: return BinaryOpKind::Sub;
+  case TokenKind::LessLess: return BinaryOpKind::Shl;
+  case TokenKind::GreaterGreater: return BinaryOpKind::Shr;
+  case TokenKind::Less: return BinaryOpKind::LT;
+  case TokenKind::Greater: return BinaryOpKind::GT;
+  case TokenKind::LessEqual: return BinaryOpKind::LE;
+  case TokenKind::GreaterEqual: return BinaryOpKind::GE;
+  case TokenKind::EqualEqual: return BinaryOpKind::EQ;
+  case TokenKind::ExclaimEqual: return BinaryOpKind::NE;
+  case TokenKind::Amp: return BinaryOpKind::BitAnd;
+  case TokenKind::Caret: return BinaryOpKind::BitXor;
+  case TokenKind::Pipe: return BinaryOpKind::BitOr;
+  case TokenKind::AmpAmp: return BinaryOpKind::LAnd;
+  case TokenKind::PipePipe: return BinaryOpKind::LOr;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOpKind::Add;
+  }
+}
+
+BinaryOpKind tokenToAssignOp(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Equal: return BinaryOpKind::Assign;
+  case TokenKind::PlusEqual: return BinaryOpKind::AddAssign;
+  case TokenKind::MinusEqual: return BinaryOpKind::SubAssign;
+  case TokenKind::StarEqual: return BinaryOpKind::MulAssign;
+  case TokenKind::SlashEqual: return BinaryOpKind::DivAssign;
+  case TokenKind::PercentEqual: return BinaryOpKind::RemAssign;
+  case TokenKind::LessLessEqual: return BinaryOpKind::ShlAssign;
+  case TokenKind::GreaterGreaterEqual: return BinaryOpKind::ShrAssign;
+  case TokenKind::AmpEqual: return BinaryOpKind::AndAssign;
+  case TokenKind::PipeEqual: return BinaryOpKind::OrAssign;
+  case TokenKind::CaretEqual: return BinaryOpKind::XorAssign;
+  default:
+    assert(false && "not an assignment token");
+    return BinaryOpKind::Assign;
+  }
+}
+
+unsigned integerRank(BuiltinKind Kind) {
+  switch (Kind) {
+  case BuiltinKind::Bool: return 1;
+  case BuiltinKind::Char:
+  case BuiltinKind::UChar: return 2;
+  case BuiltinKind::Short:
+  case BuiltinKind::UShort: return 3;
+  case BuiltinKind::Int:
+  case BuiltinKind::UInt: return 4;
+  case BuiltinKind::Long:
+  case BuiltinKind::ULong: return 5;
+  case BuiltinKind::LongLong:
+  case BuiltinKind::ULongLong: return 6;
+  default: return 4;
+  }
+}
+
+} // namespace
+
+Type Parser::typeOfBinary(BinaryOpKind Op, const Expr *LHS,
+                          const Expr *RHS) const {
+  const Type &L = LHS->type();
+  const Type &R = RHS->type();
+  switch (Op) {
+  case BinaryOpKind::LT:
+  case BinaryOpKind::GT:
+  case BinaryOpKind::LE:
+  case BinaryOpKind::GE:
+  case BinaryOpKind::EQ:
+  case BinaryOpKind::NE:
+  case BinaryOpKind::LAnd:
+  case BinaryOpKind::LOr:
+    return Type(BuiltinKind::Int);
+  case BinaryOpKind::Comma:
+    return R;
+  default:
+    break;
+  }
+  if (isAssignmentOp(Op))
+    return L;
+  if (L.isPointer())
+    return R.isPointer() ? Type(BuiltinKind::Long) : L;
+  if (R.isPointer())
+    return R;
+  if (L.kind() == BuiltinKind::Double || R.kind() == BuiltinKind::Double)
+    return Type(BuiltinKind::Double);
+  if (L.kind() == BuiltinKind::Float || R.kind() == BuiltinKind::Float)
+    return Type(BuiltinKind::Float);
+  // Integer promotion: pick the larger rank; unsigned wins ties.
+  unsigned RankL = integerRank(L.kind());
+  unsigned RankR = integerRank(R.kind());
+  const Type &Winner = RankL > RankR    ? L
+                       : RankR > RankL  ? R
+                       : L.isUnsigned() ? L
+                                        : R;
+  if (integerRank(Winner.kind()) < 4)
+    return Type(BuiltinKind::Int);
+  return Winner;
+}
+
+Type Parser::typeOfCall(const std::string &Name,
+                        const std::vector<Expr *> &Args) const {
+  auto It = FunctionReturnTypes.find(Name);
+  if (It != FunctionReturnTypes.end())
+    return It->second;
+  // Common CUDA/libm intrinsics.
+  if (Name == "sqrtf" || Name == "ceilf" || Name == "floorf" ||
+      Name == "fabsf" || Name == "fminf" || Name == "fmaxf" ||
+      Name == "powf" || Name == "expf" || Name == "logf" ||
+      Name == "tanhf" || Name == "__fdividef")
+    return Type(BuiltinKind::Float);
+  if (Name == "sqrt" || Name == "ceil" || Name == "floor" || Name == "fabs" ||
+      Name == "pow" || Name == "exp" || Name == "log" || Name == "tanh")
+    return Type(BuiltinKind::Double);
+  if (Name == "min" || Name == "max") {
+    if (!Args.empty())
+      return Args.front()->type();
+    return Type(BuiltinKind::Int);
+  }
+  if (Name == "atomicAdd" || Name == "atomicMax" || Name == "atomicMin" ||
+      Name == "atomicExch" || Name == "atomicCAS" || Name == "atomicOr" ||
+      Name == "atomicSub") {
+    if (!Args.empty() && Args.front()->type().isPointer())
+      return Args.front()->type().pointee();
+    return Type(BuiltinKind::Int);
+  }
+  if (Name == "__syncthreads" || Name == "__threadfence" ||
+      Name == "__threadfence_block" || Name == "__syncwarp")
+    return Type(BuiltinKind::Void);
+  return Type(BuiltinKind::Int);
+}
+
+std::vector<Expr *> Parser::parseCallArgs() {
+  std::vector<Expr *> Args;
+  if (!cur().is(TokenKind::RParen)) {
+    do {
+      Expr *Arg = parseAssignment();
+      if (!Arg)
+        return Args;
+      Args.push_back(Arg);
+    } while (tryConsume(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after call arguments");
+  return Args;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntegerLiteral: {
+    Token Tok = consume();
+    uint64_t Value = std::strtoull(Tok.Text.c_str(), nullptr, 0);
+    auto *Lit = Ctx.create<IntegerLiteral>(Value, Tok.Text);
+    std::string Lower = Tok.Text;
+    for (char &C : Lower)
+      C = (char)std::tolower((unsigned char)C);
+    bool IsU = Lower.find('u') != std::string::npos;
+    bool IsLL = Lower.find("ll") != std::string::npos;
+    bool IsL = !IsLL && Lower.find('l') != std::string::npos;
+    if (IsU && IsLL)
+      Lit->setType(Type(BuiltinKind::ULongLong));
+    else if (IsU && IsL)
+      Lit->setType(Type(BuiltinKind::ULong));
+    else if (IsLL)
+      Lit->setType(Type(BuiltinKind::LongLong));
+    else if (IsL)
+      Lit->setType(Type(BuiltinKind::Long));
+    else if (IsU)
+      Lit->setType(Type(BuiltinKind::UInt));
+    Lit->setLoc(Loc);
+    return Lit;
+  }
+  case TokenKind::FloatLiteral: {
+    Token Tok = consume();
+    double Value = std::strtod(Tok.Text.c_str(), nullptr);
+    auto *Lit = Ctx.create<FloatLiteral>(Value, Tok.Text);
+    if (!Tok.Text.empty() &&
+        (Tok.Text.back() == 'f' || Tok.Text.back() == 'F'))
+      Lit->setType(Type(BuiltinKind::Float));
+    Lit->setLoc(Loc);
+    return Lit;
+  }
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse: {
+    bool Value = consume().is(TokenKind::KwTrue);
+    auto *Lit = Ctx.create<BoolLiteral>(Value);
+    Lit->setLoc(Loc);
+    return Lit;
+  }
+  case TokenKind::StringLiteral: {
+    auto *Lit = Ctx.create<StringLiteral>(consume().Text);
+    Lit->setLoc(Loc);
+    return Lit;
+  }
+  case TokenKind::CharLiteral: {
+    Token Tok = consume();
+    // Model char literals as integer literals with the original spelling.
+    char Value = Tok.Text.size() >= 3 ? Tok.Text[1] : '\0';
+    if (Value == '\\' && Tok.Text.size() >= 4) {
+      switch (Tok.Text[2]) {
+      case 'n': Value = '\n'; break;
+      case 't': Value = '\t'; break;
+      case '0': Value = '\0'; break;
+      case '\\': Value = '\\'; break;
+      default: Value = Tok.Text[2]; break;
+      }
+    }
+    auto *Lit = Ctx.create<IntegerLiteral>((uint64_t)Value, Tok.Text);
+    Lit->setType(Type(BuiltinKind::Char));
+    Lit->setLoc(Loc);
+    return Lit;
+  }
+  case TokenKind::KwSizeof: {
+    consume();
+    if (!expect(TokenKind::LParen, "after 'sizeof'"))
+      return nullptr;
+    Type Queried = parseType();
+    if (!expect(TokenKind::RParen, "after sizeof type"))
+      return nullptr;
+    auto *E = Ctx.create<SizeofExpr>(Queried);
+    E->setLoc(Loc);
+    return E;
+  }
+  case TokenKind::LParen: {
+    // Cast or parenthesized expression. A cast requires a type token (or a
+    // known type name) right after '(' and a ')' soon after.
+    if (startsType(peek())) {
+      // Look ahead to see whether this is `(type)` — scan past type tokens
+      // and stars to find ')'.
+      size_t Save = Pos;
+      consume(); // '('
+      Type CastType = parseType();
+      if (cur().is(TokenKind::RParen)) {
+        consume();
+        Expr *Operand = parseUnary();
+        if (!Operand)
+          return nullptr;
+        auto *E = Ctx.create<CastExpr>(CastType, Operand);
+        E->setLoc(Loc);
+        return E;
+      }
+      // Not a cast after all; rewind and parse as parenthesized expression.
+      Pos = Save;
+    }
+    consume(); // '('
+    Expr *Inner = parseExpr();
+    if (!Inner || !expect(TokenKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    auto *E = Ctx.create<ParenExpr>(Inner);
+    E->setType(Inner->type());
+    E->setLoc(Loc);
+    return E;
+  }
+  case TokenKind::Identifier: {
+    std::string Name = consume().Text;
+
+    // Kernel launch `name<<<...>>>(...)`.
+    if (cur().is(TokenKind::LaunchBegin)) {
+      consume();
+      Expr *Grid = parseAssignment();
+      if (!Grid || !expect(TokenKind::Comma, "after launch grid dimension"))
+        return nullptr;
+      Expr *Block = parseAssignment();
+      if (!Block)
+        return nullptr;
+      Expr *Smem = nullptr;
+      Expr *Stream = nullptr;
+      if (tryConsume(TokenKind::Comma)) {
+        Smem = parseAssignment();
+        if (!Smem)
+          return nullptr;
+        if (tryConsume(TokenKind::Comma)) {
+          Stream = parseAssignment();
+          if (!Stream)
+            return nullptr;
+        }
+      }
+      if (!expect(TokenKind::LaunchEnd, "after launch configuration"))
+        return nullptr;
+      if (!expect(TokenKind::LParen, "after '>>>'"))
+        return nullptr;
+      std::vector<Expr *> Args = parseCallArgs();
+      auto *E = Ctx.create<LaunchExpr>(std::move(Name), Grid, Block, Smem,
+                                       Stream, std::move(Args));
+      E->setLoc(Loc);
+      return E;
+    }
+
+    auto *Ref = Ctx.create<DeclRefExpr>(Name);
+    Ref->setType(lookup(Name));
+    Ref->setLoc(Loc);
+    return Ref;
+  }
+  default:
+    error("expected expression, found " +
+          std::string(tokenKindName(cur().Kind)));
+    return nullptr;
+  }
+}
+
+Expr *Parser::parsePostfix(Expr *Base) {
+  while (true) {
+    switch (cur().Kind) {
+    case TokenKind::LParen: {
+      consume();
+      std::vector<Expr *> Args = parseCallArgs();
+      std::string Name;
+      if (auto *Ref = dyn_cast<DeclRefExpr>(Base))
+        Name = Ref->name();
+      auto *Call = Ctx.create<CallExpr>(Base, std::move(Args));
+      Call->setType(typeOfCall(Name, Call->args()));
+      Base = Call;
+      break;
+    }
+    case TokenKind::LBracket: {
+      consume();
+      Expr *Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket, "after subscript"))
+        return nullptr;
+      auto *Sub = Ctx.create<ArraySubscriptExpr>(Base, Index);
+      Sub->setType(Base->type().pointee());
+      Base = Sub;
+      break;
+    }
+    case TokenKind::Period:
+    case TokenKind::Arrow: {
+      bool IsArrow = consume().is(TokenKind::Arrow);
+      if (!cur().is(TokenKind::Identifier)) {
+        error("expected member name");
+        return nullptr;
+      }
+      std::string Member = consume().Text;
+      auto *M = Ctx.create<MemberExpr>(Base, Member, IsArrow);
+      Type BaseTy = IsArrow ? Base->type().pointee() : Base->type();
+      if (BaseTy.isDim3())
+        M->setType(Type(BuiltinKind::UInt));
+      else
+        M->setType(Type(BuiltinKind::Int));
+      Base = M;
+      break;
+    }
+    case TokenKind::PlusPlus: {
+      consume();
+      auto *U = Ctx.create<UnaryOperator>(UnaryOpKind::PostInc, Base);
+      U->setType(Base->type());
+      Base = U;
+      break;
+    }
+    case TokenKind::MinusMinus: {
+      consume();
+      auto *U = Ctx.create<UnaryOperator>(UnaryOpKind::PostDec, Base);
+      U->setType(Base->type());
+      Base = U;
+      break;
+    }
+    default:
+      return Base;
+    }
+    if (!Base)
+      return nullptr;
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = cur().Loc;
+  UnaryOpKind Op;
+  switch (cur().Kind) {
+  case TokenKind::Plus: Op = UnaryOpKind::Plus; break;
+  case TokenKind::Minus: Op = UnaryOpKind::Minus; break;
+  case TokenKind::Exclaim: Op = UnaryOpKind::Not; break;
+  case TokenKind::Tilde: Op = UnaryOpKind::BitNot; break;
+  case TokenKind::PlusPlus: Op = UnaryOpKind::PreInc; break;
+  case TokenKind::MinusMinus: Op = UnaryOpKind::PreDec; break;
+  case TokenKind::Star: Op = UnaryOpKind::Deref; break;
+  case TokenKind::Amp: Op = UnaryOpKind::AddrOf; break;
+  default: {
+    Expr *Primary = parsePrimary();
+    if (!Primary)
+      return nullptr;
+    return parsePostfix(Primary);
+  }
+  }
+  consume();
+  Expr *Operand = parseUnary();
+  if (!Operand)
+    return nullptr;
+  auto *U = Ctx.create<UnaryOperator>(Op, Operand);
+  U->setLoc(Loc);
+  switch (Op) {
+  case UnaryOpKind::Deref:
+    U->setType(Operand->type().pointee());
+    break;
+  case UnaryOpKind::AddrOf:
+    U->setType(Operand->type().pointerTo());
+    break;
+  case UnaryOpKind::Not:
+    U->setType(Type(BuiltinKind::Int));
+    break;
+  default:
+    U->setType(Operand->type());
+    break;
+  }
+  return U;
+}
+
+Expr *Parser::parseBinaryRHS(unsigned MinPrec, Expr *LHS) {
+  while (true) {
+    unsigned Prec = tokenBinaryPrecedence(cur().Kind);
+    if (Prec < MinPrec || Prec == 0)
+      return LHS;
+    TokenKind OpTok = consume().Kind;
+    Expr *RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    unsigned NextPrec = tokenBinaryPrecedence(cur().Kind);
+    if (NextPrec > Prec) {
+      RHS = parseBinaryRHS(Prec + 1, RHS);
+      if (!RHS)
+        return nullptr;
+    }
+    BinaryOpKind Op = tokenToBinaryOp(OpTok);
+    auto *Bin = Ctx.create<BinaryOperator>(Op, LHS, RHS);
+    Bin->setType(typeOfBinary(Op, LHS, RHS));
+    LHS = Bin;
+  }
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseUnary();
+  if (!Cond)
+    return nullptr;
+  Cond = parseBinaryRHS(/*MinPrec=*/4, Cond);
+  if (!Cond)
+    return nullptr;
+  if (!tryConsume(TokenKind::Question))
+    return Cond;
+  Expr *TrueExpr = parseAssignment();
+  if (!TrueExpr || !expect(TokenKind::Colon, "in conditional expression"))
+    return nullptr;
+  Expr *FalseExpr = parseConditional();
+  if (!FalseExpr)
+    return nullptr;
+  auto *C = Ctx.create<ConditionalOperator>(Cond, TrueExpr, FalseExpr);
+  C->setType(TrueExpr->type());
+  return C;
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  if (!LHS)
+    return nullptr;
+  switch (cur().Kind) {
+  case TokenKind::Equal:
+  case TokenKind::PlusEqual:
+  case TokenKind::MinusEqual:
+  case TokenKind::StarEqual:
+  case TokenKind::SlashEqual:
+  case TokenKind::PercentEqual:
+  case TokenKind::LessLessEqual:
+  case TokenKind::GreaterGreaterEqual:
+  case TokenKind::AmpEqual:
+  case TokenKind::PipeEqual:
+  case TokenKind::CaretEqual: {
+    BinaryOpKind Op = tokenToAssignOp(consume().Kind);
+    Expr *RHS = parseAssignment();
+    if (!RHS)
+      return nullptr;
+    auto *Bin = Ctx.create<BinaryOperator>(Op, LHS, RHS);
+    Bin->setType(LHS->type());
+    return Bin;
+  }
+  default:
+    return LHS;
+  }
+}
+
+Expr *Parser::parseExpr() {
+  Expr *LHS = parseAssignment();
+  if (!LHS)
+    return nullptr;
+  while (cur().is(TokenKind::Comma)) {
+    consume();
+    Expr *RHS = parseAssignment();
+    if (!RHS)
+      return nullptr;
+    auto *Bin = Ctx.create<BinaryOperator>(BinaryOpKind::Comma, LHS, RHS);
+    Bin->setType(RHS->type());
+    LHS = Bin;
+  }
+  return LHS;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+TranslationUnit *dpo::parseSource(std::string_view Source, ASTContext &Ctx,
+                                  DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Ctx, Diags);
+  return P.parseTranslationUnit();
+}
+
+Expr *dpo::parseExprSource(std::string_view Source, ASTContext &Ctx,
+                           DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Ctx, Diags);
+  return P.parseStandaloneExpr();
+}

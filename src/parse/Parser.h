@@ -1,0 +1,122 @@
+//===--- Parser.h - Recursive-descent parser for the CUDA-C subset ----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the CUDA-C subset into the AST. The parser doubles as a light
+/// semantic analyzer: it tracks variable and function types in scope so
+/// every expression node carries a static type (the bytecode compiler and
+/// the passes rely on this; e.g. pointer subscripts must scale by the
+/// pointee size).
+///
+/// Grammar highlights beyond plain C:
+///   - `__global__` / `__device__` / `__host__` / `__shared__` qualifiers
+///   - kernel launches `k<<<grid, block[, smem[, stream]]>>>(args)`
+///   - `dim3` with constructor syntax `dim3 g(a, b, c)`
+///   - preprocessor lines preserved verbatim as RawDecls
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_PARSE_PARSER_H
+#define DPO_PARSE_PARSER_H
+
+#include "ast/ASTContext.h"
+#include "ast/Decl.h"
+#include "lex/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dpo {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ASTContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses a whole file. Returns null if any error was reported.
+  TranslationUnit *parseTranslationUnit();
+
+  /// Parses a single expression (used heavily by tests).
+  Expr *parseStandaloneExpr();
+
+  /// Registers an extra name to be treated as a type (e.g. a struct the
+  /// surrounding build defines).
+  void addTypeName(std::string Name) { TypeNames.insert(std::move(Name)); }
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t Idx = Pos + Ahead;
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  }
+  Token consume();
+  bool tryConsume(TokenKind Kind);
+  bool expect(TokenKind Kind, std::string_view Context);
+  void error(std::string Message);
+
+  // Scope and type tracking.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(const std::string &Name, const Type &Ty);
+  Type lookup(const std::string &Name) const;
+  bool isTypeName(const Token &Tok) const;
+  bool startsType(const Token &Tok) const;
+
+  // Declarations.
+  Decl *parseTopLevelDecl();
+  FunctionQualifiers parseFunctionQualifiers(bool &SawAny);
+  Type parseType();
+  FunctionDecl *parseFunctionRest(FunctionQualifiers Quals, Type ReturnType,
+                                  std::string Name);
+  VarDecl *parseDeclarator(Type BaseType, bool IsShared);
+  DeclStmt *parseDeclStmt(bool ConsumeSemi);
+
+  // Statements.
+  Stmt *parseStmt();
+  CompoundStmt *parseCompoundStmt();
+  Stmt *parseIfStmt();
+  Stmt *parseForStmt();
+  Stmt *parseWhileStmt();
+  Stmt *parseDoStmt();
+
+  // Expressions (precedence climbing).
+  Expr *parseExpr();           ///< Includes comma operator.
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinaryRHS(unsigned MinPrec, Expr *LHS);
+  Expr *parseUnary();
+  Expr *parsePostfix(Expr *Base);
+  Expr *parsePrimary();
+  std::vector<Expr *> parseCallArgs();
+
+  // Typing helpers.
+  Type typeOfBinary(BinaryOpKind Op, const Expr *LHS, const Expr *RHS) const;
+  Type typeOfCall(const std::string &Name, const std::vector<Expr *> &Args)
+      const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<std::unordered_map<std::string, Type>> Scopes;
+  std::unordered_map<std::string, Type> FunctionReturnTypes;
+  std::unordered_set<std::string> TypeNames;
+};
+
+/// Convenience entry point: lex + parse \p Source.
+TranslationUnit *parseSource(std::string_view Source, ASTContext &Ctx,
+                             DiagnosticEngine &Diags);
+
+/// Convenience entry point for a single expression.
+Expr *parseExprSource(std::string_view Source, ASTContext &Ctx,
+                      DiagnosticEngine &Diags);
+
+} // namespace dpo
+
+#endif // DPO_PARSE_PARSER_H

@@ -1,0 +1,270 @@
+//===--- GridDimAnalysis.cpp ----------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/GridDimAnalysis.h"
+
+#include "ast/Clone.h"
+#include "ast/Equivalence.h"
+#include "ast/Walk.h"
+#include "sema/PurityAnalysis.h"
+#include "support/Casting.h"
+
+using namespace dpo;
+
+Expr *dpo::stripParensAndCasts(Expr *E) {
+  while (true) {
+    if (auto *P = dyn_cast_or_null<ParenExpr>(E)) {
+      E = P->inner();
+      continue;
+    }
+    if (auto *C = dyn_cast_or_null<CastExpr>(E)) {
+      E = C->operand();
+      continue;
+    }
+    return E;
+  }
+}
+
+const Expr *dpo::stripParensAndCasts(const Expr *E) {
+  return stripParensAndCasts(const_cast<Expr *>(E));
+}
+
+namespace {
+
+/// Finds the single initialization of an assigned-once local variable in
+/// \p F, or null.
+Expr *resolveAssignedOnceLocal(const FunctionDecl *F, const std::string &Name) {
+  if (!F->body() || countAssignments(F, Name) != 0)
+    return nullptr;
+  Expr *Init = nullptr;
+  bool Multiple = false;
+  forEachStmt(const_cast<CompoundStmt *>(F->body()), [&](Stmt *S) {
+    auto *DS = dyn_cast<DeclStmt>(S);
+    if (!DS)
+      return;
+    for (VarDecl *D : DS->decls()) {
+      if (D->name() != Name)
+        continue;
+      if (Init)
+        Multiple = true; // Shadowing; give up.
+      Init = D->init();
+    }
+  });
+  if (Multiple)
+    return nullptr;
+  return Init;
+}
+
+class GridDimAnalyzer {
+public:
+  GridDimAnalyzer(ASTContext &Ctx, const FunctionDecl *Parent)
+      : Ctx(Ctx), Parent(Parent) {}
+
+  GridDimInfo analyze(Expr *GridExpr) {
+    GridDimInfo Info;
+    Expr *Stripped = stripParensAndCasts(GridExpr);
+
+    // Multi-dimensional launch: dim3(e1, e2, e3), possibly behind an
+    // assigned-once dim3 variable.
+    Expr *Dim3Ctor = asDim3Ctor(Stripped);
+    if (!Dim3Ctor) {
+      if (auto *Ref = dyn_cast<DeclRefExpr>(Stripped)) {
+        if (Ref->type().isDim3()) {
+          Expr *Init = resolveAssignedOnceLocal(Parent, Ref->name());
+          if (!Init) {
+            Info.FailureReason = "dim3 grid variable '" + Ref->name() +
+                                 "' is not an assigned-once local";
+            return Info;
+          }
+          Dim3Ctor = asDim3Ctor(stripParensAndCasts(Init));
+          if (!Dim3Ctor) {
+            Info.FailureReason = "dim3 grid variable '" + Ref->name() +
+                                 "' is not initialized by a dim3 constructor";
+            return Info;
+          }
+        }
+      }
+    }
+    if (Dim3Ctor)
+      return analyzeDim3(cast<CallExpr>(Dim3Ctor));
+
+    // One-dimensional grid.
+    bool ViaVariable = false;
+    Expr *Found = findCount(Stripped, ViaVariable, Info.FailureReason);
+    if (!Found)
+      return Info;
+
+    Info.Found = true;
+    Info.ThreadCount = cloneExpr(Ctx, Found);
+    if (!ViaVariable) {
+      Info.InlineSite = Found;
+      Info.Safe = true;
+      return Info;
+    }
+    Info.NeedsReevaluation = true;
+    Info.Safe = isPureExpr(Found) && isStableOverFunction(Found, Parent);
+    if (!Info.Safe)
+      Info.FailureReason =
+          "thread-count expression reached through a variable is not safe to "
+          "re-evaluate";
+    return Info;
+  }
+
+private:
+  Expr *asDim3Ctor(Expr *E) {
+    auto *Call = dyn_cast_or_null<CallExpr>(E);
+    if (Call && Call->calleeName() == "dim3")
+      return Call;
+    return nullptr;
+  }
+
+  /// Recovers N from a one-dimensional grid expression. Sets \p ViaVariable
+  /// if resolution went through an intermediate variable.
+  Expr *findCount(Expr *E, bool &ViaVariable, std::string &FailureReason,
+                  unsigned Depth = 0) {
+    if (Depth > 8) {
+      FailureReason = "variable resolution too deep";
+      return nullptr;
+    }
+    E = stripParensAndCasts(E);
+
+    // Follow assigned-once intermediate variables (the grid dimension is
+    // often computed into a local first).
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E)) {
+      Expr *Init = resolveAssignedOnceLocal(Parent, Ref->name());
+      if (!Init) {
+        FailureReason = "grid dimension '" + Ref->name() +
+                        "' has no resolvable ceiling-division initializer";
+        return nullptr;
+      }
+      ViaVariable = true;
+      return findCount(Init, ViaVariable, FailureReason, Depth + 1);
+    }
+
+    // Find the first division in pre-order.
+    BinaryOperator *Div = nullptr;
+    forEachExpr(E, [&](Expr *Node) {
+      if (Div)
+        return;
+      if (auto *Bin = dyn_cast<BinaryOperator>(Node))
+        if (Bin->op() == BinaryOpKind::Div)
+          Div = Bin;
+    });
+    if (!Div) {
+      FailureReason = "no division found in grid-dimension expression";
+      return nullptr;
+    }
+
+    Expr *Divisor = stripParensAndCasts(Div->rhs());
+    Expr *Dividend = stripParensAndCasts(Div->lhs());
+
+    // The dividend itself may be another intermediate variable
+    // (`int t = n + b - 1; grid = t / b;`).
+    if (auto *Ref = dyn_cast<DeclRefExpr>(Dividend)) {
+      if (Expr *Init = resolveAssignedOnceLocal(Parent, Ref->name())) {
+        ViaVariable = true;
+        Dividend = stripParensAndCasts(Init);
+      }
+    }
+
+    return stripConstantAdjustments(Dividend, Divisor);
+  }
+
+  /// Removes additions and subtractions of "constants" from \p Dividend:
+  /// integer literals and terms structurally equal to the divisor (the
+  /// paper's `(N + b - 1)` case where b is the block dimension).
+  Expr *stripConstantAdjustments(Expr *Dividend, Expr *Divisor) {
+    while (true) {
+      Dividend = stripParensAndCasts(Dividend);
+      auto *Bin = dyn_cast<BinaryOperator>(Dividend);
+      if (!Bin)
+        return Dividend;
+      if (Bin->op() != BinaryOpKind::Add && Bin->op() != BinaryOpKind::Sub)
+        return Dividend;
+      Expr *RHS = stripParensAndCasts(Bin->rhs());
+      if (isConstantLike(RHS, Divisor)) {
+        Dividend = Bin->lhs();
+        continue;
+      }
+      // Commuted addition: `b + N - 1` strips to `b + N`, whose left term is
+      // the constant.
+      if (Bin->op() == BinaryOpKind::Add) {
+        Expr *LHS = stripParensAndCasts(Bin->lhs());
+        if (isConstantLike(LHS, Divisor)) {
+          Dividend = Bin->rhs();
+          continue;
+        }
+      }
+      return Dividend;
+    }
+  }
+
+  bool isConstantLike(const Expr *E, const Expr *Divisor) {
+    if (isa<IntegerLiteral>(E) || isa<FloatLiteral>(E))
+      return true;
+    return structurallyEqual(E, Divisor);
+  }
+
+  GridDimInfo analyzeDim3(CallExpr *Ctor) {
+    GridDimInfo Info;
+    Info.NeedsReevaluation = true;
+
+    std::vector<Expr *> Factors;
+    for (Expr *Arg : Ctor->args()) {
+      Expr *Stripped = stripParensAndCasts(Arg);
+      // Literal dimensions contribute their block count directly (usually 1).
+      if (auto *Lit = dyn_cast<IntegerLiteral>(Stripped)) {
+        if (Lit->value() == 1)
+          continue;
+        Factors.push_back(cloneExpr(Ctx, Lit));
+        continue;
+      }
+      bool ViaVariable = false;
+      std::string Reason;
+      Expr *Found = findCount(Stripped, ViaVariable, Reason);
+      if (!Found) {
+        Info.FailureReason =
+            "dim3 operand is neither a literal nor a ceiling division: " +
+            Reason;
+        return Info;
+      }
+      Factors.push_back(cloneExpr(Ctx, Found));
+    }
+
+    if (Factors.empty()) {
+      // dim3(1, 1, 1): a single child block of threads; treat the count as 1
+      // block's worth, i.e. unknown. Fall back to "not found".
+      Info.FailureReason = "dim3 grid with all-constant dimensions";
+      return Info;
+    }
+
+    Expr *Product = Factors.front();
+    for (size_t I = 1; I < Factors.size(); ++I)
+      Product = Ctx.binary(BinaryOpKind::Mul, Product, Factors[I]);
+
+    Info.Found = true;
+    Info.ThreadCount = Product;
+    Info.Safe = true;
+    for (Expr *Factor : Factors)
+      if (!isPureExpr(Factor) || !isStableOverFunction(Factor, Parent))
+        Info.Safe = false;
+    if (!Info.Safe)
+      Info.FailureReason =
+          "dim3 thread-count factors are not safe to re-evaluate";
+    return Info;
+  }
+
+  ASTContext &Ctx;
+  const FunctionDecl *Parent;
+};
+
+} // namespace
+
+GridDimInfo dpo::analyzeGridDim(ASTContext &Ctx, const FunctionDecl *Parent,
+                                Expr *GridExpr) {
+  GridDimAnalyzer Analyzer(Ctx, Parent);
+  return Analyzer.analyze(GridExpr);
+}

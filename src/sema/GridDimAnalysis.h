@@ -1,0 +1,85 @@
+//===--- GridDimAnalysis.h - Desired-child-thread-count extraction -----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the paper's Section III-D analysis: given the grid-dimension
+/// expression of a dynamic launch, recover the subexpression the programmer
+/// used as the *desired number of child threads* (N). Programmers almost
+/// always compute the grid dimension as a ceiling division of N by the block
+/// dimension; the recognized spellings are those of Fig. 4:
+///
+///   (a) (N - 1)/b + 1
+///   (b) (N + b - 1)/b
+///   (c) N/b + (N%b == 0 ? 0 : 1)
+///   (d) ceil((float)N/b)
+///   (e) ceil(N/(float)b)
+///   (f) dim3(e1, e2, e3) where each operand looks like (a)-(e)
+///
+/// The heuristic: find the first division, take its left-hand side, strip
+/// parens/casts and additions/subtractions of constants (integer literals or
+/// terms structurally equal to the divisor), and call the rest N. The
+/// expression may be split across assigned-once intermediate variables,
+/// which the analysis follows.
+///
+/// The result is deliberately heuristic (the paper argues this is acceptable
+/// because it only selects between serializing and launching — never
+/// correctness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SEMA_GRIDDIMANALYSIS_H
+#define DPO_SEMA_GRIDDIMANALYSIS_H
+
+#include "ast/ASTContext.h"
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+#include <string>
+
+namespace dpo {
+
+struct GridDimInfo {
+  /// True if a desired-thread-count expression was recovered.
+  bool Found = false;
+
+  /// Freshly synthesized expression computing the desired child-thread
+  /// count (a clone of the recovered subexpression; a product of clones for
+  /// multi-dimensional dim3 grids). Owned by the ASTContext passed in.
+  Expr *ThreadCount = nullptr;
+
+  /// When the count was found directly inside the launch's grid expression
+  /// (the common case), this points at the exact node inside that
+  /// expression, so the caller can substitute `_threads` in place and avoid
+  /// evaluating a side-effecting subexpression twice. Null when the count
+  /// was reached through intermediate variables or a dim3 constructor.
+  Expr *InlineSite = nullptr;
+
+  /// True if ThreadCount must be re-evaluated at the launch site from
+  /// cloned subexpressions (variable-resolved or multi-dimensional cases).
+  bool NeedsReevaluation = false;
+
+  /// For NeedsReevaluation results: true if the cloned expression is pure
+  /// and all referenced variables are stable over the parent function, so
+  /// re-evaluation is sound.
+  bool Safe = false;
+
+  /// Human-readable reason when !Found (for diagnostics and tests).
+  std::string FailureReason;
+};
+
+/// Analyzes the grid-dimension expression \p GridExpr of a launch inside
+/// \p Parent. Synthesized nodes are created in \p Ctx.
+GridDimInfo analyzeGridDim(ASTContext &Ctx, const FunctionDecl *Parent,
+                           Expr *GridExpr);
+
+/// Strips ParenExpr and CastExpr wrappers (both are transparent to the
+/// pattern matcher).
+Expr *stripParensAndCasts(Expr *E);
+const Expr *stripParensAndCasts(const Expr *E);
+
+} // namespace dpo
+
+#endif // DPO_SEMA_GRIDDIMANALYSIS_H

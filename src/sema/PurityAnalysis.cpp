@@ -1,0 +1,110 @@
+//===--- PurityAnalysis.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/PurityAnalysis.h"
+
+#include "ast/Walk.h"
+#include "support/Casting.h"
+
+#include <unordered_set>
+
+using namespace dpo;
+
+static bool isPureCallee(const std::string &Name) {
+  static const std::unordered_set<std::string> Pure = {
+      "min",  "max",  "ceil", "ceilf", "floor", "floorf", "abs",
+      "fabs", "fabsf", "sqrt", "sqrtf", "dim3", "fminf",  "fmaxf"};
+  return Pure.count(Name) != 0;
+}
+
+bool dpo::isPureExpr(const Expr *E) {
+  if (!E)
+    return true;
+  bool Pure = true;
+  forEachExpr(E, [&](const Expr *Node) {
+    switch (Node->kind()) {
+    case StmtKind::Binary:
+      if (isAssignmentOp(cast<BinaryOperator>(Node)->op()))
+        Pure = false;
+      break;
+    case StmtKind::Unary: {
+      UnaryOpKind Op = cast<UnaryOperator>(Node)->op();
+      if (Op == UnaryOpKind::PreInc || Op == UnaryOpKind::PreDec ||
+          Op == UnaryOpKind::PostInc || Op == UnaryOpKind::PostDec)
+        Pure = false;
+      break;
+    }
+    case StmtKind::Call: {
+      const auto *Call = cast<CallExpr>(Node);
+      if (!isPureCallee(Call->calleeName()))
+        Pure = false;
+      break;
+    }
+    case StmtKind::Launch:
+      Pure = false;
+      break;
+    default:
+      break;
+    }
+  });
+  return Pure;
+}
+
+unsigned dpo::countAssignments(const FunctionDecl *F, const std::string &Name) {
+  if (!F->body())
+    return 0;
+  unsigned Count = 0;
+  auto RefersToName = [&](const Expr *E) {
+    const Expr *Stripped = E;
+    while (const auto *P = dyn_cast<ParenExpr>(Stripped))
+      Stripped = P->inner();
+    const auto *Ref = dyn_cast<DeclRefExpr>(Stripped);
+    return Ref && Ref->name() == Name;
+  };
+  forEachExpr(F->body(), [&](const Expr *E) {
+    if (const auto *Bin = dyn_cast<BinaryOperator>(E)) {
+      if (isAssignmentOp(Bin->op()) && RefersToName(Bin->lhs()))
+        ++Count;
+      return;
+    }
+    if (const auto *U = dyn_cast<UnaryOperator>(E)) {
+      switch (U->op()) {
+      case UnaryOpKind::PreInc:
+      case UnaryOpKind::PreDec:
+      case UnaryOpKind::PostInc:
+      case UnaryOpKind::PostDec:
+        if (RefersToName(U->operand()))
+          ++Count;
+        break;
+      case UnaryOpKind::AddrOf:
+        // Taking the address may alias the variable; treat as an assignment
+        // to stay conservative.
+        if (RefersToName(U->operand()))
+          ++Count;
+        break;
+      default:
+        break;
+      }
+    }
+  });
+  return Count;
+}
+
+bool dpo::isStableOverFunction(const Expr *E, const FunctionDecl *F) {
+  static const std::unordered_set<std::string> Builtins = {
+      "threadIdx", "blockIdx", "blockDim", "gridDim", "warpSize"};
+  bool Stable = true;
+  forEachExpr(E, [&](const Expr *Node) {
+    const auto *Ref = dyn_cast<DeclRefExpr>(Node);
+    if (!Ref || !Stable)
+      return;
+    if (Builtins.count(Ref->name()))
+      return;
+    if (countAssignments(F, Ref->name()) != 0)
+      Stable = false;
+  });
+  return Stable;
+}

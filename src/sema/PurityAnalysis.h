@@ -1,0 +1,40 @@
+//===--- PurityAnalysis.h - Side-effect and stability analysis ---------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative purity/stability checks used by the thresholding pass when
+/// it must re-evaluate a grid-dimension subexpression at a different program
+/// point (paper Section III-D: the desired-thread-count subexpression may be
+/// stored in intermediate variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SEMA_PURITYANALYSIS_H
+#define DPO_SEMA_PURITYANALYSIS_H
+
+#include "ast/Decl.h"
+#include "ast/Stmt.h"
+
+namespace dpo {
+
+/// True if evaluating \p E has no side effects: no assignments, no
+/// increment/decrement, no launches, and only calls to known-pure functions
+/// (min/max/ceil/abs family and the dim3 constructor).
+bool isPureExpr(const Expr *E);
+
+/// Number of textual assignments to \p Name inside \p F (assignment
+/// operators, ++/--, and address-taken uses count; the declaration's
+/// initializer does not).
+unsigned countAssignments(const FunctionDecl *F, const std::string &Name);
+
+/// True if every variable referenced by \p E is stable over the body of
+/// \p F: a parameter that is never reassigned, a local assigned only by its
+/// initializer, or a CUDA built-in (threadIdx & friends).
+bool isStableOverFunction(const Expr *E, const FunctionDecl *F);
+
+} // namespace dpo
+
+#endif // DPO_SEMA_PURITYANALYSIS_H

@@ -1,0 +1,81 @@
+//===--- Transformability.cpp -------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Transformability.h"
+
+#include "ast/Walk.h"
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace dpo;
+
+bool dpo::isBarrierOrWarpPrimitive(const std::string &Name) {
+  static const std::unordered_set<std::string> Exact = {
+      "__syncthreads",       "__syncthreads_count", "__syncthreads_and",
+      "__syncthreads_or",    "__syncwarp",          "__activemask",
+      "__ballot_sync",       "__any_sync",          "__all_sync",
+      "__uni_sync",          "__ballot",            "__any",
+      "__all",
+  };
+  if (Exact.count(Name))
+    return true;
+  // __shfl_sync, __shfl_up_sync, __shfl_down_sync, __shfl_xor_sync, legacy
+  // __shfl*, and the __reduce_*_sync family.
+  if (startsWith(Name, "__shfl") || startsWith(Name, "__reduce_"))
+    return true;
+  return false;
+}
+
+namespace {
+
+void analyzeBody(const FunctionDecl *F, const TranslationUnit *TU,
+                 std::unordered_set<std::string> &Visited,
+                 Transformability &Result) {
+  if (!F->body() || !Visited.insert(F->name()).second)
+    return;
+
+  forEachStmt(const_cast<CompoundStmt *>(F->body()), [&](Stmt *S) {
+    if (auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const VarDecl *D : DS->decls())
+        if (D->isShared()) {
+          Result.Serializable = false;
+          Result.Reasons.push_back("uses shared memory ('" + D->name() +
+                                   "' in '" + F->name() + "')");
+        }
+      return;
+    }
+    auto *Call = dyn_cast<CallExpr>(S);
+    if (!Call)
+      return;
+    std::string Callee = Call->calleeName();
+    if (Callee.empty())
+      return;
+    if (isBarrierOrWarpPrimitive(Callee)) {
+      Result.Serializable = false;
+      Result.Reasons.push_back("performs barrier/warp synchronization ('" +
+                               Callee + "' in '" + F->name() + "')");
+      return;
+    }
+    // Transitive: follow __device__ callees defined in this TU.
+    if (TU) {
+      if (const FunctionDecl *Target = TU->findFunction(Callee))
+        if (Target->qualifiers().Device)
+          analyzeBody(Target, TU, Visited, Result);
+    }
+  });
+}
+
+} // namespace
+
+Transformability dpo::analyzeSerializability(const FunctionDecl *Child,
+                                             const TranslationUnit *TU) {
+  Transformability Result;
+  std::unordered_set<std::string> Visited;
+  analyzeBody(Child, TU, Visited, Result);
+  return Result;
+}

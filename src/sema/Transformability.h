@@ -1,0 +1,48 @@
+//===--- Transformability.h - Which child kernels can be serialized? ---------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section III-C of the paper: a child kernel cannot be serialized into its
+/// parent thread when it (1) performs barrier synchronization
+/// (__syncthreads or warp-level primitives), because serializing
+/// barrier-synchronized code requires scalar expansion that is prohibitively
+/// expensive on a GPU and usually indicates an algorithm with a better
+/// sequential form; or (2) uses shared memory, because each parent thread
+/// would need an entire block's worth of shared memory.
+///
+/// The analysis is transitive over __device__ functions defined in the same
+/// translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SEMA_TRANSFORMABILITY_H
+#define DPO_SEMA_TRANSFORMABILITY_H
+
+#include "ast/Decl.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+struct Transformability {
+  bool Serializable = true;
+  std::vector<std::string> Reasons;
+};
+
+/// Decides whether \p Child can be turned into a serial __device__ version
+/// executed by the parent thread. \p TU provides definitions of __device__
+/// functions the child calls (may be null to analyze the body alone).
+Transformability analyzeSerializability(const FunctionDecl *Child,
+                                        const TranslationUnit *TU = nullptr);
+
+/// True if \p Name is a barrier or warp-level primitive that rules out
+/// serialization.
+bool isBarrierOrWarpPrimitive(const std::string &Name);
+
+} // namespace dpo
+
+#endif // DPO_SEMA_TRANSFORMABILITY_H

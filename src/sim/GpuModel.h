@@ -1,0 +1,83 @@
+//===--- GpuModel.h - V100-like device parameters -----------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost-model parameters for the timing simulator. Defaults approximate a
+/// Volta V100 (the paper's evaluation platform): 80 SMs, 1.38 GHz, 32
+/// warps/SM. The launch-subsystem parameters encode the first-order
+/// effects the paper identifies: a device-side launch path with limited
+/// throughput (congestion when tens of thousands of grids are launched), a
+/// bounded pending-launch pool, a bounded number of concurrently resident
+/// grids (underutilization when grids are tiny), per-block dispatch
+/// overhead (what coarsening reduces), and host involvement for
+/// grid-granularity aggregation. Absolute microseconds are synthetic; the
+/// model's job is to preserve the *shape* of the paper's results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SIM_GPUMODEL_H
+#define DPO_SIM_GPUMODEL_H
+
+namespace dpo {
+
+struct GpuModel {
+  // Compute fabric.
+  unsigned NumSMs = 80;
+  double ClockGHz = 1.38;
+  unsigned WarpSize = 32;
+  unsigned MaxThreadsPerSM = 2048;
+  unsigned MaxBlocksPerSM = 32;
+  unsigned MaxConcurrentGrids = 128;
+
+  // Device-side launch path. The per-launch cost is cheap until the
+  // launch queue saturates; past the knee, contention grows quadratically
+  // (this is what makes ~6k-8k launches the paper's sweet spot, Section
+  // VIII-C).
+  double LaunchBaseLatencyUs = 5.0;  ///< Issue-to-schedulable latency.
+  double LaunchServiceUs = 0.24;     ///< Per-launch throughput cost.
+  double LaunchCongestionQuadUs = 0.30; ///< Saturates at 20k launches. ///< x (launches/1000)^2.
+  unsigned PendingLaunchPool = 2048; ///< cudaLimitDevRuntimePendingLaunchCount.
+  double PoolStallServiceUs = 0.10;   ///< Extra serialization past the pool.
+  /// Per-thread instruction overhead from merely containing a launch
+  /// (Section VIII-D: present even if the launch never executes).
+  double LaunchPresenceCycles = 160;
+  /// Issue cost paid by a launching parent thread (parameter marshalling).
+  double LaunchIssueCycles = 700;
+
+  // Block dispatch (GigaThread engine).
+  double BlockDispatchUs = 0.025;
+
+  // Host involvement (grid-granularity aggregation).
+  double HostLaunchOverheadUs = 9.0;
+  double HostSyncOverheadUs = 6.0;
+
+  // Aggregation logic (Fig. 7 parent-side code).
+  double AggStoreCyclesPerParent = 180;  ///< Packed atomic + stores + max.
+  double AggSharedStoreCycles = 90;      ///< Block granularity (shared mem).
+  double AggWarpStoreCycles = 55;        ///< Warp granularity (intrinsics).
+  double AggGroupCounterCycles = 160;    ///< Finished-counter atomic per block.
+  /// Serialized atomic throughput on one counter under contention; makes
+  /// grid-granularity aggregation pay for hammering a single counter.
+  double AtomicContentionCycles = 8.0;
+
+  // Disaggregation logic (binary search + configuration loads).
+  double DisaggProbeCycles = 50;  ///< One binary-search probe (global load).
+  double DisaggSetupCycles = 130; ///< Parameter/configuration loads.
+
+  // Overlap fractions: how much of a phase hides under the parent kernel.
+  double LaunchOverlapFraction = 0.85;
+  double ChildOverlapNoAgg = 0.5;   ///< Children start while parent runs.
+  double ChildOverlapWarp = 0.45;
+  double ChildOverlapBlock = 0.30;
+  double ChildOverlapMultiBlock = 0.26;
+  // Grid granularity: zero overlap (children wait for the whole parent).
+
+  double cyclesToUs(double Cycles) const { return Cycles / (ClockGHz * 1e3); }
+};
+
+} // namespace dpo
+
+#endif // DPO_SIM_GPUMODEL_H

@@ -1,0 +1,229 @@
+//===--- Simulator.cpp --------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dpo;
+
+namespace {
+
+uint64_t ceilDiv(uint64_t A, uint64_t B) { return (A + B - 1) / B; }
+
+double log2Ceil(uint64_t V) {
+  double L = 0;
+  uint64_t X = 1;
+  while (X < V) {
+    X <<= 1;
+    ++L;
+  }
+  return L;
+}
+
+} // namespace
+
+SimResult dpo::simulateBatch(const GpuModel &Gpu, const NestedBatch &Batch,
+                             const ExecConfig &Config) {
+  SimResult Result;
+  if (Batch.NumParentThreads == 0)
+    return Result;
+
+  LaunchPlan Plan = buildLaunchPlan(Batch, Config);
+  Result.DeviceLaunches = Plan.DeviceLaunches;
+  Result.HostLaunches = Plan.HostLaunches;
+  Result.ChildBlocks = Plan.TotalCoarsenedBlocks;
+
+  const double Clock = Gpu.ClockGHz * 1e3; // cycles per microsecond
+  const unsigned W = Gpu.WarpSize;
+
+  //===--- Parent kernel: warp-granular lane-max accounting ---------------===//
+
+  double ParentWarpCyclesSum = 0; // pure parent work + serialized children
+  double ParentMaxWarpCycles = 0;
+  double AggLogicCycles = 0;      // Fig. 7 parent-side logic
+  double LaunchIssueCycles = 0;   // per-launching-lane issue cost
+
+  double PresenceCycles =
+      (Batch.KernelHasLaunch && !Config.NoCdp) ? Gpu.LaunchPresenceCycles : 0;
+
+  double AggPerParent = 0;
+  switch (Config.Agg) {
+  case AggGranularity::Warp:
+    AggPerParent = Gpu.AggWarpStoreCycles;
+    break;
+  case AggGranularity::Block:
+    AggPerParent = Gpu.AggSharedStoreCycles;
+    break;
+  case AggGranularity::MultiBlock:
+  case AggGranularity::Grid:
+    AggPerParent = Gpu.AggStoreCyclesPerParent;
+    break;
+  case AggGranularity::None:
+    break;
+  }
+
+  for (uint32_t Base = 0; Base < Batch.NumParentThreads; Base += W) {
+    uint32_t End = std::min(Batch.NumParentThreads, Base + W);
+    double MaxWork = 0;  // divergent serialized work: lane max
+    double MaxAgg = 0;
+    double MaxIssue = 0;
+    for (uint32_t Tid = Base; Tid < End; ++Tid) {
+      double Lane = Batch.ParentCyclesPerThread + PresenceCycles +
+                    Plan.SerializedUnits[Tid] * Batch.SerialCyclesPerUnit;
+      MaxWork = std::max(MaxWork, Lane);
+      if (Plan.Participates[Tid]) {
+        if (Config.Agg == AggGranularity::None)
+          MaxIssue = std::max(MaxIssue, Gpu.LaunchIssueCycles);
+        else
+          MaxAgg = std::max(MaxAgg, AggPerParent);
+      }
+    }
+    ParentWarpCyclesSum += MaxWork;
+    ParentMaxWarpCycles = std::max(ParentMaxWarpCycles, MaxWork);
+    AggLogicCycles += MaxAgg;
+    LaunchIssueCycles += MaxIssue;
+  }
+
+  // Group-completion counters: one atomic per parent block (block /
+  // multi-block) or per thread (warp); single hot counter for grid.
+  uint64_t ParentBlocks =
+      ceilDiv(Batch.NumParentThreads, Batch.ParentBlockDim);
+  if (Config.Agg == AggGranularity::Block ||
+      Config.Agg == AggGranularity::MultiBlock)
+    AggLogicCycles += (double)ParentBlocks * Gpu.AggGroupCounterCycles / W;
+  if (Config.Agg == AggGranularity::Warp)
+    AggLogicCycles +=
+        (double)Plan.ParticipantCount * Gpu.AggGroupCounterCycles / W;
+  double ParentUs =
+      std::max(ParentWarpCyclesSum / (Gpu.NumSMs * Clock),
+               ParentMaxWarpCycles / Clock);
+  double AggUs = AggLogicCycles / (Gpu.NumSMs * Clock);
+  // Contention: participants in the same group serialize on that group's
+  // packed counter (a true serial chain, not hidden by SM parallelism).
+  // The biggest group bounds the chain.
+  if (Config.Agg != AggGranularity::None)
+    AggUs += (double)Plan.MaxGroupParticipants * Gpu.AtomicContentionCycles /
+             Clock;
+
+  //===--- Launch subsystem ------------------------------------------------===//
+
+  double LaunchUs = 0;
+  uint64_t DevLaunches = Plan.DeviceLaunches;
+  if (DevLaunches > 0) {
+    LaunchUs += Gpu.LaunchBaseLatencyUs;
+    LaunchUs += (double)DevLaunches * Gpu.LaunchServiceUs;
+    double K = std::min((double)DevLaunches, 20000.0) / 1000.0;
+    LaunchUs += K * K * Gpu.LaunchCongestionQuadUs;
+    if (DevLaunches > Gpu.PendingLaunchPool)
+      LaunchUs += (double)(DevLaunches - Gpu.PendingLaunchPool) *
+                  Gpu.PoolStallServiceUs;
+    LaunchUs += LaunchIssueCycles / (Gpu.NumSMs * Clock);
+  }
+  if (Plan.HostLaunches > 0)
+    LaunchUs += Gpu.HostSyncOverheadUs +
+                (double)Plan.HostLaunches * Gpu.HostLaunchOverheadUs;
+
+  // Launch processing overlaps the tail of parent execution.
+  double LaunchVisibleUs =
+      std::max(0.0, LaunchUs - ParentUs * Gpu.LaunchOverlapFraction);
+
+  //===--- Child execution --------------------------------------------------===//
+
+  double ChildWorkWarpCycles = 0;
+  double DisaggCycles = 0;
+  double MaxGridCriticalCycles = 0;
+  double SumGridCriticalCycles = 0;
+
+  for (const PlannedGrid &Grid : Plan.Grids) {
+    if (Grid.CoarsenedBlocks == 0)
+      continue;
+    // Per original block: warps of work plus the per-block preamble.
+    double PerOrigCycles =
+        (double)ceilDiv(Grid.BlockDim, W) * Batch.ChildCyclesPerUnit +
+        Batch.ChildBlockBaseCycles;
+    double GridWorkCycles = (double)Grid.OrigBlocks * PerOrigCycles;
+    ChildWorkWarpCycles += GridWorkCycles;
+
+    double PerBlockDisagg = 0;
+    if (Grid.Participants > 1 || Config.Agg != AggGranularity::None) {
+      PerBlockDisagg = Gpu.DisaggSetupCycles +
+                       log2Ceil(std::max<uint64_t>(1, Grid.Participants)) *
+                           Gpu.DisaggProbeCycles;
+      DisaggCycles += (double)Grid.CoarsenedBlocks * PerBlockDisagg;
+    }
+
+    // Critical path of this grid: one coarsened block.
+    double OrigPerCoarse =
+        (double)ceilDiv(Grid.OrigBlocks, Grid.CoarsenedBlocks);
+    double BlockCycles = PerBlockDisagg + OrigPerCoarse * PerOrigCycles;
+    MaxGridCriticalCycles = std::max(MaxGridCriticalCycles, BlockCycles);
+    SumGridCriticalCycles += BlockCycles;
+  }
+
+  double ChildUs = 0;
+  if (!Plan.Grids.empty()) {
+    double WorkUs = (ChildWorkWarpCycles + DisaggCycles) / (Gpu.NumSMs * Clock);
+    double DispatchUs = (double)Plan.TotalCoarsenedBlocks * Gpu.BlockDispatchUs;
+    // Concurrency limit: tiny grids cannot fill the device; grids beyond
+    // the resident limit serialize in waves of average critical path.
+    double AvgGridCriticalUs =
+        SumGridCriticalCycles / Plan.Grids.size() / Clock;
+    double ConcurrencyUs = 0;
+    if (Plan.Grids.size() > Gpu.MaxConcurrentGrids)
+      ConcurrencyUs = (double)Plan.Grids.size() / Gpu.MaxConcurrentGrids *
+                      AvgGridCriticalUs;
+    double CriticalUs = MaxGridCriticalCycles / Clock;
+    ChildUs = std::max({WorkUs + DispatchUs, ConcurrencyUs, CriticalUs});
+  }
+
+  double ChildOverlap = 0;
+  switch (Config.Agg) {
+  case AggGranularity::None:
+    ChildOverlap = Gpu.ChildOverlapNoAgg;
+    break;
+  case AggGranularity::Warp:
+    ChildOverlap = Gpu.ChildOverlapWarp;
+    break;
+  case AggGranularity::Block:
+    ChildOverlap = Gpu.ChildOverlapBlock;
+    break;
+  case AggGranularity::MultiBlock:
+    ChildOverlap = Gpu.ChildOverlapMultiBlock;
+    break;
+  case AggGranularity::Grid:
+    ChildOverlap = 0;
+    break;
+  }
+  double ChildVisibleUs =
+      ChildUs - std::min(ChildUs * ChildOverlap, ParentUs * 0.9);
+
+  //===--- Compose -----------------------------------------------------------===//
+
+  double DisaggUs = DisaggCycles / (Gpu.NumSMs * Clock);
+  double ChildWorkUs = std::max(0.0, ChildVisibleUs - DisaggUs);
+  if (ChildVisibleUs <= 0)
+    ChildWorkUs = 0;
+
+  Result.Breakdown.ParentWork = ParentUs;
+  Result.Breakdown.Aggregation = AggUs;
+  Result.Breakdown.Launch = LaunchVisibleUs;
+  Result.Breakdown.Disaggregation = std::min(DisaggUs, ChildVisibleUs);
+  Result.Breakdown.ChildWork = ChildWorkUs;
+  Result.TimeUs = Result.Breakdown.total();
+  return Result;
+}
+
+SimResult dpo::simulateBatches(const GpuModel &Gpu,
+                               const std::vector<NestedBatch> &Batches,
+                               const ExecConfig &Config) {
+  SimResult Total;
+  for (const NestedBatch &Batch : Batches)
+    Total += simulateBatch(Gpu, Batch, Config);
+  return Total;
+}

@@ -1,0 +1,85 @@
+//===--- Simulator.h - Timing model for nested-parallel kernels ---------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the execution time and the Fig. 10 phase breakdown of one
+/// parent-kernel invocation (a NestedBatch) under an execution strategy
+/// (ExecConfig), using the LaunchPlan from src/rt.
+///
+/// Model summary (all at warp granularity, the unit of SIMD execution):
+///
+///  parent time  = max(sum of parent warp-cycles / (SMs * clock),
+///                     slowest warp)   -- divergence = per-warp lane max
+///  launch time  = pipeline latency + per-launch service (congestion) +
+///                 pending-pool stalls, minus what hides under the parent
+///  child time   = max(work-limited, dispatch-limited, concurrency-limited,
+///                     critical path), minus granularity-dependent overlap
+///  aggregation  = parent-side Fig. 7 logic incl. single-counter contention
+///  disaggregation = per *coarsened* block binary search + config loads
+///                   (coarsening amortizes it across original blocks)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SIM_SIMULATOR_H
+#define DPO_SIM_SIMULATOR_H
+
+#include "rt/LaunchPlan.h"
+#include "sim/GpuModel.h"
+
+#include <vector>
+
+namespace dpo {
+
+/// Fig. 10 execution-time buckets (microseconds).
+struct PhaseBreakdown {
+  double ParentWork = 0;
+  double ChildWork = 0;
+  double Launch = 0;
+  double Aggregation = 0;
+  double Disaggregation = 0;
+
+  double total() const {
+    return ParentWork + ChildWork + Launch + Aggregation + Disaggregation;
+  }
+  PhaseBreakdown &operator+=(const PhaseBreakdown &O) {
+    ParentWork += O.ParentWork;
+    ChildWork += O.ChildWork;
+    Launch += O.Launch;
+    Aggregation += O.Aggregation;
+    Disaggregation += O.Disaggregation;
+    return *this;
+  }
+};
+
+struct SimResult {
+  double TimeUs = 0;           ///< Makespan of the batch.
+  PhaseBreakdown Breakdown;    ///< Attributable time per phase.
+  uint64_t DeviceLaunches = 0;
+  uint64_t HostLaunches = 0;
+  uint64_t ChildBlocks = 0;    ///< Coarsened blocks actually scheduled.
+
+  SimResult &operator+=(const SimResult &O) {
+    TimeUs += O.TimeUs;
+    Breakdown += O.Breakdown;
+    DeviceLaunches += O.DeviceLaunches;
+    HostLaunches += O.HostLaunches;
+    ChildBlocks += O.ChildBlocks;
+    return *this;
+  }
+};
+
+/// Simulates one batch under \p Config.
+SimResult simulateBatch(const GpuModel &Gpu, const NestedBatch &Batch,
+                        const ExecConfig &Config);
+
+/// Simulates a multi-iteration workload (sums batch results).
+SimResult simulateBatches(const GpuModel &Gpu,
+                          const std::vector<NestedBatch> &Batches,
+                          const ExecConfig &Config);
+
+} // namespace dpo
+
+#endif // DPO_SIM_SIMULATOR_H

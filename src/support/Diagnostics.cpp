@@ -1,0 +1,31 @@
+//===--- Diagnostics.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace dpo;
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+    switch (D.Kind) {
+    case DiagKind::Error:
+      OS << "error: ";
+      break;
+    case DiagKind::Warning:
+      OS << "warning: ";
+      break;
+    case DiagKind::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << '\n';
+  }
+  return OS.str();
+}

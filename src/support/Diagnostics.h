@@ -1,0 +1,68 @@
+//===--- Diagnostics.h - Error/warning collection --------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic engine used by the lexer, parser, analyses, and passes. The
+/// library never throws; components report problems here and return a
+/// failure value (null AST node, empty optional, ...). Messages follow the
+/// LLVM style: lower-case first letter, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SUPPORT_DIAGNOSTICS_H
+#define DPO_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+enum class DiagKind { Error, Warning, Note };
+
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced while processing one input.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: kind: message" lines.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace dpo
+
+#endif // DPO_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,34 @@
+//===--- SourceLocation.h - Lightweight source positions ------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A source location is a (line, column) pair plus a byte offset into the
+/// buffer being lexed. Invalid locations have Line == 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SUPPORT_SOURCELOCATION_H
+#define DPO_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace dpo {
+
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+  uint32_t Offset = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.Offset == B.Offset && A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace dpo
+
+#endif // DPO_SUPPORT_SOURCELOCATION_H

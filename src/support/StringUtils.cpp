@@ -1,0 +1,65 @@
+//===--- StringUtils.cpp ----------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+using namespace dpo;
+
+bool dpo::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool dpo::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::string_view dpo::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() && std::isspace((unsigned char)Text[Begin]))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace((unsigned char)Text[End - 1]))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> dpo::split(std::string_view Text,
+                                         char Separator) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Separator) {
+      Parts.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string dpo::join(const std::vector<std::string> &Parts,
+                      std::string_view Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string dpo::replaceAll(std::string Text, std::string_view From,
+                            std::string_view To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}

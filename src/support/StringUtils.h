@@ -1,0 +1,38 @@
+//===--- StringUtils.h - Small string helpers ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SUPPORT_STRINGUTILS_H
+#define DPO_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpo {
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Splits \p Text on \p Separator; keeps empty fields.
+std::vector<std::string_view> split(std::string_view Text, char Separator);
+
+/// Joins \p Parts with \p Separator between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Separator);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+} // namespace dpo
+
+#endif // DPO_SUPPORT_STRINGUTILS_H

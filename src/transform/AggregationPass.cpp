@@ -1,0 +1,743 @@
+//===--- AggregationPass.cpp ----------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Code generation strategy: the aggregation/disaggregation skeletons are
+/// fixed code shapes with interpolated names, so they are generated as
+/// source text and parsed with the project's own frontend, then spliced
+/// into the translation unit. Expressions taken from the original launch
+/// (configuration, arguments) are printed into the template exactly once,
+/// preserving evaluation counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/AggregationPass.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+#include "parse/Parser.h"
+#include "sema/LaunchSites.h"
+#include "support/Casting.h"
+#include "transform/BuiltinRewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+using namespace dpo;
+
+namespace {
+
+bool containsReturn(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (isa<ReturnStmt>(S))
+      Found = true;
+  });
+  return Found;
+}
+
+/// True if \p Target appears inside a loop statement under \p Root.
+bool insideLoop(Stmt *Root, const Stmt *Target) {
+  bool Result = false;
+  forEachStmt(Root, [&](Stmt *S) {
+    Stmt *LoopBody = nullptr;
+    if (auto *For = dyn_cast<ForStmt>(S))
+      LoopBody = For->body();
+    else if (auto *While = dyn_cast<WhileStmt>(S))
+      LoopBody = While->body();
+    else if (auto *Do = dyn_cast<DoStmt>(S))
+      LoopBody = Do->body();
+    if (!LoopBody)
+      return;
+    forEachStmt(LoopBody, [&](const Stmt *Inner) {
+      if (Inner == Target)
+        Result = true;
+    });
+  });
+  return Result;
+}
+
+class AggregationTransformer {
+public:
+  AggregationTransformer(ASTContext &Ctx, TranslationUnit *TU,
+                         const AggregationOptions &Options,
+                         DiagnosticEngine &Diags)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+
+  AggregationResult run() {
+    AggregationResult Result;
+    if (Options.Granularity == AggGranularity::None)
+      return Result;
+
+    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+
+    // Select eligible dynamic launch sites.
+    struct SiteGen {
+      LaunchSite Site;
+      unsigned K = 0;
+    };
+    std::vector<SiteGen> Planned;
+    std::set<FunctionDecl *> Parents;
+    for (const LaunchSite &Site : AllSites) {
+      if (!Site.FromKernel)
+        continue;
+      std::string Where =
+          Site.Caller->name() + " -> " + Site.Launch->kernel();
+      std::string Reason;
+      if (!eligible(Site, Reason)) {
+        ++Result.SkippedLaunches;
+        Result.SkipReasons.push_back(Where + ": " + Reason);
+        continue;
+      }
+      SiteGen Gen;
+      Gen.Site = Site;
+      Gen.K = SiteCounter++;
+      Planned.push_back(Gen);
+      Parents.insert(Site.Caller);
+    }
+    if (Planned.empty())
+      return Result;
+
+    // A parent is only transformable if every host launch of it can be
+    // redirected to the generated wrapper.
+    for (auto It = Planned.begin(); It != Planned.end();) {
+      FunctionDecl *Parent = It->Site.Caller;
+      bool Ok = true;
+      for (const LaunchSite &Site : AllSites) {
+        if (Site.Child != Parent || Site.FromKernel)
+          continue;
+        if (!Site.InStatementPosition)
+          Ok = false;
+      }
+      if (Ok) {
+        ++It;
+        continue;
+      }
+      ++Result.SkippedLaunches;
+      Result.SkipReasons.push_back(
+          Parent->name() +
+          ": a host launch of this kernel is not in statement position");
+      Parents.erase(Parent);
+      It = Planned.erase(It);
+    }
+    if (Planned.empty())
+      return Result;
+
+    if (Options.Spelling == KnobSpelling::Macro) {
+      if (Options.Granularity == AggGranularity::MultiBlock)
+        emitMacroDefault(Options.GroupSizeMacroName, Options.GroupSize);
+      if (useAggThreshold())
+        emitMacroDefault(Options.AggThresholdMacroName,
+                         Options.AggregationThreshold);
+    }
+
+    // Generate the aggregated child kernel for each distinct child.
+    for (const SiteGen &Gen : Planned)
+      if (ensureAggKernel(Gen.Site.Child))
+        ++Result.GeneratedKernels;
+
+    // Per-site codegen.
+    std::unordered_map<const Stmt *, Stmt *> Replacements;
+    std::map<FunctionDecl *, std::vector<const SiteGen *>> SitesOfParent;
+    for (SiteGen &Gen : Planned)
+      SitesOfParent[Gen.Site.Caller].push_back(&Gen);
+
+    for (const SiteGen &Gen : Planned) {
+      appendParentParams(Gen.Site, Gen.K);
+      Replacements[Gen.Site.Launch] = buildPartA(Gen.Site, Gen.K);
+    }
+
+    // Epilogues and (for the aggregation threshold) per-thread locals.
+    for (auto &[Parent, Sites] : SitesOfParent) {
+      for (const SiteGen *Gen : Sites) {
+        if (useAggThreshold())
+          insertThresholdLocals(Gen->Site, Gen->K);
+        if (Options.Granularity != AggGranularity::Grid)
+          appendEpilogue(Gen->Site, Gen->K);
+      }
+    }
+
+    // Apply launch-site replacements.
+    for (Decl *D : TU->decls()) {
+      auto *F = dyn_cast<FunctionDecl>(D);
+      if (!F || !F->body())
+        continue;
+      rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+        auto It = Replacements.find(S);
+        return It != Replacements.end() ? It->second : nullptr;
+      });
+    }
+
+    // Host wrappers + host launch redirection.
+    if (Options.EmitHostWrapper) {
+      std::unordered_map<const Stmt *, Stmt *> HostRepl;
+      for (auto &[Parent, Sites] : SitesOfParent) {
+        generateHostWrapper(Parent, Sites);
+        ++Result.GeneratedWrappers;
+        for (const LaunchSite &Site : AllSites) {
+          if (Site.Child != Parent || Site.FromKernel)
+            continue;
+          HostRepl[Site.Launch] = buildWrapperCall(Parent, Site);
+        }
+      }
+      for (Decl *D : TU->decls()) {
+        auto *F = dyn_cast<FunctionDecl>(D);
+        if (!F || !F->body())
+          continue;
+        rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+          auto It = HostRepl.find(S);
+          return It != HostRepl.end() ? It->second : nullptr;
+        });
+      }
+    }
+
+    Result.TransformedLaunches = Planned.size();
+    return Result;
+  }
+
+private:
+  bool useAggThreshold() const {
+    return Options.UseAggregationThreshold &&
+           Options.Granularity == AggGranularity::Block;
+  }
+
+  bool eligible(const LaunchSite &Site, std::string &Reason) {
+    if (!Site.Caller->qualifiers().Global) {
+      Reason = "launches from __device__ functions are not supported";
+      return false;
+    }
+    if (!Site.InStatementPosition) {
+      Reason = "launch is not in statement position";
+      return false;
+    }
+    if (!Site.Child || !Site.Child->isDefinition()) {
+      Reason = "child kernel definition not found";
+      return false;
+    }
+    if (Site.Launch->gridDim()->type().isDim3() ||
+        Site.Launch->blockDim()->type().isDim3()) {
+      Reason = "aggregation requires 1-D (scalar) launch configurations";
+      return false;
+    }
+    if (Options.Granularity != AggGranularity::Grid &&
+        containsReturn(Site.Caller->body())) {
+      Reason = "parent kernel has early returns; the aggregation epilogue "
+               "must post-dominate the launch";
+      return false;
+    }
+    if (insideLoop(Site.Caller->body(), Site.Launch)) {
+      Reason = "launch inside a loop could overflow the per-thread "
+               "aggregation slot";
+      return false;
+    }
+    for (const VarDecl *P : Site.Caller->params()) {
+      if (P->name().rfind("_agg", 0) == 0) {
+        Reason = "parent already aggregated";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void emitMacroDefault(const std::string &Macro, unsigned Value) {
+    std::string Text = "#ifndef " + Macro + "\n#define " + Macro + " " +
+                       std::to_string(Value) + "\n#endif";
+    TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
+  }
+
+  /// Spelling of the multi-block group size in generated code.
+  std::string groupSizeText() const {
+    if (Options.Spelling == KnobSpelling::Macro)
+      return Options.GroupSizeMacroName;
+    return std::to_string(Options.GroupSize) + "u";
+  }
+
+  std::string aggThresholdText() const {
+    if (Options.Spelling == KnobSpelling::Macro)
+      return Options.AggThresholdMacroName;
+    return std::to_string(Options.AggregationThreshold) + "u";
+  }
+
+  /// Group index of the current parent thread, device-side.
+  std::string groupIdxText() const {
+    switch (Options.Granularity) {
+    case AggGranularity::Warp:
+      return "(blockIdx.x * blockDim.x + threadIdx.x) / 32u";
+    case AggGranularity::Block:
+      return "blockIdx.x";
+    case AggGranularity::MultiBlock:
+      return "blockIdx.x / " + groupSizeText();
+    case AggGranularity::Grid:
+      return "0u";
+    case AggGranularity::None:
+      break;
+    }
+    return "0u";
+  }
+
+  /// Maximum number of launching parents per group, device-side.
+  std::string capacityText() const {
+    switch (Options.Granularity) {
+    case AggGranularity::Warp:
+      return "32u";
+    case AggGranularity::Block:
+      return "blockDim.x";
+    case AggGranularity::MultiBlock:
+      return "(" + groupSizeText() + " * blockDim.x)";
+    case AggGranularity::Grid:
+      return "(gridDim.x * blockDim.x)";
+    case AggGranularity::None:
+      break;
+    }
+    return "1u";
+  }
+
+  /// Parses a block of statements by wrapping them in a template function.
+  std::vector<Stmt *> parseStmts(const std::string &Body) {
+    std::string Source = "__device__ void _aggTemplate() {\n" + Body + "\n}\n";
+    DiagnosticEngine TemplateDiags;
+    TranslationUnit *Tmp = parseSource(Source, Ctx, TemplateDiags);
+    if (!Tmp) {
+      Diags.error({}, "internal error: aggregation template failed to parse: " +
+                          TemplateDiags.str() + "\n" + Source);
+      return {};
+    }
+    return Tmp->findFunction("_aggTemplate")->body()->body();
+  }
+
+  FunctionDecl *parseFunction(const std::string &Source,
+                              const std::string &Name) {
+    DiagnosticEngine TemplateDiags;
+    TranslationUnit *Tmp = parseSource(Source, Ctx, TemplateDiags);
+    if (!Tmp) {
+      Diags.error({}, "internal error: aggregation template failed to parse: " +
+                          TemplateDiags.str() + "\n" + Source);
+      return nullptr;
+    }
+    return Tmp->findFunction(Name);
+  }
+
+  /// Child parameter type with const/restrict stripped (the values are
+  /// staged through writable buffers).
+  static Type bufferElemType(const VarDecl *P) {
+    Type T = P->type();
+    T.setConst(false);
+    T.setRestrict(false);
+    return T;
+  }
+
+  /// Generates `<child>_agg` (Fig. 7 lines 01-11) once per child kernel.
+  /// Returns true if a kernel was generated by this call.
+  bool ensureAggKernel(FunctionDecl *Child) {
+    if (AggKernelNames.count(Child))
+      return false;
+    std::string Name = Child->name() + "_agg";
+
+    // Disaggregation remaps: the body sees its original configuration.
+    auto *Body = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
+    std::unordered_map<std::string, BuiltinRemap> Map;
+    Map["blockIdx"].X = "_aggBx";
+    Map["gridDim"].X = "_aggGDimX";
+    Map["blockDim"].X = "_aggBDimX";
+    rewriteBuiltins(Ctx, Body, Map, Diags);
+    std::string BodyText = printStmt(Body, 2);
+
+    std::ostringstream OS;
+    OS << "__global__ void " << Name << "(";
+    for (size_t I = 0; I < Child->params().size(); ++I)
+      OS << bufferElemType(Child->params()[I]).pointerTo().str() << "_aggArg"
+         << I << ", ";
+    OS << "unsigned int *_aggScanArr, unsigned int *_aggBDimArrP, "
+          "unsigned int _aggNumParents) {\n";
+    // Binary search for the parent (first scan entry > blockIdx.x).
+    OS << "  unsigned int _aggLo = 0u;\n"
+          "  unsigned int _aggHi = _aggNumParents;\n"
+          "  while (_aggLo < _aggHi) {\n"
+          "    unsigned int _aggMid = (_aggLo + _aggHi) / 2u;\n"
+          "    if (_aggScanArr[_aggMid] <= blockIdx.x) {\n"
+          "      _aggLo = _aggMid + 1u;\n"
+          "    } else {\n"
+          "      _aggHi = _aggMid;\n"
+          "    }\n"
+          "  }\n"
+          "  unsigned int _aggParentIdx = _aggLo;\n"
+          "  unsigned int _aggPrevSum = _aggParentIdx == 0u ? 0u : "
+          "_aggScanArr[_aggParentIdx - 1u];\n"
+          "  unsigned int _aggBx = blockIdx.x - _aggPrevSum;\n"
+          "  unsigned int _aggGDimX = _aggScanArr[_aggParentIdx] - "
+          "_aggPrevSum;\n"
+          "  unsigned int _aggBDimX = _aggBDimArrP[_aggParentIdx];\n";
+    for (size_t I = 0; I < Child->params().size(); ++I) {
+      const VarDecl *P = Child->params()[I];
+      OS << "  " << bufferElemType(P).str()
+         << (bufferElemType(P).isPointer() ? "" : " ") << P->name()
+         << " = _aggArg" << I << "[_aggParentIdx];\n";
+    }
+    OS << "  if (threadIdx.x < _aggBDimX) ";
+    OS << BodyText.substr(BodyText.find('{'));
+    OS << "}\n";
+
+    FunctionDecl *Kernel = parseFunction(OS.str(), Name);
+    if (!Kernel)
+      return false;
+    auto It = std::find(TU->decls().begin(), TU->decls().end(),
+                        static_cast<Decl *>(Child));
+    assert(It != TU->decls().end() && "child kernel not in translation unit");
+    TU->decls().insert(std::next(It), Kernel);
+    AggKernelNames[Child] = Name;
+    return true;
+  }
+
+  /// Buffer parameter names for site \p K, in declaration order.
+  std::vector<std::pair<std::string, Type>>
+  bufferParams(const LaunchSite &Site, unsigned K) const {
+    std::string Suffix = std::to_string(K);
+    std::vector<std::pair<std::string, Type>> Params;
+    Params.push_back({"_aggCnt" + Suffix,
+                      Type(BuiltinKind::ULongLong).pointerTo()});
+    Params.push_back({"_aggMaxB" + Suffix, Type(BuiltinKind::UInt).pointerTo()});
+    if (Options.Granularity != AggGranularity::Grid)
+      Params.push_back({"_aggFin" + Suffix,
+                        Type(BuiltinKind::UInt).pointerTo()});
+    Params.push_back({"_aggScan" + Suffix,
+                      Type(BuiltinKind::UInt).pointerTo()});
+    Params.push_back({"_aggBDimArr" + Suffix,
+                      Type(BuiltinKind::UInt).pointerTo()});
+    for (size_t I = 0; I < Site.Child->params().size(); ++I)
+      Params.push_back({"_aggArg" + std::to_string(I) + "_" + Suffix,
+                        bufferElemType(Site.Child->params()[I]).pointerTo()});
+    return Params;
+  }
+
+  void appendParentParams(const LaunchSite &Site, unsigned K) {
+    for (const auto &[Name, Ty] : bufferParams(Site, K))
+      Site.Caller->params().push_back(Ctx.create<VarDecl>(Ty, Name));
+  }
+
+  /// Fig. 7 lines 14-25: the per-thread aggregation logic replacing the
+  /// launch statement.
+  Stmt *buildPartA(const LaunchSite &Site, unsigned K) {
+    const LaunchExpr *L = Site.Launch;
+    std::string S = std::to_string(K);
+    std::ostringstream OS;
+    OS << "unsigned int _aggG = " << printExpr(L->gridDim()) << ";\n";
+    OS << "unsigned int _aggB = " << printExpr(L->blockDim()) << ";\n";
+    OS << "if (_aggG > 0u) {\n";
+    OS << "  unsigned int _aggGroupIdx = " << groupIdxText() << ";\n";
+    OS << "  unsigned long long _aggPacked = atomicAdd(&_aggCnt" << S
+       << "[_aggGroupIdx], ((unsigned long long)1 << 32) + (unsigned long "
+          "long)_aggG);\n";
+    OS << "  unsigned int _aggParentIdx = (unsigned int)(_aggPacked >> 32);\n";
+    OS << "  unsigned int _aggSumPrev = (unsigned int)(_aggPacked & "
+          "4294967295u);\n";
+    OS << "  unsigned int _aggSlot = _aggGroupIdx * " << capacityText()
+       << " + _aggParentIdx;\n";
+    for (size_t I = 0; I < L->args().size(); ++I) {
+      Type ElemTy = bufferElemType(Site.Child->params()[I]);
+      std::string TyText = ElemTy.str();
+      OS << "  " << TyText << (ElemTy.isPointer() ? "" : " ") << "_aggA" << I
+         << " = " << printExpr(L->args()[I]) << ";\n";
+      OS << "  _aggArg" << I << "_" << S << "[_aggSlot] = _aggA" << I
+         << ";\n";
+    }
+    OS << "  _aggScan" << S << "[_aggSlot] = _aggSumPrev + _aggG;\n";
+    OS << "  _aggBDimArr" << S << "[_aggSlot] = _aggB;\n";
+    OS << "  atomicMax(&_aggMaxB" << S << "[_aggGroupIdx], _aggB);\n";
+    if (useAggThreshold()) {
+      OS << "  _aggMySlot" << S << " = _aggSlot;\n";
+      OS << "  _aggMyG" << S << " = _aggG;\n";
+      OS << "  _aggMyB" << S << " = _aggB;\n";
+    }
+    OS << "}\n";
+    std::vector<Stmt *> Stmts = parseStmts(OS.str());
+    return Ctx.compound(std::move(Stmts));
+  }
+
+  /// Declarations at the top of the parent used by the aggregation
+  /// threshold epilogue (each thread remembers its slot/configuration).
+  void insertThresholdLocals(const LaunchSite &Site, unsigned K) {
+    std::string S = std::to_string(K);
+    std::ostringstream OS;
+    OS << "unsigned int _aggMySlot" << S << " = 4294967295u;\n";
+    OS << "unsigned int _aggMyG" << S << " = 0u;\n";
+    OS << "unsigned int _aggMyB" << S << " = 0u;\n";
+    std::vector<Stmt *> Stmts = parseStmts(OS.str());
+    auto &Body = Site.Caller->body()->body();
+    Body.insert(Body.begin(), Stmts.begin(), Stmts.end());
+  }
+
+  /// The pointer expression for a group's segment of a per-slot buffer.
+  std::string segmentText(const std::string &Buffer) const {
+    return Buffer + " + _aggGroupIdx * " + capacityText();
+  }
+
+  /// The aggregated launch (Fig. 7 lines 31-33) as template text.
+  std::string aggregatedLaunchText(const LaunchSite &Site, unsigned K) const {
+    std::string S = std::to_string(K);
+    std::ostringstream OS;
+    OS << AggKernelNames.at(Site.Child) << "<<<_aggTotal, _aggMaxB" << S
+       << "[_aggGroupIdx]>>>(";
+    for (size_t I = 0; I < Site.Child->params().size(); ++I)
+      OS << segmentText("_aggArg" + std::to_string(I) + "_" + S) << ", ";
+    OS << segmentText("_aggScan" + S) << ", "
+       << segmentText("_aggBDimArr" + S) << ", _aggNumP)";
+    return OS.str();
+  }
+
+  /// Appends the group-completion epilogue to the parent kernel
+  /// (Fig. 7 lines 26-35).
+  void appendEpilogue(const LaunchSite &Site, unsigned K) {
+    std::string S = std::to_string(K);
+    std::ostringstream OS;
+    OS << "__threadfence();\n";
+
+    if (Options.Granularity == AggGranularity::Warp) {
+      OS << "{\n"
+            "  unsigned int _aggTid = blockIdx.x * blockDim.x + "
+            "threadIdx.x;\n"
+            "  unsigned int _aggGroupIdx = _aggTid / 32u;\n"
+            "  unsigned int _aggGroupSize = min(32u, gridDim.x * blockDim.x "
+            "- _aggGroupIdx * 32u);\n"
+            "  unsigned int _aggNFin = atomicAdd(&_aggFin"
+         << S << "[_aggGroupIdx], 1u) + 1u;\n";
+      OS << "  if (_aggNFin == _aggGroupSize) {\n";
+      OS << "    unsigned long long _aggPacked = _aggCnt" << S
+         << "[_aggGroupIdx];\n";
+      OS << "    unsigned int _aggNumP = (unsigned int)(_aggPacked >> 32);\n";
+      OS << "    unsigned int _aggTotal = (unsigned int)(_aggPacked & "
+            "4294967295u);\n";
+      OS << "    if (_aggTotal > 0u) {\n";
+      OS << "      " << aggregatedLaunchText(Site, K) << ";\n";
+      OS << "    }\n  }\n}\n";
+      spliceEpilogue(Site, OS.str());
+      return;
+    }
+
+    OS << "__syncthreads();\n";
+
+    if (useAggThreshold()) {
+      // Block granularity with the Section V-B aggregation threshold: after
+      // the barrier every thread sees the participant count; below the
+      // threshold each participant launches its own child grid directly.
+      OS << "{\n"
+            "  unsigned int _aggGroupIdx = blockIdx.x;\n"
+            "  unsigned long long _aggPacked = _aggCnt"
+         << S << "[_aggGroupIdx];\n"
+         << "  unsigned int _aggNumP = (unsigned int)(_aggPacked >> 32);\n"
+            "  unsigned int _aggTotal = (unsigned int)(_aggPacked & "
+            "4294967295u);\n";
+      OS << "  if (_aggNumP < " << aggThresholdText() << ") {\n";
+      OS << "    if (_aggMySlot" << S << " != 4294967295u) {\n";
+      OS << "      " << Site.Child->name() << "<<<_aggMyG" << S << ", _aggMyB"
+         << S << ">>>(";
+      for (size_t I = 0; I < Site.Child->params().size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << "_aggArg" << I << "_" << S << "[_aggMySlot" << S << "]";
+      }
+      OS << ");\n    }\n";
+      OS << "  } else if (threadIdx.x == 0u) {\n";
+      OS << "    if (_aggTotal > 0u) {\n";
+      OS << "      " << aggregatedLaunchText(Site, K) << ";\n";
+      OS << "    }\n  }\n}\n";
+      spliceEpilogue(Site, OS.str());
+      return;
+    }
+
+    // Block / multi-block: one thread per block bumps the group's finished
+    // counter; the last block of the group launches.
+    std::string GroupIdx = Options.Granularity == AggGranularity::Block
+                               ? "blockIdx.x"
+                               : "blockIdx.x / " + groupSizeText();
+    std::string GroupBlocks =
+        Options.Granularity == AggGranularity::Block
+            ? "1u"
+            : "min(" + groupSizeText() + ", gridDim.x - _aggGroupIdx * " +
+                  groupSizeText() + ")";
+    OS << "if (threadIdx.x == 0u) {\n";
+    OS << "  unsigned int _aggGroupIdx = " << GroupIdx << ";\n";
+    OS << "  unsigned int _aggGroupBlocks = " << GroupBlocks << ";\n";
+    OS << "  unsigned int _aggNFin = atomicAdd(&_aggFin" << S
+       << "[_aggGroupIdx], 1u) + 1u;\n";
+    OS << "  if (_aggNFin == _aggGroupBlocks) {\n";
+    OS << "    unsigned long long _aggPacked = _aggCnt" << S
+       << "[_aggGroupIdx];\n";
+    OS << "    unsigned int _aggNumP = (unsigned int)(_aggPacked >> 32);\n";
+    OS << "    unsigned int _aggTotal = (unsigned int)(_aggPacked & "
+          "4294967295u);\n";
+    OS << "    if (_aggTotal > 0u) {\n";
+    OS << "      " << aggregatedLaunchText(Site, K) << ";\n";
+    OS << "    }\n  }\n}\n";
+    spliceEpilogue(Site, OS.str());
+  }
+
+  void spliceEpilogue(const LaunchSite &Site, const std::string &Text) {
+    std::vector<Stmt *> Stmts = parseStmts(Text);
+    auto &Body = Site.Caller->body()->body();
+    Body.insert(Body.end(), Stmts.begin(), Stmts.end());
+  }
+
+  /// Number of groups as a host-side expression over `_aggGrid/_aggBlock`.
+  std::string numGroupsHostText() const {
+    switch (Options.Granularity) {
+    case AggGranularity::Warp:
+      return "(_aggGrid.x * _aggBlock.x + 31u) / 32u";
+    case AggGranularity::Block:
+      return "_aggGrid.x";
+    case AggGranularity::MultiBlock:
+      return "(_aggGrid.x + " + groupSizeText() + " - 1u) / " +
+             groupSizeText();
+    case AggGranularity::Grid:
+      return "1u";
+    case AggGranularity::None:
+      break;
+    }
+    return "1u";
+  }
+
+  /// Slot capacity per group as a host-side expression.
+  std::string capacityHostText() const {
+    switch (Options.Granularity) {
+    case AggGranularity::Warp:
+      return "32u";
+    case AggGranularity::Block:
+      return "_aggBlock.x";
+    case AggGranularity::MultiBlock:
+      return "(" + groupSizeText() + " * _aggBlock.x)";
+    case AggGranularity::Grid:
+      return "(_aggGrid.x * _aggBlock.x)";
+    case AggGranularity::None:
+      break;
+    }
+    return "1u";
+  }
+
+  /// Generates `void <parent>_agg(dim3, dim3, <params>)`: allocates the
+  /// aggregation buffers, launches the transformed parent, and for grid
+  /// granularity performs the aggregated launch from the host.
+  template <typename SiteGenVec>
+  void generateHostWrapper(FunctionDecl *Parent, const SiteGenVec &Sites) {
+    std::string Name = Parent->name() + "_agg";
+    std::ostringstream OS;
+    OS << "void " << Name << "(dim3 _aggGrid, dim3 _aggBlock";
+    // The parent's original parameters (appended buffer params excluded).
+    size_t NumOrig = Parent->params().size();
+    for (const auto *Gen : Sites)
+      NumOrig -= bufferParams(Gen->Site, Gen->K).size();
+    for (size_t I = 0; I < NumOrig; ++I) {
+      const VarDecl *P = Parent->params()[I];
+      OS << ", " << P->type().str() << (P->type().isPointer() ? "" : " ")
+         << P->name();
+    }
+    OS << ") {\n";
+    OS << "  unsigned int _aggNumGroups = " << numGroupsHostText() << ";\n";
+    OS << "  unsigned int _aggSlots = _aggNumGroups * " << capacityHostText()
+       << ";\n";
+
+    std::vector<std::string> AllBuffers;
+    for (const auto *Gen : Sites) {
+      for (const auto &[BufName, Ty] : bufferParams(Gen->Site, Gen->K)) {
+        Type Elem = Ty.pointee();
+        bool PerGroup = BufName.rfind("_aggCnt", 0) == 0 ||
+                        BufName.rfind("_aggMaxB", 0) == 0 ||
+                        BufName.rfind("_aggFin", 0) == 0;
+        std::string Count = PerGroup ? "_aggNumGroups" : "_aggSlots";
+        OS << "  " << Ty.str() << BufName << " = 0;\n";
+        OS << "  cudaMalloc((void **)&" << BufName << ", " << Count
+           << " * sizeof(" << Elem.str() << "));\n";
+        if (PerGroup)
+          OS << "  cudaMemset(" << BufName << ", 0, " << Count << " * sizeof("
+             << Elem.str() << "));\n";
+        AllBuffers.push_back(BufName);
+      }
+    }
+
+    OS << "  " << Parent->name() << "<<<_aggGrid, _aggBlock>>>(";
+    for (size_t I = 0; I < Parent->params().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Parent->params()[I]->name();
+    }
+    OS << ");\n";
+
+    if (Options.Granularity == AggGranularity::Grid) {
+      OS << "  cudaDeviceSynchronize();\n";
+      for (const auto *Gen : Sites) {
+        std::string S = std::to_string(Gen->K);
+        OS << "  {\n";
+        OS << "    unsigned long long _aggPacked = 0;\n";
+        OS << "    cudaMemcpy(&_aggPacked, _aggCnt" << S
+           << ", sizeof(unsigned long long), cudaMemcpyDeviceToHost);\n";
+        OS << "    unsigned int _aggNumP = (unsigned int)(_aggPacked >> "
+              "32);\n";
+        OS << "    unsigned int _aggTotal = (unsigned int)(_aggPacked & "
+              "4294967295u);\n";
+        OS << "    unsigned int _aggMaxBH = 0u;\n";
+        OS << "    cudaMemcpy(&_aggMaxBH, _aggMaxB" << S
+           << ", sizeof(unsigned int), cudaMemcpyDeviceToHost);\n";
+        OS << "    if (_aggTotal > 0u) {\n";
+        OS << "      " << AggKernelNames.at(Gen->Site.Child)
+           << "<<<_aggTotal, _aggMaxBH>>>(";
+        for (size_t I = 0; I < Gen->Site.Child->params().size(); ++I)
+          OS << "_aggArg" << I << "_" << S << ", ";
+        OS << "_aggScan" << S << ", _aggBDimArr" << S << ", _aggNumP);\n";
+        OS << "    }\n  }\n";
+      }
+    }
+
+    OS << "  cudaDeviceSynchronize();\n";
+    for (const std::string &BufName : AllBuffers)
+      OS << "  cudaFree(" << BufName << ");\n";
+    OS << "}\n";
+
+    FunctionDecl *Wrapper = parseFunction(OS.str(), Name);
+    if (!Wrapper)
+      return;
+    TU->decls().push_back(Wrapper);
+    WrapperNames[Parent] = Name;
+  }
+
+  /// Replaces `parent<<<g, b>>>(args)` on the host with
+  /// `parent_agg(dim3(g,1,1), dim3(b,1,1), args)`.
+  Stmt *buildWrapperCall(FunctionDecl *Parent, const LaunchSite &Site) {
+    auto AsDim3 = [&](Expr *E) -> Expr * {
+      if (E->type().isDim3())
+        return E;
+      auto *Ctor = Ctx.create<CallExpr>(
+          Ctx.ref("dim3"),
+          std::vector<Expr *>{E, Ctx.intLit(1), Ctx.intLit(1)});
+      Ctor->setType(Type(BuiltinKind::Dim3));
+      return Ctor;
+    };
+    std::vector<Expr *> Args;
+    Args.push_back(AsDim3(Site.Launch->gridDim()));
+    Args.push_back(AsDim3(Site.Launch->blockDim()));
+    for (Expr *Arg : Site.Launch->args())
+      Args.push_back(Arg);
+    return Ctx.create<CallExpr>(Ctx.ref(WrapperNames.at(Parent)),
+                                std::move(Args));
+  }
+
+  ASTContext &Ctx;
+  TranslationUnit *TU;
+  const AggregationOptions &Options;
+  DiagnosticEngine &Diags;
+  std::map<const FunctionDecl *, std::string> AggKernelNames;
+  std::map<const FunctionDecl *, std::string> WrapperNames;
+  unsigned SiteCounter = 0;
+};
+
+} // namespace
+
+AggregationResult dpo::applyAggregation(ASTContext &Ctx, TranslationUnit *TU,
+                                        const AggregationOptions &Options,
+                                        DiagnosticEngine &Diags) {
+  AggregationTransformer Transformer(Ctx, TU, Options, Diags);
+  return Transformer.run();
+}

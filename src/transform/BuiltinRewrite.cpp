@@ -1,0 +1,108 @@
+//===--- BuiltinRewrite.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/BuiltinRewrite.h"
+
+#include "ast/Walk.h"
+#include "support/Casting.h"
+
+using namespace dpo;
+
+void dpo::rewriteBuiltins(
+    ASTContext &Ctx, Stmt *Root,
+    const std::unordered_map<std::string, BuiltinRemap> &Map,
+    DiagnosticEngine &Diags) {
+  rewriteExprs(Root, [&](Expr *E) -> Expr * {
+    // Component form: `<builtin>.<c>`.
+    if (auto *M = dyn_cast<MemberExpr>(E)) {
+      auto *Base = dyn_cast<DeclRefExpr>(M->base());
+      if (!Base)
+        return nullptr;
+      auto It = Map.find(Base->name());
+      if (It == Map.end())
+        return nullptr;
+      const BuiltinRemap &Remap = It->second;
+      const std::string *Component = nullptr;
+      if (M->member() == "x")
+        Component = &Remap.X;
+      else if (M->member() == "y")
+        Component = &Remap.Y;
+      else if (M->member() == "z")
+        Component = &Remap.Z;
+      if (Component && !Component->empty()) {
+        auto *Ref = Ctx.ref(*Component);
+        Ref->setType(Type(BuiltinKind::UInt));
+        Ref->setLoc(M->loc());
+        return Ref;
+      }
+      if (!Remap.Whole.empty()) {
+        // Rename the base, keep the member access.
+        auto *NewBase = Ctx.ref(Remap.Whole);
+        NewBase->setType(Base->type());
+        auto *NewMember =
+            Ctx.create<MemberExpr>(NewBase, M->member(), M->isArrow());
+        NewMember->setType(M->type());
+        NewMember->setLoc(M->loc());
+        return NewMember;
+      }
+      if (Component && !Remap.AllowUnmappedComponents) {
+        // The builtin is being remapped but this component has no target
+        // (e.g. a .y use of a kernel the caller believed was 1-D).
+        Diags.error(M->loc(), "use of '" + Base->name() + "." + M->member() +
+                                  "' has no remap target");
+        // Substitute a sentinel to avoid a cascading bare-use diagnostic.
+        auto *Ref = Ctx.ref("_unmapped_" + Base->name() + "_" + M->member());
+        Ref->setType(Type(BuiltinKind::UInt));
+        return Ref;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  });
+
+  // Bare uses (not under a member access we rewrote above). MemberExpr bases
+  // were rewritten bottom-up first, so a remaining DeclRef to a builtin with
+  // a Whole mapping is a bare use; with only component mappings it is
+  // unsupported.
+  rewriteExprs(Root, [&](Expr *E) -> Expr * {
+    auto *Ref = dyn_cast<DeclRefExpr>(E);
+    if (!Ref)
+      return nullptr;
+    auto It = Map.find(Ref->name());
+    if (It == Map.end())
+      return nullptr;
+    const BuiltinRemap &Remap = It->second;
+    if (!Remap.Whole.empty()) {
+      auto *New = Ctx.ref(Remap.Whole);
+      New->setType(Ref->type());
+      New->setLoc(Ref->loc());
+      return New;
+    }
+    // Bases of member accesses that were deliberately left untouched (and
+    // bare uses, which stay valid in that mode) are fine.
+    if (Remap.AllowUnmappedComponents)
+      return nullptr;
+    Diags.error(Ref->loc(), "bare use of reserved variable '" + Ref->name() +
+                                "' cannot be remapped to scalar loop indices");
+    return nullptr;
+  });
+}
+
+bool dpo::usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,
+                               const std::string &Component) {
+  bool Found = false;
+  forEachExpr(Root, [&](const Expr *E) {
+    if (Found)
+      return;
+    const auto *M = dyn_cast<MemberExpr>(E);
+    if (!M || M->member() != Component)
+      return;
+    const auto *Base = dyn_cast<DeclRefExpr>(M->base());
+    if (Base && Base->name() == Builtin)
+      Found = true;
+  });
+  return Found;
+}

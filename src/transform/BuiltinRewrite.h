@@ -1,0 +1,61 @@
+//===--- BuiltinRewrite.h - Remapping CUDA built-in variables ----------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All three passes rewrite uses of the reserved index/dimension variables
+/// inside (cloned) child bodies:
+///
+///   thresholding:  blockIdx.x -> _bx,   threadIdx.x -> _tx,
+///                  gridDim -> _gDim,    blockDim -> _bDim
+///   coarsening:    blockIdx.x -> _bx,   gridDim -> _gDim
+///   aggregation:   blockIdx.x -> _bx,   gridDim.x -> _gDim,
+///                  blockDim.x -> _bDim
+///
+/// A remap entry can substitute a whole builtin (gridDim -> _gDim, keeping
+/// `.x` member accesses) or a single component (blockIdx.x -> scalar _bx).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TRANSFORM_BUILTINREWRITE_H
+#define DPO_TRANSFORM_BUILTINREWRITE_H
+
+#include "ast/ASTContext.h"
+#include "ast/Stmt.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace dpo {
+
+struct BuiltinRemap {
+  /// Replacement variable names for `<builtin>.x/.y/.z`; empty = leave as is.
+  std::string X, Y, Z;
+  /// If set, replace the builtin wholesale (member accesses preserved);
+  /// takes precedence over component renames being empty.
+  std::string Whole;
+  /// When false (default), a component use without a replacement is an
+  /// error — the builtin will not exist in the rewritten context (e.g. the
+  /// serial version of a kernel). When true, unmapped components are left
+  /// untouched — they remain valid (e.g. blockIdx.y under x-only
+  /// coarsening).
+  bool AllowUnmappedComponents = false;
+};
+
+/// Rewrites uses of reserved variables under \p Root. Keys of \p Map are
+/// builtin names ("blockIdx", "gridDim", ...). Reports a diagnostic for a
+/// bare (member-less) use of a builtin that only has component renames.
+void rewriteBuiltins(ASTContext &Ctx, Stmt *Root,
+                     const std::unordered_map<std::string, BuiltinRemap> &Map,
+                     DiagnosticEngine &Diags);
+
+/// Returns true if \p Root references `<Builtin>.<Component>` anywhere.
+bool usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,
+                          const std::string &Component);
+
+} // namespace dpo
+
+#endif // DPO_TRANSFORM_BUILTINREWRITE_H

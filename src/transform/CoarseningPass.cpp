@@ -1,0 +1,323 @@
+//===--- CoarseningPass.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Two codegen modes per kernel:
+///  - scalar mode (all launches use scalar 1-D grid configurations): the
+///    appended parameter is `unsigned int _gDimX`. This keeps launch
+///    configurations scalar so the aggregation pass can compose after
+///    coarsening (its buffers store 32-bit configurations, Fig. 8).
+///  - dim3 mode (some launch uses a dim3 grid): the appended parameter is
+///    `dim3 _gDim` exactly as in Fig. 6. Only the x dimension is coarsened;
+///    y/z extents are unchanged, so `gridDim.y/z` stay valid in the body.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/CoarseningPass.h"
+
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+#include "sema/LaunchSites.h"
+#include "support/Casting.h"
+#include "transform/BuiltinRewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+using namespace dpo;
+
+namespace {
+
+bool containsReturn(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (isa<ReturnStmt>(S))
+      Found = true;
+  });
+  return Found;
+}
+
+std::string freshFunctionName(const TranslationUnit *TU,
+                              const std::string &Base) {
+  if (!TU->findFunction(Base))
+    return Base;
+  for (unsigned I = 1;; ++I) {
+    std::string Candidate = Base + "_" + std::to_string(I);
+    if (!TU->findFunction(Candidate))
+      return Candidate;
+  }
+}
+
+class CoarseningTransformer {
+public:
+  CoarseningTransformer(ASTContext &Ctx, TranslationUnit *TU,
+                        const CoarseningOptions &Options,
+                        DiagnosticEngine &Diags)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+
+  CoarseningResult run() {
+    CoarseningResult Result;
+    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+
+    // Candidate kernels: children of dynamic launches.
+    std::set<FunctionDecl *> Candidates;
+    for (const LaunchSite &Site : AllSites)
+      if (Site.FromKernel && Site.Child && Site.Child->isDefinition())
+        Candidates.insert(Site.Child);
+
+    // A kernel is only coarsened if every launch of it can be patched
+    // (kernels are modified in place, so all callers must agree).
+    std::set<FunctionDecl *> Skipped;
+    for (FunctionDecl *Child : Candidates) {
+      std::string Reason;
+      if (!canCoarsen(Child, AllSites, Reason)) {
+        Skipped.insert(Child);
+        ++Result.SkippedLaunches;
+        Result.SkipReasons.push_back(Child->name() + ": " + Reason);
+      }
+    }
+
+    bool AnyCoarsened = false;
+    for (FunctionDecl *Child : Candidates) {
+      if (Skipped.count(Child))
+        continue;
+      ScalarMode[Child] = allLaunchesScalar(Child, AllSites);
+      coarsenKernel(Child);
+      ++Result.CoarsenedKernels;
+      AnyCoarsened = true;
+    }
+    if (!AnyCoarsened)
+      return Result;
+
+    if (Options.Spelling == KnobSpelling::Macro)
+      emitMacroDefault(Options.MacroName, Options.Factor);
+
+    // Patch every launch of every coarsened kernel.
+    std::unordered_map<const Stmt *, Stmt *> Replacements;
+    for (const LaunchSite &Site : AllSites) {
+      if (!Site.Child || Skipped.count(Site.Child) ||
+          !Candidates.count(Site.Child))
+        continue;
+      Replacements[Site.Launch] = buildPatchedLaunch(Site, Site.FromKernel);
+      ++Result.RewrittenLaunches;
+    }
+
+    for (Decl *D : TU->decls()) {
+      auto *F = dyn_cast<FunctionDecl>(D);
+      if (!F || !F->body())
+        continue;
+      rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+        auto It = Replacements.find(S);
+        return It != Replacements.end() ? It->second : nullptr;
+      });
+    }
+    return Result;
+  }
+
+private:
+  bool canCoarsen(FunctionDecl *Child, const std::vector<LaunchSite> &AllSites,
+                  std::string &Reason) {
+    for (const VarDecl *P : Child->params()) {
+      if (P->name() == "_gDim" || P->name() == "_gDimX") {
+        Reason = "kernel already has an _gDim parameter (coarsened twice?)";
+        return false;
+      }
+    }
+    for (const LaunchSite &Site : AllSites) {
+      if (Site.Child != Child)
+        continue;
+      if (!Site.InStatementPosition) {
+        Reason = "a launch of this kernel is not in statement position";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool allLaunchesScalar(FunctionDecl *Child,
+                         const std::vector<LaunchSite> &AllSites) {
+    for (const LaunchSite &Site : AllSites)
+      if (Site.Child == Child && Site.Launch->gridDim()->type().isDim3())
+        return false;
+    return true;
+  }
+
+  void emitMacroDefault(const std::string &Macro, unsigned Value) {
+    std::string Text = "#ifndef " + Macro + "\n#define " + Macro + " " +
+                       std::to_string(Value) + "\n#endif";
+    TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
+  }
+
+  Expr *factorExpr() {
+    if (Options.Spelling == KnobSpelling::Macro)
+      return Ctx.ref(Options.MacroName);
+    return Ctx.intLit(Options.Factor);
+  }
+
+  /// Rewrites the kernel in place per Fig. 6: appends the original-grid
+  /// parameter and wraps the body in the block-strided loop.
+  void coarsenKernel(FunctionDecl *Child) {
+    bool Scalar = ScalarMode.at(Child);
+    const char *ParamName = Scalar ? "_gDimX" : "_gDim";
+
+    std::unordered_map<std::string, BuiltinRemap> Map;
+    Map["blockIdx"].X = "_bx";
+    // Only x is coarsened; blockIdx.y/z (and, in scalar mode, gridDim.y/z,
+    // which are untouched by coarsening) remain valid.
+    Map["blockIdx"].AllowUnmappedComponents = true;
+    if (Scalar) {
+      Map["gridDim"].X = "_gDimX";
+      Map["gridDim"].AllowUnmappedComponents = true;
+    } else {
+      Map["gridDim"].Whole = "_gDim";
+    }
+
+    Type ParamType =
+        Scalar ? Type(BuiltinKind::UInt) : Type(BuiltinKind::Dim3);
+
+    Stmt *PerBlock = nullptr;
+    if (containsReturn(Child->body())) {
+      // Early returns would abort the remaining coarsening iterations, so
+      // the per-block body moves into a helper function.
+      std::string HelperName =
+          freshFunctionName(TU, Child->name() + "_coarse_body");
+      std::vector<VarDecl *> HelperParams;
+      for (const VarDecl *P : Child->params())
+        HelperParams.push_back(cloneVarDecl(Ctx, P));
+      HelperParams.push_back(Ctx.create<VarDecl>(ParamType, ParamName));
+      HelperParams.push_back(
+          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), "_bx"));
+      auto *HelperBody = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
+      rewriteBuiltins(Ctx, HelperBody, Map, Diags);
+      FunctionQualifiers Quals;
+      Quals.Device = true;
+      auto *Helper = Ctx.create<FunctionDecl>(
+          Quals, Type(BuiltinKind::Void), HelperName, std::move(HelperParams),
+          HelperBody);
+      auto It = std::find(TU->decls().begin(), TU->decls().end(),
+                          static_cast<Decl *>(Child));
+      assert(It != TU->decls().end() && "kernel not in translation unit");
+      TU->decls().insert(It, Helper);
+
+      std::vector<Expr *> CallArgs;
+      for (const VarDecl *P : Child->params())
+        CallArgs.push_back(Ctx.ref(P->name()));
+      CallArgs.push_back(Ctx.ref(ParamName));
+      CallArgs.push_back(Ctx.ref("_bx"));
+      PerBlock =
+          Ctx.create<CallExpr>(Ctx.ref(HelperName), std::move(CallArgs));
+    } else {
+      auto *Body = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
+      rewriteBuiltins(Ctx, Body, Map, Diags);
+      PerBlock = Body;
+    }
+
+    // for (unsigned int _bx = blockIdx.x; _bx < <bound>; _bx += gridDim.x)
+    Expr *Bound = Scalar ? static_cast<Expr *>(Ctx.ref("_gDimX"))
+                         : static_cast<Expr *>(Ctx.member("_gDim", "x"));
+    auto *Init = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+        Ctx.create<VarDecl>(Type(BuiltinKind::UInt), "_bx",
+                            Ctx.member("blockIdx", "x"))});
+    auto *Cond = Ctx.binary(BinaryOpKind::LT, Ctx.ref("_bx"), Bound);
+    auto *Inc = Ctx.binary(BinaryOpKind::AddAssign, Ctx.ref("_bx"),
+                           Ctx.member("gridDim", "x"));
+    auto *Loop = Ctx.create<ForStmt>(Init, Cond, Inc, PerBlock);
+
+    Child->params().push_back(Ctx.create<VarDecl>(ParamType, ParamName));
+    Child->setBody(Ctx.compound({Loop}));
+  }
+
+  /// Wraps a grid expression into a dim3-typed local.
+  DeclStmt *makeDim3Var(const std::string &Name, Expr *Value) {
+    Expr *Init = Value;
+    if (!Value->type().isDim3()) {
+      auto *Ctor = Ctx.create<CallExpr>(
+          Ctx.ref("dim3"),
+          std::vector<Expr *>{Value, Ctx.intLit(1), Ctx.intLit(1)});
+      Ctor->setType(Type(BuiltinKind::Dim3));
+      Init = Ctor;
+    }
+    return Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+        Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), Name, Init)});
+  }
+
+  /// Fig. 6 lines 08-10 for dynamic launches; identity configuration for
+  /// host launches of the same (now coarsened) kernel.
+  Stmt *buildPatchedLaunch(const LaunchSite &Site, bool Coarsen) {
+    LaunchExpr *L = Site.Launch;
+    unsigned K = SiteCounter++;
+    bool Scalar = ScalarMode.at(Site.Child);
+
+    std::vector<Stmt *> Stmts;
+    std::string GVar =
+        (Scalar ? "_gDimX" : "_gDim") + std::to_string(K);
+    if (Scalar) {
+      auto *GDecl = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), GVar, L->gridDim())});
+      Stmts.push_back(GDecl);
+    } else {
+      Stmts.push_back(makeDim3Var(GVar, L->gridDim()));
+    }
+
+    std::string ConfigVar = GVar;
+    if (Coarsen) {
+      // coarsened = (original + _CFACTOR - 1) / _CFACTOR
+      auto MakeCeilDiv = [&](Expr *Orig) {
+        auto *Num = Ctx.binary(
+            BinaryOpKind::Sub,
+            Ctx.binary(BinaryOpKind::Add, Orig, factorExpr()), Ctx.intLit(1));
+        return Ctx.binary(BinaryOpKind::Div, Ctx.paren(Num), factorExpr());
+      };
+      if (Scalar) {
+        std::string CVar = "_cgDimX" + std::to_string(K);
+        auto *CDecl = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+            Ctx.create<VarDecl>(Type(BuiltinKind::UInt), CVar,
+                                MakeCeilDiv(Ctx.ref(GVar)))});
+        Stmts.push_back(CDecl);
+        ConfigVar = CVar;
+      } else {
+        std::string CVar = "_cgDim" + std::to_string(K);
+        auto *CDecl = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+            Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), CVar,
+                                Ctx.ref(GVar))});
+        auto *Assign =
+            Ctx.binary(BinaryOpKind::Assign, Ctx.member(CVar, "x"),
+                       MakeCeilDiv(Ctx.member(GVar, "x")));
+        Stmts.push_back(CDecl);
+        Stmts.push_back(Assign);
+        ConfigVar = CVar;
+      }
+    }
+
+    auto *ConfigRef = Ctx.ref(ConfigVar);
+    ConfigRef->setType(Scalar ? Type(BuiltinKind::UInt)
+                              : Type(BuiltinKind::Dim3));
+    L->gridDimSlot() = ConfigRef;
+    auto *OrigRef = Ctx.ref(GVar);
+    OrigRef->setType(Scalar ? Type(BuiltinKind::UInt)
+                            : Type(BuiltinKind::Dim3));
+    L->args().push_back(OrigRef);
+    Stmts.push_back(L);
+    return Ctx.compound(std::move(Stmts));
+  }
+
+  ASTContext &Ctx;
+  TranslationUnit *TU;
+  const CoarseningOptions &Options;
+  DiagnosticEngine &Diags;
+  std::map<const FunctionDecl *, bool> ScalarMode;
+  unsigned SiteCounter = 0;
+};
+
+} // namespace
+
+CoarseningResult dpo::applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
+                                      const CoarseningOptions &Options,
+                                      DiagnosticEngine &Diags) {
+  CoarseningTransformer Transformer(Ctx, TU, Options, Diags);
+  return Transformer.run();
+}

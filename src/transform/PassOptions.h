@@ -1,0 +1,77 @@
+//===--- PassOptions.h - Tuning knobs for the three passes -------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every tunable the paper exposes (Section VII: launch threshold,
+/// coarsening factor, aggregation granularity) is configurable here. Knobs
+/// can be emitted either as compile-time macros (`_THRESHOLD`, `_CFACTOR`,
+/// `_AGG_SIZE`, matching the paper's tuning workflow with off-the-shelf
+/// autotuners) or inlined as integer literals (used when the output is fed
+/// to the bytecode VM, which has no preprocessor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TRANSFORM_PASSOPTIONS_H
+#define DPO_TRANSFORM_PASSOPTIONS_H
+
+#include <string>
+
+namespace dpo {
+
+/// How the launch threshold / coarsening factor / group size appear in the
+/// generated source.
+enum class KnobSpelling {
+  Macro,   ///< `_THRESHOLD` etc., with an #ifndef default emitted on top.
+  Literal, ///< The configured value as an integer literal.
+};
+
+struct ThresholdingOptions {
+  unsigned Threshold = 128;
+  KnobSpelling Spelling = KnobSpelling::Macro;
+  std::string MacroName = "_THRESHOLD";
+  /// When the Fig. 4 analysis fails, fall back to comparing
+  /// gridDim * blockDim against the threshold instead of skipping the
+  /// launch. Off by default (the paper argues total threads is a poor
+  /// proxy; Section III-D).
+  bool FallbackToTotalThreads = false;
+};
+
+struct CoarseningOptions {
+  unsigned Factor = 4;
+  KnobSpelling Spelling = KnobSpelling::Macro;
+  std::string MacroName = "_CFACTOR";
+};
+
+enum class AggGranularity {
+  None,
+  Warp,       ///< Generated with thread-counted groups of 32; see AggregationPass.
+  Block,
+  MultiBlock, ///< The paper's new granularity (Section V-A).
+  Grid,
+};
+
+const char *aggGranularityName(AggGranularity G);
+
+struct AggregationOptions {
+  AggGranularity Granularity = AggGranularity::MultiBlock;
+  /// Blocks per group for MultiBlock granularity (Fig. 7's
+  /// _AGG_GRANULARITY).
+  unsigned GroupSize = 8;
+  KnobSpelling Spelling = KnobSpelling::Macro;
+  std::string GroupSizeMacroName = "_AGG_SIZE";
+  /// Section V-B: skip aggregation when too few parents participate
+  /// (Block granularity only — requires a barrier to count participants).
+  bool UseAggregationThreshold = false;
+  unsigned AggregationThreshold = 4;
+  std::string AggThresholdMacroName = "_AGG_THRESHOLD";
+  /// Generate the host-side launch wrapper (allocates the aggregation
+  /// buffers; performs the aggregated launch for Grid granularity).
+  bool EmitHostWrapper = true;
+};
+
+} // namespace dpo
+
+#endif // DPO_TRANSFORM_PASSOPTIONS_H

@@ -1,0 +1,54 @@
+//===--- Pipeline.cpp -----------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+
+using namespace dpo;
+
+PipelineResult dpo::runPipeline(ASTContext &Ctx, TranslationUnit *TU,
+                                const PipelineOptions &Options,
+                                DiagnosticEngine &Diags) {
+  PipelineResult Result;
+  if (Options.EnableThresholding) {
+    Result.Thresholding =
+        applyThresholding(Ctx, TU, Options.Thresholding, Diags);
+    if (Diags.hasErrors()) {
+      Result.Ok = false;
+      return Result;
+    }
+  }
+  if (Options.EnableCoarsening) {
+    Result.Coarsening = applyCoarsening(Ctx, TU, Options.Coarsening, Diags);
+    if (Diags.hasErrors()) {
+      Result.Ok = false;
+      return Result;
+    }
+  }
+  if (Options.EnableAggregation) {
+    Result.Aggregation = applyAggregation(Ctx, TU, Options.Aggregation, Diags);
+    if (Diags.hasErrors()) {
+      Result.Ok = false;
+      return Result;
+    }
+  }
+  return Result;
+}
+
+std::string dpo::transformSource(std::string_view Source,
+                                 const PipelineOptions &Options,
+                                 DiagnosticEngine &Diags) {
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  if (!TU)
+    return std::string();
+  PipelineResult Result = runPipeline(Ctx, TU, Options, Diags);
+  if (!Result.Ok)
+    return std::string();
+  return printTranslationUnit(TU);
+}

@@ -1,0 +1,70 @@
+//===--- Pipeline.h - Section VI: the combined compilation flow --------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 8(a) flow: thresholding, then coarsening, then aggregation,
+/// each an independent source-to-source pass. The ordering rationale from
+/// the paper: thresholding before coarsening because coarsening rewrites
+/// the grid dimension and would obscure the ceiling-division pattern;
+/// thresholding before aggregation because small grids are easier to
+/// isolate before they are combined; coarsening before aggregation so the
+/// disaggregation logic lands outside the coarsening loop and is amortized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TRANSFORM_PIPELINE_H
+#define DPO_TRANSFORM_PIPELINE_H
+
+#include "ast/ASTContext.h"
+#include "ast/Decl.h"
+#include "support/Diagnostics.h"
+#include "transform/AggregationPass.h"
+#include "transform/CoarseningPass.h"
+#include "transform/PassOptions.h"
+#include "transform/ThresholdingPass.h"
+
+#include <string>
+#include <string_view>
+
+namespace dpo {
+
+struct PipelineOptions {
+  bool EnableThresholding = false;
+  bool EnableCoarsening = false;
+  bool EnableAggregation = false;
+  ThresholdingOptions Thresholding;
+  CoarseningOptions Coarsening;
+  AggregationOptions Aggregation;
+
+  /// Convenience: spell every knob as a literal (for VM execution).
+  void useLiteralKnobs() {
+    Thresholding.Spelling = KnobSpelling::Literal;
+    Coarsening.Spelling = KnobSpelling::Literal;
+    Aggregation.Spelling = KnobSpelling::Literal;
+  }
+};
+
+struct PipelineResult {
+  ThresholdingResult Thresholding;
+  CoarseningResult Coarsening;
+  AggregationResult Aggregation;
+  bool Ok = true;
+};
+
+/// Runs the enabled passes in the Fig. 8(a) order, in place.
+PipelineResult runPipeline(ASTContext &Ctx, TranslationUnit *TU,
+                           const PipelineOptions &Options,
+                           DiagnosticEngine &Diags);
+
+/// Text-to-text convenience: parse, transform, print. Returns an empty
+/// string on error (diagnostics explain why).
+std::string transformSource(std::string_view Source,
+                            const PipelineOptions &Options,
+                            DiagnosticEngine &Diags);
+
+} // namespace dpo
+
+#endif // DPO_TRANSFORM_PIPELINE_H

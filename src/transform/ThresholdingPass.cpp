@@ -1,0 +1,366 @@
+//===--- ThresholdingPass.cpp -------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ThresholdingPass.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+#include "parse/Parser.h"
+#include "sema/GridDimAnalysis.h"
+#include "sema/LaunchSites.h"
+#include "sema/PurityAnalysis.h"
+#include "sema/Transformability.h"
+#include "support/Casting.h"
+#include "transform/BuiltinRewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace dpo;
+
+const char *dpo::aggGranularityName(AggGranularity G) {
+  switch (G) {
+  case AggGranularity::None: return "none";
+  case AggGranularity::Warp: return "warp";
+  case AggGranularity::Block: return "block";
+  case AggGranularity::MultiBlock: return "multi-block";
+  case AggGranularity::Grid: return "grid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// True if any statement below Root is a return.
+bool containsReturn(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (isa<ReturnStmt>(S))
+      Found = true;
+  });
+  return Found;
+}
+
+/// Decides whether the serial version of \p Child needs y/z loops: true when
+/// the body touches .y/.z of an index builtin or when any launch of the
+/// kernel uses a dim3 configuration (scalar configurations imply y = z = 1).
+bool childNeedsAllDims(const FunctionDecl *Child,
+                       const std::vector<LaunchSite> &Sites) {
+  for (const char *Builtin : {"blockIdx", "threadIdx", "gridDim", "blockDim"})
+    for (const char *Component : {"y", "z"})
+      if (usesBuiltinComponent(Child->body(), Builtin, Component))
+        return true;
+  for (const LaunchSite &Site : Sites) {
+    if (Site.Launch->kernel() != Child->name())
+      continue;
+    if (Site.Launch->gridDim()->type().isDim3() ||
+        Site.Launch->blockDim()->type().isDim3())
+      return true;
+  }
+  return false;
+}
+
+/// Picks a function name not already defined in \p TU.
+std::string freshFunctionName(const TranslationUnit *TU,
+                              const std::string &Base) {
+  if (!TU->findFunction(Base))
+    return Base;
+  for (unsigned I = 1;; ++I) {
+    std::string Candidate = Base + "_" + std::to_string(I);
+    if (!TU->findFunction(Candidate))
+      return Candidate;
+  }
+}
+
+class ThresholdingTransformer {
+public:
+  ThresholdingTransformer(ASTContext &Ctx, TranslationUnit *TU,
+                          const ThresholdingOptions &Options,
+                          DiagnosticEngine &Diags)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+
+  ThresholdingResult run() {
+    ThresholdingResult Result;
+    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+
+    // Plan the transformation of every eligible dynamic launch.
+    struct PlannedSite {
+      LaunchSite Site;
+      GridDimInfo Info;
+      bool UseTotalThreadsFallback = false;
+    };
+    std::vector<PlannedSite> Planned;
+    for (const LaunchSite &Site : AllSites) {
+      if (!Site.FromKernel)
+        continue; // Host launches are not dynamic parallelism.
+      std::string Where =
+          Site.Caller->name() + " -> " + Site.Launch->kernel();
+      if (!Site.InStatementPosition) {
+        skip(Result, Where + ": launch is not in statement position");
+        continue;
+      }
+      if (!Site.Child || !Site.Child->isDefinition()) {
+        skip(Result, Where + ": child kernel definition not found");
+        continue;
+      }
+      Transformability T = analyzeSerializability(Site.Child, TU);
+      if (!T.Serializable) {
+        skip(Result, Where + ": " + T.Reasons.front());
+        continue;
+      }
+      PlannedSite P;
+      P.Site = Site;
+      P.Info = analyzeGridDim(Ctx, Site.Caller, Site.Launch->gridDim());
+      if (!P.Info.Found || (P.Info.NeedsReevaluation && !P.Info.Safe)) {
+        if (Options.FallbackToTotalThreads &&
+            isPureExpr(Site.Launch->gridDim()) &&
+            isPureExpr(Site.Launch->blockDim())) {
+          P.UseTotalThreadsFallback = true;
+        } else {
+          skip(Result, Where + ": " + P.Info.FailureReason);
+          continue;
+        }
+      }
+      Planned.push_back(P);
+    }
+
+    if (Planned.empty())
+      return Result;
+
+    if (Options.Spelling == KnobSpelling::Macro)
+      emitMacroDefault(Options.MacroName, Options.Threshold);
+
+    // Build serial versions (one per distinct child kernel).
+    for (const PlannedSite &P : Planned)
+      ensureSerialVersion(P.Site.Child, AllSites);
+
+    // Rewrite each launch site.
+    std::unordered_map<const Stmt *, Stmt *> Replacements;
+    for (PlannedSite &P : Planned)
+      Replacements[P.Site.Launch] =
+          buildThresholdedLaunch(P.Site, P.Info, P.UseTotalThreadsFallback);
+
+    for (Decl *D : TU->decls()) {
+      auto *F = dyn_cast<FunctionDecl>(D);
+      if (!F || !F->body())
+        continue;
+      rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+        auto It = Replacements.find(S);
+        return It != Replacements.end() ? It->second : nullptr;
+      });
+    }
+
+    Result.TransformedLaunches = Planned.size();
+    return Result;
+  }
+
+private:
+  void skip(ThresholdingResult &Result, std::string Reason) {
+    ++Result.SkippedLaunches;
+    Result.SkipReasons.push_back(std::move(Reason));
+  }
+
+  /// Emits `#ifndef M / #define M V / #endif` at the top of the file.
+  void emitMacroDefault(const std::string &Macro, unsigned Value) {
+    std::string Text = "#ifndef " + Macro + "\n#define " + Macro + " " +
+                       std::to_string(Value) + "\n#endif";
+    TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
+  }
+
+  Expr *thresholdExpr() {
+    if (Options.Spelling == KnobSpelling::Macro)
+      return Ctx.ref(Options.MacroName);
+    return Ctx.intLit(Options.Threshold);
+  }
+
+  /// Generates (once per child) the `<child>_serial` device function and
+  /// registers it in the translation unit right after the child kernel.
+  void ensureSerialVersion(FunctionDecl *Child,
+                           const std::vector<LaunchSite> &AllSites) {
+    if (SerialNames.count(Child))
+      return;
+
+    bool AllDims = childNeedsAllDims(Child, AllSites);
+    bool HasReturn = containsReturn(Child->body());
+    std::string SerialName =
+        freshFunctionName(TU, Child->name() + "_serial");
+
+    // Shared parameter tail: the original launch configuration.
+    auto MakeConfigParams = [&]() {
+      std::vector<VarDecl *> Params;
+      for (const VarDecl *P : Child->params())
+        Params.push_back(cloneVarDecl(Ctx, P));
+      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), "_gDim"));
+      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), "_bDim"));
+      return Params;
+    };
+
+    // Index variable names per dimension, block loops then thread loops.
+    std::vector<std::pair<std::string, std::string>> BlockLoops = {
+        {"_bx", "x"}};
+    std::vector<std::pair<std::string, std::string>> ThreadLoops = {
+        {"_tx", "x"}};
+    if (AllDims) {
+      BlockLoops.insert(BlockLoops.begin(), {{"_bz", "z"}, {"_by", "y"}});
+      ThreadLoops.insert(ThreadLoops.begin(), {{"_tz", "z"}, {"_ty", "y"}});
+    }
+
+    std::unordered_map<std::string, BuiltinRemap> Map;
+    Map["gridDim"].Whole = "_gDim";
+    Map["blockDim"].Whole = "_bDim";
+    Map["blockIdx"].X = "_bx";
+    Map["threadIdx"].X = "_tx";
+    if (AllDims) {
+      Map["blockIdx"].Y = "_by";
+      Map["blockIdx"].Z = "_bz";
+      Map["threadIdx"].Y = "_ty";
+      Map["threadIdx"].Z = "_tz";
+    }
+
+    FunctionQualifiers Quals;
+    Quals.Device = true;
+
+    // The innermost statement executed per serialized child thread.
+    Stmt *PerThread = nullptr;
+    FunctionDecl *ThreadFn = nullptr;
+    if (HasReturn) {
+      // Early returns force the per-thread body into its own function so
+      // `return` keeps per-thread semantics.
+      std::vector<VarDecl *> ThreadParams = MakeConfigParams();
+      for (auto &Loops : {BlockLoops, ThreadLoops})
+        for (const auto &[VarName, Component] : Loops)
+          ThreadParams.push_back(
+              Ctx.create<VarDecl>(Type(BuiltinKind::UInt), VarName));
+      auto *ThreadBody = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
+      rewriteBuiltins(Ctx, ThreadBody, Map, Diags);
+      std::string ThreadFnName =
+          freshFunctionName(TU, Child->name() + "_serial_thread");
+      ThreadFn = Ctx.create<FunctionDecl>(Quals, Type(BuiltinKind::Void),
+                                          ThreadFnName,
+                                          std::move(ThreadParams), ThreadBody);
+      // Call it from the loops.
+      std::vector<Expr *> CallArgs;
+      for (const VarDecl *P : Child->params())
+        CallArgs.push_back(Ctx.ref(P->name()));
+      CallArgs.push_back(Ctx.ref("_gDim"));
+      CallArgs.push_back(Ctx.ref("_bDim"));
+      for (auto &Loops : {BlockLoops, ThreadLoops})
+        for (const auto &[VarName, Component] : Loops)
+          CallArgs.push_back(Ctx.ref(VarName));
+      PerThread = Ctx.create<CallExpr>(Ctx.ref(ThreadFnName),
+                                       std::move(CallArgs));
+    } else {
+      auto *Body = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
+      rewriteBuiltins(Ctx, Body, Map, Diags);
+      PerThread = Body;
+    }
+
+    // Wrap in loops: thread loops innermost.
+    auto MakeLoop = [&](const std::string &Var, const std::string &Bound,
+                        const std::string &Component, Stmt *Body) -> Stmt * {
+      auto *Init = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), Var, Ctx.intLit(0))});
+      auto *Cond = Ctx.binary(BinaryOpKind::LT, Ctx.ref(Var),
+                              Ctx.member(Bound, Component));
+      auto *Inc = Ctx.create<UnaryOperator>(UnaryOpKind::PreInc, Ctx.ref(Var));
+      return Ctx.create<ForStmt>(Init, Cond, Inc, Body);
+    };
+
+    Stmt *Loops = PerThread;
+    for (auto It = ThreadLoops.rbegin(); It != ThreadLoops.rend(); ++It)
+      Loops = MakeLoop(It->first, "_bDim", It->second, Loops);
+    for (auto It = BlockLoops.rbegin(); It != BlockLoops.rend(); ++It)
+      Loops = MakeLoop(It->first, "_gDim", It->second, Loops);
+
+    auto *SerialBody = Ctx.compound({Loops});
+    auto *Serial =
+        Ctx.create<FunctionDecl>(Quals, Type(BuiltinKind::Void), SerialName,
+                                 MakeConfigParams(), SerialBody);
+
+    // Insert after the child kernel definition (thread helper first so it
+    // precedes its caller).
+    auto It = std::find(TU->decls().begin(), TU->decls().end(),
+                        static_cast<Decl *>(Child));
+    assert(It != TU->decls().end() && "child kernel not in translation unit");
+    ++It;
+    if (ThreadFn)
+      It = std::next(TU->decls().insert(It, ThreadFn));
+    TU->decls().insert(It, Serial);
+
+    SerialNames[Child] = SerialName;
+  }
+
+  /// Builds the Fig. 3 replacement for one launch:
+  ///   { <type> _threadsK = N;
+  ///     if (_threadsK >= _THRESHOLD) { <launch> }
+  ///     else { <child>_serial(args, gDim, bDim); } }
+  Stmt *buildThresholdedLaunch(const LaunchSite &Site, const GridDimInfo &Info,
+                               bool TotalThreadsFallback) {
+    LaunchExpr *L = Site.Launch;
+    std::string ThreadsVar = "_threads" + std::to_string(SiteCounter++);
+
+    Expr *CountInit = nullptr;
+    if (TotalThreadsFallback) {
+      CountInit = Ctx.binary(
+          BinaryOpKind::Mul, Ctx.paren(cloneExpr(Ctx, L->gridDim())),
+          Ctx.paren(cloneExpr(Ctx, L->blockDim())));
+    } else if (Info.InlineSite) {
+      CountInit = Info.ThreadCount;
+      // Substitute `_threadsK` for the found subexpression inside the
+      // launch's grid expression so side effects are not duplicated.
+      rewriteExprSlot(L->gridDimSlot(), [&](Expr *E) -> Expr * {
+        if (E != Info.InlineSite)
+          return nullptr;
+        auto *Ref = Ctx.ref(ThreadsVar);
+        Ref->setType(E->type());
+        return Ref;
+      });
+    } else {
+      CountInit = Info.ThreadCount;
+    }
+
+    Type CountType = CountInit->type();
+    if (!CountType.isInteger())
+      CountType = Type(BuiltinKind::Int);
+    auto *CountDecl = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+        Ctx.create<VarDecl>(CountType, ThreadsVar, CountInit)});
+
+    // Serial call: original args plus the (post-substitution) launch
+    // configuration.
+    std::vector<Expr *> SerialArgs;
+    for (Expr *Arg : L->args())
+      SerialArgs.push_back(cloneExpr(Ctx, Arg));
+    SerialArgs.push_back(cloneExpr(Ctx, L->gridDim()));
+    SerialArgs.push_back(cloneExpr(Ctx, L->blockDim()));
+    auto *SerialCall = Ctx.create<CallExpr>(
+        Ctx.ref(SerialNames.at(Site.Child)), std::move(SerialArgs));
+
+    auto *CountRef = Ctx.ref(ThreadsVar);
+    CountRef->setType(CountType);
+    Expr *Cond = Ctx.binary(BinaryOpKind::GE, CountRef, thresholdExpr());
+    auto *If = Ctx.create<IfStmt>(Cond, Ctx.compound({L}),
+                                  Ctx.compound({SerialCall}));
+    return Ctx.compound({CountDecl, If});
+  }
+
+  ASTContext &Ctx;
+  TranslationUnit *TU;
+  const ThresholdingOptions &Options;
+  DiagnosticEngine &Diags;
+  std::map<const FunctionDecl *, std::string> SerialNames;
+  unsigned SiteCounter = 0;
+};
+
+} // namespace
+
+ThresholdingResult dpo::applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
+                                          const ThresholdingOptions &Options,
+                                          DiagnosticEngine &Diags) {
+  ThresholdingTransformer Transformer(Ctx, TU, Options, Diags);
+  return Transformer.run();
+}

@@ -1,0 +1,159 @@
+//===--- Tuner.cpp --------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace dpo;
+
+std::vector<uint32_t> dpo::defaultThresholdSweep() {
+  std::vector<uint32_t> Sweep;
+  for (uint32_t T = 1; T <= 32768; T *= 2)
+    Sweep.push_back(T);
+  return Sweep;
+}
+
+std::vector<uint32_t> dpo::defaultCoarsenSweep() {
+  return {1, 2, 4, 8, 16, 32};
+}
+
+std::vector<uint32_t> dpo::defaultGroupSizeSweep() { return {2, 4, 8, 16, 32}; }
+
+uint32_t dpo::thresholdForLaunchBudget(const std::vector<NestedBatch> &Batches,
+                                       uint64_t TargetLaunches) {
+  for (uint32_t Threshold : defaultThresholdSweep()) {
+    uint64_t Launches = 0;
+    for (const NestedBatch &B : Batches)
+      for (uint32_t Units : B.ChildUnits)
+        if (Units >= Threshold)
+          ++Launches;
+    if (Launches <= TargetLaunches)
+      return Threshold;
+  }
+  return defaultThresholdSweep().back();
+}
+
+namespace {
+
+/// Enumerates the configurations of a variant and keeps the fastest.
+template <typename Callback>
+void forEachConfig(const VariantMask &Mask, Callback &&Visit) {
+  std::vector<std::optional<uint32_t>> Thresholds = {std::nullopt};
+  if (Mask.Thresholding)
+    for (uint32_t T : defaultThresholdSweep())
+      Thresholds.push_back(T);
+
+  std::vector<uint32_t> Factors = {1};
+  if (Mask.Coarsening)
+    Factors = defaultCoarsenSweep();
+
+  std::vector<AggGranularity> Grans = {AggGranularity::None};
+  if (Mask.Aggregation) {
+    Grans = Mask.Granularities;
+  }
+
+  for (auto Threshold : Thresholds)
+    for (uint32_t Factor : Factors)
+      for (AggGranularity G : Grans) {
+        if (G == AggGranularity::MultiBlock) {
+          for (uint32_t Group : defaultGroupSizeSweep()) {
+            ExecConfig C;
+            C.Threshold = Threshold;
+            C.CoarsenFactor = Factor;
+            C.Agg = G;
+            C.AggGroupBlocks = Group;
+            Visit(C);
+          }
+        } else {
+          ExecConfig C;
+          C.Threshold = Threshold;
+          C.CoarsenFactor = Factor;
+          C.Agg = G;
+          Visit(C);
+        }
+      }
+}
+
+} // namespace
+
+TuneResult dpo::exhaustiveTune(const GpuModel &Gpu,
+                               const std::vector<NestedBatch> &Batches,
+                               const VariantMask &Mask) {
+  TuneResult Best;
+  Best.Result.TimeUs = std::numeric_limits<double>::infinity();
+  forEachConfig(Mask, [&](const ExecConfig &C) {
+    SimResult R = simulateBatches(Gpu, Batches, C);
+    ++Best.Probes;
+    if (R.TimeUs < Best.Result.TimeUs) {
+      Best.Result = R;
+      Best.Config = C;
+    }
+  });
+  return Best;
+}
+
+TuneResult dpo::guidedTune(const GpuModel &Gpu,
+                           const std::vector<NestedBatch> &Batches,
+                           const VariantMask &Mask) {
+  TuneResult Best;
+  Best.Result.TimeUs = std::numeric_limits<double>::infinity();
+
+  // Threshold: the 6k-8k launch budget rule picks one value directly; a
+  // low fallback probe covers workloads whose serialized work is expensive
+  // enough that more (cheap) launches beat divergent serialization.
+  std::vector<std::optional<uint32_t>> Thresholds;
+  if (Mask.Thresholding) {
+    uint32_t Budget = thresholdForLaunchBudget(Batches, 8000);
+    Thresholds.push_back(Budget);
+    if (Budget > 32)
+      Thresholds.push_back(32u);
+  } else {
+    Thresholds.push_back(std::nullopt);
+  }
+
+  // Coarsening: insensitive above 8, so fix a single large factor.
+  uint32_t Factor = Mask.Coarsening ? 16 : 1;
+
+  // Granularity: skip warp ("never favorable"); two multi-block group
+  // sizes; keep None (some kernels are best without aggregation, e.g.
+  // MSTV in Fig. 11).
+  struct GranChoice {
+    AggGranularity G;
+    uint32_t Group;
+  };
+  std::vector<GranChoice> Grans = {{AggGranularity::None, 0}};
+  if (Mask.Aggregation) {
+    for (AggGranularity G : Mask.Granularities) {
+      if (G == AggGranularity::Warp)
+        continue;
+      if (G == AggGranularity::MultiBlock) {
+        Grans.push_back({G, 8});
+        Grans.push_back({G, 32});
+      } else {
+        Grans.push_back({G, 0});
+      }
+    }
+  }
+
+  for (auto Threshold : Thresholds)
+    for (const GranChoice &Choice : Grans) {
+      ExecConfig C;
+      C.Threshold = Threshold;
+      C.CoarsenFactor = Factor;
+      C.Agg = Choice.G;
+      if (Choice.Group)
+        C.AggGroupBlocks = Choice.Group;
+      SimResult R = simulateBatches(Gpu, Batches, C);
+      ++Best.Probes;
+      if (R.TimeUs < Best.Result.TimeUs) {
+        Best.Result = R;
+        Best.Config = C;
+      }
+    }
+  return Best;
+}

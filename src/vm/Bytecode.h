@@ -1,0 +1,155 @@
+//===--- Bytecode.h - Instruction set for the GPU bytecode VM ----------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small stack bytecode for functionally executing the CUDA-C subset.
+/// Values are 8-byte slots interpreted as int64 or double per instruction;
+/// unsigned semantics get dedicated opcodes. dim3 values occupy three
+/// consecutive slots/locals. The VM exists to prove that transformed
+/// kernels compute exactly what the originals compute — it is a functional
+/// model, not a timing model (timing lives in src/sim).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_BYTECODE_H
+#define DPO_VM_BYTECODE_H
+
+#include "ast/Type.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dpo {
+
+enum class Op : uint8_t {
+  // Constants and locals.
+  PushI,     ///< A = imm (int64)
+  PushF,     ///< A = imm (double, bit-stored)
+  LoadLocal, ///< A = local slot index
+  StoreLocal,
+  Dup,
+  Pop,
+  Swap,
+
+  // Device memory (address on stack below value for stores).
+  LdI8, LdU8, LdI16, LdU16, LdI32, LdU32, LdI64, LdF32, LdF64,
+  StI8, StI16, StI32, StI64, StF32, StF64,
+
+  // Frame memory: push the address of an address-taken local (A = its
+  // frame-memory offset).
+  FrameAddr,
+
+  // Integer arithmetic (top = rhs).
+  AddI, SubI, MulI, DivI, DivU, RemI, RemU, Shl, ShrI, ShrU,
+  BitAnd, BitOr, BitXor, BitNot, NegI,
+  // Integer comparisons -> 0/1.
+  CmpEQ, CmpNE, CmpLTI, CmpLEI, CmpGTI, CmpGEI, CmpLTU, CmpLEU, CmpGTU,
+  CmpGEU,
+  LogicalNot,
+
+  // Floating point (doubles on the stack).
+  AddF, SubF, MulF, DivF, NegF,
+  CmpEQF, CmpNEF, CmpLTF, CmpLEF, CmpGTF, CmpGEF,
+
+  // Conversions.
+  I2F,      ///< int64 -> double
+  U2F,      ///< uint64 -> double
+  F2I,      ///< double -> int64 (truncating)
+  F2Single, ///< double -> float precision -> double
+  TruncI,   ///< A = byte width, B = 1 if sign-extend: wrap to width
+
+  // Control flow (A = absolute instruction index).
+  Jmp, JmpIfZero, JmpIfNotZero,
+
+  // Calls. A = function index, B = argument slot count (dim3 args expanded).
+  Call,
+  Ret,     ///< Return with a value on the stack.
+  RetVoid,
+
+  // Special registers. A encodes dim*4+component (dim: 0 threadIdx,
+  // 1 blockIdx, 2 blockDim, 3 gridDim; component 0..2).
+  SReg,
+
+  // Shared memory: push this block's shared segment base address.
+  SharedBase,
+
+  // Barriers / fences.
+  SyncThreads,
+  ThreadFence, ///< No-op in the sequential VM (memory is always coherent).
+
+  // Atomics (address, value on stack; push old value). Width in A (4 or 8).
+  AtomicAdd, AtomicMax, AtomicMin, AtomicExch, AtomicCAS, AtomicOr,
+  AtomicAnd,
+
+  // Kernel launch. A = function index, B = argument slot count. The stack
+  // holds [args..., gridX, gridY, gridZ, blockX, blockY, blockZ] with the
+  // block dims on top.
+  Launch,
+
+  // Host-only intrinsics.
+  CudaMalloc,      ///< [ptrAddr, bytes] -> 0
+  CudaFree,        ///< [ptr] -> 0
+  CudaMemset,      ///< [ptr, value, bytes] -> 0
+  CudaMemcpy,      ///< [dst, src, bytes, kind] -> 0
+  CudaSync,        ///< Drain pending launches.
+
+  // Math intrinsics. A selects the function (MathFn).
+  Math1, ///< One double operand.
+  Math2, ///< Two double operands.
+  MinI, MaxI, MinU, MaxU,
+
+  Trap, ///< A = trap message index; aborts execution.
+};
+
+enum class MathFn : uint8_t {
+  Sqrt, Ceil, Floor, Fabs, Exp, Log, Pow, Fmin, Fmax, Tanh,
+};
+
+struct Instr {
+  Op Code;
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+/// One compiled function.
+struct FuncDef {
+  std::string Name;
+  bool IsKernel = false;
+  bool ReturnsValue = false;
+  /// Total local slots (params first; dim3 params use 3 slots each).
+  unsigned NumLocals = 0;
+  /// Slot count occupied by parameters.
+  unsigned NumParamSlots = 0;
+  /// Parameter types in source order (dim3 expands to 3 slots).
+  std::vector<Type> ParamTypes;
+  /// Bytes of frame memory for address-taken locals.
+  unsigned FrameBytes = 0;
+  /// Bytes of shared memory statically declared in this function.
+  unsigned SharedBytes = 0;
+  std::vector<Instr> Code;
+};
+
+/// A compiled translation unit.
+struct VmProgram {
+  std::vector<FuncDef> Functions;
+  std::unordered_map<std::string, unsigned> FunctionIndex;
+  std::vector<std::string> TrapMessages;
+  /// Initial device-memory image for globals (offset from GlobalBase).
+  std::vector<uint8_t> GlobalImage;
+  /// Global variable name -> offset in GlobalImage.
+  std::unordered_map<std::string, unsigned> GlobalOffsets;
+
+  const FuncDef *find(const std::string &Name) const {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+};
+
+} // namespace dpo
+
+#endif // DPO_VM_BYTECODE_H

@@ -1,0 +1,844 @@
+//===--- VM.cpp ------------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "parse/Parser.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+using namespace dpo;
+
+namespace {
+
+double asDouble(int64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  return D;
+}
+
+int64_t asBits(double D) {
+  int64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  return Bits;
+}
+
+} // namespace
+
+Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes)
+    : Program(std::move(ProgramIn)), Memory(MemoryBytes, 0) {
+  // Null page, then globals, then the heap.
+  BumpPtr = GlobalBase;
+  if (!Program.GlobalImage.empty()) {
+    std::memcpy(Memory.data() + GlobalBase, Program.GlobalImage.data(),
+                Program.GlobalImage.size());
+    BumpPtr += Program.GlobalImage.size();
+  }
+  BumpPtr = (BumpPtr + 63) & ~63ull;
+}
+
+uint64_t Device::alloc(uint64_t Bytes) {
+  uint64_t Addr = (BumpPtr + 7) & ~7ull;
+  if (Addr + Bytes > Memory.size()) {
+    LastError = "device out of memory";
+    return 0;
+  }
+  BumpPtr = Addr + Bytes;
+  std::memset(Memory.data() + Addr, 0, Bytes);
+  return Addr;
+}
+
+#define DPO_CHECKED_RW(Addr, Bytes)                                           \
+  assert((Addr) != 0 && (Addr) + (Bytes) <= Memory.size() &&                  \
+         "host access out of bounds")
+
+void Device::writeI32(uint64_t Addr, int32_t V) {
+  DPO_CHECKED_RW(Addr, 4);
+  std::memcpy(Memory.data() + Addr, &V, 4);
+}
+void Device::writeU32(uint64_t Addr, uint32_t V) {
+  DPO_CHECKED_RW(Addr, 4);
+  std::memcpy(Memory.data() + Addr, &V, 4);
+}
+void Device::writeI64(uint64_t Addr, int64_t V) {
+  DPO_CHECKED_RW(Addr, 8);
+  std::memcpy(Memory.data() + Addr, &V, 8);
+}
+void Device::writeF32(uint64_t Addr, float V) {
+  DPO_CHECKED_RW(Addr, 4);
+  std::memcpy(Memory.data() + Addr, &V, 4);
+}
+void Device::writeF64(uint64_t Addr, double V) {
+  DPO_CHECKED_RW(Addr, 8);
+  std::memcpy(Memory.data() + Addr, &V, 8);
+}
+int32_t Device::readI32(uint64_t Addr) const {
+  DPO_CHECKED_RW(Addr, 4);
+  int32_t V;
+  std::memcpy(&V, Memory.data() + Addr, 4);
+  return V;
+}
+uint32_t Device::readU32(uint64_t Addr) const {
+  DPO_CHECKED_RW(Addr, 4);
+  uint32_t V;
+  std::memcpy(&V, Memory.data() + Addr, 4);
+  return V;
+}
+int64_t Device::readI64(uint64_t Addr) const {
+  DPO_CHECKED_RW(Addr, 8);
+  int64_t V;
+  std::memcpy(&V, Memory.data() + Addr, 8);
+  return V;
+}
+float Device::readF32(uint64_t Addr) const {
+  DPO_CHECKED_RW(Addr, 4);
+  float V;
+  std::memcpy(&V, Memory.data() + Addr, 4);
+  return V;
+}
+double Device::readF64(uint64_t Addr) const {
+  DPO_CHECKED_RW(Addr, 8);
+  double V;
+  std::memcpy(&V, Memory.data() + Addr, 8);
+  return V;
+}
+
+uint64_t Device::allocI32(const std::vector<int32_t> &Values) {
+  uint64_t Addr = alloc(Values.size() * 4);
+  if (Addr)
+    std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 4);
+  return Addr;
+}
+
+std::vector<int32_t> Device::readI32Array(uint64_t Addr, size_t Count) const {
+  DPO_CHECKED_RW(Addr, Count * 4);
+  std::vector<int32_t> Result(Count);
+  std::memcpy(Result.data(), Memory.data() + Addr, Count * 4);
+  return Result;
+}
+
+bool Device::fail(const std::string &Message) {
+  if (LastError.empty())
+    LastError = Message;
+  return false;
+}
+
+bool Device::checkRange(uint64_t Addr, unsigned Bytes) {
+  if (Addr == 0)
+    return fail("null pointer access");
+  if (Addr + Bytes > Memory.size())
+    return fail("device memory access out of bounds");
+  return true;
+}
+
+bool Device::launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
+                          const std::vector<int64_t> &Args) {
+  LastError.clear();
+  StepsUsed = 0;
+  const FuncDef *F = Program.find(Name);
+  if (!F)
+    return fail("unknown kernel '" + Name + "'");
+  if (!F->IsKernel)
+    return fail("'" + Name + "' is not a __global__ kernel");
+  if (Args.size() != F->NumParamSlots)
+    return fail("kernel '" + Name + "' expects " +
+                std::to_string(F->NumParamSlots) + " argument slots, got " +
+                std::to_string(Args.size()));
+  PendingLaunch L;
+  L.Func = Program.FunctionIndex.at(Name);
+  L.Grid = Grid;
+  L.Block = Block;
+  L.Args = Args;
+  ++Stats.HostLaunches;
+  Queue.push_back(std::move(L));
+  return drainLaunches();
+}
+
+bool Device::callHost(const std::string &Name,
+                      const std::vector<int64_t> &Args) {
+  LastError.clear();
+  StepsUsed = 0;
+  const FuncDef *F = Program.find(Name);
+  if (!F)
+    return fail("unknown function '" + Name + "'");
+  if (Args.size() != F->NumParamSlots)
+    return fail("function '" + Name + "' expects " +
+                std::to_string(F->NumParamSlots) + " argument slots, got " +
+                std::to_string(Args.size()));
+
+  InHostCall = true;
+  PendingLaunch L;
+  L.Func = Program.FunctionIndex.at(Name);
+  L.Grid = {1, 1, 1};
+  L.Block = {1, 1, 1};
+  L.Args = Args;
+  bool Ok = runGrid(L) && drainLaunches();
+  InHostCall = false;
+  return Ok;
+}
+
+bool Device::drainLaunches() {
+  while (!Queue.empty()) {
+    PendingLaunch L = std::move(Queue.front());
+    Queue.pop_front();
+    if (!runGrid(L))
+      return false;
+  }
+  return true;
+}
+
+bool Device::runGrid(const PendingLaunch &L) {
+  const FuncDef &F = Program.Functions[L.Func];
+  ++Stats.GridsLaunched;
+  Stats.LargestGridBlocks =
+      std::max(Stats.LargestGridBlocks, (uint64_t)L.Grid.count());
+  if (L.Grid.count() == 0 || L.Block.count() == 0)
+    return true; // Empty grids complete immediately.
+  if (L.Block.count() > 1024)
+    return fail("block of " + std::to_string(L.Block.count()) +
+                " threads exceeds the 1024-thread limit in '" + F.Name + "'");
+
+  uint64_t SharedBase = 0;
+  if (F.SharedBytes > 0) {
+    SharedBase = alloc(F.SharedBytes);
+    if (!SharedBase)
+      return false;
+  }
+
+  for (uint32_t BZ = 0; BZ < L.Grid.Z; ++BZ)
+    for (uint32_t BY = 0; BY < L.Grid.Y; ++BY)
+      for (uint32_t BX = 0; BX < L.Grid.X; ++BX) {
+        if (SharedBase)
+          std::memset(Memory.data() + SharedBase, 0, F.SharedBytes);
+        if (!runBlock(L, {BX, BY, BZ}, SharedBase))
+          return false;
+      }
+  return true;
+}
+
+bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
+                      uint64_t SharedBase) {
+  const FuncDef &F = Program.Functions[L.Func];
+  ++Stats.BlocksExecuted;
+
+  std::vector<ThreadCtx> Threads;
+  Threads.reserve(L.Block.count());
+  for (uint32_t TZ = 0; TZ < L.Block.Z; ++TZ)
+    for (uint32_t TY = 0; TY < L.Block.Y; ++TY)
+      for (uint32_t TX = 0; TX < L.Block.X; ++TX) {
+        ThreadCtx T;
+        T.ThreadIdx = {TX, TY, TZ};
+        Frame Root;
+        Root.Func = L.Func;
+        Root.PC = 0;
+        Root.Locals.assign(F.NumLocals, 0);
+        for (unsigned I = 0; I < F.NumParamSlots; ++I)
+          Root.Locals[I] = L.Args[I];
+        if (F.FrameBytes > 0) {
+          if (!T.StackMemBase) {
+            T.StackMemBase = alloc(64 * 1024);
+            if (!T.StackMemBase)
+              return false;
+          }
+          Root.FrameMemBase = T.StackMemBase;
+          Root.FrameMemBytes = F.FrameBytes;
+          T.StackMemUsed = F.FrameBytes;
+        }
+        T.Frames.push_back(std::move(Root));
+        Threads.push_back(std::move(T));
+        ++Stats.ThreadsExecuted;
+      }
+
+  while (true) {
+    bool AnyRan = false;
+    bool AnyLive = false;
+    for (ThreadCtx &T : Threads) {
+      if (T.State == ThreadState::Ready) {
+        AnyRan = true;
+        if (!runThread(T, L, BlockIdx, SharedBase))
+          return false;
+      }
+      if (T.State != ThreadState::Done)
+        AnyLive = true;
+    }
+    if (!AnyLive)
+      return true;
+    // Release barrier: every live thread is waiting.
+    bool AllAtBarrier = true;
+    for (ThreadCtx &T : Threads)
+      if (T.State == ThreadState::Ready)
+        AllAtBarrier = false;
+    if (AllAtBarrier) {
+      bool Released = false;
+      for (ThreadCtx &T : Threads)
+        if (T.State == ThreadState::AtBarrier) {
+          T.State = ThreadState::Ready;
+          Released = true;
+        }
+      if (!Released && !AnyRan)
+        return fail("scheduling deadlock in '" + F.Name + "'");
+    }
+  }
+}
+
+bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
+                       uint64_t SharedBase) {
+  auto Push = [&](int64_t V) { T.Stack.push_back(V); };
+  auto Pop = [&]() {
+    int64_t V = T.Stack.back();
+    T.Stack.pop_back();
+    return V;
+  };
+
+  while (true) {
+    if (++StepsUsed > StepLimit) {
+      T.State = ThreadState::Failed;
+      return fail("step limit exceeded (possible infinite loop)");
+    }
+    ++Stats.Steps;
+    Frame &Fr = T.Frames.back();
+    const FuncDef &F = Program.Functions[Fr.Func];
+    if (Fr.PC >= F.Code.size()) {
+      T.State = ThreadState::Failed;
+      return fail("fell off the end of '" + F.Name + "'");
+    }
+    const Instr &I = F.Code[Fr.PC++];
+
+    switch (I.Code) {
+    case Op::PushI:
+    case Op::PushF:
+      Push(I.A);
+      break;
+    case Op::LoadLocal:
+      Push(Fr.Locals[I.A]);
+      break;
+    case Op::StoreLocal:
+      Fr.Locals[I.A] = Pop();
+      break;
+    case Op::Dup:
+      Push(T.Stack.back());
+      break;
+    case Op::Pop:
+      Pop();
+      break;
+    case Op::Swap: {
+      int64_t A = Pop();
+      int64_t B = Pop();
+      Push(A);
+      Push(B);
+      break;
+    }
+
+    case Op::FrameAddr:
+      Push(Fr.FrameMemBase + I.A);
+      break;
+    case Op::SharedBase:
+      Push(SharedBase);
+      break;
+
+#define DPO_LOAD(OPC, CTYPE, PUSHEXPR)                                        \
+  case Op::OPC: {                                                             \
+    uint64_t Addr = (uint64_t)Pop();                                          \
+    if (!checkRange(Addr, sizeof(CTYPE))) {                                   \
+      T.State = ThreadState::Failed;                                          \
+      return false;                                                           \
+    }                                                                         \
+    CTYPE V;                                                                  \
+    std::memcpy(&V, Memory.data() + Addr, sizeof(CTYPE));                     \
+    Push(PUSHEXPR);                                                           \
+    break;                                                                    \
+  }
+      DPO_LOAD(LdI8, int8_t, (int64_t)V)
+      DPO_LOAD(LdU8, uint8_t, (int64_t)V)
+      DPO_LOAD(LdI16, int16_t, (int64_t)V)
+      DPO_LOAD(LdU16, uint16_t, (int64_t)V)
+      DPO_LOAD(LdI32, int32_t, (int64_t)V)
+      DPO_LOAD(LdU32, uint32_t, (int64_t)V)
+      DPO_LOAD(LdI64, int64_t, V)
+      DPO_LOAD(LdF32, float, asBits((double)V))
+      DPO_LOAD(LdF64, double, asBits(V))
+#undef DPO_LOAD
+
+#define DPO_STORE(OPC, CTYPE, VALEXPR)                                        \
+  case Op::OPC: {                                                             \
+    int64_t Raw = Pop();                                                      \
+    uint64_t Addr = (uint64_t)Pop();                                          \
+    if (!checkRange(Addr, sizeof(CTYPE))) {                                   \
+      T.State = ThreadState::Failed;                                          \
+      return false;                                                           \
+    }                                                                         \
+    CTYPE V = VALEXPR;                                                        \
+    std::memcpy(Memory.data() + Addr, &V, sizeof(CTYPE));                     \
+    break;                                                                    \
+  }
+      DPO_STORE(StI8, int8_t, (int8_t)Raw)
+      DPO_STORE(StI16, int16_t, (int16_t)Raw)
+      DPO_STORE(StI32, int32_t, (int32_t)Raw)
+      DPO_STORE(StI64, int64_t, Raw)
+      DPO_STORE(StF32, float, (float)asDouble(Raw))
+      DPO_STORE(StF64, double, asDouble(Raw))
+#undef DPO_STORE
+
+#define DPO_BINI(OPC, EXPR)                                                   \
+  case Op::OPC: {                                                             \
+    int64_t R = Pop();                                                        \
+    int64_t Lv = Pop();                                                       \
+    (void)R;                                                                  \
+    (void)Lv;                                                                 \
+    Push(EXPR);                                                               \
+    break;                                                                    \
+  }
+      DPO_BINI(AddI, Lv + R)
+      DPO_BINI(SubI, Lv - R)
+      DPO_BINI(MulI, Lv *R)
+      DPO_BINI(Shl, (int64_t)((uint64_t)Lv << (R & 63)))
+      DPO_BINI(ShrI, Lv >> (R & 63))
+      DPO_BINI(ShrU, (int64_t)((uint64_t)Lv >> (R & 63)))
+      DPO_BINI(BitAnd, Lv &R)
+      DPO_BINI(BitOr, Lv | R)
+      DPO_BINI(BitXor, Lv ^ R)
+      DPO_BINI(CmpEQ, Lv == R ? 1 : 0)
+      DPO_BINI(CmpNE, Lv != R ? 1 : 0)
+      DPO_BINI(CmpLTI, Lv < R ? 1 : 0)
+      DPO_BINI(CmpLEI, Lv <= R ? 1 : 0)
+      DPO_BINI(CmpGTI, Lv > R ? 1 : 0)
+      DPO_BINI(CmpGEI, Lv >= R ? 1 : 0)
+      DPO_BINI(CmpLTU, (uint64_t)Lv < (uint64_t)R ? 1 : 0)
+      DPO_BINI(CmpLEU, (uint64_t)Lv <= (uint64_t)R ? 1 : 0)
+      DPO_BINI(CmpGTU, (uint64_t)Lv > (uint64_t)R ? 1 : 0)
+      DPO_BINI(CmpGEU, (uint64_t)Lv >= (uint64_t)R ? 1 : 0)
+      DPO_BINI(MinI, Lv < R ? Lv : R)
+      DPO_BINI(MaxI, Lv > R ? Lv : R)
+      DPO_BINI(MinU, (uint64_t)Lv < (uint64_t)R ? Lv : R)
+      DPO_BINI(MaxU, (uint64_t)Lv > (uint64_t)R ? Lv : R)
+#undef DPO_BINI
+
+    case Op::DivI: {
+      int64_t R = Pop();
+      int64_t Lv = Pop();
+      if (R == 0) {
+        T.State = ThreadState::Failed;
+        return fail("integer division by zero");
+      }
+      Push(Lv / R);
+      break;
+    }
+    case Op::DivU: {
+      uint64_t R = (uint64_t)Pop();
+      uint64_t Lv = (uint64_t)Pop();
+      if (R == 0) {
+        T.State = ThreadState::Failed;
+        return fail("integer division by zero");
+      }
+      Push((int64_t)(Lv / R));
+      break;
+    }
+    case Op::RemI: {
+      int64_t R = Pop();
+      int64_t Lv = Pop();
+      if (R == 0) {
+        T.State = ThreadState::Failed;
+        return fail("integer remainder by zero");
+      }
+      Push(Lv % R);
+      break;
+    }
+    case Op::RemU: {
+      uint64_t R = (uint64_t)Pop();
+      uint64_t Lv = (uint64_t)Pop();
+      if (R == 0) {
+        T.State = ThreadState::Failed;
+        return fail("integer remainder by zero");
+      }
+      Push((int64_t)(Lv % R));
+      break;
+    }
+    case Op::BitNot:
+      Push(~Pop());
+      break;
+    case Op::NegI:
+      Push(-Pop());
+      break;
+    case Op::LogicalNot:
+      Push(Pop() == 0 ? 1 : 0);
+      break;
+
+#define DPO_BINF(OPC, EXPR)                                                   \
+  case Op::OPC: {                                                             \
+    double R = asDouble(Pop());                                               \
+    double Lv = asDouble(Pop());                                              \
+    (void)R;                                                                  \
+    (void)Lv;                                                                 \
+    Push(EXPR);                                                               \
+    break;                                                                    \
+  }
+      DPO_BINF(AddF, asBits(Lv + R))
+      DPO_BINF(SubF, asBits(Lv - R))
+      DPO_BINF(MulF, asBits(Lv *R))
+      DPO_BINF(DivF, asBits(Lv / R))
+      DPO_BINF(CmpEQF, Lv == R ? 1 : 0)
+      DPO_BINF(CmpNEF, Lv != R ? 1 : 0)
+      DPO_BINF(CmpLTF, Lv < R ? 1 : 0)
+      DPO_BINF(CmpLEF, Lv <= R ? 1 : 0)
+      DPO_BINF(CmpGTF, Lv > R ? 1 : 0)
+      DPO_BINF(CmpGEF, Lv >= R ? 1 : 0)
+#undef DPO_BINF
+
+    case Op::NegF:
+      Push(asBits(-asDouble(Pop())));
+      break;
+    case Op::I2F:
+      Push(asBits((double)Pop()));
+      break;
+    case Op::U2F:
+      Push(asBits((double)(uint64_t)Pop()));
+      break;
+    case Op::F2I:
+      Push((int64_t)asDouble(Pop()));
+      break;
+    case Op::F2Single:
+      Push(asBits((double)(float)asDouble(Pop())));
+      break;
+    case Op::TruncI: {
+      int64_t V = Pop();
+      unsigned Width = (unsigned)I.A;
+      bool SignExtend = I.B != 0;
+      if (Width == 1)
+        Push(SignExtend ? (int64_t)(int8_t)V : (int64_t)(uint8_t)V);
+      else if (Width == 2)
+        Push(SignExtend ? (int64_t)(int16_t)V : (int64_t)(uint16_t)V);
+      else if (Width == 4)
+        Push(SignExtend ? (int64_t)(int32_t)V : (int64_t)(uint32_t)V);
+      else
+        Push(V);
+      break;
+    }
+
+    case Op::Jmp:
+      Fr.PC = (unsigned)I.A;
+      break;
+    case Op::JmpIfZero:
+      if (Pop() == 0)
+        Fr.PC = (unsigned)I.A;
+      break;
+    case Op::JmpIfNotZero:
+      if (Pop() != 0)
+        Fr.PC = (unsigned)I.A;
+      break;
+
+    case Op::Call: {
+      const FuncDef &Callee = Program.Functions[I.A];
+      Frame New;
+      New.Func = (unsigned)I.A;
+      New.PC = 0;
+      New.Locals.assign(Callee.NumLocals, 0);
+      for (unsigned S = 0; S < (unsigned)I.B; ++S)
+        New.Locals[I.B - 1 - S] = Pop();
+      if (Callee.FrameBytes > 0) {
+        if (!T.StackMemBase) {
+          T.StackMemBase = alloc(64 * 1024);
+          if (!T.StackMemBase) {
+            T.State = ThreadState::Failed;
+            return false;
+          }
+        }
+        uint64_t Offset = (T.StackMemUsed + 7) & ~7ull;
+        if (Offset + Callee.FrameBytes > 64 * 1024) {
+          T.State = ThreadState::Failed;
+          return fail("thread frame-memory stack overflow");
+        }
+        New.FrameMemBase = T.StackMemBase + Offset;
+        New.FrameMemBytes = Callee.FrameBytes;
+        std::memset(Memory.data() + New.FrameMemBase, 0, Callee.FrameBytes);
+        T.StackMemUsed = Offset + Callee.FrameBytes;
+      }
+      if (T.Frames.size() > 200) {
+        T.State = ThreadState::Failed;
+        return fail("call stack overflow (runaway recursion?)");
+      }
+      T.Frames.push_back(std::move(New));
+      break;
+    }
+    case Op::Ret: {
+      int64_t V = Pop();
+      T.StackMemUsed -= T.Frames.back().FrameMemBytes;
+      T.Frames.pop_back();
+      if (T.Frames.empty()) {
+        T.State = ThreadState::Done;
+        return true;
+      }
+      Push(V);
+      break;
+    }
+    case Op::RetVoid:
+      T.StackMemUsed -= T.Frames.back().FrameMemBytes;
+      T.Frames.pop_back();
+      if (T.Frames.empty()) {
+        T.State = ThreadState::Done;
+        return true;
+      }
+      break;
+
+    case Op::SReg: {
+      unsigned Builtin = (unsigned)I.A / 4;
+      unsigned Comp = (unsigned)I.A % 4;
+      Dim3V Value;
+      switch (Builtin) {
+      case 0: Value = T.ThreadIdx; break;
+      case 1: Value = BlockIdx; break;
+      case 2: Value = L.Block; break;
+      default: Value = L.Grid; break;
+      }
+      Push(Comp == 0 ? Value.X : Comp == 1 ? Value.Y : Value.Z);
+      break;
+    }
+
+    case Op::SyncThreads:
+      T.State = ThreadState::AtBarrier;
+      return true;
+    case Op::ThreadFence:
+      break; // Sequential memory is always coherent.
+
+#define DPO_ATOMIC_BODY(WIDTH, APPLY32, APPLY64)                              \
+  {                                                                           \
+    if (WIDTH == 4) {                                                         \
+      int32_t Old = readI32(Addr);                                            \
+      int32_t New = APPLY32;                                                  \
+      writeI32(Addr, New);                                                    \
+      Push((I.B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);               \
+    } else {                                                                  \
+      int64_t Old = readI64(Addr);                                            \
+      int64_t New = APPLY64;                                                  \
+      writeI64(Addr, New);                                                    \
+      Push(Old);                                                              \
+    }                                                                         \
+  }
+
+    case Op::AtomicAdd: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      DPO_ATOMIC_BODY(I.A, Old + (int32_t)V, Old + V);
+      break;
+    }
+    case Op::AtomicMax: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      if (I.B != 0) {
+        DPO_ATOMIC_BODY(I.A, std::max(Old, (int32_t)V), std::max(Old, V));
+      } else {
+        DPO_ATOMIC_BODY(
+            I.A,
+            (int32_t)std::max((uint32_t)Old, (uint32_t)V),
+            (int64_t)std::max((uint64_t)Old, (uint64_t)V));
+      }
+      break;
+    }
+    case Op::AtomicMin: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      if (I.B != 0) {
+        DPO_ATOMIC_BODY(I.A, std::min(Old, (int32_t)V), std::min(Old, V));
+      } else {
+        DPO_ATOMIC_BODY(
+            I.A,
+            (int32_t)std::min((uint32_t)Old, (uint32_t)V),
+            (int64_t)std::min((uint64_t)Old, (uint64_t)V));
+      }
+      break;
+    }
+    case Op::AtomicExch: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      DPO_ATOMIC_BODY(I.A, (int32_t)V, V);
+      break;
+    }
+    case Op::AtomicOr: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      DPO_ATOMIC_BODY(I.A, Old | (int32_t)V, Old | V);
+      break;
+    }
+    case Op::AtomicAnd: {
+      int64_t V = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      DPO_ATOMIC_BODY(I.A, Old & (int32_t)V, Old & V);
+      break;
+    }
+    case Op::AtomicCAS: {
+      int64_t New = Pop();
+      int64_t Expected = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (!checkRange(Addr, (unsigned)I.A)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      if (I.A == 4) {
+        int32_t Old = readI32(Addr);
+        if (Old == (int32_t)Expected)
+          writeI32(Addr, (int32_t)New);
+        Push((I.B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);
+      } else {
+        int64_t Old = readI64(Addr);
+        if (Old == Expected)
+          writeI64(Addr, New);
+        Push(Old);
+      }
+      break;
+    }
+#undef DPO_ATOMIC_BODY
+
+    case Op::Launch: {
+      PendingLaunch Child;
+      Child.Func = (unsigned)I.A;
+      Child.Block.Z = (uint32_t)Pop();
+      Child.Block.Y = (uint32_t)Pop();
+      Child.Block.X = (uint32_t)Pop();
+      Child.Grid.Z = (uint32_t)Pop();
+      Child.Grid.Y = (uint32_t)Pop();
+      Child.Grid.X = (uint32_t)Pop();
+      Child.Args.resize(I.B);
+      for (unsigned S = 0; S < (unsigned)I.B; ++S)
+        Child.Args[I.B - 1 - S] = Pop();
+      if (InHostCall && T.Frames.size() >= 1 &&
+          Program.Functions[T.Frames.front().Func].IsKernel == false) {
+        ++Stats.HostLaunches;
+      } else {
+        ++Stats.DeviceLaunches;
+      }
+      Queue.push_back(std::move(Child));
+      break;
+    }
+
+    case Op::CudaMalloc: {
+      uint64_t Bytes = (uint64_t)Pop();
+      uint64_t PtrAddr = (uint64_t)Pop();
+      uint64_t Addr = alloc(Bytes);
+      if (!Addr) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      if (!checkRange(PtrAddr, 8)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      writeI64(PtrAddr, (int64_t)Addr);
+      Push(0);
+      break;
+    }
+    case Op::CudaFree:
+      Pop(); // Bump allocator: free is a no-op.
+      Push(0);
+      break;
+    case Op::CudaMemset: {
+      uint64_t Bytes = (uint64_t)Pop();
+      int64_t Value = Pop();
+      uint64_t Addr = (uint64_t)Pop();
+      if (Bytes > 0 && !checkRange(Addr, (unsigned)Bytes)) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      std::memset(Memory.data() + Addr, (int)Value, Bytes);
+      Push(0);
+      break;
+    }
+    case Op::CudaMemcpy: {
+      Pop(); // direction
+      uint64_t Bytes = (uint64_t)Pop();
+      uint64_t Src = (uint64_t)Pop();
+      uint64_t Dst = (uint64_t)Pop();
+      if (Bytes > 0 &&
+          (!checkRange(Src, (unsigned)Bytes) || !checkRange(Dst, (unsigned)Bytes))) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      std::memmove(Memory.data() + Dst, Memory.data() + Src, Bytes);
+      Push(0);
+      break;
+    }
+    case Op::CudaSync: {
+      // Drain pending launches now (host semantics). The current (host)
+      // thread continues afterwards.
+      if (!drainLaunches()) {
+        T.State = ThreadState::Failed;
+        return false;
+      }
+      break;
+    }
+
+    case Op::Math1: {
+      double V = asDouble(Pop());
+      double R = 0;
+      switch ((MathFn)I.A) {
+      case MathFn::Sqrt: R = std::sqrt(V); break;
+      case MathFn::Ceil: R = std::ceil(V); break;
+      case MathFn::Floor: R = std::floor(V); break;
+      case MathFn::Fabs: R = std::fabs(V); break;
+      case MathFn::Exp: R = std::exp(V); break;
+      case MathFn::Log: R = std::log(V); break;
+      case MathFn::Tanh: R = std::tanh(V); break;
+      default: R = V; break;
+      }
+      Push(asBits(R));
+      break;
+    }
+    case Op::Math2: {
+      double B = asDouble(Pop());
+      double A = asDouble(Pop());
+      double R = 0;
+      switch ((MathFn)I.A) {
+      case MathFn::Pow: R = std::pow(A, B); break;
+      case MathFn::Fmin: R = std::fmin(A, B); break;
+      case MathFn::Fmax: R = std::fmax(A, B); break;
+      default: R = A; break;
+      }
+      Push(asBits(R));
+      break;
+    }
+
+    case Op::Trap:
+      T.State = ThreadState::Failed;
+      return fail("trap: " + Program.TrapMessages[I.A]);
+    }
+  }
+}
+
+std::unique_ptr<Device> dpo::buildDevice(std::string_view Source,
+                                         DiagnosticEngine &Diags) {
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  if (!TU)
+    return nullptr;
+  VmProgram Program = compileProgram(TU, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::make_unique<Device>(std::move(Program));
+}

@@ -1,0 +1,152 @@
+//===--- VM.h - Execution engine for the GPU bytecode -------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional execution of compiled programs against a flat device memory.
+///
+/// Execution model:
+///  - blocks of a grid run sequentially in blockIdx order (deterministic);
+///  - threads within a block run round-robin between barriers: each thread
+///    executes until it hits __syncthreads, finishes, or errors; a barrier
+///    releases when every live thread has arrived (threads that already
+///    returned are not waited for — lenient reconvergence, which matches
+///    what aggregation's max-blockDim masking relies on);
+///  - device-side launches are enqueued and executed after the launching
+///    grid completes (a valid linearization of CUDA's guarantee that child
+///    grids finish before their parent grid is considered complete);
+///  - host functions execute as a single pseudo-thread with access to the
+///    cudaMalloc/cudaMemcpy/cudaDeviceSynchronize intrinsics;
+///  - atomics are trivially atomic (execution is sequential), so the VM
+///    checks their *semantics* (returned old values, accumulation), which
+///    is what the transformed code depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_VM_H
+#define DPO_VM_VM_H
+
+#include "vm/Bytecode.h"
+#include "vm/Compiler.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+struct Dim3V {
+  uint32_t X = 1, Y = 1, Z = 1;
+  uint64_t count() const { return (uint64_t)X * Y * Z; }
+};
+
+/// Execution statistics; tests use these to check that, e.g., thresholding
+/// reduces the number of dynamic launches.
+struct VmStats {
+  uint64_t GridsLaunched = 0;
+  uint64_t DeviceLaunches = 0;
+  uint64_t HostLaunches = 0;
+  uint64_t BlocksExecuted = 0;
+  uint64_t ThreadsExecuted = 0;
+  uint64_t Steps = 0;
+  uint64_t LargestGridBlocks = 0;
+};
+
+class Device {
+public:
+  explicit Device(VmProgram Program, uint64_t MemoryBytes = 256ull << 20);
+
+  /// Allocates device memory (8-byte aligned, zero-initialized).
+  uint64_t alloc(uint64_t Bytes);
+
+  // Typed accessors (bounds-checked; abort the calling test on violation).
+  void writeI32(uint64_t Addr, int32_t V);
+  void writeU32(uint64_t Addr, uint32_t V);
+  void writeI64(uint64_t Addr, int64_t V);
+  void writeF32(uint64_t Addr, float V);
+  void writeF64(uint64_t Addr, double V);
+  int32_t readI32(uint64_t Addr) const;
+  uint32_t readU32(uint64_t Addr) const;
+  int64_t readI64(uint64_t Addr) const;
+  float readF32(uint64_t Addr) const;
+  double readF64(uint64_t Addr) const;
+
+  /// Copies a whole int32 array in/out.
+  uint64_t allocI32(const std::vector<int32_t> &Values);
+  std::vector<int32_t> readI32Array(uint64_t Addr, size_t Count) const;
+
+  /// Launches a kernel from the host and runs to completion (including all
+  /// device-side launches). Args are slot values: ints/addresses as int64,
+  /// doubles bit-cast, dim3 parameters as three consecutive slots.
+  bool launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
+                    const std::vector<int64_t> &Args);
+
+  /// Runs a host function (e.g. a generated `<parent>_agg` wrapper).
+  bool callHost(const std::string &Name, const std::vector<int64_t> &Args);
+
+  const std::string &error() const { return LastError; }
+  const VmStats &stats() const { return Stats; }
+  void resetStats() { Stats = VmStats(); }
+
+  /// Maximum bytecode steps per top-level call (guards against runaway
+  /// loops in tests).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+private:
+  struct PendingLaunch {
+    unsigned Func;
+    Dim3V Grid, Block;
+    std::vector<int64_t> Args;
+  };
+
+  struct Frame {
+    unsigned Func = 0;
+    unsigned PC = 0;
+    std::vector<int64_t> Locals;
+    uint64_t FrameMemBase = 0;
+    unsigned FrameMemBytes = 0;
+  };
+
+  enum class ThreadState { Ready, AtBarrier, Done, Failed };
+
+  struct ThreadCtx {
+    std::vector<int64_t> Stack;
+    std::vector<Frame> Frames;
+    Dim3V ThreadIdx;
+    ThreadState State = ThreadState::Ready;
+    uint64_t StackMemBase = 0; ///< Lazily allocated addressable stack.
+    uint64_t StackMemUsed = 0;
+  };
+
+  bool runGrid(const PendingLaunch &L);
+  bool runBlock(const PendingLaunch &L, Dim3V BlockIdx, uint64_t SharedBase);
+  /// Executes one thread until a stop event. Returns false on VM error.
+  bool runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
+                 uint64_t SharedBase);
+  bool drainLaunches();
+  bool fail(const std::string &Message);
+  bool checkRange(uint64_t Addr, unsigned Bytes);
+
+  VmProgram Program;
+  std::vector<uint8_t> Memory;
+  uint64_t BumpPtr;
+  std::deque<PendingLaunch> Queue;
+  std::string LastError;
+  VmStats Stats;
+  uint64_t StepLimit = 2000ull * 1000 * 1000;
+  uint64_t StepsUsed = 0;
+  bool InHostCall = false;
+};
+
+/// Convenience: parse + compile + construct a device. Returns nullptr on
+/// error (diagnostics explain).
+std::unique_ptr<Device> buildDevice(std::string_view Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace dpo
+
+#endif // DPO_VM_VM_H

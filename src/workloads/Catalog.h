@@ -1,0 +1,55 @@
+//===--- Catalog.h - Benchmark/dataset pairs of Table I -----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_WORKLOADS_CATALOG_H
+#define DPO_WORKLOADS_CATALOG_H
+
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+enum class BenchmarkId { BFS, BT, MSTF, MSTV, SP, SSSP, TC };
+enum class DatasetId { KRON, CNR, ROAD_NY, RAND3, SAT5, T0032_C16, T2048_C64 };
+
+const char *benchmarkName(BenchmarkId Id);
+const char *datasetName(DatasetId Id);
+
+struct BenchCase {
+  BenchmarkId Bench;
+  DatasetId Data;
+  std::string name() const;
+};
+
+/// The 14 benchmark/dataset pairs of Fig. 9 (Table I), in figure order.
+const std::vector<BenchCase> &figure9Cases();
+
+/// The 5 graph benchmarks on the road graph (Fig. 12).
+const std::vector<BenchCase> &figure12Cases();
+
+/// The 7 per-benchmark sweep cases of Fig. 11 (one dataset each).
+const std::vector<BenchCase> &figure11Cases();
+
+/// Runs a case, generating (and caching) its dataset. Dataset generation
+/// and the native algorithms are deterministic, so repeated calls return
+/// identical batches and results.
+const WorkloadOutput &runCase(const BenchCase &Case);
+
+/// Dataset statistics for the Table I reproduction.
+struct DatasetStats {
+  std::string Name;
+  uint64_t Vertices = 0; ///< Or variables / lines.
+  uint64_t Edges = 0;    ///< Or literal occurrences / tessellation points.
+  double AvgDegree = 0;
+  uint64_t MaxDegree = 0;
+};
+DatasetStats datasetStats(DatasetId Id);
+
+} // namespace dpo
+
+#endif // DPO_WORKLOADS_CATALOG_H

@@ -1,0 +1,272 @@
+//===--- GraphWorkloads.cpp - BFS, SSSP, MSTF, MSTV, TC -----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+using namespace dpo;
+
+namespace {
+
+/// Builds the batch for one parent kernel invocation over \p Parents, with
+/// child sizes given by \p UnitsOf.
+template <typename UnitsFn>
+NestedBatch makeGraphBatch(const std::vector<uint32_t> &Parents,
+                           UnitsFn UnitsOf, uint32_t ChildBlockDim) {
+  NestedBatch B;
+  B.NumParentThreads = Parents.size();
+  B.ParentBlockDim = 128;
+  B.ChildBlockDim = ChildBlockDim;
+  B.ChildUnits.reserve(Parents.size());
+  for (uint32_t V : Parents)
+    B.ChildUnits.push_back(UnitsOf(V));
+  return B;
+}
+
+} // namespace
+
+WorkloadOutput dpo::runBfs(const CsrGraph &G, uint32_t Source) {
+  WorkloadOutput Out;
+  Out.Levels.assign(G.NumVertices, UnreachedLevel);
+  if (G.NumVertices == 0)
+    return Out;
+  Out.Levels[Source] = 0;
+  std::vector<uint32_t> Frontier = {Source};
+  std::vector<uint32_t> Next;
+
+  uint32_t Level = 0;
+  while (!Frontier.empty()) {
+    NestedBatch B = makeGraphBatch(
+        Frontier, [&](uint32_t V) { return G.degree(V); }, 128);
+    B.ParentCyclesPerThread = 120;
+    B.ChildCyclesPerUnit = 45;
+    B.SerialCyclesPerUnit = 380;
+    B.ChildBlockBaseCycles = 50;
+    Out.Batches.push_back(std::move(B));
+
+    Next.clear();
+    for (uint32_t V : Frontier)
+      for (uint32_t E = G.RowPtr[V]; E < G.RowPtr[V + 1]; ++E) {
+        uint32_t N = G.Col[E];
+        if (Out.Levels[N] == UnreachedLevel) {
+          Out.Levels[N] = Level + 1;
+          Next.push_back(N);
+        }
+      }
+    Frontier.swap(Next);
+    ++Level;
+  }
+  return Out;
+}
+
+WorkloadOutput dpo::runSssp(const CsrGraph &G, uint32_t Source) {
+  assert(!G.Weight.empty() && "SSSP needs edge weights");
+  WorkloadOutput Out;
+  Out.Dist.assign(G.NumVertices, InfDist);
+  if (G.NumVertices == 0)
+    return Out;
+  Out.Dist[Source] = 0;
+  std::vector<uint32_t> Worklist = {Source};
+  std::vector<uint8_t> InList(G.NumVertices, 0);
+  InList[Source] = 1;
+  std::vector<uint32_t> Next;
+
+  unsigned Iterations = 0;
+  const unsigned MaxIterations = 4000;
+  while (!Worklist.empty() && Iterations++ < MaxIterations) {
+    NestedBatch B = makeGraphBatch(
+        Worklist, [&](uint32_t V) { return G.degree(V); }, 128);
+    B.ParentCyclesPerThread = 140;
+    B.ChildCyclesPerUnit = 55;
+    B.SerialCyclesPerUnit = 450;
+    B.ChildBlockBaseCycles = 55;
+    Out.Batches.push_back(std::move(B));
+
+    Next.clear();
+    for (uint32_t V : Worklist)
+      InList[V] = 0;
+    for (uint32_t V : Worklist) {
+      uint64_t DV = Out.Dist[V];
+      for (uint32_t E = G.RowPtr[V]; E < G.RowPtr[V + 1]; ++E) {
+        uint32_t N = G.Col[E];
+        uint64_t Cand = DV + G.Weight[E];
+        if (Cand < Out.Dist[N]) {
+          Out.Dist[N] = Cand;
+          if (!InList[N]) {
+            InList[N] = 1;
+            Next.push_back(N);
+          }
+        }
+      }
+    }
+    Worklist.swap(Next);
+  }
+  return Out;
+}
+
+WorkloadOutput dpo::runMstFind(const CsrGraph &G) {
+  assert(!G.Weight.empty() && "MST needs edge weights");
+  WorkloadOutput Out;
+  if (G.NumVertices == 0)
+    return Out;
+
+  std::vector<uint32_t> Component(G.NumVertices);
+  std::iota(Component.begin(), Component.end(), 0);
+  auto Find = [&](uint32_t V) {
+    while (Component[V] != V) {
+      Component[V] = Component[Component[V]]; // path halving
+      V = Component[V];
+    }
+    return V;
+  };
+
+  std::vector<uint32_t> ActiveVertices(G.NumVertices);
+  std::iota(ActiveVertices.begin(), ActiveVertices.end(), 0);
+
+  // Boruvka rounds: each round's find kernel scans every active vertex's
+  // adjacency (the paper's MSTF kernel launches a child per vertex).
+  for (unsigned Round = 0; Round < 64; ++Round) {
+    NestedBatch B = makeGraphBatch(
+        ActiveVertices, [&](uint32_t V) { return G.degree(V); }, 128);
+    B.ParentCyclesPerThread = 150;
+    B.ChildCyclesPerUnit = 50;
+    B.SerialCyclesPerUnit = 420;
+    B.ChildBlockBaseCycles = 60;
+    Out.Batches.push_back(std::move(B));
+
+    // Per component: cheapest outgoing edge.
+    struct Best {
+      uint32_t W = UINT32_MAX;
+      uint32_t U = 0, V = 0;
+    };
+    std::unordered_map<uint32_t, Best> Cheapest;
+    for (uint32_t U : ActiveVertices) {
+      uint32_t CU = Find(U);
+      for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E) {
+        uint32_t V = G.Col[E];
+        uint32_t CV = Find(V);
+        if (CU == CV)
+          continue;
+        uint32_t W = G.Weight[E];
+        Best &BU = Cheapest[CU];
+        // Deterministic tie-break on (weight, endpoints).
+        if (W < BU.W || (W == BU.W && std::minmax(U, V) <
+                                          std::minmax(BU.U, BU.V)))
+          BU = {W, U, V};
+      }
+    }
+    if (Cheapest.empty())
+      break;
+
+    bool Merged = false;
+    for (const auto &[C, B2] : Cheapest) {
+      uint32_t RU = Find(B2.U);
+      uint32_t RV = Find(B2.V);
+      if (RU == RV)
+        continue;
+      Component[std::max(RU, RV)] = std::min(RU, RV);
+      Out.MstWeight += B2.W;
+      Merged = true;
+    }
+    if (!Merged)
+      break;
+
+    // Active vertices: those in components that still have outgoing edges.
+    std::vector<uint32_t> StillActive;
+    for (uint32_t U : ActiveVertices) {
+      uint32_t CU = Find(U);
+      bool HasOut = false;
+      for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1] && !HasOut; ++E)
+        HasOut = Find(G.Col[E]) != CU;
+      if (HasOut)
+        StillActive.push_back(U);
+    }
+    if (StillActive.empty())
+      break;
+    ActiveVertices.swap(StillActive);
+  }
+  return Out;
+}
+
+WorkloadOutput dpo::runMstVerify(const CsrGraph &G) {
+  WorkloadOutput Out;
+  std::vector<uint32_t> AllVertices(G.NumVertices);
+  std::iota(AllVertices.begin(), AllVertices.end(), 0);
+  NestedBatch B = makeGraphBatch(
+      AllVertices, [&](uint32_t V) { return G.degree(V); }, 128);
+  B.ParentCyclesPerThread = 130;
+  B.ChildCyclesPerUnit = 40;
+  B.SerialCyclesPerUnit = 350;
+  B.ChildBlockBaseCycles = 45;
+  Out.Batches.push_back(std::move(B));
+
+  // Verification digest: per-vertex min incident weight summed (the verify
+  // kernel checks local minimality; this digest pins its result).
+  double Sum = 0;
+  for (uint32_t V = 0; V < G.NumVertices; ++V) {
+    uint32_t MinW = UINT32_MAX;
+    for (uint32_t E = G.RowPtr[V]; E < G.RowPtr[V + 1]; ++E)
+      MinW = std::min(MinW, G.Weight.empty() ? 1 : G.Weight[E]);
+    if (MinW != UINT32_MAX)
+      Sum += MinW;
+  }
+  Out.CheckSum = Sum;
+  return Out;
+}
+
+WorkloadOutput dpo::runTriangleCount(const CsrGraph &G) {
+  WorkloadOutput Out;
+
+  // Sorted adjacency restricted to higher-numbered neighbors.
+  std::vector<std::vector<uint32_t>> Fwd(G.NumVertices);
+  for (uint32_t U = 0; U < G.NumVertices; ++U) {
+    for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E)
+      if (G.Col[E] > U)
+        Fwd[U].push_back(G.Col[E]);
+    std::sort(Fwd[U].begin(), Fwd[U].end());
+    Fwd[U].erase(std::unique(Fwd[U].begin(), Fwd[U].end()), Fwd[U].end());
+  }
+
+  // The TC parent iterates vertices; the child processes the forward
+  // adjacency (one unit per forward neighbor, each an intersection).
+  std::vector<uint32_t> AllVertices(G.NumVertices);
+  std::iota(AllVertices.begin(), AllVertices.end(), 0);
+  NestedBatch B = makeGraphBatch(
+      AllVertices, [&](uint32_t V) { return (uint32_t)Fwd[V].size(); }, 128);
+  double AvgDeg = std::max(1.0, G.avgDegree());
+  B.ParentCyclesPerThread = 130;
+  B.ChildCyclesPerUnit = 30 + 14 * std::log2(AvgDeg + 1);
+  B.SerialCyclesPerUnit = B.ChildCyclesPerUnit * 6.0;
+  B.ChildBlockBaseCycles = 55;
+  Out.Batches.push_back(std::move(B));
+
+  uint64_t Count = 0;
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t V : Fwd[U]) {
+      // |Fwd(U) ∩ Fwd(V)| counts triangles U < V < W exactly once.
+      const auto &A = Fwd[U];
+      const auto &C = Fwd[V];
+      size_t I = 0, J = 0;
+      while (I < A.size() && J < C.size()) {
+        if (A[I] < C[J])
+          ++I;
+        else if (A[I] > C[J])
+          ++J;
+        else {
+          ++Count;
+          ++I;
+          ++J;
+        }
+      }
+    }
+  Out.TriangleCount = Count;
+  return Out;
+}

@@ -1,0 +1,118 @@
+//===--- SpBezier.cpp - Survey propagation and Bezier tessellation ------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cmath>
+
+using namespace dpo;
+
+WorkloadOutput dpo::runSurveyProp(const SatFormula &F, unsigned MaxIters) {
+  WorkloadOutput Out;
+  if (F.NumVars == 0)
+    return Out;
+
+  // Simplified survey-propagation-style iteration: each variable keeps a
+  // bias in (-1, 1); each round recomputes it from the clauses it appears
+  // in (sign-weighted average of the other literals' biases, damped). The
+  // nested-parallel structure matches the SP benchmark: the parent thread
+  // per variable launches a child over that variable's occurrence list.
+  std::vector<double> Bias(F.NumVars);
+  for (uint32_t V = 0; V < F.NumVars; ++V)
+    Bias[V] = ((V * 2654435761u) % 1000) / 1000.0 * 0.5 - 0.25;
+
+  std::vector<uint32_t> AllVars(F.NumVars);
+  for (uint32_t V = 0; V < F.NumVars; ++V)
+    AllVars[V] = V;
+
+  std::vector<double> NextBias(F.NumVars);
+  double MaxDelta = 1.0;
+  for (unsigned Iter = 0; Iter < MaxIters && MaxDelta > 1e-3; ++Iter) {
+    NestedBatch B;
+    B.NumParentThreads = F.NumVars;
+    B.ParentBlockDim = 128;
+    B.ChildBlockDim = 32; // SP child grids are small (few occurrences)
+    B.ChildUnits.resize(F.NumVars);
+    for (uint32_t V = 0; V < F.NumVars; ++V)
+      B.ChildUnits[V] = F.occurrences(V);
+    B.ParentCyclesPerThread = 200;
+    B.ChildCyclesPerUnit = 90;
+    B.SerialCyclesPerUnit = 210;
+    B.ChildBlockBaseCycles = 70;
+    Out.Batches.push_back(std::move(B));
+
+    MaxDelta = 0;
+    for (uint32_t V = 0; V < F.NumVars; ++V) {
+      double Acc = 0;
+      uint32_t Occ = 0;
+      for (uint32_t O = F.OccRowPtr[V]; O < F.OccRowPtr[V + 1]; ++O) {
+        uint32_t Clause = F.OccClause[O];
+        double ClauseField = 0;
+        bool MySign = false;
+        for (uint32_t L = 0; L < F.K; ++L) {
+          uint32_t Lit = F.ClauseLits[Clause * F.K + L];
+          uint32_t Var = Lit / 2;
+          bool Neg = Lit & 1;
+          if (Var == V) {
+            MySign = Neg;
+            continue;
+          }
+          ClauseField += Neg ? -Bias[Var] : Bias[Var];
+        }
+        Acc += MySign ? -ClauseField : ClauseField;
+        ++Occ;
+      }
+      double Target = Occ ? std::tanh(Acc / (F.K * Occ)) : 0.0;
+      NextBias[V] = 0.7 * Bias[V] + 0.3 * Target;
+      MaxDelta = std::max(MaxDelta, std::fabs(NextBias[V] - Bias[V]));
+    }
+    Bias.swap(NextBias);
+  }
+
+  Out.Converged = MaxDelta <= 1e-3;
+  double Sum = 0;
+  for (double Value : Bias)
+    Sum += Value;
+  Out.CheckSum = Sum;
+  return Out;
+}
+
+WorkloadOutput dpo::runBezier(const BezierDataset &D) {
+  WorkloadOutput Out;
+
+  // The BT parent computes each line's tessellation factor and launches a
+  // child grid with one thread per tessellated point.
+  NestedBatch B;
+  B.NumParentThreads = D.Lines.size();
+  B.ParentBlockDim = 128;
+  B.ChildBlockDim = 64;
+  B.ChildUnits.reserve(D.Lines.size());
+  for (const BezierLine &L : D.Lines)
+    B.ChildUnits.push_back(L.Tessellation);
+  // The parent also performs the aggregated cudaMalloc for the vertex
+  // buffer (Section VII: counted as parent work).
+  B.ParentCyclesPerThread = 420;
+  B.ChildCyclesPerUnit = 120;
+  B.SerialCyclesPerUnit = 580;
+  B.ChildBlockBaseCycles = 80;
+  Out.Batches.push_back(std::move(B));
+
+  // Functional result: tessellated points of the quadratic curves.
+  double Sum = 0;
+  for (const BezierLine &L : D.Lines) {
+    for (uint32_t I = 0; I < L.Tessellation; ++I) {
+      double T = L.Tessellation == 1 ? 0.0 : (double)I / (L.Tessellation - 1);
+      double OneMinusT = 1.0 - T;
+      double X = OneMinusT * OneMinusT * L.P0[0] +
+                 2 * OneMinusT * T * L.P1[0] + T * T * L.P2[0];
+      double Y = OneMinusT * OneMinusT * L.P0[1] +
+                 2 * OneMinusT * T * L.P1[1] + T * T * L.P2[1];
+      Sum += X * 1e-3 + Y * 1e-6;
+    }
+  }
+  Out.CheckSum = Sum;
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===--- Workloads.h - The Table I benchmark suite -----------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native implementations of the paper's seven benchmarks. Each run
+/// computes (a) the algorithm's actual result, checked against reference
+/// implementations in the tests, and (b) the stream of nested-parallelism
+/// batches (one per parent kernel invocation) whose per-parent child sizes
+/// drive the timing simulator. The batches are identical across execution
+/// strategies — No-CDP/CDP/T/C/A only change how the simulator schedules
+/// them, exactly as the source transformations only change scheduling, not
+/// results (proven separately by the VM equivalence tests).
+///
+/// Benchmarks (Table I):
+///   BFS   breadth-first search; parent per frontier vertex, child per edge
+///   SSSP  single-source shortest paths (worklist Bellman-Ford)
+///   MSTF  Boruvka minimum-spanning-tree, find-min-edge kernel
+///   MSTV  MST verify kernel (one pass over all vertices)
+///   SP    survey propagation on random k-SAT
+///   TC    triangle counting (edge-iterator with sorted intersections)
+///   BT    Bezier line tessellation (CUDA samples)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_WORKLOADS_WORKLOADS_H
+#define DPO_WORKLOADS_WORKLOADS_H
+
+#include "datasets/Generators.h"
+#include "datasets/Graph.h"
+#include "rt/LaunchPlan.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dpo {
+
+constexpr uint32_t UnreachedLevel = std::numeric_limits<uint32_t>::max();
+constexpr uint64_t InfDist = std::numeric_limits<uint64_t>::max();
+
+struct WorkloadOutput {
+  std::vector<NestedBatch> Batches;
+
+  // Correctness payloads (filled by the relevant workload).
+  std::vector<uint32_t> Levels;  ///< BFS level per vertex.
+  std::vector<uint64_t> Dist;    ///< SSSP distance per vertex.
+  uint64_t MstWeight = 0;        ///< Total Boruvka MST weight.
+  uint64_t TriangleCount = 0;    ///< Exact triangle count.
+  bool Converged = false;        ///< SP convergence flag.
+  double CheckSum = 0;           ///< Numeric digest (BT/MSTV/SP).
+
+  uint64_t totalChildUnits() const {
+    uint64_t Sum = 0;
+    for (const NestedBatch &B : Batches)
+      Sum += B.totalChildUnits();
+    return Sum;
+  }
+};
+
+WorkloadOutput runBfs(const CsrGraph &G, uint32_t Source = 0);
+WorkloadOutput runSssp(const CsrGraph &G, uint32_t Source = 0);
+WorkloadOutput runMstFind(const CsrGraph &G);
+WorkloadOutput runMstVerify(const CsrGraph &G);
+WorkloadOutput runTriangleCount(const CsrGraph &G);
+WorkloadOutput runSurveyProp(const SatFormula &F, unsigned MaxIters = 24);
+WorkloadOutput runBezier(const BezierDataset &D);
+
+} // namespace dpo
+
+#endif // DPO_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,289 @@
+//===--- PrinterTest.cpp - Printer + round-trip tests -------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The key property: parse(print(parse(S))) is structurally equal to
+/// parse(S) for every source in the corpus. Expression printing is also
+/// checked against exact expected text for precedence-sensitive cases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "ast/Equivalence.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+std::string printedExpr(std::string_view Source) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  Expr *E = parseExprSource(Source, Ctx, Diags);
+  EXPECT_NE(E, nullptr) << Diags.str();
+  if (!E)
+    return std::string();
+  return printExpr(E);
+}
+
+TEST(PrinterTest, SimpleArithmetic) {
+  EXPECT_EQ(printedExpr("a + b * c"), "a + b * c");
+}
+
+TEST(PrinterTest, ParensPreserved) {
+  EXPECT_EQ(printedExpr("(a + b) * c"), "(a + b) * c");
+}
+
+TEST(PrinterTest, CeilDivPatternA) {
+  EXPECT_EQ(printedExpr("(N - 1) / b + 1"), "(N - 1) / b + 1");
+}
+
+TEST(PrinterTest, CeilDivPatternB) {
+  EXPECT_EQ(printedExpr("(N + b - 1) / b"), "(N + b - 1) / b");
+}
+
+TEST(PrinterTest, CeilDivPatternCTernary) {
+  // Explicit parentheses written by the programmer survive re-printing.
+  EXPECT_EQ(printedExpr("N / b + ((N % b == 0) ? 0 : 1)"),
+            "N / b + ((N % b == 0) ? 0 : 1)");
+  // Synthesized ternaries get only the parens precedence demands.
+  EXPECT_EQ(printedExpr("N / b + (N % b == 0 ? 0 : 1)"),
+            "N / b + (N % b == 0 ? 0 : 1)");
+}
+
+TEST(PrinterTest, CastPrinting) {
+  EXPECT_EQ(printedExpr("ceil((float)N / b)"), "ceil((float)N / b)");
+}
+
+TEST(PrinterTest, UnaryMinusChain) {
+  EXPECT_EQ(printedExpr("- -x"), "- -x");
+}
+
+TEST(PrinterTest, AssignmentChain) {
+  EXPECT_EQ(printedExpr("a = b = c + 1"), "a = b = c + 1");
+}
+
+TEST(PrinterTest, MemberAndSubscript) {
+  EXPECT_EQ(printedExpr("data[blockIdx.x * blockDim.x + threadIdx.x]"),
+            "data[blockIdx.x * blockDim.x + threadIdx.x]");
+}
+
+TEST(PrinterTest, ShiftPrinting) {
+  EXPECT_EQ(printedExpr("a << 2 | b >> 3"), "a << 2 | b >> 3");
+}
+
+TEST(PrinterTest, MixedPrecedenceNeedsParens) {
+  // (a | b) & c must keep its parens.
+  EXPECT_EQ(printedExpr("(a | b) & c"), "(a | b) & c");
+}
+
+TEST(PrinterTest, HexSpellingPreserved) {
+  EXPECT_EQ(printedExpr("x & 0xFF"), "x & 0xFF");
+}
+
+TEST(PrinterTest, FloatSuffixPreserved) {
+  EXPECT_EQ(printedExpr("x * 0.5f"), "x * 0.5f");
+}
+
+TEST(PrinterTest, LaunchPrinting) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(R"(
+__global__ void child(int *d) { d[0] = 1; }
+__global__ void parent(int *d, int n) {
+  child<<<(n + 255) / 256, 256>>>(d);
+}
+)",
+                                    Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  std::string Text = printTranslationUnit(TU);
+  EXPECT_NE(Text.find("child<<<(n + 255) / 256, 256>>>(d);"),
+            std::string::npos)
+      << Text;
+}
+
+// Round-trip corpus: parse -> print -> parse must be structurally stable.
+
+class RoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  ASTContext Ctx1;
+  DiagnosticEngine Diags1;
+  TranslationUnit *TU1 = parseSource(GetParam(), Ctx1, Diags1);
+  ASSERT_NE(TU1, nullptr) << Diags1.str();
+
+  std::string Printed = printTranslationUnit(TU1);
+
+  ASTContext Ctx2;
+  DiagnosticEngine Diags2;
+  TranslationUnit *TU2 = parseSource(Printed, Ctx2, Diags2);
+  ASSERT_NE(TU2, nullptr) << "re-parse failed:\n"
+                          << Diags2.str() << "\nprinted source:\n"
+                          << Printed;
+
+  EXPECT_TRUE(structurallyEqual(TU1, TU2))
+      << "round trip changed the tree; printed source:\n"
+      << Printed;
+
+  // Printing must reach a fixed point after one round.
+  std::string Printed2 = printTranslationUnit(TU2);
+  EXPECT_EQ(Printed, Printed2);
+}
+
+const char *RoundTripCorpus[] = {
+    // Simple kernel.
+    R"(__global__ void k(int *d, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) d[i] = i;
+}
+)",
+    // Parent/child with launch.
+    R"(__global__ void child(int *d, int n) {
+  d[threadIdx.x] = n;
+}
+__global__ void parent(int *d, int *offsets, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    int count = offsets[v + 1] - offsets[v];
+    child<<<(count + 31) / 32, 32>>>(d, count);
+  }
+}
+)",
+    // All the ceiling-division patterns from Fig. 4.
+    R"(__global__ void c(int *d) { d[0] = 1; }
+__global__ void p(int *d, int N, int b) {
+  c<<<(N - 1) / b + 1, b>>>(d);
+  c<<<(N + b - 1) / b, b>>>(d);
+  c<<<N / b + ((N % b == 0) ? 0 : 1), b>>>(d);
+  c<<<ceil((float)N / b), b>>>(d);
+  c<<<ceil(N / (float)b), b>>>(d);
+}
+)",
+    // dim3 and multi-dimensional config.
+    R"(__global__ void c(float *d) { d[threadIdx.x] = 0.0f; }
+__global__ void p(float *d, int n, int m) {
+  dim3 grid((n + 15) / 16, (m + 15) / 16, 1);
+  dim3 block(16, 16, 1);
+  c<<<grid, block>>>(d);
+}
+)",
+    // Control flow variety.
+    R"(__device__ int classify(int x) {
+  if (x < 0)
+    return -1;
+  else if (x == 0)
+    return 0;
+  else
+    return 1;
+}
+__device__ int collatz(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0)
+      n = n / 2;
+    else
+      n = 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+__device__ int sum3(int *a) {
+  int s = 0;
+  for (int i = 0; i < 3; ++i)
+    s += a[i];
+  do
+    s--;
+  while (s > 100);
+  return s;
+}
+)",
+    // Shared memory, barriers, atomics.
+    R"(__global__ void reduce(int *in, int *out, int n) {
+  __shared__ int scratch[256];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  scratch[threadIdx.x] = i < n ? in[i] : 0;
+  __syncthreads();
+  for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+    if (threadIdx.x < stride)
+      scratch[threadIdx.x] += scratch[threadIdx.x + stride];
+    __syncthreads();
+  }
+  if (threadIdx.x == 0)
+    atomicAdd(out, scratch[0]);
+}
+)",
+    // Preprocessor passthrough and globals.
+    R"(#include <cstdint>
+#define THRESHOLD 128
+int gCounter = 0;
+__device__ unsigned int hash(unsigned int x) {
+  x = x ^ x >> 16;
+  x = x * 2654435761u;
+  return x;
+}
+)",
+    // Pointer-heavy code.
+    R"(__device__ void swap(int **a, int **b) {
+  int *t = *a;
+  *a = *b;
+  *b = t;
+}
+)",
+    // Multi-declarator statements and comma/ternary mix.
+    R"(__device__ int f(int n, int b) {
+  int q = n / b, r = n % b;
+  int blocks = r == 0 ? q : q + 1;
+  return blocks;
+}
+)",
+    // Launch with smem + stream expressions.
+    R"(__global__ void c(int *d) { d[0] = 1; }
+__global__ void p(int *d, int n) {
+  c<<<n, 128, n * sizeof(int), 0>>>(d);
+}
+)",
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RoundTripTest,
+                         ::testing::ValuesIn(RoundTripCorpus));
+
+// Statement-shape printing checks.
+
+TEST(PrinterTest, IfElsePrinting) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(
+      "__device__ int f(int x) { if (x > 0) { return 1; } else { return 0; } }",
+      Ctx, Diags);
+  ASSERT_NE(TU, nullptr);
+  std::string Text = printTranslationUnit(TU);
+  EXPECT_NE(Text.find("} else {"), std::string::npos) << Text;
+}
+
+TEST(PrinterTest, TypePrinting) {
+  EXPECT_EQ(Type(BuiltinKind::Int).str(), "int");
+  EXPECT_EQ(Type(BuiltinKind::UInt).str(), "unsigned int");
+  EXPECT_EQ(Type(BuiltinKind::Float, 1).str(), "float *");
+  EXPECT_EQ(Type(BuiltinKind::Int, 2).str(), "int **");
+  Type ConstPtr(BuiltinKind::Char, 1, /*IsConst=*/true);
+  EXPECT_EQ(ConstPtr.str(), "const char *");
+  EXPECT_EQ(Type(BuiltinKind::Dim3).str(), "dim3");
+  EXPECT_EQ(Type::named("Node", 1).str(), "Node *");
+}
+
+TEST(PrinterTest, StoreSizes) {
+  EXPECT_EQ(Type(BuiltinKind::Int).storeSizeBytes(), 4u);
+  EXPECT_EQ(Type(BuiltinKind::Double).storeSizeBytes(), 8u);
+  EXPECT_EQ(Type(BuiltinKind::Char).storeSizeBytes(), 1u);
+  EXPECT_EQ(Type(BuiltinKind::Float, 1).storeSizeBytes(), 8u);
+  EXPECT_EQ(Type(BuiltinKind::Dim3).storeSizeBytes(), 12u);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===--- WalkTest.cpp - Traversal/rewrite/clone/equivalence tests -------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Walk.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/Clone.h"
+#include "ast/Equivalence.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+class WalkTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+
+  FunctionDecl *parseFunction(std::string_view Source,
+                              const std::string &Name) {
+    TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+    EXPECT_NE(TU, nullptr) << Diags.str();
+    if (!TU)
+      return nullptr;
+    FunctionDecl *F = TU->findFunction(Name);
+    EXPECT_NE(F, nullptr);
+    return F;
+  }
+};
+
+TEST_F(WalkTest, CountsAllDeclRefs) {
+  FunctionDecl *F = parseFunction(R"(
+__global__ void k(int *d, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) d[i] = i + n;
+}
+)",
+                                  "k");
+  int Count = 0;
+  forEachExpr(F->body(), [&](Expr *E) {
+    if (isa<DeclRefExpr>(E))
+      ++Count;
+  });
+  // blockIdx, blockDim, threadIdx, i, n, d, i, i, n.
+  EXPECT_EQ(Count, 9);
+}
+
+TEST_F(WalkTest, VisitsLaunchOperands) {
+  FunctionDecl *F = parseFunction(R"(
+__global__ void c(int *d) { d[0] = 1; }
+__global__ void p(int *d, int n) {
+  c<<<(n + 31) / 32, 32>>>(d);
+}
+)",
+                                  "p");
+  bool SawGridN = false;
+  int LaunchCount = 0;
+  forEachExpr(F->body(), [&](Expr *E) {
+    if (isa<LaunchExpr>(E))
+      ++LaunchCount;
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E))
+      if (Ref->name() == "n")
+        SawGridN = true;
+  });
+  EXPECT_EQ(LaunchCount, 1);
+  EXPECT_TRUE(SawGridN);
+}
+
+TEST_F(WalkTest, VisitsDeclInitializers) {
+  FunctionDecl *F = parseFunction(
+      "__device__ void f() { int a = 1 + 2; int buf[7]; }", "f");
+  int Literals = 0;
+  forEachExpr(F->body(), [&](Expr *E) {
+    if (isa<IntegerLiteral>(E))
+      ++Literals;
+  });
+  EXPECT_EQ(Literals, 3); // 1, 2, 7
+}
+
+TEST_F(WalkTest, RewriteRenamesVariable) {
+  FunctionDecl *F = parseFunction(R"(
+__device__ void f(int x) {
+  int y = x + 1;
+  y = y * x;
+}
+)",
+                                  "f");
+  rewriteExprs(F->body(), [&](Expr *E) -> Expr * {
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E))
+      if (Ref->name() == "x")
+        return Ctx.ref("renamed");
+    return nullptr;
+  });
+  int Renamed = 0, Original = 0;
+  forEachExpr(F->body(), [&](Expr *E) {
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E)) {
+      if (Ref->name() == "renamed")
+        ++Renamed;
+      if (Ref->name() == "x")
+        ++Original;
+    }
+  });
+  EXPECT_EQ(Renamed, 2);
+  EXPECT_EQ(Original, 0);
+}
+
+TEST_F(WalkTest, RewriteReplacesMemberExpr) {
+  FunctionDecl *F = parseFunction(R"(
+__global__ void k(int *d) {
+  d[blockIdx.x] = blockIdx.x + 1;
+}
+)",
+                                  "k");
+  // blockIdx.x -> _bx, the exact rewrite thresholding performs.
+  rewriteExprs(F->body(), [&](Expr *E) -> Expr * {
+    auto *M = dyn_cast<MemberExpr>(E);
+    if (!M || M->member() != "x")
+      return nullptr;
+    auto *Base = dyn_cast<DeclRefExpr>(M->base());
+    if (!Base || Base->name() != "blockIdx")
+      return nullptr;
+    return Ctx.ref("_bx");
+  });
+  std::string Text = printStmt(F->body());
+  EXPECT_EQ(Text.find("blockIdx"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("d[_bx] = _bx + 1;"), std::string::npos) << Text;
+}
+
+TEST_F(WalkTest, RewriteStmtsReplacesLaunchStatement) {
+  FunctionDecl *F = parseFunction(R"(
+__global__ void c(int *d) { d[0] = 1; }
+__global__ void p(int *d, int n) {
+  if (n > 0)
+    c<<<n, 32>>>(d);
+}
+)",
+                                  "p");
+  rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+    if (!isa<LaunchExpr>(S))
+      return nullptr;
+    return Ctx.create<NullStmt>();
+  });
+  int Launches = 0;
+  forEachExpr(F->body(), [&](Expr *E) {
+    if (isa<LaunchExpr>(E))
+      ++Launches;
+  });
+  EXPECT_EQ(Launches, 0);
+}
+
+TEST_F(WalkTest, CloneIsDeepAndEqual) {
+  FunctionDecl *F = parseFunction(R"(
+__global__ void k(int *d, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0)
+      d[i] = i;
+    else
+      d[i] = -i;
+  }
+}
+)",
+                                  "k");
+  Stmt *Copy = cloneStmt(Ctx, F->body());
+  EXPECT_TRUE(structurallyEqual(F->body(), Copy));
+  EXPECT_NE(static_cast<Stmt *>(F->body()), Copy);
+
+  // Mutating the clone must not affect the original.
+  rewriteExprs(Copy, [&](Expr *E) -> Expr * {
+    if (auto *Ref = dyn_cast<DeclRefExpr>(E))
+      if (Ref->name() == "d")
+        return Ctx.ref("other");
+    return nullptr;
+  });
+  EXPECT_FALSE(structurallyEqual(F->body(), Copy));
+  std::string Original = printStmt(F->body());
+  EXPECT_NE(Original.find("d[i] = i;"), std::string::npos);
+}
+
+TEST_F(WalkTest, CloneFunctionPreservesSignature) {
+  FunctionDecl *F = parseFunction(
+      "__global__ void k(float *data, int n) { data[n] = 1.0f; }", "k");
+  FunctionDecl *Copy = cloneFunction(Ctx, F);
+  EXPECT_TRUE(structurallyEqual(F, Copy));
+  Copy->setName("k_clone");
+  EXPECT_FALSE(structurallyEqual(F, Copy));
+}
+
+TEST_F(WalkTest, EquivalenceIgnoresParens) {
+  DiagnosticEngine D2;
+  Expr *A = parseExprSource("a + b * c", Ctx, D2);
+  Expr *B = parseExprSource("a + (b * c)", Ctx, D2);
+  Expr *C = parseExprSource("(a + b) * c", Ctx, D2);
+  ASSERT_TRUE(A && B && C);
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(WalkTest, EquivalenceIgnoresLiteralSpelling) {
+  DiagnosticEngine D2;
+  Expr *A = parseExprSource("x & 0xFF", Ctx, D2);
+  Expr *B = parseExprSource("x & 255", Ctx, D2);
+  ASSERT_TRUE(A && B);
+  EXPECT_TRUE(structurallyEqual(A, B));
+}
+
+TEST_F(WalkTest, RewriteStmtsDoesNotTouchNestedExprLaunch) {
+  // A launch below an expression (not statement position) must not be
+  // visited by rewriteStmts.
+  FunctionDecl *F = parseFunction(R"(
+__global__ void c(int *d) { d[0] = 1; }
+__global__ void p(int *d) {
+  c<<<1, 1>>>(d);
+}
+)",
+                                  "p");
+  int Visited = 0;
+  rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+    if (isa<LaunchExpr>(S))
+      ++Visited;
+    return nullptr;
+  });
+  EXPECT_EQ(Visited, 1);
+}
+
+} // namespace

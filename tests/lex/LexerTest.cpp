@@ -1,0 +1,227 @@
+//===--- LexerTest.cpp - Unit tests for the CUDA-C subset lexer -------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lex/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : Tokens)
+    Kinds.push_back(Tok.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, WhitespaceOnly) {
+  auto Tokens = lexOk("  \t\n  \n");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lexOk("foo _bar baz42 _9x");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "baz42");
+  EXPECT_EQ(Tokens[3].Text, "_9x");
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexOk("if else for while return int void __global__");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwIf,  TokenKind::KwElse,   TokenKind::KwFor,
+      TokenKind::KwWhile, TokenKind::KwReturn, TokenKind::KwInt,
+      TokenKind::KwVoid, TokenKind::KwGlobal, TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, CudaQualifiers) {
+  auto Tokens = lexOk("__device__ __host__ __shared__ __restrict__");
+  std::vector<TokenKind> Expected = {TokenKind::KwDevice, TokenKind::KwHost,
+                                     TokenKind::KwShared, TokenKind::KwRestrict,
+                                     TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = lexOk("0 42 1024 0x10 0xFF 7u 9ul 10ull 11ll");
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::IntegerLiteral)
+        << "token " << I << " text " << Tokens[I].Text;
+  EXPECT_EQ(Tokens[3].Text, "0x10");
+  EXPECT_EQ(Tokens[5].Text, "7u");
+  EXPECT_EQ(Tokens[6].Text, "9ul");
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lexOk("1.5 0.25f 1e10 2.5e-3 1. 3f");
+  // `3f` lexes as integer `3` followed by... no: suffix f makes float.
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::FloatLiteral);
+}
+
+TEST(LexerTest, LaunchDelimiters) {
+  auto Tokens = lexOk("kernel<<<grid, block>>>(arg)");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::LaunchBegin, TokenKind::Identifier,
+      TokenKind::Comma,      TokenKind::Identifier,  TokenKind::LaunchEnd,
+      TokenKind::LParen,     TokenKind::Identifier,  TokenKind::RParen,
+      TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, ShiftVersusLaunch) {
+  auto Tokens = lexOk("a << b >> c");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::LessLess, TokenKind::Identifier,
+      TokenKind::GreaterGreater, TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, CompoundOperators) {
+  auto Tokens = lexOk("+= -= *= /= %= <<= >>= &= |= ^= ++ -- && || == != <= >=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::PlusEqual,    TokenKind::MinusEqual,
+      TokenKind::StarEqual,    TokenKind::SlashEqual,
+      TokenKind::PercentEqual, TokenKind::LessLessEqual,
+      TokenKind::GreaterGreaterEqual, TokenKind::AmpEqual,
+      TokenKind::PipeEqual,    TokenKind::CaretEqual,
+      TokenKind::PlusPlus,     TokenKind::MinusMinus,
+      TokenKind::AmpAmp,       TokenKind::PipePipe,
+      TokenKind::EqualEqual,   TokenKind::ExclaimEqual,
+      TokenKind::LessEqual,    TokenKind::GreaterEqual,
+      TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, ArrowAndMember) {
+  auto Tokens = lexOk("a->b.c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Arrow,
+                                     TokenKind::Identifier, TokenKind::Period,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, LineComment) {
+  auto Tokens = lexOk("a // this is a comment\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, BlockComment) {
+  auto Tokens = lexOk("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine Diags;
+  Lexer Lex("a /* never closed", Diags);
+  Lex.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PreprocessorLine) {
+  auto Tokens = lexOk("#include <cuda.h>\nint x;");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::PreprocessorLine);
+  EXPECT_EQ(Tokens[0].Text, "#include <cuda.h>");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwInt);
+}
+
+TEST(LexerTest, PreprocessorLineWithContinuation) {
+  auto Tokens = lexOk("#define FOO(a) \\\n  ((a) + 1)\nx");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::PreprocessorLine);
+  EXPECT_NE(Tokens[0].Text.find("((a) + 1)"), std::string::npos);
+  EXPECT_EQ(Tokens[1].Text, "x");
+}
+
+TEST(LexerTest, HashInsideLineIsNotPreprocessor) {
+  DiagnosticEngine Diags;
+  Lexer Lex("a # b", Diags);
+  Lex.lexAll();
+  // '#' mid-line is not part of the subset; it must be diagnosed, not
+  // silently swallowed as a directive.
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StringLiteral) {
+  auto Tokens = lexOk("\"hello \\\"world\\\"\"");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "\"hello \\\"world\\\"\"");
+}
+
+TEST(LexerTest, CharLiteral) {
+  auto Tokens = lexOk("'a' '\\n'");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::CharLiteral);
+}
+
+TEST(LexerTest, SourceLocations) {
+  auto Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  DiagnosticEngine Diags;
+  Lexer Lex("int a = 1 @ 2;", Diags);
+  Lex.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, TernaryTokens) {
+  auto Tokens = lexOk("a ? b : c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Question,
+                                     TokenKind::Identifier, TokenKind::Colon,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(kindsOf(Tokens), Expected);
+}
+
+TEST(LexerTest, RealKernelSnippet) {
+  const char *Source = R"(
+__global__ void child(int *data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) data[i] += 1;
+}
+)";
+  auto Tokens = lexOk(Source);
+  EXPECT_GT(Tokens.size(), 30u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwGlobal);
+}
+
+} // namespace

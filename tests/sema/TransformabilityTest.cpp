@@ -1,0 +1,258 @@
+//===--- TransformabilityTest.cpp - Section III-C rule tests ------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Transformability.h"
+
+#include "parse/Parser.h"
+#include "sema/LaunchSites.h"
+#include "sema/PurityAnalysis.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+class TransformabilityTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = nullptr;
+
+  Transformability analyze(std::string_view Source,
+                           const std::string &Kernel = "child") {
+    TU = parseSource(Source, Ctx, Diags);
+    EXPECT_NE(TU, nullptr) << Diags.str();
+    if (!TU)
+      return Transformability();
+    FunctionDecl *F = TU->findFunction(Kernel);
+    EXPECT_NE(F, nullptr);
+    return analyzeSerializability(F, TU);
+  }
+};
+
+TEST_F(TransformabilityTest, PlainKernelIsSerializable) {
+  auto R = analyze(R"(
+__global__ void child(int *d, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) d[i] += 1;
+}
+)");
+  EXPECT_TRUE(R.Serializable);
+  EXPECT_TRUE(R.Reasons.empty());
+}
+
+TEST_F(TransformabilityTest, SyncthreadsBlocksSerialization) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  d[threadIdx.x] = 1;
+  __syncthreads();
+  d[threadIdx.x] += d[0];
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_EQ(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("__syncthreads"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, SharedMemoryBlocksSerialization) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  __shared__ int tile[128];
+  tile[threadIdx.x] = d[threadIdx.x];
+  d[threadIdx.x] = tile[127 - threadIdx.x];
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_GE(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("shared memory"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, WarpShuffleBlocksSerialization) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  int v = d[threadIdx.x];
+  v += __shfl_down_sync(0xffffffff, v, 16);
+  d[threadIdx.x] = v;
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, BallotBlocksSerialization) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  unsigned int mask = __ballot_sync(0xffffffff, d[threadIdx.x] > 0);
+  d[threadIdx.x] = (int)mask;
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, TransitiveThroughDeviceFunction) {
+  auto R = analyze(R"(
+__device__ void helper(int *d) {
+  __syncthreads();
+  d[0] = 1;
+}
+__global__ void child(int *d) {
+  helper(d);
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_EQ(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("helper"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, RecursiveDeviceFunctionTerminates) {
+  auto R = analyze(R"(
+__device__ int fact(int n) {
+  if (n <= 1) return 1;
+  return n * fact(n - 1);
+}
+__global__ void child(int *d, int n) {
+  d[threadIdx.x] = fact(n);
+}
+)");
+  EXPECT_TRUE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, ThreadfenceIsAllowed) {
+  // __threadfence is a memory fence, not a barrier: serialization is fine.
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  d[threadIdx.x] = 1;
+  __threadfence();
+}
+)");
+  EXPECT_TRUE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, AtomicsAreAllowed) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  atomicAdd(d, 1);
+}
+)");
+  EXPECT_TRUE(R.Serializable);
+}
+
+TEST(BarrierPrimitiveTest, Classification) {
+  EXPECT_TRUE(isBarrierOrWarpPrimitive("__syncthreads"));
+  EXPECT_TRUE(isBarrierOrWarpPrimitive("__syncwarp"));
+  EXPECT_TRUE(isBarrierOrWarpPrimitive("__shfl_xor_sync"));
+  EXPECT_TRUE(isBarrierOrWarpPrimitive("__ballot_sync"));
+  EXPECT_TRUE(isBarrierOrWarpPrimitive("__reduce_add_sync"));
+  EXPECT_FALSE(isBarrierOrWarpPrimitive("__threadfence"));
+  EXPECT_FALSE(isBarrierOrWarpPrimitive("atomicAdd"));
+  EXPECT_FALSE(isBarrierOrWarpPrimitive("memcpy"));
+}
+
+// Purity analysis.
+
+class PurityTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+
+  Expr *expr(std::string_view Source) {
+    Expr *E = parseExprSource(Source, Ctx, Diags);
+    EXPECT_NE(E, nullptr) << Diags.str();
+    return E;
+  }
+};
+
+TEST_F(PurityTest, ArithmeticIsPure) {
+  EXPECT_TRUE(isPureExpr(expr("(n + b - 1) / b")));
+  EXPECT_TRUE(isPureExpr(expr("a * b + c[d]")));
+}
+
+TEST_F(PurityTest, PureCallsAllowed) {
+  EXPECT_TRUE(isPureExpr(expr("min(a, b) + ceil((float)n / b)")));
+}
+
+TEST_F(PurityTest, AssignmentIsImpure) {
+  EXPECT_FALSE(isPureExpr(expr("a = b")));
+  EXPECT_FALSE(isPureExpr(expr("x + (a += 1)")));
+}
+
+TEST_F(PurityTest, IncrementIsImpure) {
+  EXPECT_FALSE(isPureExpr(expr("n++")));
+  EXPECT_FALSE(isPureExpr(expr("--n")));
+}
+
+TEST_F(PurityTest, UnknownCallIsImpure) {
+  EXPECT_FALSE(isPureExpr(expr("computeSomething(a)")));
+}
+
+TEST_F(PurityTest, CountAssignments) {
+  TranslationUnit *TU = parseSource(R"(
+__device__ void f(int n) {
+  int a = 1;
+  a = 2;
+  a += 3;
+  a++;
+  int b = a;
+  n = b;
+}
+)",
+                                    Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  FunctionDecl *F = TU->findFunction("f");
+  EXPECT_EQ(countAssignments(F, "a"), 3u); // =, +=, ++ (initializer excluded)
+  EXPECT_EQ(countAssignments(F, "b"), 0u);
+  EXPECT_EQ(countAssignments(F, "n"), 1u);
+}
+
+// Launch-site discovery.
+
+TEST(LaunchSitesTest, FindsNestedAndHostLaunches) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(R"(
+__global__ void child(int *d) { d[0] = 1; }
+__global__ void parent(int *d, int n) {
+  if (n > 0)
+    child<<<n, 32>>>(d);
+}
+void host(int *d) {
+  parent<<<128, 256>>>(d, 7);
+}
+)",
+                                    Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  auto Sites = findLaunchSites(TU);
+  ASSERT_EQ(Sites.size(), 2u);
+
+  EXPECT_EQ(Sites[0].Caller->name(), "parent");
+  EXPECT_TRUE(Sites[0].FromKernel);
+  EXPECT_TRUE(Sites[0].InStatementPosition);
+  ASSERT_NE(Sites[0].Child, nullptr);
+  EXPECT_EQ(Sites[0].Child->name(), "child");
+
+  EXPECT_EQ(Sites[1].Caller->name(), "host");
+  EXPECT_FALSE(Sites[1].FromKernel);
+  ASSERT_NE(Sites[1].Child, nullptr);
+  EXPECT_EQ(Sites[1].Child->name(), "parent");
+}
+
+TEST(LaunchSitesTest, UnresolvedChildIsNull) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(R"(
+__global__ void parent(int *d, int n) {
+  mystery<<<n, 32>>>(d);
+}
+)",
+                                    Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  auto Sites = findLaunchSites(TU);
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_EQ(Sites[0].Child, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+//===--- LaunchPlanTest.cpp - Runtime strategy plan tests ---------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/LaunchPlan.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+using namespace dpo;
+
+namespace {
+
+NestedBatch makeBatch(std::vector<uint32_t> Units, uint32_t ParentBlock = 128,
+                      uint32_t ChildBlock = 32) {
+  NestedBatch B;
+  B.NumParentThreads = Units.size();
+  B.ParentBlockDim = ParentBlock;
+  B.ChildBlockDim = ChildBlock;
+  B.ChildUnits = std::move(Units);
+  return B;
+}
+
+TEST(LaunchPlanTest, CdpLaunchesPerNonEmptyParent) {
+  NestedBatch B = makeBatch({0, 5, 100, 0, 33, 1});
+  LaunchPlan Plan = buildLaunchPlan(B, ExecConfig::cdp());
+  EXPECT_EQ(Plan.DeviceLaunches, 4u);
+  EXPECT_EQ(Plan.HostLaunches, 0u);
+  // ceil(5/32)+ceil(100/32)+ceil(33/32)+ceil(1/32) = 1+4+2+1
+  EXPECT_EQ(Plan.TotalOrigBlocks, 8u);
+  EXPECT_EQ(Plan.TotalCoarsenedBlocks, 8u);
+  EXPECT_EQ(Plan.ParticipantCount, 4u);
+}
+
+TEST(LaunchPlanTest, NoCdpSerializesEverything) {
+  NestedBatch B = makeBatch({0, 5, 100, 33});
+  LaunchPlan Plan = buildLaunchPlan(B, ExecConfig::noCdp());
+  EXPECT_EQ(Plan.DeviceLaunches, 0u);
+  EXPECT_EQ(Plan.Grids.size(), 0u);
+  EXPECT_EQ(Plan.SerializedUnits[1], 5u);
+  EXPECT_EQ(Plan.SerializedUnits[2], 100u);
+  EXPECT_EQ(Plan.SerializedUnits[3], 33u);
+}
+
+TEST(LaunchPlanTest, ThresholdSplitsSerialAndLaunch) {
+  NestedBatch B = makeBatch({0, 5, 100, 33, 64, 63});
+  ExecConfig C;
+  C.Threshold = 64;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  // 100 and 64 launch; 5, 33, 63 serialize; 0 does nothing.
+  EXPECT_EQ(Plan.DeviceLaunches, 2u);
+  EXPECT_EQ(Plan.SerializedUnits[1], 5u);
+  EXPECT_EQ(Plan.SerializedUnits[3], 33u);
+  EXPECT_EQ(Plan.SerializedUnits[5], 63u);
+  EXPECT_EQ(Plan.SerializedUnits[2], 0u);
+  EXPECT_TRUE(Plan.Participates[2]);
+  EXPECT_TRUE(Plan.Participates[4]);
+  EXPECT_FALSE(Plan.Participates[5]);
+}
+
+TEST(LaunchPlanTest, CoarseningDividesBlocks) {
+  NestedBatch B = makeBatch({320, 320, 64});
+  ExecConfig C;
+  C.CoarsenFactor = 4;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  // 320/32=10 blocks -> 3 coarsened; 64/32=2 -> 1.
+  EXPECT_EQ(Plan.TotalOrigBlocks, 22u);
+  EXPECT_EQ(Plan.TotalCoarsenedBlocks, 7u);
+  EXPECT_EQ(Plan.DeviceLaunches, 3u); // launches unchanged
+}
+
+TEST(LaunchPlanTest, WarpGranularityGroups) {
+  // 64 parent threads, all launching: 2 warps -> 2 aggregated grids.
+  std::vector<uint32_t> Units(64, 40);
+  NestedBatch B = makeBatch(Units);
+  ExecConfig C;
+  C.Agg = AggGranularity::Warp;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  EXPECT_EQ(Plan.DeviceLaunches, 2u);
+  ASSERT_EQ(Plan.Grids.size(), 2u);
+  EXPECT_EQ(Plan.Grids[0].Participants, 32u);
+  // Each parent contributes ceil(40/32)=2 blocks; 32 parents per warp.
+  EXPECT_EQ(Plan.Grids[0].OrigBlocks, 64u);
+}
+
+TEST(LaunchPlanTest, BlockGranularityGroups) {
+  std::vector<uint32_t> Units(300, 33);
+  NestedBatch B = makeBatch(Units, /*ParentBlock=*/128);
+  ExecConfig C;
+  C.Agg = AggGranularity::Block;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  // 300 threads in blocks of 128 -> 3 parent blocks -> 3 grids.
+  EXPECT_EQ(Plan.DeviceLaunches, 3u);
+  EXPECT_EQ(Plan.MaxGroupParticipants, 128u);
+}
+
+TEST(LaunchPlanTest, MultiBlockGranularityGroups) {
+  std::vector<uint32_t> Units(128 * 20, 40); // 20 parent blocks
+  NestedBatch B = makeBatch(Units, /*ParentBlock=*/128);
+  ExecConfig C;
+  C.Agg = AggGranularity::MultiBlock;
+  C.AggGroupBlocks = 8;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  // ceil(20/8) = 3 groups.
+  EXPECT_EQ(Plan.DeviceLaunches, 3u);
+  EXPECT_EQ(Plan.MaxGroupParticipants, 8u * 128u);
+}
+
+TEST(LaunchPlanTest, GridGranularitySingleHostLaunch) {
+  std::vector<uint32_t> Units(1000, 50);
+  NestedBatch B = makeBatch(Units);
+  ExecConfig C;
+  C.Agg = AggGranularity::Grid;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  EXPECT_EQ(Plan.DeviceLaunches, 0u);
+  EXPECT_EQ(Plan.HostLaunches, 1u);
+  ASSERT_EQ(Plan.Grids.size(), 1u);
+  EXPECT_TRUE(Plan.Grids[0].FromHost);
+  EXPECT_EQ(Plan.Grids[0].Participants, 1000u);
+  EXPECT_EQ(Plan.Grids[0].OrigBlocks, 1000u * 2); // ceil(50/32)=2
+}
+
+TEST(LaunchPlanTest, EmptyGroupsLaunchNothing) {
+  // Only one parent thread launches: a single group forms.
+  std::vector<uint32_t> Units(1024, 0);
+  Units[700] = 90;
+  NestedBatch B = makeBatch(Units, 128);
+  for (AggGranularity G : {AggGranularity::Warp, AggGranularity::Block,
+                           AggGranularity::MultiBlock, AggGranularity::Grid}) {
+    ExecConfig C;
+    C.Agg = G;
+    LaunchPlan Plan = buildLaunchPlan(B, C);
+    EXPECT_EQ(Plan.Grids.size(), 1u) << aggGranularityName(G);
+    EXPECT_EQ(Plan.Grids[0].OrigBlocks, 3u) << aggGranularityName(G);
+  }
+}
+
+TEST(LaunchPlanTest, AggregationThresholdBypass) {
+  // Two parent blocks: one with a single participant (below threshold 4),
+  // one with 10 (above).
+  std::vector<uint32_t> Units(256, 0);
+  Units[3] = 100;
+  for (int I = 0; I < 10; ++I)
+    Units[128 + I * 3] = 50;
+  NestedBatch B = makeBatch(Units, /*ParentBlock=*/128);
+  ExecConfig C;
+  C.Agg = AggGranularity::Block;
+  C.AggThresholdEnabled = true;
+  C.AggThreshold = 4;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  EXPECT_EQ(Plan.AggThresholdBypasses, 1u);
+  // Block 0 bypasses (1 direct launch); block 1 aggregates (1 grid).
+  EXPECT_EQ(Plan.DeviceLaunches, 2u);
+}
+
+TEST(LaunchPlanTest, ThresholdPlusAggregation) {
+  std::vector<uint32_t> Units = {5, 100, 7, 200, 3, 150};
+  NestedBatch B = makeBatch(Units, 128);
+  ExecConfig C;
+  C.Threshold = 64;
+  C.Agg = AggGranularity::Block;
+  LaunchPlan Plan = buildLaunchPlan(B, C);
+  // Three launch, three serialize; all in one parent block -> one grid.
+  EXPECT_EQ(Plan.DeviceLaunches, 1u);
+  EXPECT_EQ(Plan.ParticipantCount, 3u);
+  EXPECT_EQ(Plan.Grids[0].Participants, 3u);
+  EXPECT_EQ(Plan.SerializedUnits[0], 5u);
+  EXPECT_EQ(Plan.SerializedUnits[2], 7u);
+  EXPECT_EQ(Plan.SerializedUnits[4], 3u);
+}
+
+TEST(LaunchPlanTest, TotalsAreConservedUnderAnyConfig) {
+  // Property: serialized units + launched units cover every unit exactly
+  // once, for random workloads and configurations.
+  std::mt19937 Rng(7);
+  std::uniform_int_distribution<int> UnitDist(0, 300);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    std::vector<uint32_t> Units(500);
+    for (auto &U : Units)
+      U = UnitDist(Rng) < 60 ? UnitDist(Rng) : 0;
+    NestedBatch B = makeBatch(Units, 128, 64);
+
+    ExecConfig C;
+    switch (Trial % 5) {
+    case 0: C.Agg = AggGranularity::None; break;
+    case 1: C.Agg = AggGranularity::Warp; break;
+    case 2: C.Agg = AggGranularity::Block; break;
+    case 3: C.Agg = AggGranularity::MultiBlock; break;
+    case 4: C.Agg = AggGranularity::Grid; break;
+    }
+    if (Trial % 2)
+      C.Threshold = 50;
+    C.CoarsenFactor = 1 + Trial % 4;
+
+    LaunchPlan Plan = buildLaunchPlan(B, C);
+    uint64_t Serialized = std::accumulate(Plan.SerializedUnits.begin(),
+                                          Plan.SerializedUnits.end(), 0ull);
+    uint64_t LaunchedBlocks = 0;
+    for (const PlannedGrid &G : Plan.Grids)
+      LaunchedBlocks += G.OrigBlocks;
+    EXPECT_EQ(LaunchedBlocks, Plan.TotalOrigBlocks) << "trial " << Trial;
+
+    // Every launching thread's units are covered by its ceil(n/b) blocks.
+    uint64_t ExpectedBlocks = 0;
+    uint64_t ExpectedSerial = 0;
+    for (size_t I = 0; I < Units.size(); ++I) {
+      if (Units[I] == 0)
+        continue;
+      bool Serial = C.Threshold && Units[I] < *C.Threshold;
+      if (Serial)
+        ExpectedSerial += Units[I];
+      else
+        ExpectedBlocks += (Units[I] + 63) / 64;
+    }
+    EXPECT_EQ(Serialized, ExpectedSerial) << "trial " << Trial;
+    EXPECT_EQ(Plan.TotalOrigBlocks, ExpectedBlocks) << "trial " << Trial;
+
+    // Coarsening never increases blocks and respects the factor bound.
+    EXPECT_LE(Plan.TotalCoarsenedBlocks, Plan.TotalOrigBlocks);
+    EXPECT_GE(Plan.TotalCoarsenedBlocks * C.CoarsenFactor,
+              Plan.TotalOrigBlocks);
+  }
+}
+
+TEST(LaunchPlanTest, GranularityOrderingOfLaunchCounts) {
+  // warp >= block >= multi-block >= grid launches, for a dense workload.
+  std::vector<uint32_t> Units(128 * 64, 64); // 64 parent blocks, all launch
+  NestedBatch B = makeBatch(Units, 128);
+  auto CountFor = [&](AggGranularity G) {
+    ExecConfig C;
+    C.Agg = G;
+    C.AggGroupBlocks = 8;
+    LaunchPlan Plan = buildLaunchPlan(B, C);
+    return Plan.DeviceLaunches + Plan.HostLaunches;
+  };
+  uint64_t None = CountFor(AggGranularity::None);
+  uint64_t Warp = CountFor(AggGranularity::Warp);
+  uint64_t Block = CountFor(AggGranularity::Block);
+  uint64_t Multi = CountFor(AggGranularity::MultiBlock);
+  uint64_t Grid = CountFor(AggGranularity::Grid);
+  EXPECT_GT(None, Warp);
+  EXPECT_GT(Warp, Block);
+  EXPECT_GT(Block, Multi);
+  EXPECT_GT(Multi, Grid);
+  EXPECT_EQ(Grid, 1u);
+}
+
+} // namespace

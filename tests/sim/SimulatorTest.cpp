@@ -1,0 +1,285 @@
+//===--- SimulatorTest.cpp - Timing-model property tests ----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator is a model, so its tests are *property* tests: the
+/// qualitative relationships the paper reports must hold (congestion from
+/// many small launches, aggregation recovering it, thresholding sweet
+/// spots, coarsening synergy with aggregation, granularity trade-offs).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace dpo;
+
+namespace {
+
+/// An irregular workload shaped like the paper's graph benchmarks: many
+/// parent threads, power-law-ish child sizes, most small.
+NestedBatch irregularBatch(unsigned NumParents, unsigned Seed = 1) {
+  std::mt19937 Rng(Seed);
+  NestedBatch B;
+  B.NumParentThreads = NumParents;
+  B.ParentBlockDim = 128;
+  B.ChildBlockDim = 128;
+  B.ChildUnits.resize(NumParents);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  for (auto &Units : B.ChildUnits) {
+    double X = U(Rng);
+    if (X < 0.3)
+      Units = 0;
+    else if (X < 0.85)
+      Units = 1 + (unsigned)(U(Rng) * 30);   // small
+    else if (X < 0.98)
+      Units = 32 + (unsigned)(U(Rng) * 400); // medium
+    else
+      Units = 512 + (unsigned)(U(Rng) * 4000); // large
+  }
+  return B;
+}
+
+double timeFor(const NestedBatch &B, const ExecConfig &C) {
+  GpuModel Gpu;
+  return simulateBatch(Gpu, B, C).TimeUs;
+}
+
+ExecConfig bestTCA() {
+  ExecConfig C;
+  C.Threshold = 128;
+  C.CoarsenFactor = 8;
+  C.Agg = AggGranularity::MultiBlock;
+  return C;
+}
+
+TEST(SimulatorTest, EmptyBatchIsFree) {
+  NestedBatch B;
+  EXPECT_EQ(timeFor(B, ExecConfig::cdp()), 0.0);
+}
+
+TEST(SimulatorTest, CdpSuffersLaunchCongestion) {
+  NestedBatch B = irregularBatch(100000);
+  SimResult Cdp = simulateBatch(GpuModel(), B, ExecConfig::cdp());
+  // Launch overhead dominates the CDP execution (the paper's key problem
+  // statement): more than half the time is launch.
+  EXPECT_GT(Cdp.Breakdown.Launch, Cdp.TimeUs * 0.5)
+      << "launch " << Cdp.Breakdown.Launch << " of " << Cdp.TimeUs;
+  EXPECT_GT(Cdp.DeviceLaunches, 10000u);
+}
+
+TEST(SimulatorTest, NoCdpBeatsNaiveCdp) {
+  NestedBatch B = irregularBatch(100000);
+  double Cdp = timeFor(B, ExecConfig::cdp());
+  double NoCdp = timeFor(B, ExecConfig::noCdp());
+  EXPECT_LT(NoCdp, Cdp); // Fig. 9: plain CDP is slower than no CDP.
+}
+
+TEST(SimulatorTest, AggregationRecoversCdp) {
+  NestedBatch B = irregularBatch(100000);
+  double Cdp = timeFor(B, ExecConfig::cdp());
+  ExecConfig A;
+  A.Agg = AggGranularity::MultiBlock;
+  double Agg = timeFor(B, A);
+  // CDP+A is many times faster than CDP (paper: 12.1x geomean).
+  EXPECT_LT(Agg * 3, Cdp);
+}
+
+TEST(SimulatorTest, ThresholdingAloneGivesLargeSpeedup) {
+  NestedBatch B = irregularBatch(100000);
+  double Cdp = timeFor(B, ExecConfig::cdp());
+  ExecConfig T;
+  T.Threshold = 128;
+  double Thresh = timeFor(B, T);
+  EXPECT_LT(Thresh * 3, Cdp); // paper: 13.4x geomean
+}
+
+TEST(SimulatorTest, FullPipelineBeatsAggregationAlone) {
+  NestedBatch B = irregularBatch(100000);
+  ExecConfig A;
+  A.Agg = AggGranularity::MultiBlock;
+  double AggOnly = timeFor(B, A);
+  double Full = timeFor(B, bestTCA());
+  EXPECT_LT(Full, AggOnly); // paper: CDP+T+C+A is 3.6x over CDP+A
+}
+
+TEST(SimulatorTest, ThresholdSweetSpot) {
+  // Fig. 11: performance first improves with the threshold, then degrades
+  // when large grids get serialized into divergent parent threads.
+  NestedBatch B = irregularBatch(80000);
+  ExecConfig C;
+  C.Agg = AggGranularity::MultiBlock;
+  C.CoarsenFactor = 8;
+
+  auto TimeAt = [&](uint32_t Threshold) {
+    ExecConfig C2 = C;
+    C2.Threshold = Threshold;
+    return timeFor(B, C2);
+  };
+  double NoThresh = timeFor(B, C);
+  double Small = TimeAt(32);
+  double Huge = TimeAt(1u << 30); // serialize everything
+  EXPECT_LT(Small, NoThresh); // some thresholding helps
+  EXPECT_GT(Huge, Small);     // too much hurts (divergent serialization)
+}
+
+TEST(SimulatorTest, CoarseningSynergyWithAggregation) {
+  // Fig. 9 discussion: coarsening speedup is larger with aggregation than
+  // without, because it amortizes the disaggregation logic.
+  NestedBatch B = irregularBatch(100000);
+
+  ExecConfig Plain;
+  double PlainBase = timeFor(B, Plain);
+  ExecConfig PlainC = Plain;
+  PlainC.CoarsenFactor = 8;
+  double SpeedupNoAgg = PlainBase / timeFor(B, PlainC);
+
+  ExecConfig Agg;
+  Agg.Agg = AggGranularity::MultiBlock;
+  double AggBase = timeFor(B, Agg);
+  ExecConfig AggC = Agg;
+  AggC.CoarsenFactor = 8;
+  double SpeedupWithAgg = AggBase / timeFor(B, AggC);
+
+  EXPECT_GT(SpeedupWithAgg, SpeedupNoAgg);
+  EXPECT_GT(SpeedupWithAgg, 1.0);
+}
+
+TEST(SimulatorTest, GranularityTradeoffExists) {
+  // The granularity trade-off shows where launch overheads dominate: a
+  // large parent grid with light child work (frontier-style BFS/SSSP
+  // iterations). Larger groups -> fewer launches -> faster, until grid
+  // granularity pays host involvement + zero overlap + one hot counter.
+  NestedBatch B;
+  B.NumParentThreads = 300000;
+  B.ChildUnits.resize(B.NumParentThreads);
+  std::mt19937 Rng(11);
+  for (auto &U : B.ChildUnits)
+    U = Rng() % 3 == 0 ? 0 : 1 + Rng() % 24;
+  auto TimeAt = [&](AggGranularity G) {
+    ExecConfig C;
+    C.Agg = G;
+    C.AggGroupBlocks = 8;
+    return timeFor(B, C);
+  };
+  double None = TimeAt(AggGranularity::None);
+  double Warp = TimeAt(AggGranularity::Warp);
+  double Block = TimeAt(AggGranularity::Block);
+  double Multi = TimeAt(AggGranularity::MultiBlock);
+  EXPECT_LT(Warp, None);
+  EXPECT_LT(Block, Warp);
+  EXPECT_LT(Multi, Block);
+  // With heavy child work instead, granularity choice barely matters (the
+  // device is work-limited) — multi-block stays within a few percent.
+  NestedBatch Heavy = irregularBatch(300000);
+  ExecConfig CB, CM;
+  CB.Agg = AggGranularity::Block;
+  CM.Agg = AggGranularity::MultiBlock;
+  EXPECT_LT(timeFor(Heavy, CM), timeFor(Heavy, CB) * 1.1);
+}
+
+TEST(SimulatorTest, GridGranularityWinsForSmallParents) {
+  // Few parents with decent child work: launch count is tiny either way;
+  // grid granularity's single launch with full aggregation wins over
+  // per-thread launches.
+  std::mt19937 Rng(3);
+  NestedBatch B;
+  B.NumParentThreads = 2000;
+  B.ChildUnits.resize(2000);
+  for (auto &U : B.ChildUnits)
+    U = 16 + Rng() % 64;
+  auto TimeAt = [&](AggGranularity G) {
+    ExecConfig C;
+    C.Agg = G;
+    return timeFor(B, C);
+  };
+  EXPECT_LT(TimeAt(AggGranularity::Grid), TimeAt(AggGranularity::None));
+}
+
+TEST(SimulatorTest, LaunchPresencePenaltyObservable) {
+  // Section VIII-D: a kernel containing a never-executed launch is slower
+  // than one compiled without it.
+  NestedBatch B = irregularBatch(200000);
+  for (auto &U : B.ChildUnits)
+    U = std::min(U, 4u); // all tiny
+  ExecConfig THuge;
+  THuge.Threshold = 1u << 30; // everything serializes; no launch executes
+  double WithLaunch = timeFor(B, THuge);
+  double NoCdp = timeFor(B, ExecConfig::noCdp());
+  EXPECT_GT(WithLaunch, NoCdp);
+  // But thresholding still recovers most of the gap vs plain CDP.
+  double Cdp = timeFor(B, ExecConfig::cdp());
+  EXPECT_LT(WithLaunch, Cdp);
+}
+
+TEST(SimulatorTest, BreakdownBucketsArePlausible) {
+  NestedBatch B = irregularBatch(50000);
+  ExecConfig C = bestTCA();
+  SimResult R = simulateBatch(GpuModel(), B, C);
+  EXPECT_GT(R.TimeUs, 0);
+  EXPECT_GE(R.Breakdown.ParentWork, 0);
+  EXPECT_GE(R.Breakdown.ChildWork, 0);
+  EXPECT_GE(R.Breakdown.Launch, 0);
+  EXPECT_GE(R.Breakdown.Aggregation, 0);
+  EXPECT_GE(R.Breakdown.Disaggregation, 0);
+  EXPECT_NEAR(R.Breakdown.total(), R.TimeUs, 1e-9);
+  // With aggregation on, there must be some aggregation/disagg time.
+  EXPECT_GT(R.Breakdown.Aggregation, 0);
+  EXPECT_GT(R.Breakdown.Disaggregation, 0);
+}
+
+TEST(SimulatorTest, ThresholdingShiftsWorkParentward) {
+  // Fig. 10 first observation: thresholding increases parent work and
+  // decreases child work.
+  NestedBatch B = irregularBatch(60000);
+  ExecConfig A;
+  A.Agg = AggGranularity::MultiBlock;
+  SimResult Base = simulateBatch(GpuModel(), B, A);
+  ExecConfig TA = A;
+  TA.Threshold = 128;
+  SimResult WithT = simulateBatch(GpuModel(), B, TA);
+  EXPECT_GT(WithT.Breakdown.ParentWork, Base.Breakdown.ParentWork);
+  EXPECT_LT(WithT.Breakdown.ChildWork, Base.Breakdown.ChildWork);
+  EXPECT_LT(WithT.Breakdown.Disaggregation, Base.Breakdown.Disaggregation);
+  EXPECT_LT(WithT.Breakdown.Launch + 1e-9, Base.Breakdown.Launch + 1e-9);
+}
+
+TEST(SimulatorTest, CoarseningReducesLaunchAndDisagg) {
+  // Fig. 10 third/fourth observations.
+  NestedBatch B = irregularBatch(60000);
+  ExecConfig A;
+  A.Agg = AggGranularity::MultiBlock;
+  A.Threshold = 64;
+  SimResult Base = simulateBatch(GpuModel(), B, A);
+  ExecConfig CA = A;
+  CA.CoarsenFactor = 8;
+  SimResult WithC = simulateBatch(GpuModel(), B, CA);
+  EXPECT_LT(WithC.Breakdown.Disaggregation, Base.Breakdown.Disaggregation);
+  EXPECT_LE(WithC.ChildBlocks, Base.ChildBlocks);
+}
+
+TEST(SimulatorTest, DeterministicResults) {
+  NestedBatch B = irregularBatch(30000, /*Seed=*/9);
+  ExecConfig C = bestTCA();
+  double T1 = timeFor(B, C);
+  double T2 = timeFor(B, C);
+  EXPECT_EQ(T1, T2);
+}
+
+TEST(SimulatorTest, MonotoneInWork) {
+  // More child work should never be faster, all else equal.
+  NestedBatch Small = irregularBatch(20000, 5);
+  NestedBatch Big = Small;
+  for (auto &U : Big.ChildUnits)
+    U *= 2;
+  for (auto Config : {ExecConfig::cdp(), ExecConfig::noCdp(), bestTCA()})
+    EXPECT_GE(timeFor(Big, Config), timeFor(Small, Config));
+}
+
+} // namespace

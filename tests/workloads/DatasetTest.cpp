@@ -1,0 +1,164 @@
+//===--- DatasetTest.cpp - Generator scale/shape checks (Table I) -------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "datasets/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+TEST(DatasetTest, KronMatchesTableI) {
+  // kron_g500-simple-logn16: 65,536 vertices, ~2.4M (symmetrized) edges,
+  // power-law degrees.
+  CsrGraph G = makeKronGraph();
+  EXPECT_EQ(G.NumVertices, 65536u);
+  EXPECT_GT(G.numEdges(), 1'800'000u);
+  EXPECT_LT(G.numEdges(), 2'800'000u);
+  // Power law: the maximum degree is orders of magnitude above the mean.
+  EXPECT_GT(G.maxDegree(), 50 * G.avgDegree());
+  // Many isolated/low-degree vertices.
+  uint32_t Low = 0;
+  for (uint32_t V = 0; V < G.NumVertices; ++V)
+    if (G.degree(V) <= 2)
+      ++Low;
+  EXPECT_GT(Low, G.NumVertices / 4);
+}
+
+TEST(DatasetTest, WebGraphMatchesTableI) {
+  // cnr-2000: 325,557 vertices, ~2.7M edges.
+  CsrGraph G = makeWebGraph();
+  EXPECT_EQ(G.NumVertices, 325557u);
+  EXPECT_GT(G.numEdges(), 2'000'000u);
+  EXPECT_LT(G.numEdges(), 3'400'000u);
+  EXPECT_GT(G.maxDegree(), 500u); // heavy tail
+}
+
+TEST(DatasetTest, RoadGraphMatchesTableI) {
+  // USA-road-d.NY: 264,346 vertices, avg degree ~3, max degree 8.
+  CsrGraph G = makeRoadGraph();
+  EXPECT_NEAR((double)G.NumVertices, 264346.0, 4000.0);
+  EXPECT_GT(G.avgDegree(), 2.2);
+  EXPECT_LT(G.avgDegree(), 3.8);
+  EXPECT_LE(G.maxDegree(), 8u);
+}
+
+TEST(DatasetTest, GeneratorsAreDeterministic) {
+  CsrGraph A = makeKronGraph(12, 8, 99);
+  CsrGraph B = makeKronGraph(12, 8, 99);
+  EXPECT_EQ(A.Col, B.Col);
+  EXPECT_EQ(A.RowPtr, B.RowPtr);
+  CsrGraph C = makeKronGraph(12, 8, 100);
+  EXPECT_NE(A.Col, C.Col);
+}
+
+TEST(DatasetTest, SymmetryOfGraphs) {
+  CsrGraph G = makeKronGraph(10, 8, 5);
+  // Every arc has its reverse.
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E) {
+      uint32_t V = G.Col[E];
+      bool Found = false;
+      for (uint32_t E2 = G.RowPtr[V]; E2 < G.RowPtr[V + 1] && !Found; ++E2)
+        Found = G.Col[E2] == U;
+      EXPECT_TRUE(Found) << U << "->" << V << " missing reverse";
+    }
+}
+
+TEST(DatasetTest, SymmetricWeights) {
+  CsrGraph G = makeKronGraph(10, 8, 5);
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E) {
+      uint32_t V = G.Col[E];
+      for (uint32_t E2 = G.RowPtr[V]; E2 < G.RowPtr[V + 1]; ++E2)
+        if (G.Col[E2] == U)
+          EXPECT_EQ(G.Weight[E], G.Weight[E2]);
+    }
+}
+
+TEST(DatasetTest, RandomKSatShape) {
+  SatFormula F = makeRandomKSat(10000, 42000, 3);
+  EXPECT_EQ(F.NumVars, 10000u);
+  EXPECT_EQ(F.numClauses(), 42000u);
+  EXPECT_EQ(F.ClauseLits.size(), 126000u);
+  // Mean occurrences = K * clauses / vars = 12.6 (the paper's low-nested-
+  // parallelism case: "all child grids have fewer than 32 threads").
+  uint64_t Sum = 0;
+  uint32_t Over32 = 0;
+  for (uint32_t V = 0; V < F.NumVars; ++V) {
+    Sum += F.occurrences(V);
+    if (F.occurrences(V) >= 32)
+      ++Over32;
+  }
+  EXPECT_EQ(Sum, 126000u);
+  EXPECT_LT(Over32, F.NumVars / 50);
+}
+
+TEST(DatasetTest, FiveSatLiteralCount) {
+  SatFormula F = makeRandomKSat(2500, 23459, 5);
+  EXPECT_EQ(F.ClauseLits.size(), 117295u); // Table I: 117,296 literals
+  // Occurrences per variable are much higher than RAND-3 (~47 mean).
+  EXPECT_GT((double)F.ClauseLits.size() / F.NumVars, 40.0);
+}
+
+TEST(DatasetTest, ClausesHaveDistinctVars) {
+  SatFormula F = makeRandomKSat(100, 500, 3, 3);
+  for (uint32_t C = 0; C < F.numClauses(); ++C) {
+    uint32_t V0 = F.ClauseLits[C * 3] / 2;
+    uint32_t V1 = F.ClauseLits[C * 3 + 1] / 2;
+    uint32_t V2 = F.ClauseLits[C * 3 + 2] / 2;
+    EXPECT_NE(V0, V1);
+    EXPECT_NE(V0, V2);
+    EXPECT_NE(V1, V2);
+  }
+}
+
+TEST(DatasetTest, OccurrenceCsrIsConsistent) {
+  SatFormula F = makeRandomKSat(200, 900, 4, 8);
+  // Every (var, clause) incidence appears exactly once in the CSR.
+  uint64_t Total = 0;
+  for (uint32_t V = 0; V < F.NumVars; ++V) {
+    for (uint32_t O = F.OccRowPtr[V]; O < F.OccRowPtr[V + 1]; ++O) {
+      uint32_t Clause = F.OccClause[O];
+      bool Found = false;
+      for (uint32_t L = 0; L < F.K; ++L)
+        if (F.ClauseLits[Clause * F.K + L] / 2 == V)
+          Found = true;
+      EXPECT_TRUE(Found);
+      ++Total;
+    }
+  }
+  EXPECT_EQ(Total, F.ClauseLits.size());
+}
+
+TEST(DatasetTest, BezierTessellationRanges) {
+  BezierDataset Small = makeBezierLines(20000, 32, 16.0);
+  BezierDataset Large = makeBezierLines(20000, 2048, 64.0);
+  EXPECT_EQ(Small.Lines.size(), 20000u);
+  uint64_t SmallTotal = 0, LargeTotal = 0;
+  for (const auto &L : Small.Lines) {
+    EXPECT_LE(L.Tessellation, 32u);
+    SmallTotal += L.Tessellation;
+  }
+  for (const auto &L : Large.Lines) {
+    EXPECT_LE(L.Tessellation, 2048u);
+    LargeTotal += L.Tessellation;
+  }
+  // The T2048-C64 configuration tessellates much more finely.
+  EXPECT_GT(LargeTotal, 5 * SmallTotal);
+}
+
+TEST(DatasetTest, HeadSubgraphIsInduced) {
+  CsrGraph G = makeKronGraph(10, 8, 7);
+  CsrGraph Sub = G.headSubgraph(128);
+  EXPECT_EQ(Sub.NumVertices, 128u);
+  for (uint32_t U = 0; U < Sub.NumVertices; ++U)
+    for (uint32_t E = Sub.RowPtr[U]; E < Sub.RowPtr[U + 1]; ++E)
+      EXPECT_LT(Sub.Col[E], 128u);
+}
+
+} // namespace

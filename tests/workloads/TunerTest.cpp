@@ -1,0 +1,118 @@
+//===--- TunerTest.cpp - Section VIII-C tuning tests ---------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace dpo;
+
+namespace {
+
+std::vector<NestedBatch> irregularBatches(unsigned NumBatches,
+                                          unsigned ParentsPerBatch,
+                                          unsigned Seed = 1) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  std::vector<NestedBatch> Batches(NumBatches);
+  for (auto &B : Batches) {
+    B.NumParentThreads = ParentsPerBatch;
+    B.ChildUnits.resize(ParentsPerBatch);
+    for (auto &Units : B.ChildUnits) {
+      double X = U(Rng);
+      Units = X < 0.4 ? 0 : X < 0.9 ? (1 + Rng() % 24) : (64 + Rng() % 1000);
+    }
+  }
+  return Batches;
+}
+
+VariantMask fullMask() {
+  VariantMask Mask;
+  Mask.Thresholding = true;
+  Mask.Coarsening = true;
+  Mask.Aggregation = true;
+  return Mask;
+}
+
+TEST(TunerTest, ThresholdForLaunchBudget) {
+  std::vector<NestedBatch> Batches = irregularBatches(4, 30000);
+  uint32_t T = thresholdForLaunchBudget(Batches, 7000);
+  // The chosen threshold leaves at most 7000 launches...
+  uint64_t Launches = 0;
+  for (const auto &B : Batches)
+    for (uint32_t Units : B.ChildUnits)
+      if (Units >= T)
+        ++Launches;
+  EXPECT_LE(Launches, 7000u);
+  // ...and the next smaller power of two would exceed it.
+  if (T > 1) {
+    uint64_t Prev = 0;
+    for (const auto &B : Batches)
+      for (uint32_t Units : B.ChildUnits)
+        if (Units >= T / 2)
+          ++Prev;
+    EXPECT_GT(Prev, 7000u);
+  }
+}
+
+TEST(TunerTest, ExhaustiveBeatsOrMatchesEveryProbe) {
+  GpuModel Gpu;
+  std::vector<NestedBatch> Batches = irregularBatches(3, 20000);
+  TuneResult Best = exhaustiveTune(Gpu, Batches, fullMask());
+  // Spot-check a handful of configurations: none beats the winner.
+  for (uint32_t T : {0u, 16u, 256u})
+    for (AggGranularity G :
+         {AggGranularity::None, AggGranularity::Block, AggGranularity::Grid}) {
+      ExecConfig C;
+      if (T)
+        C.Threshold = T;
+      C.Agg = G;
+      C.CoarsenFactor = 4;
+      EXPECT_GE(simulateBatches(Gpu, Batches, C).TimeUs,
+                Best.Result.TimeUs - 1e-9);
+    }
+}
+
+TEST(TunerTest, GuidedIsCloseToExhaustiveWithFewProbes) {
+  GpuModel Gpu;
+  std::vector<NestedBatch> Batches = irregularBatches(5, 25000, 3);
+  TuneResult Exhaustive = exhaustiveTune(Gpu, Batches, fullMask());
+  TuneResult Guided = guidedTune(Gpu, Batches, fullMask());
+  // Section VIII-C: "less than ten runs" gets close to the best.
+  EXPECT_LE(Guided.Probes, 10u);
+  EXPECT_GT(Exhaustive.Probes, 100u);
+  EXPECT_LE(Guided.Result.TimeUs, Exhaustive.Result.TimeUs * 1.8);
+}
+
+TEST(TunerTest, MaskRestrictsSearch) {
+  GpuModel Gpu;
+  std::vector<NestedBatch> Batches = irregularBatches(2, 10000, 5);
+  VariantMask AggOnly;
+  AggOnly.Aggregation = true;
+  TuneResult R = exhaustiveTune(Gpu, Batches, AggOnly);
+  EXPECT_FALSE(R.Config.Threshold.has_value());
+  EXPECT_EQ(R.Config.CoarsenFactor, 1u);
+  EXPECT_NE(R.Config.Agg, AggGranularity::None);
+
+  VariantMask KlapLike = AggOnly;
+  KlapLike.Granularities = {AggGranularity::Warp, AggGranularity::Block,
+                            AggGranularity::Grid};
+  TuneResult Klap = exhaustiveTune(Gpu, Batches, KlapLike);
+  EXPECT_NE(Klap.Config.Agg, AggGranularity::MultiBlock);
+  // Our framework's search space contains KLAP's, so it can't be slower.
+  EXPECT_LE(R.Result.TimeUs, Klap.Result.TimeUs + 1e-9);
+}
+
+TEST(TunerTest, GuidedSkipsWarpGranularity) {
+  GpuModel Gpu;
+  std::vector<NestedBatch> Batches = irregularBatches(2, 15000, 7);
+  TuneResult Guided = guidedTune(Gpu, Batches, fullMask());
+  EXPECT_NE(Guided.Config.Agg, AggGranularity::Warp);
+}
+
+} // namespace

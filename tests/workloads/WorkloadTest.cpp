@@ -1,0 +1,237 @@
+//===--- WorkloadTest.cpp - Benchmark correctness vs. references --------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+#include <random>
+#include <set>
+
+using namespace dpo;
+
+namespace {
+
+CsrGraph smallRandomGraph(uint32_t N, uint32_t M, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t E = 0; E < M; ++E)
+    Edges.push_back({(uint32_t)(Rng() % N), (uint32_t)(Rng() % N)});
+  return CsrGraph::fromEdges(N, std::move(Edges), /*Symmetrize=*/true,
+                             /*MaxWeight=*/50, Seed);
+}
+
+// Reference algorithms.
+
+std::vector<uint32_t> referenceBfs(const CsrGraph &G, uint32_t Source) {
+  std::vector<uint32_t> Level(G.NumVertices, UnreachedLevel);
+  std::queue<uint32_t> Queue;
+  Level[Source] = 0;
+  Queue.push(Source);
+  while (!Queue.empty()) {
+    uint32_t V = Queue.front();
+    Queue.pop();
+    for (uint32_t E = G.RowPtr[V]; E < G.RowPtr[V + 1]; ++E)
+      if (Level[G.Col[E]] == UnreachedLevel) {
+        Level[G.Col[E]] = Level[V] + 1;
+        Queue.push(G.Col[E]);
+      }
+  }
+  return Level;
+}
+
+std::vector<uint64_t> referenceDijkstra(const CsrGraph &G, uint32_t Source) {
+  std::vector<uint64_t> Dist(G.NumVertices, InfDist);
+  using Entry = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> Heap;
+  Dist[Source] = 0;
+  Heap.push({0, Source});
+  while (!Heap.empty()) {
+    auto [D, V] = Heap.top();
+    Heap.pop();
+    if (D > Dist[V])
+      continue;
+    for (uint32_t E = G.RowPtr[V]; E < G.RowPtr[V + 1]; ++E) {
+      uint64_t Cand = D + G.Weight[E];
+      if (Cand < Dist[G.Col[E]]) {
+        Dist[G.Col[E]] = Cand;
+        Heap.push({Cand, G.Col[E]});
+      }
+    }
+  }
+  return Dist;
+}
+
+uint64_t referenceKruskal(const CsrGraph &G) {
+  struct Edge {
+    uint32_t W, U, V;
+  };
+  std::vector<Edge> Edges;
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E)
+      if (U < G.Col[E])
+        Edges.push_back({G.Weight[E], U, G.Col[E]});
+  std::sort(Edges.begin(), Edges.end(), [](const Edge &A, const Edge &B) {
+    return std::tie(A.W, A.U, A.V) < std::tie(B.W, B.U, B.V);
+  });
+  std::vector<uint32_t> Parent(G.NumVertices);
+  std::iota(Parent.begin(), Parent.end(), 0);
+  std::function<uint32_t(uint32_t)> Find = [&](uint32_t V) {
+    return Parent[V] == V ? V : Parent[V] = Find(Parent[V]);
+  };
+  uint64_t Weight = 0;
+  for (const Edge &E : Edges) {
+    uint32_t RU = Find(E.U), RV = Find(E.V);
+    if (RU != RV) {
+      Parent[RU] = RV;
+      Weight += E.W;
+    }
+  }
+  return Weight;
+}
+
+uint64_t referenceTriangles(const CsrGraph &G) {
+  std::vector<std::set<uint32_t>> Adj(G.NumVertices);
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t E = G.RowPtr[U]; E < G.RowPtr[U + 1]; ++E)
+      if (G.Col[E] != U)
+        Adj[U].insert(G.Col[E]);
+  uint64_t Count = 0;
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (uint32_t V : Adj[U]) {
+      if (V <= U)
+        continue;
+      for (uint32_t W : Adj[V])
+        if (W > V && Adj[U].count(W))
+          ++Count;
+    }
+  return Count;
+}
+
+class GraphWorkloadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphWorkloadTest, BfsMatchesReference) {
+  CsrGraph G = smallRandomGraph(500, 1500, GetParam());
+  WorkloadOutput Out = runBfs(G, 0);
+  EXPECT_EQ(Out.Levels, referenceBfs(G, 0));
+  // One batch per BFS level; frontier sizes match the level population.
+  uint32_t MaxLevel = 0;
+  uint64_t Reached = 0;
+  for (uint32_t L : Out.Levels)
+    if (L != UnreachedLevel) {
+      MaxLevel = std::max(MaxLevel, L);
+      ++Reached;
+    }
+  EXPECT_EQ(Out.Batches.size(), (size_t)MaxLevel + 1);
+  uint64_t FrontierSum = 0;
+  for (const NestedBatch &B : Out.Batches)
+    FrontierSum += B.NumParentThreads;
+  EXPECT_EQ(FrontierSum, Reached);
+}
+
+TEST_P(GraphWorkloadTest, SsspMatchesDijkstra) {
+  CsrGraph G = smallRandomGraph(400, 1200, GetParam() + 100);
+  WorkloadOutput Out = runSssp(G, 0);
+  EXPECT_EQ(Out.Dist, referenceDijkstra(G, 0));
+  EXPECT_FALSE(Out.Batches.empty());
+}
+
+TEST_P(GraphWorkloadTest, BoruvkaMatchesKruskal) {
+  CsrGraph G = smallRandomGraph(300, 900, GetParam() + 200);
+  WorkloadOutput Out = runMstFind(G);
+  EXPECT_EQ(Out.MstWeight, referenceKruskal(G));
+  // Boruvka needs at most log2(N) rounds on a connected graph (a few more
+  // batches on disconnected ones).
+  EXPECT_LE(Out.Batches.size(), 32u);
+  EXPECT_GE(Out.Batches.size(), 1u);
+}
+
+TEST_P(GraphWorkloadTest, TriangleCountMatchesReference) {
+  CsrGraph G = smallRandomGraph(200, 1200, GetParam() + 300);
+  WorkloadOutput Out = runTriangleCount(G);
+  EXPECT_EQ(Out.TriangleCount, referenceTriangles(G));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphWorkloadTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(WorkloadTest, BfsBatchUnitsAreDegrees) {
+  CsrGraph G = smallRandomGraph(100, 300, 5);
+  WorkloadOutput Out = runBfs(G, 0);
+  ASSERT_FALSE(Out.Batches.empty());
+  // First batch: just the source.
+  ASSERT_EQ(Out.Batches[0].NumParentThreads, 1u);
+  EXPECT_EQ(Out.Batches[0].ChildUnits[0], G.degree(0));
+}
+
+TEST(WorkloadTest, MstVerifySingleBatchOverAllVertices) {
+  CsrGraph G = smallRandomGraph(250, 700, 11);
+  WorkloadOutput Out = runMstVerify(G);
+  ASSERT_EQ(Out.Batches.size(), 1u);
+  EXPECT_EQ(Out.Batches[0].NumParentThreads, G.NumVertices);
+  for (uint32_t V = 0; V < G.NumVertices; ++V)
+    EXPECT_EQ(Out.Batches[0].ChildUnits[V], G.degree(V));
+  EXPECT_GT(Out.CheckSum, 0);
+}
+
+TEST(WorkloadTest, SurveyPropagationConvergesAndIsDeterministic) {
+  SatFormula F = makeRandomKSat(500, 2100, 3, 9);
+  WorkloadOutput A = runSurveyProp(F);
+  WorkloadOutput B = runSurveyProp(F);
+  EXPECT_TRUE(A.Converged);
+  EXPECT_EQ(A.CheckSum, B.CheckSum);
+  EXPECT_EQ(A.Batches.size(), B.Batches.size());
+  // Child units are occurrence counts.
+  for (uint32_t V = 0; V < F.NumVars; ++V)
+    EXPECT_EQ(A.Batches[0].ChildUnits[V], F.occurrences(V));
+}
+
+TEST(WorkloadTest, BezierTessellationCountsAndChecksum) {
+  BezierDataset D = makeBezierLines(1000, 64, 32.0, 3);
+  WorkloadOutput Out = runBezier(D);
+  ASSERT_EQ(Out.Batches.size(), 1u);
+  EXPECT_EQ(Out.Batches[0].NumParentThreads, 1000u);
+  uint64_t Total = 0;
+  for (const BezierLine &L : D.Lines) {
+    EXPECT_GE(L.Tessellation, 4u);
+    EXPECT_LE(L.Tessellation, 64u);
+    Total += L.Tessellation;
+  }
+  EXPECT_EQ(Out.totalChildUnits(), Total);
+  // Endpoint property: the curve at t=0 and t=1 passes through P0/P2; the
+  // checksum is a stable digest of evaluated points.
+  EXPECT_NE(Out.CheckSum, 0.0);
+}
+
+TEST(WorkloadTest, DisconnectedGraphBfs) {
+  // Two components; BFS from 0 must not reach the second.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {{0, 1}, {1, 2}, {3, 4}};
+  CsrGraph G = CsrGraph::fromEdges(5, Edges, true, 10);
+  WorkloadOutput Out = runBfs(G, 0);
+  EXPECT_EQ(Out.Levels[2], 2u);
+  EXPECT_EQ(Out.Levels[3], UnreachedLevel);
+  EXPECT_EQ(Out.Levels[4], UnreachedLevel);
+}
+
+TEST(WorkloadTest, MstOnDisconnectedGraphIsForest) {
+  std::vector<std::pair<uint32_t, uint32_t>> Edges = {{0, 1}, {1, 2}, {3, 4}};
+  CsrGraph G = CsrGraph::fromEdges(5, Edges, true, 10);
+  WorkloadOutput Out = runMstFind(G);
+  EXPECT_EQ(Out.MstWeight, referenceKruskal(G));
+}
+
+TEST(WorkloadTest, EmptyGraphEdgeCases) {
+  CsrGraph Empty;
+  Empty.NumVertices = 0;
+  Empty.RowPtr = {0};
+  EXPECT_TRUE(runBfs(Empty, 0).Batches.empty());
+  WorkloadOutput Tc = runTriangleCount(Empty);
+  EXPECT_EQ(Tc.TriangleCount, 0u);
+}
+
+} // namespace
