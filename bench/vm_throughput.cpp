@@ -1,0 +1,289 @@
+//===--- vm_throughput.cpp - Interpreter throughput benchmarks -----------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark harness for the bytecode VM's execution engine — the
+/// path every equivalence/fuzz check funnels through, so its throughput
+/// gates how many verification scenarios the project can afford.
+///
+/// Workloads:
+///  - quickstart: the nested parent/child launch program from
+///    examples/quickstart.cpp (the repository's canonical CDP shape);
+///  - coarsened: the same program after the thread-coarsening pass
+///    (factor 4), exercising the loop/indexing superinstructions;
+///  - bfs: a CDP top-down BFS over a synthetic power-law-ish graph,
+///    exercising dynamic launches, atomics, and frontier bookkeeping;
+///  - compute: a flat arithmetic-loop kernel measuring raw dispatch.
+///
+/// Every workload runs with the peephole optimizer on and off. Reported
+/// counters:
+///  - steps_per_sec: bytecode instructions retired per second;
+///  - us_per_launch: wall time per top-level kernel run.
+/// `scripts/bench_baseline.sh` snapshots the numbers to BENCH_vm.json so
+/// future PRs can track the trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+#include "vm/VM.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace dpo;
+
+namespace {
+
+const char *QuickstartSource = R"(
+__global__ void child(int *data, int base, int count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < count) {
+    data[base + i] = base + i * 2;
+  }
+}
+__global__ void parent(int *data, int *counts, int *offsets, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = counts[v];
+    if (count > 0) {
+      child<<<(count + 31) / 32, 32>>>(data, offsets[v], count);
+    }
+  }
+}
+)";
+
+const char *ComputeSource = R"(
+__global__ void work(int *out, int n, int rounds) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int acc = 0;
+    for (int r = 0; r < rounds; ++r) {
+      acc = acc * 3 + (i ^ r) - (acc >> 4);
+    }
+    out[i] = acc;
+  }
+}
+)";
+
+const char *BfsSource = R"(
+__global__ void expand(int *adj, int *offsets, int *dist, int *nextFrontier,
+                       int *nextCount, int v, int level) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int begin = offsets[v];
+  int deg = offsets[v + 1] - begin;
+  if (i < deg) {
+    int u = adj[begin + i];
+    if (dist[u] == -1) {
+      int old = atomicCAS(&dist[u], -1, level);
+      if (old == -1) {
+        int idx = atomicAdd(nextCount, 1);
+        nextFrontier[idx] = u;
+      }
+    }
+  }
+}
+__global__ void bfsStep(int *adj, int *offsets, int *dist, int *frontier,
+                        int *count, int *nextFrontier, int *nextCount,
+                        int level) {
+  int t = blockIdx.x * blockDim.x + threadIdx.x;
+  if (t < count[0]) {
+    int v = frontier[t];
+    int deg = offsets[v + 1] - offsets[v];
+    if (deg > 0) {
+      expand<<<(deg + 31) / 32, 32>>>(adj, offsets, dist, nextFrontier,
+                                      nextCount, v, level);
+    }
+  }
+}
+)";
+
+VmCompileOptions optionsFor(bool Optimize) {
+  VmCompileOptions Opts;
+  Opts.OptimizeBytecode = Optimize;
+  return Opts;
+}
+
+std::unique_ptr<Device> mustBuild(const std::string &Source, bool Optimize) {
+  DiagnosticEngine Diags;
+  auto Dev = buildDevice(Source, Diags, optionsFor(Optimize));
+  if (!Dev) {
+    fprintf(stderr, "VM build failed:\n%s\n", Diags.str().c_str());
+    abort();
+  }
+  return Dev;
+}
+
+void reportVmCounters(benchmark::State &State, Device &Dev) {
+  State.counters["steps_per_sec"] = benchmark::Counter(
+      (double)Dev.stats().Steps, benchmark::Counter::kIsRate);
+  State.counters["us_per_launch"] = benchmark::Counter(
+      (double)State.iterations() / 1e6,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+/// Nested parent/child launch workload (quickstart shape). When
+/// \p Transformed is non-empty it is a coarsened variant of the same
+/// program and is launched through the same entry point.
+void runNestedBench(benchmark::State &State, const std::string &Source,
+                    bool Optimize) {
+  auto Dev = mustBuild(Source, Optimize);
+  int NumV = 400;
+  std::vector<int32_t> Counts(NumV), Offsets(NumV);
+  int Total = 0;
+  for (int I = 0; I < NumV; ++I) {
+    Counts[I] = (I * 37) % 200;
+    Offsets[I] = Total;
+    Total += Counts[I];
+  }
+  uint64_t Data = Dev->alloc((uint64_t)Total * 4);
+  uint64_t CountsA = Dev->allocI32(Counts);
+  uint64_t OffsetsA = Dev->allocI32(Offsets);
+  std::vector<int64_t> Args = {(int64_t)Data, (int64_t)CountsA,
+                               (int64_t)OffsetsA, NumV};
+  Dim3V Grid = {(uint32_t)((NumV + 63) / 64), 1, 1};
+  Dim3V Block = {64, 1, 1};
+  if (!Dev->launchKernel("parent", Grid, Block, Args)) { // Warm-up.
+    fprintf(stderr, "launch failed: %s\n", Dev->error().c_str());
+    abort();
+  }
+  Dev->resetStats();
+  for (auto _ : State) {
+    if (!Dev->launchKernel("parent", Grid, Block, Args)) {
+      State.SkipWithError(Dev->error().c_str());
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Total);
+  reportVmCounters(State, *Dev);
+}
+
+void BM_Quickstart(benchmark::State &State, bool Optimize) {
+  runNestedBench(State, QuickstartSource, Optimize);
+}
+
+void BM_Coarsened(benchmark::State &State, bool Optimize) {
+  // Thread-coarsen the child (factor 4): each child thread serializes
+  // four work items — the Fig. 9 "CDP+C" variant of the same program.
+  PipelineOptions Options;
+  Options.EnableCoarsening = true;
+  Options.Coarsening.Factor = 4;
+  Options.useLiteralKnobs();
+  DiagnosticEngine Diags;
+  std::string Transformed = transformSource(QuickstartSource, Options, Diags);
+  if (Transformed.empty()) {
+    fprintf(stderr, "coarsening failed:\n%s\n", Diags.str().c_str());
+    abort();
+  }
+  runNestedBench(State, Transformed, Optimize);
+}
+
+void BM_Compute(benchmark::State &State, bool Optimize) {
+  auto Dev = mustBuild(ComputeSource, Optimize);
+  int N = 2048, Rounds = 100;
+  uint64_t Out = Dev->alloc((uint64_t)N * 4);
+  std::vector<int64_t> Args = {(int64_t)Out, N, Rounds};
+  Dim3V Grid = {(uint32_t)((N + 127) / 128), 1, 1};
+  Dim3V Block = {128, 1, 1};
+  if (!Dev->launchKernel("work", Grid, Block, Args)) {
+    fprintf(stderr, "launch failed: %s\n", Dev->error().c_str());
+    abort();
+  }
+  Dev->resetStats();
+  for (auto _ : State) {
+    if (!Dev->launchKernel("work", Grid, Block, Args)) {
+      State.SkipWithError(Dev->error().c_str());
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (int64_t)N * Rounds);
+  reportVmCounters(State, *Dev);
+}
+
+void BM_Bfs(benchmark::State &State, bool Optimize) {
+  auto Dev = mustBuild(BfsSource, Optimize);
+
+  // Synthetic graph: 300 vertices, skewed degrees (a few hubs).
+  std::mt19937 Rng(1234);
+  int N = 300;
+  std::vector<std::vector<int32_t>> Adj(N);
+  for (int V = 0; V < N; ++V) {
+    int Deg = (V % 17 == 0) ? 40 + (int)(Rng() % 60) : (int)(Rng() % 8);
+    for (int E = 0; E < Deg; ++E)
+      Adj[V].push_back((int32_t)(Rng() % N));
+  }
+  std::vector<int32_t> Offsets(N + 1), Flat;
+  for (int V = 0; V < N; ++V) {
+    Offsets[V] = (int32_t)Flat.size();
+    Flat.insert(Flat.end(), Adj[V].begin(), Adj[V].end());
+  }
+  Offsets[N] = (int32_t)Flat.size();
+
+  uint64_t AdjA = Dev->allocI32(Flat);
+  uint64_t OffsetsA = Dev->allocI32(Offsets);
+  uint64_t DistA = Dev->alloc((uint64_t)N * 4);
+  uint64_t FrontierA = Dev->alloc((uint64_t)N * 4);
+  uint64_t NextFrontierA = Dev->alloc((uint64_t)N * 4);
+  uint64_t CountA = Dev->alloc(4);
+  uint64_t NextCountA = Dev->alloc(4);
+
+  auto RunBfs = [&]() -> bool {
+    for (int V = 0; V < N; ++V)
+      Dev->writeI32(DistA + (uint64_t)V * 4, -1);
+    Dev->writeI32(DistA, 0);
+    Dev->writeI32(FrontierA, 0);
+    Dev->writeI32(CountA, 1);
+    uint64_t Cur = FrontierA, Next = NextFrontierA;
+    for (int Level = 1; Level < 64; ++Level) {
+      Dev->writeI32(NextCountA, 0);
+      int Count = Dev->readI32(CountA);
+      if (Count == 0)
+        break;
+      Dim3V Grid = {(uint32_t)((Count + 31) / 32), 1, 1};
+      if (!Dev->launchKernel("bfsStep", Grid, {32, 1, 1},
+                             {(int64_t)AdjA, (int64_t)OffsetsA, (int64_t)DistA,
+                              (int64_t)Cur, (int64_t)CountA, (int64_t)Next,
+                              (int64_t)NextCountA, Level}))
+        return false;
+      Dev->writeI32(CountA, Dev->readI32(NextCountA));
+      std::swap(Cur, Next);
+    }
+    return true;
+  };
+
+  if (!RunBfs()) {
+    fprintf(stderr, "bfs failed: %s\n", Dev->error().c_str());
+    abort();
+  }
+  Dev->resetStats();
+  for (auto _ : State) {
+    if (!RunBfs()) {
+      State.SkipWithError(Dev->error().c_str());
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (int64_t)Flat.size());
+  reportVmCounters(State, *Dev);
+}
+
+BENCHMARK_CAPTURE(BM_Quickstart, peephole_on, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Quickstart, peephole_off, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Coarsened, peephole_on, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Coarsened, peephole_off, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Bfs, peephole_on, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Bfs, peephole_off, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Compute, peephole_on, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Compute, peephole_off, false)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

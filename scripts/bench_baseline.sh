@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+#===--- bench_baseline.sh - snapshot VM throughput to BENCH_vm.json ----------===#
+#
+# Builds the vm_throughput harness and writes its results as JSON so future
+# PRs can compare interpreter performance against this baseline:
+#
+#   scripts/bench_baseline.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR   cmake build directory (default: build)
+#   BENCH_ARGS  extra google-benchmark flags (e.g. --benchmark_filter=...)
+#
+#===---------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_vm.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target vm_throughput >/dev/null
+
+"$BUILD_DIR/vm_throughput" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}" \
+  ${BENCH_ARGS:-}
+
+echo "wrote $OUT"

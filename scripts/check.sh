@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+#===--- check.sh - configure, build, test, and smoke the benchmarks ----------===#
+#
+# The one command a contributor (or CI) runs before pushing:
+#   scripts/check.sh
+#
+# Environment:
+#   BUILD_DIR  cmake build directory (default: build)
+#   JOBS       parallelism (default: nproc)
+#
+#===---------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== vm_throughput smoke =="
+if [ -x "$BUILD_DIR/vm_throughput" ]; then
+  "$BUILD_DIR/vm_throughput" --benchmark_min_time=0.05
+else
+  echo "vm_throughput not built (google-benchmark missing); skipped"
+fi
+
+echo "== OK =="

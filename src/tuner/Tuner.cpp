@@ -26,12 +26,21 @@ std::vector<uint32_t> dpo::defaultGroupSizeSweep() { return {2, 4, 8, 16, 32}; }
 
 uint32_t dpo::thresholdForLaunchBudget(const std::vector<NestedBatch> &Batches,
                                        uint64_t TargetLaunches) {
+  // Launches(T) = |{units >= T}| is monotone in T, so instead of rescanning
+  // every unit for every sweep value (O(sweep * batches * units)), sort the
+  // units once and binary-search each threshold's suffix count.
+  std::vector<uint32_t> Units;
+  size_t Total = 0;
+  for (const NestedBatch &B : Batches)
+    Total += B.ChildUnits.size();
+  Units.reserve(Total);
+  for (const NestedBatch &B : Batches)
+    Units.insert(Units.end(), B.ChildUnits.begin(), B.ChildUnits.end());
+  std::sort(Units.begin(), Units.end());
+
   for (uint32_t Threshold : defaultThresholdSweep()) {
-    uint64_t Launches = 0;
-    for (const NestedBatch &B : Batches)
-      for (uint32_t Units : B.ChildUnits)
-        if (Units >= Threshold)
-          ++Launches;
+    uint64_t Launches =
+        Units.end() - std::lower_bound(Units.begin(), Units.end(), Threshold);
     if (Launches <= TargetLaunches)
       return Threshold;
   }

@@ -12,6 +12,13 @@
 /// kernels compute exactly what the originals compute — it is a functional
 /// model, not a timing model (timing lives in src/sim).
 ///
+/// The opcode set is defined once through DPO_FOR_EACH_OPCODE so the
+/// enum, the printable names, and the interpreter's dispatch table cannot
+/// drift out of sync. The opcodes after Trap are *superinstructions*:
+/// they are never emitted by the AST compiler directly, only synthesized
+/// by the peephole optimizer (vm/Peephole.cpp) from the base sequences
+/// they replace, and they carry identical semantics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DPO_VM_BYTECODE_H
@@ -26,85 +33,136 @@
 
 namespace dpo {
 
+// clang-format off
+#define DPO_FOR_EACH_OPCODE(X)                                                \
+  /* Constants and locals. */                                                 \
+  X(PushI)      /* A = imm (int64) */                                         \
+  X(PushF)      /* A = imm (double, bit-stored) */                            \
+  X(LoadLocal)  /* A = local slot index */                                    \
+  X(StoreLocal)                                                               \
+  X(Dup)                                                                      \
+  X(Pop)                                                                      \
+  X(Swap)                                                                     \
+  /* Device memory (address on stack below value for stores). */              \
+  X(LdI8) X(LdU8) X(LdI16) X(LdU16) X(LdI32) X(LdU32) X(LdI64)                \
+  X(LdF32) X(LdF64)                                                           \
+  X(StI8) X(StI16) X(StI32) X(StI64) X(StF32) X(StF64)                        \
+  /* Frame memory: push the address of an address-taken local (A = its       \
+     frame-memory offset). */                                                 \
+  X(FrameAddr)                                                                \
+  /* Integer arithmetic (top = rhs). */                                       \
+  X(AddI) X(SubI) X(MulI) X(DivI) X(DivU) X(RemI) X(RemU)                     \
+  X(Shl) X(ShrI) X(ShrU)                                                      \
+  X(BitAnd) X(BitOr) X(BitXor) X(BitNot) X(NegI)                              \
+  /* Integer comparisons -> 0/1. */                                           \
+  X(CmpEQ) X(CmpNE) X(CmpLTI) X(CmpLEI) X(CmpGTI) X(CmpGEI)                   \
+  X(CmpLTU) X(CmpLEU) X(CmpGTU) X(CmpGEU)                                     \
+  X(LogicalNot)                                                               \
+  /* Floating point (doubles on the stack). */                                \
+  X(AddF) X(SubF) X(MulF) X(DivF) X(NegF)                                     \
+  X(CmpEQF) X(CmpNEF) X(CmpLTF) X(CmpLEF) X(CmpGTF) X(CmpGEF)                 \
+  /* Conversions. */                                                          \
+  X(I2F)      /* int64 -> double */                                           \
+  X(U2F)      /* uint64 -> double */                                          \
+  X(F2I)      /* double -> int64 (truncating) */                              \
+  X(F2Single) /* double -> float precision -> double */                       \
+  X(TruncI)   /* A = byte width, B = 1 if sign-extend: wrap to width */       \
+  /* Control flow (A = absolute instruction index). */                        \
+  X(Jmp) X(JmpIfZero) X(JmpIfNotZero)                                         \
+  /* Calls. A = function index, B = argument slot count (dim3 expanded). */   \
+  X(Call)                                                                     \
+  X(Ret)     /* Return with a value on the stack. */                          \
+  X(RetVoid)                                                                  \
+  /* Special registers. A encodes dim*4+component (dim: 0 threadIdx,         \
+     1 blockIdx, 2 blockDim, 3 gridDim; component 0..2). */                   \
+  X(SReg)                                                                     \
+  /* Shared memory: push this block's shared segment base address. */         \
+  X(SharedBase)                                                               \
+  /* Barriers / fences. */                                                    \
+  X(SyncThreads)                                                              \
+  X(ThreadFence) /* No-op in the sequential VM (memory is coherent). */       \
+  /* Atomics (address, value on stack; push old value). Width in A (4 or     \
+     8), B = 1 for signed element types. */                                   \
+  X(AtomicAdd) X(AtomicMax) X(AtomicMin) X(AtomicExch) X(AtomicCAS)           \
+  X(AtomicOr) X(AtomicAnd)                                                    \
+  /* Kernel launch. A = function index, B = argument slot count. The stack   \
+     holds [args..., gridX, gridY, gridZ, blockX, blockY, blockZ] with the   \
+     block dims on top. */                                                    \
+  X(Launch)                                                                   \
+  /* Host-only intrinsics. */                                                 \
+  X(CudaMalloc)      /* [ptrAddr, bytes] -> 0 */                              \
+  X(CudaFree)        /* [ptr] -> 0 */                                         \
+  X(CudaMemset)      /* [ptr, value, bytes] -> 0 */                           \
+  X(CudaMemcpy)      /* [dst, src, bytes, kind] -> 0 */                       \
+  X(CudaSync)        /* Drain pending launches. */                            \
+  /* Math intrinsics. A selects the function (MathFn). */                     \
+  X(Math1) /* One double operand. */                                          \
+  X(Math2) /* Two double operands. */                                         \
+  X(MinI) X(MaxI) X(MinU) X(MaxU)                                             \
+  X(Trap) /* A = trap message index; aborts execution. */                     \
+  /*===--- Superinstructions (synthesized by vm/Peephole.cpp only) ---===*/   \
+  /* Fused local/immediate pushes and arithmetic. */                          \
+  X(LoadLocal2)      /* push locals[A]; push locals[B] */                     \
+  X(LoadLocalImmAddI)/* push locals[A] + B */                                 \
+  X(LoadLoadAddI)    /* push locals[A] + locals[B] */                         \
+  X(AddImmI)         /* top += A */                                           \
+  X(MulImmI)         /* top *= A */                                           \
+  X(MulImmAddI)      /* [x, y] -> [x + y*A]  (array address formation) */     \
+  X(IncLocalI32)     /* locals[A] = (int32)(locals[A] + B) */                 \
+  X(IncLocalI64)     /* locals[A] += B */                                     \
+  X(GlobalTidX)      /* push blockIdx.x*blockDim.x+threadIdx.x wrapped to    \
+                        uint32 (B=0) or int32 (B=1) */                        \
+  /* Fused compare-and-branch (pop rhs, pop lhs; A = target). */              \
+  X(JmpIfLTI) X(JmpIfGEI) X(JmpIfLEI) X(JmpIfGTI)                             \
+  X(JmpIfEQ) X(JmpIfNE)                                                       \
+  X(JmpIfLTU) X(JmpIfGEU) X(JmpIfLEU) X(JmpIfGTU)
+// clang-format on
+
 enum class Op : uint8_t {
-  // Constants and locals.
-  PushI,     ///< A = imm (int64)
-  PushF,     ///< A = imm (double, bit-stored)
-  LoadLocal, ///< A = local slot index
-  StoreLocal,
-  Dup,
-  Pop,
-  Swap,
-
-  // Device memory (address on stack below value for stores).
-  LdI8, LdU8, LdI16, LdU16, LdI32, LdU32, LdI64, LdF32, LdF64,
-  StI8, StI16, StI32, StI64, StF32, StF64,
-
-  // Frame memory: push the address of an address-taken local (A = its
-  // frame-memory offset).
-  FrameAddr,
-
-  // Integer arithmetic (top = rhs).
-  AddI, SubI, MulI, DivI, DivU, RemI, RemU, Shl, ShrI, ShrU,
-  BitAnd, BitOr, BitXor, BitNot, NegI,
-  // Integer comparisons -> 0/1.
-  CmpEQ, CmpNE, CmpLTI, CmpLEI, CmpGTI, CmpGEI, CmpLTU, CmpLEU, CmpGTU,
-  CmpGEU,
-  LogicalNot,
-
-  // Floating point (doubles on the stack).
-  AddF, SubF, MulF, DivF, NegF,
-  CmpEQF, CmpNEF, CmpLTF, CmpLEF, CmpGTF, CmpGEF,
-
-  // Conversions.
-  I2F,      ///< int64 -> double
-  U2F,      ///< uint64 -> double
-  F2I,      ///< double -> int64 (truncating)
-  F2Single, ///< double -> float precision -> double
-  TruncI,   ///< A = byte width, B = 1 if sign-extend: wrap to width
-
-  // Control flow (A = absolute instruction index).
-  Jmp, JmpIfZero, JmpIfNotZero,
-
-  // Calls. A = function index, B = argument slot count (dim3 args expanded).
-  Call,
-  Ret,     ///< Return with a value on the stack.
-  RetVoid,
-
-  // Special registers. A encodes dim*4+component (dim: 0 threadIdx,
-  // 1 blockIdx, 2 blockDim, 3 gridDim; component 0..2).
-  SReg,
-
-  // Shared memory: push this block's shared segment base address.
-  SharedBase,
-
-  // Barriers / fences.
-  SyncThreads,
-  ThreadFence, ///< No-op in the sequential VM (memory is always coherent).
-
-  // Atomics (address, value on stack; push old value). Width in A (4 or 8).
-  AtomicAdd, AtomicMax, AtomicMin, AtomicExch, AtomicCAS, AtomicOr,
-  AtomicAnd,
-
-  // Kernel launch. A = function index, B = argument slot count. The stack
-  // holds [args..., gridX, gridY, gridZ, blockX, blockY, blockZ] with the
-  // block dims on top.
-  Launch,
-
-  // Host-only intrinsics.
-  CudaMalloc,      ///< [ptrAddr, bytes] -> 0
-  CudaFree,        ///< [ptr] -> 0
-  CudaMemset,      ///< [ptr, value, bytes] -> 0
-  CudaMemcpy,      ///< [dst, src, bytes, kind] -> 0
-  CudaSync,        ///< Drain pending launches.
-
-  // Math intrinsics. A selects the function (MathFn).
-  Math1, ///< One double operand.
-  Math2, ///< Two double operands.
-  MinI, MaxI, MinU, MaxU,
-
-  Trap, ///< A = trap message index; aborts execution.
+#define DPO_OPCODE_ENUM(name) name,
+  DPO_FOR_EACH_OPCODE(DPO_OPCODE_ENUM)
+#undef DPO_OPCODE_ENUM
 };
+
+/// Number of opcodes (also the size of the interpreter's dispatch table).
+constexpr unsigned NumOpcodes = 0
+#define DPO_OPCODE_COUNT(name) +1
+    DPO_FOR_EACH_OPCODE(DPO_OPCODE_COUNT)
+#undef DPO_OPCODE_COUNT
+    ;
+
+/// Printable opcode mnemonic (for disassembly, tests, and diagnostics).
+inline const char *opName(Op Code) {
+  static const char *const Names[NumOpcodes] = {
+#define DPO_OPCODE_NAME(name) #name,
+      DPO_FOR_EACH_OPCODE(DPO_OPCODE_NAME)
+#undef DPO_OPCODE_NAME
+  };
+  return (unsigned)Code < NumOpcodes ? Names[(unsigned)Code] : "<bad-op>";
+}
+
+/// True for every opcode whose A operand is an absolute instruction index
+/// (the peephole pass remaps these when instructions move).
+inline bool isJumpOp(Op Code) {
+  switch (Code) {
+  case Op::Jmp:
+  case Op::JmpIfZero:
+  case Op::JmpIfNotZero:
+  case Op::JmpIfLTI:
+  case Op::JmpIfGEI:
+  case Op::JmpIfLEI:
+  case Op::JmpIfGTI:
+  case Op::JmpIfEQ:
+  case Op::JmpIfNE:
+  case Op::JmpIfLTU:
+  case Op::JmpIfGEU:
+  case Op::JmpIfLEU:
+  case Op::JmpIfGTU:
+    return true;
+  default:
+    return false;
+  }
+}
 
 enum class MathFn : uint8_t {
   Sqrt, Ceil, Floor, Fabs, Exp, Log, Pow, Fmin, Fmax, Tanh,

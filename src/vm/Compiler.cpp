@@ -8,6 +8,7 @@
 
 #include "ast/Walk.h"
 #include "support/Casting.h"
+#include "vm/Peephole.h"
 
 #include <optional>
 #include <unordered_map>
@@ -233,7 +234,6 @@ private:
   void compileLaunch(const LaunchExpr *L);
   void compileArithmetic(BinaryOpKind OpKind, const Type &OpTy);
   void loadFromLValue(const LValue &LV);
-  void storeToLValue(const LValue &LV);
   void trap(SourceLocation Loc, const std::string &Message) {
     emit(Op::Trap, PC.trapMessage(Message));
   }
@@ -598,14 +598,6 @@ void FunctionCompiler::loadFromLValue(const LValue &LV) {
     return;
   }
   emit(loadOp(LV.Ty));
-}
-
-void FunctionCompiler::storeToLValue(const LValue &LV) {
-  if (LV.IsSlot) {
-    emit(Op::StoreLocal, LV.Slot);
-    return;
-  }
-  emit(storeOp(LV.Ty));
 }
 
 std::optional<LValue> FunctionCompiler::compileLValue(const Expr *E) {
@@ -1458,7 +1450,11 @@ unsigned FunctionCompiler::compileExpr(const Expr *E) {
 } // namespace
 
 VmProgram dpo::compileProgram(const TranslationUnit *TU,
-                              DiagnosticEngine &Diags) {
+                              DiagnosticEngine &Diags,
+                              const VmCompileOptions &Opts) {
   ProgramCompiler PC(TU, Diags);
-  return PC.compile();
+  VmProgram Program = PC.compile();
+  if (!Diags.hasErrors() && Opts.OptimizeBytecode)
+    optimizeProgram(Program);
+  return Program;
 }

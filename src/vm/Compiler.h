@@ -31,9 +31,20 @@ namespace dpo {
 /// Device address where the global-variable image is placed.
 constexpr uint64_t GlobalBase = 64;
 
+/// Knobs for bytecode generation.
+struct VmCompileOptions {
+  /// Run the peephole optimizer (vm/Peephole.cpp) over the emitted
+  /// bytecode: constant folding, dead stack-shuffle elimination, and
+  /// superinstruction fusion. Semantics-preserving; turn off to inspect
+  /// or execute the raw instruction stream (the fuzz equivalence tests
+  /// run both settings against each other).
+  bool OptimizeBytecode = true;
+};
+
 /// Compiles \p TU. Returns an empty program and diagnostics on failure
 /// (check Diags.hasErrors()).
-VmProgram compileProgram(const TranslationUnit *TU, DiagnosticEngine &Diags);
+VmProgram compileProgram(const TranslationUnit *TU, DiagnosticEngine &Diags,
+                         const VmCompileOptions &Opts = {});
 
 } // namespace dpo
 

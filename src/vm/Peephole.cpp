@@ -1,0 +1,752 @@
+//===--- Peephole.cpp ----------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Peephole.h"
+
+#include "vm/SlotOps.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace dpo;
+
+namespace {
+
+// Folding must compute exactly what execution computes: both sides use
+// the shared slot arithmetic from vm/SlotOps.h.
+double asDouble(int64_t Bits) { return slotAsDouble(Bits); }
+int64_t asBits(double D) { return slotFromDouble(D); }
+int64_t wrapTo(int64_t V, int64_t Width, int64_t SignExtend) {
+  return wrapToWidth(V, Width, SignExtend);
+}
+
+//===----------------------------------------------------------------------===//
+// Value ranges: which values can an instruction leave on the stack?
+//===----------------------------------------------------------------------===//
+
+struct Range {
+  bool Known = false;
+  int64_t Lo = 0, Hi = 0;
+};
+
+Range rangeOfTrunc(int64_t Width, int64_t SignExtend) {
+  switch (Width) {
+  case 1:
+    return SignExtend ? Range{true, -128, 127} : Range{true, 0, 255};
+  case 2:
+    return SignExtend ? Range{true, -32768, 32767} : Range{true, 0, 65535};
+  case 4:
+    return SignExtend ? Range{true, INT32_MIN, INT32_MAX}
+                      : Range{true, 0, (int64_t)UINT32_MAX};
+  default:
+    return {};
+  }
+}
+
+bool rangeFits(const Range &R, int64_t Width, int64_t SignExtend) {
+  Range T = rangeOfTrunc(Width, SignExtend);
+  return R.Known && T.Known && R.Lo >= T.Lo && R.Hi <= T.Hi;
+}
+
+bool isCompare(Op C) {
+  switch (C) {
+  case Op::CmpEQ:
+  case Op::CmpNE:
+  case Op::CmpLTI:
+  case Op::CmpLEI:
+  case Op::CmpGTI:
+  case Op::CmpGEI:
+  case Op::CmpLTU:
+  case Op::CmpLEU:
+  case Op::CmpGTU:
+  case Op::CmpGEU:
+  case Op::CmpEQF:
+  case Op::CmpNEF:
+  case Op::CmpLTF:
+  case Op::CmpLEF:
+  case Op::CmpGTF:
+  case Op::CmpGEF:
+  case Op::LogicalNot:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Conservative range of the value \p I pushes. \p SlotRanges may be empty
+/// (LoadLocal then reports unknown); when non-empty it holds the per-slot
+/// invariants computed by computeSlotRanges.
+Range producerRange(const Instr &I, const std::vector<Range> &SlotRanges) {
+  if (isCompare(I.Code))
+    return {true, 0, 1};
+  switch (I.Code) {
+  case Op::PushI:
+    return {true, I.A, I.A};
+  case Op::TruncI:
+    return rangeOfTrunc(I.A, I.B);
+  case Op::SReg: {
+    // runGrid rejects blocks over 1024 threads, so threadIdx components
+    // stay below 1024 and blockDim components at or below 1024 whenever a
+    // thread executes. blockIdx/gridDim span the full uint32 range.
+    unsigned Builtin = (unsigned)I.A / 4;
+    if (Builtin == 0)
+      return {true, 0, 1023};
+    if (Builtin == 2)
+      return {true, 0, 1024};
+    return {true, 0, (int64_t)UINT32_MAX};
+  }
+  case Op::GlobalTidX:
+    return rangeOfTrunc(4, I.B);
+  case Op::LdI8:
+    return rangeOfTrunc(1, 1);
+  case Op::LdU8:
+    return rangeOfTrunc(1, 0);
+  case Op::LdI16:
+    return rangeOfTrunc(2, 1);
+  case Op::LdU16:
+    return rangeOfTrunc(2, 0);
+  case Op::LdI32:
+    return rangeOfTrunc(4, 1);
+  case Op::LdU32:
+    return rangeOfTrunc(4, 0);
+  case Op::LoadLocal:
+    if ((uint64_t)I.A < SlotRanges.size())
+      return SlotRanges[I.A];
+    return {};
+  default:
+    return {};
+  }
+}
+
+std::vector<bool> computeJumpTargets(const FuncDef &F) {
+  std::vector<bool> Target(F.Code.size() + 1, false);
+  for (const Instr &I : F.Code)
+    if (isJumpOp(I.Code) && (uint64_t)I.A <= F.Code.size())
+      Target[I.A] = true;
+  return Target;
+}
+
+/// Per-slot value invariants: SlotRanges[s] is known iff *every* store to
+/// slot s provably writes a value in that range (and the slot's zero
+/// initialization is included). Parameter slots are unknown — the host may
+/// pass arbitrary 64-bit values. Used to elide per-load re-normalization
+/// (LoadLocal s; TruncI w,s) when the slot invariant already fits.
+std::vector<Range> computeSlotRanges(const FuncDef &F,
+                                     const std::vector<bool> &Target) {
+  std::vector<Range> Ranges(F.NumLocals);
+  std::vector<bool> Bad(F.NumLocals, false);
+  const std::vector<Range> NoSlots;
+  for (unsigned S = 0; S < F.NumLocals; ++S) {
+    if (S < F.NumParamSlots)
+      Bad[S] = true;
+    else
+      Ranges[S] = {true, 0, 0}; // Locals are zero-initialized.
+  }
+  auto Merge = [](Range &Into, const Range &V) {
+    Into.Lo = V.Lo < Into.Lo ? V.Lo : Into.Lo;
+    Into.Hi = V.Hi > Into.Hi ? V.Hi : Into.Hi;
+  };
+  for (size_t I = 0; I < F.Code.size(); ++I) {
+    const Instr &In = F.Code[I];
+    int64_t Slot;
+    Range V;
+    if (In.Code == Op::StoreLocal) {
+      Slot = In.A;
+      // The value stored is whatever the previous instruction pushed —
+      // valid only if this store cannot be reached by a jump.
+      if (I == 0 || Target[I])
+        V = {};
+      else
+        V = producerRange(F.Code[I - 1], NoSlots);
+    } else if (In.Code == Op::IncLocalI32) {
+      Slot = In.A;
+      V = rangeOfTrunc(4, 1);
+    } else if (In.Code == Op::IncLocalI64) {
+      Slot = In.A;
+      V = {};
+    } else {
+      continue;
+    }
+    if (Slot < 0 || (uint64_t)Slot >= F.NumLocals)
+      continue;
+    if (!V.Known)
+      Bad[Slot] = true;
+    else
+      Merge(Ranges[Slot], V);
+  }
+  for (unsigned S = 0; S < F.NumLocals; ++S)
+    if (Bad[S])
+      Ranges[S] = {};
+  return Ranges;
+}
+
+//===----------------------------------------------------------------------===//
+// Folding helpers
+//===----------------------------------------------------------------------===//
+
+/// Folds `A op B` for the pure integer binary opcodes. Returns false when
+/// the opcode is not foldable (or would change trap semantics).
+bool foldIntBinary(Op Code, int64_t A, int64_t B, int64_t &Out) {
+  uint64_t UA = (uint64_t)A, UB = (uint64_t)B;
+  switch (Code) {
+  case Op::AddI: Out = addWrap(A, B); return true;
+  case Op::SubI: Out = subWrap(A, B); return true;
+  case Op::MulI: Out = mulWrap(A, B); return true;
+  case Op::DivI:
+    if (B == 0 || (A == INT64_MIN && B == -1))
+      return false; // Preserve the runtime trap / UB guard.
+    Out = A / B;
+    return true;
+  case Op::DivU:
+    if (B == 0)
+      return false;
+    Out = (int64_t)(UA / UB);
+    return true;
+  case Op::RemI:
+    if (B == 0 || (A == INT64_MIN && B == -1))
+      return false;
+    Out = A % B;
+    return true;
+  case Op::RemU:
+    if (B == 0)
+      return false;
+    Out = (int64_t)(UA % UB);
+    return true;
+  case Op::Shl: Out = (int64_t)(UA << (B & 63)); return true;
+  case Op::ShrI: Out = A >> (B & 63); return true;
+  case Op::ShrU: Out = (int64_t)(UA >> (B & 63)); return true;
+  case Op::BitAnd: Out = A & B; return true;
+  case Op::BitOr: Out = A | B; return true;
+  case Op::BitXor: Out = A ^ B; return true;
+  case Op::CmpEQ: Out = A == B; return true;
+  case Op::CmpNE: Out = A != B; return true;
+  case Op::CmpLTI: Out = A < B; return true;
+  case Op::CmpLEI: Out = A <= B; return true;
+  case Op::CmpGTI: Out = A > B; return true;
+  case Op::CmpGEI: Out = A >= B; return true;
+  case Op::CmpLTU: Out = UA < UB; return true;
+  case Op::CmpLEU: Out = UA <= UB; return true;
+  case Op::CmpGTU: Out = UA > UB; return true;
+  case Op::CmpGEU: Out = UA >= UB; return true;
+  case Op::MinI: Out = A < B ? A : B; return true;
+  case Op::MaxI: Out = A > B ? A : B; return true;
+  case Op::MinU: Out = UA < UB ? A : B; return true;
+  case Op::MaxU: Out = UA > UB ? A : B; return true;
+  default:
+    return false;
+  }
+}
+
+/// Folds float binaries over bit-stored doubles. Produces either PushF
+/// bits (arithmetic) or PushI 0/1 (comparisons).
+bool foldFloatBinary(Op Code, int64_t ABits, int64_t BBits, Instr &Out) {
+  double A = asDouble(ABits), B = asDouble(BBits);
+  switch (Code) {
+  case Op::AddF: Out = {Op::PushF, asBits(A + B), 0}; return true;
+  case Op::SubF: Out = {Op::PushF, asBits(A - B), 0}; return true;
+  case Op::MulF: Out = {Op::PushF, asBits(A * B), 0}; return true;
+  case Op::DivF: Out = {Op::PushF, asBits(A / B), 0}; return true;
+  case Op::CmpEQF: Out = {Op::PushI, A == B, 0}; return true;
+  case Op::CmpNEF: Out = {Op::PushI, A != B, 0}; return true;
+  case Op::CmpLTF: Out = {Op::PushI, A < B, 0}; return true;
+  case Op::CmpLEF: Out = {Op::PushI, A <= B, 0}; return true;
+  case Op::CmpGTF: Out = {Op::PushI, A > B, 0}; return true;
+  case Op::CmpGEF: Out = {Op::PushI, A >= B, 0}; return true;
+  default:
+    return false;
+  }
+}
+
+/// True when [PushI A; <Code>] is an arithmetic identity on the value
+/// below it (x op A == x), so both instructions can be deleted.
+bool isIdentityImm(Op Code, int64_t A) {
+  switch (Code) {
+  case Op::AddI:
+  case Op::SubI:
+  case Op::Shl:
+  case Op::ShrI:
+  case Op::ShrU:
+  case Op::BitOr:
+  case Op::BitXor:
+    return A == 0;
+  case Op::MulI:
+  case Op::DivI:
+  case Op::DivU:
+    return A == 1;
+  case Op::BitAnd:
+    return A == -1;
+  default:
+    return false;
+  }
+}
+
+/// Maps [Cmp<cc>; JmpIfZero/JmpIfNotZero] to the fused conditional jump.
+/// JmpIfZero branches when the comparison is *false* — i.e. on the negated
+/// condition; JmpIfNotZero branches on the condition itself.
+bool fusedCompareJump(Op Cmp, bool JumpIfTrue, Op &Out) {
+  switch (Cmp) {
+  case Op::CmpLTI: Out = JumpIfTrue ? Op::JmpIfLTI : Op::JmpIfGEI; return true;
+  case Op::CmpLEI: Out = JumpIfTrue ? Op::JmpIfLEI : Op::JmpIfGTI; return true;
+  case Op::CmpGTI: Out = JumpIfTrue ? Op::JmpIfGTI : Op::JmpIfLEI; return true;
+  case Op::CmpGEI: Out = JumpIfTrue ? Op::JmpIfGEI : Op::JmpIfLTI; return true;
+  case Op::CmpEQ: Out = JumpIfTrue ? Op::JmpIfEQ : Op::JmpIfNE; return true;
+  case Op::CmpNE: Out = JumpIfTrue ? Op::JmpIfNE : Op::JmpIfEQ; return true;
+  case Op::CmpLTU: Out = JumpIfTrue ? Op::JmpIfLTU : Op::JmpIfGEU; return true;
+  case Op::CmpLEU: Out = JumpIfTrue ? Op::JmpIfLEU : Op::JmpIfGTU; return true;
+  case Op::CmpGTU: Out = JumpIfTrue ? Op::JmpIfGTU : Op::JmpIfLEU; return true;
+  case Op::CmpGEU: Out = JumpIfTrue ? Op::JmpIfGEU : Op::JmpIfLTU; return true;
+  default:
+    return false;
+  }
+}
+
+/// Opcodes that push exactly one value and have no side effects: a
+/// following Pop deletes the pair.
+bool isPureProducer(Op Code) {
+  switch (Code) {
+  case Op::PushI:
+  case Op::PushF:
+  case Op::LoadLocal:
+  case Op::SReg:
+  case Op::FrameAddr:
+  case Op::SharedBase:
+  case Op::Dup:
+  case Op::GlobalTidX:
+  case Op::LoadLocalImmAddI:
+  case Op::LoadLoadAddI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Pure pop-1/push-1 opcodes: [op; Pop] == [Pop].
+bool isPureUnary(Op Code) {
+  switch (Code) {
+  case Op::NegI:
+  case Op::BitNot:
+  case Op::LogicalNot:
+  case Op::TruncI:
+  case Op::I2F:
+  case Op::U2F:
+  case Op::F2I:
+  case Op::F2Single:
+  case Op::NegF:
+  case Op::AddImmI:
+  case Op::MulImmI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Pure pop-2/push-1 opcodes: [op; Pop] == [Pop; Pop]. Division and
+/// remainder are excluded — their divide-by-zero trap is observable.
+bool isPureBinary(Op Code) {
+  if (isCompare(Code))
+    return true;
+  switch (Code) {
+  case Op::AddI:
+  case Op::SubI:
+  case Op::MulI:
+  case Op::Shl:
+  case Op::ShrI:
+  case Op::ShrU:
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor:
+  case Op::MinI:
+  case Op::MaxI:
+  case Op::MinU:
+  case Op::MaxU:
+  case Op::AddF:
+  case Op::SubF:
+  case Op::MulF:
+  case Op::DivF:
+  case Op::MulImmAddI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern matching
+//===----------------------------------------------------------------------===//
+
+struct Rewrite {
+  unsigned Consumed = 0;
+  unsigned Produced = 0;
+  Instr Repl[2];
+};
+
+/// Tries to match a rewrite starting at \p PC. Patterns are tried longest
+/// first; instructions after the first matched one must not be jump
+/// targets (checked through \p CanUse). Fusion rules (superinstruction
+/// synthesis) only run when \p Fusions is set — folding, dead-code, and
+/// TruncI-elision rounds run first so that fusions never capture an
+/// instruction a cheaper rewrite would have deleted.
+bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
+             const std::vector<bool> &Target,
+             const std::vector<Range> &SlotRanges, bool Fusions,
+             Rewrite &RW) {
+  auto CanUse = [&](size_t Len) {
+    if (PC + Len > N)
+      return false;
+    for (size_t I = 1; I < Len; ++I)
+      if (Target[PC + I])
+        return false;
+    return true;
+  };
+  const Instr &I0 = C[PC];
+
+  if (Fusions) {
+  // --- 7-wide: the global-thread-id idiom -------------------------------
+  //   blockIdx.x * blockDim.x + threadIdx.x
+  //   SReg(bIdx.x) SReg(bDim.x) MulI TruncI(4,_) SReg(tIdx.x) AddI TruncI(4,s)
+  // and the commuted form
+  //   threadIdx.x + blockIdx.x * blockDim.x
+  //   SReg(tIdx.x) SReg(bIdx.x) SReg(bDim.x) MulI TruncI(4,_) AddI TruncI(4,s)
+  // Both wrap to 32 bits exactly as GlobalTidX(B = sign of final trunc)
+  // does: truncation is a ring homomorphism, so the intermediate wrap of
+  // the product does not change the low 32 bits of the sum.
+  if (CanUse(7)) {
+    const Instr *W = &C[PC];
+    bool MulFirst = W[0].Code == Op::SReg && W[0].A == 4 + 0 && // blockIdx.x
+                    W[1].Code == Op::SReg && W[1].A == 8 + 0 && // blockDim.x
+                    W[2].Code == Op::MulI &&                    //
+                    W[3].Code == Op::TruncI && W[3].A == 4 &&   //
+                    W[4].Code == Op::SReg && W[4].A == 0 &&     // threadIdx.x
+                    W[5].Code == Op::AddI &&                    //
+                    W[6].Code == Op::TruncI && W[6].A == 4;
+    bool TidFirst = W[0].Code == Op::SReg && W[0].A == 0 &&     // threadIdx.x
+                    W[1].Code == Op::SReg && W[1].A == 4 + 0 && // blockIdx.x
+                    W[2].Code == Op::SReg && W[2].A == 8 + 0 && // blockDim.x
+                    W[3].Code == Op::MulI &&                    //
+                    W[4].Code == Op::TruncI && W[4].A == 4 &&   //
+                    W[5].Code == Op::AddI &&                    //
+                    W[6].Code == Op::TruncI && W[6].A == 4;
+    if (MulFirst || TidFirst) {
+      RW = {7, 1, {{Op::GlobalTidX, 0, W[6].B}, {}}};
+      return true;
+    }
+  }
+
+  // --- 5-wide: loop-counter increment -----------------------------------
+  //   LoadLocal s; PushI d; AddI; TruncI(4,1); StoreLocal s
+  if (CanUse(5) && I0.Code == Op::LoadLocal && C[PC + 1].Code == Op::PushI &&
+      C[PC + 2].Code == Op::AddI && C[PC + 3].Code == Op::TruncI &&
+      C[PC + 3].A == 4 && C[PC + 3].B == 1 &&
+      C[PC + 4].Code == Op::StoreLocal && C[PC + 4].A == I0.A) {
+    RW = {5, 1, {{Op::IncLocalI32, I0.A, C[PC + 1].A}, {}}};
+    return true;
+  }
+
+  // --- 4-wide: 64-bit counter increment ---------------------------------
+  //   LoadLocal s; PushI d; AddI; StoreLocal s
+  if (CanUse(4) && I0.Code == Op::LoadLocal && C[PC + 1].Code == Op::PushI &&
+      C[PC + 2].Code == Op::AddI && C[PC + 3].Code == Op::StoreLocal &&
+      C[PC + 3].A == I0.A) {
+    RW = {4, 1, {{Op::IncLocalI64, I0.A, C[PC + 1].A}, {}}};
+    return true;
+  }
+  } // Fusions (wide patterns)
+
+  // --- 3-wide -----------------------------------------------------------
+  if (CanUse(3)) {
+    const Instr &I1 = C[PC + 1];
+    const Instr &I2 = C[PC + 2];
+    // Constant folding.
+    if (I0.Code == Op::PushI && I1.Code == Op::PushI) {
+      int64_t Folded;
+      if (foldIntBinary(I2.Code, I0.A, I1.A, Folded)) {
+        RW = {3, 1, {{Op::PushI, Folded, 0}, {}}};
+        return true;
+      }
+    }
+    if ((I0.Code == Op::PushF || I0.Code == Op::PushI) &&
+        (I1.Code == Op::PushF || I1.Code == Op::PushI) &&
+        (I0.Code == Op::PushF || I1.Code == Op::PushF)) {
+      Instr Folded;
+      if (foldFloatBinary(I2.Code, I0.A, I1.A, Folded)) {
+        RW = {3, 1, {Folded, {}}};
+        return true;
+      }
+    }
+    if (Fusions) {
+      // LoadLocal a; LoadLocal b; AddI  ->  LoadLoadAddI a, b
+      if (I0.Code == Op::LoadLocal && I1.Code == Op::LoadLocal &&
+          I2.Code == Op::AddI) {
+        RW = {3, 1, {{Op::LoadLoadAddI, I0.A, I1.A}, {}}};
+        return true;
+      }
+      // LoadLocal s; PushI k; AddI  ->  LoadLocalImmAddI s, k
+      if (I0.Code == Op::LoadLocal && I1.Code == Op::PushI &&
+          I2.Code == Op::AddI) {
+        RW = {3, 1, {{Op::LoadLocalImmAddI, I0.A, I1.A}, {}}};
+        return true;
+      }
+      // LoadLocalImmAddI s,d; TruncI(4,1); StoreLocal s  ->  IncLocalI32
+      // (arises when the 3-wide fusion above outruns the 5-wide counter
+      // pattern in an earlier round).
+      if (I0.Code == Op::LoadLocalImmAddI && I1.Code == Op::TruncI &&
+          I1.A == 4 && I1.B == 1 && I2.Code == Op::StoreLocal &&
+          I2.A == I0.A) {
+        RW = {3, 1, {{Op::IncLocalI32, I0.A, I0.B}, {}}};
+        return true;
+      }
+    }
+  }
+
+  // --- 2-wide -----------------------------------------------------------
+  if (CanUse(2)) {
+    const Instr &I1 = C[PC + 1];
+
+    // Pure producer followed by Pop: both die.
+    if (isPureProducer(I0.Code) && I1.Code == Op::Pop) {
+      RW = {2, 0, {{}, {}}};
+      return true;
+    }
+    // Pop absorption through pure operators — lets dead expression trees
+    // unravel one layer per round:
+    //   [pop1/push1 op; Pop] == [Pop]
+    //   [pop2/push1 op; Pop] == [Pop; Pop]
+    if (I1.Code == Op::Pop && isPureUnary(I0.Code)) {
+      RW = {2, 1, {{Op::Pop, 0, 0}, {}}};
+      return true;
+    }
+    if (I1.Code == Op::Pop && isPureBinary(I0.Code)) {
+      RW = {2, 2, {{Op::Pop, 0, 0}, {Op::Pop, 0, 0}}};
+      return true;
+    }
+    // LoadLocal2 a,b; Pop  ->  LoadLocal a
+    if (I0.Code == Op::LoadLocal2 && I1.Code == Op::Pop) {
+      RW = {2, 1, {{Op::LoadLocal, I0.A, 0}, {}}};
+      return true;
+    }
+    // Swap; Swap cancels.
+    if (I0.Code == Op::Swap && I1.Code == Op::Swap) {
+      RW = {2, 0, {{}, {}}};
+      return true;
+    }
+    // Constant condition jumps.
+    if (I0.Code == Op::PushI &&
+        (I1.Code == Op::JmpIfZero || I1.Code == Op::JmpIfNotZero)) {
+      bool Taken = (I1.Code == Op::JmpIfZero) == (I0.A == 0);
+      if (Taken)
+        RW = {2, 1, {{Op::Jmp, I1.A, 0}, {}}};
+      else
+        RW = {2, 0, {{}, {}}};
+      return true;
+    }
+    // Constant unary folds.
+    if (I0.Code == Op::PushI) {
+      switch (I1.Code) {
+      case Op::NegI:
+        if (I0.A != INT64_MIN) {
+          RW = {2, 1, {{Op::PushI, -I0.A, 0}, {}}};
+          return true;
+        }
+        break;
+      case Op::BitNot:
+        RW = {2, 1, {{Op::PushI, ~I0.A, 0}, {}}};
+        return true;
+      case Op::LogicalNot:
+        RW = {2, 1, {{Op::PushI, I0.A == 0, 0}, {}}};
+        return true;
+      case Op::TruncI:
+        RW = {2, 1, {{Op::PushI, wrapTo(I0.A, I1.A, I1.B), 0}, {}}};
+        return true;
+      case Op::I2F:
+        RW = {2, 1, {{Op::PushF, asBits((double)I0.A), 0}, {}}};
+        return true;
+      case Op::U2F:
+        RW = {2, 1, {{Op::PushF, asBits((double)(uint64_t)I0.A), 0}, {}}};
+        return true;
+      case Op::AddImmI:
+        RW = {2, 1, {{Op::PushI, addWrap(I0.A, I1.A), 0}, {}}};
+        return true;
+      case Op::MulImmI:
+        RW = {2, 1, {{Op::PushI, mulWrap(I0.A, I1.A), 0}, {}}};
+        return true;
+      default:
+        break;
+      }
+    }
+    if (I0.Code == Op::PushF) {
+      switch (I1.Code) {
+      case Op::NegF:
+        RW = {2, 1, {{Op::PushF, asBits(-asDouble(I0.A)), 0}, {}}};
+        return true;
+      case Op::F2Single:
+        RW = {2, 1,
+              {{Op::PushF, asBits((double)(float)asDouble(I0.A)), 0}, {}}};
+        return true;
+      case Op::F2I:
+        RW = {2, 1, {{Op::PushI, (int64_t)asDouble(I0.A), 0}, {}}};
+        return true;
+      default:
+        break;
+      }
+    }
+    // Arithmetic identities: [PushI k; op] that leaves x unchanged.
+    if (I0.Code == Op::PushI && isIdentityImm(I1.Code, I0.A)) {
+      RW = {2, 0, {{}, {}}};
+      return true;
+    }
+    if (Fusions) {
+      // Immediate-operand arithmetic.
+      if (I0.Code == Op::PushI && I1.Code == Op::AddI) {
+        RW = {2, 1, {{Op::AddImmI, I0.A, 0}, {}}};
+        return true;
+      }
+      if (I0.Code == Op::PushI && I1.Code == Op::SubI && I0.A != INT64_MIN) {
+        RW = {2, 1, {{Op::AddImmI, -I0.A, 0}, {}}};
+        return true;
+      }
+      if (I0.Code == Op::PushI && I1.Code == Op::MulI) {
+        RW = {2, 1, {{Op::MulImmI, I0.A, 0}, {}}};
+        return true;
+      }
+      // MulImmI k; AddI  ->  MulImmAddI k   (array address formation)
+      if (I0.Code == Op::MulImmI && I1.Code == Op::AddI) {
+        RW = {2, 1, {{Op::MulImmAddI, I0.A, 0}, {}}};
+        return true;
+      }
+      // LoadLocalImmAddI s,d; StoreLocal s  ->  IncLocalI64 s,d
+      if (I0.Code == Op::LoadLocalImmAddI && I1.Code == Op::StoreLocal &&
+          I1.A == I0.A) {
+        RW = {2, 1, {{Op::IncLocalI64, I0.A, I0.B}, {}}};
+        return true;
+      }
+    }
+    // Redundant re-normalization: producer already fits the trunc width.
+    if (I1.Code == Op::TruncI &&
+        rangeFits(producerRange(I0, SlotRanges), I1.A, I1.B)) {
+      RW = {2, 1, {I0, {}}};
+      return true;
+    }
+    // TruncI(w1,_); TruncI(w2,s2) with w2 <= w1: the second wrap alone
+    // yields the same low bytes (wrapping preserves low bytes).
+    if (I0.Code == Op::TruncI && I1.Code == Op::TruncI && I1.A <= I0.A) {
+      RW = {2, 1, {I1, {}}};
+      return true;
+    }
+    if (Fusions) {
+      // Compare-and-branch fusion.
+      if (I1.Code == Op::JmpIfZero || I1.Code == Op::JmpIfNotZero) {
+        Op Fused;
+        if (fusedCompareJump(I0.Code, I1.Code == Op::JmpIfNotZero, Fused)) {
+          RW = {2, 1, {{Fused, I1.A, 0}, {}}};
+          return true;
+        }
+      }
+      // Paired local loads — but never when the second load could feed a
+      // wider fusion one position later (LoadLoadAddI, LoadLocalImmAddI,
+      // or the counter patterns all start with LoadLocal and end in AddI).
+      if (I0.Code == Op::LoadLocal && I1.Code == Op::LoadLocal) {
+        bool BlocksWiderFusion =
+            PC + 3 < N &&
+            (C[PC + 2].Code == Op::LoadLocal || C[PC + 2].Code == Op::PushI) &&
+            C[PC + 3].Code == Op::AddI;
+        if (!BlocksWiderFusion) {
+          RW = {2, 1, {{Op::LoadLocal2, I0.A, I1.A}, {}}};
+          return true;
+        }
+      }
+    }
+  }
+
+  // --- 1-wide -----------------------------------------------------------
+  // Wraps to >= 8 bytes are identities.
+  if (I0.Code == Op::TruncI && I0.A >= 8) {
+    RW = {1, 0, {{}, {}}};
+    return true;
+  }
+  if ((I0.Code == Op::AddImmI && I0.A == 0) ||
+      (I0.Code == Op::MulImmI && I0.A == 1)) {
+    RW = {1, 0, {{}, {}}};
+    return true;
+  }
+  // Jump to the next instruction.
+  if (I0.Code == Op::Jmp && (uint64_t)I0.A == PC + 1) {
+    RW = {1, 0, {{}, {}}};
+    return true;
+  }
+  if ((I0.Code == Op::JmpIfZero || I0.Code == Op::JmpIfNotZero) &&
+      (uint64_t)I0.A == PC + 1) {
+    RW = {1, 1, {{Op::Pop, 0, 0}, {}}};
+    return true;
+  }
+
+  return false;
+}
+
+bool runRound(FuncDef &F, bool Fusions) {
+  const std::vector<Instr> &Code = F.Code;
+  size_t N = Code.size();
+  std::vector<bool> Target = computeJumpTargets(F);
+  std::vector<Range> SlotRanges = computeSlotRanges(F, Target);
+
+  std::vector<Instr> Out;
+  Out.reserve(N);
+  std::vector<uint32_t> Map(N + 1, 0);
+  bool Changed = false;
+
+  size_t PC = 0;
+  while (PC < N) {
+    Rewrite RW;
+    if (matchAt(Code, PC, N, Target, SlotRanges, Fusions, RW)) {
+      for (unsigned I = 0; I < RW.Consumed; ++I)
+        Map[PC + I] = (uint32_t)Out.size();
+      for (unsigned I = 0; I < RW.Produced; ++I)
+        Out.push_back(RW.Repl[I]);
+      PC += RW.Consumed;
+      Changed = true;
+    } else {
+      Map[PC] = (uint32_t)Out.size();
+      Out.push_back(Code[PC]);
+      ++PC;
+    }
+  }
+  Map[N] = (uint32_t)Out.size();
+
+  if (!Changed)
+    return false;
+  for (Instr &I : Out)
+    if (isJumpOp(I.Code)) {
+      // A malformed out-of-range target (compiler bug, hand-built
+      // program) is kept as-is for Device::validateProgram to report.
+      if ((uint64_t)I.A <= N)
+        I.A = Map[I.A];
+    }
+  F.Code = std::move(Out);
+  return true;
+}
+
+} // namespace
+
+PeepholeStats dpo::optimizeFunction(FuncDef &F) {
+  PeepholeStats Stats;
+  Stats.InstrsBefore = (unsigned)F.Code.size();
+  // Phase 1: constant folding, dead-code elimination, and TruncI elision
+  // to a fixpoint — these expose the clean base sequences the fusion
+  // patterns are written against. Phase 2: all rules including
+  // superinstruction fusion, again to a (bounded) fixpoint.
+  while (Stats.Rounds < 16 && runRound(F, /*Fusions=*/false))
+    ++Stats.Rounds;
+  while (Stats.Rounds < 32 && runRound(F, /*Fusions=*/true))
+    ++Stats.Rounds;
+  Stats.InstrsAfter = (unsigned)F.Code.size();
+  return Stats;
+}
+
+PeepholeStats dpo::optimizeProgram(VmProgram &Program) {
+  PeepholeStats Total;
+  for (FuncDef &F : Program.Functions)
+    Total += optimizeFunction(F);
+  return Total;
+}

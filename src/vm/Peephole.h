@@ -1,0 +1,60 @@
+//===--- Peephole.h - Bytecode peephole optimizer ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A window-based bytecode optimizer run at the end of vm/Compiler.cpp:
+///
+///  - constant-folds PushI/PushF chains through the pure arithmetic,
+///    comparison, logical, and truncation opcodes;
+///  - deletes dead stack shuffles (Dup/Pop, producer/Pop, Swap/Swap) and
+///    arithmetic identities (+0, *1, <<0, |0, ^0);
+///  - elides redundant TruncI instructions using a per-slot value-range
+///    analysis (a local whose every store is provably already wrapped to
+///    the requested width needs no re-wrap at each load);
+///  - fuses hot sequences into the superinstructions declared after
+///    Op::Trap in vm/Bytecode.h — most importantly the global-thread-id
+///    idiom `blockIdx.x * blockDim.x + threadIdx.x`, immediate-operand
+///    arithmetic, paired local loads, loop-counter increments, and
+///    compare-and-branch.
+///
+/// Fusion never crosses a jump target, and every pass rebuilds the jump
+/// operands through an old-index -> new-index map, so control flow is
+/// preserved exactly. The pass is semantics-preserving by construction;
+/// tests/vm/FuzzEquivalenceTest.cpp additionally proves it dynamically by
+/// running every fuzzed program with the optimizer on and off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_PEEPHOLE_H
+#define DPO_VM_PEEPHOLE_H
+
+#include "vm/Bytecode.h"
+
+namespace dpo {
+
+struct PeepholeStats {
+  unsigned InstrsBefore = 0;
+  unsigned InstrsAfter = 0;
+  unsigned Rounds = 0;
+
+  PeepholeStats &operator+=(const PeepholeStats &O) {
+    InstrsBefore += O.InstrsBefore;
+    InstrsAfter += O.InstrsAfter;
+    Rounds = Rounds > O.Rounds ? Rounds : O.Rounds;
+    return *this;
+  }
+};
+
+/// Optimizes one function in place. Runs folding/fusion rounds to a
+/// fixpoint (bounded), preserving observable semantics exactly.
+PeepholeStats optimizeFunction(FuncDef &F);
+
+/// Optimizes every function of \p Program in place.
+PeepholeStats optimizeProgram(VmProgram &Program);
+
+} // namespace dpo
+
+#endif // DPO_VM_PEEPHOLE_H

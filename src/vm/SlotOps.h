@@ -1,0 +1,62 @@
+//===--- SlotOps.h - Shared slot-value arithmetic ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit-level semantics of VM stack slots, shared by the interpreter
+/// (vm/VM.cpp) and the peephole constant folder (vm/Peephole.cpp). Keeping
+/// one definition makes "folding computes exactly what execution computes"
+/// a structural property instead of a hand-maintained invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_SLOTOPS_H
+#define DPO_VM_SLOTOPS_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace dpo {
+
+/// Doubles travel bit-stored in int64 slots.
+inline double slotAsDouble(int64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  return D;
+}
+
+inline int64_t slotFromDouble(double D) {
+  int64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  return Bits;
+}
+
+/// Wrapping (two's-complement) int64 arithmetic: the VM's integers wrap
+/// like the hardware's.
+inline int64_t addWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A + (uint64_t)B);
+}
+inline int64_t subWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A - (uint64_t)B);
+}
+inline int64_t mulWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A * (uint64_t)B);
+}
+
+/// Two's-complement wrap of \p V to \p Width bytes, sign- or zero-extended
+/// back to int64 — exactly what Op::TruncI computes.
+inline int64_t wrapToWidth(int64_t V, int64_t Width, int64_t SignExtend) {
+  if (Width == 1)
+    return SignExtend ? (int64_t)(int8_t)V : (int64_t)(uint8_t)V;
+  if (Width == 2)
+    return SignExtend ? (int64_t)(int16_t)V : (int64_t)(uint16_t)V;
+  if (Width == 4)
+    return SignExtend ? (int64_t)(int32_t)V : (int64_t)(uint32_t)V;
+  return V;
+}
+
+} // namespace dpo
+
+#endif // DPO_VM_SLOTOPS_H

@@ -2,12 +2,37 @@
 //
 // Part of the dpopt project, under the MIT License.
 //
+// The interpreter core. Three structural decisions keep the hot loop fast
+// (measured by bench/vm_throughput.cpp):
+//
+//  1. Threaded dispatch: on GCC/Clang every handler ends by indexing a
+//     dense label table with the next opcode and jumping straight to it
+//     (computed goto), giving the branch predictor one indirect branch
+//     per *handler* instead of one shared switch branch. A portable
+//     switch fallback compiles everywhere else from the same handler
+//     bodies (see the VM_CASE/VM_NEXT macros).
+//
+//  2. Zero steady-state allocation: thread contexts (operand stack, frame
+//     stack, locals arena, addressable frame memory) live in per-device
+//     pools reused across blocks and grids. runBlock resets contexts
+//     instead of constructing them; vectors keep their capacity, so after
+//     warm-up no heap allocation happens per thread or per block.
+//
+//  3. Decoded execution state: the current function's code pointer, the
+//     frame's locals pointer, the operand stack pointer, and the memory
+//     base are interpreter registers (locals), re-derived only at frame
+//     switches. Bytecode is validated once at device construction
+//     (validateProgram), so the loop performs no per-step bounds checks
+//     on PC, local slots, or callee indices.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/VM.h"
 
 #include "parse/Parser.h"
+#include "vm/SlotOps.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -16,17 +41,13 @@ using namespace dpo;
 
 namespace {
 
-double asDouble(int64_t Bits) {
-  double D;
-  std::memcpy(&D, &Bits, 8);
-  return D;
-}
+// Slot arithmetic shared with the peephole constant folder
+// (vm/SlotOps.h): folding computes exactly what execution computes.
+double asDouble(int64_t Bits) { return slotAsDouble(Bits); }
+int64_t asBits(double D) { return slotFromDouble(D); }
 
-int64_t asBits(double D) {
-  int64_t Bits;
-  std::memcpy(&Bits, &D, 8);
-  return Bits;
-}
+/// Addressable per-thread frame-memory region (reused across blocks).
+constexpr uint64_t ThreadFrameMemBytes = 64 * 1024;
 
 } // namespace
 
@@ -40,11 +61,71 @@ Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes)
     BumpPtr += Program.GlobalImage.size();
   }
   BumpPtr = (BumpPtr + 63) & ~63ull;
+  validateProgram();
+}
+
+Device::~Device() = default;
+
+void Device::validateProgram() {
+  auto Bad = [&](const FuncDef &F, const std::string &What) {
+    if (ValidationError.empty())
+      ValidationError = "invalid bytecode in '" + F.Name + "': " + What;
+  };
+  for (const FuncDef &F : Program.Functions) {
+    size_t N = F.Code.size();
+    if (N == 0) {
+      Bad(F, "empty code");
+      continue;
+    }
+    Op LastOp = F.Code.back().Code;
+    if (LastOp != Op::Ret && LastOp != Op::RetVoid && LastOp != Op::Jmp &&
+        LastOp != Op::Trap)
+      Bad(F, "does not end in a terminator");
+    for (const Instr &I : F.Code) {
+      if (isJumpOp(I.Code) && (uint64_t)I.A >= N)
+        Bad(F, std::string("jump target out of range in ") + opName(I.Code));
+      switch (I.Code) {
+      case Op::LoadLocal:
+      case Op::StoreLocal:
+      case Op::LoadLocalImmAddI:
+      case Op::IncLocalI32:
+      case Op::IncLocalI64:
+        if ((uint64_t)I.A >= F.NumLocals)
+          Bad(F, std::string("local slot out of range in ") + opName(I.Code));
+        break;
+      case Op::LoadLocal2:
+      case Op::LoadLoadAddI:
+        if ((uint64_t)I.A >= F.NumLocals || (uint64_t)I.B >= F.NumLocals)
+          Bad(F, std::string("local slot out of range in ") + opName(I.Code));
+        break;
+      case Op::Call:
+      case Op::Launch:
+        if ((uint64_t)I.A >= Program.Functions.size()) {
+          Bad(F, std::string("callee index out of range in ") +
+                     opName(I.Code));
+        } else if ((uint64_t)I.B !=
+                   Program.Functions[I.A].NumParamSlots) {
+          // The interpreter copies exactly B argument slots into the
+          // callee's locals (Call) or launch record (Launch) with no
+          // per-step bounds check — the slot count must match here.
+          Bad(F, std::string("argument slot count mismatch in ") +
+                     opName(I.Code));
+        }
+        break;
+      case Op::Trap:
+        if ((uint64_t)I.A >= Program.TrapMessages.size())
+          Bad(F, "trap message index out of range");
+        break;
+      default:
+        break;
+      }
+    }
+  }
 }
 
 uint64_t Device::alloc(uint64_t Bytes) {
   uint64_t Addr = (BumpPtr + 7) & ~7ull;
-  if (Addr + Bytes > Memory.size()) {
+  if (Bytes > Memory.size() || Addr > Memory.size() - Bytes) {
     LastError = "device out of memory";
     return 0;
   }
@@ -53,8 +134,11 @@ uint64_t Device::alloc(uint64_t Bytes) {
   return Addr;
 }
 
+// Overflow-safe: (Addr + Bytes) may wrap for hostile Addr, so compare
+// against the size from the other side.
 #define DPO_CHECKED_RW(Addr, Bytes)                                           \
-  assert((Addr) != 0 && (Addr) + (Bytes) <= Memory.size() &&                  \
+  assert((Addr) != 0 && (uint64_t)(Bytes) <= Memory.size() &&                 \
+         (uint64_t)(Addr) <= Memory.size() - (uint64_t)(Bytes) &&             \
          "host access out of bounds")
 
 void Device::writeI32(uint64_t Addr, int32_t V) {
@@ -128,18 +212,25 @@ bool Device::fail(const std::string &Message) {
   return false;
 }
 
-bool Device::checkRange(uint64_t Addr, unsigned Bytes) {
+bool Device::checkRange(uint64_t Addr, uint64_t Bytes) {
   if (Addr == 0)
     return fail("null pointer access");
-  if (Addr + Bytes > Memory.size())
+  // Written so (Addr + Bytes) cannot wrap around for large Addr.
+  if (Bytes > Memory.size() || Addr > Memory.size() - Bytes)
     return fail("device memory access out of bounds");
   return true;
+}
+
+void Device::growStack(ThreadCtx &T) {
+  T.Stack.resize(T.Stack.empty() ? 64 : T.Stack.size() * 2);
 }
 
 bool Device::launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
                           const std::vector<int64_t> &Args) {
   LastError.clear();
   StepsUsed = 0;
+  if (!ValidationError.empty())
+    return fail(ValidationError);
   const FuncDef *F = Program.find(Name);
   if (!F)
     return fail("unknown kernel '" + Name + "'");
@@ -163,6 +254,8 @@ bool Device::callHost(const std::string &Name,
                       const std::vector<int64_t> &Args) {
   LastError.clear();
   StepsUsed = 0;
+  if (!ValidationError.empty())
+    return fail(ValidationError);
   const FuncDef *F = Program.find(Name);
   if (!F)
     return fail("unknown function '" + Name + "'");
@@ -226,38 +319,58 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
   const FuncDef &F = Program.Functions[L.Func];
   ++Stats.BlocksExecuted;
 
-  std::vector<ThreadCtx> Threads;
-  Threads.reserve(L.Block.count());
+  // Acquire the context pool for this nesting depth (depth > 0 only when
+  // a host pseudo-thread's cudaDeviceSynchronize re-enters the engine).
+  if (PoolDepth >= Pools.size())
+    Pools.push_back(std::make_unique<BlockPool>());
+  BlockPool &Pool = *Pools[PoolDepth];
+  ++PoolDepth;
+  struct DepthGuard {
+    unsigned &Depth;
+    ~DepthGuard() { --Depth; }
+  } Guard{PoolDepth};
+
+  size_t NumThreads = (size_t)L.Block.count();
+  if (Pool.Threads.size() < NumThreads)
+    Pool.Threads.resize(NumThreads);
+
+  if (F.FrameBytes > ThreadFrameMemBytes)
+    return fail("thread frame-memory stack overflow");
+
+  size_t TI = 0;
   for (uint32_t TZ = 0; TZ < L.Block.Z; ++TZ)
     for (uint32_t TY = 0; TY < L.Block.Y; ++TY)
       for (uint32_t TX = 0; TX < L.Block.X; ++TX) {
-        ThreadCtx T;
+        ThreadCtx &T = Pool.Threads[TI++];
+        T.reset();
         T.ThreadIdx = {TX, TY, TZ};
         Frame Root;
         Root.Func = L.Func;
         Root.PC = 0;
-        Root.Locals.assign(F.NumLocals, 0);
+        Root.LocalsBase = 0;
+        T.LocalsArena.assign(F.NumLocals, 0);
         for (unsigned I = 0; I < F.NumParamSlots; ++I)
-          Root.Locals[I] = L.Args[I];
+          T.LocalsArena[I] = L.Args[I];
         if (F.FrameBytes > 0) {
           if (!T.StackMemBase) {
-            T.StackMemBase = alloc(64 * 1024);
+            T.StackMemBase = alloc(ThreadFrameMemBytes);
             if (!T.StackMemBase)
               return false;
           }
           Root.FrameMemBase = T.StackMemBase;
           Root.FrameMemBytes = F.FrameBytes;
           T.StackMemUsed = F.FrameBytes;
+          std::memset(Memory.data() + Root.FrameMemBase, 0, F.FrameBytes);
         }
-        T.Frames.push_back(std::move(Root));
-        Threads.push_back(std::move(T));
+        T.Frames.push_back(Root);
         ++Stats.ThreadsExecuted;
       }
 
   while (true) {
     bool AnyRan = false;
     bool AnyLive = false;
-    for (ThreadCtx &T : Threads) {
+    for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx) {
+      ThreadCtx &T = Pool.Threads[TIdx];
       if (T.State == ThreadState::Ready) {
         AnyRan = true;
         if (!runThread(T, L, BlockIdx, SharedBase))
@@ -270,14 +383,14 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
       return true;
     // Release barrier: every live thread is waiting.
     bool AllAtBarrier = true;
-    for (ThreadCtx &T : Threads)
-      if (T.State == ThreadState::Ready)
+    for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
+      if (Pool.Threads[TIdx].State == ThreadState::Ready)
         AllAtBarrier = false;
     if (AllAtBarrier) {
       bool Released = false;
-      for (ThreadCtx &T : Threads)
-        if (T.State == ThreadState::AtBarrier) {
-          T.State = ThreadState::Ready;
+      for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
+        if (Pool.Threads[TIdx].State == ThreadState::AtBarrier) {
+          Pool.Threads[TIdx].State = ThreadState::Ready;
           Released = true;
         }
       if (!Released && !AnyRan)
@@ -286,323 +399,413 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// The interpreter loop
+//===----------------------------------------------------------------------===//
+
+// Overridable (e.g. -DDPO_VM_COMPUTED_GOTO=0) so the portable switch
+// fallback can be built and tested on compilers that support both.
+#ifndef DPO_VM_COMPUTED_GOTO
+#if defined(__GNUC__) || defined(__clang__)
+#define DPO_VM_COMPUTED_GOTO 1
+#else
+#define DPO_VM_COMPUTED_GOTO 0
+#endif
+#endif
+
+// Operand-stack access through cached registers. VM_PUSH re-derives the
+// base pointer after a (rare) growth; value expressions must not call
+// VM_POP themselves.
+#define VM_PUSH(V)                                                            \
+  do {                                                                        \
+    if (SP == SCap) {                                                         \
+      T.StackTop = SP;                                                        \
+      growStack(T);                                                           \
+      S = T.Stack.data();                                                     \
+      SCap = T.Stack.size();                                                  \
+    }                                                                         \
+    S[SP++] = (V);                                                            \
+  } while (0)
+#define VM_POP() (S[--SP])
+#define VM_TOP() (S[SP - 1])
+
+// Write the cached registers back into the context / device counters.
+#define VM_FLUSH_STEPS()                                                      \
+  do {                                                                        \
+    StepsUsed += LocalSteps;                                                  \
+    Stats.Steps += LocalSteps;                                                \
+    LocalSteps = 0;                                                           \
+  } while (0)
+
+// Abort this thread with a VM error message.
+#define VM_FAILF(MSG)                                                         \
+  do {                                                                        \
+    T.State = ThreadState::Failed;                                            \
+    T.StackTop = SP;                                                          \
+    VM_FLUSH_STEPS();                                                         \
+    return fail(MSG);                                                         \
+  } while (0)
+
+// Abort this thread; the error message was already set (by checkRange).
+#define VM_FAIL_SET()                                                         \
+  do {                                                                        \
+    T.State = ThreadState::Failed;                                            \
+    T.StackTop = SP;                                                          \
+    VM_FLUSH_STEPS();                                                         \
+    return false;                                                             \
+  } while (0)
+
+#if DPO_VM_COMPUTED_GOTO
+// Threaded dispatch: every handler tail-jumps through the label table.
+#define VM_CASE(name) L_##name
+#define VM_NEXT()                                                             \
+  do {                                                                        \
+    if (LocalSteps >= StepBudget)                                             \
+      goto StepLimitHit;                                                      \
+    ++LocalSteps;                                                             \
+    I = CodeBase + PC++;                                                      \
+    goto *DispatchTable[(unsigned)I->Code];                                   \
+  } while (0)
+#else
+#define VM_CASE(name) case Op::name
+#define VM_NEXT() break
+#endif
+
 bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
                        uint64_t SharedBase) {
-  auto Push = [&](int64_t V) { T.Stack.push_back(V); };
-  auto Pop = [&]() {
-    int64_t V = T.Stack.back();
-    T.Stack.pop_back();
-    return V;
+  // Interpreter registers, re-derived only at frame switches.
+  Frame *Fr = &T.Frames.back();
+  const FuncDef *FnArr = Program.Functions.data();
+  const FuncDef *F = &FnArr[Fr->Func];
+  const Instr *CodeBase = F->Code.data();
+  const Instr *I = nullptr;
+  unsigned PC = Fr->PC;
+  int64_t *Locals = T.LocalsArena.data() + Fr->LocalsBase;
+  int64_t *S = T.Stack.data();
+  size_t SP = T.StackTop;
+  size_t SCap = T.Stack.size();
+  uint8_t *Mem = Memory.data();
+  uint64_t LocalSteps = 0;
+  uint64_t StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
+
+#if DPO_VM_COMPUTED_GOTO
+  static const void *const DispatchTable[NumOpcodes] = {
+#define DPO_OPCODE_LABEL(name) &&L_##name,
+      DPO_FOR_EACH_OPCODE(DPO_OPCODE_LABEL)
+#undef DPO_OPCODE_LABEL
   };
+  VM_NEXT(); // Fetch and dispatch the first instruction.
+#else
+  for (;;) {
+    if (LocalSteps >= StepBudget)
+      goto StepLimitHit;
+    ++LocalSteps;
+    I = CodeBase + PC++;
+    switch (I->Code) {
+#endif
 
-  while (true) {
-    if (++StepsUsed > StepLimit) {
-      T.State = ThreadState::Failed;
-      return fail("step limit exceeded (possible infinite loop)");
-    }
-    ++Stats.Steps;
-    Frame &Fr = T.Frames.back();
-    const FuncDef &F = Program.Functions[Fr.Func];
-    if (Fr.PC >= F.Code.size()) {
-      T.State = ThreadState::Failed;
-      return fail("fell off the end of '" + F.Name + "'");
-    }
-    const Instr &I = F.Code[Fr.PC++];
+  VM_CASE(PushI):
+  VM_CASE(PushF):
+    VM_PUSH(I->A);
+    VM_NEXT();
+  VM_CASE(LoadLocal):
+    VM_PUSH(Locals[I->A]);
+    VM_NEXT();
+  VM_CASE(StoreLocal):
+    Locals[I->A] = VM_POP();
+    VM_NEXT();
+  VM_CASE(Dup): {
+    int64_t V = VM_TOP();
+    VM_PUSH(V);
+    VM_NEXT();
+  }
+  VM_CASE(Pop):
+    --SP;
+    VM_NEXT();
+  VM_CASE(Swap): {
+    int64_t V = S[SP - 1];
+    S[SP - 1] = S[SP - 2];
+    S[SP - 2] = V;
+    VM_NEXT();
+  }
 
-    switch (I.Code) {
-    case Op::PushI:
-    case Op::PushF:
-      Push(I.A);
-      break;
-    case Op::LoadLocal:
-      Push(Fr.Locals[I.A]);
-      break;
-    case Op::StoreLocal:
-      Fr.Locals[I.A] = Pop();
-      break;
-    case Op::Dup:
-      Push(T.Stack.back());
-      break;
-    case Op::Pop:
-      Pop();
-      break;
-    case Op::Swap: {
-      int64_t A = Pop();
-      int64_t B = Pop();
-      Push(A);
-      Push(B);
-      break;
-    }
-
-    case Op::FrameAddr:
-      Push(Fr.FrameMemBase + I.A);
-      break;
-    case Op::SharedBase:
-      Push(SharedBase);
-      break;
+  VM_CASE(FrameAddr):
+    VM_PUSH(Fr->FrameMemBase + I->A);
+    VM_NEXT();
+  VM_CASE(SharedBase):
+    VM_PUSH(SharedBase);
+    VM_NEXT();
 
 #define DPO_LOAD(OPC, CTYPE, PUSHEXPR)                                        \
-  case Op::OPC: {                                                             \
-    uint64_t Addr = (uint64_t)Pop();                                          \
-    if (!checkRange(Addr, sizeof(CTYPE))) {                                   \
-      T.State = ThreadState::Failed;                                          \
-      return false;                                                           \
-    }                                                                         \
+  VM_CASE(OPC) : {                                                            \
+    uint64_t Addr = (uint64_t)VM_POP();                                       \
+    if (!checkRange(Addr, sizeof(CTYPE)))                                     \
+      VM_FAIL_SET();                                                          \
     CTYPE V;                                                                  \
-    std::memcpy(&V, Memory.data() + Addr, sizeof(CTYPE));                     \
-    Push(PUSHEXPR);                                                           \
-    break;                                                                    \
+    std::memcpy(&V, Mem + Addr, sizeof(CTYPE));                               \
+    VM_PUSH(PUSHEXPR);                                                        \
+    VM_NEXT();                                                                \
   }
-      DPO_LOAD(LdI8, int8_t, (int64_t)V)
-      DPO_LOAD(LdU8, uint8_t, (int64_t)V)
-      DPO_LOAD(LdI16, int16_t, (int64_t)V)
-      DPO_LOAD(LdU16, uint16_t, (int64_t)V)
-      DPO_LOAD(LdI32, int32_t, (int64_t)V)
-      DPO_LOAD(LdU32, uint32_t, (int64_t)V)
-      DPO_LOAD(LdI64, int64_t, V)
-      DPO_LOAD(LdF32, float, asBits((double)V))
-      DPO_LOAD(LdF64, double, asBits(V))
+  DPO_LOAD(LdI8, int8_t, (int64_t)V)
+  DPO_LOAD(LdU8, uint8_t, (int64_t)V)
+  DPO_LOAD(LdI16, int16_t, (int64_t)V)
+  DPO_LOAD(LdU16, uint16_t, (int64_t)V)
+  DPO_LOAD(LdI32, int32_t, (int64_t)V)
+  DPO_LOAD(LdU32, uint32_t, (int64_t)V)
+  DPO_LOAD(LdI64, int64_t, V)
+  DPO_LOAD(LdF32, float, asBits((double)V))
+  DPO_LOAD(LdF64, double, asBits(V))
 #undef DPO_LOAD
 
 #define DPO_STORE(OPC, CTYPE, VALEXPR)                                        \
-  case Op::OPC: {                                                             \
-    int64_t Raw = Pop();                                                      \
-    uint64_t Addr = (uint64_t)Pop();                                          \
-    if (!checkRange(Addr, sizeof(CTYPE))) {                                   \
-      T.State = ThreadState::Failed;                                          \
-      return false;                                                           \
-    }                                                                         \
+  VM_CASE(OPC) : {                                                            \
+    int64_t Raw = VM_POP();                                                   \
+    uint64_t Addr = (uint64_t)VM_POP();                                       \
+    if (!checkRange(Addr, sizeof(CTYPE)))                                     \
+      VM_FAIL_SET();                                                          \
     CTYPE V = VALEXPR;                                                        \
-    std::memcpy(Memory.data() + Addr, &V, sizeof(CTYPE));                     \
-    break;                                                                    \
+    std::memcpy(Mem + Addr, &V, sizeof(CTYPE));                               \
+    VM_NEXT();                                                                \
   }
-      DPO_STORE(StI8, int8_t, (int8_t)Raw)
-      DPO_STORE(StI16, int16_t, (int16_t)Raw)
-      DPO_STORE(StI32, int32_t, (int32_t)Raw)
-      DPO_STORE(StI64, int64_t, Raw)
-      DPO_STORE(StF32, float, (float)asDouble(Raw))
-      DPO_STORE(StF64, double, asDouble(Raw))
+  DPO_STORE(StI8, int8_t, (int8_t)Raw)
+  DPO_STORE(StI16, int16_t, (int16_t)Raw)
+  DPO_STORE(StI32, int32_t, (int32_t)Raw)
+  DPO_STORE(StI64, int64_t, Raw)
+  DPO_STORE(StF32, float, (float)asDouble(Raw))
+  DPO_STORE(StF64, double, asDouble(Raw))
 #undef DPO_STORE
 
 #define DPO_BINI(OPC, EXPR)                                                   \
-  case Op::OPC: {                                                             \
-    int64_t R = Pop();                                                        \
-    int64_t Lv = Pop();                                                       \
+  VM_CASE(OPC) : {                                                            \
+    int64_t R = VM_POP();                                                     \
+    int64_t Lv = VM_TOP();                                                    \
     (void)R;                                                                  \
     (void)Lv;                                                                 \
-    Push(EXPR);                                                               \
-    break;                                                                    \
+    VM_TOP() = (EXPR);                                                        \
+    VM_NEXT();                                                                \
   }
-      DPO_BINI(AddI, Lv + R)
-      DPO_BINI(SubI, Lv - R)
-      DPO_BINI(MulI, Lv *R)
-      DPO_BINI(Shl, (int64_t)((uint64_t)Lv << (R & 63)))
-      DPO_BINI(ShrI, Lv >> (R & 63))
-      DPO_BINI(ShrU, (int64_t)((uint64_t)Lv >> (R & 63)))
-      DPO_BINI(BitAnd, Lv &R)
-      DPO_BINI(BitOr, Lv | R)
-      DPO_BINI(BitXor, Lv ^ R)
-      DPO_BINI(CmpEQ, Lv == R ? 1 : 0)
-      DPO_BINI(CmpNE, Lv != R ? 1 : 0)
-      DPO_BINI(CmpLTI, Lv < R ? 1 : 0)
-      DPO_BINI(CmpLEI, Lv <= R ? 1 : 0)
-      DPO_BINI(CmpGTI, Lv > R ? 1 : 0)
-      DPO_BINI(CmpGEI, Lv >= R ? 1 : 0)
-      DPO_BINI(CmpLTU, (uint64_t)Lv < (uint64_t)R ? 1 : 0)
-      DPO_BINI(CmpLEU, (uint64_t)Lv <= (uint64_t)R ? 1 : 0)
-      DPO_BINI(CmpGTU, (uint64_t)Lv > (uint64_t)R ? 1 : 0)
-      DPO_BINI(CmpGEU, (uint64_t)Lv >= (uint64_t)R ? 1 : 0)
-      DPO_BINI(MinI, Lv < R ? Lv : R)
-      DPO_BINI(MaxI, Lv > R ? Lv : R)
-      DPO_BINI(MinU, (uint64_t)Lv < (uint64_t)R ? Lv : R)
-      DPO_BINI(MaxU, (uint64_t)Lv > (uint64_t)R ? Lv : R)
+  DPO_BINI(AddI, addWrap(Lv, R))
+  DPO_BINI(SubI, subWrap(Lv, R))
+  DPO_BINI(MulI, mulWrap(Lv, R))
+  DPO_BINI(Shl, (int64_t)((uint64_t)Lv << (R & 63)))
+  DPO_BINI(ShrI, Lv >> (R & 63))
+  DPO_BINI(ShrU, (int64_t)((uint64_t)Lv >> (R & 63)))
+  DPO_BINI(BitAnd, Lv &R)
+  DPO_BINI(BitOr, Lv | R)
+  DPO_BINI(BitXor, Lv ^ R)
+  DPO_BINI(CmpEQ, Lv == R ? 1 : 0)
+  DPO_BINI(CmpNE, Lv != R ? 1 : 0)
+  DPO_BINI(CmpLTI, Lv < R ? 1 : 0)
+  DPO_BINI(CmpLEI, Lv <= R ? 1 : 0)
+  DPO_BINI(CmpGTI, Lv > R ? 1 : 0)
+  DPO_BINI(CmpGEI, Lv >= R ? 1 : 0)
+  DPO_BINI(CmpLTU, (uint64_t)Lv < (uint64_t)R ? 1 : 0)
+  DPO_BINI(CmpLEU, (uint64_t)Lv <= (uint64_t)R ? 1 : 0)
+  DPO_BINI(CmpGTU, (uint64_t)Lv > (uint64_t)R ? 1 : 0)
+  DPO_BINI(CmpGEU, (uint64_t)Lv >= (uint64_t)R ? 1 : 0)
+  DPO_BINI(MinI, Lv < R ? Lv : R)
+  DPO_BINI(MaxI, Lv > R ? Lv : R)
+  DPO_BINI(MinU, (uint64_t)Lv < (uint64_t)R ? Lv : R)
+  DPO_BINI(MaxU, (uint64_t)Lv > (uint64_t)R ? Lv : R)
 #undef DPO_BINI
 
-    case Op::DivI: {
-      int64_t R = Pop();
-      int64_t Lv = Pop();
-      if (R == 0) {
-        T.State = ThreadState::Failed;
-        return fail("integer division by zero");
-      }
-      Push(Lv / R);
-      break;
-    }
-    case Op::DivU: {
-      uint64_t R = (uint64_t)Pop();
-      uint64_t Lv = (uint64_t)Pop();
-      if (R == 0) {
-        T.State = ThreadState::Failed;
-        return fail("integer division by zero");
-      }
-      Push((int64_t)(Lv / R));
-      break;
-    }
-    case Op::RemI: {
-      int64_t R = Pop();
-      int64_t Lv = Pop();
-      if (R == 0) {
-        T.State = ThreadState::Failed;
-        return fail("integer remainder by zero");
-      }
-      Push(Lv % R);
-      break;
-    }
-    case Op::RemU: {
-      uint64_t R = (uint64_t)Pop();
-      uint64_t Lv = (uint64_t)Pop();
-      if (R == 0) {
-        T.State = ThreadState::Failed;
-        return fail("integer remainder by zero");
-      }
-      Push((int64_t)(Lv % R));
-      break;
-    }
-    case Op::BitNot:
-      Push(~Pop());
-      break;
-    case Op::NegI:
-      Push(-Pop());
-      break;
-    case Op::LogicalNot:
-      Push(Pop() == 0 ? 1 : 0);
-      break;
+  VM_CASE(DivI): {
+    int64_t R = VM_POP();
+    int64_t Lv = VM_TOP();
+    if (R == 0)
+      VM_FAILF("integer division by zero");
+    VM_TOP() = (Lv == INT64_MIN && R == -1) ? Lv : Lv / R;
+    VM_NEXT();
+  }
+  VM_CASE(DivU): {
+    uint64_t R = (uint64_t)VM_POP();
+    uint64_t Lv = (uint64_t)VM_TOP();
+    if (R == 0)
+      VM_FAILF("integer division by zero");
+    VM_TOP() = (int64_t)(Lv / R);
+    VM_NEXT();
+  }
+  VM_CASE(RemI): {
+    int64_t R = VM_POP();
+    int64_t Lv = VM_TOP();
+    if (R == 0)
+      VM_FAILF("integer remainder by zero");
+    VM_TOP() = (Lv == INT64_MIN && R == -1) ? 0 : Lv % R;
+    VM_NEXT();
+  }
+  VM_CASE(RemU): {
+    uint64_t R = (uint64_t)VM_POP();
+    uint64_t Lv = (uint64_t)VM_TOP();
+    if (R == 0)
+      VM_FAILF("integer remainder by zero");
+    VM_TOP() = (int64_t)(Lv % R);
+    VM_NEXT();
+  }
+  VM_CASE(BitNot):
+    VM_TOP() = ~VM_TOP();
+    VM_NEXT();
+  VM_CASE(NegI):
+    VM_TOP() = subWrap(0, VM_TOP());
+    VM_NEXT();
+  VM_CASE(LogicalNot):
+    VM_TOP() = VM_TOP() == 0 ? 1 : 0;
+    VM_NEXT();
 
 #define DPO_BINF(OPC, EXPR)                                                   \
-  case Op::OPC: {                                                             \
-    double R = asDouble(Pop());                                               \
-    double Lv = asDouble(Pop());                                              \
+  VM_CASE(OPC) : {                                                            \
+    double R = asDouble(VM_POP());                                            \
+    double Lv = asDouble(VM_TOP());                                           \
     (void)R;                                                                  \
     (void)Lv;                                                                 \
-    Push(EXPR);                                                               \
-    break;                                                                    \
+    VM_TOP() = (EXPR);                                                        \
+    VM_NEXT();                                                                \
   }
-      DPO_BINF(AddF, asBits(Lv + R))
-      DPO_BINF(SubF, asBits(Lv - R))
-      DPO_BINF(MulF, asBits(Lv *R))
-      DPO_BINF(DivF, asBits(Lv / R))
-      DPO_BINF(CmpEQF, Lv == R ? 1 : 0)
-      DPO_BINF(CmpNEF, Lv != R ? 1 : 0)
-      DPO_BINF(CmpLTF, Lv < R ? 1 : 0)
-      DPO_BINF(CmpLEF, Lv <= R ? 1 : 0)
-      DPO_BINF(CmpGTF, Lv > R ? 1 : 0)
-      DPO_BINF(CmpGEF, Lv >= R ? 1 : 0)
+  DPO_BINF(AddF, asBits(Lv + R))
+  DPO_BINF(SubF, asBits(Lv - R))
+  DPO_BINF(MulF, asBits(Lv *R))
+  DPO_BINF(DivF, asBits(Lv / R))
+  DPO_BINF(CmpEQF, Lv == R ? 1 : 0)
+  DPO_BINF(CmpNEF, Lv != R ? 1 : 0)
+  DPO_BINF(CmpLTF, Lv < R ? 1 : 0)
+  DPO_BINF(CmpLEF, Lv <= R ? 1 : 0)
+  DPO_BINF(CmpGTF, Lv > R ? 1 : 0)
+  DPO_BINF(CmpGEF, Lv >= R ? 1 : 0)
 #undef DPO_BINF
 
-    case Op::NegF:
-      Push(asBits(-asDouble(Pop())));
-      break;
-    case Op::I2F:
-      Push(asBits((double)Pop()));
-      break;
-    case Op::U2F:
-      Push(asBits((double)(uint64_t)Pop()));
-      break;
-    case Op::F2I:
-      Push((int64_t)asDouble(Pop()));
-      break;
-    case Op::F2Single:
-      Push(asBits((double)(float)asDouble(Pop())));
-      break;
-    case Op::TruncI: {
-      int64_t V = Pop();
-      unsigned Width = (unsigned)I.A;
-      bool SignExtend = I.B != 0;
-      if (Width == 1)
-        Push(SignExtend ? (int64_t)(int8_t)V : (int64_t)(uint8_t)V);
-      else if (Width == 2)
-        Push(SignExtend ? (int64_t)(int16_t)V : (int64_t)(uint16_t)V);
-      else if (Width == 4)
-        Push(SignExtend ? (int64_t)(int32_t)V : (int64_t)(uint32_t)V);
-      else
-        Push(V);
-      break;
-    }
+  VM_CASE(NegF):
+    VM_TOP() = asBits(-asDouble(VM_TOP()));
+    VM_NEXT();
+  VM_CASE(I2F):
+    VM_TOP() = asBits((double)VM_TOP());
+    VM_NEXT();
+  VM_CASE(U2F):
+    VM_TOP() = asBits((double)(uint64_t)VM_TOP());
+    VM_NEXT();
+  VM_CASE(F2I):
+    VM_TOP() = (int64_t)asDouble(VM_TOP());
+    VM_NEXT();
+  VM_CASE(F2Single):
+    VM_TOP() = asBits((double)(float)asDouble(VM_TOP()));
+    VM_NEXT();
+  VM_CASE(TruncI): {
+    int64_t V = VM_TOP();
+    unsigned Width = (unsigned)I->A;
+    bool SignExtend = I->B != 0;
+    if (Width == 1)
+      VM_TOP() = SignExtend ? (int64_t)(int8_t)V : (int64_t)(uint8_t)V;
+    else if (Width == 2)
+      VM_TOP() = SignExtend ? (int64_t)(int16_t)V : (int64_t)(uint16_t)V;
+    else if (Width == 4)
+      VM_TOP() = SignExtend ? (int64_t)(int32_t)V : (int64_t)(uint32_t)V;
+    VM_NEXT();
+  }
 
-    case Op::Jmp:
-      Fr.PC = (unsigned)I.A;
-      break;
-    case Op::JmpIfZero:
-      if (Pop() == 0)
-        Fr.PC = (unsigned)I.A;
-      break;
-    case Op::JmpIfNotZero:
-      if (Pop() != 0)
-        Fr.PC = (unsigned)I.A;
-      break;
+  VM_CASE(Jmp):
+    PC = (unsigned)I->A;
+    VM_NEXT();
+  VM_CASE(JmpIfZero):
+    if (VM_POP() == 0)
+      PC = (unsigned)I->A;
+    VM_NEXT();
+  VM_CASE(JmpIfNotZero):
+    if (VM_POP() != 0)
+      PC = (unsigned)I->A;
+    VM_NEXT();
 
-    case Op::Call: {
-      const FuncDef &Callee = Program.Functions[I.A];
-      Frame New;
-      New.Func = (unsigned)I.A;
-      New.PC = 0;
-      New.Locals.assign(Callee.NumLocals, 0);
-      for (unsigned S = 0; S < (unsigned)I.B; ++S)
-        New.Locals[I.B - 1 - S] = Pop();
-      if (Callee.FrameBytes > 0) {
-        if (!T.StackMemBase) {
-          T.StackMemBase = alloc(64 * 1024);
-          if (!T.StackMemBase) {
-            T.State = ThreadState::Failed;
-            return false;
-          }
-        }
-        uint64_t Offset = (T.StackMemUsed + 7) & ~7ull;
-        if (Offset + Callee.FrameBytes > 64 * 1024) {
-          T.State = ThreadState::Failed;
-          return fail("thread frame-memory stack overflow");
-        }
-        New.FrameMemBase = T.StackMemBase + Offset;
-        New.FrameMemBytes = Callee.FrameBytes;
-        std::memset(Memory.data() + New.FrameMemBase, 0, Callee.FrameBytes);
-        T.StackMemUsed = Offset + Callee.FrameBytes;
+  VM_CASE(Call): {
+    const FuncDef &Callee = FnArr[I->A];
+    unsigned ArgSlots = (unsigned)I->B;
+    if (T.Frames.size() > 200)
+      VM_FAILF("call stack overflow (runaway recursion?)");
+    Frame New;
+    New.Func = (unsigned)I->A;
+    New.PC = 0;
+    New.LocalsBase = (unsigned)T.LocalsArena.size();
+    if (Callee.FrameBytes > 0) {
+      if (!T.StackMemBase) {
+        T.StackMemBase = alloc(ThreadFrameMemBytes);
+        if (!T.StackMemBase)
+          VM_FAIL_SET();
       }
-      if (T.Frames.size() > 200) {
-        T.State = ThreadState::Failed;
-        return fail("call stack overflow (runaway recursion?)");
-      }
-      T.Frames.push_back(std::move(New));
-      break;
+      uint64_t Offset = (T.StackMemUsed + 7) & ~7ull;
+      if (Offset + Callee.FrameBytes > ThreadFrameMemBytes)
+        VM_FAILF("thread frame-memory stack overflow");
+      New.FrameMemBase = T.StackMemBase + Offset;
+      New.FrameMemBytes = Callee.FrameBytes;
+      std::memset(Mem + New.FrameMemBase, 0, Callee.FrameBytes);
+      T.StackMemUsed = Offset + Callee.FrameBytes;
     }
-    case Op::Ret: {
-      int64_t V = Pop();
-      T.StackMemUsed -= T.Frames.back().FrameMemBytes;
-      T.Frames.pop_back();
-      if (T.Frames.empty()) {
-        T.State = ThreadState::Done;
-        return true;
-      }
-      Push(V);
-      break;
-    }
-    case Op::RetVoid:
-      T.StackMemUsed -= T.Frames.back().FrameMemBytes;
-      T.Frames.pop_back();
-      if (T.Frames.empty()) {
-        T.State = ThreadState::Done;
-        return true;
-      }
-      break;
-
-    case Op::SReg: {
-      unsigned Builtin = (unsigned)I.A / 4;
-      unsigned Comp = (unsigned)I.A % 4;
-      Dim3V Value;
-      switch (Builtin) {
-      case 0: Value = T.ThreadIdx; break;
-      case 1: Value = BlockIdx; break;
-      case 2: Value = L.Block; break;
-      default: Value = L.Grid; break;
-      }
-      Push(Comp == 0 ? Value.X : Comp == 1 ? Value.Y : Value.Z);
-      break;
-    }
-
-    case Op::SyncThreads:
-      T.State = ThreadState::AtBarrier;
+    Fr->PC = PC; // Save the return address in the caller frame.
+    T.Frames.push_back(New);
+    Fr = &T.Frames.back();
+    T.LocalsArena.resize(New.LocalsBase + Callee.NumLocals, 0);
+    Locals = T.LocalsArena.data() + New.LocalsBase;
+    for (unsigned AI = 0; AI < ArgSlots; ++AI)
+      Locals[ArgSlots - 1 - AI] = VM_POP();
+    F = &Callee;
+    CodeBase = F->Code.data();
+    PC = 0;
+    VM_NEXT();
+  }
+  VM_CASE(Ret): {
+    int64_t V = VM_POP();
+    T.StackMemUsed -= Fr->FrameMemBytes;
+    T.LocalsArena.resize(Fr->LocalsBase);
+    T.Frames.pop_back();
+    if (T.Frames.empty()) {
+      T.State = ThreadState::Done;
+      T.StackTop = SP;
+      VM_FLUSH_STEPS();
       return true;
-    case Op::ThreadFence:
-      break; // Sequential memory is always coherent.
+    }
+    Fr = &T.Frames.back();
+    F = &FnArr[Fr->Func];
+    CodeBase = F->Code.data();
+    PC = Fr->PC;
+    Locals = T.LocalsArena.data() + Fr->LocalsBase;
+    VM_PUSH(V);
+    VM_NEXT();
+  }
+  VM_CASE(RetVoid): {
+    T.StackMemUsed -= Fr->FrameMemBytes;
+    T.LocalsArena.resize(Fr->LocalsBase);
+    T.Frames.pop_back();
+    if (T.Frames.empty()) {
+      T.State = ThreadState::Done;
+      T.StackTop = SP;
+      VM_FLUSH_STEPS();
+      return true;
+    }
+    Fr = &T.Frames.back();
+    F = &FnArr[Fr->Func];
+    CodeBase = F->Code.data();
+    PC = Fr->PC;
+    Locals = T.LocalsArena.data() + Fr->LocalsBase;
+    VM_NEXT();
+  }
+
+  VM_CASE(SReg): {
+    unsigned Builtin = (unsigned)I->A / 4;
+    unsigned Comp = (unsigned)I->A % 4;
+    Dim3V Value;
+    switch (Builtin) {
+    case 0: Value = T.ThreadIdx; break;
+    case 1: Value = BlockIdx; break;
+    case 2: Value = L.Block; break;
+    default: Value = L.Grid; break;
+    }
+    VM_PUSH(Comp == 0 ? Value.X : Comp == 1 ? Value.Y : Value.Z);
+    VM_NEXT();
+  }
+
+  VM_CASE(SyncThreads):
+    T.State = ThreadState::AtBarrier;
+    Fr->PC = PC;
+    T.StackTop = SP;
+    VM_FLUSH_STEPS();
+    return true;
+  VM_CASE(ThreadFence):
+    VM_NEXT(); // Sequential memory is always coherent.
 
 #define DPO_ATOMIC_BODY(WIDTH, APPLY32, APPLY64)                              \
   {                                                                           \
@@ -610,234 +813,295 @@ bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
       int32_t Old = readI32(Addr);                                            \
       int32_t New = APPLY32;                                                  \
       writeI32(Addr, New);                                                    \
-      Push((I.B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);               \
+      VM_PUSH((I->B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);           \
     } else {                                                                  \
       int64_t Old = readI64(Addr);                                            \
       int64_t New = APPLY64;                                                  \
       writeI64(Addr, New);                                                    \
-      Push(Old);                                                              \
+      VM_PUSH(Old);                                                           \
     }                                                                         \
   }
 
-    case Op::AtomicAdd: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      DPO_ATOMIC_BODY(I.A, Old + (int32_t)V, Old + V);
-      break;
+  VM_CASE(AtomicAdd): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    DPO_ATOMIC_BODY(I->A, Old + (int32_t)V, Old + V);
+    VM_NEXT();
+  }
+  VM_CASE(AtomicMax): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    if (I->B != 0) {
+      DPO_ATOMIC_BODY(I->A, std::max(Old, (int32_t)V), std::max(Old, V));
+    } else {
+      DPO_ATOMIC_BODY(
+          I->A,
+          (int32_t)std::max((uint32_t)Old, (uint32_t)V),
+          (int64_t)std::max((uint64_t)Old, (uint64_t)V));
     }
-    case Op::AtomicMax: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      if (I.B != 0) {
-        DPO_ATOMIC_BODY(I.A, std::max(Old, (int32_t)V), std::max(Old, V));
-      } else {
-        DPO_ATOMIC_BODY(
-            I.A,
-            (int32_t)std::max((uint32_t)Old, (uint32_t)V),
-            (int64_t)std::max((uint64_t)Old, (uint64_t)V));
-      }
-      break;
+    VM_NEXT();
+  }
+  VM_CASE(AtomicMin): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    if (I->B != 0) {
+      DPO_ATOMIC_BODY(I->A, std::min(Old, (int32_t)V), std::min(Old, V));
+    } else {
+      DPO_ATOMIC_BODY(
+          I->A,
+          (int32_t)std::min((uint32_t)Old, (uint32_t)V),
+          (int64_t)std::min((uint64_t)Old, (uint64_t)V));
     }
-    case Op::AtomicMin: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      if (I.B != 0) {
-        DPO_ATOMIC_BODY(I.A, std::min(Old, (int32_t)V), std::min(Old, V));
-      } else {
-        DPO_ATOMIC_BODY(
-            I.A,
-            (int32_t)std::min((uint32_t)Old, (uint32_t)V),
-            (int64_t)std::min((uint64_t)Old, (uint64_t)V));
-      }
-      break;
+    VM_NEXT();
+  }
+  VM_CASE(AtomicExch): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    DPO_ATOMIC_BODY(I->A, (int32_t)V, V);
+    VM_NEXT();
+  }
+  VM_CASE(AtomicOr): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    DPO_ATOMIC_BODY(I->A, Old | (int32_t)V, Old | V);
+    VM_NEXT();
+  }
+  VM_CASE(AtomicAnd): {
+    int64_t V = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    DPO_ATOMIC_BODY(I->A, Old & (int32_t)V, Old & V);
+    VM_NEXT();
+  }
+  VM_CASE(AtomicCAS): {
+    int64_t New = VM_POP();
+    int64_t Expected = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (!checkRange(Addr, (unsigned)I->A))
+      VM_FAIL_SET();
+    if (I->A == 4) {
+      int32_t Old = readI32(Addr);
+      if (Old == (int32_t)Expected)
+        writeI32(Addr, (int32_t)New);
+      VM_PUSH((I->B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);
+    } else {
+      int64_t Old = readI64(Addr);
+      if (Old == Expected)
+        writeI64(Addr, New);
+      VM_PUSH(Old);
     }
-    case Op::AtomicExch: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      DPO_ATOMIC_BODY(I.A, (int32_t)V, V);
-      break;
-    }
-    case Op::AtomicOr: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      DPO_ATOMIC_BODY(I.A, Old | (int32_t)V, Old | V);
-      break;
-    }
-    case Op::AtomicAnd: {
-      int64_t V = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      DPO_ATOMIC_BODY(I.A, Old & (int32_t)V, Old & V);
-      break;
-    }
-    case Op::AtomicCAS: {
-      int64_t New = Pop();
-      int64_t Expected = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (!checkRange(Addr, (unsigned)I.A)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      if (I.A == 4) {
-        int32_t Old = readI32(Addr);
-        if (Old == (int32_t)Expected)
-          writeI32(Addr, (int32_t)New);
-        Push((I.B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);
-      } else {
-        int64_t Old = readI64(Addr);
-        if (Old == Expected)
-          writeI64(Addr, New);
-        Push(Old);
-      }
-      break;
-    }
+    VM_NEXT();
+  }
 #undef DPO_ATOMIC_BODY
 
-    case Op::Launch: {
-      PendingLaunch Child;
-      Child.Func = (unsigned)I.A;
-      Child.Block.Z = (uint32_t)Pop();
-      Child.Block.Y = (uint32_t)Pop();
-      Child.Block.X = (uint32_t)Pop();
-      Child.Grid.Z = (uint32_t)Pop();
-      Child.Grid.Y = (uint32_t)Pop();
-      Child.Grid.X = (uint32_t)Pop();
-      Child.Args.resize(I.B);
-      for (unsigned S = 0; S < (unsigned)I.B; ++S)
-        Child.Args[I.B - 1 - S] = Pop();
-      if (InHostCall && T.Frames.size() >= 1 &&
-          Program.Functions[T.Frames.front().Func].IsKernel == false) {
-        ++Stats.HostLaunches;
-      } else {
-        ++Stats.DeviceLaunches;
-      }
-      Queue.push_back(std::move(Child));
-      break;
+  VM_CASE(Launch): {
+    PendingLaunch Child;
+    Child.Func = (unsigned)I->A;
+    Child.Block.Z = (uint32_t)VM_POP();
+    Child.Block.Y = (uint32_t)VM_POP();
+    Child.Block.X = (uint32_t)VM_POP();
+    Child.Grid.Z = (uint32_t)VM_POP();
+    Child.Grid.Y = (uint32_t)VM_POP();
+    Child.Grid.X = (uint32_t)VM_POP();
+    Child.Args.resize(I->B);
+    for (unsigned AI = 0; AI < (unsigned)I->B; ++AI)
+      Child.Args[I->B - 1 - AI] = VM_POP();
+    if (InHostCall && T.Frames.size() >= 1 &&
+        FnArr[T.Frames.front().Func].IsKernel == false) {
+      ++Stats.HostLaunches;
+    } else {
+      ++Stats.DeviceLaunches;
     }
-
-    case Op::CudaMalloc: {
-      uint64_t Bytes = (uint64_t)Pop();
-      uint64_t PtrAddr = (uint64_t)Pop();
-      uint64_t Addr = alloc(Bytes);
-      if (!Addr) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      if (!checkRange(PtrAddr, 8)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      writeI64(PtrAddr, (int64_t)Addr);
-      Push(0);
-      break;
-    }
-    case Op::CudaFree:
-      Pop(); // Bump allocator: free is a no-op.
-      Push(0);
-      break;
-    case Op::CudaMemset: {
-      uint64_t Bytes = (uint64_t)Pop();
-      int64_t Value = Pop();
-      uint64_t Addr = (uint64_t)Pop();
-      if (Bytes > 0 && !checkRange(Addr, (unsigned)Bytes)) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      std::memset(Memory.data() + Addr, (int)Value, Bytes);
-      Push(0);
-      break;
-    }
-    case Op::CudaMemcpy: {
-      Pop(); // direction
-      uint64_t Bytes = (uint64_t)Pop();
-      uint64_t Src = (uint64_t)Pop();
-      uint64_t Dst = (uint64_t)Pop();
-      if (Bytes > 0 &&
-          (!checkRange(Src, (unsigned)Bytes) || !checkRange(Dst, (unsigned)Bytes))) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      std::memmove(Memory.data() + Dst, Memory.data() + Src, Bytes);
-      Push(0);
-      break;
-    }
-    case Op::CudaSync: {
-      // Drain pending launches now (host semantics). The current (host)
-      // thread continues afterwards.
-      if (!drainLaunches()) {
-        T.State = ThreadState::Failed;
-        return false;
-      }
-      break;
-    }
-
-    case Op::Math1: {
-      double V = asDouble(Pop());
-      double R = 0;
-      switch ((MathFn)I.A) {
-      case MathFn::Sqrt: R = std::sqrt(V); break;
-      case MathFn::Ceil: R = std::ceil(V); break;
-      case MathFn::Floor: R = std::floor(V); break;
-      case MathFn::Fabs: R = std::fabs(V); break;
-      case MathFn::Exp: R = std::exp(V); break;
-      case MathFn::Log: R = std::log(V); break;
-      case MathFn::Tanh: R = std::tanh(V); break;
-      default: R = V; break;
-      }
-      Push(asBits(R));
-      break;
-    }
-    case Op::Math2: {
-      double B = asDouble(Pop());
-      double A = asDouble(Pop());
-      double R = 0;
-      switch ((MathFn)I.A) {
-      case MathFn::Pow: R = std::pow(A, B); break;
-      case MathFn::Fmin: R = std::fmin(A, B); break;
-      case MathFn::Fmax: R = std::fmax(A, B); break;
-      default: R = A; break;
-      }
-      Push(asBits(R));
-      break;
-    }
-
-    case Op::Trap:
-      T.State = ThreadState::Failed;
-      return fail("trap: " + Program.TrapMessages[I.A]);
-    }
+    Queue.push_back(std::move(Child));
+    VM_NEXT();
   }
+
+  VM_CASE(CudaMalloc): {
+    uint64_t Bytes = (uint64_t)VM_POP();
+    uint64_t PtrAddr = (uint64_t)VM_POP();
+    uint64_t Addr = alloc(Bytes);
+    if (!Addr)
+      VM_FAIL_SET();
+    if (!checkRange(PtrAddr, 8))
+      VM_FAIL_SET();
+    writeI64(PtrAddr, (int64_t)Addr);
+    VM_PUSH(0);
+    VM_NEXT();
+  }
+  VM_CASE(CudaFree):
+    VM_TOP() = 0; // Bump allocator: free is a no-op; result is 0.
+    VM_NEXT();
+  VM_CASE(CudaMemset): {
+    uint64_t Bytes = (uint64_t)VM_POP();
+    int64_t Value = VM_POP();
+    uint64_t Addr = (uint64_t)VM_POP();
+    if (Bytes > 0 && !checkRange(Addr, Bytes))
+      VM_FAIL_SET();
+    std::memset(Mem + Addr, (int)Value, Bytes);
+    VM_PUSH(0);
+    VM_NEXT();
+  }
+  VM_CASE(CudaMemcpy): {
+    (void)VM_POP(); // direction
+    uint64_t Bytes = (uint64_t)VM_POP();
+    uint64_t Src = (uint64_t)VM_POP();
+    uint64_t Dst = (uint64_t)VM_POP();
+    if (Bytes > 0 && (!checkRange(Src, Bytes) || !checkRange(Dst, Bytes)))
+      VM_FAIL_SET();
+    std::memmove(Mem + Dst, Mem + Src, Bytes);
+    VM_PUSH(0);
+    VM_NEXT();
+  }
+  VM_CASE(CudaSync): {
+    // Drain pending launches now (host semantics). The nested grids run
+    // through deeper context pools; our own cached registers stay valid
+    // (device memory never reallocates). Steps consumed by the children
+    // count against the shared limit, so re-derive the budget.
+    VM_FLUSH_STEPS();
+    Fr->PC = PC;
+    T.StackTop = SP;
+    if (!drainLaunches()) {
+      T.State = ThreadState::Failed;
+      return false;
+    }
+    StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
+    VM_NEXT();
+  }
+
+  VM_CASE(Math1): {
+    double V = asDouble(VM_TOP());
+    double R = 0;
+    switch ((MathFn)I->A) {
+    case MathFn::Sqrt: R = std::sqrt(V); break;
+    case MathFn::Ceil: R = std::ceil(V); break;
+    case MathFn::Floor: R = std::floor(V); break;
+    case MathFn::Fabs: R = std::fabs(V); break;
+    case MathFn::Exp: R = std::exp(V); break;
+    case MathFn::Log: R = std::log(V); break;
+    case MathFn::Tanh: R = std::tanh(V); break;
+    default: R = V; break;
+    }
+    VM_TOP() = asBits(R);
+    VM_NEXT();
+  }
+  VM_CASE(Math2): {
+    double B = asDouble(VM_POP());
+    double A = asDouble(VM_TOP());
+    double R = 0;
+    switch ((MathFn)I->A) {
+    case MathFn::Pow: R = std::pow(A, B); break;
+    case MathFn::Fmin: R = std::fmin(A, B); break;
+    case MathFn::Fmax: R = std::fmax(A, B); break;
+    default: R = A; break;
+    }
+    VM_TOP() = asBits(R);
+    VM_NEXT();
+  }
+
+  VM_CASE(Trap):
+    VM_FAILF("trap: " + Program.TrapMessages[I->A]);
+
+  //===--- Superinstructions (see vm/Peephole.cpp) ------------------------===//
+
+  VM_CASE(LoadLocal2): {
+    int64_t V0 = Locals[I->A];
+    int64_t V1 = Locals[I->B];
+    VM_PUSH(V0);
+    VM_PUSH(V1);
+    VM_NEXT();
+  }
+  VM_CASE(LoadLocalImmAddI):
+    VM_PUSH(addWrap(Locals[I->A], I->B));
+    VM_NEXT();
+  VM_CASE(LoadLoadAddI):
+    VM_PUSH(addWrap(Locals[I->A], Locals[I->B]));
+    VM_NEXT();
+  VM_CASE(AddImmI):
+    VM_TOP() = addWrap(VM_TOP(), I->A);
+    VM_NEXT();
+  VM_CASE(MulImmI):
+    VM_TOP() = mulWrap(VM_TOP(), I->A);
+    VM_NEXT();
+  VM_CASE(MulImmAddI): {
+    int64_t Y = VM_POP();
+    VM_TOP() = addWrap(VM_TOP(), mulWrap(Y, I->A));
+    VM_NEXT();
+  }
+  VM_CASE(IncLocalI32):
+    Locals[I->A] = (int64_t)(int32_t)(uint32_t)addWrap(Locals[I->A], I->B);
+    VM_NEXT();
+  VM_CASE(IncLocalI64):
+    Locals[I->A] = addWrap(Locals[I->A], I->B);
+    VM_NEXT();
+  VM_CASE(GlobalTidX): {
+    uint64_t Sum = (uint64_t)BlockIdx.X * L.Block.X + T.ThreadIdx.X;
+    VM_PUSH(I->B != 0 ? (int64_t)(int32_t)(uint32_t)Sum
+                      : (int64_t)(uint32_t)Sum);
+    VM_NEXT();
+  }
+
+#define DPO_CMPJMP(OPC, COND)                                                 \
+  VM_CASE(OPC) : {                                                            \
+    int64_t R = VM_POP();                                                     \
+    int64_t Lv = VM_POP();                                                    \
+    (void)R;                                                                  \
+    (void)Lv;                                                                 \
+    if (COND)                                                                 \
+      PC = (unsigned)I->A;                                                    \
+    VM_NEXT();                                                                \
+  }
+  DPO_CMPJMP(JmpIfLTI, Lv < R)
+  DPO_CMPJMP(JmpIfGEI, Lv >= R)
+  DPO_CMPJMP(JmpIfLEI, Lv <= R)
+  DPO_CMPJMP(JmpIfGTI, Lv > R)
+  DPO_CMPJMP(JmpIfEQ, Lv == R)
+  DPO_CMPJMP(JmpIfNE, Lv != R)
+  DPO_CMPJMP(JmpIfLTU, (uint64_t)Lv < (uint64_t)R)
+  DPO_CMPJMP(JmpIfGEU, (uint64_t)Lv >= (uint64_t)R)
+  DPO_CMPJMP(JmpIfLEU, (uint64_t)Lv <= (uint64_t)R)
+  DPO_CMPJMP(JmpIfGTU, (uint64_t)Lv > (uint64_t)R)
+#undef DPO_CMPJMP
+
+#if !DPO_VM_COMPUTED_GOTO
+    } // switch
+  }   // for
+#endif
+
+StepLimitHit:
+  T.State = ThreadState::Failed;
+  T.StackTop = SP;
+  VM_FLUSH_STEPS();
+  return fail("step limit exceeded (possible infinite loop)");
 }
 
+#undef VM_PUSH
+#undef VM_POP
+#undef VM_TOP
+#undef VM_FLUSH_STEPS
+#undef VM_FAILF
+#undef VM_FAIL_SET
+#undef VM_CASE
+#undef VM_NEXT
+
 std::unique_ptr<Device> dpo::buildDevice(std::string_view Source,
-                                         DiagnosticEngine &Diags) {
+                                         DiagnosticEngine &Diags,
+                                         const VmCompileOptions &Opts) {
   ASTContext Ctx;
   TranslationUnit *TU = parseSource(Source, Ctx, Diags);
   if (!TU)
     return nullptr;
-  VmProgram Program = compileProgram(TU, Diags);
+  VmProgram Program = compileProgram(TU, Diags, Opts);
   if (Diags.hasErrors())
     return nullptr;
   return std::make_unique<Device>(std::move(Program));

@@ -23,6 +23,19 @@
 ///    checks their *semantics* (returned old values, accumulation), which
 ///    is what the transformed code depends on.
 ///
+/// Performance design (see src/vm/README.md for the full story):
+///  - the inner interpreter uses computed-goto threaded dispatch on GCC /
+///    Clang (a dense label table indexed by opcode, one indirect branch
+///    per handler) with a plain switch fallback elsewhere;
+///  - thread contexts (operand stack, frame stack, locals arena, frame
+///    memory) come from a per-device pool reused across every block and
+///    grid, so steady-state execution performs no heap allocation per
+///    thread; the pool is indexed by block-nesting depth so host-side
+///    cudaDeviceSynchronize can re-enter the engine safely;
+///  - bytecode is validated once at device construction (jump targets,
+///    local-slot indices, callee indices), letting the hot loop drop
+///    per-step bounds checks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DPO_VM_VM_H
@@ -59,6 +72,7 @@ struct VmStats {
 class Device {
 public:
   explicit Device(VmProgram Program, uint64_t MemoryBytes = 256ull << 20);
+  ~Device();
 
   /// Allocates device memory (8-byte aligned, zero-initialized).
   uint64_t alloc(uint64_t Bytes);
@@ -103,23 +117,45 @@ private:
     std::vector<int64_t> Args;
   };
 
+  /// One call frame. Locals live in the owning thread's locals arena at
+  /// [LocalsBase, LocalsBase + Functions[Func].NumLocals).
   struct Frame {
     unsigned Func = 0;
     unsigned PC = 0;
-    std::vector<int64_t> Locals;
-    uint64_t FrameMemBase = 0;
+    unsigned LocalsBase = 0;
     unsigned FrameMemBytes = 0;
+    uint64_t FrameMemBase = 0;
   };
 
   enum class ThreadState { Ready, AtBarrier, Done, Failed };
 
+  /// Reusable per-thread execution state. All vectors retain capacity
+  /// across reset(), so steady-state runs allocate nothing.
   struct ThreadCtx {
-    std::vector<int64_t> Stack;
+    std::vector<int64_t> Stack; ///< Operand stack storage (capacity).
+    size_t StackTop = 0;        ///< Live operand count.
     std::vector<Frame> Frames;
+    std::vector<int64_t> LocalsArena;
     Dim3V ThreadIdx;
     ThreadState State = ThreadState::Ready;
-    uint64_t StackMemBase = 0; ///< Lazily allocated addressable stack.
+    uint64_t StackMemBase = 0; ///< Addressable frame memory, one region
+                               ///< per pool slot, reused across blocks.
     uint64_t StackMemUsed = 0;
+
+    void reset() {
+      StackTop = 0;
+      Frames.clear();
+      LocalsArena.clear();
+      State = ThreadState::Ready;
+      StackMemUsed = 0;
+    }
+  };
+
+  /// Thread contexts for one nesting level of block execution. Depth > 0
+  /// only occurs when a host function's cudaDeviceSynchronize drains
+  /// launches while its own pseudo-thread is still live.
+  struct BlockPool {
+    std::vector<ThreadCtx> Threads;
   };
 
   bool runGrid(const PendingLaunch &L);
@@ -129,23 +165,32 @@ private:
                  uint64_t SharedBase);
   bool drainLaunches();
   bool fail(const std::string &Message);
-  bool checkRange(uint64_t Addr, unsigned Bytes);
+  bool checkRange(uint64_t Addr, uint64_t Bytes);
+  /// One-time static validation (jump targets, slot and callee indices);
+  /// lets the interpreter loop run without per-step bounds checks.
+  void validateProgram();
+  /// Grows a thread's operand stack (slow path of the push macro).
+  static void growStack(ThreadCtx &T);
 
   VmProgram Program;
   std::vector<uint8_t> Memory;
   uint64_t BumpPtr;
   std::deque<PendingLaunch> Queue;
   std::string LastError;
+  std::string ValidationError; ///< Non-empty if validateProgram failed.
   VmStats Stats;
   uint64_t StepLimit = 2000ull * 1000 * 1000;
   uint64_t StepsUsed = 0;
   bool InHostCall = false;
+  std::vector<std::unique_ptr<BlockPool>> Pools;
+  unsigned PoolDepth = 0;
 };
 
 /// Convenience: parse + compile + construct a device. Returns nullptr on
 /// error (diagnostics explain).
 std::unique_ptr<Device> buildDevice(std::string_view Source,
-                                    DiagnosticEngine &Diags);
+                                    DiagnosticEngine &Diags,
+                                    const VmCompileOptions &Opts = {});
 
 } // namespace dpo
 

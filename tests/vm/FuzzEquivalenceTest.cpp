@@ -90,10 +90,11 @@ struct RunResult {
 };
 
 RunResult runNested(const std::string &Source,
-                    const std::vector<int32_t> &Counts) {
+                    const std::vector<int32_t> &Counts,
+                    const VmCompileOptions &Opts = {}) {
   RunResult R;
   DiagnosticEngine Diags;
-  auto Dev = buildDevice(Source, Diags);
+  auto Dev = buildDevice(Source, Diags, Opts);
   EXPECT_NE(Dev, nullptr) << Diags.str() << "\n" << Source;
   if (!Dev)
     return R;
@@ -131,18 +132,37 @@ RunResult runNested(const std::string &Source,
   return R;
 }
 
-class FuzzEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+/// Parameters: (random-program seed, run the bytecode peephole optimizer).
+/// Every seed runs with the optimizer on and off, and the two references
+/// are compared against each other — a dynamic proof that the
+/// superinstruction rewrites of vm/Peephole.cpp preserve semantics.
+class FuzzEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>> {};
 
 TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
-  unsigned Seed = GetParam();
+  unsigned Seed = std::get<0>(GetParam());
+  VmCompileOptions Opts;
+  Opts.OptimizeBytecode = std::get<1>(GetParam());
   std::string Source = randomProgram(Seed);
   std::mt19937 Rng(Seed * 31 + 7);
   std::vector<int32_t> Counts(120);
   for (auto &C : Counts)
     C = Rng() % 10 < 6 ? (int)(Rng() % 12) : (int)(32 + Rng() % 300);
 
-  RunResult Reference = runNested(Source, Counts);
+  RunResult Reference = runNested(Source, Counts, Opts);
   ASSERT_TRUE(Reference.Ok);
+
+  // Peephole-on and peephole-off interpretation must agree exactly.
+  // (The comparison is symmetric, so run it from the optimizer-on
+  // instantiation only instead of paying for it twice per seed.)
+  if (Opts.OptimizeBytecode) {
+    VmCompileOptions Flipped;
+    Flipped.OptimizeBytecode = false;
+    RunResult Other = runNested(Source, Counts, Flipped);
+    ASSERT_TRUE(Other.Ok);
+    ASSERT_EQ(Reference.Out, Other.Out)
+        << "peephole optimizer changed program semantics, seed " << Seed;
+  }
 
   // Printer round-trip on the original.
   {
@@ -171,7 +191,7 @@ TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
     std::string Transformed = transformSource(Source, Options, Diags);
     ASSERT_FALSE(Transformed.empty())
         << "seed " << Seed << " mask " << Mask << ": " << Diags.str();
-    RunResult Result = runNested(Transformed, Counts);
+    RunResult Result = runNested(Transformed, Counts, Opts);
     ASSERT_TRUE(Result.Ok) << "seed " << Seed << " mask " << Mask;
     ASSERT_EQ(Reference.Out, Result.Out)
         << "seed " << Seed << " mask " << Mask << "\n"
@@ -180,7 +200,8 @@ TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
-                         ::testing::Range(0u, 12u));
+                         ::testing::Combine(::testing::Range(0u, 12u),
+                                            ::testing::Bool()));
 
 // Multi-site and shared-child aggregation codegen.
 
