@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_throughput.dir/bench/compiler_throughput.cpp.o"
+  "CMakeFiles/compiler_throughput.dir/bench/compiler_throughput.cpp.o.d"
+  "compiler_throughput"
+  "compiler_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

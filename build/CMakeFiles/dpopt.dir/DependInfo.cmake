@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ASTPrinter.cpp" "CMakeFiles/dpopt.dir/src/ast/ASTPrinter.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/ast/ASTPrinter.cpp.o.d"
+  "/root/repo/src/ast/Clone.cpp" "CMakeFiles/dpopt.dir/src/ast/Clone.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/ast/Clone.cpp.o.d"
+  "/root/repo/src/ast/Equivalence.cpp" "CMakeFiles/dpopt.dir/src/ast/Equivalence.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/ast/Equivalence.cpp.o.d"
+  "/root/repo/src/ast/Walk.cpp" "CMakeFiles/dpopt.dir/src/ast/Walk.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/ast/Walk.cpp.o.d"
+  "/root/repo/src/datasets/Generators.cpp" "CMakeFiles/dpopt.dir/src/datasets/Generators.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/datasets/Generators.cpp.o.d"
+  "/root/repo/src/datasets/Graph.cpp" "CMakeFiles/dpopt.dir/src/datasets/Graph.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/datasets/Graph.cpp.o.d"
+  "/root/repo/src/lex/Lexer.cpp" "CMakeFiles/dpopt.dir/src/lex/Lexer.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/lex/Lexer.cpp.o.d"
+  "/root/repo/src/parse/Parser.cpp" "CMakeFiles/dpopt.dir/src/parse/Parser.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/parse/Parser.cpp.o.d"
+  "/root/repo/src/rt/LaunchPlan.cpp" "CMakeFiles/dpopt.dir/src/rt/LaunchPlan.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/rt/LaunchPlan.cpp.o.d"
+  "/root/repo/src/sema/GridDimAnalysis.cpp" "CMakeFiles/dpopt.dir/src/sema/GridDimAnalysis.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/sema/GridDimAnalysis.cpp.o.d"
+  "/root/repo/src/sema/LaunchSites.cpp" "CMakeFiles/dpopt.dir/src/sema/LaunchSites.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/sema/LaunchSites.cpp.o.d"
+  "/root/repo/src/sema/PurityAnalysis.cpp" "CMakeFiles/dpopt.dir/src/sema/PurityAnalysis.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/sema/PurityAnalysis.cpp.o.d"
+  "/root/repo/src/sema/Transformability.cpp" "CMakeFiles/dpopt.dir/src/sema/Transformability.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/sema/Transformability.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "CMakeFiles/dpopt.dir/src/sim/Simulator.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "CMakeFiles/dpopt.dir/src/support/Diagnostics.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "CMakeFiles/dpopt.dir/src/support/StringUtils.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/support/StringUtils.cpp.o.d"
+  "/root/repo/src/transform/AggregationPass.cpp" "CMakeFiles/dpopt.dir/src/transform/AggregationPass.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/transform/AggregationPass.cpp.o.d"
+  "/root/repo/src/transform/BuiltinRewrite.cpp" "CMakeFiles/dpopt.dir/src/transform/BuiltinRewrite.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/transform/BuiltinRewrite.cpp.o.d"
+  "/root/repo/src/transform/CoarseningPass.cpp" "CMakeFiles/dpopt.dir/src/transform/CoarseningPass.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/transform/CoarseningPass.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "CMakeFiles/dpopt.dir/src/transform/Pipeline.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/transform/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/ThresholdingPass.cpp" "CMakeFiles/dpopt.dir/src/transform/ThresholdingPass.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/transform/ThresholdingPass.cpp.o.d"
+  "/root/repo/src/tuner/Tuner.cpp" "CMakeFiles/dpopt.dir/src/tuner/Tuner.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/tuner/Tuner.cpp.o.d"
+  "/root/repo/src/vm/Compiler.cpp" "CMakeFiles/dpopt.dir/src/vm/Compiler.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/vm/Compiler.cpp.o.d"
+  "/root/repo/src/vm/Peephole.cpp" "CMakeFiles/dpopt.dir/src/vm/Peephole.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/vm/Peephole.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "CMakeFiles/dpopt.dir/src/vm/VM.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/vm/VM.cpp.o.d"
+  "/root/repo/src/workloads/Catalog.cpp" "CMakeFiles/dpopt.dir/src/workloads/Catalog.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/workloads/Catalog.cpp.o.d"
+  "/root/repo/src/workloads/GraphWorkloads.cpp" "CMakeFiles/dpopt.dir/src/workloads/GraphWorkloads.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/workloads/GraphWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/SpBezier.cpp" "CMakeFiles/dpopt.dir/src/workloads/SpBezier.cpp.o" "gcc" "CMakeFiles/dpopt.dir/src/workloads/SpBezier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ast/PrinterTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/ast/PrinterTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/ast/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ast/WalkTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/ast/WalkTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/ast/WalkTest.cpp.o.d"
+  "/root/repo/tests/lex/LexerTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/lex/LexerTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/lex/LexerTest.cpp.o.d"
+  "/root/repo/tests/parse/ParserTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/parse/ParserTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/parse/ParserTest.cpp.o.d"
+  "/root/repo/tests/sema/GridDimAnalysisTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/sema/GridDimAnalysisTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/sema/GridDimAnalysisTest.cpp.o.d"
+  "/root/repo/tests/sema/TransformabilityTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/sema/TransformabilityTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/sema/TransformabilityTest.cpp.o.d"
+  "/root/repo/tests/sim/LaunchPlanTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/sim/LaunchPlanTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/sim/LaunchPlanTest.cpp.o.d"
+  "/root/repo/tests/sim/SimulatorTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/sim/SimulatorTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/sim/SimulatorTest.cpp.o.d"
+  "/root/repo/tests/transform/AggregationPassTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/transform/AggregationPassTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/transform/AggregationPassTest.cpp.o.d"
+  "/root/repo/tests/transform/CoarseningPassTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/transform/CoarseningPassTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/transform/CoarseningPassTest.cpp.o.d"
+  "/root/repo/tests/transform/ThresholdingPassTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/transform/ThresholdingPassTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/transform/ThresholdingPassTest.cpp.o.d"
+  "/root/repo/tests/vm/EquivalenceTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/vm/EquivalenceTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/vm/EquivalenceTest.cpp.o.d"
+  "/root/repo/tests/vm/FuzzEquivalenceTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/vm/FuzzEquivalenceTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/vm/FuzzEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/vm/PeepholeTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/vm/PeepholeTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/vm/PeepholeTest.cpp.o.d"
+  "/root/repo/tests/vm/VmTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/vm/VmTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/vm/VmTest.cpp.o.d"
+  "/root/repo/tests/workloads/DatasetTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/workloads/DatasetTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/workloads/DatasetTest.cpp.o.d"
+  "/root/repo/tests/workloads/TunerTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/workloads/TunerTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/workloads/TunerTest.cpp.o.d"
+  "/root/repo/tests/workloads/WorkloadTest.cpp" "CMakeFiles/dpopt_tests.dir/tests/workloads/WorkloadTest.cpp.o" "gcc" "CMakeFiles/dpopt_tests.dir/tests/workloads/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/dpopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

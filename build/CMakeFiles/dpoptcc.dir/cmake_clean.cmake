@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpoptcc.dir/examples/dpoptcc.cpp.o"
+  "CMakeFiles/dpoptcc.dir/examples/dpoptcc.cpp.o.d"
+  "dpoptcc"
+  "dpoptcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpoptcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

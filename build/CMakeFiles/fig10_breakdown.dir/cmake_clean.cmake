@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_breakdown.dir/bench/fig10_breakdown.cpp.o"
+  "CMakeFiles/fig10_breakdown.dir/bench/fig10_breakdown.cpp.o.d"
+  "fig10_breakdown"
+  "fig10_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

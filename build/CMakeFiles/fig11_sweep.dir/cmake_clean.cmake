@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sweep.dir/bench/fig11_sweep.cpp.o"
+  "CMakeFiles/fig11_sweep.dir/bench/fig11_sweep.cpp.o.d"
+  "fig11_sweep"
+  "fig11_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

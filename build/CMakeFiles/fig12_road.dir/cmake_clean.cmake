@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_road.dir/bench/fig12_road.cpp.o"
+  "CMakeFiles/fig12_road.dir/bench/fig12_road.cpp.o.d"
+  "fig12_road"
+  "fig12_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_performance.dir/bench/fig9_performance.cpp.o"
+  "CMakeFiles/fig9_performance.dir/bench/fig9_performance.cpp.o.d"
+  "fig9_performance"
+  "fig9_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

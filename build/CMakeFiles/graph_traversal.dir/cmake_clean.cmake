@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_traversal.dir/examples/graph_traversal.cpp.o"
+  "CMakeFiles/graph_traversal.dir/examples/graph_traversal.cpp.o.d"
+  "graph_traversal"
+  "graph_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

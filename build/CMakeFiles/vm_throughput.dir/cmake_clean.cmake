@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_throughput.dir/bench/vm_throughput.cpp.o"
+  "CMakeFiles/vm_throughput.dir/bench/vm_throughput.cpp.o.d"
+  "vm_throughput"
+  "vm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/dpopt_tests[1]_include.cmake")
+add_test(quickstart_example "/root/repo/build/quickstart")
+set_tests_properties(quickstart_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;61;add_test;/root/repo/CMakeLists.txt;0;")
