@@ -13,7 +13,9 @@
 
 #include "ast/ASTPrinter.h"
 #include "parse/Parser.h"
+#include "sema/Analysis.h"
 #include "transform/Pipeline.h"
+#include "tuner/Tuner.h"
 #include "vm/VM.h"
 
 #include <benchmark/benchmark.h>
@@ -100,6 +102,63 @@ void BM_FullPipeline(benchmark::State &State) {
   runPipelineBench(State, true, true, true);
 }
 BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(8)->Arg(64);
+
+// Since the pass-manager refactor the full pipeline shares one
+// AnalysisManager: the launch-site walk runs once, not once per pass.
+// BM_LaunchSiteAnalysis prices that walk; BM_AnalysisManagerHit prices the
+// cached query answering the second and third pass.
+void BM_LaunchSiteAnalysis(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(findLaunchSites(TU));
+}
+BENCHMARK(BM_LaunchSiteAnalysis)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_AnalysisManagerHit(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  AnalysisManager AM(Ctx, TU);
+  AM.launchSites(); // Prime the cache; the loop measures hits.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(&AM.launchSites());
+}
+BENCHMARK(BM_AnalysisManagerHit)->Arg(1)->Arg(8)->Arg(64);
+
+// The textual pipeline front end (parse spec, registry lookup, run).
+void BM_PipelineFromText(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    std::string Out = transformSourceWithPipeline(
+        Source, "threshold,coarsen,aggregate[multiblock:8]",
+        PassPipelineConfig(), Diags);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_PipelineFromText)->Arg(1)->Arg(8)->Arg(64);
+
+// A tuner-produced configuration compiled through the manager: the path
+// autotuning workflows take after picking a config.
+void BM_TunedConfigTransform(benchmark::State &State) {
+  std::string Source = makeSource(State.range(0));
+  ExecConfig Config;
+  Config.Threshold = 1024;
+  Config.CoarsenFactor = 8;
+  Config.Agg = AggGranularity::MultiBlock;
+  Config.AggGroupBlocks = 8;
+  PipelineOptions Options = pipelineOptionsFor(Config);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    std::string Out = transformSource(Source, Options, Diags);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_TunedConfigTransform)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_VmCompile(benchmark::State &State) {
   std::string Source = makeSource(State.range(0));

@@ -18,6 +18,37 @@
 
 using namespace dpo;
 
+namespace {
+
+/// An SSSP-style parent/child pair: what the tuned configuration gets
+/// applied to once the tuner has picked it.
+const char *SsspSource = R"(
+__global__ void relax(int *dist, int *adj, int *wgt, int u, int count) {
+  int e = blockIdx.x * blockDim.x + threadIdx.x;
+  if (e < count) {
+    int v = adj[e];
+    int nd = dist[u] + wgt[e];
+    if (nd < dist[v]) {
+      dist[v] = nd;
+    }
+  }
+}
+__global__ void sssp_step(int *dist, int *offsets, int *adj, int *wgt,
+                          int *frontier, int numF) {
+  int f = blockIdx.x * blockDim.x + threadIdx.x;
+  if (f < numF) {
+    int u = frontier[f];
+    int count = offsets[u + 1] - offsets[u];
+    if (count > 0) {
+      relax<<<(count + 127) / 128, 128>>>(dist, adj + offsets[u],
+                                          wgt + offsets[u], u, count);
+    }
+  }
+}
+)";
+
+} // namespace
+
 int main() {
   CsrGraph G = makeWebGraph(/*NumVertices=*/60000, /*AvgDegree=*/9.0,
                             /*Seed=*/21);
@@ -56,5 +87,25 @@ int main() {
   std::printf("launch-budget rule picked threshold %u (aiming for <= 8000 "
               "dynamic launches).\n",
               thresholdForLaunchBudget(Sssp.Batches, 8000));
+
+  // Close the loop: compile the SSSP kernels with the guided configuration
+  // through the pass manager and show what the pipeline cost.
+  std::string Pipeline = passPipelineTextFor(Guided.Config);
+  if (Pipeline.empty()) {
+    std::printf("\nguided config needs no source transformation.\n");
+    return 0;
+  }
+  std::printf("\napplying the guided config as a pass pipeline:\n  %s\n",
+              Pipeline.c_str());
+  DiagnosticEngine Diags;
+  std::string Stats;
+  std::string Transformed = transformSourceWithPipeline(
+      SsspSource, Pipeline, PassPipelineConfig(), Diags, &Stats);
+  if (Transformed.empty()) {
+    std::fprintf(stderr, "pipeline failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("transformed source: %zu bytes\n%s", Transformed.size(),
+              Stats.c_str());
   return 0;
 }

@@ -12,14 +12,23 @@
 ///
 ///   dpoptcc [-t] [-c] [-a] [--granularity=warp|block|multiblock|grid]
 ///           [--threshold=N] [--factor=N] [--group=N] [--agg-threshold=N]
+///           [-passes=PIPELINE] [--print-pass-stats] [--list-passes]
 ///           input.cu [-o output.cu]
+///
+/// The -t/-c/-a flags build the paper's Fig. 8(a) pipeline; -passes= runs
+/// an arbitrary pipeline through the PassManager (grammar in
+/// src/transform/README.md), e.g. -passes=threshold[256],coarsen,
+/// aggregate[multiblock:8]. Both paths share one AnalysisManager, so
+/// --print-pass-stats shows per-pass timings and analysis-cache hits.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+#include "support/StringUtils.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,15 +40,55 @@ static void usage() {
       stderr,
       "usage: dpoptcc [-t] [-c] [-a] [--granularity=G] [--threshold=N]\n"
       "               [--factor=N] [--group=N] [--agg-threshold=N]\n"
+      "               [-passes=PIPELINE] [--print-pass-stats] [--list-passes]\n"
       "               input.cu [-o output.cu]\n"
       "  -t/-c/-a enable thresholding / coarsening / aggregation\n"
-      "  (default: all three, multi-block granularity)\n");
+      "  (default: all three, multi-block granularity)\n"
+      "  -passes= runs a textual pass pipeline instead, e.g.\n"
+      "           -passes=threshold[256],coarsen[8],aggregate[multiblock:8]\n");
+}
+
+/// Validated replacement for the old atoi calls: accepts only a non-empty
+/// all-digit value that fits in unsigned and is nonzero. Anything else
+/// (including "12abc", "-3", "0", and 2^32 and up) is rejected with a
+/// diagnostic naming the flag. Shares parsePositiveU32 with the pipeline
+/// grammar so --threshold= and threshold[...] accept identical spellings.
+static bool parseCountFlag(const char *Flag, const std::string &Text,
+                           unsigned &Out) {
+  switch (parsePositiveU32(Text, Out)) {
+  case ParseUIntStatus::Ok:
+    return true;
+  case ParseUIntStatus::Empty:
+    std::fprintf(stderr, "error: %s requires a value\n", Flag);
+    return false;
+  case ParseUIntStatus::NotANumber:
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected a positive "
+                 "integer)\n",
+                 Text.c_str(), Flag);
+    return false;
+  case ParseUIntStatus::Zero:
+    std::fprintf(stderr, "error: %s must be positive, got 0\n", Flag);
+    return false;
+  case ParseUIntStatus::Overflow:
+    std::fprintf(stderr, "error: value '%s' for %s is out of range\n",
+                 Text.c_str(), Flag);
+    return false;
+  }
+  return false;
+}
+
+static void listPasses() {
+  std::printf("registered passes:\n");
+  for (const auto &[Name, Description] : PassRegistry::global().entries())
+    std::printf("  %-16s %s\n", Name.c_str(), Description.c_str());
 }
 
 int main(int argc, char **argv) {
   PipelineOptions Options;
-  std::string Input, Output;
+  std::string Input, Output, PassText;
   bool AnyPass = false;
+  bool PrintPassStats = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -60,18 +109,36 @@ int main(int argc, char **argv) {
       else if (G == "grid")
         Options.Aggregation.Granularity = AggGranularity::Grid;
       else {
+        std::fprintf(stderr, "error: unknown granularity '%s'\n", G.c_str());
         usage();
         return 1;
       }
     } else if (Arg.rfind("--threshold=", 0) == 0) {
-      Options.Thresholding.Threshold = atoi(Arg.c_str() + 12);
+      if (!parseCountFlag("--threshold", Arg.substr(12),
+                          Options.Thresholding.Threshold))
+        return 1;
     } else if (Arg.rfind("--factor=", 0) == 0) {
-      Options.Coarsening.Factor = atoi(Arg.c_str() + 9);
+      if (!parseCountFlag("--factor", Arg.substr(9),
+                          Options.Coarsening.Factor))
+        return 1;
     } else if (Arg.rfind("--group=", 0) == 0) {
-      Options.Aggregation.GroupSize = atoi(Arg.c_str() + 8);
+      if (!parseCountFlag("--group", Arg.substr(8),
+                          Options.Aggregation.GroupSize))
+        return 1;
     } else if (Arg.rfind("--agg-threshold=", 0) == 0) {
       Options.Aggregation.UseAggregationThreshold = true;
-      Options.Aggregation.AggregationThreshold = atoi(Arg.c_str() + 16);
+      if (!parseCountFlag("--agg-threshold", Arg.substr(16),
+                          Options.Aggregation.AggregationThreshold))
+        return 1;
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      PassText = Arg.substr(8);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      PassText = Arg.substr(9);
+    } else if (Arg == "--print-pass-stats") {
+      PrintPassStats = true;
+    } else if (Arg == "--list-passes") {
+      listPasses();
+      return 0;
     } else if (Arg == "-o" && I + 1 < argc) {
       Output = argv[++I];
     } else if (Arg == "-h" || Arg == "--help") {
@@ -80,11 +147,16 @@ int main(int argc, char **argv) {
     } else if (!Arg.empty() && Arg[0] != '-') {
       Input = Arg;
     } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       usage();
       return 1;
     }
   }
-  if (!AnyPass)
+  if (!PassText.empty() && AnyPass) {
+    std::fprintf(stderr, "error: -passes= cannot be combined with -t/-c/-a\n");
+    return 1;
+  }
+  if (PassText.empty() && !AnyPass)
     Options.EnableThresholding = Options.EnableCoarsening =
         Options.EnableAggregation = true;
   if (Input.empty()) {
@@ -100,12 +172,38 @@ int main(int argc, char **argv) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
 
+  // Build the pipeline: either the textual spec or the -t/-c/-a flags.
+  // Knob flags double as the textual pipeline's defaults, so
+  // `-passes=threshold --threshold=256` works as expected.
+  PassManager PM;
+  std::string Error;
+  if (!PassText.empty()) {
+    if (!parsePassPipeline(PM, PassText, pipelineConfigFrom(Options), Error)) {
+      std::fprintf(stderr, "error: invalid pass pipeline: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+  } else {
+    buildPassPipeline(PM, Options);
+  }
+
   DiagnosticEngine Diags;
-  std::string Result = transformSource(Buffer.str(), Options, Diags);
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Buffer.str(), Ctx, Diags);
+  bool Ok = TU != nullptr;
+  std::string Result;
+  if (Ok) {
+    AnalysisManager AM(Ctx, TU);
+    Ok = PM.run(Ctx, TU, AM, Diags);
+    if (PrintPassStats)
+      std::fprintf(stderr, "%s", PM.statsReport(AM).c_str());
+    if (Ok)
+      Result = printTranslationUnit(TU);
+  }
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s:%u:%u: %s\n", Input.c_str(), D.Loc.Line,
                  D.Loc.Column, D.Message.c_str());
-  if (Result.empty())
+  if (!Ok || Result.empty())
     return 1;
 
   if (Output.empty()) {

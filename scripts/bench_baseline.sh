@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-#===--- bench_baseline.sh - snapshot VM throughput to BENCH_vm.json ----------===#
+#===--- bench_baseline.sh - snapshot benchmark baselines to JSON -------------===#
 #
-# Builds the vm_throughput harness and writes its results as JSON so future
-# PRs can compare interpreter performance against this baseline:
+# Builds the benchmark harnesses and writes their results as JSON so future
+# PRs can compare performance against this baseline:
 #
-#   scripts/bench_baseline.sh [output.json]
+#   scripts/bench_baseline.sh [vm_output.json [compiler_output.json]]
+#
+# Emits:
+#   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput)
+#   BENCH_compiler.json  compiler_throughput (parse, passes, analysis cache)
 #
 # Environment:
 #   BUILD_DIR   cmake build directory (default: build)
 #   BENCH_ARGS  extra google-benchmark flags (e.g. --benchmark_filter=...)
+#   BENCH_REPS  benchmark repetitions (default: 1)
 #
 #===---------------------------------------------------------------------------===#
 
@@ -16,15 +21,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_vm.json}"
+VM_OUT="${1:-BENCH_vm.json}"
+COMPILER_OUT="${2:-BENCH_compiler.json}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target vm_throughput >/dev/null
+cmake --build "$BUILD_DIR" -j --target vm_throughput --target compiler_throughput >/dev/null
 
 "$BUILD_DIR/vm_throughput" \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$VM_OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions="${BENCH_REPS:-1}" \
   ${BENCH_ARGS:-}
+echo "wrote $VM_OUT"
 
-echo "wrote $OUT"
+"$BUILD_DIR/compiler_throughput" \
+  --benchmark_out="$COMPILER_OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}" \
+  ${BENCH_ARGS:-}
+echo "wrote $COMPILER_OUT"

@@ -1,0 +1,101 @@
+//===--- Analysis.cpp -----------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Analysis.h"
+
+#include "sema/PurityAnalysis.h"
+
+#include <sstream>
+
+using namespace dpo;
+
+const char *dpo::analysisName(AnalysisID ID) {
+  switch (ID) {
+  case AnalysisID::LaunchSites: return "launch-sites";
+  case AnalysisID::Transformability: return "transformability";
+  case AnalysisID::GridDim: return "grid-dim";
+  case AnalysisID::Purity: return "purity";
+  }
+  return "unknown";
+}
+
+const std::vector<LaunchSite> &AnalysisManager::launchSites() {
+  if (LaunchSitesCache) {
+    ++statsFor(AnalysisID::LaunchSites).Hits;
+    return *LaunchSitesCache;
+  }
+  ++statsFor(AnalysisID::LaunchSites).Computed;
+  LaunchSitesCache = findLaunchSites(TU);
+  return *LaunchSitesCache;
+}
+
+const Transformability &
+AnalysisManager::serializability(const FunctionDecl *Child) {
+  auto It = TransformabilityCache.find(Child);
+  if (It != TransformabilityCache.end()) {
+    ++statsFor(AnalysisID::Transformability).Hits;
+    return It->second;
+  }
+  ++statsFor(AnalysisID::Transformability).Computed;
+  return TransformabilityCache.emplace(Child, analyzeSerializability(Child, TU))
+      .first->second;
+}
+
+const GridDimInfo &AnalysisManager::gridDim(const FunctionDecl *Parent,
+                                            Expr *GridExpr) {
+  auto It = GridDimCache.find(GridExpr);
+  if (It != GridDimCache.end()) {
+    ++statsFor(AnalysisID::GridDim).Hits;
+    return It->second;
+  }
+  ++statsFor(AnalysisID::GridDim).Computed;
+  return GridDimCache.emplace(GridExpr, analyzeGridDim(Ctx, Parent, GridExpr))
+      .first->second;
+}
+
+bool AnalysisManager::isPure(const Expr *E) {
+  auto It = PurityCache.find(E);
+  if (It != PurityCache.end()) {
+    ++statsFor(AnalysisID::Purity).Hits;
+    return It->second;
+  }
+  ++statsFor(AnalysisID::Purity).Computed;
+  return PurityCache.emplace(E, isPureExpr(E)).first->second;
+}
+
+void AnalysisManager::invalidate(const PreservedAnalyses &PA) {
+  if (!PA.isPreserved(AnalysisID::LaunchSites) && LaunchSitesCache) {
+    LaunchSitesCache.reset();
+    ++statsFor(AnalysisID::LaunchSites).Invalidations;
+  }
+  if (!PA.isPreserved(AnalysisID::Transformability) &&
+      !TransformabilityCache.empty()) {
+    TransformabilityCache.clear();
+    ++statsFor(AnalysisID::Transformability).Invalidations;
+  }
+  if (!PA.isPreserved(AnalysisID::GridDim) && !GridDimCache.empty()) {
+    GridDimCache.clear();
+    ++statsFor(AnalysisID::GridDim).Invalidations;
+  }
+  if (!PA.isPreserved(AnalysisID::Purity) && !PurityCache.empty()) {
+    PurityCache.clear();
+    ++statsFor(AnalysisID::Purity).Invalidations;
+  }
+}
+
+std::string AnalysisManager::statsReport() const {
+  std::ostringstream OS;
+  OS << "analysis cache      computed  hits  invalidated\n";
+  for (unsigned I = 0; I < NumAnalysisIDs; ++I) {
+    const AnalysisStats &S = Stats[I];
+    char Line[96];
+    std::snprintf(Line, sizeof(Line), "  %-17s %8u %5u %12u\n",
+                  analysisName(static_cast<AnalysisID>(I)), S.Computed, S.Hits,
+                  S.Invalidations);
+    OS << Line;
+  }
+  return OS.str();
+}

@@ -1,0 +1,153 @@
+//===--- Analysis.h - Cached sema analyses for the pass pipeline -------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AnalysisManager caches the sema results the transformation passes
+/// share — launch sites, serializability, grid-dimension recovery, and
+/// expression purity — so a multi-pass pipeline computes each analysis once
+/// instead of once per pass. Results are keyed by (analysis, unit): the
+/// launch-site analysis is per translation unit, serializability is per
+/// function, and grid-dim/purity are per expression node.
+///
+/// Invalidation is explicit: a pass reports the analyses it left valid via
+/// a PreservedAnalyses set, and the PassManager drops everything else
+/// before the next pass runs. A pass that did not mutate the AST returns
+/// PreservedAnalyses::all(); the conservative default is none().
+///
+/// Sharp edge, by design: GridDimInfo results own freshly synthesized
+/// expression nodes (ThreadCount) and may point into the analyzed grid
+/// expression (InlineSite). A consumer that splices those nodes into the
+/// tree — the thresholding pass does — must not report the grid-dim
+/// analysis as preserved, so a later query recomputes instead of handing
+/// out nodes that are already part of the AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SEMA_ANALYSIS_H
+#define DPO_SEMA_ANALYSIS_H
+
+#include "ast/ASTContext.h"
+#include "ast/Decl.h"
+#include "sema/GridDimAnalysis.h"
+#include "sema/LaunchSites.h"
+#include "sema/Transformability.h"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dpo {
+
+/// The analyses the manager knows how to compute and cache.
+enum class AnalysisID : unsigned {
+  LaunchSites = 0,   ///< findLaunchSites over the whole TU.
+  Transformability,  ///< analyzeSerializability, per child kernel.
+  GridDim,           ///< analyzeGridDim, per grid-dimension expression.
+  Purity,            ///< isPureExpr, per expression.
+};
+inline constexpr unsigned NumAnalysisIDs = 4;
+
+const char *analysisName(AnalysisID ID);
+
+/// The set of analyses a pass run left valid. Defaults to empty (a pass
+/// that mutated the AST and makes no promises).
+class PreservedAnalyses {
+public:
+  /// Everything stays valid (the pass made no changes, or none an analysis
+  /// can observe).
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.Preserved.fill(true);
+    return PA;
+  }
+  /// Nothing survives (the conservative default).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  PreservedAnalyses &preserve(AnalysisID ID) {
+    Preserved[static_cast<unsigned>(ID)] = true;
+    return *this;
+  }
+  PreservedAnalyses &abandon(AnalysisID ID) {
+    Preserved[static_cast<unsigned>(ID)] = false;
+    return *this;
+  }
+  bool isPreserved(AnalysisID ID) const {
+    return Preserved[static_cast<unsigned>(ID)];
+  }
+
+private:
+  std::array<bool, NumAnalysisIDs> Preserved{};
+};
+
+/// Per-analysis cache counters, exposed for --print-pass-stats and tests.
+struct AnalysisStats {
+  unsigned Computed = 0;      ///< Cache misses: the analysis actually ran.
+  unsigned Hits = 0;          ///< Queries answered from the cache.
+  unsigned Invalidations = 0; ///< Times cached results were dropped.
+};
+
+/// Caches analysis results over one translation unit. Created once per
+/// compilation and threaded through every pass; see the file comment for
+/// the invalidation contract.
+class AnalysisManager {
+public:
+  AnalysisManager(ASTContext &Ctx, TranslationUnit *TU) : Ctx(Ctx), TU(TU) {}
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  TranslationUnit *translationUnit() const { return TU; }
+  ASTContext &context() const { return Ctx; }
+
+  /// All launch sites in the translation unit (TU-level, computed once).
+  const std::vector<LaunchSite> &launchSites();
+
+  /// Whether \p Child can be serialized into its parent thread
+  /// (function-level; transitive over __device__ callees in the TU).
+  const Transformability &serializability(const FunctionDecl *Child);
+
+  /// The Fig. 4 desired-thread-count recovery for \p GridExpr inside
+  /// \p Parent (expression-level). See the file comment: the returned
+  /// nodes are single-use; consumers that splice them must abandon
+  /// AnalysisID::GridDim.
+  const GridDimInfo &gridDim(const FunctionDecl *Parent, Expr *GridExpr);
+
+  /// Side-effect freedom of \p E (expression-level).
+  bool isPure(const Expr *E);
+
+  /// Drops every cached result not in \p PA.
+  void invalidate(const PreservedAnalyses &PA);
+  void invalidateAll() { invalidate(PreservedAnalyses::none()); }
+
+  const AnalysisStats &stats(AnalysisID ID) const {
+    return Stats[static_cast<unsigned>(ID)];
+  }
+
+  /// Human-readable cache-counter table (one line per analysis).
+  std::string statsReport() const;
+
+private:
+  AnalysisStats &statsFor(AnalysisID ID) {
+    return Stats[static_cast<unsigned>(ID)];
+  }
+
+  ASTContext &Ctx;
+  TranslationUnit *TU;
+
+  std::optional<std::vector<LaunchSite>> LaunchSitesCache;
+  std::unordered_map<const FunctionDecl *, Transformability>
+      TransformabilityCache;
+  std::unordered_map<const Expr *, GridDimInfo> GridDimCache;
+  std::unordered_map<const Expr *, bool> PurityCache;
+
+  std::array<AnalysisStats, NumAnalysisIDs> Stats{};
+};
+
+} // namespace dpo
+
+#endif // DPO_SEMA_ANALYSIS_H

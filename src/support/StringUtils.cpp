@@ -6,6 +6,8 @@
 
 #include "support/StringUtils.h"
 
+#include <cstdint>
+
 using namespace dpo;
 
 bool dpo::startsWith(std::string_view Text, std::string_view Prefix) {
@@ -62,4 +64,21 @@ std::string dpo::replaceAll(std::string Text, std::string_view From,
     Pos += To.size();
   }
   return Text;
+}
+
+ParseUIntStatus dpo::parsePositiveU32(std::string_view Text, unsigned &Out) {
+  if (Text.empty())
+    return ParseUIntStatus::Empty;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return ParseUIntStatus::NotANumber;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    if (Value > 0xFFFFFFFFull)
+      return ParseUIntStatus::Overflow;
+  }
+  if (Value == 0)
+    return ParseUIntStatus::Zero;
+  Out = static_cast<unsigned>(Value);
+  return ParseUIntStatus::Ok;
 }

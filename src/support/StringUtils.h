@@ -33,6 +33,15 @@ std::string join(const std::vector<std::string> &Parts,
 std::string replaceAll(std::string Text, std::string_view From,
                        std::string_view To);
 
+/// Outcome of parsePositiveU32, so callers can diagnose precisely.
+enum class ParseUIntStatus { Ok, Empty, NotANumber, Zero, Overflow };
+
+/// Parses a positive decimal 32-bit integer. Rejects empty input, any
+/// non-digit character (including signs), zero, and values above 2^32-1;
+/// leading zeros are fine. Shared by the CLI flag parser and the pass
+/// pipeline grammar so both accept exactly the same spellings.
+ParseUIntStatus parsePositiveU32(std::string_view Text, unsigned &Out);
+
 } // namespace dpo
 
 #endif // DPO_SUPPORT_STRINGUTILS_H

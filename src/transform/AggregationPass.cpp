@@ -67,15 +67,15 @@ class AggregationTransformer {
 public:
   AggregationTransformer(ASTContext &Ctx, TranslationUnit *TU,
                          const AggregationOptions &Options,
-                         DiagnosticEngine &Diags)
-      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+                         DiagnosticEngine &Diags, AnalysisManager &AM)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM) {}
 
   AggregationResult run() {
     AggregationResult Result;
     if (Options.Granularity == AggGranularity::None)
       return Result;
 
-    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+    const std::vector<LaunchSite> &AllSites = AM.launchSites();
 
     // Select eligible dynamic launch sites.
     struct SiteGen {
@@ -142,11 +142,23 @@ public:
       if (ensureAggKernel(Gen.Site.Child))
         ++Result.GeneratedKernels;
 
-    // Per-site codegen.
+    // Per-site codegen. Parents are grouped in first-launch-site order: a
+    // pointer-keyed map here would make the emission order of the host
+    // wrappers depend on heap addresses, i.e. vary run to run.
     std::unordered_map<const Stmt *, Stmt *> Replacements;
-    std::map<FunctionDecl *, std::vector<const SiteGen *>> SitesOfParent;
+    std::vector<std::pair<FunctionDecl *, std::vector<const SiteGen *>>>
+        SitesOfParent;
+    auto SitesFor =
+        [&](FunctionDecl *Parent) -> std::vector<const SiteGen *> & {
+      for (auto &[P, Sites] : SitesOfParent)
+        if (P == Parent)
+          return Sites;
+      return SitesOfParent.emplace_back(Parent,
+                                        std::vector<const SiteGen *>())
+          .second;
+    };
     for (SiteGen &Gen : Planned)
-      SitesOfParent[Gen.Site.Caller].push_back(&Gen);
+      SitesFor(Gen.Site.Caller).push_back(&Gen);
 
     for (const SiteGen &Gen : Planned) {
       appendParentParams(Gen.Site, Gen.K);
@@ -728,6 +740,7 @@ private:
   TranslationUnit *TU;
   const AggregationOptions &Options;
   DiagnosticEngine &Diags;
+  AnalysisManager &AM;
   std::map<const FunctionDecl *, std::string> AggKernelNames;
   std::map<const FunctionDecl *, std::string> WrapperNames;
   unsigned SiteCounter = 0;
@@ -737,7 +750,40 @@ private:
 
 AggregationResult dpo::applyAggregation(ASTContext &Ctx, TranslationUnit *TU,
                                         const AggregationOptions &Options,
-                                        DiagnosticEngine &Diags) {
-  AggregationTransformer Transformer(Ctx, TU, Options, Diags);
+                                        DiagnosticEngine &Diags,
+                                        AnalysisManager &AM) {
+  AggregationTransformer Transformer(Ctx, TU, Options, Diags, AM);
   return Transformer.run();
+}
+
+AggregationResult dpo::applyAggregation(ASTContext &Ctx, TranslationUnit *TU,
+                                        const AggregationOptions &Options,
+                                        DiagnosticEngine &Diags) {
+  AnalysisManager AM(Ctx, TU);
+  return applyAggregation(Ctx, TU, Options, Diags, AM);
+}
+
+std::string AggregationPass::repr() const {
+  std::string R =
+      std::string("aggregate[") + aggGranularityName(Options.Granularity);
+  // aggGranularityName spells MultiBlock "multi-block"; the pipeline
+  // grammar uses "multiblock" (no separator, easier to type on a CLI).
+  if (Options.Granularity == AggGranularity::MultiBlock)
+    R = "aggregate[multiblock:" + std::to_string(Options.GroupSize);
+  if (Options.UseAggregationThreshold)
+    R += ":agg-threshold=" + std::to_string(Options.AggregationThreshold);
+  if (Options.Spelling == KnobSpelling::Literal)
+    R += ":literal";
+  return R + "]";
+}
+
+PreservedAnalyses AggregationPass::run(ASTContext &Ctx, TranslationUnit *TU,
+                                       AnalysisManager &AM,
+                                       DiagnosticEngine &Diags) {
+  Result = applyAggregation(Ctx, TU, Options, Diags, AM);
+  // Skips leave the unit untouched; only actual transformation (which
+  // removes launch statements and splices generated kernels) invalidates.
+  if (Result.TransformedLaunches == 0 && Result.GeneratedKernels == 0)
+    return PreservedAnalyses::all();
+  return PreservedAnalyses::none();
 }

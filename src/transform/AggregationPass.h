@@ -52,6 +52,7 @@
 #include "ast/ASTContext.h"
 #include "ast/Decl.h"
 #include "support/Diagnostics.h"
+#include "transform/PassManager.h"
 #include "transform/PassOptions.h"
 
 #include <string>
@@ -67,10 +68,38 @@ struct AggregationResult {
   std::vector<std::string> SkipReasons;
 };
 
-/// Applies aggregation to every dynamic launch site in \p TU, in place.
+/// Applies aggregation to every dynamic launch site in \p TU, in place,
+/// consuming \p AM's analyses.
+AggregationResult applyAggregation(ASTContext &Ctx, TranslationUnit *TU,
+                                   const AggregationOptions &Options,
+                                   DiagnosticEngine &Diags,
+                                   AnalysisManager &AM);
+
+/// Standalone form: runs with a private AnalysisManager.
 AggregationResult applyAggregation(ASTContext &Ctx, TranslationUnit *TU,
                                    const AggregationOptions &Options,
                                    DiagnosticEngine &Diags);
+
+/// The aggregation transformation as a pipeline pass. Aggregation replaces
+/// launch statements with buffer-store sequences and splices freshly parsed
+/// kernels/wrappers into the unit, so a transforming run preserves nothing.
+class AggregationPass : public TransformPass {
+public:
+  explicit AggregationPass(AggregationOptions Options = {})
+      : Options(std::move(Options)) {}
+
+  std::string name() const override { return "aggregate"; }
+  std::string repr() const override;
+  PreservedAnalyses run(ASTContext &Ctx, TranslationUnit *TU,
+                        AnalysisManager &AM, DiagnosticEngine &Diags) override;
+
+  const AggregationOptions &options() const { return Options; }
+  const AggregationResult &result() const { return Result; }
+
+private:
+  AggregationOptions Options;
+  AggregationResult Result;
+};
 
 } // namespace dpo
 

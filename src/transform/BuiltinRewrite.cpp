@@ -9,12 +9,19 @@
 #include "ast/Walk.h"
 #include "support/Casting.h"
 
+#include <algorithm>
+
 using namespace dpo;
 
-void dpo::rewriteBuiltins(
+bool dpo::rewriteBuiltins(
     ASTContext &Ctx, Stmt *Root,
     const std::unordered_map<std::string, BuiltinRemap> &Map,
     DiagnosticEngine &Diags) {
+  bool Changed = false;
+  auto Replaced = [&](Expr *E) {
+    Changed = true;
+    return E;
+  };
   rewriteExprs(Root, [&](Expr *E) -> Expr * {
     // Component form: `<builtin>.<c>`.
     if (auto *M = dyn_cast<MemberExpr>(E)) {
@@ -36,7 +43,7 @@ void dpo::rewriteBuiltins(
         auto *Ref = Ctx.ref(*Component);
         Ref->setType(Type(BuiltinKind::UInt));
         Ref->setLoc(M->loc());
-        return Ref;
+        return Replaced(Ref);
       }
       if (!Remap.Whole.empty()) {
         // Rename the base, keep the member access.
@@ -46,7 +53,7 @@ void dpo::rewriteBuiltins(
             Ctx.create<MemberExpr>(NewBase, M->member(), M->isArrow());
         NewMember->setType(M->type());
         NewMember->setLoc(M->loc());
-        return NewMember;
+        return Replaced(NewMember);
       }
       if (Component && !Remap.AllowUnmappedComponents) {
         // The builtin is being remapped but this component has no target
@@ -56,7 +63,7 @@ void dpo::rewriteBuiltins(
         // Substitute a sentinel to avoid a cascading bare-use diagnostic.
         auto *Ref = Ctx.ref("_unmapped_" + Base->name() + "_" + M->member());
         Ref->setType(Type(BuiltinKind::UInt));
-        return Ref;
+        return Replaced(Ref);
       }
       return nullptr;
     }
@@ -79,7 +86,7 @@ void dpo::rewriteBuiltins(
       auto *New = Ctx.ref(Remap.Whole);
       New->setType(Ref->type());
       New->setLoc(Ref->loc());
-      return New;
+      return Replaced(New);
     }
     // Bases of member accesses that were deliberately left untouched (and
     // bare uses, which stay valid in that mode) are fine.
@@ -89,6 +96,66 @@ void dpo::rewriteBuiltins(
                                 "' cannot be remapped to scalar loop indices");
     return nullptr;
   });
+  return Changed;
+}
+
+std::string BuiltinRewritePass::repr() const {
+  // Deterministic spelling: builtins sorted by name, components in x/y/z
+  // order, whole-renames first.
+  std::vector<std::string> Names;
+  for (const auto &[Name, Remap] : Map)
+    Names.push_back(Name);
+  std::sort(Names.begin(), Names.end());
+
+  std::string R = "builtin-rewrite";
+  std::string Params;
+  bool Strict = false;
+  for (const std::string &Name : Names) {
+    const BuiltinRemap &Remap = Map.at(Name);
+    auto Append = [&](const std::string &Key, const std::string &Value) {
+      if (Value.empty())
+        return;
+      if (!Params.empty())
+        Params += ":";
+      Params += Key + "=" + Value;
+    };
+    Append(Name, Remap.Whole);
+    Append(Name + ".x", Remap.X);
+    Append(Name + ".y", Remap.Y);
+    Append(Name + ".z", Remap.Z);
+    Strict |= !Remap.AllowUnmappedComponents;
+  }
+  // Pipeline-text passes are permissive by default; a programmatically
+  // built strict map must round-trip as strict too.
+  if (Strict && !Params.empty())
+    Params += ":strict";
+  if (!Params.empty())
+    R += "[" + Params + "]";
+  return R;
+}
+
+PreservedAnalyses BuiltinRewritePass::run(ASTContext &Ctx, TranslationUnit *TU,
+                                          AnalysisManager &AM,
+                                          DiagnosticEngine &Diags) {
+  if (Map.empty())
+    return PreservedAnalyses::all();
+  bool Changed = false;
+  for (Decl *D : TU->decls()) {
+    auto *F = dyn_cast<FunctionDecl>(D);
+    if (!F || !F->body())
+      continue;
+    Changed |= rewriteBuiltins(Ctx, F->body(), Map, Diags);
+  }
+  if (!Changed)
+    return PreservedAnalyses::all();
+  PreservedAnalyses PA;
+  // Only variable references are replaced: launch nodes and the call/shared
+  // structure transformability inspects are untouched. Subexpressions of
+  // grid expressions may have been rewritten in place, so grid-dim and
+  // purity keys are stale.
+  PA.preserve(AnalysisID::LaunchSites);
+  PA.preserve(AnalysisID::Transformability);
+  return PA;
 }
 
 bool dpo::usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,

@@ -25,6 +25,7 @@
 #include "ast/ASTContext.h"
 #include "ast/Stmt.h"
 #include "support/Diagnostics.h"
+#include "transform/PassManager.h"
 
 #include <string>
 #include <unordered_map>
@@ -48,13 +49,38 @@ struct BuiltinRemap {
 /// Rewrites uses of reserved variables under \p Root. Keys of \p Map are
 /// builtin names ("blockIdx", "gridDim", ...). Reports a diagnostic for a
 /// bare (member-less) use of a builtin that only has component renames.
-void rewriteBuiltins(ASTContext &Ctx, Stmt *Root,
+/// Returns true if any node was replaced.
+bool rewriteBuiltins(ASTContext &Ctx, Stmt *Root,
                      const std::unordered_map<std::string, BuiltinRemap> &Map,
                      DiagnosticEngine &Diags);
 
 /// Returns true if \p Root references `<Builtin>.<Component>` anywhere.
 bool usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,
                           const std::string &Component);
+
+/// The builtin remapping exposed as a standalone pipeline pass — a
+/// building block for pipeline experiments ("builtin-rewrite[gridDim=_gd:
+/// blockIdx.x=_bx]" renames builtins across every kernel body). Unmapped
+/// components are left untouched, so partial maps are safe. With an empty
+/// map the pass is the identity and preserves every analysis.
+class BuiltinRewritePass : public TransformPass {
+public:
+  explicit BuiltinRewritePass(
+      std::unordered_map<std::string, BuiltinRemap> Map = {})
+      : Map(std::move(Map)) {}
+
+  std::string name() const override { return "builtin-rewrite"; }
+  std::string repr() const override;
+  PreservedAnalyses run(ASTContext &Ctx, TranslationUnit *TU,
+                        AnalysisManager &AM, DiagnosticEngine &Diags) override;
+
+  const std::unordered_map<std::string, BuiltinRemap> &map() const {
+    return Map;
+  }
+
+private:
+  std::unordered_map<std::string, BuiltinRemap> Map;
+};
 
 } // namespace dpo
 

@@ -56,12 +56,12 @@ class CoarseningTransformer {
 public:
   CoarseningTransformer(ASTContext &Ctx, TranslationUnit *TU,
                         const CoarseningOptions &Options,
-                        DiagnosticEngine &Diags)
-      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+                        DiagnosticEngine &Diags, AnalysisManager &AM)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM) {}
 
   CoarseningResult run() {
     CoarseningResult Result;
-    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+    const std::vector<LaunchSite> &AllSites = AM.launchSites();
 
     // Candidate kernels: children of dynamic launches.
     std::set<FunctionDecl *> Candidates;
@@ -86,6 +86,15 @@ public:
       if (Skipped.count(Child))
         continue;
       ScalarMode[Child] = allLaunchesScalar(Child, AllSites);
+      // The body is about to be cloned into the strided loop; nested
+      // launches inside it get duplicated, which stales the cached sites.
+      bool HasNestedLaunch = false;
+      forEachExpr(Child->body(), [&](const Expr *E) {
+        if (isa<LaunchExpr>(E))
+          HasNestedLaunch = true;
+      });
+      if (HasNestedLaunch)
+        ++Result.CoarsenedNestedLaunchKernels;
       coarsenKernel(Child);
       ++Result.CoarsenedKernels;
       AnyCoarsened = true;
@@ -309,6 +318,7 @@ private:
   TranslationUnit *TU;
   const CoarseningOptions &Options;
   DiagnosticEngine &Diags;
+  AnalysisManager &AM;
   std::map<const FunctionDecl *, bool> ScalarMode;
   unsigned SiteCounter = 0;
 };
@@ -317,7 +327,38 @@ private:
 
 CoarseningResult dpo::applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
                                       const CoarseningOptions &Options,
-                                      DiagnosticEngine &Diags) {
-  CoarseningTransformer Transformer(Ctx, TU, Options, Diags);
+                                      DiagnosticEngine &Diags,
+                                      AnalysisManager &AM) {
+  CoarseningTransformer Transformer(Ctx, TU, Options, Diags, AM);
   return Transformer.run();
+}
+
+CoarseningResult dpo::applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
+                                      const CoarseningOptions &Options,
+                                      DiagnosticEngine &Diags) {
+  AnalysisManager AM(Ctx, TU);
+  return applyCoarsening(Ctx, TU, Options, Diags, AM);
+}
+
+std::string CoarseningPass::repr() const {
+  std::string R = "coarsen[" + std::to_string(Options.Factor);
+  if (Options.Spelling == KnobSpelling::Literal)
+    R += ":literal";
+  return R + "]";
+}
+
+PreservedAnalyses CoarseningPass::run(ASTContext &Ctx, TranslationUnit *TU,
+                                      AnalysisManager &AM,
+                                      DiagnosticEngine &Diags) {
+  Result = applyCoarsening(Ctx, TU, Options, Diags, AM);
+  if (Result.CoarsenedKernels == 0)
+    return PreservedAnalyses::all();
+  PreservedAnalyses PA;
+  // Patched launches reuse the original LaunchExpr nodes in place, so the
+  // cached site list stays exact unless a cloned body duplicated launches.
+  if (Result.CoarsenedNestedLaunchKernels == 0)
+    PA.preserve(AnalysisID::LaunchSites);
+  // Coarsened kernels got new bodies and an extra parameter: serializability
+  // verdicts, recovered grid-dim expressions, and purity keys are stale.
+  return PA;
 }

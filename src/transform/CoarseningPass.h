@@ -33,6 +33,7 @@
 #include "ast/ASTContext.h"
 #include "ast/Decl.h"
 #include "support/Diagnostics.h"
+#include "transform/PassManager.h"
 #include "transform/PassOptions.h"
 
 #include <string>
@@ -44,14 +45,45 @@ struct CoarseningResult {
   unsigned CoarsenedKernels = 0;
   unsigned RewrittenLaunches = 0;
   unsigned SkippedLaunches = 0;
+  /// Coarsened kernels whose body contained launches (nested dynamic
+  /// parallelism). Coarsening clones the body, duplicating those launch
+  /// nodes, so a nonzero count invalidates the launch-site analysis.
+  unsigned CoarsenedNestedLaunchKernels = 0;
   std::vector<std::string> SkipReasons;
 };
 
 /// Applies coarsening to every child kernel of a dynamic launch in \p TU,
-/// in place.
+/// in place, consuming \p AM's analyses.
+CoarseningResult applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
+                                 const CoarseningOptions &Options,
+                                 DiagnosticEngine &Diags, AnalysisManager &AM);
+
+/// Standalone form: runs with a private AnalysisManager.
 CoarseningResult applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
                                  const CoarseningOptions &Options,
                                  DiagnosticEngine &Diags);
+
+/// The coarsening transformation as a pipeline pass. Launch sites survive
+/// (the patched launches are the original LaunchExpr nodes) unless a
+/// coarsened kernel contained nested launches; coarsened kernel bodies are
+/// rebuilt, so transformability/grid-dim/purity results are dropped.
+class CoarseningPass : public TransformPass {
+public:
+  explicit CoarseningPass(CoarseningOptions Options = {})
+      : Options(std::move(Options)) {}
+
+  std::string name() const override { return "coarsen"; }
+  std::string repr() const override;
+  PreservedAnalyses run(ASTContext &Ctx, TranslationUnit *TU,
+                        AnalysisManager &AM, DiagnosticEngine &Diags) override;
+
+  const CoarseningOptions &options() const { return Options; }
+  const CoarseningResult &result() const { return Result; }
+
+private:
+  CoarseningOptions Options;
+  CoarseningResult Result;
+};
 
 } // namespace dpo
 

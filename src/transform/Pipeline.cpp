@@ -11,33 +11,64 @@
 
 using namespace dpo;
 
+void dpo::buildPassPipeline(PassManager &PM, const PipelineOptions &Options) {
+  if (Options.EnableThresholding)
+    PM.addPass(std::make_unique<ThresholdingPass>(Options.Thresholding));
+  if (Options.EnableCoarsening)
+    PM.addPass(std::make_unique<CoarseningPass>(Options.Coarsening));
+  if (Options.EnableAggregation)
+    PM.addPass(std::make_unique<AggregationPass>(Options.Aggregation));
+}
+
+PassPipelineConfig dpo::pipelineConfigFrom(const PipelineOptions &Options) {
+  PassPipelineConfig Config;
+  Config.Thresholding = Options.Thresholding;
+  Config.Coarsening = Options.Coarsening;
+  Config.Aggregation = Options.Aggregation;
+  return Config;
+}
+
+PipelineResult dpo::runPipeline(ASTContext &Ctx, TranslationUnit *TU,
+                                const PipelineOptions &Options,
+                                DiagnosticEngine &Diags, AnalysisManager &AM) {
+  PassManager PM;
+  ThresholdingPass *Threshold = nullptr;
+  CoarseningPass *Coarsen = nullptr;
+  AggregationPass *Aggregate = nullptr;
+  if (Options.EnableThresholding) {
+    auto Pass = std::make_unique<ThresholdingPass>(Options.Thresholding);
+    Threshold = Pass.get();
+    PM.addPass(std::move(Pass));
+  }
+  if (Options.EnableCoarsening) {
+    auto Pass = std::make_unique<CoarseningPass>(Options.Coarsening);
+    Coarsen = Pass.get();
+    PM.addPass(std::move(Pass));
+  }
+  if (Options.EnableAggregation) {
+    auto Pass = std::make_unique<AggregationPass>(Options.Aggregation);
+    Aggregate = Pass.get();
+    PM.addPass(std::move(Pass));
+  }
+
+  PipelineResult Result;
+  Result.Ok = PM.run(Ctx, TU, AM, Diags);
+  // Passes after the first error did not run; their results stay default,
+  // matching the pre-pass-manager early-return behavior.
+  if (Threshold)
+    Result.Thresholding = Threshold->result();
+  if (Coarsen)
+    Result.Coarsening = Coarsen->result();
+  if (Aggregate)
+    Result.Aggregation = Aggregate->result();
+  return Result;
+}
+
 PipelineResult dpo::runPipeline(ASTContext &Ctx, TranslationUnit *TU,
                                 const PipelineOptions &Options,
                                 DiagnosticEngine &Diags) {
-  PipelineResult Result;
-  if (Options.EnableThresholding) {
-    Result.Thresholding =
-        applyThresholding(Ctx, TU, Options.Thresholding, Diags);
-    if (Diags.hasErrors()) {
-      Result.Ok = false;
-      return Result;
-    }
-  }
-  if (Options.EnableCoarsening) {
-    Result.Coarsening = applyCoarsening(Ctx, TU, Options.Coarsening, Diags);
-    if (Diags.hasErrors()) {
-      Result.Ok = false;
-      return Result;
-    }
-  }
-  if (Options.EnableAggregation) {
-    Result.Aggregation = applyAggregation(Ctx, TU, Options.Aggregation, Diags);
-    if (Diags.hasErrors()) {
-      Result.Ok = false;
-      return Result;
-    }
-  }
-  return Result;
+  AnalysisManager AM(Ctx, TU);
+  return runPipeline(Ctx, TU, Options, Diags, AM);
 }
 
 std::string dpo::transformSource(std::string_view Source,
@@ -49,6 +80,32 @@ std::string dpo::transformSource(std::string_view Source,
     return std::string();
   PipelineResult Result = runPipeline(Ctx, TU, Options, Diags);
   if (!Result.Ok)
+    return std::string();
+  return printTranslationUnit(TU);
+}
+
+std::string dpo::transformSourceWithPipeline(std::string_view Source,
+                                             std::string_view PipelineText,
+                                             const PassPipelineConfig &Config,
+                                             DiagnosticEngine &Diags,
+                                             std::string *StatsReport) {
+  PassManager PM;
+  std::string Error;
+  if (!parsePassPipeline(PM, PipelineText, Config, Error)) {
+    Diags.error(SourceLocation(), "invalid pass pipeline: " + Error);
+    return std::string();
+  }
+
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  if (!TU)
+    return std::string();
+
+  AnalysisManager AM(Ctx, TU);
+  bool Ok = PM.run(Ctx, TU, AM, Diags);
+  if (StatsReport)
+    *StatsReport = PM.statsReport(AM);
+  if (!Ok)
     return std::string();
   return printTranslationUnit(TU);
 }

@@ -13,6 +13,12 @@
 /// isolate before they are combined; coarsening before aggregation so the
 /// disaggregation logic lands outside the coarsening loop and is amortized.
 ///
+/// Since the pass-manager refactor this file is a thin convenience layer:
+/// runPipeline/transformSource build a PassManager in the Fig. 8(a) order
+/// and run it with a shared AnalysisManager, so the launch-site analysis is
+/// computed once for the whole pipeline instead of once per pass. Custom
+/// orderings come from parsePassPipeline / transformSourceWithPipeline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DPO_TRANSFORM_PIPELINE_H
@@ -20,9 +26,11 @@
 
 #include "ast/ASTContext.h"
 #include "ast/Decl.h"
+#include "sema/Analysis.h"
 #include "support/Diagnostics.h"
 #include "transform/AggregationPass.h"
 #include "transform/CoarseningPass.h"
+#include "transform/PassManager.h"
 #include "transform/PassOptions.h"
 #include "transform/ThresholdingPass.h"
 
@@ -54,7 +62,20 @@ struct PipelineResult {
   bool Ok = true;
 };
 
-/// Runs the enabled passes in the Fig. 8(a) order, in place.
+/// Appends the passes enabled in \p Options to \p PM, in the Fig. 8(a)
+/// order.
+void buildPassPipeline(PassManager &PM, const PipelineOptions &Options);
+
+/// The knob defaults of \p Options as a textual-pipeline configuration.
+PassPipelineConfig pipelineConfigFrom(const PipelineOptions &Options);
+
+/// Runs the enabled passes in the Fig. 8(a) order, in place, sharing
+/// \p AM's analysis cache across the passes.
+PipelineResult runPipeline(ASTContext &Ctx, TranslationUnit *TU,
+                           const PipelineOptions &Options,
+                           DiagnosticEngine &Diags, AnalysisManager &AM);
+
+/// Same, with a pipeline-private AnalysisManager.
 PipelineResult runPipeline(ASTContext &Ctx, TranslationUnit *TU,
                            const PipelineOptions &Options,
                            DiagnosticEngine &Diags);
@@ -64,6 +85,18 @@ PipelineResult runPipeline(ASTContext &Ctx, TranslationUnit *TU,
 std::string transformSource(std::string_view Source,
                             const PipelineOptions &Options,
                             DiagnosticEngine &Diags);
+
+/// Text-to-text with a textual pass pipeline ("threshold,coarsen,
+/// aggregate[multiblock:8]"; see PassManager.h for the grammar). Knob
+/// values not overridden in the text come from \p Config. On success,
+/// optionally writes the pass-timing/analysis-cache report to
+/// \p StatsReport. Returns an empty string on error: pipeline-parse
+/// failures are reported as diagnostics too.
+std::string transformSourceWithPipeline(std::string_view Source,
+                                        std::string_view PipelineText,
+                                        const PassPipelineConfig &Config,
+                                        DiagnosticEngine &Diags,
+                                        std::string *StatsReport = nullptr);
 
 } // namespace dpo
 

@@ -81,12 +81,12 @@ class ThresholdingTransformer {
 public:
   ThresholdingTransformer(ASTContext &Ctx, TranslationUnit *TU,
                           const ThresholdingOptions &Options,
-                          DiagnosticEngine &Diags)
-      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags) {}
+                          DiagnosticEngine &Diags, AnalysisManager &AM)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM) {}
 
   ThresholdingResult run() {
     ThresholdingResult Result;
-    std::vector<LaunchSite> AllSites = findLaunchSites(TU);
+    const std::vector<LaunchSite> &AllSites = AM.launchSites();
 
     // Plan the transformation of every eligible dynamic launch.
     struct PlannedSite {
@@ -108,18 +108,18 @@ public:
         skip(Result, Where + ": child kernel definition not found");
         continue;
       }
-      Transformability T = analyzeSerializability(Site.Child, TU);
+      const Transformability &T = AM.serializability(Site.Child);
       if (!T.Serializable) {
         skip(Result, Where + ": " + T.Reasons.front());
         continue;
       }
       PlannedSite P;
       P.Site = Site;
-      P.Info = analyzeGridDim(Ctx, Site.Caller, Site.Launch->gridDim());
+      P.Info = AM.gridDim(Site.Caller, Site.Launch->gridDim());
       if (!P.Info.Found || (P.Info.NeedsReevaluation && !P.Info.Safe)) {
         if (Options.FallbackToTotalThreads &&
-            isPureExpr(Site.Launch->gridDim()) &&
-            isPureExpr(Site.Launch->blockDim())) {
+            AM.isPure(Site.Launch->gridDim()) &&
+            AM.isPure(Site.Launch->blockDim())) {
           P.UseTotalThreadsFallback = true;
         } else {
           skip(Result, Where + ": " + P.Info.FailureReason);
@@ -156,6 +156,7 @@ public:
     }
 
     Result.TransformedLaunches = Planned.size();
+    Result.SerializedNestedLaunches = NestedLaunchSerials;
     return Result;
   }
 
@@ -184,6 +185,13 @@ private:
                            const std::vector<LaunchSite> &AllSites) {
     if (SerialNames.count(Child))
       return;
+
+    // Cloning a body that launches duplicates its launch sites; the pass
+    // reports this so the launch-site analysis gets invalidated.
+    forEachExpr(Child->body(), [&](const Expr *E) {
+      if (isa<LaunchExpr>(E))
+        ++NestedLaunchSerials;
+    });
 
     bool AllDims = childNeedsAllDims(Child, AllSites);
     bool HasReturn = containsReturn(Child->body());
@@ -352,15 +360,53 @@ private:
   TranslationUnit *TU;
   const ThresholdingOptions &Options;
   DiagnosticEngine &Diags;
+  AnalysisManager &AM;
   std::map<const FunctionDecl *, std::string> SerialNames;
   unsigned SiteCounter = 0;
+  unsigned NestedLaunchSerials = 0;
 };
 
 } // namespace
 
 ThresholdingResult dpo::applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
                                           const ThresholdingOptions &Options,
-                                          DiagnosticEngine &Diags) {
-  ThresholdingTransformer Transformer(Ctx, TU, Options, Diags);
+                                          DiagnosticEngine &Diags,
+                                          AnalysisManager &AM) {
+  ThresholdingTransformer Transformer(Ctx, TU, Options, Diags, AM);
   return Transformer.run();
+}
+
+ThresholdingResult dpo::applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
+                                          const ThresholdingOptions &Options,
+                                          DiagnosticEngine &Diags) {
+  AnalysisManager AM(Ctx, TU);
+  return applyThresholding(Ctx, TU, Options, Diags, AM);
+}
+
+std::string ThresholdingPass::repr() const {
+  std::string R = "threshold[" + std::to_string(Options.Threshold);
+  if (Options.FallbackToTotalThreads)
+    R += ":fallback";
+  if (Options.Spelling == KnobSpelling::Literal)
+    R += ":literal";
+  return R + "]";
+}
+
+PreservedAnalyses ThresholdingPass::run(ASTContext &Ctx, TranslationUnit *TU,
+                                        AnalysisManager &AM,
+                                        DiagnosticEngine &Diags) {
+  Result = applyThresholding(Ctx, TU, Options, Diags, AM);
+  if (Result.TransformedLaunches == 0)
+    return PreservedAnalyses::all();
+  PreservedAnalyses PA;
+  // Child kernel bodies are untouched, so serializability verdicts hold.
+  PA.preserve(AnalysisID::Transformability);
+  // The rewrite replaces each launch *statement* with a guard that still
+  // contains the original LaunchExpr node, so the cached site list stays
+  // exact — unless serialization cloned a body with nested launches.
+  if (Result.SerializedNestedLaunches == 0)
+    PA.preserve(AnalysisID::LaunchSites);
+  // GridDim results were spliced into the tree and grid expressions were
+  // rewritten in place; purity keys may alias mutated expressions.
+  return PA;
 }

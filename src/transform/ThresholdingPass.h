@@ -28,6 +28,7 @@
 #include "ast/ASTContext.h"
 #include "ast/Decl.h"
 #include "support/Diagnostics.h"
+#include "transform/PassManager.h"
 #include "transform/PassOptions.h"
 
 #include <string>
@@ -38,14 +39,49 @@ namespace dpo {
 struct ThresholdingResult {
   unsigned TransformedLaunches = 0;
   unsigned SkippedLaunches = 0;
+  /// Serial versions generated from child bodies that themselves contain
+  /// launches (nested dynamic parallelism). Cloning such a body duplicates
+  /// launch sites, so a nonzero count invalidates the launch-site analysis.
+  unsigned SerializedNestedLaunches = 0;
   std::vector<std::string> SkipReasons;
   bool ok() const { return true; } ///< Skips never make the output invalid.
 };
 
-/// Applies thresholding to every dynamic launch site in \p TU, in place.
+/// Applies thresholding to every dynamic launch site in \p TU, in place,
+/// consuming (and crediting cache hits to) \p AM's analyses.
+ThresholdingResult applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
+                                     const ThresholdingOptions &Options,
+                                     DiagnosticEngine &Diags,
+                                     AnalysisManager &AM);
+
+/// Standalone form: runs with a private AnalysisManager (every analysis
+/// computed fresh, the pre-pass-manager behavior).
 ThresholdingResult applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
                                      const ThresholdingOptions &Options,
                                      DiagnosticEngine &Diags);
+
+/// The thresholding transformation as a pipeline pass. Preserves the
+/// launch-site analysis (the rewrite wraps the original launch nodes in
+/// place) unless a serialized child contained nested launches, and the
+/// transformability cache (child kernel bodies are untouched); grid-dim
+/// results are consumed by the rewrite, so they are never preserved.
+class ThresholdingPass : public TransformPass {
+public:
+  explicit ThresholdingPass(ThresholdingOptions Options = {})
+      : Options(std::move(Options)) {}
+
+  std::string name() const override { return "threshold"; }
+  std::string repr() const override;
+  PreservedAnalyses run(ASTContext &Ctx, TranslationUnit *TU,
+                        AnalysisManager &AM, DiagnosticEngine &Diags) override;
+
+  const ThresholdingOptions &options() const { return Options; }
+  const ThresholdingResult &result() const { return Result; }
+
+private:
+  ThresholdingOptions Options;
+  ThresholdingResult Result;
+};
 
 } // namespace dpo
 

@@ -106,6 +106,40 @@ TuneResult dpo::exhaustiveTune(const GpuModel &Gpu,
   return Best;
 }
 
+PipelineOptions dpo::pipelineOptionsFor(const ExecConfig &Config) {
+  PipelineOptions Options;
+  if (Config.NoCdp) {
+    // The no-CDP baseline serializes every child grid: thresholding with a
+    // threshold no realistic grid reaches.
+    Options.EnableThresholding = true;
+    Options.Thresholding.Threshold = 0xFFFFFFFFu;
+    Options.Thresholding.FallbackToTotalThreads = true;
+    return Options;
+  }
+  if (Config.Threshold) {
+    Options.EnableThresholding = true;
+    Options.Thresholding.Threshold = *Config.Threshold;
+  }
+  if (Config.CoarsenFactor > 1) {
+    Options.EnableCoarsening = true;
+    Options.Coarsening.Factor = Config.CoarsenFactor;
+  }
+  if (Config.Agg != AggGranularity::None) {
+    Options.EnableAggregation = true;
+    Options.Aggregation.Granularity = Config.Agg;
+    Options.Aggregation.GroupSize = Config.AggGroupBlocks;
+    Options.Aggregation.UseAggregationThreshold = Config.AggThresholdEnabled;
+    Options.Aggregation.AggregationThreshold = Config.AggThreshold;
+  }
+  return Options;
+}
+
+std::string dpo::passPipelineTextFor(const ExecConfig &Config) {
+  PassManager PM;
+  buildPassPipeline(PM, pipelineOptionsFor(Config));
+  return PM.pipelineText();
+}
+
 TuneResult dpo::guidedTune(const GpuModel &Gpu,
                            const std::vector<NestedBatch> &Batches,
                            const VariantMask &Mask) {

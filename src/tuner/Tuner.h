@@ -21,6 +21,7 @@
 #define DPO_TUNER_TUNER_H
 
 #include "sim/Simulator.h"
+#include "transform/Pipeline.h"
 
 #include <functional>
 #include <string>
@@ -64,6 +65,19 @@ TuneResult guidedTune(const GpuModel &Gpu,
 /// \p TargetLaunches dynamic launches (Section VIII-C's 6k-8k rule).
 uint32_t thresholdForLaunchBudget(const std::vector<NestedBatch> &Batches,
                                   uint64_t TargetLaunches);
+
+/// Maps a tuned execution strategy back onto the source-to-source
+/// compiler: the pipeline options that realize \p Config (knobs spelled as
+/// macros with the tuned values as defaults). NoCdp configurations map to
+/// thresholding with a threshold of 2^32-1, which serializes every child
+/// grid. Feed the result to runPipeline/buildPassPipeline to emit the
+/// tuned .cu.
+PipelineOptions pipelineOptionsFor(const ExecConfig &Config);
+
+/// The textual pass pipeline realizing \p Config, in parsePassPipeline's
+/// grammar ("threshold[1024],coarsen[8],aggregate[multiblock:8]"). Empty
+/// when \p Config enables no transformation.
+std::string passPipelineTextFor(const ExecConfig &Config);
 
 } // namespace dpo
 
