@@ -1,0 +1,88 @@
+//===--- tuner_convergence.cpp - Budget vs. quality of the empirical tuner -----===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convergence study for the VM-in-the-loop autotuner: for a range of VM
+/// execution budgets, how close do the empirical and hybrid searches get
+/// to the best configuration, and what do they spend to get there?
+///
+/// Quality is scored on a common yardstick — the analytic simulator's
+/// makespan of each chosen config over the *full* batch stream — so the
+/// empirical modes are judged on generalization from their measurement
+/// sample, not on their own objective. The exhaustive analytic sweep's
+/// winner defines 1.0x.
+///
+/// Workloads: SSSP on a web-like graph (the autotune example's setting)
+/// and the skewed synthetic stream (dpoptcc --tune's built-in workload).
+/// Everything is seeded; the table is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Empirical.h"
+#include "workloads/VmWorkload.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace dpo;
+
+namespace {
+
+double wallMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+void runStudy(const char *Name, const VmWorkload &Workload) {
+  GpuModel Gpu;
+  VariantMask Full;
+  Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+
+  auto T0 = std::chrono::steady_clock::now();
+  EmpiricalTuneResult Exhaustive =
+      analyticTune(Gpu, Workload.Batches, Full);
+  double ExhaustiveMs = wallMs(T0);
+  std::printf("%s: exhaustive analytic best %.1f us (%u probes, %.0f ms)\n",
+              Name, Exhaustive.TimeUs, Exhaustive.SimProbes, ExhaustiveMs);
+  std::printf("  %-9s %6s  %9s %8s %8s %9s %8s  %s\n", "mode", "budget",
+              "sim-us", "vs-best", "vm-runs", "compiles", "ms",
+              "chosen pipeline");
+
+  for (TuneMode Mode : {TuneMode::Empirical, TuneMode::Hybrid}) {
+    for (unsigned Budget : {8u, 16u, 32u, 64u}) {
+      EmpiricalOptions Opts;
+      Opts.Budget = Budget;
+      EmpiricalEvaluator Eval(Gpu, Workload, Opts);
+      auto Start = std::chrono::steady_clock::now();
+      EmpiricalTuneResult R = Mode == TuneMode::Empirical
+                                  ? empiricalTune(Eval, Full)
+                                  : hybridTune(Eval, Full);
+      double Ms = wallMs(Start);
+      // Common yardstick: simulate the chosen config on the full stream.
+      double SimUs = simulateBatches(Gpu, Workload.Batches, R.Config).TimeUs;
+      std::printf("  %-9s %6u  %9.1f %7.2fx %8u %8u %8.0f  %s\n",
+                  tuneModeName(Mode), Budget, SimUs,
+                  SimUs / Exhaustive.TimeUs, Eval.evaluations(),
+                  Eval.programCompiles(), Ms,
+                  R.Pipeline.empty() ? "(none)" : R.Pipeline.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  CsrGraph G = makeWebGraph(/*NumVertices=*/60000, /*AvgDegree=*/9.0,
+                            /*Seed=*/21);
+  WorkloadOutput Sssp = runSssp(G, 0);
+  runStudy("sssp/web", makeNestedVmWorkload("sssp", Sssp.Batches));
+  runStudy("skewed", makeNestedVmWorkload("skewed",
+                                          makeSkewedBatches(4, 20000, 1)));
+  return 0;
+}

@@ -1,20 +1,31 @@
-//===--- autotune.cpp - Guided vs. exhaustive tuning (Section VIII-C) ----------===//
+//===--- autotune.cpp - Analytic, empirical, and hybrid tuning -----------------===//
 //
 // Part of the dpopt project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tunes the full pipeline for SSSP on a web-like graph, comparing the
-/// paper's guided heuristic (threshold from the 6k-8k launch budget, large
-/// coarsening factor, no warp granularity) against the exhaustive sweep.
+/// Tunes the full pipeline for SSSP on a web-like graph.
+///
+///   autotune [--tune=analytic|empirical|hybrid] [--tune-budget=N]
+///            [--tune-seed=N]
+///
+/// With --tune=, runs exactly one tuning mode and applies the winning
+/// configuration to the SSSP kernels as a pass pipeline. Empirical and
+/// hybrid modes select the config by *executing VM bytecode*: every probed
+/// candidate is compiled through the pass manager, lowered to bytecode,
+/// and run against the SSSP batch stream; the reported steps / launches /
+/// cycles are measured, not simulated. Without --tune=, compares all three
+/// modes plus the paper's guided heuristic (Section VIII-C).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "tuner/Tuner.h"
+#include "tuner/Empirical.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace dpo;
 
@@ -47,55 +58,45 @@ __global__ void sssp_step(int *dist, int *offsets, int *adj, int *wgt,
 }
 )";
 
-} // namespace
+void describeConfig(const ExecConfig &C) {
+  std::printf("threshold=%s, factor=%u, granularity=%s",
+              C.Threshold ? std::to_string(*C.Threshold).c_str() : "-",
+              C.CoarsenFactor, aggGranularityName(C.Agg));
+  if (C.Agg == AggGranularity::MultiBlock)
+    std::printf(", group=%u", C.AggGroupBlocks);
+}
 
-int main() {
-  CsrGraph G = makeWebGraph(/*NumVertices=*/60000, /*AvgDegree=*/9.0,
-                            /*Seed=*/21);
-  std::printf("graph: %u vertices, %llu edges\n", G.NumVertices,
-              (unsigned long long)G.numEdges());
-  WorkloadOutput Sssp = runSssp(G, 0);
-  std::printf("SSSP: %zu kernel invocations, %llu total child units\n\n",
-              Sssp.Batches.size(),
-              (unsigned long long)Sssp.totalChildUnits());
+void reportResult(const EmpiricalTuneResult &R, unsigned Budget) {
+  std::printf("%-9s: %10.1f us  (", tuneModeName(R.Mode), R.TimeUs);
+  describeConfig(R.Config);
+  std::printf(")\n");
+  if (R.Mode == TuneMode::Analytic) {
+    std::printf("           %u simulator probes, no VM executions\n",
+                R.SimProbes);
+    return;
+  }
+  std::printf("           measured on the VM: %llu bytecode steps, %llu "
+              "device + %llu host launches,\n"
+              "           %llu blocks over %u sample batches "
+              "(%.0f weighted cycles)\n",
+              (unsigned long long)R.Measured.Steps,
+              (unsigned long long)R.Measured.DeviceLaunches,
+              (unsigned long long)R.Measured.HostLaunches,
+              (unsigned long long)R.Measured.BlocksExecuted,
+              R.Measured.BatchesRun, R.Measured.Cycles);
+  std::printf("           %u/%u VM executions spent", R.VmEvaluations,
+              Budget);
+  if (R.SimProbes)
+    std::printf(", %u analytic filter probes", R.SimProbes);
+  std::printf("\n");
+}
 
-  GpuModel Gpu;
-  VariantMask Full;
-  Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
-
-  auto Describe = [](const char *Name, const TuneResult &R) {
-    std::printf("%-11s: %8.1f us in %4u probes  (threshold=%s, factor=%u, "
-                "granularity=%s",
-                Name, R.Result.TimeUs, R.Probes,
-                R.Config.Threshold ? std::to_string(*R.Config.Threshold).c_str()
-                                   : "-",
-                R.Config.CoarsenFactor, aggGranularityName(R.Config.Agg));
-    if (R.Config.Agg == AggGranularity::MultiBlock)
-      std::printf(", group=%u", R.Config.AggGroupBlocks);
-    std::printf(")\n");
-  };
-
-  TuneResult Guided = guidedTune(Gpu, Sssp.Batches, Full);
-  Describe("guided", Guided);
-  TuneResult Exhaustive = exhaustiveTune(Gpu, Sssp.Batches, Full);
-  Describe("exhaustive", Exhaustive);
-
-  std::printf("\nguided is within %.1f%% of exhaustive using %.1f%% of the "
-              "probes.\n",
-              (Guided.Result.TimeUs / Exhaustive.Result.TimeUs - 1.0) * 100.0,
-              100.0 * Guided.Probes / Exhaustive.Probes);
-  std::printf("launch-budget rule picked threshold %u (aiming for <= 8000 "
-              "dynamic launches).\n",
-              thresholdForLaunchBudget(Sssp.Batches, 8000));
-
-  // Close the loop: compile the SSSP kernels with the guided configuration
-  // through the pass manager and show what the pipeline cost.
-  std::string Pipeline = passPipelineTextFor(Guided.Config);
+int applyPipeline(const std::string &Pipeline) {
   if (Pipeline.empty()) {
-    std::printf("\nguided config needs no source transformation.\n");
+    std::printf("\nchosen config needs no source transformation.\n");
     return 0;
   }
-  std::printf("\napplying the guided config as a pass pipeline:\n  %s\n",
+  std::printf("\napplying the chosen config as a pass pipeline:\n  %s\n",
               Pipeline.c_str());
   DiagnosticEngine Diags;
   std::string Stats;
@@ -108,4 +109,83 @@ int main() {
   std::printf("transformed source: %zu bytes\n%s", Transformed.size(),
               Stats.c_str());
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool ModeSet = false;
+  TuneMode Mode = TuneMode::Empirical;
+  EmpiricalOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--tune=", 0) == 0) {
+      if (!parseTuneMode(Arg.substr(7), Mode)) {
+        std::fprintf(stderr,
+                     "error: unknown tuning mode '%s' (expected analytic, "
+                     "empirical, or hybrid)\n",
+                     Arg.substr(7).c_str());
+        return 1;
+      }
+      ModeSet = true;
+    } else if (Arg.rfind("--tune-budget=", 0) == 0) {
+      Opts.Budget = (unsigned)std::strtoul(Arg.c_str() + 14, nullptr, 10);
+      if (!Opts.Budget) {
+        std::fprintf(stderr, "error: --tune-budget must be positive\n");
+        return 1;
+      }
+    } else if (Arg.rfind("--tune-seed=", 0) == 0) {
+      Opts.Seed = (unsigned)std::strtoul(Arg.c_str() + 12, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: autotune [--tune=analytic|empirical|hybrid] "
+                   "[--tune-budget=N] [--tune-seed=N]\n");
+      return Arg == "-h" || Arg == "--help" ? 0 : 1;
+    }
+  }
+
+  CsrGraph G = makeWebGraph(/*NumVertices=*/60000, /*AvgDegree=*/9.0,
+                            /*Seed=*/21);
+  std::printf("graph: %u vertices, %llu edges\n", G.NumVertices,
+              (unsigned long long)G.numEdges());
+  WorkloadOutput Sssp = runSssp(G, 0);
+  std::printf("SSSP: %zu kernel invocations, %llu total child units\n\n",
+              Sssp.Batches.size(),
+              (unsigned long long)Sssp.totalChildUnits());
+
+  GpuModel Gpu;
+  VariantMask Full;
+  Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+  VmWorkload Workload = makeNestedVmWorkload("sssp", Sssp.Batches);
+
+  if (ModeSet) {
+    EmpiricalTuneResult R = tuneWorkload(Mode, Gpu, Workload, Full, Opts);
+    reportResult(R, Opts.Budget);
+    return applyPipeline(R.Pipeline);
+  }
+
+  // No mode requested: compare everything, including the paper's guided
+  // heuristic against the exhaustive analytic sweep.
+  EmpiricalTuneResult Analytic = analyticTune(Gpu, Sssp.Batches, Full);
+  reportResult(Analytic, Opts.Budget);
+  EmpiricalTuneResult Empirical =
+      tuneWorkload(TuneMode::Empirical, Gpu, Workload, Full, Opts);
+  reportResult(Empirical, Opts.Budget);
+  EmpiricalTuneResult Hybrid =
+      tuneWorkload(TuneMode::Hybrid, Gpu, Workload, Full, Opts);
+  reportResult(Hybrid, Opts.Budget);
+
+  TuneResult Guided = guidedTune(Gpu, Sssp.Batches, Full);
+  std::printf("guided   : %10.1f us  (", Guided.Result.TimeUs);
+  describeConfig(Guided.Config);
+  std::printf(")\n           Section VIII-C heuristic, %u simulator probes "
+              "(within %.1f%% of the exhaustive sweep)\n",
+              Guided.Probes,
+              (Guided.Result.TimeUs / Analytic.TimeUs - 1.0) * 100.0);
+  std::printf("launch-budget rule picked threshold %u (aiming for <= 8000 "
+              "dynamic launches).\n",
+              thresholdForLaunchBudget(Sssp.Batches, 8000));
+
+  return applyPipeline(Hybrid.Pipeline);
 }

@@ -12,13 +12,15 @@
 ///
 ///   dpoptcc [-t] [-c] [-a] [--granularity=warp|block|multiblock|grid]
 ///           [--threshold=N] [--factor=N] [--group=N] [--agg-threshold=N]
-///           [-passes=PIPELINE] [--print-pass-stats] [--list-passes]
+///           [-passes=PIPELINE] [--tune=MODE] [--tune-budget=N]
+///           [--tune-seed=N] [--print-pass-stats] [--list-passes]
 ///           input.cu [-o output.cu]
 ///
 /// The -t/-c/-a flags build the paper's Fig. 8(a) pipeline; -passes= runs
-/// an arbitrary pipeline through the PassManager (grammar in
-/// src/transform/README.md), e.g. -passes=threshold[256],coarsen,
-/// aggregate[multiblock:8]. Both paths share one AnalysisManager, so
+/// an arbitrary pipeline through the PassManager (grammar below and in
+/// src/transform/README.md); --tune= asks the autotuner (analytic
+/// simulator sweep, empirical VM-in-the-loop search, or the hybrid of
+/// both) to pick the pipeline. All paths share one AnalysisManager, so
 /// --print-pass-stats shows per-pass timings and analysis-cache hits.
 ///
 //===----------------------------------------------------------------------===//
@@ -27,6 +29,7 @@
 #include "parse/Parser.h"
 #include "support/StringUtils.h"
 #include "transform/Pipeline.h"
+#include "tuner/Empirical.h"
 
 #include <cstdio>
 #include <fstream>
@@ -40,12 +43,51 @@ static void usage() {
       stderr,
       "usage: dpoptcc [-t] [-c] [-a] [--granularity=G] [--threshold=N]\n"
       "               [--factor=N] [--group=N] [--agg-threshold=N]\n"
-      "               [-passes=PIPELINE] [--print-pass-stats] [--list-passes]\n"
+      "               [-passes=PIPELINE] [--tune=MODE] [--tune-budget=N]\n"
+      "               [--tune-seed=N] [--print-pass-stats] [--list-passes]\n"
       "               input.cu [-o output.cu]\n"
-      "  -t/-c/-a enable thresholding / coarsening / aggregation\n"
-      "  (default: all three, multi-block granularity)\n"
-      "  -passes= runs a textual pass pipeline instead, e.g.\n"
-      "           -passes=threshold[256],coarsen[8],aggregate[multiblock:8]\n");
+      "\n"
+      "pass selection (pick one):\n"
+      "  -t/-c/-a            enable thresholding / coarsening / aggregation\n"
+      "                      in the paper's order (default: all three,\n"
+      "                      multi-block granularity); knob flags\n"
+      "                      (--threshold=, --factor=, --group=,\n"
+      "                      --agg-threshold=, --granularity=) set values\n"
+      "  -passes=PIPELINE    run a textual pass pipeline instead\n"
+      "  --tune=MODE         let the autotuner pick the pipeline; MODE is\n"
+      "                      analytic  (exhaustive simulator sweep),\n"
+      "                      empirical (candidates compiled through the\n"
+      "                                 pass manager and *executed* on the\n"
+      "                                 bytecode VM; successive halving +\n"
+      "                                 hill climbing), or\n"
+      "                      hybrid    (simulator-ranked shortlist,\n"
+      "                                 VM-measured winners)\n"
+      "  --tune-budget=N     max VM executions for empirical/hybrid\n"
+      "                      (default 48)\n"
+      "  --tune-seed=N       sampling seed; fixed seed + budget reproduces\n"
+      "                      the chosen config exactly (default 1)\n"
+      "\n"
+      "pipeline grammar (also: dpoptcc --list-passes):\n"
+      "  pipeline := pass (',' pass)*\n"
+      "  pass     := name ('[' param (':' param)* ']')?\n"
+      "  threshold[N][:fallback][:literal|:macro]\n"
+      "      N the launch threshold; 'fallback' compares\n"
+      "      gridDim*blockDim when the grid-size analysis fails\n"
+      "  coarsen[N][:literal|:macro]\n"
+      "      N the block-coarsening factor\n"
+      "  aggregate[none|warp|block|multiblock|grid][:N]\n"
+      "           [:agg-threshold=N][:literal|:macro]\n"
+      "      granularity, multi-block group size N, Section V-B\n"
+      "      participation threshold\n"
+      "  builtin-rewrite[<builtin>[.x|.y|.z]=<name>][:strict]\n"
+      "      rename CUDA builtins across kernel bodies\n"
+      "  'literal' inlines knob values; 'macro' (default) emits _THRESHOLD/\n"
+      "  _CFACTOR/_AGG_SIZE macros with the configured values as defaults\n"
+      "\n"
+      "examples:\n"
+      "  dpoptcc -passes=threshold[256],coarsen[8],aggregate[multiblock:8] "
+      "in.cu\n"
+      "  dpoptcc --tune=hybrid --tune-budget=32 in.cu -o tuned.cu\n");
 }
 
 /// Validated replacement for the old atoi calls: accepts only a non-empty
@@ -79,9 +121,17 @@ static bool parseCountFlag(const char *Flag, const std::string &Text,
 }
 
 static void listPasses() {
-  std::printf("registered passes:\n");
+  std::printf("pipeline grammar:  pipeline := pass (',' pass)*\n"
+              "                   pass     := name ('[' param (':' param)* "
+              "']')?\n"
+              "e.g. -passes=threshold[256:fallback],coarsen[8],"
+              "aggregate[multiblock:8:literal]\n\n"
+              "registered passes:\n");
   for (const auto &[Name, Description] : PassRegistry::global().entries())
     std::printf("  %-16s %s\n", Name.c_str(), Description.c_str());
+  std::printf("\nknob spellings: 'macro' (default) emits _THRESHOLD/_CFACTOR/"
+              "_AGG_SIZE macros\nwith the configured values as defaults; "
+              "'literal' inlines the values (required\nfor VM execution).\n");
 }
 
 int main(int argc, char **argv) {
@@ -89,6 +139,9 @@ int main(int argc, char **argv) {
   std::string Input, Output, PassText;
   bool AnyPass = false;
   bool PrintPassStats = false;
+  bool Tune = false;
+  TuneMode Mode = TuneMode::Hybrid;
+  EmpiricalOptions TuneOpts;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -134,6 +187,21 @@ int main(int argc, char **argv) {
       PassText = Arg.substr(8);
     } else if (Arg.rfind("--passes=", 0) == 0) {
       PassText = Arg.substr(9);
+    } else if (Arg.rfind("--tune=", 0) == 0) {
+      if (!parseTuneMode(Arg.substr(7), Mode)) {
+        std::fprintf(stderr,
+                     "error: unknown tuning mode '%s' (expected analytic, "
+                     "empirical, or hybrid)\n",
+                     Arg.substr(7).c_str());
+        return 1;
+      }
+      Tune = true;
+    } else if (Arg.rfind("--tune-budget=", 0) == 0) {
+      if (!parseCountFlag("--tune-budget", Arg.substr(14), TuneOpts.Budget))
+        return 1;
+    } else if (Arg.rfind("--tune-seed=", 0) == 0) {
+      if (!parseCountFlag("--tune-seed", Arg.substr(12), TuneOpts.Seed))
+        return 1;
     } else if (Arg == "--print-pass-stats") {
       PrintPassStats = true;
     } else if (Arg == "--list-passes") {
@@ -156,12 +224,62 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: -passes= cannot be combined with -t/-c/-a\n");
     return 1;
   }
-  if (PassText.empty() && !AnyPass)
+  if (Tune && (AnyPass || !PassText.empty())) {
+    std::fprintf(stderr,
+                 "error: --tune= cannot be combined with -t/-c/-a or "
+                 "-passes=\n");
+    return 1;
+  }
+  if (PassText.empty() && !AnyPass && !Tune)
     Options.EnableThresholding = Options.EnableCoarsening =
         Options.EnableAggregation = true;
   if (Input.empty()) {
     usage();
     return 1;
+  }
+
+  if (Tune) {
+    // Tune against the canonical nested workload over a deterministic
+    // skewed batch stream (seeded), then realize the winner as the
+    // pipeline for the input file. Knob macros keep the tuned values as
+    // their defaults, so the emitted .cu stays re-tunable at compile time.
+    GpuModel Gpu;
+    VariantMask Full;
+    Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+    VmWorkload Workload = makeNestedVmWorkload(
+        "dpoptcc-tune", makeSkewedBatches(4, 20000, TuneOpts.Seed));
+    EmpiricalTuneResult R = tuneWorkload(Mode, Gpu, Workload, Full, TuneOpts);
+    std::fprintf(stderr, "%s tuning chose: %s\n", tuneModeName(R.Mode),
+                 R.Pipeline.empty() ? "(no transformation)"
+                                    : R.Pipeline.c_str());
+    if (R.Mode == TuneMode::Analytic)
+      std::fprintf(stderr, "  %.1f us simulated, %u simulator probes\n",
+                   R.TimeUs, R.SimProbes);
+    else
+      std::fprintf(stderr,
+                   "  %.1f us from VM-measured cycles; %u/%u VM executions"
+                   "%s%u analytic probes\n",
+                   R.TimeUs, R.VmEvaluations, TuneOpts.Budget,
+                   R.SimProbes ? ", " : " and ", R.SimProbes);
+    PassText = R.Pipeline;
+    if (PassText.empty()) {
+      // Nothing to do: the tuner chose the untransformed program.
+      std::ifstream TuneIn(Input);
+      if (!TuneIn) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", Input.c_str());
+        return 1;
+      }
+      std::stringstream Copy;
+      Copy << TuneIn.rdbuf();
+      if (Output.empty())
+        std::cout << Copy.str();
+      else {
+        std::ofstream Out(Output);
+        Out << Copy.str();
+        std::fprintf(stderr, "wrote %s\n", Output.c_str());
+      }
+      return 0;
+    }
   }
 
   std::ifstream In(Input);

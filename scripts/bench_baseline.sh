@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-#===--- bench_baseline.sh - snapshot benchmark baselines to JSON -------------===#
+#===--- bench_baseline.sh - snapshot/check benchmark baselines ---------------===#
 #
-# Builds the benchmark harnesses and writes their results as JSON so future
-# PRs can compare performance against this baseline:
+# Snapshot mode (default): builds the benchmark harnesses and writes their
+# results as JSON so future PRs can compare performance against this
+# baseline:
 #
 #   scripts/bench_baseline.sh [vm_output.json [compiler_output.json]]
 #
@@ -10,10 +11,24 @@
 #   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput)
 #   BENCH_compiler.json  compiler_throughput (parse, passes, analysis cache)
 #
+# Check mode (the CI regression gate): runs a fresh vm_throughput snapshot
+# and compares it against the committed baseline with bench_compare.py,
+# failing on >15% per-benchmark throughput regression:
+#
+#   scripts/bench_baseline.sh --check [fresh.json [baseline.json]]
+#
+# To refresh the committed baseline after an intentional perf change:
+#
+#   scripts/bench_baseline.sh bench/baselines/BENCH_vm.json
+#
 # Environment:
-#   BUILD_DIR   cmake build directory (default: build)
-#   BENCH_ARGS  extra google-benchmark flags (e.g. --benchmark_filter=...)
-#   BENCH_REPS  benchmark repetitions (default: 1)
+#   BUILD_DIR              cmake build directory (default: build)
+#   BENCH_ARGS             extra google-benchmark flags
+#   BENCH_REPS             benchmark repetitions (default: 1; the check
+#                          uses 3 and compares best-of to cut noise)
+#   BENCH_BASELINE         baseline JSON for --check
+#                          (default: bench/baselines/BENCH_vm.json)
+#   BENCH_CHECK_TOLERANCE  allowed regression percent (default: 15)
 #
 #===---------------------------------------------------------------------------===#
 
@@ -21,11 +36,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
+
 VM_OUT="${1:-BENCH_vm.json}"
 COMPILER_OUT="${2:-BENCH_compiler.json}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target vm_throughput --target compiler_throughput >/dev/null
+
+if [[ "$CHECK" == 1 ]]; then
+  BASELINE="${2:-${BENCH_BASELINE:-bench/baselines/BENCH_vm.json}}"
+  if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_baseline.sh: no committed baseline at $BASELINE" >&2
+    exit 2
+  fi
+  "$BUILD_DIR/vm_throughput" \
+    --benchmark_out="$VM_OUT" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${BENCH_REPS:-3}" \
+    ${BENCH_ARGS:-}
+  echo "wrote $VM_OUT; comparing against $BASELINE"
+  exec python3 scripts/bench_compare.py "$VM_OUT" "$BASELINE" \
+    "${BENCH_CHECK_TOLERANCE:-15}"
+fi
 
 "$BUILD_DIR/vm_throughput" \
   --benchmark_out="$VM_OUT" \

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON snapshots and fail on throughput regression.
+
+Usage: bench_compare.py FRESH.json BASELINE.json [tolerance_percent]
+
+For every benchmark present in both files, picks a throughput metric in
+priority order: the `steps_per_sec` user counter, then `items_per_second`,
+then inverse cpu_time. A benchmark regresses when its fresh throughput
+falls more than `tolerance_percent` (default 15) below the baseline.
+Repeated entries (from --benchmark_repetitions) are reduced to their best
+throughput before comparison, which drops scheduler-noise outliers.
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = bad input.
+
+Caveat: absolute throughput is machine-dependent. Comparing a committed
+baseline from one machine against a run on another only gates gross
+regressions; regenerate the baseline (scripts/bench_baseline.sh) when the
+reference hardware changes.
+"""
+
+import json
+import sys
+
+
+def throughput(entry):
+    if "steps_per_sec" in entry:
+        return float(entry["steps_per_sec"]), "steps_per_sec"
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"]), "items_per_second"
+    cpu = float(entry.get("cpu_time", 0.0))
+    if cpu <= 0:
+        return None, None
+    return 1e9 / cpu, "1/cpu_time"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    best = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("run_name", entry.get("name"))
+        value, metric = throughput(entry)
+        if value is None:
+            continue
+        if name not in best or value > best[name][0]:
+            best[name] = (value, metric)
+    return best
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path, base_path = argv[1], argv[2]
+    tolerance = float(argv[3]) if len(argv) > 3 else 15.0
+
+    fresh = load(fresh_path)
+    base = load(base_path)
+    common = sorted(set(fresh) & set(base))
+    if not common:
+        print("bench_compare: no common benchmarks between "
+              f"{fresh_path} and {base_path}", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    print(f"{'benchmark':<44} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for name in common:
+        base_v, metric = base[name]
+        fresh_v, _ = fresh[name]
+        delta = (fresh_v / base_v - 1.0) * 100.0
+        flag = ""
+        if delta < -tolerance:
+            regressions += 1
+            flag = "  REGRESSION"
+        print(f"{name:<44} {base_v:12.3g} {fresh_v:12.3g} {delta:+7.1f}%"
+              f"{flag}")
+    skipped = (set(fresh) | set(base)) - set(common)
+    if skipped:
+        print(f"(skipped {len(skipped)} benchmark(s) present on one side "
+              "only)")
+    if regressions:
+        print(f"bench_compare: {regressions} benchmark(s) regressed more "
+              f"than {tolerance:.0f}% vs {base_path}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK — no benchmark regressed more than "
+          f"{tolerance:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

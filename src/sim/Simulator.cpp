@@ -227,3 +227,17 @@ SimResult dpo::simulateBatches(const GpuModel &Gpu,
     Total += simulateBatch(Gpu, Batch, Config);
   return Total;
 }
+
+std::vector<size_t> dpo::rankConfigs(const GpuModel &Gpu,
+                                     const std::vector<NestedBatch> &Batches,
+                                     const std::vector<ExecConfig> &Candidates) {
+  std::vector<double> Times(Candidates.size());
+  for (size_t I = 0; I < Candidates.size(); ++I)
+    Times[I] = simulateBatches(Gpu, Batches, Candidates[I]).TimeUs;
+  std::vector<size_t> Order(Candidates.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return Times[A] < Times[B]; });
+  return Order;
+}

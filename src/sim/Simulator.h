@@ -80,6 +80,15 @@ SimResult simulateBatches(const GpuModel &Gpu,
                           const std::vector<NestedBatch> &Batches,
                           const ExecConfig &Config);
 
+/// Ranks candidate execution strategies by simulated makespan: returns the
+/// indices into \p Candidates ordered fastest-first (stable — equal-time
+/// candidates keep their input order, which keeps tuner runs
+/// deterministic). The hybrid autotuner uses this as a cheap first-stage
+/// filter before spending VM-execution budget on the survivors.
+std::vector<size_t> rankConfigs(const GpuModel &Gpu,
+                                const std::vector<NestedBatch> &Batches,
+                                const std::vector<ExecConfig> &Candidates);
+
 } // namespace dpo
 
 #endif // DPO_SIM_SIMULATOR_H

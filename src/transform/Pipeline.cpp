@@ -28,6 +28,14 @@ PassPipelineConfig dpo::pipelineConfigFrom(const PipelineOptions &Options) {
   return Config;
 }
 
+PassPipelineConfig dpo::literalKnobConfig() {
+  PassPipelineConfig Config;
+  Config.Thresholding.Spelling = KnobSpelling::Literal;
+  Config.Coarsening.Spelling = KnobSpelling::Literal;
+  Config.Aggregation.Spelling = KnobSpelling::Literal;
+  return Config;
+}
+
 PipelineResult dpo::runPipeline(ASTContext &Ctx, TranslationUnit *TU,
                                 const PipelineOptions &Options,
                                 DiagnosticEngine &Diags, AnalysisManager &AM) {

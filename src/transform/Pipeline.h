@@ -69,6 +69,12 @@ void buildPassPipeline(PassManager &PM, const PipelineOptions &Options);
 /// The knob defaults of \p Options as a textual-pipeline configuration.
 PassPipelineConfig pipelineConfigFrom(const PipelineOptions &Options);
 
+/// A textual-pipeline configuration whose knob spellings are all literal —
+/// what VM execution requires (the VM has no preprocessor to give the
+/// `_THRESHOLD`/`_CFACTOR`/`_AGG_SIZE` macros values). The empirical tuner
+/// parses pipelines produced by passPipelineTextFor with these defaults.
+PassPipelineConfig literalKnobConfig();
+
 /// Runs the enabled passes in the Fig. 8(a) order, in place, sharing
 /// \p AM's analysis cache across the passes.
 PipelineResult runPipeline(ASTContext &Ctx, TranslationUnit *TU,

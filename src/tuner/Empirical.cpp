@@ -1,0 +1,533 @@
+//===--- Empirical.cpp ----------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Empirical.h"
+
+#include "parse/Parser.h"
+#include "transform/Pipeline.h"
+#include "vm/Compiler.h"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+using namespace dpo;
+
+const char *dpo::tuneModeName(TuneMode Mode) {
+  switch (Mode) {
+  case TuneMode::Analytic:
+    return "analytic";
+  case TuneMode::Empirical:
+    return "empirical";
+  case TuneMode::Hybrid:
+    return "hybrid";
+  }
+  return "?";
+}
+
+bool dpo::parseTuneMode(std::string_view Text, TuneMode &Out) {
+  if (Text == "analytic")
+    Out = TuneMode::Analytic;
+  else if (Text == "empirical")
+    Out = TuneMode::Empirical;
+  else if (Text == "hybrid")
+    Out = TuneMode::Hybrid;
+  else
+    return false;
+  return true;
+}
+
+double dpo::measuredMakespanCycles(const std::vector<GridRecord> &Grids,
+                                   const VmStats &Stats, const GpuModel &Gpu) {
+  auto UsToCycles = [&](double Us) { return Us * Gpu.ClockGHz * 1e3; };
+
+  // Per-grid: measured work spread over the threads that can actually be
+  // resident, floored by the measured slowest thread (divergence — where
+  // thresholding's serial loops land).
+  double RootCycles = 0;
+  double ChildWork = 0, ChildLatency = 0, ChildCrit = 0;
+  uint64_t TotalBlocks = 0;
+  for (const GridRecord &G : Grids) {
+    TotalBlocks += G.Blocks;
+    uint32_t BlockDim = std::max(1u, G.BlockDim);
+    uint64_t ResidentBlocks =
+        (uint64_t)Gpu.NumSMs *
+        std::min<uint64_t>(Gpu.MaxBlocksPerSM,
+                           std::max(1u, Gpu.MaxThreadsPerSM / BlockDim));
+    double Resident =
+        (double)std::min<uint64_t>(G.Threads, ResidentBlocks * BlockDim);
+    double GridCycles = std::max((double)G.Steps / std::max(1.0, Resident),
+                                 (double)G.MaxThreadSteps);
+    if (G.FromHost) {
+      RootCycles += GridCycles;
+    } else {
+      ChildWork += (double)G.Steps;
+      ChildLatency += GridCycles;
+      ChildCrit = std::max(ChildCrit, GridCycles);
+    }
+  }
+
+  // Child grids run concurrently: work-limited on the whole device,
+  // dispatch-limited by the concurrent-grid slots, floored by the slowest
+  // single grid (the simulator's max(...) structure, with measured terms).
+  double DeviceLanes = (double)Gpu.NumSMs * Gpu.MaxThreadsPerSM;
+  double ChildCycles = std::max(
+      {ChildWork / DeviceLanes,
+       ChildLatency / std::max(1u, Gpu.MaxConcurrentGrids), ChildCrit});
+
+  // Launch subsystem: per-launch service (mostly hidden under the parent),
+  // congestion past the queue's knee, host round trips, block dispatch.
+  double DeviceLaunchCycles =
+      (Gpu.LaunchIssueCycles + UsToCycles(Gpu.LaunchServiceUs)) *
+      (1.0 - Gpu.LaunchOverlapFraction) * (double)Stats.DeviceLaunches;
+  if (Stats.DeviceLaunches)
+    DeviceLaunchCycles += UsToCycles(Gpu.LaunchBaseLatencyUs);
+  double K = (double)Stats.DeviceLaunches / 1000.0;
+  DeviceLaunchCycles += UsToCycles(Gpu.LaunchCongestionQuadUs) * K * K;
+  double HostLaunchCycles =
+      UsToCycles(Gpu.HostLaunchOverheadUs) * (double)Stats.HostLaunches;
+  double DispatchCycles = UsToCycles(Gpu.BlockDispatchUs) * (double)TotalBlocks;
+
+  return RootCycles + ChildCycles + DeviceLaunchCycles + HostLaunchCycles +
+         DispatchCycles;
+}
+
+//===----------------------------------------------------------------------===//
+// EmpiricalEvaluator
+//===----------------------------------------------------------------------===//
+
+EmpiricalEvaluator::EmpiricalEvaluator(const GpuModel &Gpu, VmWorkload W,
+                                       EmpiricalOptions Options)
+    : Gpu(Gpu), Workload(std::move(W)), Opts(Options) {
+  // Sample the heaviest batches (they dominate the makespan and exhibit
+  // the child-size skew the optimizations target), kept in stream order.
+  std::vector<size_t> Order(Workload.Batches.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Workload.Batches[A].totalChildUnits() >
+           Workload.Batches[B].totalChildUnits();
+  });
+  if (Order.size() > Opts.SampleBatches)
+    Order.resize(std::max(1u, Opts.SampleBatches));
+  std::sort(Order.begin(), Order.end());
+
+  // Enforce the unit cap by truncating parents, spreading it evenly so the
+  // sample keeps its batch count (successive halving needs real rungs).
+  // Per-parent child sizes are untouched, so thresholding/aggregation
+  // behavior on the sample matches the full stream's character.
+  uint64_t PerBatchCap = std::max<uint64_t>(
+      1, Opts.MaxSampleUnits / std::max<size_t>(1, Order.size()));
+  for (size_t Idx : Order) {
+    NestedBatch B = Workload.Batches[Idx];
+    uint64_t Units = 0;
+    size_t Keep = 0;
+    for (; Keep < B.ChildUnits.size(); ++Keep) {
+      if (Units >= PerBatchCap && Keep > 0)
+        break;
+      Units += B.ChildUnits[Keep];
+    }
+    if (Keep == 0)
+      continue;
+    B.ChildUnits.resize(Keep);
+    B.NumParentThreads = (uint32_t)Keep;
+    Sample.push_back(std::move(B));
+  }
+}
+
+uint64_t EmpiricalEvaluator::sampleUnits(unsigned Resource) const {
+  uint64_t Units = 0;
+  for (unsigned I = 0; I < Resource && I < Sample.size(); ++I)
+    Units += Sample[I].totalChildUnits();
+  return Units;
+}
+
+const VmProgram *EmpiricalEvaluator::programFor(const std::string &Pipeline) {
+  auto It = Programs.find(Pipeline);
+  if (It != Programs.end())
+    return &It->second;
+  if (FailedPipelines.count(Pipeline)) {
+    LastError = "pipeline '" + Pipeline + "' failed earlier (cached)";
+    return nullptr;
+  }
+
+  std::string Src;
+  if (Pipeline.empty()) {
+    Src = Workload.Source;
+  } else {
+    DiagnosticEngine Diags;
+    Src = transformSourceWithPipeline(Workload.Source, Pipeline,
+                                      literalKnobConfig(), Diags);
+    if (Src.empty()) {
+      LastError = "pipeline '" + Pipeline + "' failed: " + Diags.str();
+      FailedPipelines.insert(Pipeline);
+      return nullptr;
+    }
+  }
+
+  DiagnosticEngine Diags;
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Src, Ctx, Diags);
+  VmProgram Program;
+  if (TU)
+    Program = compileProgram(TU, Diags);
+  if (!TU || Diags.hasErrors()) {
+    LastError = "bytecode compile of pipeline '" + Pipeline +
+                "' failed: " + Diags.str();
+    FailedPipelines.insert(Pipeline);
+    return nullptr;
+  }
+  ++Compiles;
+  return &Programs.emplace(Pipeline, std::move(Program)).first->second;
+}
+
+std::optional<VmMeasurement>
+EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
+  if (Sample.empty()) {
+    LastError = "workload has no batches to measure";
+    return std::nullopt;
+  }
+  Resource = std::clamp(Resource, 1u, maxResource());
+
+  std::string Pipeline = passPipelineTextFor(Config);
+  std::string Key = Pipeline + "|" + std::to_string(Resource);
+  if (auto It = Cache.find(Key); It != Cache.end()) {
+    ++CacheHits;
+    return It->second;
+  }
+
+  const VmProgram *Program = programFor(Pipeline);
+  if (!Program)
+    return std::nullopt;
+
+  Device Dev(*Program, Opts.VmMemoryBytes);
+  Dev.setStepLimit(Opts.VmStepLimit);
+  Dev.setGridLogEnabled(true);
+  std::string Wrapper = Workload.ParentKernel + "_agg";
+  bool UseWrapper = Dev.hasHostFunction(Wrapper);
+
+  for (unsigned I = 0; I < Resource; ++I) {
+    const NestedBatch &B = Sample[I];
+    std::vector<int32_t> Counts(B.ChildUnits.size());
+    std::vector<int32_t> Offsets(B.ChildUnits.size());
+    int64_t Total = 0;
+    for (size_t V = 0; V < B.ChildUnits.size(); ++V) {
+      Offsets[V] = (int32_t)Total;
+      Counts[V] = (int32_t)std::min<uint32_t>(
+          B.ChildUnits[V], (uint32_t)std::numeric_limits<int32_t>::max());
+      Total += Counts[V];
+    }
+    uint64_t OutA = Dev.alloc((uint64_t)std::max<int64_t>(1, Total) * 4);
+    uint64_t CountsA = Dev.allocI32(Counts);
+    uint64_t OffsetsA = Dev.allocI32(Offsets);
+    int64_t NumV = (int64_t)Counts.size();
+    uint32_t PB = B.ParentBlockDim ? B.ParentBlockDim : 128;
+    uint32_t GridX = (uint32_t)((NumV + PB - 1) / PB);
+    std::vector<int64_t> Args = {(int64_t)OutA, (int64_t)CountsA,
+                                 (int64_t)OffsetsA, NumV};
+    bool Ok;
+    if (UseWrapper) {
+      std::vector<int64_t> HostArgs = {GridX, 1, 1, PB, 1, 1};
+      HostArgs.insert(HostArgs.end(), Args.begin(), Args.end());
+      Ok = Dev.callHost(Wrapper, HostArgs);
+    } else {
+      Ok = Dev.launchKernel(Workload.ParentKernel, {GridX, 1, 1}, {PB, 1, 1},
+                            Args);
+    }
+    if (!Ok) {
+      LastError = "VM run of pipeline '" + Pipeline +
+                  "' failed: " + Dev.error();
+      return std::nullopt;
+    }
+  }
+  ++Evaluations;
+
+  const VmStats &S = Dev.stats();
+  VmMeasurement M;
+  M.Steps = S.Steps;
+  M.DeviceLaunches = S.DeviceLaunches;
+  M.HostLaunches = S.HostLaunches;
+  M.BlocksExecuted = S.BlocksExecuted;
+  M.ThreadsExecuted = S.ThreadsExecuted;
+  M.GridsLaunched = S.GridsLaunched;
+  M.BatchesRun = Resource;
+  M.Cycles = measuredMakespanCycles(Dev.gridLog(), S, Gpu);
+  Cache.emplace(std::move(Key), M);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Search drivers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Seeded Fisher-Yates (spelled out so the order is identical across
+/// standard libraries, unlike std::shuffle).
+void deterministicShuffle(std::vector<ExecConfig> &Configs, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  for (size_t I = Configs.size(); I > 1; --I)
+    std::swap(Configs[I - 1], Configs[Rng() % I]);
+}
+
+/// The hill-climbing neighborhood: one knob moved one sweep step.
+std::vector<ExecConfig> neighborConfigs(const ExecConfig &C,
+                                        const VariantMask &Mask) {
+  std::vector<ExecConfig> Out;
+  auto Push = [&](ExecConfig N) {
+    if (!(N == C))
+      Out.push_back(N);
+  };
+  if (Mask.Thresholding) {
+    if (C.Threshold) {
+      if (*C.Threshold > 1) {
+        ExecConfig N = C;
+        N.Threshold = *C.Threshold / 2;
+        Push(N);
+      }
+      if (*C.Threshold < 32768) {
+        ExecConfig N = C;
+        N.Threshold = *C.Threshold * 2;
+        Push(N);
+      }
+      ExecConfig N = C;
+      N.Threshold.reset();
+      Push(N);
+    } else {
+      ExecConfig N = C;
+      N.Threshold = 128u;
+      Push(N);
+    }
+  }
+  if (Mask.Coarsening) {
+    if (C.CoarsenFactor > 1) {
+      ExecConfig N = C;
+      N.CoarsenFactor = C.CoarsenFactor / 2;
+      Push(N);
+    }
+    if (C.CoarsenFactor < 32) {
+      ExecConfig N = C;
+      N.CoarsenFactor = C.CoarsenFactor * 2;
+      Push(N);
+    }
+  }
+  if (Mask.Aggregation) {
+    if (C.Agg == AggGranularity::MultiBlock) {
+      if (C.AggGroupBlocks > 2) {
+        ExecConfig N = C;
+        N.AggGroupBlocks = C.AggGroupBlocks / 2;
+        Push(N);
+      }
+      if (C.AggGroupBlocks < 32) {
+        ExecConfig N = C;
+        N.AggGroupBlocks = C.AggGroupBlocks * 2;
+        Push(N);
+      }
+    }
+    for (AggGranularity G : Mask.Granularities) {
+      if (G == C.Agg)
+        continue;
+      ExecConfig N = C;
+      N.Agg = G;
+      Push(N);
+    }
+    if (C.Agg != AggGranularity::None) {
+      ExecConfig N = C;
+      N.Agg = AggGranularity::None;
+      Push(N);
+    }
+  }
+  return Out;
+}
+
+/// Greedy refinement around \p Result (budget-guarded); updates it in
+/// place when a neighbor measures faster at full resource.
+void hillClimb(EmpiricalEvaluator &Eval, const VariantMask &Mask,
+               EmpiricalTuneResult &Result) {
+  unsigned Budget = Eval.options().Budget;
+  unsigned MaxRes = Eval.maxResource();
+  bool Improved = true;
+  while (Improved && Eval.evaluations() < Budget) {
+    Improved = false;
+    for (const ExecConfig &N : neighborConfigs(Result.Config, Mask)) {
+      if (Eval.evaluations() >= Budget)
+        break;
+      std::optional<VmMeasurement> M = Eval.measure(N, MaxRes);
+      if (M && M->Cycles + 1e-9 < Result.Measured.Cycles) {
+        Result.Config = N;
+        Result.Measured = *M;
+        Improved = true;
+      }
+    }
+  }
+}
+
+void finalizeMeasured(EmpiricalEvaluator &Eval, EmpiricalTuneResult &Result) {
+  Result.TimeUs = Eval.gpu().cyclesToUs(Result.Measured.Cycles);
+  // A budget-exhausted search may leave the winner measured on a rung
+  // below the full sample; extrapolate by child units so the headline
+  // time stays comparable with full-sample results from other modes.
+  if (Result.Measured.BatchesRun < Eval.maxResource()) {
+    uint64_t Run = Eval.sampleUnits(Result.Measured.BatchesRun);
+    uint64_t All = Eval.sampleUnits(Eval.maxResource());
+    if (Run > 0 && All > Run)
+      Result.TimeUs *= (double)All / (double)Run;
+  }
+  Result.VmEvaluations = Eval.evaluations();
+  Result.Pipeline = passPipelineTextFor(Result.Config);
+}
+
+/// When the VM could not measure anything (empty workload, pipeline
+/// failure), fall back to the analytic sweep so callers still get a valid
+/// config.
+EmpiricalTuneResult analyticFallback(EmpiricalEvaluator &Eval,
+                                     const VariantMask &Mask, TuneMode Mode) {
+  EmpiricalTuneResult Result =
+      analyticTune(Eval.gpu(), Eval.workload().Batches, Mask);
+  Result.Mode = Mode;
+  Result.VmEvaluations = Eval.evaluations();
+  return Result;
+}
+
+} // namespace
+
+EmpiricalTuneResult dpo::analyticTune(const GpuModel &Gpu,
+                                      const std::vector<NestedBatch> &Batches,
+                                      const VariantMask &Mask) {
+  TuneResult Sweep = exhaustiveTune(Gpu, Batches, Mask);
+  EmpiricalTuneResult Result;
+  Result.Config = Sweep.Config;
+  Result.TimeUs = Sweep.Result.TimeUs;
+  Result.SimProbes = Sweep.Probes;
+  Result.Mode = TuneMode::Analytic;
+  Result.Pipeline = passPipelineTextFor(Result.Config);
+  return Result;
+}
+
+EmpiricalTuneResult dpo::empiricalTune(EmpiricalEvaluator &Eval,
+                                       const VariantMask &Mask) {
+  const unsigned Budget = Eval.options().Budget;
+  const unsigned MaxRes = std::max(1u, Eval.maxResource());
+
+  std::vector<ExecConfig> Pool = enumerateConfigs(Mask);
+  deterministicShuffle(Pool, Eval.options().Seed);
+  // Roughly half the budget feeds the opening rung; halving then costs
+  // n/2 + n/4 + ... more, leaving a remainder for hill climbing.
+  size_t Opening = std::max<size_t>(2, Budget / 2);
+  if (Pool.size() > Opening)
+    Pool.resize(Opening);
+
+  EmpiricalTuneResult Result;
+  Result.Mode = TuneMode::Empirical;
+  bool HaveBest = false;
+
+  unsigned Resource = 1;
+  std::vector<std::pair<double, ExecConfig>> Ranked;
+  ExecConfig RungBestC;
+  VmMeasurement RungBestM;
+  while (true) {
+    Ranked.clear();
+    bool RungHasBest = false;
+    for (const ExecConfig &C : Pool) {
+      if (Eval.evaluations() >= Budget)
+        break;
+      if (std::optional<VmMeasurement> M = Eval.measure(C, Resource)) {
+        Ranked.emplace_back(M->Cycles, C);
+        if (!RungHasBest || M->Cycles < RungBestM.Cycles) {
+          RungBestC = C;
+          RungBestM = *M;
+          RungHasBest = true;
+        }
+        if (Resource == MaxRes &&
+            (!HaveBest || M->Cycles < Result.Measured.Cycles)) {
+          Result.Config = C;
+          Result.Measured = *M;
+          HaveBest = true;
+        }
+      }
+    }
+    if (Ranked.empty())
+      break;
+    std::stable_sort(Ranked.begin(), Ranked.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.first < B.first;
+                     });
+    if (Resource == MaxRes)
+      break;
+    size_t Keep = std::max<size_t>(1, (Ranked.size() + 1) / 2);
+    Pool.clear();
+    for (size_t I = 0; I < Keep; ++I)
+      Pool.push_back(Ranked[I].second);
+    Resource = std::min(Resource * 2, MaxRes);
+    if (Eval.evaluations() >= Budget) {
+      // Budget exhausted before the top rung: promote the last completed
+      // rung's leader with the measurement it already has (no extra VM
+      // execution — the budget is a hard bound).
+      if (!HaveBest && RungHasBest) {
+        Result.Config = RungBestC;
+        Result.Measured = RungBestM;
+        HaveBest = true;
+      }
+      break;
+    }
+  }
+
+  if (!HaveBest)
+    return analyticFallback(Eval, Mask, TuneMode::Empirical);
+
+  hillClimb(Eval, Mask, Result);
+  finalizeMeasured(Eval, Result);
+  return Result;
+}
+
+EmpiricalTuneResult dpo::hybridTune(EmpiricalEvaluator &Eval,
+                                    const VariantMask &Mask) {
+  const unsigned Budget = Eval.options().Budget;
+  const unsigned MaxRes = std::max(1u, Eval.maxResource());
+
+  // Stage 1: the analytic model ranks the whole grid for free (in VM
+  // budget terms). Stage 2 spends roughly half the budget confirming the
+  // shortlist on the VM; the remainder hill-climbs around the winner.
+  std::vector<ExecConfig> Candidates = enumerateConfigs(Mask);
+  std::vector<size_t> Order =
+      rankConfigs(Eval.gpu(), Eval.workload().Batches, Candidates);
+
+  EmpiricalTuneResult Result;
+  Result.Mode = TuneMode::Hybrid;
+  Result.SimProbes = (unsigned)Candidates.size();
+  bool HaveBest = false;
+
+  size_t Shortlist = std::max<size_t>(1, (Budget + 1) / 2);
+  for (size_t I = 0; I < Order.size() && I < Shortlist; ++I) {
+    if (Eval.evaluations() >= Budget)
+      break;
+    const ExecConfig &C = Candidates[Order[I]];
+    std::optional<VmMeasurement> M = Eval.measure(C, MaxRes);
+    if (M && (!HaveBest || M->Cycles < Result.Measured.Cycles)) {
+      Result.Config = C;
+      Result.Measured = *M;
+      HaveBest = true;
+    }
+  }
+
+  if (!HaveBest)
+    return analyticFallback(Eval, Mask, TuneMode::Hybrid);
+
+  hillClimb(Eval, Mask, Result);
+  finalizeMeasured(Eval, Result);
+  return Result;
+}
+
+EmpiricalTuneResult dpo::tuneWorkload(TuneMode Mode, const GpuModel &Gpu,
+                                      const VmWorkload &Workload,
+                                      const VariantMask &Mask,
+                                      const EmpiricalOptions &Opts) {
+  if (Mode == TuneMode::Analytic)
+    return analyticTune(Gpu, Workload.Batches, Mask);
+  EmpiricalEvaluator Eval(Gpu, Workload, Opts);
+  return Mode == TuneMode::Empirical ? empiricalTune(Eval, Mask)
+                                     : hybridTune(Eval, Mask);
+}

@@ -1,0 +1,204 @@
+//===--- Empirical.h - VM-in-the-loop autotuning ------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Empirical, measurement-driven parameter search: instead of asking the
+/// analytic timing model (sim/Simulator.h) how a candidate ExecConfig
+/// would perform, compile the workload through the candidate's pass
+/// pipeline (passPipelineTextFor -> parsePassPipeline -> PassManager),
+/// lower the transformed source to bytecode (vm/Compiler), execute it on
+/// the VM against the workload's real batch stream, and score the config
+/// from the *measured* event counts (instructions retired, device/host
+/// launches, blocks dispatched).
+///
+/// Three tuning modes, selected by dpoptcc/autotune's --tune= flag:
+///
+///  - analytic:  the existing exhaustive sweep over the simulator (cheap,
+///               model-only — Section VIII-C's methodology);
+///  - empirical: successive halving over a seeded sample of the config
+///               grid — every candidate runs on the VM against one sample
+///               batch, the faster half graduates to more batches, and so
+///               on until one survivor is measured at full resource — then
+///               hill-climbing refinement around the winner;
+///  - hybrid:    the simulator ranks the full grid first (free of VM
+///               budget), and only the analytically-promising shortlist is
+///               measured on the VM.
+///
+/// Every mode is deterministic: the VM is deterministic, the candidate
+/// sample order is derived from EmpiricalOptions::Seed, and ranking ties
+/// break by candidate order. Fixed (seed, budget) therefore reproduces the
+/// chosen ExecConfig exactly. VM executions are bounded by
+/// EmpiricalOptions::Budget; cached measurements (the same config, or two
+/// configs lowering to the same pipeline) cost no budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TUNER_EMPIRICAL_H
+#define DPO_TUNER_EMPIRICAL_H
+
+#include "tuner/Tuner.h"
+#include "vm/VM.h"
+#include "workloads/VmWorkload.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+enum class TuneMode { Analytic, Empirical, Hybrid };
+
+const char *tuneModeName(TuneMode Mode);
+/// Parses "analytic" / "empirical" / "hybrid" (the --tune= spellings).
+bool parseTuneMode(std::string_view Text, TuneMode &Out);
+
+/// Knobs of the empirical search.
+struct EmpiricalOptions {
+  /// Maximum VM executions (a compile+run of one candidate against the
+  /// sample counts as one; cache hits are free). Bounds empirical and
+  /// hybrid mode alike.
+  unsigned Budget = 48;
+  /// Seeds the candidate-grid sampling order. Fixed seed + fixed budget
+  /// reproduces the chosen config bit-for-bit.
+  unsigned Seed = 1;
+  /// Batches in the measurement sample (the largest of the workload's
+  /// batches, kept in stream order). Successive halving starts at one
+  /// batch and doubles toward this.
+  unsigned SampleBatches = 4;
+  /// Cap on total child units executed per probe, enforced by truncating
+  /// sample batches (per-parent child sizes are preserved, so threshold
+  /// behavior is unaffected).
+  uint64_t MaxSampleUnits = 50000;
+  /// Device-memory size for measurement VMs.
+  uint64_t VmMemoryBytes = 32ull << 20;
+  /// Step limit per VM run (guards against pathological candidates).
+  uint64_t VmStepLimit = 500ull * 1000 * 1000;
+};
+
+/// What one VM execution of a candidate measured. The event counts come
+/// straight from VmStats; Cycles is measuredMakespanCycles over the VM's
+/// per-grid log.
+struct VmMeasurement {
+  uint64_t Steps = 0;
+  uint64_t DeviceLaunches = 0;
+  uint64_t HostLaunches = 0;
+  uint64_t BlocksExecuted = 0;
+  uint64_t ThreadsExecuted = 0;
+  uint64_t GridsLaunched = 0;
+  unsigned BatchesRun = 0;
+  double Cycles = 0;
+};
+
+/// Prices one VM execution from its per-grid measurements. The VM is a
+/// sequential interpreter, so wall time cannot score a *parallel*
+/// execution strategy; instead each grid's measured work (exclusive
+/// steps), measured divergence (slowest thread), and measured shape
+/// (blocks, block size) are scheduled onto the GpuModel: per-grid time is
+/// max(work spread over resident threads, slowest thread); device-launched
+/// grids additionally contend for concurrent-grid slots; launches and
+/// block dispatch pay the model's per-event costs. Thresholding therefore
+/// shows up as fewer launch events but a slower worst thread, coarsening
+/// as fewer dispatched blocks, aggregation as fewer, larger grids plus its
+/// measured bookkeeping steps — the paper's actual trade-offs, from
+/// measured inputs.
+double measuredMakespanCycles(const std::vector<GridRecord> &Grids,
+                              const VmStats &Stats, const GpuModel &Gpu);
+
+/// Compiles and runs candidate ExecConfigs for one workload. Owns the
+/// compile cache (pipeline text -> bytecode program) and the measurement
+/// cache ((pipeline text, resource) -> measurement); every distinct
+/// program is parsed and lowered once no matter how many times the search
+/// revisits it.
+class EmpiricalEvaluator {
+public:
+  EmpiricalEvaluator(const GpuModel &Gpu, VmWorkload Workload,
+                     EmpiricalOptions Opts = {});
+
+  /// Measures \p Config against the first \p Resource sample batches
+  /// (clamped to [1, maxResource()]). Returns nullopt on pipeline/VM
+  /// failure (lastError() explains).
+  std::optional<VmMeasurement> measure(const ExecConfig &Config,
+                                       unsigned Resource);
+  /// Full-resource measurement.
+  std::optional<VmMeasurement> measure(const ExecConfig &Config) {
+    return measure(Config, maxResource());
+  }
+
+  /// Batches in the measurement sample (successive halving's top rung).
+  unsigned maxResource() const { return (unsigned)Sample.size(); }
+  /// Total child units in the first \p Resource sample batches (used to
+  /// extrapolate partial-rung measurements to full-sample time).
+  uint64_t sampleUnits(unsigned Resource) const;
+  /// VM executions performed so far (what Budget bounds).
+  unsigned evaluations() const { return Evaluations; }
+  /// Distinct programs parsed + lowered to bytecode.
+  unsigned programCompiles() const { return Compiles; }
+  /// Measurements served from cache (no VM execution, no budget).
+  unsigned cacheHits() const { return CacheHits; }
+
+  const std::string &lastError() const { return LastError; }
+  const EmpiricalOptions &options() const { return Opts; }
+  const GpuModel &gpu() const { return Gpu; }
+  const VmWorkload &workload() const { return Workload; }
+
+private:
+  const VmProgram *programFor(const std::string &PipelineText);
+
+  GpuModel Gpu;
+  VmWorkload Workload;
+  EmpiricalOptions Opts;
+  std::vector<NestedBatch> Sample;
+  std::map<std::string, VmProgram> Programs;
+  std::set<std::string> FailedPipelines; ///< Negative compile cache.
+  std::map<std::string, VmMeasurement> Cache;
+  unsigned Evaluations = 0;
+  unsigned Compiles = 0;
+  unsigned CacheHits = 0;
+  std::string LastError;
+};
+
+struct EmpiricalTuneResult {
+  ExecConfig Config;
+  /// The winner's measurement (empirical/hybrid modes; zero for analytic).
+  VmMeasurement Measured;
+  /// Makespan estimate: cyclesToUs(Measured.Cycles) — extrapolated by
+  /// child units when a budget-exhausted search left the winner measured
+  /// below the full sample — or the simulated time for analytic mode.
+  double TimeUs = 0;
+  unsigned VmEvaluations = 0;
+  /// Analytic-simulator probes spent (analytic mode's sweep, hybrid
+  /// mode's first-stage ranking).
+  unsigned SimProbes = 0;
+  TuneMode Mode = TuneMode::Empirical;
+  /// passPipelineTextFor(Config) — feed to dpoptcc -passes= to realize it.
+  std::string Pipeline;
+};
+
+/// Successive halving + hill climbing, entirely VM-measured.
+EmpiricalTuneResult empiricalTune(EmpiricalEvaluator &Eval,
+                                  const VariantMask &Mask);
+
+/// Simulator-ranked shortlist, VM-measured winners.
+EmpiricalTuneResult hybridTune(EmpiricalEvaluator &Eval,
+                               const VariantMask &Mask);
+
+/// The existing exhaustive simulator sweep in the common result shape.
+EmpiricalTuneResult analyticTune(const GpuModel &Gpu,
+                                 const std::vector<NestedBatch> &Batches,
+                                 const VariantMask &Mask);
+
+/// One-call front end used by the drivers: dispatches on \p Mode
+/// (constructing the evaluator for the VM-backed modes).
+EmpiricalTuneResult tuneWorkload(TuneMode Mode, const GpuModel &Gpu,
+                                 const VmWorkload &Workload,
+                                 const VariantMask &Mask,
+                                 const EmpiricalOptions &Opts = {});
+
+} // namespace dpo
+
+#endif // DPO_TUNER_EMPIRICAL_H

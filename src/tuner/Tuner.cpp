@@ -90,6 +90,12 @@ void forEachConfig(const VariantMask &Mask, Callback &&Visit) {
 
 } // namespace
 
+std::vector<ExecConfig> dpo::enumerateConfigs(const VariantMask &Mask) {
+  std::vector<ExecConfig> Configs;
+  forEachConfig(Mask, [&](const ExecConfig &C) { Configs.push_back(C); });
+  return Configs;
+}
+
 TuneResult dpo::exhaustiveTune(const GpuModel &Gpu,
                                const std::vector<NestedBatch> &Batches,
                                const VariantMask &Mask) {

@@ -51,6 +51,10 @@ std::vector<uint32_t> defaultThresholdSweep();   // 1,2,4,...,32768
 std::vector<uint32_t> defaultCoarsenSweep();     // 1,2,4,...,32
 std::vector<uint32_t> defaultGroupSizeSweep();   // 2,4,8,16,32
 
+/// The full candidate grid of a variant, in deterministic sweep order —
+/// the space exhaustiveTune scans and the empirical/hybrid tuners sample.
+std::vector<ExecConfig> enumerateConfigs(const VariantMask &Mask);
+
 /// Exhaustively tunes a variant for a batch stream.
 TuneResult exhaustiveTune(const GpuModel &Gpu,
                           const std::vector<NestedBatch> &Batches,

@@ -245,6 +245,7 @@ bool Device::launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
   L.Grid = Grid;
   L.Block = Block;
   L.Args = Args;
+  L.FromHost = true;
   ++Stats.HostLaunches;
   Queue.push_back(std::move(L));
   return drainLaunches();
@@ -270,9 +271,20 @@ bool Device::callHost(const std::string &Name,
   L.Grid = {1, 1, 1};
   L.Block = {1, 1, 1};
   L.Args = Args;
+  L.FromHost = true;
   bool Ok = runGrid(L) && drainLaunches();
   InHostCall = false;
   return Ok;
+}
+
+bool Device::hasKernel(const std::string &Name) const {
+  const FuncDef *F = Program.find(Name);
+  return F && F->IsKernel;
+}
+
+bool Device::hasHostFunction(const std::string &Name) const {
+  const FuncDef *F = Program.find(Name);
+  return F && !F->IsKernel;
 }
 
 bool Device::drainLaunches() {
@@ -303,6 +315,18 @@ bool Device::runGrid(const PendingLaunch &L) {
       return false;
   }
 
+  // Grid-log bookkeeping: snapshot the step counters so this grid's
+  // record reports exclusive work even when a host pseudo-thread drains
+  // nested grids mid-flight, and stack the per-thread maximum (nested
+  // runGrid calls share the member).
+  uint64_t StepsBefore = 0, AttribBefore = 0, SavedMax = 0;
+  if (GridLogEnabled) {
+    StepsBefore = Stats.Steps;
+    AttribBefore = AttributedSteps;
+    SavedMax = CurGridMaxThreadSteps;
+    CurGridMaxThreadSteps = 0;
+  }
+
   for (uint32_t BZ = 0; BZ < L.Grid.Z; ++BZ)
     for (uint32_t BY = 0; BY < L.Grid.Y; ++BY)
       for (uint32_t BX = 0; BX < L.Grid.X; ++BX) {
@@ -311,6 +335,21 @@ bool Device::runGrid(const PendingLaunch &L) {
         if (!runBlock(L, {BX, BY, BZ}, SharedBase))
           return false;
       }
+
+  if (GridLogEnabled) {
+    uint64_t Total = Stats.Steps - StepsBefore;
+    uint64_t Nested = AttributedSteps - AttribBefore;
+    GridRecord R;
+    R.Blocks = L.Grid.count();
+    R.Threads = L.Grid.count() * L.Block.count();
+    R.Steps = Total - Nested;
+    R.MaxThreadSteps = CurGridMaxThreadSteps;
+    R.BlockDim = (uint32_t)L.Block.count();
+    R.FromHost = L.FromHost;
+    GridLog.push_back(R);
+    AttributedSteps = AttribBefore + Total;
+    CurGridMaxThreadSteps = SavedMax;
+  }
   return true;
 }
 
@@ -379,8 +418,13 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
       if (T.State != ThreadState::Done)
         AnyLive = true;
     }
-    if (!AnyLive)
+    if (!AnyLive) {
+      if (GridLogEnabled)
+        for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
+          CurGridMaxThreadSteps = std::max(CurGridMaxThreadSteps,
+                                           Pool.Threads[TIdx].StepsRetired);
       return true;
+    }
     // Release barrier: every live thread is waiting.
     bool AllAtBarrier = true;
     for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
@@ -434,6 +478,7 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
   do {                                                                        \
     StepsUsed += LocalSteps;                                                  \
     Stats.Steps += LocalSteps;                                                \
+    T.StepsRetired += LocalSteps;                                             \
     LocalSteps = 0;                                                           \
   } while (0)
 
@@ -920,6 +965,7 @@ bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
     if (InHostCall && T.Frames.size() >= 1 &&
         FnArr[T.Frames.front().Func].IsKernel == false) {
       ++Stats.HostLaunches;
+      Child.FromHost = true;
     } else {
       ++Stats.DeviceLaunches;
     }

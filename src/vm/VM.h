@@ -57,6 +57,21 @@ struct Dim3V {
   uint64_t count() const { return (uint64_t)X * Y * Z; }
 };
 
+/// One completed grid's measurement, recorded when the grid log is
+/// enabled. The empirical tuner prices parallel execution from these:
+/// Steps is the grid's *exclusive* work (nested grids subtract theirs),
+/// and MaxThreadSteps is the slowest single thread — the measured
+/// divergence/critical path that a sequential interpreter's aggregate
+/// step count cannot see.
+struct GridRecord {
+  uint64_t Blocks = 0;
+  uint64_t Threads = 0;
+  uint64_t Steps = 0;          ///< Bytecode steps retired by this grid only.
+  uint64_t MaxThreadSteps = 0; ///< Steps of the slowest thread.
+  uint32_t BlockDim = 0;
+  bool FromHost = false; ///< Launched by the host (or a host pseudo-thread).
+};
+
 /// Execution statistics; tests use these to check that, e.g., thresholding
 /// reduces the number of dynamic launches.
 struct VmStats {
@@ -102,9 +117,23 @@ public:
   /// Runs a host function (e.g. a generated `<parent>_agg` wrapper).
   bool callHost(const std::string &Name, const std::vector<int64_t> &Args);
 
+  /// True if the program defines a __global__ kernel named \p Name.
+  bool hasKernel(const std::string &Name) const;
+  /// True if the program defines a host function named \p Name. Callers
+  /// that run transformed programs use this to pick the entry point: the
+  /// aggregation pass replaces direct parent launches with a generated
+  /// `<parent>_agg` host wrapper.
+  bool hasHostFunction(const std::string &Name) const;
+
   const std::string &error() const { return LastError; }
   const VmStats &stats() const { return Stats; }
   void resetStats() { Stats = VmStats(); }
+
+  /// Per-grid measurement records (off by default — the hot loop only
+  /// pays per-grid/per-block bookkeeping when enabled).
+  void setGridLogEnabled(bool Enabled) { GridLogEnabled = Enabled; }
+  const std::vector<GridRecord> &gridLog() const { return GridLog; }
+  void clearGridLog() { GridLog.clear(); }
 
   /// Maximum bytecode steps per top-level call (guards against runaway
   /// loops in tests).
@@ -115,6 +144,7 @@ private:
     unsigned Func;
     Dim3V Grid, Block;
     std::vector<int64_t> Args;
+    bool FromHost = false; ///< Enqueued by the host / a host pseudo-thread.
   };
 
   /// One call frame. Locals live in the owning thread's locals arena at
@@ -141,6 +171,7 @@ private:
     uint64_t StackMemBase = 0; ///< Addressable frame memory, one region
                                ///< per pool slot, reused across blocks.
     uint64_t StackMemUsed = 0;
+    uint64_t StepsRetired = 0; ///< This thread's own steps (grid log).
 
     void reset() {
       StackTop = 0;
@@ -148,6 +179,7 @@ private:
       LocalsArena.clear();
       State = ThreadState::Ready;
       StackMemUsed = 0;
+      StepsRetired = 0;
     }
   };
 
@@ -184,6 +216,15 @@ private:
   bool InHostCall = false;
   std::vector<std::unique_ptr<BlockPool>> Pools;
   unsigned PoolDepth = 0;
+
+  // Grid measurement log (setGridLogEnabled). AttributedSteps carries the
+  // steps already credited to completed grids so a parent grid whose
+  // pseudo-thread drains children mid-flight (cudaDeviceSynchronize)
+  // reports only its exclusive work.
+  bool GridLogEnabled = false;
+  std::vector<GridRecord> GridLog;
+  uint64_t AttributedSteps = 0;
+  uint64_t CurGridMaxThreadSteps = 0;
 };
 
 /// Convenience: parse + compile + construct a device. Returns nullptr on

@@ -1,0 +1,60 @@
+//===--- VmWorkload.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/VmWorkload.h"
+
+#include <random>
+
+using namespace dpo;
+
+std::string dpo::nestedVmSource(uint32_t ChildBlockDim) {
+  std::string B = std::to_string(ChildBlockDim);
+  return "__global__ void child(int *out, int base, int count) {\n"
+         "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+         "  if (i < count) {\n"
+         "    out[base + i] = base * 7 + i * 3 + count;\n"
+         "  }\n"
+         "}\n"
+         "__global__ void parent(int *out, int *counts, int *offsets, "
+         "int numV) {\n"
+         "  int v = blockIdx.x * blockDim.x + threadIdx.x;\n"
+         "  if (v < numV) {\n"
+         "    int count = counts[v];\n"
+         "    if (count > 0) {\n"
+         "      child<<<(count + " +
+         std::to_string(ChildBlockDim - 1) + ") / " + B + ", " + B +
+         ">>>(out, offsets[v], count);\n"
+         "    }\n"
+         "  }\n"
+         "}\n";
+}
+
+VmWorkload dpo::makeNestedVmWorkload(std::string Name,
+                                     std::vector<NestedBatch> Batches,
+                                     uint32_t ChildBlockDim) {
+  VmWorkload W;
+  W.Name = std::move(Name);
+  W.Source = nestedVmSource(ChildBlockDim);
+  W.Batches = std::move(Batches);
+  return W;
+}
+
+std::vector<NestedBatch> dpo::makeSkewedBatches(unsigned NumBatches,
+                                                unsigned ParentsPerBatch,
+                                                unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  std::vector<NestedBatch> Batches(NumBatches);
+  for (NestedBatch &B : Batches) {
+    B.NumParentThreads = ParentsPerBatch;
+    B.ChildUnits.resize(ParentsPerBatch);
+    for (uint32_t &Units : B.ChildUnits) {
+      double X = U(Rng);
+      Units = X < 0.4 ? 0 : X < 0.9 ? (1 + Rng() % 24) : (64 + Rng() % 1000);
+    }
+  }
+  return Batches;
+}

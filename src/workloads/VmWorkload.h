@@ -1,0 +1,67 @@
+//===--- VmWorkload.h - VM-executable nested-parallelism workloads ------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the workload layer (native algorithms producing NestedBatch
+/// streams from real datasets) and the bytecode VM: a VmWorkload pairs a
+/// CUDA-like translation unit whose parent kernel consumes a
+/// counts/offsets encoding of a batch with the batch stream itself. The
+/// empirical tuner (src/tuner/Empirical.h) compiles the source through a
+/// candidate pass pipeline, materializes the batches as device arrays, and
+/// measures the execution on the VM.
+///
+/// The canonical source is the BFS-shaped parent/child pair used across
+/// the equivalence tests: parent thread v launches counts[v] child threads
+/// that each write into their slice of `out`. Its per-parent child sizes
+/// are exactly a NestedBatch's ChildUnits, so any workload's batch stream
+/// (BFS frontiers, SSSP relaxations, Bezier tessellations, ...) can drive
+/// it without writing workload-specific kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_WORKLOADS_VMWORKLOAD_H
+#define DPO_WORKLOADS_VMWORKLOAD_H
+
+#include "rt/LaunchPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+/// A workload the bytecode VM can execute: a translation unit whose parent
+/// kernel is named "parent" with the canonical (int *out, int *counts,
+/// int *offsets, int numV) signature, plus the batch stream that supplies
+/// counts/offsets. After aggregation the generated host wrapper is
+/// "parent_agg" (granularity-independent naming from AggregationPass).
+struct VmWorkload {
+  std::string Name;
+  std::string Source;
+  std::string ParentKernel = "parent";
+  /// The parent launch shape comes from each batch's ParentBlockDim.
+  std::vector<NestedBatch> Batches;
+};
+
+/// The canonical nested-parallelism source with the child launch's block
+/// dimension spelled as \p ChildBlockDim.
+std::string nestedVmSource(uint32_t ChildBlockDim = 32);
+
+/// Wraps a batch stream (e.g. runBfs(G).Batches) in the canonical source.
+VmWorkload makeNestedVmWorkload(std::string Name,
+                                std::vector<NestedBatch> Batches,
+                                uint32_t ChildBlockDim = 32);
+
+/// Deterministic skewed batches — many tiny child grids, a few large ones
+/// (the distribution the paper's optimizations target). Shared by the
+/// tuner tests, dpoptcc's built-in --tune workload, and the convergence
+/// benchmark.
+std::vector<NestedBatch> makeSkewedBatches(unsigned NumBatches,
+                                           unsigned ParentsPerBatch,
+                                           unsigned Seed = 1);
+
+} // namespace dpo
+
+#endif // DPO_WORKLOADS_VMWORKLOAD_H

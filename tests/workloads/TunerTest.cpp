@@ -4,10 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "tuner/Empirical.h"
 #include "tuner/Tuner.h"
+#include "workloads/VmWorkload.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 using namespace dpo;
@@ -113,6 +116,143 @@ TEST(TunerTest, GuidedSkipsWarpGranularity) {
   std::vector<NestedBatch> Batches = irregularBatches(2, 15000, 7);
   TuneResult Guided = guidedTune(Gpu, Batches, fullMask());
   EXPECT_NE(Guided.Config.Agg, AggGranularity::Warp);
+}
+
+//===----------------------------------------------------------------------===//
+// Empirical (VM-in-the-loop) tuning
+//===----------------------------------------------------------------------===//
+
+VmWorkload smallVmWorkload(unsigned Seed = 11) {
+  return makeNestedVmWorkload("test", makeSkewedBatches(3, 2500, Seed));
+}
+
+EmpiricalOptions smallOptions(unsigned Budget = 12, unsigned Seed = 5) {
+  EmpiricalOptions Opts;
+  Opts.Budget = Budget;
+  Opts.Seed = Seed;
+  Opts.SampleBatches = 3;
+  Opts.MaxSampleUnits = 6000;
+  return Opts;
+}
+
+/// The chosen config must lie on the tuner's sweep axes.
+void expectValidConfig(const ExecConfig &C) {
+  if (C.Threshold) {
+    const std::vector<uint32_t> Sweep = defaultThresholdSweep();
+    EXPECT_NE(std::find(Sweep.begin(), Sweep.end(), *C.Threshold),
+              Sweep.end())
+        << "threshold " << *C.Threshold;
+  }
+  EXPECT_GE(C.CoarsenFactor, 1u);
+  EXPECT_LE(C.CoarsenFactor, 32u);
+  if (C.Agg == AggGranularity::MultiBlock) {
+    EXPECT_GE(C.AggGroupBlocks, 2u);
+    EXPECT_LE(C.AggGroupBlocks, 32u);
+  }
+}
+
+TEST(EmpiricalTunerTest, AnalyticAndEmpiricalModesReturnValidConfigs) {
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+
+  EmpiricalTuneResult Analytic = analyticTune(Gpu, W.Batches, fullMask());
+  EXPECT_EQ(Analytic.Mode, TuneMode::Analytic);
+  EXPECT_GT(Analytic.TimeUs, 0.0);
+  EXPECT_GT(Analytic.SimProbes, 100u);
+  EXPECT_EQ(Analytic.VmEvaluations, 0u);
+  expectValidConfig(Analytic.Config);
+
+  EmpiricalTuneResult Empirical =
+      tuneWorkload(TuneMode::Empirical, Gpu, W, fullMask(), smallOptions());
+  EXPECT_EQ(Empirical.Mode, TuneMode::Empirical);
+  expectValidConfig(Empirical.Config);
+  // The config was selected by actually executing bytecode: the winner's
+  // measurement has real steps/threads behind it.
+  EXPECT_GT(Empirical.VmEvaluations, 0u);
+  EXPECT_GT(Empirical.Measured.Steps, 0u);
+  EXPECT_GT(Empirical.Measured.ThreadsExecuted, 0u);
+  EXPECT_GE(Empirical.Measured.BatchesRun, 1u);
+  EXPECT_GT(Empirical.Measured.Cycles, 0.0);
+  EXPECT_GT(Empirical.TimeUs, 0.0);
+}
+
+TEST(EmpiricalTunerTest, FixedSeedAndBudgetReproduceTheChosenConfig) {
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+  for (TuneMode Mode : {TuneMode::Empirical, TuneMode::Hybrid}) {
+    EmpiricalTuneResult A =
+        tuneWorkload(Mode, Gpu, W, fullMask(), smallOptions(10, 7));
+    EmpiricalTuneResult B =
+        tuneWorkload(Mode, Gpu, W, fullMask(), smallOptions(10, 7));
+    EXPECT_TRUE(A.Config == B.Config) << tuneModeName(Mode);
+    EXPECT_EQ(A.Pipeline, B.Pipeline);
+    EXPECT_EQ(A.VmEvaluations, B.VmEvaluations);
+    EXPECT_DOUBLE_EQ(A.Measured.Cycles, B.Measured.Cycles);
+  }
+}
+
+TEST(EmpiricalTunerTest, BudgetBoundsVmEvaluations) {
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+  for (unsigned Budget : {1u, 4u, 9u}) {
+    EmpiricalEvaluator HybridEval(Gpu, W, smallOptions(Budget));
+    EmpiricalTuneResult Hybrid = hybridTune(HybridEval, fullMask());
+    EXPECT_LE(HybridEval.evaluations(), Budget);
+    EXPECT_LE(Hybrid.VmEvaluations, Budget);
+    expectValidConfig(Hybrid.Config);
+
+    EmpiricalEvaluator EmpEval(Gpu, W, smallOptions(Budget));
+    empiricalTune(EmpEval, fullMask());
+    EXPECT_LE(EmpEval.evaluations(), Budget);
+  }
+}
+
+TEST(EmpiricalTunerTest, EvaluatorMeasuresTransformedPrograms) {
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+  EmpiricalEvaluator Eval(Gpu, W, smallOptions());
+
+  // CDP baseline: no transformation, every child grid is a device launch.
+  ExecConfig Cdp;
+  std::optional<VmMeasurement> Base = Eval.measure(Cdp);
+  ASSERT_TRUE(Base.has_value()) << Eval.lastError();
+  EXPECT_GT(Base->DeviceLaunches, 0u);
+
+  // Serialize-everything: the same program measured with zero launches and
+  // more bytecode steps concentrated in the parent.
+  ExecConfig AllSerial;
+  AllSerial.Threshold = 32768u;
+  std::optional<VmMeasurement> Serial = Eval.measure(AllSerial);
+  ASSERT_TRUE(Serial.has_value()) << Eval.lastError();
+  EXPECT_EQ(Serial->DeviceLaunches, 0u);
+  EXPECT_LT(Serial->GridsLaunched, Base->GridsLaunched);
+
+  // Same config again: served from cache, no new VM execution.
+  unsigned Evals = Eval.evaluations();
+  unsigned Hits = Eval.cacheHits();
+  std::optional<VmMeasurement> Again = Eval.measure(AllSerial);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Eval.evaluations(), Evals);
+  EXPECT_EQ(Eval.cacheHits(), Hits + 1);
+  EXPECT_DOUBLE_EQ(Again->Cycles, Serial->Cycles);
+}
+
+TEST(EmpiricalTunerTest, RankConfigsIsStableAndComplete) {
+  GpuModel Gpu;
+  std::vector<NestedBatch> Batches = irregularBatches(2, 5000, 9);
+  std::vector<ExecConfig> Candidates = enumerateConfigs(fullMask());
+  std::vector<size_t> Order = rankConfigs(Gpu, Batches, Candidates);
+  ASSERT_EQ(Order.size(), Candidates.size());
+  std::vector<bool> Seen(Candidates.size());
+  double Prev = -1.0;
+  for (size_t Idx : Order) {
+    ASSERT_LT(Idx, Candidates.size());
+    EXPECT_FALSE(Seen[Idx]);
+    Seen[Idx] = true;
+    double T = simulateBatches(Gpu, Batches, Candidates[Idx]).TimeUs;
+    EXPECT_GE(T, Prev);
+    Prev = T;
+  }
 }
 
 } // namespace
