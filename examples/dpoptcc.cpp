@@ -13,8 +13,9 @@
 ///   dpoptcc [-t] [-c] [-a] [--granularity=warp|block|multiblock|grid]
 ///           [--threshold=N] [--factor=N] [--group=N] [--agg-threshold=N]
 ///           [-passes=PIPELINE] [--tune=MODE] [--tune-budget=N]
-///           [--tune-seed=N] [--print-pass-stats] [--list-passes]
-///           input.cu [-o output.cu]
+///           [--tune-seed=N] [--workload=BENCH:DATASET]
+///           [--tune-report=FILE] [--print-pass-stats] [--list-passes]
+///           [input.cu] [-o output.cu]
 ///
 /// The -t/-c/-a flags build the paper's Fig. 8(a) pipeline; -passes= runs
 /// an arbitrary pipeline through the PassManager (grammar below and in
@@ -30,6 +31,8 @@
 #include "support/StringUtils.h"
 #include "transform/Pipeline.h"
 #include "tuner/Empirical.h"
+#include "tuner/TunedTable.h"
+#include "workloads/KernelSources.h"
 
 #include <cstdio>
 #include <fstream>
@@ -44,8 +47,9 @@ static void usage() {
       "usage: dpoptcc [-t] [-c] [-a] [--granularity=G] [--threshold=N]\n"
       "               [--factor=N] [--group=N] [--agg-threshold=N]\n"
       "               [-passes=PIPELINE] [--tune=MODE] [--tune-budget=N]\n"
-      "               [--tune-seed=N] [--print-pass-stats] [--list-passes]\n"
-      "               input.cu [-o output.cu]\n"
+      "               [--tune-seed=N] [--workload=BENCH:DATASET]\n"
+      "               [--tune-report=FILE] [--print-pass-stats]\n"
+      "               [--list-passes] [input.cu] [-o output.cu]\n"
       "\n"
       "pass selection (pick one):\n"
       "  -t/-c/-a            enable thresholding / coarsening / aggregation\n"
@@ -66,6 +70,17 @@ static void usage() {
       "                      (default 48)\n"
       "  --tune-seed=N       sampling seed; fixed seed + budget reproduces\n"
       "                      the chosen config exactly (default 1)\n"
+      "  --workload=SPEC     tune against a real Table I kernel bound to\n"
+      "                      its dataset (e.g. bfs:road_ny, tc:kron,\n"
+      "                      sp:rand3, bt:t2048_c64) instead of the\n"
+      "                      canonical nested workload; dataset defaults\n"
+      "                      to the benchmark's Fig. 11 pairing\n"
+      "  --tune-report=PATH  write the winning config as a tuned-table\n"
+      "                      JSON entry (bench/tuned/ format); a PATH\n"
+      "                      ending in '/' is a directory and the file\n"
+      "                      name is derived from the workload spec; with\n"
+      "                      this flag the input file is optional\n"
+      "                      (tune-only)\n"
       "\n"
       "pipeline grammar (also: dpoptcc --list-passes):\n"
       "  pipeline := pass (',' pass)*\n"
@@ -142,6 +157,7 @@ int main(int argc, char **argv) {
   bool Tune = false;
   TuneMode Mode = TuneMode::Hybrid;
   EmpiricalOptions TuneOpts;
+  std::string WorkloadSpec, TuneReport;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -202,6 +218,10 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--tune-seed=", 0) == 0) {
       if (!parseCountFlag("--tune-seed", Arg.substr(12), TuneOpts.Seed))
         return 1;
+    } else if (Arg.rfind("--workload=", 0) == 0) {
+      WorkloadSpec = Arg.substr(11);
+    } else if (Arg.rfind("--tune-report=", 0) == 0) {
+      TuneReport = Arg.substr(14);
     } else if (Arg == "--print-pass-stats") {
       PrintPassStats = true;
     } else if (Arg == "--list-passes") {
@@ -230,24 +250,45 @@ int main(int argc, char **argv) {
                  "-passes=\n");
     return 1;
   }
+  if ((!WorkloadSpec.empty() || !TuneReport.empty()) && !Tune) {
+    std::fprintf(stderr,
+                 "error: --workload=/--tune-report= require --tune=\n");
+    return 1;
+  }
   if (PassText.empty() && !AnyPass && !Tune)
     Options.EnableThresholding = Options.EnableCoarsening =
         Options.EnableAggregation = true;
-  if (Input.empty()) {
+  if (Input.empty() && TuneReport.empty()) {
     usage();
     return 1;
   }
 
   if (Tune) {
-    // Tune against the canonical nested workload over a deterministic
-    // skewed batch stream (seeded), then realize the winner as the
+    // Tune against the selected workload — a real Table I kernel bound to
+    // its dataset (--workload=), or the canonical nested workload over a
+    // deterministic skewed batch stream — then realize the winner as the
     // pipeline for the input file. Knob macros keep the tuned values as
     // their defaults, so the emitted .cu stays re-tunable at compile time.
     GpuModel Gpu;
     VariantMask Full;
     Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
-    VmWorkload Workload = makeNestedVmWorkload(
-        "dpoptcc-tune", makeSkewedBatches(4, 20000, TuneOpts.Seed));
+    VmWorkload Workload;
+    std::string CanonicalSpec;
+    if (!WorkloadSpec.empty()) {
+      BenchCase Case;
+      std::string SpecError;
+      if (!parseWorkloadSpec(WorkloadSpec, Case, SpecError)) {
+        std::fprintf(stderr, "error: bad --workload= spec '%s': %s\n",
+                     WorkloadSpec.c_str(), SpecError.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "tuning against %s (%s)\n", Case.name().c_str(),
+                   WorkloadSpec.c_str());
+      Workload = kernelVmWorkload(Case);
+    } else {
+      Workload = canonicalTuneWorkload(TuneOpts.Seed);
+      CanonicalSpec = "canonical";
+    }
     EmpiricalTuneResult R = tuneWorkload(Mode, Gpu, Workload, Full, TuneOpts);
     std::fprintf(stderr, "%s tuning chose: %s\n", tuneModeName(R.Mode),
                  R.Pipeline.empty() ? "(no transformation)"
@@ -261,6 +302,30 @@ int main(int argc, char **argv) {
                    "%s%u analytic probes\n",
                    R.TimeUs, R.VmEvaluations, TuneOpts.Budget,
                    R.SimProbes ? ", " : " and ", R.SimProbes);
+    if (!TuneReport.empty()) {
+      // Directory form: let tunedTableFileName pick the canonical name,
+      // so the spec-to-filename mapping has a single owner.
+      if (TuneReport.back() == '/')
+        TuneReport +=
+            tunedTableFileName(WorkloadSpec.empty() ? "canonical"
+                                                    : WorkloadSpec);
+      TunedEntry Entry;
+      Entry.Workload = WorkloadSpec.empty() ? CanonicalSpec : WorkloadSpec;
+      Entry.Mode = R.Mode;
+      Entry.Budget = TuneOpts.Budget;
+      Entry.Seed = TuneOpts.Seed;
+      Entry.Pipeline = R.Pipeline;
+      Entry.TimeUs = R.TimeUs;
+      Entry.VmEvaluations = R.VmEvaluations;
+      if (!writeTunedEntryFile(TuneReport, Entry)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     TuneReport.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", TuneReport.c_str());
+      if (Input.empty())
+        return 0; // tune-only mode
+    }
     PassText = R.Pipeline;
     if (PassText.empty()) {
       // Nothing to do: the tuner chose the untransformed program.

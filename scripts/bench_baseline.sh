@@ -11,23 +11,27 @@
 #   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput)
 #   BENCH_compiler.json  compiler_throughput (parse, passes, analysis cache)
 #
-# Check mode (the CI regression gate): runs a fresh vm_throughput snapshot
-# and compares it against the committed baseline with bench_compare.py,
-# failing on >15% per-benchmark throughput regression:
+# Check mode (the CI regression gate): runs fresh vm_throughput and
+# compiler_throughput snapshots and compares each against its committed
+# baseline with bench_compare.py, failing on >15% per-benchmark
+# throughput regression:
 #
-#   scripts/bench_baseline.sh --check [fresh.json [baseline.json]]
+#   scripts/bench_baseline.sh --check [vm_fresh.json [compiler_fresh.json]]
 #
-# To refresh the committed baseline after an intentional perf change:
+# To refresh the committed baselines after an intentional perf change:
 #
-#   scripts/bench_baseline.sh bench/baselines/BENCH_vm.json
+#   scripts/bench_baseline.sh bench/baselines/BENCH_vm.json \
+#                             bench/baselines/BENCH_compiler.json
 #
 # Environment:
 #   BUILD_DIR              cmake build directory (default: build)
 #   BENCH_ARGS             extra google-benchmark flags
 #   BENCH_REPS             benchmark repetitions (default: 1; the check
 #                          uses 3 and compares best-of to cut noise)
-#   BENCH_BASELINE         baseline JSON for --check
+#   BENCH_BASELINE         vm baseline JSON for --check
 #                          (default: bench/baselines/BENCH_vm.json)
+#   BENCH_COMPILER_BASELINE  compiler baseline JSON for --check
+#                          (default: bench/baselines/BENCH_compiler.json)
 #   BENCH_CHECK_TOLERANCE  allowed regression percent (default: 15)
 #
 #===---------------------------------------------------------------------------===#
@@ -50,19 +54,26 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target vm_throughput --target compiler_throughput >/dev/null
 
 if [[ "$CHECK" == 1 ]]; then
-  BASELINE="${2:-${BENCH_BASELINE:-bench/baselines/BENCH_vm.json}}"
-  if [[ ! -f "$BASELINE" ]]; then
-    echo "bench_baseline.sh: no committed baseline at $BASELINE" >&2
-    exit 2
-  fi
-  "$BUILD_DIR/vm_throughput" \
-    --benchmark_out="$VM_OUT" \
-    --benchmark_out_format=json \
-    --benchmark_repetitions="${BENCH_REPS:-3}" \
-    ${BENCH_ARGS:-}
-  echo "wrote $VM_OUT; comparing against $BASELINE"
-  exec python3 scripts/bench_compare.py "$VM_OUT" "$BASELINE" \
-    "${BENCH_CHECK_TOLERANCE:-15}"
+  BASELINE="${BENCH_BASELINE:-bench/baselines/BENCH_vm.json}"
+  COMPILER_BASELINE="${BENCH_COMPILER_BASELINE:-bench/baselines/BENCH_compiler.json}"
+  STATUS=0
+  for PAIR in "vm_throughput:$VM_OUT:$BASELINE" \
+              "compiler_throughput:$COMPILER_OUT:$COMPILER_BASELINE"; do
+    IFS=: read -r HARNESS FRESH COMMITTED <<<"$PAIR"
+    if [[ ! -f "$COMMITTED" ]]; then
+      echo "bench_baseline.sh: no committed baseline at $COMMITTED" >&2
+      exit 2
+    fi
+    "$BUILD_DIR/$HARNESS" \
+      --benchmark_out="$FRESH" \
+      --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-3}" \
+      ${BENCH_ARGS:-}
+    echo "wrote $FRESH; comparing against $COMMITTED"
+    python3 scripts/bench_compare.py "$FRESH" "$COMMITTED" \
+      "${BENCH_CHECK_TOLERANCE:-15}" || STATUS=$?
+  done
+  exit "$STATUS"
 fi
 
 "$BUILD_DIR/vm_throughput" \
@@ -78,3 +89,13 @@ echo "wrote $VM_OUT"
   --benchmark_repetitions="${BENCH_REPS:-1}" \
   ${BENCH_ARGS:-}
 echo "wrote $COMPILER_OUT"
+
+# Extend the committed performance trajectory: snapshot mode runs when
+# baselines are being refreshed, so archive this commit's vm snapshot
+# under bench/history/ for the committer to include
+# (scripts/bench_history.py flattens the directory into a CSV).
+if SHA="$(git rev-parse --short HEAD 2>/dev/null)"; then
+  mkdir -p bench/history
+  cp "$VM_OUT" "bench/history/$SHA.json"
+  echo "archived bench/history/$SHA.json (commit it to extend the trajectory)"
+fi

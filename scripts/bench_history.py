@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Flatten the per-PR benchmark snapshots under bench/history/ into a CSV.
+
+Usage: bench_history.py [HISTORY_DIR] [> trajectory.csv]
+
+Each snapshot is a google-benchmark JSON written by CI as
+bench/history/<short-sha>.json (see .github/workflows/ci.yml). The CSV has
+one row per (snapshot, benchmark) with the best-of-repetitions throughput,
+so the whole performance trajectory is plottable with one pandas/gnuplot
+one-liner:
+
+    sha,date,benchmark,metric,throughput
+
+Snapshots are ordered by the date google-benchmark recorded at run time.
+Exit status: 0 on success, 2 when the directory has no readable snapshots.
+"""
+
+import csv
+import json
+import os
+import sys
+
+
+def throughput(entry):
+    if "steps_per_sec" in entry:
+        return float(entry["steps_per_sec"]), "steps_per_sec"
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"]), "items_per_second"
+    cpu = float(entry.get("cpu_time", 0.0))
+    if cpu <= 0:
+        return None, None
+    return 1e9 / cpu, "1/cpu_time"
+
+
+def load_snapshot(path):
+    with open(path) as f:
+        data = json.load(f)
+    date = data.get("context", {}).get("date", "")
+    best = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("run_name", entry.get("name"))
+        value, metric = throughput(entry)
+        if value is None:
+            continue
+        if name not in best or value > best[name][0]:
+            best[name] = (value, metric)
+    return date, best
+
+
+def main(argv):
+    history_dir = argv[1] if len(argv) > 1 else "bench/history"
+    if not os.path.isdir(history_dir):
+        print(f"bench_history: no directory {history_dir}", file=sys.stderr)
+        return 2
+
+    snapshots = []
+    for name in sorted(os.listdir(history_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(history_dir, name)
+        try:
+            date, best = load_snapshot(path)
+        except (OSError, ValueError) as err:
+            print(f"bench_history: skipping {path}: {err}", file=sys.stderr)
+            continue
+        snapshots.append((date, name[: -len(".json")], best))
+    if not snapshots:
+        print(f"bench_history: no snapshots in {history_dir}", file=sys.stderr)
+        return 2
+
+    snapshots.sort(key=lambda s: s[0])
+    writer = csv.writer(sys.stdout, lineterminator="\n")
+    writer.writerow(["sha", "date", "benchmark", "metric", "throughput"])
+    for date, sha, best in snapshots:
+        for bench in sorted(best):
+            value, metric = best[bench]
+            writer.writerow([sha, date, bench, metric, f"{value:.6g}"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

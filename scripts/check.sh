@@ -2,7 +2,11 @@
 #===--- check.sh - configure, build, test, and smoke the benchmarks ----------===#
 #
 # The one command a contributor (or CI) runs before pushing:
-#   scripts/check.sh
+#   scripts/check.sh          # tier1 tests only (the fast inner loop)
+#   scripts/check.sh --all    # tier1 + the differential kernel-corpus
+#                             # suite (every pipeline x peephole on/off
+#                             # against the native references, and the
+#                             # tuned-table drift gate)
 #
 # Environment:
 #   BUILD_DIR  cmake build directory (default: build)
@@ -16,14 +20,24 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+RUN_ALL=0
+if [[ "${1:-}" == "--all" ]]; then
+  RUN_ALL=1
+fi
+
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S .
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "== ctest (tier1) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L tier1
+
+if [[ "$RUN_ALL" == 1 ]]; then
+  echo "== ctest (differential) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" -L differential
+fi
 
 echo "== vm_throughput smoke =="
 if [ -x "$BUILD_DIR/vm_throughput" ]; then

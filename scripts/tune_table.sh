@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+#===--- tune_table.sh - regenerate the committed per-workload tuned tables ---===#
+#
+# Re-tunes every workload in bench/tuned/ with the standard recorded
+# settings and rewrites the JSON tables. Run after an intentional change
+# to the tuner, the passes, the bytecode lowering, or the VM cost
+# attribution, then commit the diff — the differential CI job re-runs the
+# recorded searches and fails when a table no longer reproduces.
+#
+#   scripts/tune_table.sh [workload-spec ...]
+#
+# With no arguments, regenerates the standard set (one per Table I
+# benchmark on its Fig. 11 dataset, plus the Fig. 12 road case for BFS).
+#
+# Environment:
+#   BUILD_DIR    cmake build directory (default: build)
+#   TUNE_MODE    empirical | hybrid | analytic (default: empirical)
+#   TUNE_BUDGET  VM-execution budget (default: 24)
+#   TUNE_SEED    sampling seed (default: 1)
+#
+#===---------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TUNE_MODE="${TUNE_MODE:-empirical}"
+TUNE_BUDGET="${TUNE_BUDGET:-24}"
+TUNE_SEED="${TUNE_SEED:-1}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target dpoptcc >/dev/null
+
+WORKLOADS=("$@")
+if [[ ${#WORKLOADS[@]} -eq 0 ]]; then
+  WORKLOADS=(canonical bfs:kron bfs:road_ny sssp:kron mstf:kron mstv:kron
+             tc:kron sp:sat5 bt:t2048_c64)
+fi
+
+mkdir -p bench/tuned
+for SPEC in "${WORKLOADS[@]}"; do
+  echo "== $SPEC =="
+  WORKLOAD_FLAG=("--workload=$SPEC")
+  # "canonical" records dpoptcc's default --tune workload (no --workload=).
+  [[ "$SPEC" == canonical ]] && WORKLOAD_FLAG=()
+  # The directory form of --tune-report= derives the file name from the
+  # spec via tunedTableFileName, the single owner of that mapping.
+  "$BUILD_DIR/dpoptcc" "--tune=$TUNE_MODE" "${WORKLOAD_FLAG[@]}" \
+    "--tune-budget=$TUNE_BUDGET" "--tune-seed=$TUNE_SEED" \
+    "--tune-report=bench/tuned/"
+done

@@ -173,3 +173,25 @@ bool dpo::usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,
   });
   return Found;
 }
+
+std::unordered_set<std::string> dpo::declaredNames(const FunctionDecl *Fn) {
+  std::unordered_set<std::string> Names;
+  for (const VarDecl *P : Fn->params())
+    Names.insert(P->name());
+  if (Fn->body())
+    forEachStmt(Fn->body(), [&](const Stmt *S) {
+      if (const auto *DS = dyn_cast<DeclStmt>(S))
+        for (const VarDecl *D : DS->decls())
+          Names.insert(D->name());
+    });
+  return Names;
+}
+
+std::string dpo::freshVarName(std::unordered_set<std::string> &Taken,
+                              const std::string &Base) {
+  std::string Name = Base;
+  for (unsigned I = 0; Taken.count(Name); ++I)
+    Name = Base + "_" + std::to_string(I);
+  Taken.insert(Name);
+  return Name;
+}

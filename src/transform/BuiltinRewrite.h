@@ -29,6 +29,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace dpo {
 
@@ -57,6 +58,19 @@ bool rewriteBuiltins(ASTContext &Ctx, Stmt *Root,
 /// Returns true if \p Root references `<Builtin>.<Component>` anywhere.
 bool usesBuiltinComponent(const Stmt *Root, const std::string &Builtin,
                           const std::string &Component);
+
+/// Every name declared by \p Fn: parameters plus all local declarations
+/// under the body. Synthesizing passes collect these before inventing
+/// loop/config variables, so a kernel that was already transformed (the
+/// coarsening pass's `_bx` grid-stride variable, a serial helper's
+/// `_gDim` parameter) can be transformed again without the fresh names
+/// shadowing — or being captured by — what an earlier pass generated.
+std::unordered_set<std::string> declaredNames(const FunctionDecl *Fn);
+
+/// The first of Base, Base_0, Base_1, ... not in \p Taken; the chosen
+/// name is inserted into \p Taken and returned.
+std::string freshVarName(std::unordered_set<std::string> &Taken,
+                         const std::string &Base);
 
 /// The builtin remapping exposed as a standalone pipeline pass — a
 /// building block for pipeline experiments ("builtin-rewrite[gridDim=_gd:

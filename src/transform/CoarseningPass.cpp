@@ -171,18 +171,24 @@ private:
   /// parameter and wraps the body in the block-strided loop.
   void coarsenKernel(FunctionDecl *Child) {
     bool Scalar = ScalarMode.at(Child);
-    const char *ParamName = Scalar ? "_gDimX" : "_gDim";
+    // Collision-free synthesized names: re-coarsening a coarsened kernel
+    // (or coarsening a kernel another pass already rewrote) must not let
+    // the new grid-stride variable capture the old one, nor append a
+    // duplicate original-grid parameter.
+    std::unordered_set<std::string> Taken = declaredNames(Child);
+    std::string ParamName = freshVarName(Taken, Scalar ? "_gDimX" : "_gDim");
+    std::string Bx = freshVarName(Taken, "_bx");
 
     std::unordered_map<std::string, BuiltinRemap> Map;
-    Map["blockIdx"].X = "_bx";
+    Map["blockIdx"].X = Bx;
     // Only x is coarsened; blockIdx.y/z (and, in scalar mode, gridDim.y/z,
     // which are untouched by coarsening) remain valid.
     Map["blockIdx"].AllowUnmappedComponents = true;
     if (Scalar) {
-      Map["gridDim"].X = "_gDimX";
+      Map["gridDim"].X = ParamName;
       Map["gridDim"].AllowUnmappedComponents = true;
     } else {
-      Map["gridDim"].Whole = "_gDim";
+      Map["gridDim"].Whole = ParamName;
     }
 
     Type ParamType =
@@ -199,7 +205,7 @@ private:
         HelperParams.push_back(cloneVarDecl(Ctx, P));
       HelperParams.push_back(Ctx.create<VarDecl>(ParamType, ParamName));
       HelperParams.push_back(
-          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), "_bx"));
+          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), Bx));
       auto *HelperBody = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
       rewriteBuiltins(Ctx, HelperBody, Map, Diags);
       FunctionQualifiers Quals;
@@ -216,7 +222,7 @@ private:
       for (const VarDecl *P : Child->params())
         CallArgs.push_back(Ctx.ref(P->name()));
       CallArgs.push_back(Ctx.ref(ParamName));
-      CallArgs.push_back(Ctx.ref("_bx"));
+      CallArgs.push_back(Ctx.ref(Bx));
       PerBlock =
           Ctx.create<CallExpr>(Ctx.ref(HelperName), std::move(CallArgs));
     } else {
@@ -226,13 +232,13 @@ private:
     }
 
     // for (unsigned int _bx = blockIdx.x; _bx < <bound>; _bx += gridDim.x)
-    Expr *Bound = Scalar ? static_cast<Expr *>(Ctx.ref("_gDimX"))
-                         : static_cast<Expr *>(Ctx.member("_gDim", "x"));
+    Expr *Bound = Scalar ? static_cast<Expr *>(Ctx.ref(ParamName))
+                         : static_cast<Expr *>(Ctx.member(ParamName, "x"));
     auto *Init = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
-        Ctx.create<VarDecl>(Type(BuiltinKind::UInt), "_bx",
+        Ctx.create<VarDecl>(Type(BuiltinKind::UInt), Bx,
                             Ctx.member("blockIdx", "x"))});
-    auto *Cond = Ctx.binary(BinaryOpKind::LT, Ctx.ref("_bx"), Bound);
-    auto *Inc = Ctx.binary(BinaryOpKind::AddAssign, Ctx.ref("_bx"),
+    auto *Cond = Ctx.binary(BinaryOpKind::LT, Ctx.ref(Bx), Bound);
+    auto *Inc = Ctx.binary(BinaryOpKind::AddAssign, Ctx.ref(Bx),
                            Ctx.member("gridDim", "x"));
     auto *Loop = Ctx.create<ForStmt>(Init, Cond, Inc, PerBlock);
 

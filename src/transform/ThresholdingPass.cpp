@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace dpo;
 
@@ -198,36 +199,49 @@ private:
     std::string SerialName =
         freshFunctionName(TU, Child->name() + "_serial");
 
+    // The synthesized loop/config variables must not collide with anything
+    // the child declares: a child that was already transformed (e.g. the
+    // coarsening pass's grid-stride loop declares `_bx`) would otherwise
+    // shadow the serial driver's loop variable and read itself in its own
+    // initializer.
+    std::unordered_set<std::string> Taken = declaredNames(Child);
+    std::string GDim = freshVarName(Taken, "_gDim");
+    std::string BDim = freshVarName(Taken, "_bDim");
+    std::string Bx = freshVarName(Taken, "_bx");
+    std::string By = freshVarName(Taken, "_by");
+    std::string Bz = freshVarName(Taken, "_bz");
+    std::string Tx = freshVarName(Taken, "_tx");
+    std::string Ty = freshVarName(Taken, "_ty");
+    std::string Tz = freshVarName(Taken, "_tz");
+
     // Shared parameter tail: the original launch configuration.
     auto MakeConfigParams = [&]() {
       std::vector<VarDecl *> Params;
       for (const VarDecl *P : Child->params())
         Params.push_back(cloneVarDecl(Ctx, P));
-      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), "_gDim"));
-      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), "_bDim"));
+      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), GDim));
+      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), BDim));
       return Params;
     };
 
     // Index variable names per dimension, block loops then thread loops.
-    std::vector<std::pair<std::string, std::string>> BlockLoops = {
-        {"_bx", "x"}};
-    std::vector<std::pair<std::string, std::string>> ThreadLoops = {
-        {"_tx", "x"}};
+    std::vector<std::pair<std::string, std::string>> BlockLoops = {{Bx, "x"}};
+    std::vector<std::pair<std::string, std::string>> ThreadLoops = {{Tx, "x"}};
     if (AllDims) {
-      BlockLoops.insert(BlockLoops.begin(), {{"_bz", "z"}, {"_by", "y"}});
-      ThreadLoops.insert(ThreadLoops.begin(), {{"_tz", "z"}, {"_ty", "y"}});
+      BlockLoops.insert(BlockLoops.begin(), {{Bz, "z"}, {By, "y"}});
+      ThreadLoops.insert(ThreadLoops.begin(), {{Tz, "z"}, {Ty, "y"}});
     }
 
     std::unordered_map<std::string, BuiltinRemap> Map;
-    Map["gridDim"].Whole = "_gDim";
-    Map["blockDim"].Whole = "_bDim";
-    Map["blockIdx"].X = "_bx";
-    Map["threadIdx"].X = "_tx";
+    Map["gridDim"].Whole = GDim;
+    Map["blockDim"].Whole = BDim;
+    Map["blockIdx"].X = Bx;
+    Map["threadIdx"].X = Tx;
     if (AllDims) {
-      Map["blockIdx"].Y = "_by";
-      Map["blockIdx"].Z = "_bz";
-      Map["threadIdx"].Y = "_ty";
-      Map["threadIdx"].Z = "_tz";
+      Map["blockIdx"].Y = By;
+      Map["blockIdx"].Z = Bz;
+      Map["threadIdx"].Y = Ty;
+      Map["threadIdx"].Z = Tz;
     }
 
     FunctionQualifiers Quals;
@@ -255,8 +269,8 @@ private:
       std::vector<Expr *> CallArgs;
       for (const VarDecl *P : Child->params())
         CallArgs.push_back(Ctx.ref(P->name()));
-      CallArgs.push_back(Ctx.ref("_gDim"));
-      CallArgs.push_back(Ctx.ref("_bDim"));
+      CallArgs.push_back(Ctx.ref(GDim));
+      CallArgs.push_back(Ctx.ref(BDim));
       for (auto &Loops : {BlockLoops, ThreadLoops})
         for (const auto &[VarName, Component] : Loops)
           CallArgs.push_back(Ctx.ref(VarName));
@@ -281,9 +295,9 @@ private:
 
     Stmt *Loops = PerThread;
     for (auto It = ThreadLoops.rbegin(); It != ThreadLoops.rend(); ++It)
-      Loops = MakeLoop(It->first, "_bDim", It->second, Loops);
+      Loops = MakeLoop(It->first, BDim, It->second, Loops);
     for (auto It = BlockLoops.rbegin(); It != BlockLoops.rend(); ++It)
-      Loops = MakeLoop(It->first, "_gDim", It->second, Loops);
+      Loops = MakeLoop(It->first, GDim, It->second, Loops);
 
     auto *SerialBody = Ctx.compound({Loops});
     auto *Serial =

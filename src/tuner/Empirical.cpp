@@ -119,8 +119,11 @@ EmpiricalEvaluator::EmpiricalEvaluator(const GpuModel &Gpu, VmWorkload W,
   // sample keeps its batch count (successive halving needs real rungs).
   // Per-parent child sizes are untouched, so thresholding/aggregation
   // behavior on the sample matches the full stream's character.
-  uint64_t PerBatchCap = std::max<uint64_t>(
-      1, Opts.MaxSampleUnits / std::max<size_t>(1, Order.size()));
+  uint64_t MaxUnits = Opts.MaxSampleUnits;
+  if (Workload.SampleUnitCap)
+    MaxUnits = std::min(MaxUnits, Workload.SampleUnitCap);
+  uint64_t PerBatchCap =
+      std::max<uint64_t>(1, MaxUnits / std::max<size_t>(1, Order.size()));
   for (size_t Idx : Order) {
     NestedBatch B = Workload.Batches[Idx];
     uint64_t Units = 0;
@@ -135,6 +138,7 @@ EmpiricalEvaluator::EmpiricalEvaluator(const GpuModel &Gpu, VmWorkload W,
     B.ChildUnits.resize(Keep);
     B.NumParentThreads = (uint32_t)Keep;
     Sample.push_back(std::move(B));
+    SampleIndex.push_back((unsigned)Idx);
   }
 }
 
@@ -203,41 +207,46 @@ EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
   if (!Program)
     return std::nullopt;
 
-  Device Dev(*Program, Opts.VmMemoryBytes);
+  Device Dev(*Program,
+             std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes));
   Dev.setStepLimit(Opts.VmStepLimit);
   Dev.setGridLogEnabled(true);
-  std::string Wrapper = Workload.ParentKernel + "_agg";
-  bool UseWrapper = Dev.hasHostFunction(Wrapper);
+
+  if (Workload.Binding) {
+    std::string SetupError;
+    if (!Workload.Binding->setup(Dev, SetupError)) {
+      LastError = "workload binding setup failed: " + SetupError;
+      return std::nullopt;
+    }
+    // The staging runs outside the measurement: only the rounds below
+    // count.
+    Dev.resetStats();
+    Dev.clearGridLog();
+  }
 
   for (unsigned I = 0; I < Resource; ++I) {
     const NestedBatch &B = Sample[I];
-    std::vector<int32_t> Counts(B.ChildUnits.size());
-    std::vector<int32_t> Offsets(B.ChildUnits.size());
-    int64_t Total = 0;
-    for (size_t V = 0; V < B.ChildUnits.size(); ++V) {
-      Offsets[V] = (int32_t)Total;
-      Counts[V] = (int32_t)std::min<uint32_t>(
-          B.ChildUnits[V], (uint32_t)std::numeric_limits<int32_t>::max());
-      Total += Counts[V];
-    }
-    uint64_t OutA = Dev.alloc((uint64_t)std::max<int64_t>(1, Total) * 4);
-    uint64_t CountsA = Dev.allocI32(Counts);
-    uint64_t OffsetsA = Dev.allocI32(Offsets);
-    int64_t NumV = (int64_t)Counts.size();
-    uint32_t PB = B.ParentBlockDim ? B.ParentBlockDim : 128;
-    uint32_t GridX = (uint32_t)((NumV + PB - 1) / PB);
-    std::vector<int64_t> Args = {(int64_t)OutA, (int64_t)CountsA,
-                                 (int64_t)OffsetsA, NumV};
-    bool Ok;
-    if (UseWrapper) {
-      std::vector<int64_t> HostArgs = {GridX, 1, 1, PB, 1, 1};
-      HostArgs.insert(HostArgs.end(), Args.begin(), Args.end());
-      Ok = Dev.callHost(Wrapper, HostArgs);
+    std::vector<int64_t> Args;
+    int64_t NumV = (int64_t)B.ChildUnits.size();
+    if (Workload.Binding) {
+      Args = Workload.Binding->argsFor(Dev, B, SampleIndex[I]);
     } else {
-      Ok = Dev.launchKernel(Workload.ParentKernel, {GridX, 1, 1}, {PB, 1, 1},
-                            Args);
+      std::vector<int32_t> Counts(B.ChildUnits.size());
+      std::vector<int32_t> Offsets(B.ChildUnits.size());
+      int64_t Total = 0;
+      for (size_t V = 0; V < B.ChildUnits.size(); ++V) {
+        Offsets[V] = (int32_t)Total;
+        Counts[V] = (int32_t)std::min<uint32_t>(
+            B.ChildUnits[V], (uint32_t)std::numeric_limits<int32_t>::max());
+        Total += Counts[V];
+      }
+      uint64_t OutA = Dev.alloc((uint64_t)std::max<int64_t>(1, Total) * 4);
+      uint64_t CountsA = Dev.allocI32(Counts);
+      uint64_t OffsetsA = Dev.allocI32(Offsets);
+      Args = {(int64_t)OutA, (int64_t)CountsA, (int64_t)OffsetsA, NumV};
     }
-    if (!Ok) {
+    if (!launchWorkloadParent(Dev, Workload.ParentKernel, (uint32_t)NumV,
+                              B.ParentBlockDim, Args)) {
       LastError = "VM run of pipeline '" + Pipeline +
                   "' failed: " + Dev.error();
       return std::nullopt;

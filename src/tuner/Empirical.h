@@ -153,6 +153,9 @@ private:
   VmWorkload Workload;
   EmpiricalOptions Opts;
   std::vector<NestedBatch> Sample;
+  /// Each sample batch's index in the workload's full stream (bound
+  /// workloads replay the recorded round with that index).
+  std::vector<unsigned> SampleIndex;
   std::map<std::string, VmProgram> Programs;
   std::set<std::string> FailedPipelines; ///< Negative compile cache.
   std::map<std::string, VmMeasurement> Cache;

@@ -1,0 +1,134 @@
+//===--- TunedTable.cpp ---------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TunedTable.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace dpo;
+
+std::string dpo::tunedEntryJson(const TunedEntry &Entry) {
+  char TimeBuf[64];
+  std::snprintf(TimeBuf, sizeof(TimeBuf), "%.3f", Entry.TimeUs);
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"workload\": \"" << Entry.Workload << "\",\n"
+     << "  \"mode\": \"" << tuneModeName(Entry.Mode) << "\",\n"
+     << "  \"budget\": " << Entry.Budget << ",\n"
+     << "  \"seed\": " << Entry.Seed << ",\n"
+     << "  \"pipeline\": \"" << Entry.Pipeline << "\",\n"
+     << "  \"time_us\": " << TimeBuf << ",\n"
+     << "  \"vm_evaluations\": " << Entry.VmEvaluations << "\n"
+     << "}\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Minimal extraction from the flat committed format: finds `"Key":` and
+/// returns the value token (string contents or bare number). No general
+/// JSON — the only accepted input is what tunedEntryJson writes (plus
+/// whitespace/reordering).
+bool extractValue(std::string_view Text, const std::string &Key,
+                  std::string &Out) {
+  std::string Needle = "\"" + Key + "\"";
+  size_t Pos = Text.find(Needle);
+  if (Pos == std::string_view::npos)
+    return false;
+  Pos = Text.find(':', Pos + Needle.size());
+  if (Pos == std::string_view::npos)
+    return false;
+  ++Pos;
+  while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+    ++Pos;
+  if (Pos >= Text.size())
+    return false;
+  if (Text[Pos] == '"') {
+    size_t End = Text.find('"', Pos + 1);
+    if (End == std::string_view::npos)
+      return false;
+    Out = std::string(Text.substr(Pos + 1, End - Pos - 1));
+    return true;
+  }
+  size_t End = Pos;
+  while (End < Text.size() && Text[End] != ',' && Text[End] != '\n' &&
+         Text[End] != '}')
+    ++End;
+  Out = std::string(Text.substr(Pos, End - Pos));
+  while (!Out.empty() && (Out.back() == ' ' || Out.back() == '\r'))
+    Out.pop_back();
+  return !Out.empty();
+}
+
+} // namespace
+
+bool dpo::parseTunedEntryJson(std::string_view Text, TunedEntry &Entry,
+                              std::string &Error) {
+  std::string Value;
+  if (!extractValue(Text, "workload", Entry.Workload)) {
+    Error = "missing \"workload\"";
+    return false;
+  }
+  if (!extractValue(Text, "mode", Value) || !parseTuneMode(Value, Entry.Mode)) {
+    Error = "missing or invalid \"mode\"";
+    return false;
+  }
+  if (!extractValue(Text, "budget", Value)) {
+    Error = "missing \"budget\"";
+    return false;
+  }
+  Entry.Budget = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+  if (!extractValue(Text, "seed", Value)) {
+    Error = "missing \"seed\"";
+    return false;
+  }
+  Entry.Seed = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+  // An empty pipeline ("" = untransformed winner) is legal, so presence
+  // of the key is what matters.
+  if (Text.find("\"pipeline\"") == std::string_view::npos) {
+    Error = "missing \"pipeline\"";
+    return false;
+  }
+  extractValue(Text, "pipeline", Entry.Pipeline);
+  if (extractValue(Text, "time_us", Value))
+    Entry.TimeUs = std::strtod(Value.c_str(), nullptr);
+  if (extractValue(Text, "vm_evaluations", Value))
+    Entry.VmEvaluations = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+  return true;
+}
+
+bool dpo::writeTunedEntryFile(const std::string &Path,
+                              const TunedEntry &Entry) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << tunedEntryJson(Entry);
+  return (bool)Out;
+}
+
+bool dpo::loadTunedEntryFile(const std::string &Path, TunedEntry &Entry,
+                             std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseTunedEntryJson(Buffer.str(), Entry, Error);
+}
+
+std::string dpo::tunedTableFileName(std::string_view WorkloadSpec) {
+  std::string Name;
+  for (char C : WorkloadSpec)
+    Name.push_back(C == ':' || C == '-' ? '_'
+                                        : (char)std::tolower((unsigned char)C));
+  return Name + ".json";
+}

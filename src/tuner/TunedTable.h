@@ -1,0 +1,59 @@
+//===--- TunedTable.h - Committed per-workload tuned configs ------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tune-once-commit-diff support for the Table I kernel corpus: a tuned
+/// entry records which workload was tuned, with which mode/budget/seed,
+/// and the winning pipeline. The tables live under bench/tuned/ (one JSON
+/// file per workload, written by `dpoptcc --tune=... --workload=...
+/// --tune-report=...` or scripts/tune_table.sh); the differential CI job
+/// re-runs each recorded search — the searches are deterministic under
+/// fixed (seed, budget) — and fails on drift, so a change to the tuner,
+/// the passes, the bytecode lowering, or the VM cost attribution that
+/// silently flips a tuning decision shows up as a reviewable diff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TUNER_TUNEDTABLE_H
+#define DPO_TUNER_TUNEDTABLE_H
+
+#include "tuner/Empirical.h"
+
+#include <string>
+#include <string_view>
+
+namespace dpo {
+
+struct TunedEntry {
+  std::string Workload; ///< --workload= spec, e.g. "bfs:road_ny".
+  TuneMode Mode = TuneMode::Empirical;
+  unsigned Budget = 0;
+  unsigned Seed = 0;
+  std::string Pipeline; ///< Winning pass pipeline ("" = untransformed).
+  double TimeUs = 0;    ///< Headline makespan estimate (informational).
+  unsigned VmEvaluations = 0;
+};
+
+/// Serializes \p Entry as the committed JSON format (stable key order,
+/// trailing newline).
+std::string tunedEntryJson(const TunedEntry &Entry);
+
+/// Parses the committed format. Unknown keys are ignored; missing
+/// required keys (workload, mode, budget, seed, pipeline) fail.
+bool parseTunedEntryJson(std::string_view Text, TunedEntry &Entry,
+                         std::string &Error);
+
+bool writeTunedEntryFile(const std::string &Path, const TunedEntry &Entry);
+bool loadTunedEntryFile(const std::string &Path, TunedEntry &Entry,
+                        std::string &Error);
+
+/// The table's on-disk name for a workload spec: "bfs:road_ny" ->
+/// "bfs_road_ny.json".
+std::string tunedTableFileName(std::string_view WorkloadSpec);
+
+} // namespace dpo
+
+#endif // DPO_TUNER_TUNEDTABLE_H

@@ -206,6 +206,65 @@ std::vector<int32_t> Device::readI32Array(uint64_t Addr, size_t Count) const {
   return Result;
 }
 
+uint64_t Device::allocI64(const std::vector<int64_t> &Values) {
+  uint64_t Addr = alloc(Values.size() * 8);
+  if (Addr)
+    std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 8);
+  return Addr;
+}
+uint64_t Device::allocF32(const std::vector<float> &Values) {
+  uint64_t Addr = alloc(Values.size() * 4);
+  if (Addr)
+    std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 4);
+  return Addr;
+}
+uint64_t Device::allocF64(const std::vector<double> &Values) {
+  uint64_t Addr = alloc(Values.size() * 8);
+  if (Addr)
+    std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 8);
+  return Addr;
+}
+std::vector<int64_t> Device::readI64Array(uint64_t Addr, size_t Count) const {
+  DPO_CHECKED_RW(Addr, Count * 8);
+  std::vector<int64_t> Result(Count);
+  std::memcpy(Result.data(), Memory.data() + Addr, Count * 8);
+  return Result;
+}
+std::vector<float> Device::readF32Array(uint64_t Addr, size_t Count) const {
+  DPO_CHECKED_RW(Addr, Count * 4);
+  std::vector<float> Result(Count);
+  std::memcpy(Result.data(), Memory.data() + Addr, Count * 4);
+  return Result;
+}
+std::vector<double> Device::readF64Array(uint64_t Addr, size_t Count) const {
+  DPO_CHECKED_RW(Addr, Count * 8);
+  std::vector<double> Result(Count);
+  std::memcpy(Result.data(), Memory.data() + Addr, Count * 8);
+  return Result;
+}
+void Device::writeI32Array(uint64_t Addr, const std::vector<int32_t> &Values) {
+  DPO_CHECKED_RW(Addr, Values.size() * 4);
+  std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 4);
+}
+void Device::writeI64Array(uint64_t Addr, const std::vector<int64_t> &Values) {
+  DPO_CHECKED_RW(Addr, Values.size() * 8);
+  std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 8);
+}
+void Device::writeF64Array(uint64_t Addr, const std::vector<double> &Values) {
+  DPO_CHECKED_RW(Addr, Values.size() * 8);
+  std::memcpy(Memory.data() + Addr, Values.data(), Values.size() * 8);
+}
+void Device::fillI32(uint64_t Addr, size_t Count, int32_t V) {
+  DPO_CHECKED_RW(Addr, Count * 4);
+  for (size_t I = 0; I < Count; ++I)
+    std::memcpy(Memory.data() + Addr + I * 4, &V, 4);
+}
+void Device::fillI64(uint64_t Addr, size_t Count, int64_t V) {
+  DPO_CHECKED_RW(Addr, Count * 8);
+  for (size_t I = 0; I < Count; ++I)
+    std::memcpy(Memory.data() + Addr + I * 8, &V, 8);
+}
+
 bool Device::fail(const std::string &Message) {
   if (LastError.empty())
     LastError = Message;

@@ -108,6 +108,23 @@ public:
   uint64_t allocI32(const std::vector<int32_t> &Values);
   std::vector<int32_t> readI32Array(uint64_t Addr, size_t Count) const;
 
+  // Bulk typed-buffer host hooks. The workload harnesses use these to
+  // stage datasets (CSR graphs, SAT formulas, tessellation inputs) into
+  // device memory and to read payload arrays back
+  // (src/workloads/Differential.h, src/workloads/KernelSources.h).
+  uint64_t allocI64(const std::vector<int64_t> &Values);
+  uint64_t allocF32(const std::vector<float> &Values);
+  uint64_t allocF64(const std::vector<double> &Values);
+  std::vector<int64_t> readI64Array(uint64_t Addr, size_t Count) const;
+  std::vector<float> readF32Array(uint64_t Addr, size_t Count) const;
+  std::vector<double> readF64Array(uint64_t Addr, size_t Count) const;
+  void writeI32Array(uint64_t Addr, const std::vector<int32_t> &Values);
+  void writeI64Array(uint64_t Addr, const std::vector<int64_t> &Values);
+  void writeF64Array(uint64_t Addr, const std::vector<double> &Values);
+  /// Fills \p Count elements with one value (per-round array resets).
+  void fillI32(uint64_t Addr, size_t Count, int32_t V);
+  void fillI64(uint64_t Addr, size_t Count, int64_t V);
+
   /// Launches a kernel from the host and runs to completion (including all
   /// device-side launches). Args are slot values: ints/addresses as int64,
   /// doubles bit-cast, dim3 parameters as three consecutive slots.

@@ -144,6 +144,15 @@ const BezierDataset &bezierFor(DatasetId Id) {
 
 } // namespace
 
+const CsrGraph &dpo::datasetGraph(DatasetId Id) { return graphFor(Id); }
+const SatFormula &dpo::datasetFormula(DatasetId Id) { return formulaFor(Id); }
+const BezierDataset &dpo::datasetBezier(DatasetId Id) { return bezierFor(Id); }
+
+CsrGraph dpo::benchCaseGraph(const BenchCase &Case) {
+  const CsrGraph &G = graphFor(Case.Data);
+  return Case.Bench == BenchmarkId::TC ? G.headSubgraph(TcSubgraphVertices) : G;
+}
+
 const WorkloadOutput &dpo::runCase(const BenchCase &Case) {
   static std::map<std::pair<int, int>, WorkloadOutput> Cache;
   static std::mutex Mutex;

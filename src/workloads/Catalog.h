@@ -40,6 +40,17 @@ const std::vector<BenchCase> &figure11Cases();
 /// identical batches and results.
 const WorkloadOutput &runCase(const BenchCase &Case);
 
+// The cached dataset instances behind runCase (the same objects each
+// call). Only valid for the matching dataset kind.
+const CsrGraph &datasetGraph(DatasetId Id);       ///< KRON / CNR / ROAD_NY
+const SatFormula &datasetFormula(DatasetId Id);   ///< RAND3 / SAT5
+const BezierDataset &datasetBezier(DatasetId Id); ///< T0032 / T2048
+
+/// The graph a graph benchmark actually runs on for \p Case (TC runs the
+/// induced head subgraph per the Table I note; everything else the full
+/// graph).
+CsrGraph benchCaseGraph(const BenchCase &Case);
+
 /// Dataset statistics for the Table I reproduction.
 struct DatasetStats {
   std::string Name;

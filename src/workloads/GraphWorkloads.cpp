@@ -51,6 +51,7 @@ WorkloadOutput dpo::runBfs(const CsrGraph &G, uint32_t Source) {
     B.SerialCyclesPerUnit = 380;
     B.ChildBlockBaseCycles = 50;
     Out.Batches.push_back(std::move(B));
+    Out.ParentItems.push_back(Frontier);
 
     Next.clear();
     for (uint32_t V : Frontier)
@@ -89,6 +90,7 @@ WorkloadOutput dpo::runSssp(const CsrGraph &G, uint32_t Source) {
     B.SerialCyclesPerUnit = 450;
     B.ChildBlockBaseCycles = 55;
     Out.Batches.push_back(std::move(B));
+    Out.ParentItems.push_back(Worklist);
 
     Next.clear();
     for (uint32_t V : Worklist)
@@ -141,6 +143,7 @@ WorkloadOutput dpo::runMstFind(const CsrGraph &G) {
     B.SerialCyclesPerUnit = 420;
     B.ChildBlockBaseCycles = 60;
     Out.Batches.push_back(std::move(B));
+    Out.ParentItems.push_back(ActiveVertices);
 
     // Per component: cheapest outgoing edge.
     struct Best {
@@ -207,6 +210,7 @@ WorkloadOutput dpo::runMstVerify(const CsrGraph &G) {
   B.SerialCyclesPerUnit = 350;
   B.ChildBlockBaseCycles = 45;
   Out.Batches.push_back(std::move(B));
+  Out.ParentItems.emplace_back(); // identity: every vertex
 
   // Verification digest: per-vertex min incident weight summed (the verify
   // kernel checks local minimality; this digest pins its result).
@@ -247,6 +251,7 @@ WorkloadOutput dpo::runTriangleCount(const CsrGraph &G) {
   B.SerialCyclesPerUnit = B.ChildCyclesPerUnit * 6.0;
   B.ChildBlockBaseCycles = 55;
   Out.Batches.push_back(std::move(B));
+  Out.ParentItems.emplace_back(); // identity: every vertex
 
   uint64_t Count = 0;
   for (uint32_t U = 0; U < G.NumVertices; ++U)

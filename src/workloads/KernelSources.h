@@ -1,0 +1,146 @@
+//===--- KernelSources.h - Table I benchmarks as DSL kernels ------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven Table I benchmarks written as actual CUDA-subset translation
+/// units the transform passes and the bytecode VM can consume — the step
+/// from "the canonical nested shape driven by recorded batch sizes" to
+/// "the real kernels, computing the real results, on real datasets".
+///
+/// Every source defines a parent kernel named `parent` containing exactly
+/// one dynamic launch of a kernel named `child`, with the grid dimension
+/// spelled as a Fig. 4 ceiling division, so all three transforms apply at
+/// every knob setting. SP additionally defines a flat `update` kernel (no
+/// launches; the damped bias update the paper's SP iteration performs
+/// between rounds).
+///
+/// Two consumers:
+///  - the differential harness (Differential.h) runs each source through
+///    every registered pipeline on scaled-down Table I datasets and
+///    asserts the *payload* (levels, distances, MST weight, triangle
+///    count, checksums) is bit-identical to the native references in
+///    Workloads.h;
+///  - the empirical tuner measures candidate configs against the real
+///    kernel bound to the full-size dataset (kernelVmWorkload), replaying
+///    the native run's recorded per-round parent lists
+///    (WorkloadOutput::ParentItems) as frontier arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_WORKLOADS_KERNELSOURCES_H
+#define DPO_WORKLOADS_KERNELSOURCES_H
+
+#include "workloads/Catalog.h"
+#include "workloads/VmWorkload.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+/// The DSL translation unit for one benchmark (see file comment).
+const char *kernelSourceFor(BenchmarkId Bench);
+
+/// Block dimensions used by the sources (parent launches and the child
+/// launch statement's literal). They match the native batches' dims.
+uint32_t kernelParentBlockDim(BenchmarkId Bench);
+uint32_t kernelChildBlockDim(BenchmarkId Bench);
+
+/// A benchmark paired with a concrete dataset instance. Exactly one of
+/// Graph / Formula / Bezier is meaningful, by benchmark kind.
+struct KernelCase {
+  BenchmarkId Bench = BenchmarkId::BFS;
+  std::string Name; ///< e.g. "BFS/road-mini"
+  CsrGraph Graph;
+  SatFormula Formula;
+  BezierDataset Bezier;
+
+  std::string source() const { return kernelSourceFor(Bench); }
+  /// Native reference over this case's dataset — the payload ground truth
+  /// the differential harness compares against.
+  WorkloadOutput reference() const;
+};
+
+KernelCase makeGraphKernelCase(BenchmarkId Bench, std::string Name,
+                               CsrGraph Graph);
+KernelCase makeSatKernelCase(std::string Name, SatFormula Formula);
+KernelCase makeBezierKernelCase(std::string Name, BezierDataset Bezier);
+
+/// Scaled-down deterministic instances of the Table I datasets, sized so
+/// the full differential matrix (every pipeline, peephole on and off)
+/// stays a tier-CI-sized job: at least two datasets per benchmark, same
+/// generators and degree character as the full-size originals.
+const std::vector<KernelCase> &differentialCorpus();
+
+/// Device addresses of one staged kernel case: the dataset arrays plus
+/// the benchmark's algorithm-state and payload arrays, initialized to the
+/// algorithm's starting state (levels all unreached except source,
+/// distances infinite, components identity, native initial biases, ...).
+/// Which fields are meaningful depends on Bench; TC stores its forward
+/// CSR in RowPtr/Col. Shared by the differential drivers and the tuner's
+/// replay binding so both stage byte-identical images.
+struct KernelImage {
+  BenchmarkId Bench = BenchmarkId::BFS;
+  uint32_t NumParents = 0; ///< Vertices / variables / lines.
+  uint64_t NumEdges = 0;
+  // Graph CSR (TC: forward CSR).
+  uint64_t RowPtr = 0, Col = 0, Weight = 0;
+  // Worklist machinery (BFS / SSSP).
+  uint64_t Frontier = 0, Next = 0, NextSize = 0;
+  uint64_t Levels = 0;                     // BFS payload
+  uint64_t Dist = 0, InList = 0;           // SSSP
+  uint64_t Comp = 0, Best = 0, Active = 0; // MSTF
+  uint64_t MinW = 0;                       // MSTV
+  uint64_t Tri = 0;                        // TC
+  uint64_t OccRow = 0, OccClause = 0, Lits = 0, Bias = 0, NextBias = 0,
+           Delta = 0, Term = 0; // SP
+  uint32_t K = 0;
+  uint64_t P0x = 0, P0y = 0, P1x = 0, P1y = 0, P2x = 0, P2y = 0, Out = 0,
+           Tess = 0, OBase = 0; // BT
+  uint64_t TotalPoints = 0;
+};
+
+class Device;
+
+/// Loads Case's dataset and initial state into \p Dev. Two failure
+/// channels, both to check: staging a dataset larger than device memory
+/// fails through Dev.error(); a dataset outside the kernels' encoding
+/// budget (>= 2^20 vertices or >= 2^22 weights for the MSTF/BFS 64-bit
+/// keys, edge counts above int32) is reported through \p Error without
+/// staging — relying on asserts alone would corrupt results silently in
+/// NDEBUG builds.
+KernelImage stageKernelCase(Device &Dev, const KernelCase &Case,
+                            std::string *Error = nullptr);
+
+/// The parent launch's argument vector for one round. \p Frontier and
+/// \p Next are the round's ping-pong buffers where the benchmark has any
+/// (BFS/SSSP worklists; for SP, \p Frontier carries the round's
+/// current-bias buffer); \p Round feeds BFS's depth argument.
+std::vector<int64_t> kernelParentArgs(const KernelImage &Img,
+                                      uint64_t Frontier, uint64_t Next,
+                                      uint32_t NumParents, uint32_t Round);
+
+/// The 64-bit "infinite" sentinel shared by the SSSP distance and MSTF
+/// best-edge-key arrays (INT64_MAX: every real value compares smaller).
+int64_t kernelInf64();
+
+/// The real kernel bound to the full-size Table I dataset for VM-in-the-
+/// loop tuning: Source is the benchmark's DSL kernel, Batches are the
+/// native run's batches, and Binding stages the dataset into device
+/// memory and replays the recorded per-round parent lists. MinMemoryBytes
+/// is sized from the dataset.
+VmWorkload kernelVmWorkload(const BenchCase &Case);
+
+/// Parses a --workload= spec "bfs:road_ny" / "tc:kron" (benchmark and
+/// dataset names case-insensitive, '-' and '_' interchangeable). On
+/// failure returns false and sets \p Error to the list of valid
+/// spellings.
+bool parseWorkloadSpec(std::string_view Spec, BenchCase &Out,
+                       std::string &Error);
+
+} // namespace dpo
+
+#endif // DPO_WORKLOADS_KERNELSOURCES_H

@@ -43,6 +43,7 @@ WorkloadOutput dpo::runSurveyProp(const SatFormula &F, unsigned MaxIters) {
     B.SerialCyclesPerUnit = 210;
     B.ChildBlockBaseCycles = 70;
     Out.Batches.push_back(std::move(B));
+    Out.ParentItems.emplace_back(); // identity: every variable
 
     MaxDelta = 0;
     for (uint32_t V = 0; V < F.NumVars; ++V) {
@@ -99,6 +100,7 @@ WorkloadOutput dpo::runBezier(const BezierDataset &D) {
   B.SerialCyclesPerUnit = 580;
   B.ChildBlockBaseCycles = 80;
   Out.Batches.push_back(std::move(B));
+  Out.ParentItems.emplace_back(); // identity: every line
 
   // Functional result: tessellated points of the quadratic curves.
   double Sum = 0;

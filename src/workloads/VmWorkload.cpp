@@ -6,9 +6,27 @@
 
 #include "workloads/VmWorkload.h"
 
+#include "vm/VM.h"
+
 #include <random>
 
 using namespace dpo;
+
+bool dpo::launchWorkloadParent(Device &Dev, const std::string &ParentKernel,
+                               uint32_t NumParents, uint32_t ParentBlockDim,
+                               const std::vector<int64_t> &Args) {
+  if (NumParents == 0)
+    return true;
+  uint32_t PB = ParentBlockDim ? ParentBlockDim : 128;
+  uint32_t GridX = (NumParents + PB - 1) / PB;
+  std::string Wrapper = ParentKernel + "_agg";
+  if (Dev.hasHostFunction(Wrapper)) {
+    std::vector<int64_t> HostArgs = {GridX, 1, 1, PB, 1, 1};
+    HostArgs.insert(HostArgs.end(), Args.begin(), Args.end());
+    return Dev.callHost(Wrapper, HostArgs);
+  }
+  return Dev.launchKernel(ParentKernel, {GridX, 1, 1}, {PB, 1, 1}, Args);
+}
 
 std::string dpo::nestedVmSource(uint32_t ChildBlockDim) {
   std::string B = std::to_string(ChildBlockDim);
@@ -40,6 +58,10 @@ VmWorkload dpo::makeNestedVmWorkload(std::string Name,
   W.Source = nestedVmSource(ChildBlockDim);
   W.Batches = std::move(Batches);
   return W;
+}
+
+VmWorkload dpo::canonicalTuneWorkload(unsigned Seed) {
+  return makeNestedVmWorkload("canonical", makeSkewedBatches(4, 20000, Seed));
 }
 
 std::vector<NestedBatch> dpo::makeSkewedBatches(unsigned NumBatches,

@@ -44,6 +44,14 @@ constexpr uint64_t InfDist = std::numeric_limits<uint64_t>::max();
 struct WorkloadOutput {
   std::vector<NestedBatch> Batches;
 
+  /// Per-batch parent work lists (the vertices/variables/lines whose child
+  /// sizes became the batch's ChildUnits, in batch order): BFS frontiers,
+  /// SSSP worklists, Boruvka active-vertex lists, ... An empty entry means
+  /// the identity list 0..NumParentThreads-1 (single-sweep kernels). The
+  /// VM kernel corpus (KernelSources.h) replays these as the frontier
+  /// arrays of real DSL kernels.
+  std::vector<std::vector<uint32_t>> ParentItems;
+
   // Correctness payloads (filled by the relevant workload).
   std::vector<uint32_t> Levels;  ///< BFS level per vertex.
   std::vector<uint64_t> Dist;    ///< SSSP distance per vertex.

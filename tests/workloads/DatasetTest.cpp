@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "datasets/Generators.h"
+#include "workloads/Catalog.h"
 
 #include <gtest/gtest.h>
 
@@ -54,6 +55,73 @@ TEST(DatasetTest, GeneratorsAreDeterministic) {
   EXPECT_EQ(A.RowPtr, B.RowPtr);
   CsrGraph C = makeKronGraph(12, 8, 100);
   EXPECT_NE(A.Col, C.Col);
+}
+
+TEST(DatasetTest, EveryGeneratorIsByteIdenticalAcrossRuns) {
+  // The differential corpus and the committed tuned tables both assume
+  // regenerating a dataset reproduces it exactly — byte-identical CSR
+  // arrays, weights, literals, and tessellation factors.
+  {
+    CsrGraph A = makeWebGraph(5000, 7.0, 42), B = makeWebGraph(5000, 7.0, 42);
+    EXPECT_EQ(A.RowPtr, B.RowPtr);
+    EXPECT_EQ(A.Col, B.Col);
+    EXPECT_EQ(A.Weight, B.Weight);
+  }
+  {
+    CsrGraph A = makeRoadGraph(40, 7), B = makeRoadGraph(40, 7);
+    EXPECT_EQ(A.RowPtr, B.RowPtr);
+    EXPECT_EQ(A.Col, B.Col);
+    EXPECT_EQ(A.Weight, B.Weight);
+  }
+  {
+    CsrGraph A = makeKronGraph(10, 8, 5), B = makeKronGraph(10, 8, 5);
+    EXPECT_EQ(A.Weight, B.Weight); // Col/RowPtr covered above
+  }
+  {
+    SatFormula A = makeRandomKSat(500, 2100, 3, 9);
+    SatFormula B = makeRandomKSat(500, 2100, 3, 9);
+    EXPECT_EQ(A.ClauseLits, B.ClauseLits);
+    EXPECT_EQ(A.OccRowPtr, B.OccRowPtr);
+    EXPECT_EQ(A.OccClause, B.OccClause);
+  }
+  {
+    BezierDataset A = makeBezierLines(500, 64, 16.0, 3);
+    BezierDataset B = makeBezierLines(500, 64, 16.0, 3);
+    ASSERT_EQ(A.Lines.size(), B.Lines.size());
+    for (size_t I = 0; I < A.Lines.size(); ++I) {
+      EXPECT_EQ(A.Lines[I].P0, B.Lines[I].P0);
+      EXPECT_EQ(A.Lines[I].P1, B.Lines[I].P1);
+      EXPECT_EQ(A.Lines[I].P2, B.Lines[I].P2);
+      EXPECT_EQ(A.Lines[I].Tessellation, B.Lines[I].Tessellation);
+    }
+  }
+}
+
+TEST(DatasetTest, WorkloadBatchesAreByteIdenticalAcrossRuns) {
+  CsrGraph G = makeRoadGraph(24, 11);
+  WorkloadOutput A = runBfs(G), B = runBfs(G);
+  ASSERT_EQ(A.Batches.size(), B.Batches.size());
+  for (size_t I = 0; I < A.Batches.size(); ++I) {
+    EXPECT_EQ(A.Batches[I].ChildUnits, B.Batches[I].ChildUnits);
+    EXPECT_EQ(A.Batches[I].NumParentThreads, B.Batches[I].NumParentThreads);
+  }
+  EXPECT_EQ(A.ParentItems, B.ParentItems);
+  EXPECT_EQ(A.Levels, B.Levels);
+}
+
+TEST(DatasetTest, RunCaseCachingReturnsIdenticalOutput) {
+  // runCase memoizes per (benchmark, dataset): the second call must hand
+  // back the same cached object, and its payload must equal a fresh
+  // native run over the same dataset instance.
+  BenchCase Case{BenchmarkId::BT, DatasetId::T0032_C16};
+  const WorkloadOutput &First = runCase(Case);
+  const WorkloadOutput &Second = runCase(Case);
+  EXPECT_EQ(&First, &Second) << "cache must return the same object";
+  WorkloadOutput Fresh = runBezier(datasetBezier(Case.Data));
+  EXPECT_EQ(First.Batches.size(), Fresh.Batches.size());
+  ASSERT_FALSE(First.Batches.empty());
+  EXPECT_EQ(First.Batches[0].ChildUnits, Fresh.Batches[0].ChildUnits);
+  EXPECT_EQ(First.CheckSum, Fresh.CheckSum);
 }
 
 TEST(DatasetTest, SymmetryOfGraphs) {

@@ -1,0 +1,145 @@
+//===--- KernelCorpusTest.cpp - Fast corpus/tuner-integration checks ----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tier-1-sized checks of the kernel corpus plumbing: workload-spec
+/// parsing, tuned-table serialization, the VM workload binding, and one
+/// quick end-to-end differential case. The exhaustive pipeline matrix and
+/// the tuned-table drift gate live in the `differential` ctest label
+/// (tests/differential/).
+///
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TunedTable.h"
+#include "workloads/Differential.h"
+#include "workloads/KernelSources.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+TEST(WorkloadSpecTest, ParsesBenchAndDataset) {
+  BenchCase Case;
+  std::string Error;
+  ASSERT_TRUE(parseWorkloadSpec("bfs:road_ny", Case, Error)) << Error;
+  EXPECT_EQ(Case.Bench, BenchmarkId::BFS);
+  EXPECT_EQ(Case.Data, DatasetId::ROAD_NY);
+
+  // Case-insensitive, '-' and '_' interchangeable.
+  ASSERT_TRUE(parseWorkloadSpec("BT:T2048-C64", Case, Error)) << Error;
+  EXPECT_EQ(Case.Bench, BenchmarkId::BT);
+  EXPECT_EQ(Case.Data, DatasetId::T2048_C64);
+
+  // Bare benchmark defaults to its Fig. 11 dataset.
+  ASSERT_TRUE(parseWorkloadSpec("sp", Case, Error)) << Error;
+  EXPECT_EQ(Case.Bench, BenchmarkId::SP);
+  EXPECT_EQ(Case.Data, DatasetId::SAT5);
+
+  EXPECT_FALSE(parseWorkloadSpec("bogus:kron", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("bfs:bogus", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("", Case, Error));
+
+  // Kind-mismatched pairs are rejected, not silently run on an empty or
+  // wrong-kind dataset.
+  EXPECT_FALSE(parseWorkloadSpec("bfs:rand3", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("sp:kron", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("bt:sat5", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("sp:t2048_c64", Case, Error));
+  EXPECT_FALSE(parseWorkloadSpec("tc:t0032_c16", Case, Error));
+}
+
+TEST(TunedEntryTest, JsonRoundTrips) {
+  TunedEntry Entry;
+  Entry.Workload = "tc:kron";
+  Entry.Mode = TuneMode::Hybrid;
+  Entry.Budget = 32;
+  Entry.Seed = 7;
+  Entry.Pipeline = "threshold[64],aggregate[multiblock:8]";
+  Entry.TimeUs = 123.456;
+  Entry.VmEvaluations = 19;
+
+  TunedEntry Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTunedEntryJson(tunedEntryJson(Entry), Parsed, Error))
+      << Error;
+  EXPECT_EQ(Parsed.Workload, Entry.Workload);
+  EXPECT_EQ(Parsed.Mode, Entry.Mode);
+  EXPECT_EQ(Parsed.Budget, Entry.Budget);
+  EXPECT_EQ(Parsed.Seed, Entry.Seed);
+  EXPECT_EQ(Parsed.Pipeline, Entry.Pipeline);
+  EXPECT_NEAR(Parsed.TimeUs, Entry.TimeUs, 1e-3);
+  EXPECT_EQ(Parsed.VmEvaluations, Entry.VmEvaluations);
+
+  // An untransformed winner (empty pipeline) is representable.
+  Entry.Pipeline.clear();
+  ASSERT_TRUE(parseTunedEntryJson(tunedEntryJson(Entry), Parsed, Error))
+      << Error;
+  EXPECT_TRUE(Parsed.Pipeline.empty());
+
+  EXPECT_EQ(tunedTableFileName("bfs:road_ny"), "bfs_road_ny.json");
+  EXPECT_EQ(tunedTableFileName("BT:T2048-C64"), "bt_t2048_c64.json");
+}
+
+TEST(KernelCorpusTest, QuickDifferentialSmoke) {
+  // One cheap case through a representative pipeline pair — the full
+  // matrix runs under the `differential` label.
+  const KernelCase *Mstv = nullptr;
+  for (const KernelCase &Case : differentialCorpus())
+    if (Case.Bench == BenchmarkId::MSTV)
+      Mstv = &Case;
+  ASSERT_NE(Mstv, nullptr);
+  WorkloadOutput Native = Mstv->reference();
+  for (const char *Pipeline : {"", "threshold[32],coarsen[2]"}) {
+    DifferentialRun Run = runKernelCaseOnVm(*Mstv, Pipeline, true);
+    ASSERT_TRUE(Run.Ok) << Run.Error;
+    std::string Why;
+    EXPECT_TRUE(payloadsMatch(Mstv->Bench, Native, Run.Payload, Why)) << Why;
+  }
+}
+
+TEST(KernelCorpusTest, BoundWorkloadMeasuresDeterministically) {
+  // The replay binding stages the real dataset and the evaluator measures
+  // through it; same config twice must hit the measurement cache, and a
+  // fresh evaluator must reproduce the numbers exactly.
+  BenchCase Case;
+  std::string Error;
+  ASSERT_TRUE(parseWorkloadSpec("bfs:road_ny", Case, Error)) << Error;
+  VmWorkload Workload = kernelVmWorkload(Case);
+  ASSERT_TRUE(Workload.Binding != nullptr);
+  ASSERT_FALSE(Workload.Batches.empty());
+
+  GpuModel Gpu;
+  EmpiricalOptions Opts;
+  Opts.Budget = 4;
+  EmpiricalEvaluator EvalA(Gpu, Workload, Opts);
+  std::optional<VmMeasurement> A = EvalA.measure(ExecConfig::cdp(), 1);
+  ASSERT_TRUE(A.has_value()) << EvalA.lastError();
+  EXPECT_GT(A->Steps, 0u);
+  EXPECT_GT(A->DeviceLaunches, 0u);
+
+  std::optional<VmMeasurement> Cached = EvalA.measure(ExecConfig::cdp(), 1);
+  ASSERT_TRUE(Cached.has_value());
+  EXPECT_EQ(EvalA.cacheHits(), 1u);
+
+  EmpiricalEvaluator EvalB(Gpu, Workload, Opts);
+  std::optional<VmMeasurement> B = EvalB.measure(ExecConfig::cdp(), 1);
+  ASSERT_TRUE(B.has_value()) << EvalB.lastError();
+  EXPECT_EQ(A->Steps, B->Steps);
+  EXPECT_EQ(A->DeviceLaunches, B->DeviceLaunches);
+  EXPECT_EQ(A->Cycles, B->Cycles);
+
+  // A thresholded pipeline runs through the same binding with fewer
+  // dynamic launches.
+  ExecConfig Thresh;
+  Thresh.Threshold = 1000000u;
+  std::optional<VmMeasurement> T = EvalA.measure(Thresh, 1);
+  ASSERT_TRUE(T.has_value()) << EvalA.lastError();
+  EXPECT_EQ(T->DeviceLaunches, 0u);
+}
+
+} // namespace
