@@ -18,15 +18,22 @@
 ///    exercising dynamic launches, atomics, and frontier bookkeeping;
 ///  - compute: a flat arithmetic-loop kernel measuring raw dispatch.
 ///
-/// Every workload runs with the peephole optimizer on and off. Reported
-/// counters:
-///  - steps_per_sec: bytecode instructions retired per second;
-///  - us_per_launch: wall time per top-level kernel run.
+/// Every workload runs with the peephole optimizer on and off on the
+/// decoded-IR engine (the default); quickstart and compute additionally
+/// run on the bytecode-interpreter fallback (exec_bytecode series) so
+/// the decoded layer's dispatch-rate win is measured directly, and a
+/// decode-time series (BM_DeviceBuild) prices the load-time lowering
+/// itself. Reported counters:
+///  - steps_per_sec: bytecode steps retired per second (identical step
+///    accounting across engines, so the series are comparable);
+///  - us_per_launch: wall time per top-level kernel run;
+///  - decode_instrs_per_sec (decode series): decoded instrs per second.
 /// `scripts/bench_baseline.sh` snapshots the numbers to BENCH_vm.json so
 /// future PRs can track the trajectory.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "parse/Parser.h"
 #include "transform/Pipeline.h"
 #include "vm/VM.h"
 
@@ -103,15 +110,18 @@ __global__ void bfsStep(int *adj, int *offsets, int *dist, int *frontier,
 }
 )";
 
-VmCompileOptions optionsFor(bool Optimize) {
+VmCompileOptions optionsFor(bool Optimize,
+                            ExecMode Mode = ExecMode::Decoded) {
   VmCompileOptions Opts;
   Opts.OptimizeBytecode = Optimize;
+  Opts.Exec = Mode;
   return Opts;
 }
 
-std::unique_ptr<Device> mustBuild(const std::string &Source, bool Optimize) {
+std::unique_ptr<Device> mustBuild(const std::string &Source, bool Optimize,
+                                  ExecMode Mode = ExecMode::Decoded) {
   DiagnosticEngine Diags;
-  auto Dev = buildDevice(Source, Diags, optionsFor(Optimize));
+  auto Dev = buildDevice(Source, Diags, optionsFor(Optimize, Mode));
   if (!Dev) {
     fprintf(stderr, "VM build failed:\n%s\n", Diags.str().c_str());
     abort();
@@ -131,8 +141,8 @@ void reportVmCounters(benchmark::State &State, Device &Dev) {
 /// \p Transformed is non-empty it is a coarsened variant of the same
 /// program and is launched through the same entry point.
 void runNestedBench(benchmark::State &State, const std::string &Source,
-                    bool Optimize) {
-  auto Dev = mustBuild(Source, Optimize);
+                    bool Optimize, ExecMode Mode = ExecMode::Decoded) {
+  auto Dev = mustBuild(Source, Optimize, Mode);
   int NumV = 400;
   std::vector<int32_t> Counts(NumV), Offsets(NumV);
   int Total = 0;
@@ -167,6 +177,40 @@ void BM_Quickstart(benchmark::State &State, bool Optimize) {
   runNestedBench(State, QuickstartSource, Optimize);
 }
 
+/// The same workload on the bytecode-interpreter fallback: the delta to
+/// BM_Quickstart/peephole_on is the decoded layer's dispatch-rate win
+/// (step counts are identical across engines by construction).
+void BM_QuickstartExec(benchmark::State &State, ExecMode Mode) {
+  runNestedBench(State, QuickstartSource, /*Optimize=*/true, Mode);
+}
+
+/// Load-time decode cost: parse/compile once, then construct a Device
+/// per iteration. The bytecode-mode series prices validation alone; the
+/// decoded series adds the bytecode -> ExecIR lowering.
+void BM_DeviceBuild(benchmark::State &State, ExecMode Mode) {
+  DiagnosticEngine Diags;
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(QuickstartSource, Ctx, Diags);
+  if (!TU) {
+    State.SkipWithError("parse failed");
+    return;
+  }
+  VmProgram Program = compileProgram(TU, Diags, {});
+  if (Diags.hasErrors()) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t DecodedInstrs = 0;
+  for (auto _ : State) {
+    Device Dev(Program, 1ull << 20, Mode);
+    DecodedInstrs += Dev.decodeStats().InstrsOut;
+    benchmark::DoNotOptimize(Dev.execMode());
+  }
+  if (Mode == ExecMode::Decoded)
+    State.counters["decode_instrs_per_sec"] = benchmark::Counter(
+        (double)DecodedInstrs, benchmark::Counter::kIsRate);
+}
+
 void BM_Coarsened(benchmark::State &State, bool Optimize) {
   // Thread-coarsen the child (factor 4): each child thread serializes
   // four work items — the Fig. 9 "CDP+C" variant of the same program.
@@ -183,8 +227,9 @@ void BM_Coarsened(benchmark::State &State, bool Optimize) {
   runNestedBench(State, Transformed, Optimize);
 }
 
-void BM_Compute(benchmark::State &State, bool Optimize) {
-  auto Dev = mustBuild(ComputeSource, Optimize);
+void BM_Compute(benchmark::State &State, bool Optimize,
+                ExecMode Mode = ExecMode::Decoded) {
+  auto Dev = mustBuild(ComputeSource, Optimize, Mode);
   int N = 2048, Rounds = 100;
   uint64_t Out = Dev->alloc((uint64_t)N * 4);
   std::vector<int64_t> Args = {(int64_t)Out, N, Rounds};
@@ -285,5 +330,18 @@ BENCHMARK_CAPTURE(BM_Compute, peephole_on, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Compute, peephole_off, false)
     ->Unit(benchmark::kMillisecond);
+
+// Engine comparison (same bytecode, decoded loop vs fallback) and the
+// decode-time series.
+BENCHMARK_CAPTURE(BM_QuickstartExec, exec_bytecode, ExecMode::Bytecode)
+    ->Unit(benchmark::kMillisecond);
+static void BM_ComputeExecBytecode(benchmark::State &State) {
+  BM_Compute(State, /*Optimize=*/true, ExecMode::Bytecode);
+}
+BENCHMARK(BM_ComputeExecBytecode)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DeviceBuild, decoded, ExecMode::Decoded)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DeviceBuild, bytecode, ExecMode::Bytecode)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Flatten the per-PR benchmark snapshots under bench/history/ into a CSV.
 
-Usage: bench_history.py [HISTORY_DIR] [> trajectory.csv]
+Usage: bench_history.py [HISTORY_DIR] [--plot [OUT.png]] [--prune [N]]
+                        [> trajectory.csv]
 
 Each snapshot is a google-benchmark JSON written by CI as
 bench/history/<short-sha>.json (see .github/workflows/ci.yml). The CSV has
@@ -12,13 +13,27 @@ one-liner:
     sha,date,benchmark,metric,throughput
 
 Snapshots are ordered by the date google-benchmark recorded at run time.
-Exit status: 0 on success, 2 when the directory has no readable snapshots.
+
+--plot [OUT.png]  renders the trajectory (one line per benchmark,
+                  log-scale throughput over snapshots) via matplotlib,
+                  falling back to gnuplot when matplotlib is missing;
+                  default output bench_trajectory.png. No CSV is written
+                  in plot mode.
+--prune [N]       deletes the oldest snapshots beyond the newest N
+                  (default 100) before any other processing, keeping the
+                  committed history bounded.
+
+Exit status: 0 on success, 2 when the directory has no readable
+snapshots (or no plotting backend is available in --plot mode).
 """
 
 import csv
 import json
 import os
+import shutil
+import subprocess
 import sys
+import tempfile
 
 
 def throughput(entry):
@@ -49,12 +64,7 @@ def load_snapshot(path):
     return date, best
 
 
-def main(argv):
-    history_dir = argv[1] if len(argv) > 1 else "bench/history"
-    if not os.path.isdir(history_dir):
-        print(f"bench_history: no directory {history_dir}", file=sys.stderr)
-        return 2
-
+def collect_snapshots(history_dir):
     snapshots = []
     for name in sorted(os.listdir(history_dir)):
         if not name.endswith(".json"):
@@ -66,11 +76,128 @@ def main(argv):
             print(f"bench_history: skipping {path}: {err}", file=sys.stderr)
             continue
         snapshots.append((date, name[: -len(".json")], best))
+    snapshots.sort(key=lambda s: s[0])
+    return snapshots
+
+
+def prune_history(history_dir, keep):
+    """Deletes the oldest snapshots beyond the newest `keep`."""
+    snapshots = collect_snapshots(history_dir)
+    excess = len(snapshots) - keep
+    for date, sha, _ in snapshots[:max(0, excess)]:
+        path = os.path.join(history_dir, sha + ".json")
+        try:
+            os.remove(path)
+            print(f"bench_history: pruned {path} ({date})", file=sys.stderr)
+        except OSError as err:
+            print(f"bench_history: cannot prune {path}: {err}",
+                  file=sys.stderr)
+
+
+def plot_matplotlib(snapshots, out_path):
+    try:
+        import matplotlib
+    except ImportError:
+        return False
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    series = {}
+    shas = [sha for _, sha, _ in snapshots]
+    for idx, (_, _, best) in enumerate(snapshots):
+        for bench, (value, _) in best.items():
+            series.setdefault(bench, {})[idx] = value
+    fig, ax = plt.subplots(figsize=(max(8, len(shas) * 0.6), 6))
+    for bench in sorted(series):
+        xs = sorted(series[bench])
+        ax.plot(xs, [series[bench][x] for x in xs], marker="o", label=bench)
+    ax.set_yscale("log")
+    ax.set_xticks(range(len(shas)))
+    ax.set_xticklabels(shas, rotation=45, ha="right", fontsize=7)
+    ax.set_ylabel("throughput (log)")
+    ax.set_title("benchmark trajectory (bench/history)")
+    ax.legend(fontsize=6, ncol=2)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"bench_history: wrote {out_path}", file=sys.stderr)
+    return True
+
+
+def plot_gnuplot(snapshots, out_path):
+    if not shutil.which("gnuplot"):
+        return False
+    series = {}
+    for idx, (_, _, best) in enumerate(snapshots):
+        for bench, (value, _) in best.items():
+            series.setdefault(bench, []).append((idx, value))
+    with tempfile.TemporaryDirectory() as tmp:
+        plots = []
+        for n, bench in enumerate(sorted(series)):
+            data = os.path.join(tmp, f"s{n}.dat")
+            with open(data, "w") as f:
+                for idx, value in series[bench]:
+                    f.write(f"{idx} {value}\n")
+            title = bench.replace('"', "'")
+            plots.append(f'"{data}" using 1:2 with linespoints '
+                         f'title "{title}"')
+        script = os.path.join(tmp, "plot.gp")
+        with open(script, "w") as f:
+            f.write(f'set terminal pngcairo size 1200,700\n'
+                    f'set output "{out_path}"\n'
+                    f'set logscale y\n'
+                    f'set xlabel "snapshot"\n'
+                    f'set ylabel "throughput (log)"\n'
+                    f'set key font ",7"\n'
+                    f'plot {", ".join(plots)}\n')
+        result = subprocess.run(["gnuplot", script], capture_output=True,
+                                text=True)
+        if result.returncode != 0:
+            print(f"bench_history: gnuplot failed: {result.stderr}",
+                  file=sys.stderr)
+            return False
+    print(f"bench_history: wrote {out_path} (gnuplot)", file=sys.stderr)
+    return True
+
+
+def main(argv):
+    args = list(argv[1:])
+    plot_out = None
+    prune_keep = None
+    if "--plot" in args:
+        i = args.index("--plot")
+        args.pop(i)
+        plot_out = "bench_trajectory.png"
+        if i < len(args) and not args[i].startswith("-") \
+                and not os.path.isdir(args[i]):
+            plot_out = args.pop(i)
+    if "--prune" in args:
+        i = args.index("--prune")
+        args.pop(i)
+        prune_keep = 100
+        if i < len(args) and args[i].isdigit():
+            prune_keep = int(args.pop(i))
+    history_dir = args[0] if args else "bench/history"
+    if not os.path.isdir(history_dir):
+        print(f"bench_history: no directory {history_dir}", file=sys.stderr)
+        return 2
+
+    if prune_keep is not None:
+        prune_history(history_dir, prune_keep)
+
+    snapshots = collect_snapshots(history_dir)
     if not snapshots:
         print(f"bench_history: no snapshots in {history_dir}", file=sys.stderr)
         return 2
 
-    snapshots.sort(key=lambda s: s[0])
+    if plot_out is not None:
+        if plot_matplotlib(snapshots, plot_out):
+            return 0
+        if plot_gnuplot(snapshots, plot_out):
+            return 0
+        print("bench_history: no plotting backend (need matplotlib or "
+              "gnuplot)", file=sys.stderr)
+        return 2
+
     writer = csv.writer(sys.stdout, lineterminator="\n")
     writer.writerow(["sha", "date", "benchmark", "metric", "throughput"])
     for date, sha, best in snapshots:

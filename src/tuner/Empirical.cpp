@@ -207,8 +207,15 @@ EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
   if (!Program)
     return std::nullopt;
 
+  // Pin the decoded engine explicitly: measurements must not depend on
+  // the DPO_VM_EXEC environment toggle. The scores themselves are
+  // engine-independent anyway — both engines retire identical Steps,
+  // GridRecords, and launch counts (decode fusions carry the step cost
+  // of the pairs they replace), so measuredMakespanCycles prices the
+  // same work either way and committed tuned tables stay valid.
   Device Dev(*Program,
-             std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes));
+             std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes),
+             ExecMode::Decoded);
   Dev.setStepLimit(Opts.VmStepLimit);
   Dev.setGridLogEnabled(true);
 

@@ -115,7 +115,19 @@ namespace dpo {
   /* Fused compare-and-branch (pop rhs, pop lhs; A = target). */              \
   X(JmpIfLTI) X(JmpIfGEI) X(JmpIfLEI) X(JmpIfGTI)                             \
   X(JmpIfEQ) X(JmpIfNE)                                                       \
-  X(JmpIfLTU) X(JmpIfGEU) X(JmpIfLEU) X(JmpIfGTU)
+  X(JmpIfLTU) X(JmpIfGEU) X(JmpIfLEU) X(JmpIfGTU)                             \
+  /* LoadLocal-indexed addressing: addr = locals[A] + locals[B]*width,       \
+     with the element width taken from the opcode and both the add and the  \
+     scale wrapping exactly as the base sequence                             \
+     [LoadLocal2 A,B; MulImmAddI width; Ld/St] wraps. Synthesized by the    \
+     dataflow peephole once the index local is provably normalized.  */      \
+  X(LdI32Idx) X(LdU32Idx) X(LdI64Idx) X(LdF32Idx) X(LdF64Idx)                 \
+  /* Scaled access with base and index on the stack:                         \
+     Ld*Sc: [base, idx] -> [load(base + idx*width)];                         \
+     St*Sc: [base, idx, value] -> [] (store to base + idx*width).            \
+     Replaces [MulImmAddI width; Ld/St] when width matches the element. */   \
+  X(LdI32Sc) X(LdU32Sc) X(LdI64Sc) X(LdF32Sc) X(LdF64Sc)                      \
+  X(StI32Sc) X(StI64Sc) X(StF32Sc) X(StF64Sc)
 // clang-format on
 
 enum class Op : uint8_t {
@@ -164,9 +176,60 @@ inline bool isJumpOp(Op Code) {
   }
 }
 
+/// Marks every instruction index that is the target of some jump —
+/// positions no fusion window may cross. Shared by the peephole
+/// (vm/Peephole.cpp) and the decoder (vm/ExecIR.cpp) so the two layers
+/// cannot drift on what counts as a jump target.
+template <class FuncT>
+inline std::vector<uint8_t> computeJumpTargetFlags(const FuncT &F) {
+  std::vector<uint8_t> Target(F.Code.size() + 1, 0);
+  for (const auto &I : F.Code)
+    if (isJumpOp(I.Code) && (uint64_t)I.A <= F.Code.size())
+      Target[I.A] = 1;
+  return Target;
+}
+
+/// Element width in bytes of the indexed/scaled load-store
+/// superinstructions (the scale the fused MulImmAddI applied), 0 for
+/// every other opcode.
+inline unsigned idxOpWidth(Op Code) {
+  switch (Code) {
+  case Op::LdI32Idx:
+  case Op::LdU32Idx:
+  case Op::LdF32Idx:
+  case Op::LdI32Sc:
+  case Op::LdU32Sc:
+  case Op::LdF32Sc:
+  case Op::StI32Sc:
+  case Op::StF32Sc:
+    return 4;
+  case Op::LdI64Idx:
+  case Op::LdF64Idx:
+  case Op::LdI64Sc:
+  case Op::LdF64Sc:
+  case Op::StI64Sc:
+  case Op::StF64Sc:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
 enum class MathFn : uint8_t {
   Sqrt, Ceil, Floor, Fabs, Exp, Log, Pow, Fmin, Fmax, Tanh,
 };
+
+/// How a Device executes validated bytecode (see vm/ExecIR.h):
+///  - Decoded: lower to the fixed-width decoded execution IR at load time
+///    and run the direct-threaded decoded loop (the default);
+///  - Bytecode: interpret the portable bytecode directly (the fallback
+///    path, kept fully covered by CI);
+///  - Auto: Decoded unless the DPO_VM_EXEC=bytecode environment override
+///    is set.
+/// Both engines retire identical step counts (decoded fusions carry the
+/// step cost of the pair they replace), so VmStats, grid logs, and the
+/// empirical tuner's pricing are bit-identical across modes.
+enum class ExecMode : uint8_t { Auto, Bytecode, Decoded };
 
 struct Instr {
   Op Code;
@@ -191,6 +254,61 @@ struct FuncDef {
   unsigned SharedBytes = 0;
   std::vector<Instr> Code;
 };
+
+/// Entry normalization spec for one parameter slot: 0 = the slot is
+/// taken raw (pointers, 8-byte integers, doubles, opaque types), else
+/// (width << 1) | signExtend — exactly the TruncI the compiler's
+/// normalizeInt would emit for the type.
+///
+/// The VM wraps every parameter slot to its declared width when a frame
+/// is entered (host launch, device launch, and Call all funnel through
+/// the same copy), mirroring the hardware ABI where an `int` parameter
+/// simply *is* 32 bits. This makes parameter slots carry the same
+/// invariant as normalized locals, which is what lets the peephole's
+/// dataflow elide parameter-driven TruncIs (vm/Peephole.cpp).
+inline uint8_t paramSlotNorm(const Type &T) {
+  if (T.isPointer() || !T.isInteger())
+    return 0;
+  unsigned W = T.storeSizeBytes();
+  if (W == 0 || W >= 8)
+    return 0;
+  return (uint8_t)((W << 1) | (T.isUnsigned() ? 0 : 1));
+}
+
+/// Slot range a normalized parameter can hold after frame entry, as
+/// closed [Lo, Hi] bounds. Returns false when the slot is raw.
+inline bool paramNormRange(uint8_t Norm, int64_t &Lo, int64_t &Hi) {
+  if (!Norm)
+    return false;
+  unsigned W = Norm >> 1;
+  bool SignExtend = (Norm & 1) != 0;
+  int64_t Half = (int64_t)1 << (8 * W - 1);
+  if (SignExtend) {
+    Lo = -Half;
+    Hi = Half - 1;
+  } else {
+    Lo = 0;
+    Hi = 2 * Half - 1;
+  }
+  return true;
+}
+
+/// Per-slot entry normalization for a whole function, dim3 parameters
+/// expanded to three unsigned-32 slots. The vector has
+/// \p F.NumParamSlots entries (empty when the function takes none).
+inline std::vector<uint8_t> paramNormSpec(const FuncDef &F) {
+  std::vector<uint8_t> Spec;
+  Spec.reserve(F.NumParamSlots);
+  for (const Type &T : F.ParamTypes) {
+    if (T.isDim3()) {
+      for (int I = 0; I < 3; ++I)
+        Spec.push_back((uint8_t)((4 << 1) | 0)); // uint32 components
+    } else {
+      Spec.push_back(paramSlotNorm(T));
+    }
+  }
+  return Spec;
+}
 
 /// A compiled translation unit.
 struct VmProgram {

@@ -1,0 +1,205 @@
+//===--- ExecIR.cpp - bytecode -> decoded-IR lowering --------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecIR.h"
+
+using namespace dpo;
+
+const char *dpo::execOpName(uint16_t Code) {
+  if (Code < NumOpcodes)
+    return opName((Op)Code);
+  static const char *const Names[] = {
+#define DPO_XOP_NAME(name) #name,
+      DPO_FOR_EACH_XOPCODE(DPO_XOP_NAME)
+#undef DPO_XOP_NAME
+  };
+  unsigned Idx = Code - NumOpcodes;
+  return Idx < NumExecOpcodes - NumOpcodes ? Names[Idx] : "<bad-xop>";
+}
+
+namespace {
+
+bool isPush(Op Code) { return Code == Op::PushI || Code == Op::PushF; }
+
+bool fusedJumpFor(Op Jump, XOp &Out) {
+  switch (Jump) {
+  case Op::JmpIfLTI: Out = XOp::JmpLLLTI; return true;
+  case Op::JmpIfGEI: Out = XOp::JmpLLGEI; return true;
+  case Op::JmpIfLEI: Out = XOp::JmpLLLEI; return true;
+  case Op::JmpIfGTI: Out = XOp::JmpLLGTI; return true;
+  case Op::JmpIfEQ: Out = XOp::JmpLLEQ; return true;
+  case Op::JmpIfNE: Out = XOp::JmpLLNE; return true;
+  case Op::JmpIfLTU: Out = XOp::JmpLLLTU; return true;
+  case Op::JmpIfGEU: Out = XOp::JmpLLGEU; return true;
+  case Op::JmpIfLEU: Out = XOp::JmpLLLEU; return true;
+  case Op::JmpIfGTU: Out = XOp::JmpLLGTU; return true;
+  default: return false;
+  }
+}
+
+int64_t packSlots(int64_t Lo, int64_t Hi) {
+  return (int64_t)((uint64_t)(uint32_t)Lo | ((uint64_t)(uint32_t)Hi << 32));
+}
+
+/// Tries to fuse the pair starting at \p PC into one decoded
+/// instruction. The second instruction must not be a jump target (the
+/// caller checks), and the first must be unable to jump, trap, or fail —
+/// true for all the producers below — so both always retire together and
+/// the fused Cost of 2 keeps step accounting exact.
+bool fusePair(const Instr &I0, const Instr &I1, ExecInstr &Out) {
+  switch (I1.Code) {
+  case Op::StoreLocal:
+    switch (I0.Code) {
+    case Op::PushI:
+    case Op::PushF:
+      Out.Code = (uint16_t)XOp::StoreLocalImm;
+      Out.A = I1.A;
+      Out.B = I0.A;
+      return true;
+    case Op::LoadLocal:
+      Out.Code = (uint16_t)XOp::CopyLocal;
+      Out.A = I1.A;
+      Out.B = I0.A;
+      return true;
+    case Op::GlobalTidX:
+      Out.Code = (uint16_t)XOp::GlobalTidStore;
+      Out.A = I1.A;
+      Out.B = I0.B;
+      return true;
+    default:
+      return false;
+    }
+  case Op::LoadLocal:
+    // StoreLocal s; LoadLocal s — a tee: keep the top, store a copy.
+    if (I0.Code == Op::StoreLocal && I0.A == I1.A) {
+      Out.Code = (uint16_t)XOp::TeeLocal;
+      Out.A = I0.A;
+      return true;
+    }
+    return false;
+  case Op::PushI:
+  case Op::PushF:
+    if (isPush(I0.Code)) {
+      Out.Code = (uint16_t)XOp::Push2;
+      Out.A = I0.A;
+      Out.B = I1.A;
+      return true;
+    }
+    return false;
+  case Op::TruncI:
+    switch (I0.Code) {
+    case Op::AddI:
+      Out.Code = (uint16_t)XOp::AddTrunc;
+      Out.A = (I1.A << 1) | (I1.B != 0);
+      return true;
+    case Op::MulImmI:
+      Out.Code = (uint16_t)XOp::MulImmTrunc;
+      Out.A = I0.A;
+      Out.B = (I1.A << 1) | (I1.B != 0);
+      return true;
+    case Op::LoadLocalImmAddI:
+      if (I0.B >= INT32_MIN && I0.B <= INT32_MAX) {
+        Out.Code = (uint16_t)XOp::LoadImmAddTrunc;
+        Out.A = packSlots(I0.A, I0.B); // slot | (imm32 << 32)
+        Out.B = (I1.A << 1) | (I1.B != 0);
+        return true;
+      }
+      return false;
+    default:
+      return false;
+    }
+  case Op::MulImmAddI:
+    if (I0.Code == Op::TruncI) {
+      Out.Code = (uint16_t)XOp::TruncMulAdd;
+      Out.A = I1.A;
+      Out.B = (I0.A << 1) | (I0.B != 0);
+      return true;
+    }
+    return false;
+  case Op::LoadLoadAddI:
+    if (I0.Code == Op::LoadLocal) {
+      Out.Code = (uint16_t)XOp::LoadLLAdd;
+      Out.A = packSlots(I0.A, I1.A);
+      Out.B = I1.B;
+      return true;
+    }
+    return false;
+  default: {
+    XOp Fused;
+    if (I0.Code == Op::LoadLocal2 && fusedJumpFor(I1.Code, Fused)) {
+      Out.Code = (uint16_t)Fused;
+      Out.A = I1.A; // Jump target (remapped by the caller's fixup pass).
+      Out.B = packSlots(I0.A, I0.B);
+      return true;
+    }
+    return false;
+  }
+  }
+}
+
+ExecFunc decodeFunction(const FuncDef &F, const void *const *Handlers,
+                        ExecDecodeStats &Stats) {
+  ExecFunc Out;
+  Out.NumLocals = F.NumLocals;
+  Out.NumParamSlots = F.NumParamSlots;
+  Out.FrameBytes = F.FrameBytes;
+  Out.IsKernel = F.IsKernel;
+  Out.ReturnsValue = F.ReturnsValue;
+
+  size_t N = F.Code.size();
+  std::vector<uint8_t> Target = computeJumpTargetFlags(F);
+  std::vector<uint32_t> Map(N + 1, 0);
+  Out.Code.reserve(N);
+
+  size_t PC = 0;
+  while (PC < N) {
+    ExecInstr E;
+    if (PC + 1 < N && !Target[PC + 1] &&
+        fusePair(F.Code[PC], F.Code[PC + 1], E)) {
+      E.Cost = 2;
+      Map[PC] = Map[PC + 1] = (uint32_t)Out.Code.size();
+      Out.Code.push_back(E);
+      PC += 2;
+      ++Stats.FusedPairs;
+      continue;
+    }
+    const Instr &I = F.Code[PC];
+    E.Code = (uint16_t)I.Code;
+    E.A = I.A;
+    E.B = I.B;
+    if (I.Code == Op::SReg) {
+      // Pre-split the dim*4+component encoding.
+      E.A = (unsigned)I.A / 4;
+      E.B = (unsigned)I.A % 4;
+    }
+    Map[PC] = (uint32_t)Out.Code.size();
+    Out.Code.push_back(E);
+    ++PC;
+  }
+  Map[N] = (uint32_t)Out.Code.size();
+
+  for (ExecInstr &E : Out.Code) {
+    if (execOpIsJump(E.Code))
+      E.A = Map[E.A]; // Validation guarantees the target is in range.
+    if (Handlers)
+      E.Handler = Handlers[E.Code];
+  }
+
+  Stats.InstrsIn += N;
+  Stats.InstrsOut += Out.Code.size();
+  return Out;
+}
+
+} // namespace
+
+ExecProgram dpo::decodeProgram(const VmProgram &Program,
+                               const void *const *Handlers) {
+  ExecProgram Exec;
+  Exec.Functions.reserve(Program.Functions.size());
+  for (const FuncDef &F : Program.Functions)
+    Exec.Functions.push_back(decodeFunction(F, Handlers, Exec.Stats));
+  return Exec;
+}

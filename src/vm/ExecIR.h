@@ -1,0 +1,149 @@
+//===--- ExecIR.h - Decoded-operand execution IR -------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The middle layer of the VM's three-layer pipeline
+///
+///     bytecode (Bytecode.h)  --decode-->  ExecIR  --dispatch-->  VM.cpp
+///
+/// The portable stack bytecode stays the compile/serialization target;
+/// at Device construction, validated bytecode is lowered once into a
+/// fixed-width decoded instruction array that the hot loop executes:
+///
+///  - every decoded instruction carries the *handler address* of its
+///    opcode (direct threading): the dispatch `goto *I->Handler` needs no
+///    table indexing per step on computed-goto builds;
+///  - operands are pre-resolved at decode time: SReg's dim/component
+///    split, packed flag words, and the like are unpacked into the A/B
+///    fields so the handlers do no per-step operand arithmetic;
+///  - hot adjacent pairs are fused into decode-only instructions
+///    (XOp::StoreLocalImm, XOp::CopyLocal, XOp::GlobalTidStore). Fusion
+///    never crosses a jump target, jump operands are rebuilt through an
+///    old-index -> new-index map, and each fused instruction carries the
+///    *step cost* of the pair it replaced, so decoded execution retires
+///    exactly the same VmStats::Steps, grid-log records, and tuner
+///    pricing as the bytecode interpreter on every successful run. The
+///    one boundary where the engines can differ is a step-limit abort
+///    whose budget falls inside a fused pair: the bytecode engine
+///    retires the first half before failing, the decoded engine retires
+///    neither — both fail the run, and the flushed counts differ by at
+///    most one sub-instruction.
+///
+/// The bytecode interpreter remains as a first-class fallback engine
+/// (ExecMode::Bytecode / DPO_VM_EXEC=bytecode); the fuzz and equivalence
+/// suites run both engines against each other and CI keeps the fallback
+/// covered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_EXECIR_H
+#define DPO_VM_EXECIR_H
+
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dpo {
+
+/// Decode-only opcodes, numbered directly after the bytecode opcode set
+/// so one dense dispatch table serves both. They are synthesized by the
+/// decoder only — never serialized, never seen by the peephole. Each
+/// fuses one hot adjacent pair (both instructions always retire
+/// together: the first of a fused pair can never jump, trap, or fail),
+/// executes in one dispatch, and charges the step cost of both:
+///
+///   StoreLocalImm     locals[A] = B                [PushI/PushF; StoreLocal]
+///   CopyLocal         locals[A] = locals[B]        [LoadLocal; StoreLocal]
+///   GlobalTidStore    locals[A] = tid wrapped by B [GlobalTidX; StoreLocal]
+///   TeeLocal          locals[A] = stack top        [StoreLocal s; LoadLocal s]
+///   Push2             push A; push B               [PushI/F; PushI/F]
+///   AddTrunc          wrap(l+r) per A              [AddI; TruncI]
+///   MulImmTrunc       wrap(top*A) per B            [MulImmI; TruncI]
+///   TruncMulAdd       x + wrap(y)*A per B          [TruncI; MulImmAddI]
+///   LoadImmAddTrunc   wrap(locals+imm), packed A   [LoadLocalImmAddI; TruncI]
+///   LoadLLAdd         push l[x]; push l[a]+l[b]    [LoadLocal; LoadLoadAddI]
+///   JmpLL<cc>         branch on l[a] <cc> l[b]     [LoadLocal2; JmpIf<cc>]
+///
+/// Width/sign operands pack as (width << 1) | signExtend, exactly the
+/// TruncI encoding; two slot indices pack as lo | (hi << 32).
+#define DPO_FOR_EACH_XOPCODE(X)                                               \
+  X(StoreLocalImm) X(CopyLocal) X(GlobalTidStore) X(TeeLocal) X(Push2)        \
+  X(AddTrunc) X(MulImmTrunc) X(TruncMulAdd) X(LoadImmAddTrunc) X(LoadLLAdd)   \
+  X(JmpLLLTI) X(JmpLLGEI) X(JmpLLLEI) X(JmpLLGTI) X(JmpLLEQ) X(JmpLLNE)       \
+  X(JmpLLLTU) X(JmpLLGEU) X(JmpLLLEU) X(JmpLLGTU)
+
+enum class XOp : uint16_t {
+  BaseMarker = NumOpcodes - 1,
+#define DPO_XOP_ENUM(name) name,
+  DPO_FOR_EACH_XOPCODE(DPO_XOP_ENUM)
+#undef DPO_XOP_ENUM
+  Count
+};
+
+/// Size of the decoded engine's dispatch table.
+constexpr unsigned NumExecOpcodes = (unsigned)XOp::Count;
+
+/// Printable mnemonic covering both opcode spaces.
+const char *execOpName(uint16_t Code);
+
+/// True when the decoded instruction's A operand is a jump target the
+/// decoder must remap (base jump ops plus the fused JmpLL family).
+inline bool execOpIsJump(uint16_t Code) {
+  if (Code < NumOpcodes)
+    return isJumpOp((Op)Code);
+  return Code >= (uint16_t)XOp::JmpLLLTI && Code <= (uint16_t)XOp::JmpLLGTU;
+}
+
+/// One decoded instruction. 32 bytes, fixed width, cache-line aligned in
+/// pairs. On switch-fallback builds Handler stays null and dispatch
+/// switches on Code.
+struct ExecInstr {
+  const void *Handler = nullptr; ///< Direct-threaded dispatch target.
+  int64_t A = 0;
+  int64_t B = 0;
+  uint16_t Code = 0; ///< Op value, or XOp value for decode-only forms.
+  uint8_t Cost = 1;  ///< Bytecode steps this instruction accounts for.
+};
+
+static_assert(sizeof(ExecInstr) == 32, "decoded instructions are fixed-width");
+
+/// One decoded function. Field names shared with FuncDef on purpose: the
+/// interpreter handler bodies (VMHandlers.inc) compile against either.
+struct ExecFunc {
+  std::vector<ExecInstr> Code;
+  unsigned NumLocals = 0;
+  unsigned NumParamSlots = 0;
+  unsigned FrameBytes = 0;
+  bool IsKernel = false;
+  bool ReturnsValue = false;
+};
+
+struct ExecDecodeStats {
+  uint64_t InstrsIn = 0;  ///< Bytecode instructions decoded.
+  uint64_t InstrsOut = 0; ///< Decoded instructions emitted.
+  uint64_t FusedPairs = 0;
+};
+
+/// A decoded program: one ExecFunc per bytecode function, same indices.
+struct ExecProgram {
+  std::vector<ExecFunc> Functions;
+  ExecDecodeStats Stats;
+  bool empty() const { return Functions.empty(); }
+};
+
+/// Lowers validated bytecode into the decoded execution IR.
+/// \p Handlers maps every value in [0, NumExecOpcodes) to the decoded
+/// interpreter's handler address; pass nullptr on switch-fallback builds
+/// (Handler fields stay null). The bytecode must already have passed
+/// Device validation — the decoder assumes in-range jump targets, slots,
+/// and callee indices.
+ExecProgram decodeProgram(const VmProgram &Program,
+                          const void *const *Handlers);
+
+} // namespace dpo
+
+#endif // DPO_VM_EXECIR_H

@@ -25,12 +25,36 @@ int64_t wrapTo(int64_t V, int64_t Width, int64_t SignExtend) {
 
 //===----------------------------------------------------------------------===//
 // Value ranges: which values can an instruction leave on the stack?
+//
+// A per-function iterative dataflow (not just store-site pattern
+// matching): an abstract interpreter walks the code simulating the
+// operand stack over ranges, merges every store into per-slot
+// invariants, and iterates to a fixpoint so ranges propagate through
+// AddImmI / LoadLoadAddI / IncLocal chains and across loads and stores
+// of other slots. Parameter slots start from the frame-entry
+// normalization contract (paramNormSpec in Bytecode.h): the VM wraps
+// integer parameters to their declared widths when a frame is entered,
+// so an `int` parameter is a provable int32 — which is what licenses
+// eliding the parameter-driven re-wraps the old analysis had to keep.
 //===----------------------------------------------------------------------===//
 
 struct Range {
   bool Known = false;
   int64_t Lo = 0, Hi = 0;
 };
+
+bool rangeEq(const Range &A, const Range &B) {
+  if (A.Known != B.Known)
+    return false;
+  return !A.Known || (A.Lo == B.Lo && A.Hi == B.Hi);
+}
+
+/// True when \p Inner is contained in \p Outer (unknown contains all).
+bool rangeContains(const Range &Outer, const Range &Inner) {
+  if (!Outer.Known)
+    return true;
+  return Inner.Known && Inner.Lo >= Outer.Lo && Inner.Hi <= Outer.Hi;
+}
 
 Range rangeOfTrunc(int64_t Width, int64_t SignExtend) {
   switch (Width) {
@@ -49,6 +73,98 @@ Range rangeOfTrunc(int64_t Width, int64_t SignExtend) {
 bool rangeFits(const Range &R, int64_t Width, int64_t SignExtend) {
   Range T = rangeOfTrunc(Width, SignExtend);
   return R.Known && T.Known && R.Lo >= T.Lo && R.Hi <= T.Hi;
+}
+
+// Overflow-checked int64 arithmetic (portable; any overflow makes the
+// derived range unknown rather than wrong).
+bool addChecked(int64_t A, int64_t B, int64_t &Out) {
+  if (B > 0 && A > INT64_MAX - B)
+    return false;
+  if (B < 0 && A < INT64_MIN - B)
+    return false;
+  Out = A + B;
+  return true;
+}
+bool mulChecked(int64_t A, int64_t B, int64_t &Out) {
+  if (A == 0 || B == 0) {
+    Out = 0;
+    return true;
+  }
+  if ((A == INT64_MIN && B == -1) || (B == INT64_MIN && A == -1))
+    return false;
+  int64_t R = (int64_t)((uint64_t)A * (uint64_t)B);
+  if (R / B != A)
+    return false;
+  Out = R;
+  return true;
+}
+
+Range rAdd(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known)
+    return {};
+  Range R{true, 0, 0};
+  if (!addChecked(A.Lo, B.Lo, R.Lo) || !addChecked(A.Hi, B.Hi, R.Hi))
+    return {};
+  return R;
+}
+Range rAddConst(const Range &A, int64_t K) { return rAdd(A, {true, K, K}); }
+Range rSub(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known)
+    return {};
+  if (B.Hi == INT64_MIN || B.Lo == INT64_MIN) // -INT64_MIN overflows
+    return {};
+  Range R{true, 0, 0};
+  if (!addChecked(A.Lo, -B.Hi, R.Lo) || !addChecked(A.Hi, -B.Lo, R.Hi))
+    return {};
+  return R;
+}
+Range rMul(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known)
+    return {};
+  int64_t C[4];
+  if (!mulChecked(A.Lo, B.Lo, C[0]) || !mulChecked(A.Lo, B.Hi, C[1]) ||
+      !mulChecked(A.Hi, B.Lo, C[2]) || !mulChecked(A.Hi, B.Hi, C[3]))
+    return {};
+  Range R{true, C[0], C[0]};
+  for (int I = 1; I < 4; ++I) {
+    R.Lo = std::min(R.Lo, C[I]);
+    R.Hi = std::max(R.Hi, C[I]);
+  }
+  return R;
+}
+/// Signed division by a provably positive divisor (quotients are
+/// monotone in each operand over positive divisors, so the four corners
+/// bound the result). Used for the blockDim.x/2-style stride loops.
+Range rDivPos(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known || B.Lo <= 0)
+    return {};
+  int64_t C[4] = {A.Lo / B.Lo, A.Lo / B.Hi, A.Hi / B.Lo, A.Hi / B.Hi};
+  Range R{true, C[0], C[0]};
+  for (int I = 1; I < 4; ++I) {
+    R.Lo = std::min(R.Lo, C[I]);
+    R.Hi = std::max(R.Hi, C[I]);
+  }
+  return R;
+}
+Range rRemPos(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known || B.Lo <= 0 || A.Lo < 0)
+    return {};
+  return {true, 0, std::min(A.Hi, B.Hi - 1)};
+}
+Range rMinI(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known)
+    return {};
+  return {true, std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
+}
+Range rMaxI(const Range &A, const Range &B) {
+  if (!A.Known || !B.Known)
+    return {};
+  return {true, std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+}
+Range rTruncOf(const Range &V, int64_t Width, int64_t SignExtend) {
+  if (rangeFits(V, Width, SignExtend))
+    return V;
+  return rangeOfTrunc(Width, SignExtend);
 }
 
 bool isCompare(Op C) {
@@ -76,9 +192,19 @@ bool isCompare(Op C) {
   }
 }
 
-/// Conservative range of the value \p I pushes. \p SlotRanges may be empty
-/// (LoadLocal then reports unknown); when non-empty it holds the per-slot
-/// invariants computed by computeSlotRanges.
+/// Range of an SReg read. runGrid rejects blocks over 1024 threads, so
+/// threadIdx components stay below 1024 and blockDim components at or
+/// below 1024 whenever a thread executes; blockIdx/gridDim span uint32.
+Range sregRange(unsigned Builtin) {
+  if (Builtin == 0)
+    return {true, 0, 1023};
+  if (Builtin == 2)
+    return {true, 1, 1024};
+  return {true, 0, (int64_t)UINT32_MAX};
+}
+
+/// Conservative range of the value \p I pushes, judged from the
+/// instruction alone plus the per-slot invariants (empty = none).
 Range producerRange(const Instr &I, const std::vector<Range> &SlotRanges) {
   if (isCompare(I.Code))
     return {true, 0, 1};
@@ -87,17 +213,8 @@ Range producerRange(const Instr &I, const std::vector<Range> &SlotRanges) {
     return {true, I.A, I.A};
   case Op::TruncI:
     return rangeOfTrunc(I.A, I.B);
-  case Op::SReg: {
-    // runGrid rejects blocks over 1024 threads, so threadIdx components
-    // stay below 1024 and blockDim components at or below 1024 whenever a
-    // thread executes. blockIdx/gridDim span the full uint32 range.
-    unsigned Builtin = (unsigned)I.A / 4;
-    if (Builtin == 0)
-      return {true, 0, 1023};
-    if (Builtin == 2)
-      return {true, 0, 1024};
-    return {true, 0, (int64_t)UINT32_MAX};
-  }
+  case Op::SReg:
+    return sregRange((unsigned)I.A / 4);
   case Op::GlobalTidX:
     return rangeOfTrunc(4, I.B);
   case Op::LdI8:
@@ -109,8 +226,12 @@ Range producerRange(const Instr &I, const std::vector<Range> &SlotRanges) {
   case Op::LdU16:
     return rangeOfTrunc(2, 0);
   case Op::LdI32:
+  case Op::LdI32Idx:
+  case Op::LdI32Sc:
     return rangeOfTrunc(4, 1);
   case Op::LdU32:
+  case Op::LdU32Idx:
+  case Op::LdU32Sc:
     return rangeOfTrunc(4, 0);
   case Op::LoadLocal:
     if ((uint64_t)I.A < SlotRanges.size())
@@ -121,66 +242,502 @@ Range producerRange(const Instr &I, const std::vector<Range> &SlotRanges) {
   }
 }
 
-std::vector<bool> computeJumpTargets(const FuncDef &F) {
-  std::vector<bool> Target(F.Code.size() + 1, false);
-  for (const Instr &I : F.Code)
-    if (isJumpOp(I.Code) && (uint64_t)I.A <= F.Code.size())
-      Target[I.A] = true;
-  return Target;
+/// Abstract operand stack for the dataflow walk. Popping past the known
+/// region (cleared at jump targets / after terminators) yields unknown,
+/// which keeps any arity mismatch conservative instead of wrong. A
+/// fixed-depth array (overflow degrades to clear, i.e. all-unknown) —
+/// this walk runs once per peephole round, so it must stay allocation-
+/// free and cache-tight.
+struct AbsStack {
+  static constexpr unsigned Cap = 128;
+  Range S[Cap];
+  unsigned Sp = 0;
+  void push(const Range &R) {
+    if (Sp == Cap)
+      clear(); // Conservative: deeper values become unknown.
+    else
+      S[Sp++] = R;
+  }
+  Range pop() { return Sp ? S[--Sp] : Range{}; }
+  void popN(unsigned N) { Sp = N >= Sp ? 0 : Sp - N; }
+  Range top() const { return Sp ? S[Sp - 1] : Range{}; }
+  void clear() { Sp = 0; }
+};
+
+/// Per-slot store accumulator for one dataflow pass.
+struct SlotAcc {
+  bool Any = false;
+  bool Unknown = false;
+  Range R;
+  void merge(const Range &V) {
+    if (!V.Known) {
+      Unknown = true;
+      return;
+    }
+    if (!Any) {
+      Any = true;
+      R = V;
+    } else {
+      R.Lo = std::min(R.Lo, V.Lo);
+      R.Hi = std::max(R.Hi, V.Hi);
+    }
+  }
+};
+
+/// Entry-state range of every slot: parameters per the frame-entry
+/// normalization contract, other locals zero-initialized.
+std::vector<Range> slotEntryRanges(const FuncDef &F) {
+  std::vector<Range> Entry(F.NumLocals);
+  std::vector<uint8_t> Norm = paramNormSpec(F);
+  for (unsigned S = 0; S < F.NumLocals; ++S) {
+    if (S < F.NumParamSlots) {
+      int64_t Lo, Hi;
+      if (S < Norm.size() && paramNormRange(Norm[S], Lo, Hi))
+        Entry[S] = {true, Lo, Hi};
+      else
+        Entry[S] = {}; // Raw 64-bit slot: pointer, long, double, opaque.
+    } else {
+      Entry[S] = {true, 0, 0};
+    }
+  }
+  return Entry;
 }
 
-/// Per-slot value invariants: SlotRanges[s] is known iff *every* store to
-/// slot s provably writes a value in that range (and the slot's zero
-/// initialization is included). Parameter slots are unknown — the host may
-/// pass arbitrary 64-bit values. Used to elide per-load re-normalization
-/// (LoadLocal s; TruncI w,s) when the slot invariant already fits.
-std::vector<Range> computeSlotRanges(const FuncDef &F,
-                                     const std::vector<bool> &Target) {
-  std::vector<Range> Ranges(F.NumLocals);
-  std::vector<bool> Bad(F.NumLocals, false);
-  const std::vector<Range> NoSlots;
-  for (unsigned S = 0; S < F.NumLocals; ++S) {
-    if (S < F.NumParamSlots)
-      Bad[S] = true;
-    else
-      Ranges[S] = {true, 0, 0}; // Locals are zero-initialized.
-  }
-  auto Merge = [](Range &Into, const Range &V) {
-    Into.Lo = V.Lo < Into.Lo ? V.Lo : Into.Lo;
-    Into.Hi = V.Hi > Into.Hi ? V.Hi : Into.Hi;
+/// One abstract-interpretation pass over \p F with slot estimates
+/// \p Cur. Returns the per-slot ranges implied by every store plus the
+/// entry state. When \p TopBefore is non-null it is filled with the
+/// range of the stack top *before* each instruction executes (what a
+/// TruncI at that point would see).
+std::vector<Range> dataflowStep(const FuncDef &F,
+                                const std::vector<uint8_t> &Target,
+                                const std::vector<Range> &CurIn,
+                                const VmProgram *Prog,
+                                const std::vector<Range> &Entry,
+                                std::vector<Range> *TopBefore,
+                                bool NeedStores, bool Linear = false) {
+  std::vector<SlotAcc> Acc(NeedStores && !Linear ? F.NumLocals : 0);
+  // Linear mode (no back edges): execution order is increasing PC, so a
+  // load can only observe the entry value and stores at earlier
+  // positions — one flow-sensitive pass over a running accumulation IS
+  // the fixpoint, and is strictly more precise than iterating the
+  // flow-insensitive merge.
+  std::vector<Range> Running;
+  if (Linear)
+    Running = Entry;
+  const std::vector<Range> &Cur = Linear ? Running : CurIn;
+  AbsStack St;
+  auto SlotR = [&](int64_t S) -> Range {
+    return (uint64_t)S < Cur.size() ? Cur[S] : Range{};
   };
-  for (size_t I = 0; I < F.Code.size(); ++I) {
-    const Instr &In = F.Code[I];
-    int64_t Slot;
-    Range V;
-    if (In.Code == Op::StoreLocal) {
-      Slot = In.A;
-      // The value stored is whatever the previous instruction pushed —
-      // valid only if this store cannot be reached by a jump.
-      if (I == 0 || Target[I])
-        V = {};
-      else
-        V = producerRange(F.Code[I - 1], NoSlots);
-    } else if (In.Code == Op::IncLocalI32) {
-      Slot = In.A;
-      V = rangeOfTrunc(4, 1);
-    } else if (In.Code == Op::IncLocalI64) {
-      Slot = In.A;
-      V = {};
-    } else {
+  auto Store = [&](int64_t S, const Range &V) {
+    if (Linear) {
+      if ((uint64_t)S < Running.size()) {
+        Range &R = Running[S];
+        if (!R.Known || !V.Known)
+          R = Range{};
+        else
+          R = {true, std::min(R.Lo, V.Lo), std::max(R.Hi, V.Hi)};
+      }
+      return;
+    }
+    if (NeedStores && (uint64_t)S < Acc.size())
+      Acc[S].merge(V);
+  };
+
+  for (size_t PC = 0; PC < F.Code.size(); ++PC) {
+    if (Target[PC])
+      St.clear(); // Merge point: predecessors' stacks are unknown here.
+    if (TopBefore)
+      (*TopBefore)[PC] = St.top();
+    const Instr &I = F.Code[PC];
+    if (isCompare(I.Code) && I.Code != Op::LogicalNot) {
+      St.popN(2); // Int and float comparisons alike: pop 2, push 0/1.
+      St.push({true, 0, 1});
       continue;
     }
-    if (Slot < 0 || (uint64_t)Slot >= F.NumLocals)
-      continue;
-    if (!V.Known)
-      Bad[Slot] = true;
-    else
-      Merge(Ranges[Slot], V);
+    switch (I.Code) {
+    case Op::PushI:
+    case Op::PushF:
+      St.push({true, I.A, I.A});
+      break;
+    case Op::LoadLocal:
+      St.push(SlotR(I.A));
+      break;
+    case Op::StoreLocal:
+      Store(I.A, St.pop());
+      break;
+    case Op::Dup:
+      St.push(St.top());
+      break;
+    case Op::Pop:
+      St.pop();
+      break;
+    case Op::Swap: {
+      Range A = St.pop(), B = St.pop();
+      St.push(A);
+      St.push(B);
+      break;
+    }
+    case Op::LdI8:
+    case Op::LdU8:
+    case Op::LdI16:
+    case Op::LdU16:
+    case Op::LdI32:
+    case Op::LdU32:
+    case Op::LdI64:
+    case Op::LdF32:
+    case Op::LdF64:
+      St.pop();
+      St.push(producerRange(I, Cur));
+      break;
+    case Op::StI8:
+    case Op::StI16:
+    case Op::StI32:
+    case Op::StI64:
+    case Op::StF32:
+    case Op::StF64:
+      St.popN(2);
+      break;
+    case Op::FrameAddr:
+    case Op::SharedBase:
+      St.push({});
+      break;
+    case Op::AddI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rAdd(L, R));
+      break;
+    }
+    case Op::SubI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rSub(L, R));
+      break;
+    }
+    case Op::MulI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rMul(L, R));
+      break;
+    }
+    case Op::DivI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rDivPos(L, R));
+      break;
+    }
+    case Op::RemI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rRemPos(L, R));
+      break;
+    }
+    case Op::DivU: {
+      // Nonnegative int64 ranges behave identically under / and u/.
+      Range R = St.pop(), L = St.pop();
+      St.push(L.Known && L.Lo >= 0 ? rDivPos(L, R) : Range{});
+      break;
+    }
+    case Op::RemU: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rRemPos(L, R));
+      break;
+    }
+    case Op::MinI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rMinI(L, R));
+      break;
+    }
+    case Op::MaxI: {
+      Range R = St.pop(), L = St.pop();
+      St.push(rMaxI(L, R));
+      break;
+    }
+    case Op::MinU:
+    case Op::MaxU: {
+      // Sound only when both sides are provably nonnegative.
+      Range R = St.pop(), L = St.pop();
+      if (L.Known && R.Known && L.Lo >= 0 && R.Lo >= 0)
+        St.push(I.Code == Op::MinU ? rMinI(L, R) : rMaxI(L, R));
+      else
+        St.push({});
+      break;
+    }
+    case Op::BitAnd: {
+      Range R = St.pop(), L = St.pop();
+      if (L.Known && R.Known && L.Lo >= 0 && R.Lo >= 0)
+        St.push({true, 0, std::min(L.Hi, R.Hi)});
+      else
+        St.push({});
+      break;
+    }
+    case Op::Shl:
+    case Op::ShrI:
+    case Op::ShrU:
+    case Op::BitOr:
+    case Op::BitXor:
+      St.popN(2);
+      St.push({});
+      break;
+    case Op::BitNot: {
+      Range V = St.pop();
+      St.push(V.Known ? Range{true, ~V.Hi, ~V.Lo} : Range{});
+      break;
+    }
+    case Op::NegI: {
+      Range V = St.pop();
+      if (V.Known && V.Lo != INT64_MIN)
+        St.push({true, -V.Hi, -V.Lo});
+      else
+        St.push({});
+      break;
+    }
+    case Op::LogicalNot:
+      St.pop();
+      St.push({true, 0, 1});
+      break;
+    case Op::AddF:
+    case Op::SubF:
+    case Op::MulF:
+    case Op::DivF:
+    case Op::Math2:
+      St.popN(2);
+      St.push({});
+      break;
+    case Op::NegF:
+    case Op::I2F:
+    case Op::U2F:
+    case Op::F2I:
+    case Op::F2Single:
+    case Op::Math1:
+      St.pop();
+      St.push({});
+      break;
+    case Op::TruncI: {
+      Range V = St.pop();
+      St.push(rTruncOf(V, I.A, I.B));
+      break;
+    }
+    case Op::Jmp:
+      St.clear();
+      break;
+    case Op::JmpIfZero:
+    case Op::JmpIfNotZero:
+      St.pop();
+      break;
+    case Op::Call: {
+      St.popN((unsigned)I.B);
+      if (!Prog) {
+        St.clear(); // Unknown callee arity: stay conservative.
+      } else if ((uint64_t)I.A < Prog->Functions.size() &&
+                 Prog->Functions[I.A].ReturnsValue) {
+        St.push({});
+      }
+      break;
+    }
+    case Op::Ret:
+      St.pop();
+      St.clear();
+      break;
+    case Op::RetVoid:
+    case Op::Trap:
+      St.clear();
+      break;
+    case Op::SReg:
+      St.push(sregRange((unsigned)I.A / 4));
+      break;
+    case Op::SyncThreads:
+    case Op::ThreadFence:
+    case Op::CudaSync:
+      break;
+    case Op::AtomicAdd:
+    case Op::AtomicMax:
+    case Op::AtomicMin:
+    case Op::AtomicExch:
+    case Op::AtomicOr:
+    case Op::AtomicAnd:
+      St.popN(2);
+      St.push(I.A == 4 ? rangeOfTrunc(4, I.B != 0) : Range{});
+      break;
+    case Op::AtomicCAS:
+      St.popN(3);
+      St.push(I.A == 4 ? rangeOfTrunc(4, I.B != 0) : Range{});
+      break;
+    case Op::Launch:
+      St.popN(6 + (unsigned)I.B);
+      break;
+    case Op::CudaMalloc:
+      St.popN(2);
+      St.push({true, 0, 0});
+      break;
+    case Op::CudaFree:
+      St.pop();
+      St.push({true, 0, 0});
+      break;
+    case Op::CudaMemset:
+      St.popN(3);
+      St.push({true, 0, 0});
+      break;
+    case Op::CudaMemcpy:
+      St.popN(4);
+      St.push({true, 0, 0});
+      break;
+    case Op::LoadLocal2:
+      St.push(SlotR(I.A));
+      St.push(SlotR(I.B));
+      break;
+    case Op::LoadLocalImmAddI:
+      St.push(rAddConst(SlotR(I.A), I.B));
+      break;
+    case Op::LoadLoadAddI:
+      St.push(rAdd(SlotR(I.A), SlotR(I.B)));
+      break;
+    case Op::AddImmI:
+      St.push(rAddConst(St.pop(), I.A));
+      break;
+    case Op::MulImmI:
+      St.push(rMul(St.pop(), {true, I.A, I.A}));
+      break;
+    case Op::MulImmAddI: {
+      Range Y = St.pop(), X = St.pop();
+      St.push(rAdd(X, rMul(Y, {true, I.A, I.A})));
+      break;
+    }
+    case Op::IncLocalI32:
+      Store(I.A, rangeOfTrunc(4, 1));
+      break;
+    case Op::IncLocalI64:
+      Store(I.A, rAddConst(SlotR(I.A), I.B));
+      break;
+    case Op::GlobalTidX:
+      St.push(rangeOfTrunc(4, I.B));
+      break;
+    case Op::JmpIfLTI:
+    case Op::JmpIfGEI:
+    case Op::JmpIfLEI:
+    case Op::JmpIfGTI:
+    case Op::JmpIfEQ:
+    case Op::JmpIfNE:
+    case Op::JmpIfLTU:
+    case Op::JmpIfGEU:
+    case Op::JmpIfLEU:
+    case Op::JmpIfGTU:
+      St.popN(2);
+      break;
+    case Op::LdI32Idx:
+    case Op::LdU32Idx:
+    case Op::LdI64Idx:
+    case Op::LdF32Idx:
+    case Op::LdF64Idx:
+      St.push(producerRange(I, Cur));
+      break;
+    case Op::LdI32Sc:
+    case Op::LdU32Sc:
+    case Op::LdI64Sc:
+    case Op::LdF32Sc:
+    case Op::LdF64Sc:
+      St.popN(2);
+      St.push(producerRange(I, Cur));
+      break;
+    case Op::StI32Sc:
+    case Op::StI64Sc:
+    case Op::StF32Sc:
+    case Op::StF64Sc:
+      St.popN(3);
+      break;
+    default:
+      // Unmodeled opcode: drop all stack knowledge (sound — subsequent
+      // pops read unknown), and poison every slot to be safe (both the
+      // iterated accumulators and the Linear-mode running ranges).
+      St.clear();
+      for (SlotAcc &A : Acc)
+        A.Unknown = true;
+      for (Range &R : Running)
+        R = Range{};
+      break;
+    }
   }
-  for (unsigned S = 0; S < F.NumLocals; ++S)
-    if (Bad[S])
-      Ranges[S] = {};
-  return Ranges;
+
+  if (Linear)
+    return Running;
+  if (!NeedStores)
+    return {};
+  std::vector<Range> Out(F.NumLocals);
+  for (unsigned S = 0; S < F.NumLocals; ++S) {
+    if (Acc[S].Unknown) {
+      Out[S] = {};
+      continue;
+    }
+    Range E = Entry[S];
+    if (!Acc[S].Any) {
+      Out[S] = E;
+      continue;
+    }
+    if (!E.Known) {
+      Out[S] = {};
+      continue;
+    }
+    Out[S] = {true, std::min(E.Lo, Acc[S].R.Lo), std::max(E.Hi, Acc[S].R.Hi)};
+  }
+  return Out;
+}
+
+/// The per-function dataflow fixpoint: iterate dataflowStep from an
+/// optimistic start, widening still-unstable slots to unknown when the
+/// iteration bound is hit, and close with a verification loop that
+/// guarantees the published ranges are a post-fixpoint (sound).
+///
+/// Run ONCE per function, on the pre-peephole bytecode: slot ranges are
+/// *dynamic* invariants (bounds on the values a slot holds at runtime),
+/// and every peephole rewrite preserves runtime values exactly, so the
+/// fixpoint computed here stays sound across all rewrite rounds — only
+/// the positional stack-top ranges (computeTopBefore) track the moving
+/// instruction stream.
+std::vector<Range> computeSlotFixpoint(const FuncDef &F,
+                                       const std::vector<uint8_t> &Target,
+                                       const VmProgram *Prog) {
+  std::vector<Range> Entry = slotEntryRanges(F);
+  bool HasBackEdge = false;
+  for (size_t I = 0; I < F.Code.size(); ++I)
+    if (isJumpOp(F.Code[I].Code) && (uint64_t)F.Code[I].A <= I)
+      HasBackEdge = true;
+  if (!HasBackEdge)
+    return dataflowStep(F, Target, Entry, Prog, Entry, nullptr,
+                        /*NeedStores=*/false, /*Linear=*/true);
+  std::vector<Range> Cur = Entry;
+  bool Stable = false;
+  for (int It = 0; It < 4 && !Stable; ++It) {
+    std::vector<Range> Next =
+        dataflowStep(F, Target, Cur, Prog, Entry, nullptr, true);
+    Stable = true;
+    for (unsigned S = 0; S < F.NumLocals; ++S)
+      if (!rangeEq(Next[S], Cur[S]))
+        Stable = false;
+    Cur = std::move(Next);
+  }
+  // Closing loop: any slot whose recomputed range escapes the published
+  // one is widened to unknown; unknown only loosens inputs, so this
+  // terminates (each pass pins at least one slot) with Cur >= step(Cur).
+  while (!Stable) {
+    std::vector<Range> Next =
+        dataflowStep(F, Target, Cur, Prog, Entry, nullptr, true);
+    Stable = true;
+    for (unsigned S = 0; S < F.NumLocals; ++S)
+      if (!rangeContains(Cur[S], Next[S])) {
+        Cur[S] = {};
+        Stable = false;
+      }
+  }
+  return Cur;
+}
+
+/// One linear stack-only pass filling the range of the stack top before
+/// every instruction of the *current* code, against the frozen slot
+/// fixpoint (no store bookkeeping, no entry-state allocation).
+std::vector<Range> computeTopBefore(const FuncDef &F,
+                                    const std::vector<uint8_t> &Target,
+                                    const std::vector<Range> &SlotRanges,
+                                    const VmProgram *Prog) {
+  std::vector<Range> TopBefore(F.Code.size());
+  static const std::vector<Range> NoEntry;
+  if (!F.Code.empty())
+    dataflowStep(F, Target, SlotRanges, Prog, NoEntry, &TopBefore, false);
+  return TopBefore;
 }
 
 //===----------------------------------------------------------------------===//
@@ -303,6 +860,79 @@ bool fusedCompareJump(Op Cmp, bool JumpIfTrue, Op &Out) {
   }
 }
 
+/// Base memory-access width for the ops that have indexed/scaled
+/// superinstruction forms; 0 otherwise.
+unsigned memOpWidth(Op Code) {
+  switch (Code) {
+  case Op::LdI32:
+  case Op::LdU32:
+  case Op::LdF32:
+  case Op::StI32:
+  case Op::StF32:
+    return 4;
+  case Op::LdI64:
+  case Op::LdF64:
+  case Op::StI64:
+  case Op::StF64:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+bool idxLoadFor(Op Ld, Op &Out) {
+  switch (Ld) {
+  case Op::LdI32: Out = Op::LdI32Idx; return true;
+  case Op::LdU32: Out = Op::LdU32Idx; return true;
+  case Op::LdI64: Out = Op::LdI64Idx; return true;
+  case Op::LdF32: Out = Op::LdF32Idx; return true;
+  case Op::LdF64: Out = Op::LdF64Idx; return true;
+  default: return false;
+  }
+}
+
+bool scLoadFor(Op Ld, Op &Out) {
+  switch (Ld) {
+  case Op::LdI32: Out = Op::LdI32Sc; return true;
+  case Op::LdU32: Out = Op::LdU32Sc; return true;
+  case Op::LdI64: Out = Op::LdI64Sc; return true;
+  case Op::LdF32: Out = Op::LdF32Sc; return true;
+  case Op::LdF64: Out = Op::LdF64Sc; return true;
+  default: return false;
+  }
+}
+
+bool scStoreFor(Op St, Op &Out) {
+  switch (St) {
+  case Op::StI32: Out = Op::StI32Sc; return true;
+  case Op::StI64: Out = Op::StI64Sc; return true;
+  case Op::StF32: Out = Op::StF32Sc; return true;
+  case Op::StF64: Out = Op::StF64Sc; return true;
+  default: return false;
+  }
+}
+
+/// Pushes exactly one value, consumes nothing, has no side effects, and
+/// cannot fail — safe to commute with pending address formation (the
+/// scaled-store fusion moves address formation *past* such a producer).
+/// Unlike isPureProducer this must exclude Dup (it reads the stack).
+bool isSafeProducer(Op Code) {
+  switch (Code) {
+  case Op::PushI:
+  case Op::PushF:
+  case Op::LoadLocal:
+  case Op::SReg:
+  case Op::FrameAddr:
+  case Op::SharedBase:
+  case Op::GlobalTidX:
+  case Op::LoadLocalImmAddI:
+  case Op::LoadLoadAddI:
+    return true;
+  default:
+    return false;
+  }
+}
+
 /// Opcodes that push exactly one value and have no side effects: a
 /// following Pop deletes the pair.
 bool isPureProducer(Op Code) {
@@ -389,18 +1019,64 @@ struct Rewrite {
 /// synthesis) only run when \p Fusions is set — folding, dead-code, and
 /// TruncI-elision rounds run first so that fusions never capture an
 /// instruction a cheaper rewrite would have deleted.
+/// True for opcodes that begin at least one first-instruction-keyed
+/// rewrite rule; positions whose first opcode is not listed can only
+/// match through a second-instruction-keyed rule (see SecondKeyed).
+bool firstKeyed(Op Code) {
+  switch (Code) {
+  case Op::PushI:
+  case Op::PushF:
+  case Op::LoadLocal:
+  case Op::LoadLocal2:
+  case Op::SReg:
+  case Op::Swap:
+  case Op::TruncI:
+  case Op::MulImmI:
+  case Op::MulImmAddI:
+  case Op::LoadLocalImmAddI:
+  case Op::AddImmI:
+  case Op::Jmp:
+  case Op::JmpIfZero:
+  case Op::JmpIfNotZero:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Second instructions that key rules regardless of the first opcode
+/// (Pop absorption, TruncI elision, compare-and-branch fusion).
+bool secondKeyed(Op Code) {
+  switch (Code) {
+  case Op::Pop:
+  case Op::TruncI:
+  case Op::JmpIfZero:
+  case Op::JmpIfNotZero:
+    return true;
+  default:
+    return false;
+  }
+}
+
 bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
-             const std::vector<bool> &Target,
-             const std::vector<Range> &SlotRanges, bool Fusions,
+             const std::vector<uint8_t> &Target,
+             const std::vector<Range> &SlotRanges,
+             const std::vector<Range> &TopBefore, bool Fusions,
              Rewrite &RW) {
-  auto CanUse = [&](size_t Len) {
-    if (PC + Len > N)
-      return false;
+  // Fast reject: most positions start no pattern at all.
+  if (!firstKeyed(C[PC].Code) &&
+      (PC + 1 >= N || Target[PC + 1] || !secondKeyed(C[PC + 1].Code)))
+    return false;
+  // Bounds and jump-target checks, split so each rule tests opcodes
+  // first and pays the (loop) target scan only on a near-match.
+  auto Win = [&](size_t Len) { return PC + Len <= N; };
+  auto NoTargets = [&](size_t Len) {
     for (size_t I = 1; I < Len; ++I)
       if (Target[PC + I])
         return false;
     return true;
   };
+  auto CanUse = [&](size_t Len) { return Win(Len) && NoTargets(Len); };
   const Instr &I0 = C[PC];
 
   if (Fusions) {
@@ -413,7 +1089,7 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
   // Both wrap to 32 bits exactly as GlobalTidX(B = sign of final trunc)
   // does: truncation is a ring homomorphism, so the intermediate wrap of
   // the product does not change the low 32 bits of the sum.
-  if (CanUse(7)) {
+  if (I0.Code == Op::SReg && CanUse(7)) {
     const Instr *W = &C[PC];
     bool MulFirst = W[0].Code == Op::SReg && W[0].A == 4 + 0 && // blockIdx.x
                     W[1].Code == Op::SReg && W[1].A == 8 + 0 && // blockDim.x
@@ -437,26 +1113,71 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
 
   // --- 5-wide: loop-counter increment -----------------------------------
   //   LoadLocal s; PushI d; AddI; TruncI(4,1); StoreLocal s
-  if (CanUse(5) && I0.Code == Op::LoadLocal && C[PC + 1].Code == Op::PushI &&
+  if (I0.Code == Op::LoadLocal && Win(5) && C[PC + 1].Code == Op::PushI &&
       C[PC + 2].Code == Op::AddI && C[PC + 3].Code == Op::TruncI &&
       C[PC + 3].A == 4 && C[PC + 3].B == 1 &&
-      C[PC + 4].Code == Op::StoreLocal && C[PC + 4].A == I0.A) {
+      C[PC + 4].Code == Op::StoreLocal && C[PC + 4].A == I0.A &&
+      NoTargets(5)) {
     RW = {5, 1, {{Op::IncLocalI32, I0.A, C[PC + 1].A}, {}}};
     return true;
   }
 
   // --- 4-wide: 64-bit counter increment ---------------------------------
   //   LoadLocal s; PushI d; AddI; StoreLocal s
-  if (CanUse(4) && I0.Code == Op::LoadLocal && C[PC + 1].Code == Op::PushI &&
+  if (I0.Code == Op::LoadLocal && Win(4) && C[PC + 1].Code == Op::PushI &&
       C[PC + 2].Code == Op::AddI && C[PC + 3].Code == Op::StoreLocal &&
-      C[PC + 3].A == I0.A) {
+      C[PC + 3].A == I0.A && NoTargets(4)) {
     RW = {4, 1, {{Op::IncLocalI64, I0.A, C[PC + 1].A}, {}}};
     return true;
+  }
+
+  // --- 4-wide: LoadLocal-indexed load -----------------------------------
+  //   LoadLocal base; LoadLocal idx; MulImmAddI w; Ld<T>  (w == width<T>)
+  // The idx local's TruncI, if the type needed one, was already elided by
+  // the dataflow (otherwise the window does not match) — this is the
+  // Ld-with-fused-address-formation the store-site-local analysis could
+  // not unlock.
+  if (I0.Code == Op::LoadLocal && Win(4) &&
+      C[PC + 1].Code == Op::LoadLocal && C[PC + 2].Code == Op::MulImmAddI &&
+      NoTargets(4)) {
+    Op Fused;
+    if (idxLoadFor(C[PC + 3].Code, Fused) &&
+        C[PC + 2].A == (int64_t)memOpWidth(C[PC + 3].Code)) {
+      RW = {4, 1, {{Fused, I0.A, C[PC + 1].A}, {}}};
+      return true;
+    }
+  }
+
+  // --- 3-wide: indexed/scaled addressing --------------------------------
+  //   LoadLocal2 a,b; MulImmAddI w; Ld<T>   ->  Ld<T>Idx a,b
+  if (I0.Code == Op::LoadLocal2 && Win(3) &&
+      C[PC + 1].Code == Op::MulImmAddI && NoTargets(3)) {
+    Op Fused;
+    if (idxLoadFor(C[PC + 2].Code, Fused) &&
+        C[PC + 1].A == (int64_t)memOpWidth(C[PC + 2].Code)) {
+      RW = {3, 1, {{Fused, I0.A, I0.B}, {}}};
+      return true;
+    }
+  }
+  //   MulImmAddI w; P; St<T>  ->  P; St<T>Sc   (P a safe producer: the
+  // address formation commutes past the value push and fuses into the
+  // store, leaving [base, idx, value] for St<T>Sc).
+  if (I0.Code == Op::MulImmAddI && Win(3) &&
+      isSafeProducer(C[PC + 1].Code) && NoTargets(3)) {
+    Op Fused;
+    if (scStoreFor(C[PC + 2].Code, Fused) &&
+        I0.A == (int64_t)memOpWidth(C[PC + 2].Code)) {
+      RW = {3, 2, {C[PC + 1], {Fused, 0, 0}}};
+      return true;
+    }
   }
   } // Fusions (wide patterns)
 
   // --- 3-wide -----------------------------------------------------------
-  if (CanUse(3)) {
+  if (Win(3) &&
+      (I0.Code == Op::PushI || I0.Code == Op::PushF ||
+       I0.Code == Op::LoadLocal || I0.Code == Op::LoadLocalImmAddI) &&
+      CanUse(3)) {
     const Instr &I1 = C[PC + 1];
     const Instr &I2 = C[PC + 2];
     // Constant folding.
@@ -616,6 +1337,17 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
         RW = {2, 1, {{Op::MulImmAddI, I0.A, 0}, {}}};
         return true;
       }
+      // MulImmAddI w; Ld<T>  ->  Ld<T>Sc   (scaled load: the address
+      // formation folds into the memory access when the scale is the
+      // element width).
+      if (I0.Code == Op::MulImmAddI) {
+        Op Fused;
+        if (scLoadFor(I1.Code, Fused) &&
+            I0.A == (int64_t)memOpWidth(I1.Code)) {
+          RW = {2, 1, {{Fused, 0, 0}, {}}};
+          return true;
+        }
+      }
       // LoadLocalImmAddI s,d; StoreLocal s  ->  IncLocalI64 s,d
       if (I0.Code == Op::LoadLocalImmAddI && I1.Code == Op::StoreLocal &&
           I1.A == I0.A) {
@@ -646,12 +1378,22 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
       }
       // Paired local loads — but never when the second load could feed a
       // wider fusion one position later (LoadLoadAddI, LoadLocalImmAddI,
-      // or the counter patterns all start with LoadLocal and end in AddI).
+      // or the counter patterns all start with LoadLocal and end in
+      // AddI). Pending TruncIs between the loads and the AddI are looked
+      // through: the dataflow usually elides them a round later, and the
+      // wider fusion must still get its chance then.
       if (I0.Code == Op::LoadLocal && I1.Code == Op::LoadLocal) {
-        bool BlocksWiderFusion =
-            PC + 3 < N &&
-            (C[PC + 2].Code == Op::LoadLocal || C[PC + 2].Code == Op::PushI) &&
-            C[PC + 3].Code == Op::AddI;
+        size_t K = PC + 2;
+        if (K < N && C[K].Code == Op::TruncI)
+          ++K;
+        bool BlocksWiderFusion = false;
+        if (K < N &&
+            (C[K].Code == Op::LoadLocal || C[K].Code == Op::PushI)) {
+          ++K;
+          if (K < N && C[K].Code == Op::TruncI)
+            ++K;
+          BlocksWiderFusion = K < N && C[K].Code == Op::AddI;
+        }
         if (!BlocksWiderFusion) {
           RW = {2, 1, {{Op::LoadLocal2, I0.A, I1.A}, {}}};
           return true;
@@ -663,6 +1405,14 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
   // --- 1-wide -----------------------------------------------------------
   // Wraps to >= 8 bytes are identities.
   if (I0.Code == Op::TruncI && I0.A >= 8) {
+    RW = {1, 0, {{}, {}}};
+    return true;
+  }
+  // Dataflow-driven re-normalization elision: the value on top of the
+  // stack here (tracked through AddImmI/LoadLoadAddI/... chains by the
+  // abstract interpreter) provably already fits the requested width.
+  if (I0.Code == Op::TruncI && PC < TopBefore.size() &&
+      rangeFits(TopBefore[PC], I0.A, I0.B)) {
     RW = {1, 0, {{}, {}}};
     return true;
   }
@@ -685,11 +1435,19 @@ bool matchAt(const std::vector<Instr> &C, size_t PC, size_t N,
   return false;
 }
 
-bool runRound(FuncDef &F, bool Fusions) {
+bool runRound(FuncDef &F, const VmProgram *Prog,
+              const std::vector<Range> &SlotRanges, bool Fusions,
+              bool WantTopBefore) {
   const std::vector<Instr> &Code = F.Code;
   size_t N = Code.size();
-  std::vector<bool> Target = computeJumpTargets(F);
-  std::vector<Range> SlotRanges = computeSlotRanges(F, Target);
+  std::vector<uint8_t> Target = computeJumpTargetFlags(F);
+  // The chain-tracking stack walk runs in the early rounds of each
+  // phase, where virtually all chained-TruncI elisions land; later
+  // rounds fall back to the cheap producer-based rule (matchAt guards on
+  // TopBefore's size), keeping compile throughput flat.
+  std::vector<Range> TopBefore;
+  if (WantTopBefore)
+    TopBefore = computeTopBefore(F, Target, SlotRanges, Prog);
 
   std::vector<Instr> Out;
   Out.reserve(N);
@@ -699,7 +1457,7 @@ bool runRound(FuncDef &F, bool Fusions) {
   size_t PC = 0;
   while (PC < N) {
     Rewrite RW;
-    if (matchAt(Code, PC, N, Target, SlotRanges, Fusions, RW)) {
+    if (matchAt(Code, PC, N, Target, SlotRanges, TopBefore, Fusions, RW)) {
       for (unsigned I = 0; I < RW.Consumed; ++I)
         Map[PC + I] = (uint32_t)Out.size();
       for (unsigned I = 0; I < RW.Produced; ++I)
@@ -729,16 +1487,32 @@ bool runRound(FuncDef &F, bool Fusions) {
 
 } // namespace
 
-PeepholeStats dpo::optimizeFunction(FuncDef &F) {
+PeepholeStats dpo::optimizeFunction(FuncDef &F, const VmProgram *Program) {
   PeepholeStats Stats;
   Stats.InstrsBefore = (unsigned)F.Code.size();
-  // Phase 1: constant folding, dead-code elimination, and TruncI elision
-  // to a fixpoint — these expose the clean base sequences the fusion
-  // patterns are written against. Phase 2: all rules including
-  // superinstruction fusion, again to a (bounded) fixpoint.
-  while (Stats.Rounds < 16 && runRound(F, /*Fusions=*/false))
+  // Phase 1a: constant folding, dead-code elimination, and identity
+  // cleanup with no range information — cheap rounds that typically
+  // shrink raw bytecode substantially before any dataflow runs.
+  // Capped without a fixpoint-termination pass: phase 1b's rule set is a
+  // strict superset, so anything 1a leaves behind is picked up there.
+  const std::vector<Range> NoRanges;
+  for (int R = 0; R < 1 && runRound(F, Program, NoRanges, false, false); ++R)
     ++Stats.Rounds;
-  while (Stats.Rounds < 32 && runRound(F, /*Fusions=*/true))
+  // The slot-range fixpoint runs once, on the normalized (much smaller)
+  // code; its invariants are dynamic facts that every semantics-
+  // preserving rewrite keeps true (see computeSlotFixpoint).
+  std::vector<Range> SlotRanges =
+      computeSlotFixpoint(F, computeJumpTargetFlags(F), Program);
+  // Phase 1b: range-driven rewriting to a (bounded) fixpoint — TruncI
+  // elision through the per-slot invariants and the chain-tracking stack
+  // walk, plus every fusion rule (the folding phase above already
+  // exposed the clean base sequences, so fusions no longer compete with
+  // cheaper rewrites). The stack walk runs in the first rounds, where
+  // virtually all chained elisions land; later rounds keep the cheap
+  // producer-based elision rule.
+  unsigned Phase2Rounds = 0;
+  while (Stats.Rounds < 32 &&
+         runRound(F, Program, SlotRanges, true, Phase2Rounds++ < 2))
     ++Stats.Rounds;
   Stats.InstrsAfter = (unsigned)F.Code.size();
   return Stats;
@@ -747,6 +1521,6 @@ PeepholeStats dpo::optimizeFunction(FuncDef &F) {
 PeepholeStats dpo::optimizeProgram(VmProgram &Program) {
   PeepholeStats Total;
   for (FuncDef &F : Program.Functions)
-    Total += optimizeFunction(F);
+    Total += optimizeFunction(F, &Program);
   return Total;
 }

@@ -11,14 +11,19 @@
 ///    comparison, logical, and truncation opcodes;
 ///  - deletes dead stack shuffles (Dup/Pop, producer/Pop, Swap/Swap) and
 ///    arithmetic identities (+0, *1, <<0, |0, ^0);
-///  - elides redundant TruncI instructions using a per-slot value-range
-///    analysis (a local whose every store is provably already wrapped to
-///    the requested width needs no re-wrap at each load);
+///  - elides redundant TruncI instructions using a *per-function
+///    dataflow*: an abstract interpreter tracks value ranges through the
+///    operand stack (AddImmI / LoadLoadAddI / MulImmAddI chains, loads,
+///    division by positive constants) and iterates per-slot invariants
+///    to a fixpoint; parameter slots start from the VM's frame-entry
+///    normalization contract (paramSlotNorm in Bytecode.h), so
+///    parameter-driven re-wraps are elidable too;
 ///  - fuses hot sequences into the superinstructions declared after
 ///    Op::Trap in vm/Bytecode.h — most importantly the global-thread-id
 ///    idiom `blockIdx.x * blockDim.x + threadIdx.x`, immediate-operand
-///    arithmetic, paired local loads, loop-counter increments, and
-///    compare-and-branch.
+///    arithmetic, paired local loads, loop-counter increments,
+///    compare-and-branch, and the LoadLocal-indexed / scaled
+///    address-formation loads and stores the dataflow unlocks.
 ///
 /// Fusion never crosses a jump target, and every pass rebuilds the jump
 /// operands through an old-index -> new-index map, so control flow is
@@ -50,7 +55,9 @@ struct PeepholeStats {
 
 /// Optimizes one function in place. Runs folding/fusion rounds to a
 /// fixpoint (bounded), preserving observable semantics exactly.
-PeepholeStats optimizeFunction(FuncDef &F);
+/// \p Program, when given, lets the dataflow model Call stack effects
+/// (callee arity/return) instead of conservatively clearing its state.
+PeepholeStats optimizeFunction(FuncDef &F, const VmProgram *Program = nullptr);
 
 /// Optimizes every function of \p Program in place.
 PeepholeStats optimizeProgram(VmProgram &Program);

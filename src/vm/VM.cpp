@@ -2,28 +2,45 @@
 //
 // Part of the dpopt project, under the MIT License.
 //
-// The interpreter core. Three structural decisions keep the hot loop fast
-// (measured by bench/vm_throughput.cpp):
+// The interpreter core: the dispatch layer of the three-layer pipeline
+//   bytecode (Bytecode.h) -> decoded IR (ExecIR.h) -> dispatch (here).
 //
-//  1. Threaded dispatch: on GCC/Clang every handler ends by indexing a
-//     dense label table with the next opcode and jumping straight to it
-//     (computed goto), giving the branch predictor one indirect branch
-//     per *handler* instead of one shared switch branch. A portable
-//     switch fallback compiles everywhere else from the same handler
-//     bodies (see the VM_CASE/VM_NEXT macros).
+// Two execution engines compile from the same handler bodies
+// (VMHandlers.inc, measured by bench/vm_throughput.cpp):
 //
-//  2. Zero steady-state allocation: thread contexts (operand stack, frame
-//     stack, locals arena, addressable frame memory) live in per-device
-//     pools reused across blocks and grids. runBlock resets contexts
-//     instead of constructing them; vectors keep their capacity, so after
-//     warm-up no heap allocation happens per thread or per block.
+//  1. The decoded-IR loop (default): executes the fixed-width decoded
+//     instruction array built at device construction. Dispatch is
+//     *direct-threaded* on GCC/Clang — every instruction carries its
+//     handler address, so a handler ends with `goto *I->Handler`, no
+//     table indexing per step. Decode-time pair fusions retire in one
+//     dispatch but charge the step cost of the pair, keeping VmStats
+//     and grid logs bit-identical to the fallback engine.
 //
-//  3. Decoded execution state: the current function's code pointer, the
-//     frame's locals pointer, the operand stack pointer, and the memory
-//     base are interpreter registers (locals), re-derived only at frame
-//     switches. Bytecode is validated once at device construction
-//     (validateProgram), so the loop performs no per-step bounds checks
-//     on PC, local slots, or callee indices.
+//  2. The bytecode interpreter (fallback, ExecMode::Bytecode): threaded
+//     dispatch through a dense label table indexed by opcode — one
+//     indirect branch per handler instead of one shared switch branch.
+//     A portable switch fallback compiles everywhere else from the same
+//     handler bodies (see the VM_CASE/VM_NEXT macros).
+//
+// Shared structural decisions:
+//
+//  - Zero steady-state allocation: thread contexts (operand stack, frame
+//    stack, locals arena, addressable frame memory) live in per-device
+//    pools reused across blocks and grids. runBlock resets contexts
+//    instead of constructing them; vectors keep their capacity, so after
+//    warm-up no heap allocation happens per thread or per block.
+//
+//  - Decoded execution state: the current function's code pointer, the
+//    frame's locals pointer, the operand stack pointer, and the memory
+//    base are interpreter registers (locals), re-derived only at frame
+//    switches. Bytecode is validated once at device construction
+//    (validateProgram), so the loops perform no per-step bounds checks
+//    on PC, local slots, or callee indices.
+//
+//  - Frame-entry parameter normalization: integer parameter slots are
+//    wrapped to their declared widths when a frame is entered (runBlock
+//    and the Call handler share normalizeParamSlots), the contract that
+//    lets the peephole elide parameter-driven re-wraps.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,8 +51,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string_view>
 
 using namespace dpo;
 
@@ -49,10 +68,21 @@ int64_t asBits(double D) { return slotFromDouble(D); }
 /// Addressable per-thread frame-memory region (reused across blocks).
 constexpr uint64_t ThreadFrameMemBytes = 64 * 1024;
 
+/// Resolves ExecMode::Auto: decoded unless DPO_VM_EXEC=bytecode.
+bool resolveUseDecoded(ExecMode Mode) {
+  if (Mode == ExecMode::Decoded)
+    return true;
+  if (Mode == ExecMode::Bytecode)
+    return false;
+  const char *Env = std::getenv("DPO_VM_EXEC");
+  return !(Env && std::string_view(Env) == "bytecode");
+}
+
 } // namespace
 
-Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes)
-    : Program(std::move(ProgramIn)), Memory(MemoryBytes, 0) {
+Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode Mode)
+    : Program(std::move(ProgramIn)), UseDecoded(resolveUseDecoded(Mode)),
+      Memory(MemoryBytes, 0) {
   // Null page, then globals, then the heap.
   BumpPtr = GlobalBase;
   if (!Program.GlobalImage.empty()) {
@@ -62,6 +92,27 @@ Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes)
   }
   BumpPtr = (BumpPtr + 63) & ~63ull;
   validateProgram();
+
+  // Frame-entry normalization specs (all-raw signatures collapse to an
+  // empty vector so the entry loop is a no-op for them).
+  NormSpecs.resize(Program.Functions.size());
+  for (size_t FI = 0; FI < Program.Functions.size(); ++FI) {
+    std::vector<uint8_t> Spec = paramNormSpec(Program.Functions[FI]);
+    bool Any = false;
+    for (uint8_t N : Spec)
+      Any |= N != 0;
+    if (Any)
+      NormSpecs[FI] = std::move(Spec);
+  }
+
+  // Lower validated bytecode into the decoded execution IR. The decoded
+  // loop's dispatch labels are function-local, so export them through a
+  // one-shot call before decoding.
+  if (UseDecoded && ValidationError.empty()) {
+    const void *const *Labels = nullptr;
+    runThreadExec(nullptr, nullptr, {}, 0, &Labels);
+    Exec = decodeProgram(Program, Labels);
+  }
 }
 
 Device::~Device() = default;
@@ -95,6 +146,11 @@ void Device::validateProgram() {
         break;
       case Op::LoadLocal2:
       case Op::LoadLoadAddI:
+      case Op::LdI32Idx:
+      case Op::LdU32Idx:
+      case Op::LdI64Idx:
+      case Op::LdF32Idx:
+      case Op::LdF64Idx:
         if ((uint64_t)I.A >= F.NumLocals || (uint64_t)I.B >= F.NumLocals)
           Bad(F, std::string("local slot out of range in ") + opName(I.Code));
         break;
@@ -119,6 +175,29 @@ void Device::validateProgram() {
       default:
         break;
       }
+    }
+  }
+
+  // Per-function barrier reachability (transitive over calls): kernels
+  // that provably never hit __syncthreads run their blocks through the
+  // fast no-scheduler path in runBlock.
+  size_t N = Program.Functions.size();
+  MayBarrier.assign(N, 0);
+  for (size_t FI = 0; FI < N; ++FI)
+    for (const Instr &I : Program.Functions[FI].Code)
+      if (I.Code == Op::SyncThreads)
+        MayBarrier[FI] = 1;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t FI = 0; FI < N; ++FI) {
+      if (MayBarrier[FI])
+        continue;
+      for (const Instr &I : Program.Functions[FI].Code)
+        if (I.Code == Op::Call && (uint64_t)I.A < N && MayBarrier[I.A]) {
+          MayBarrier[FI] = 1;
+          Changed = true;
+          break;
+        }
     }
   }
 }
@@ -352,11 +431,15 @@ bool Device::drainLaunches() {
     Queue.pop_front();
     if (!runGrid(L))
       return false;
+    // Recycle the argument buffer: steady-state device-side launching
+    // performs no per-launch allocation.
+    if (L.Args.capacity() > 0 && ArgPool.size() < 256)
+      ArgPool.push_back(std::move(L.Args));
   }
   return true;
 }
 
-bool Device::runGrid(const PendingLaunch &L) {
+bool Device::runGrid(PendingLaunch &L) {
   const FuncDef &F = Program.Functions[L.Func];
   ++Stats.GridsLaunched;
   Stats.LargestGridBlocks =
@@ -366,6 +449,24 @@ bool Device::runGrid(const PendingLaunch &L) {
   if (L.Block.count() > 1024)
     return fail("block of " + std::to_string(L.Block.count()) +
                 " threads exceeds the 1024-thread limit in '" + F.Name + "'");
+
+  // Frame-entry parameter normalization, hoisted to once per grid —
+  // every thread receives the same argument slots. The per-thread
+  // initial locals image (normalized params, then zeros) is built here
+  // once and copied per thread in runBlock.
+  normalizeParamSlots(L.Func, L.Args.data());
+  constexpr unsigned InlineLocals = 64;
+  int64_t InitBuf[InlineLocals];
+  std::vector<int64_t> InitHeap;
+  int64_t *Init = InitBuf;
+  if (F.NumLocals > InlineLocals) {
+    InitHeap.resize(F.NumLocals);
+    Init = InitHeap.data();
+  }
+  for (unsigned I = 0; I < F.NumParamSlots; ++I)
+    Init[I] = L.Args[I];
+  for (unsigned I = F.NumParamSlots; I < F.NumLocals; ++I)
+    Init[I] = 0;
 
   uint64_t SharedBase = 0;
   if (F.SharedBytes > 0) {
@@ -391,7 +492,7 @@ bool Device::runGrid(const PendingLaunch &L) {
       for (uint32_t BX = 0; BX < L.Grid.X; ++BX) {
         if (SharedBase)
           std::memset(Memory.data() + SharedBase, 0, F.SharedBytes);
-        if (!runBlock(L, {BX, BY, BZ}, SharedBase))
+        if (!runBlock(L, {BX, BY, BZ}, SharedBase, Init))
           return false;
       }
 
@@ -413,7 +514,7 @@ bool Device::runGrid(const PendingLaunch &L) {
 }
 
 bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
-                      uint64_t SharedBase) {
+                      uint64_t SharedBase, const int64_t *InitLocals) {
   const FuncDef &F = Program.Functions[L.Func];
   ++Stats.BlocksExecuted;
 
@@ -435,34 +536,61 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
   if (F.FrameBytes > ThreadFrameMemBytes)
     return fail("thread frame-memory stack overflow");
 
+  Stats.ThreadsExecuted += NumThreads;
+  auto SetupThread = [&](ThreadCtx &T, uint32_t TX, uint32_t TY,
+                         uint32_t TZ) -> bool {
+    T.reset();
+    T.ThreadIdx = {TX, TY, TZ};
+    Frame Root;
+    Root.Func = L.Func;
+    Root.PC = 0;
+    Root.LocalsBase = 0;
+    // One copy of the per-grid initial image (normalized params + zeroed
+    // locals, built in runGrid) instead of per-thread fill + arg loop.
+    T.LocalsArena.assign(InitLocals, InitLocals + F.NumLocals);
+    if (F.FrameBytes > 0) {
+      if (!T.StackMemBase) {
+        T.StackMemBase = alloc(ThreadFrameMemBytes);
+        if (!T.StackMemBase)
+          return false;
+      }
+      Root.FrameMemBase = T.StackMemBase;
+      Root.FrameMemBytes = F.FrameBytes;
+      T.StackMemUsed = F.FrameBytes;
+      std::memset(Memory.data() + Root.FrameMemBase, 0, F.FrameBytes);
+    }
+    T.Frames.push_back(Root);
+    return true;
+  };
+
+  // Fast path: a kernel that provably never reaches __syncthreads
+  // (MayBarrier, transitive over calls) needs no round-robin scheduler.
+  // The whole block executes inside ONE interpreter invocation (block
+  // mode): a single recycled context runs every thread back to back, and
+  // thread switch is an in-loop reinit from the per-grid locals image.
+  if (!MayBarrier[L.Func]) {
+    ThreadCtx &T = Pool.Threads[0];
+    if (!SetupThread(T, 0, 0, 0))
+      return false;
+    bool Ok = UseDecoded
+                  ? runThreadExec(&T, &L, BlockIdx, SharedBase, nullptr,
+                                  InitLocals, (uint32_t)NumThreads)
+                  : runThread(T, L, BlockIdx, SharedBase, InitLocals,
+                              (uint32_t)NumThreads);
+    if (!Ok)
+      return false;
+    if (T.State != ThreadState::Done)
+      return fail("barrier reached in a barrier-free kernel (MayBarrier "
+                  "analysis out of sync)");
+    return true;
+  }
+
   size_t TI = 0;
   for (uint32_t TZ = 0; TZ < L.Block.Z; ++TZ)
     for (uint32_t TY = 0; TY < L.Block.Y; ++TY)
-      for (uint32_t TX = 0; TX < L.Block.X; ++TX) {
-        ThreadCtx &T = Pool.Threads[TI++];
-        T.reset();
-        T.ThreadIdx = {TX, TY, TZ};
-        Frame Root;
-        Root.Func = L.Func;
-        Root.PC = 0;
-        Root.LocalsBase = 0;
-        T.LocalsArena.assign(F.NumLocals, 0);
-        for (unsigned I = 0; I < F.NumParamSlots; ++I)
-          T.LocalsArena[I] = L.Args[I];
-        if (F.FrameBytes > 0) {
-          if (!T.StackMemBase) {
-            T.StackMemBase = alloc(ThreadFrameMemBytes);
-            if (!T.StackMemBase)
-              return false;
-          }
-          Root.FrameMemBase = T.StackMemBase;
-          Root.FrameMemBytes = F.FrameBytes;
-          T.StackMemUsed = F.FrameBytes;
-          std::memset(Memory.data() + Root.FrameMemBase, 0, F.FrameBytes);
-        }
-        T.Frames.push_back(Root);
-        ++Stats.ThreadsExecuted;
-      }
+      for (uint32_t TX = 0; TX < L.Block.X; ++TX)
+        if (!SetupThread(Pool.Threads[TI++], TX, TY, TZ))
+          return false;
 
   while (true) {
     bool AnyRan = false;
@@ -471,7 +599,9 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
       ThreadCtx &T = Pool.Threads[TIdx];
       if (T.State == ThreadState::Ready) {
         AnyRan = true;
-        if (!runThread(T, L, BlockIdx, SharedBase))
+        bool Ok = UseDecoded ? runThreadExec(&T, &L, BlockIdx, SharedBase)
+                             : runThread(T, L, BlockIdx, SharedBase);
+        if (!Ok)
           return false;
       }
       if (T.State != ThreadState::Done)
@@ -559,8 +689,79 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
     return false;                                                             \
   } while (0)
 
+// A thread's root frame returned. In block mode (barrier-free kernels)
+// fall through to the in-loop thread switch; otherwise publish Done and
+// return to the scheduler.
+#define VM_THREAD_DONE()                                                      \
+  do {                                                                        \
+    if (InitLocals)                                                           \
+      goto BlockNextThread;                                                   \
+    T.State = ThreadState::Done;                                              \
+    T.StackTop = SP;                                                          \
+    VM_FLUSH_STEPS();                                                         \
+    return true;                                                              \
+  } while (0)
+
+// The block-mode thread switch, shared verbatim by both engines (every
+// referenced name — RootF, L, InitLocals, ThreadsLeft, the cached
+// interpreter registers — is declared by both loops). Reinitializes the
+// single recycled context for the next thread of the block and resumes
+// dispatch without leaving the function: thread switch costs a frame
+// reset and one locals-image copy instead of a scheduler round trip.
+#define VM_BLOCK_THREAD_SWITCH()                                              \
+  BlockNextThread:                                                            \
+  VM_FLUSH_STEPS();                                                           \
+  StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;             \
+  if (GridLogEnabled) {                                                       \
+    CurGridMaxThreadSteps = std::max(CurGridMaxThreadSteps, T.StepsRetired);  \
+    T.StepsRetired = 0;                                                       \
+  }                                                                           \
+  if (--ThreadsLeft == 0) {                                                   \
+    T.State = ThreadState::Done;                                              \
+    T.StackTop = 0;                                                           \
+    return true;                                                              \
+  }                                                                           \
+  {                                                                           \
+    Dim3V TIdx = T.ThreadIdx;                                                 \
+    if (++TIdx.X == L.Block.X) {                                              \
+      TIdx.X = 0;                                                             \
+      if (++TIdx.Y == L.Block.Y) {                                            \
+        TIdx.Y = 0;                                                           \
+        ++TIdx.Z;                                                             \
+      }                                                                       \
+    }                                                                         \
+    T.ThreadIdx = TIdx;                                                       \
+  }                                                                           \
+  F = RootF;                                                                  \
+  CodeBase = F->Code.data();                                                  \
+  T.Frames.resize(1);                                                         \
+  Fr = &T.Frames.front();                                                     \
+  Fr->Func = L.Func;                                                          \
+  Fr->PC = 0;                                                                 \
+  Fr->LocalsBase = 0;                                                         \
+  Fr->FrameMemBase = RootFrameMemBase;                                        \
+  Fr->FrameMemBytes = F->FrameBytes;                                          \
+  if (F->FrameBytes > 0) {                                                    \
+    T.StackMemUsed = F->FrameBytes;                                           \
+    std::memset(Mem + RootFrameMemBase, 0, F->FrameBytes);                    \
+  }                                                                           \
+  T.LocalsArena.assign(InitLocals, InitLocals + F->NumLocals);                \
+  Locals = T.LocalsArena.data();                                              \
+  SP = 0;                                                                     \
+  PC = 0;                                                                     \
+  VM_RESUME()
+
+//===----------------------------------------------------------------------===//
+// Engine 1: the bytecode interpreter (the fallback path).
+//
+// The handler bodies live in VMHandlers.inc, shared with the decoded
+// loop below; only the dispatch macros differ. Here every handler ends
+// by indexing a dense label table with the next opcode (threaded
+// dispatch), or by breaking back to the shared switch on portable
+// builds.
+//===----------------------------------------------------------------------===//
+
 #if DPO_VM_COMPUTED_GOTO
-// Threaded dispatch: every handler tail-jumps through the label table.
 #define VM_CASE(name) L_##name
 #define VM_NEXT()                                                             \
   do {                                                                        \
@@ -570,17 +771,33 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
     I = CodeBase + PC++;                                                      \
     goto *DispatchTable[(unsigned)I->Code];                                   \
   } while (0)
+#define VM_RESUME() VM_NEXT()
 #else
 #define VM_CASE(name) case Op::name
 #define VM_NEXT() break
+#define VM_RESUME() goto DispatchTop
 #endif
+// The bytecode instruction stream carries SReg's packed dim*4+component
+// operand; the decoded stream pre-splits it (see ExecIR.cpp).
+#define VM_SREG_BUILTIN ((unsigned)I->A / 4)
+#define VM_SREG_COMP ((unsigned)I->A % 4)
 
+// The fallback engine never runs in decoded mode; keep its (large) body
+// out of the decoded loop's text so the default path's I-cache and
+// branch-target locality are unaffected by carrying both engines.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((cold))
+#endif
 bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
-                       uint64_t SharedBase) {
+                       uint64_t SharedBase, const int64_t *InitLocals,
+                       uint32_t ThreadCount) {
   // Interpreter registers, re-derived only at frame switches.
   Frame *Fr = &T.Frames.back();
   const FuncDef *FnArr = Program.Functions.data();
   const FuncDef *F = &FnArr[Fr->Func];
+  const FuncDef *RootF = &FnArr[L.Func];
+  const uint64_t RootFrameMemBase = Fr->FrameMemBase;
+  uint32_t ThreadsLeft = ThreadCount;
   const Instr *CodeBase = F->Code.data();
   const Instr *I = nullptr;
   unsigned PC = Fr->PC;
@@ -600,6 +817,7 @@ bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
   };
   VM_NEXT(); // Fetch and dispatch the first instruction.
 #else
+DispatchTop:
   for (;;) {
     if (LocalSteps >= StepBudget)
       goto StepLimitHit;
@@ -608,582 +826,130 @@ bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
     switch (I->Code) {
 #endif
 
-  VM_CASE(PushI):
-  VM_CASE(PushF):
-    VM_PUSH(I->A);
-    VM_NEXT();
-  VM_CASE(LoadLocal):
-    VM_PUSH(Locals[I->A]);
-    VM_NEXT();
-  VM_CASE(StoreLocal):
-    Locals[I->A] = VM_POP();
-    VM_NEXT();
-  VM_CASE(Dup): {
-    int64_t V = VM_TOP();
-    VM_PUSH(V);
-    VM_NEXT();
-  }
-  VM_CASE(Pop):
-    --SP;
-    VM_NEXT();
-  VM_CASE(Swap): {
-    int64_t V = S[SP - 1];
-    S[SP - 1] = S[SP - 2];
-    S[SP - 2] = V;
-    VM_NEXT();
-  }
-
-  VM_CASE(FrameAddr):
-    VM_PUSH(Fr->FrameMemBase + I->A);
-    VM_NEXT();
-  VM_CASE(SharedBase):
-    VM_PUSH(SharedBase);
-    VM_NEXT();
-
-#define DPO_LOAD(OPC, CTYPE, PUSHEXPR)                                        \
-  VM_CASE(OPC) : {                                                            \
-    uint64_t Addr = (uint64_t)VM_POP();                                       \
-    if (!checkRange(Addr, sizeof(CTYPE)))                                     \
-      VM_FAIL_SET();                                                          \
-    CTYPE V;                                                                  \
-    std::memcpy(&V, Mem + Addr, sizeof(CTYPE));                               \
-    VM_PUSH(PUSHEXPR);                                                        \
-    VM_NEXT();                                                                \
-  }
-  DPO_LOAD(LdI8, int8_t, (int64_t)V)
-  DPO_LOAD(LdU8, uint8_t, (int64_t)V)
-  DPO_LOAD(LdI16, int16_t, (int64_t)V)
-  DPO_LOAD(LdU16, uint16_t, (int64_t)V)
-  DPO_LOAD(LdI32, int32_t, (int64_t)V)
-  DPO_LOAD(LdU32, uint32_t, (int64_t)V)
-  DPO_LOAD(LdI64, int64_t, V)
-  DPO_LOAD(LdF32, float, asBits((double)V))
-  DPO_LOAD(LdF64, double, asBits(V))
-#undef DPO_LOAD
-
-#define DPO_STORE(OPC, CTYPE, VALEXPR)                                        \
-  VM_CASE(OPC) : {                                                            \
-    int64_t Raw = VM_POP();                                                   \
-    uint64_t Addr = (uint64_t)VM_POP();                                       \
-    if (!checkRange(Addr, sizeof(CTYPE)))                                     \
-      VM_FAIL_SET();                                                          \
-    CTYPE V = VALEXPR;                                                        \
-    std::memcpy(Mem + Addr, &V, sizeof(CTYPE));                               \
-    VM_NEXT();                                                                \
-  }
-  DPO_STORE(StI8, int8_t, (int8_t)Raw)
-  DPO_STORE(StI16, int16_t, (int16_t)Raw)
-  DPO_STORE(StI32, int32_t, (int32_t)Raw)
-  DPO_STORE(StI64, int64_t, Raw)
-  DPO_STORE(StF32, float, (float)asDouble(Raw))
-  DPO_STORE(StF64, double, asDouble(Raw))
-#undef DPO_STORE
-
-#define DPO_BINI(OPC, EXPR)                                                   \
-  VM_CASE(OPC) : {                                                            \
-    int64_t R = VM_POP();                                                     \
-    int64_t Lv = VM_TOP();                                                    \
-    (void)R;                                                                  \
-    (void)Lv;                                                                 \
-    VM_TOP() = (EXPR);                                                        \
-    VM_NEXT();                                                                \
-  }
-  DPO_BINI(AddI, addWrap(Lv, R))
-  DPO_BINI(SubI, subWrap(Lv, R))
-  DPO_BINI(MulI, mulWrap(Lv, R))
-  DPO_BINI(Shl, (int64_t)((uint64_t)Lv << (R & 63)))
-  DPO_BINI(ShrI, Lv >> (R & 63))
-  DPO_BINI(ShrU, (int64_t)((uint64_t)Lv >> (R & 63)))
-  DPO_BINI(BitAnd, Lv &R)
-  DPO_BINI(BitOr, Lv | R)
-  DPO_BINI(BitXor, Lv ^ R)
-  DPO_BINI(CmpEQ, Lv == R ? 1 : 0)
-  DPO_BINI(CmpNE, Lv != R ? 1 : 0)
-  DPO_BINI(CmpLTI, Lv < R ? 1 : 0)
-  DPO_BINI(CmpLEI, Lv <= R ? 1 : 0)
-  DPO_BINI(CmpGTI, Lv > R ? 1 : 0)
-  DPO_BINI(CmpGEI, Lv >= R ? 1 : 0)
-  DPO_BINI(CmpLTU, (uint64_t)Lv < (uint64_t)R ? 1 : 0)
-  DPO_BINI(CmpLEU, (uint64_t)Lv <= (uint64_t)R ? 1 : 0)
-  DPO_BINI(CmpGTU, (uint64_t)Lv > (uint64_t)R ? 1 : 0)
-  DPO_BINI(CmpGEU, (uint64_t)Lv >= (uint64_t)R ? 1 : 0)
-  DPO_BINI(MinI, Lv < R ? Lv : R)
-  DPO_BINI(MaxI, Lv > R ? Lv : R)
-  DPO_BINI(MinU, (uint64_t)Lv < (uint64_t)R ? Lv : R)
-  DPO_BINI(MaxU, (uint64_t)Lv > (uint64_t)R ? Lv : R)
-#undef DPO_BINI
-
-  VM_CASE(DivI): {
-    int64_t R = VM_POP();
-    int64_t Lv = VM_TOP();
-    if (R == 0)
-      VM_FAILF("integer division by zero");
-    VM_TOP() = (Lv == INT64_MIN && R == -1) ? Lv : Lv / R;
-    VM_NEXT();
-  }
-  VM_CASE(DivU): {
-    uint64_t R = (uint64_t)VM_POP();
-    uint64_t Lv = (uint64_t)VM_TOP();
-    if (R == 0)
-      VM_FAILF("integer division by zero");
-    VM_TOP() = (int64_t)(Lv / R);
-    VM_NEXT();
-  }
-  VM_CASE(RemI): {
-    int64_t R = VM_POP();
-    int64_t Lv = VM_TOP();
-    if (R == 0)
-      VM_FAILF("integer remainder by zero");
-    VM_TOP() = (Lv == INT64_MIN && R == -1) ? 0 : Lv % R;
-    VM_NEXT();
-  }
-  VM_CASE(RemU): {
-    uint64_t R = (uint64_t)VM_POP();
-    uint64_t Lv = (uint64_t)VM_TOP();
-    if (R == 0)
-      VM_FAILF("integer remainder by zero");
-    VM_TOP() = (int64_t)(Lv % R);
-    VM_NEXT();
-  }
-  VM_CASE(BitNot):
-    VM_TOP() = ~VM_TOP();
-    VM_NEXT();
-  VM_CASE(NegI):
-    VM_TOP() = subWrap(0, VM_TOP());
-    VM_NEXT();
-  VM_CASE(LogicalNot):
-    VM_TOP() = VM_TOP() == 0 ? 1 : 0;
-    VM_NEXT();
-
-#define DPO_BINF(OPC, EXPR)                                                   \
-  VM_CASE(OPC) : {                                                            \
-    double R = asDouble(VM_POP());                                            \
-    double Lv = asDouble(VM_TOP());                                           \
-    (void)R;                                                                  \
-    (void)Lv;                                                                 \
-    VM_TOP() = (EXPR);                                                        \
-    VM_NEXT();                                                                \
-  }
-  DPO_BINF(AddF, asBits(Lv + R))
-  DPO_BINF(SubF, asBits(Lv - R))
-  DPO_BINF(MulF, asBits(Lv *R))
-  DPO_BINF(DivF, asBits(Lv / R))
-  DPO_BINF(CmpEQF, Lv == R ? 1 : 0)
-  DPO_BINF(CmpNEF, Lv != R ? 1 : 0)
-  DPO_BINF(CmpLTF, Lv < R ? 1 : 0)
-  DPO_BINF(CmpLEF, Lv <= R ? 1 : 0)
-  DPO_BINF(CmpGTF, Lv > R ? 1 : 0)
-  DPO_BINF(CmpGEF, Lv >= R ? 1 : 0)
-#undef DPO_BINF
-
-  VM_CASE(NegF):
-    VM_TOP() = asBits(-asDouble(VM_TOP()));
-    VM_NEXT();
-  VM_CASE(I2F):
-    VM_TOP() = asBits((double)VM_TOP());
-    VM_NEXT();
-  VM_CASE(U2F):
-    VM_TOP() = asBits((double)(uint64_t)VM_TOP());
-    VM_NEXT();
-  VM_CASE(F2I):
-    VM_TOP() = (int64_t)asDouble(VM_TOP());
-    VM_NEXT();
-  VM_CASE(F2Single):
-    VM_TOP() = asBits((double)(float)asDouble(VM_TOP()));
-    VM_NEXT();
-  VM_CASE(TruncI): {
-    int64_t V = VM_TOP();
-    unsigned Width = (unsigned)I->A;
-    bool SignExtend = I->B != 0;
-    if (Width == 1)
-      VM_TOP() = SignExtend ? (int64_t)(int8_t)V : (int64_t)(uint8_t)V;
-    else if (Width == 2)
-      VM_TOP() = SignExtend ? (int64_t)(int16_t)V : (int64_t)(uint16_t)V;
-    else if (Width == 4)
-      VM_TOP() = SignExtend ? (int64_t)(int32_t)V : (int64_t)(uint32_t)V;
-    VM_NEXT();
-  }
-
-  VM_CASE(Jmp):
-    PC = (unsigned)I->A;
-    VM_NEXT();
-  VM_CASE(JmpIfZero):
-    if (VM_POP() == 0)
-      PC = (unsigned)I->A;
-    VM_NEXT();
-  VM_CASE(JmpIfNotZero):
-    if (VM_POP() != 0)
-      PC = (unsigned)I->A;
-    VM_NEXT();
-
-  VM_CASE(Call): {
-    const FuncDef &Callee = FnArr[I->A];
-    unsigned ArgSlots = (unsigned)I->B;
-    if (T.Frames.size() > 200)
-      VM_FAILF("call stack overflow (runaway recursion?)");
-    Frame New;
-    New.Func = (unsigned)I->A;
-    New.PC = 0;
-    New.LocalsBase = (unsigned)T.LocalsArena.size();
-    if (Callee.FrameBytes > 0) {
-      if (!T.StackMemBase) {
-        T.StackMemBase = alloc(ThreadFrameMemBytes);
-        if (!T.StackMemBase)
-          VM_FAIL_SET();
-      }
-      uint64_t Offset = (T.StackMemUsed + 7) & ~7ull;
-      if (Offset + Callee.FrameBytes > ThreadFrameMemBytes)
-        VM_FAILF("thread frame-memory stack overflow");
-      New.FrameMemBase = T.StackMemBase + Offset;
-      New.FrameMemBytes = Callee.FrameBytes;
-      std::memset(Mem + New.FrameMemBase, 0, Callee.FrameBytes);
-      T.StackMemUsed = Offset + Callee.FrameBytes;
-    }
-    Fr->PC = PC; // Save the return address in the caller frame.
-    T.Frames.push_back(New);
-    Fr = &T.Frames.back();
-    T.LocalsArena.resize(New.LocalsBase + Callee.NumLocals, 0);
-    Locals = T.LocalsArena.data() + New.LocalsBase;
-    for (unsigned AI = 0; AI < ArgSlots; ++AI)
-      Locals[ArgSlots - 1 - AI] = VM_POP();
-    F = &Callee;
-    CodeBase = F->Code.data();
-    PC = 0;
-    VM_NEXT();
-  }
-  VM_CASE(Ret): {
-    int64_t V = VM_POP();
-    T.StackMemUsed -= Fr->FrameMemBytes;
-    T.LocalsArena.resize(Fr->LocalsBase);
-    T.Frames.pop_back();
-    if (T.Frames.empty()) {
-      T.State = ThreadState::Done;
-      T.StackTop = SP;
-      VM_FLUSH_STEPS();
-      return true;
-    }
-    Fr = &T.Frames.back();
-    F = &FnArr[Fr->Func];
-    CodeBase = F->Code.data();
-    PC = Fr->PC;
-    Locals = T.LocalsArena.data() + Fr->LocalsBase;
-    VM_PUSH(V);
-    VM_NEXT();
-  }
-  VM_CASE(RetVoid): {
-    T.StackMemUsed -= Fr->FrameMemBytes;
-    T.LocalsArena.resize(Fr->LocalsBase);
-    T.Frames.pop_back();
-    if (T.Frames.empty()) {
-      T.State = ThreadState::Done;
-      T.StackTop = SP;
-      VM_FLUSH_STEPS();
-      return true;
-    }
-    Fr = &T.Frames.back();
-    F = &FnArr[Fr->Func];
-    CodeBase = F->Code.data();
-    PC = Fr->PC;
-    Locals = T.LocalsArena.data() + Fr->LocalsBase;
-    VM_NEXT();
-  }
-
-  VM_CASE(SReg): {
-    unsigned Builtin = (unsigned)I->A / 4;
-    unsigned Comp = (unsigned)I->A % 4;
-    Dim3V Value;
-    switch (Builtin) {
-    case 0: Value = T.ThreadIdx; break;
-    case 1: Value = BlockIdx; break;
-    case 2: Value = L.Block; break;
-    default: Value = L.Grid; break;
-    }
-    VM_PUSH(Comp == 0 ? Value.X : Comp == 1 ? Value.Y : Value.Z);
-    VM_NEXT();
-  }
-
-  VM_CASE(SyncThreads):
-    T.State = ThreadState::AtBarrier;
-    Fr->PC = PC;
-    T.StackTop = SP;
-    VM_FLUSH_STEPS();
-    return true;
-  VM_CASE(ThreadFence):
-    VM_NEXT(); // Sequential memory is always coherent.
-
-#define DPO_ATOMIC_BODY(WIDTH, APPLY32, APPLY64)                              \
-  {                                                                           \
-    if (WIDTH == 4) {                                                         \
-      int32_t Old = readI32(Addr);                                            \
-      int32_t New = APPLY32;                                                  \
-      writeI32(Addr, New);                                                    \
-      VM_PUSH((I->B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);           \
-    } else {                                                                  \
-      int64_t Old = readI64(Addr);                                            \
-      int64_t New = APPLY64;                                                  \
-      writeI64(Addr, New);                                                    \
-      VM_PUSH(Old);                                                           \
-    }                                                                         \
-  }
-
-  VM_CASE(AtomicAdd): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    DPO_ATOMIC_BODY(I->A, Old + (int32_t)V, Old + V);
-    VM_NEXT();
-  }
-  VM_CASE(AtomicMax): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    if (I->B != 0) {
-      DPO_ATOMIC_BODY(I->A, std::max(Old, (int32_t)V), std::max(Old, V));
-    } else {
-      DPO_ATOMIC_BODY(
-          I->A,
-          (int32_t)std::max((uint32_t)Old, (uint32_t)V),
-          (int64_t)std::max((uint64_t)Old, (uint64_t)V));
-    }
-    VM_NEXT();
-  }
-  VM_CASE(AtomicMin): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    if (I->B != 0) {
-      DPO_ATOMIC_BODY(I->A, std::min(Old, (int32_t)V), std::min(Old, V));
-    } else {
-      DPO_ATOMIC_BODY(
-          I->A,
-          (int32_t)std::min((uint32_t)Old, (uint32_t)V),
-          (int64_t)std::min((uint64_t)Old, (uint64_t)V));
-    }
-    VM_NEXT();
-  }
-  VM_CASE(AtomicExch): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    DPO_ATOMIC_BODY(I->A, (int32_t)V, V);
-    VM_NEXT();
-  }
-  VM_CASE(AtomicOr): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    DPO_ATOMIC_BODY(I->A, Old | (int32_t)V, Old | V);
-    VM_NEXT();
-  }
-  VM_CASE(AtomicAnd): {
-    int64_t V = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    DPO_ATOMIC_BODY(I->A, Old & (int32_t)V, Old & V);
-    VM_NEXT();
-  }
-  VM_CASE(AtomicCAS): {
-    int64_t New = VM_POP();
-    int64_t Expected = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (!checkRange(Addr, (unsigned)I->A))
-      VM_FAIL_SET();
-    if (I->A == 4) {
-      int32_t Old = readI32(Addr);
-      if (Old == (int32_t)Expected)
-        writeI32(Addr, (int32_t)New);
-      VM_PUSH((I->B != 0) ? (int64_t)Old : (int64_t)(uint32_t)Old);
-    } else {
-      int64_t Old = readI64(Addr);
-      if (Old == Expected)
-        writeI64(Addr, New);
-      VM_PUSH(Old);
-    }
-    VM_NEXT();
-  }
-#undef DPO_ATOMIC_BODY
-
-  VM_CASE(Launch): {
-    PendingLaunch Child;
-    Child.Func = (unsigned)I->A;
-    Child.Block.Z = (uint32_t)VM_POP();
-    Child.Block.Y = (uint32_t)VM_POP();
-    Child.Block.X = (uint32_t)VM_POP();
-    Child.Grid.Z = (uint32_t)VM_POP();
-    Child.Grid.Y = (uint32_t)VM_POP();
-    Child.Grid.X = (uint32_t)VM_POP();
-    Child.Args.resize(I->B);
-    for (unsigned AI = 0; AI < (unsigned)I->B; ++AI)
-      Child.Args[I->B - 1 - AI] = VM_POP();
-    if (InHostCall && T.Frames.size() >= 1 &&
-        FnArr[T.Frames.front().Func].IsKernel == false) {
-      ++Stats.HostLaunches;
-      Child.FromHost = true;
-    } else {
-      ++Stats.DeviceLaunches;
-    }
-    Queue.push_back(std::move(Child));
-    VM_NEXT();
-  }
-
-  VM_CASE(CudaMalloc): {
-    uint64_t Bytes = (uint64_t)VM_POP();
-    uint64_t PtrAddr = (uint64_t)VM_POP();
-    uint64_t Addr = alloc(Bytes);
-    if (!Addr)
-      VM_FAIL_SET();
-    if (!checkRange(PtrAddr, 8))
-      VM_FAIL_SET();
-    writeI64(PtrAddr, (int64_t)Addr);
-    VM_PUSH(0);
-    VM_NEXT();
-  }
-  VM_CASE(CudaFree):
-    VM_TOP() = 0; // Bump allocator: free is a no-op; result is 0.
-    VM_NEXT();
-  VM_CASE(CudaMemset): {
-    uint64_t Bytes = (uint64_t)VM_POP();
-    int64_t Value = VM_POP();
-    uint64_t Addr = (uint64_t)VM_POP();
-    if (Bytes > 0 && !checkRange(Addr, Bytes))
-      VM_FAIL_SET();
-    std::memset(Mem + Addr, (int)Value, Bytes);
-    VM_PUSH(0);
-    VM_NEXT();
-  }
-  VM_CASE(CudaMemcpy): {
-    (void)VM_POP(); // direction
-    uint64_t Bytes = (uint64_t)VM_POP();
-    uint64_t Src = (uint64_t)VM_POP();
-    uint64_t Dst = (uint64_t)VM_POP();
-    if (Bytes > 0 && (!checkRange(Src, Bytes) || !checkRange(Dst, Bytes)))
-      VM_FAIL_SET();
-    std::memmove(Mem + Dst, Mem + Src, Bytes);
-    VM_PUSH(0);
-    VM_NEXT();
-  }
-  VM_CASE(CudaSync): {
-    // Drain pending launches now (host semantics). The nested grids run
-    // through deeper context pools; our own cached registers stay valid
-    // (device memory never reallocates). Steps consumed by the children
-    // count against the shared limit, so re-derive the budget.
-    VM_FLUSH_STEPS();
-    Fr->PC = PC;
-    T.StackTop = SP;
-    if (!drainLaunches()) {
-      T.State = ThreadState::Failed;
-      return false;
-    }
-    StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
-    VM_NEXT();
-  }
-
-  VM_CASE(Math1): {
-    double V = asDouble(VM_TOP());
-    double R = 0;
-    switch ((MathFn)I->A) {
-    case MathFn::Sqrt: R = std::sqrt(V); break;
-    case MathFn::Ceil: R = std::ceil(V); break;
-    case MathFn::Floor: R = std::floor(V); break;
-    case MathFn::Fabs: R = std::fabs(V); break;
-    case MathFn::Exp: R = std::exp(V); break;
-    case MathFn::Log: R = std::log(V); break;
-    case MathFn::Tanh: R = std::tanh(V); break;
-    default: R = V; break;
-    }
-    VM_TOP() = asBits(R);
-    VM_NEXT();
-  }
-  VM_CASE(Math2): {
-    double B = asDouble(VM_POP());
-    double A = asDouble(VM_TOP());
-    double R = 0;
-    switch ((MathFn)I->A) {
-    case MathFn::Pow: R = std::pow(A, B); break;
-    case MathFn::Fmin: R = std::fmin(A, B); break;
-    case MathFn::Fmax: R = std::fmax(A, B); break;
-    default: R = A; break;
-    }
-    VM_TOP() = asBits(R);
-    VM_NEXT();
-  }
-
-  VM_CASE(Trap):
-    VM_FAILF("trap: " + Program.TrapMessages[I->A]);
-
-  //===--- Superinstructions (see vm/Peephole.cpp) ------------------------===//
-
-  VM_CASE(LoadLocal2): {
-    int64_t V0 = Locals[I->A];
-    int64_t V1 = Locals[I->B];
-    VM_PUSH(V0);
-    VM_PUSH(V1);
-    VM_NEXT();
-  }
-  VM_CASE(LoadLocalImmAddI):
-    VM_PUSH(addWrap(Locals[I->A], I->B));
-    VM_NEXT();
-  VM_CASE(LoadLoadAddI):
-    VM_PUSH(addWrap(Locals[I->A], Locals[I->B]));
-    VM_NEXT();
-  VM_CASE(AddImmI):
-    VM_TOP() = addWrap(VM_TOP(), I->A);
-    VM_NEXT();
-  VM_CASE(MulImmI):
-    VM_TOP() = mulWrap(VM_TOP(), I->A);
-    VM_NEXT();
-  VM_CASE(MulImmAddI): {
-    int64_t Y = VM_POP();
-    VM_TOP() = addWrap(VM_TOP(), mulWrap(Y, I->A));
-    VM_NEXT();
-  }
-  VM_CASE(IncLocalI32):
-    Locals[I->A] = (int64_t)(int32_t)(uint32_t)addWrap(Locals[I->A], I->B);
-    VM_NEXT();
-  VM_CASE(IncLocalI64):
-    Locals[I->A] = addWrap(Locals[I->A], I->B);
-    VM_NEXT();
-  VM_CASE(GlobalTidX): {
-    uint64_t Sum = (uint64_t)BlockIdx.X * L.Block.X + T.ThreadIdx.X;
-    VM_PUSH(I->B != 0 ? (int64_t)(int32_t)(uint32_t)Sum
-                      : (int64_t)(uint32_t)Sum);
-    VM_NEXT();
-  }
-
-#define DPO_CMPJMP(OPC, COND)                                                 \
-  VM_CASE(OPC) : {                                                            \
-    int64_t R = VM_POP();                                                     \
-    int64_t Lv = VM_POP();                                                    \
-    (void)R;                                                                  \
-    (void)Lv;                                                                 \
-    if (COND)                                                                 \
-      PC = (unsigned)I->A;                                                    \
-    VM_NEXT();                                                                \
-  }
-  DPO_CMPJMP(JmpIfLTI, Lv < R)
-  DPO_CMPJMP(JmpIfGEI, Lv >= R)
-  DPO_CMPJMP(JmpIfLEI, Lv <= R)
-  DPO_CMPJMP(JmpIfGTI, Lv > R)
-  DPO_CMPJMP(JmpIfEQ, Lv == R)
-  DPO_CMPJMP(JmpIfNE, Lv != R)
-  DPO_CMPJMP(JmpIfLTU, (uint64_t)Lv < (uint64_t)R)
-  DPO_CMPJMP(JmpIfGEU, (uint64_t)Lv >= (uint64_t)R)
-  DPO_CMPJMP(JmpIfLEU, (uint64_t)Lv <= (uint64_t)R)
-  DPO_CMPJMP(JmpIfGTU, (uint64_t)Lv > (uint64_t)R)
-#undef DPO_CMPJMP
+#include "vm/VMHandlers.inc"
 
 #if !DPO_VM_COMPUTED_GOTO
     } // switch
   }   // for
 #endif
 
+  VM_BLOCK_THREAD_SWITCH();
+
 StepLimitHit:
+  T.State = ThreadState::Failed;
+  T.StackTop = SP;
+  VM_FLUSH_STEPS();
+  return fail("step limit exceeded (possible infinite loop)");
+}
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_RESUME
+#undef VM_SREG_BUILTIN
+#undef VM_SREG_COMP
+
+//===----------------------------------------------------------------------===//
+// Engine 2: the decoded-IR loop (the default path).
+//
+// Same handler bodies, but the instruction stream is the fixed-width
+// decoded array built by vm/ExecIR.cpp: dispatch is direct-threaded
+// (`goto *I->Handler`, no table lookup), SReg operands arrive
+// pre-split, and the decode-only fused forms (VM_CASE_X) execute pairs
+// in one dispatch while charging the step cost of both.
+//===----------------------------------------------------------------------===//
+
+#define DPO_VM_DECODED_OPS 1
+
+#if DPO_VM_COMPUTED_GOTO
+#define VM_CASE(name) XL_##name
+#define VM_CASE_X(name) XL_##name
+#define VM_NEXT()                                                             \
+  do {                                                                        \
+    I = CodeBase + PC++;                                                      \
+    LocalSteps += I->Cost;                                                    \
+    if (LocalSteps > StepBudget)                                              \
+      goto StepLimitHit;                                                      \
+    goto *I->Handler;                                                         \
+  } while (0)
+#define VM_RESUME() VM_NEXT()
+#else
+#define VM_CASE(name) case (uint16_t)Op::name
+#define VM_CASE_X(name) case (uint16_t)XOp::name
+#define VM_NEXT() break
+#define VM_RESUME() goto DispatchTop
+#endif
+#define VM_SREG_BUILTIN ((unsigned)I->A)
+#define VM_SREG_COMP ((unsigned)I->B)
+
+bool Device::runThreadExec(ThreadCtx *TPtr, const PendingLaunch *LPtr,
+                           Dim3V BlockIdx, uint64_t SharedBase,
+                           const void *const **LabelsOut,
+                           const int64_t *InitLocals, uint32_t ThreadCount) {
+#if DPO_VM_COMPUTED_GOTO
+  static const void *const ExecDispatchTable[NumExecOpcodes] = {
+#define DPO_OPCODE_LABEL(name) &&XL_##name,
+      DPO_FOR_EACH_OPCODE(DPO_OPCODE_LABEL)
+      DPO_FOR_EACH_XOPCODE(DPO_OPCODE_LABEL)
+#undef DPO_OPCODE_LABEL
+  };
+  if (LabelsOut) {
+    *LabelsOut = ExecDispatchTable;
+    return true;
+  }
+#else
+  if (LabelsOut) {
+    *LabelsOut = nullptr;
+    return true;
+  }
+#endif
+
+  ThreadCtx &T = *TPtr;
+  const PendingLaunch &L = *LPtr;
+  // Interpreter registers, re-derived only at frame switches.
+  Frame *Fr = &T.Frames.back();
+  const ExecFunc *FnArr = Exec.Functions.data();
+  const ExecFunc *F = &FnArr[Fr->Func];
+  const ExecFunc *RootF = &FnArr[L.Func];
+  const uint64_t RootFrameMemBase = Fr->FrameMemBase;
+  uint32_t ThreadsLeft = ThreadCount;
+  const ExecInstr *CodeBase = F->Code.data();
+  const ExecInstr *I = nullptr;
+  unsigned PC = Fr->PC;
+  int64_t *Locals = T.LocalsArena.data() + Fr->LocalsBase;
+  int64_t *S = T.Stack.data();
+  size_t SP = T.StackTop;
+  size_t SCap = T.Stack.size();
+  uint8_t *Mem = Memory.data();
+  uint64_t LocalSteps = 0;
+  uint64_t StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
+
+#if DPO_VM_COMPUTED_GOTO
+  VM_NEXT(); // Fetch and dispatch the first instruction.
+#else
+DispatchTop:
+  for (;;) {
+    I = CodeBase + PC++;
+    LocalSteps += I->Cost;
+    if (LocalSteps > StepBudget)
+      goto StepLimitHit;
+    switch (I->Code) {
+#endif
+
+#include "vm/VMHandlers.inc"
+
+#if !DPO_VM_COMPUTED_GOTO
+    } // switch
+  }   // for
+#endif
+
+  VM_BLOCK_THREAD_SWITCH();
+
+StepLimitHit:
+  // The refused instruction was charged before the budget check:
+  // uncharge it so flushed counts equal instructions actually retired,
+  // matching the bytecode engine (a fused pair straddling the budget
+  // can still differ by one sub-instruction — see ExecIR.h).
+  LocalSteps -= I->Cost;
   T.State = ThreadState::Failed;
   T.StackTop = SP;
   VM_FLUSH_STEPS();
@@ -1197,7 +963,14 @@ StepLimitHit:
 #undef VM_FAILF
 #undef VM_FAIL_SET
 #undef VM_CASE
+#undef VM_CASE_X
 #undef VM_NEXT
+#undef VM_RESUME
+#undef VM_SREG_BUILTIN
+#undef VM_SREG_COMP
+#undef VM_THREAD_DONE
+#undef VM_BLOCK_THREAD_SWITCH
+#undef DPO_VM_DECODED_OPS
 
 std::unique_ptr<Device> dpo::buildDevice(std::string_view Source,
                                          DiagnosticEngine &Diags,
@@ -1209,5 +982,5 @@ std::unique_ptr<Device> dpo::buildDevice(std::string_view Source,
   VmProgram Program = compileProgram(TU, Diags, Opts);
   if (Diags.hasErrors())
     return nullptr;
-  return std::make_unique<Device>(std::move(Program));
+  return std::make_unique<Device>(std::move(Program), 256ull << 20, Opts.Exec);
 }

@@ -23,18 +23,31 @@
 ///    checks their *semantics* (returned old values, accumulation), which
 ///    is what the transformed code depends on.
 ///
-/// Performance design (see src/vm/README.md for the full story):
-///  - the inner interpreter uses computed-goto threaded dispatch on GCC /
-///    Clang (a dense label table indexed by opcode, one indirect branch
-///    per handler) with a plain switch fallback elsewhere;
+/// Performance design (see src/vm/README.md for the full story). The VM
+/// is a three-layer pipeline: portable bytecode (Bytecode.h, the compile
+/// and serialization target) is validated once at device construction,
+/// lowered into the fixed-width decoded execution IR (ExecIR.h) with
+/// direct-threaded handler addresses and fused immediate forms, and
+/// dispatched by the decoded loop. Key properties:
+///  - two first-class engines: the decoded loop (default) and the
+///    bytecode interpreter (ExecMode::Bytecode / DPO_VM_EXEC=bytecode),
+///    both compiled from the same handler bodies (VMHandlers.inc) and
+///    both using computed-goto threaded dispatch on GCC/Clang with a
+///    plain switch fallback elsewhere; decoded fusions carry the step
+///    cost of the pair they replace, so VmStats, grid logs, and tuner
+///    pricing are identical across engines;
 ///  - thread contexts (operand stack, frame stack, locals arena, frame
 ///    memory) come from a per-device pool reused across every block and
 ///    grid, so steady-state execution performs no heap allocation per
 ///    thread; the pool is indexed by block-nesting depth so host-side
 ///    cudaDeviceSynchronize can re-enter the engine safely;
 ///  - bytecode is validated once at device construction (jump targets,
-///    local-slot indices, callee indices), letting the hot loop drop
-///    per-step bounds checks.
+///    local-slot indices, callee indices), letting the hot loops drop
+///    per-step bounds checks;
+///  - integer parameter slots are wrapped to their declared widths at
+///    frame entry (see paramSlotNorm in Bytecode.h), mirroring the
+///    hardware ABI and licensing the peephole's parameter-range
+///    assumptions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +56,8 @@
 
 #include "vm/Bytecode.h"
 #include "vm/Compiler.h"
+#include "vm/ExecIR.h"
+#include "vm/SlotOps.h"
 
 #include <cstdint>
 #include <deque>
@@ -86,8 +101,19 @@ struct VmStats {
 
 class Device {
 public:
-  explicit Device(VmProgram Program, uint64_t MemoryBytes = 256ull << 20);
+  /// \p Mode picks the execution engine: Auto resolves to the decoded-IR
+  /// loop unless the DPO_VM_EXEC=bytecode environment override is set.
+  /// The engine is fixed for the Device's lifetime.
+  explicit Device(VmProgram Program, uint64_t MemoryBytes = 256ull << 20,
+                  ExecMode Mode = ExecMode::Auto);
   ~Device();
+
+  /// The engine this device resolved to (never Auto).
+  ExecMode execMode() const {
+    return UseDecoded ? ExecMode::Decoded : ExecMode::Bytecode;
+  }
+  /// Decode statistics (all zero when running the bytecode engine).
+  const ExecDecodeStats &decodeStats() const { return Exec.Stats; }
 
   /// Allocates device memory (8-byte aligned, zero-initialized).
   uint64_t alloc(uint64_t Bytes);
@@ -207,11 +233,40 @@ private:
     std::vector<ThreadCtx> Threads;
   };
 
-  bool runGrid(const PendingLaunch &L);
-  bool runBlock(const PendingLaunch &L, Dim3V BlockIdx, uint64_t SharedBase);
-  /// Executes one thread until a stop event. Returns false on VM error.
+  /// Runs one grid. Takes the launch mutable: parameter slots are
+  /// normalized once here (per grid, not per thread — every thread of a
+  /// grid receives identical arguments).
+  bool runGrid(PendingLaunch &L);
+  bool runBlock(const PendingLaunch &L, Dim3V BlockIdx, uint64_t SharedBase,
+                const int64_t *InitLocals);
+  /// Executes one thread until a stop event on the bytecode engine.
+  /// Returns false on VM error. When \p InitLocals is non-null the call
+  /// runs in *block mode*: \p ThreadCount threads of the block execute
+  /// back to back inside this one invocation, reusing \p T — thread
+  /// switch is a reinit from the per-grid locals image instead of a
+  /// function-call round trip. Block mode requires a barrier-free kernel
+  /// (MayBarrier false); \p T must be set up for the block's first
+  /// thread.
   bool runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
-                 uint64_t SharedBase);
+                 uint64_t SharedBase, const int64_t *InitLocals = nullptr,
+                 uint32_t ThreadCount = 0);
+  /// The decoded-IR engine's thread loop (same contract as runThread,
+  /// including block mode). When \p LabelsOut is non-null the function
+  /// only exports its dispatch-label table (used once at construction to
+  /// resolve ExecInstr handler addresses) and returns.
+  bool runThreadExec(ThreadCtx *T, const PendingLaunch *L, Dim3V BlockIdx,
+                     uint64_t SharedBase,
+                     const void *const **LabelsOut = nullptr,
+                     const int64_t *InitLocals = nullptr,
+                     uint32_t ThreadCount = 0);
+  /// Wraps the callee's integer parameter slots to their declared widths
+  /// (the frame-entry normalization contract, see paramSlotNorm).
+  void normalizeParamSlots(unsigned Func, int64_t *Locals) {
+    const std::vector<uint8_t> &Spec = NormSpecs[Func];
+    for (size_t SI = 0; SI < Spec.size(); ++SI)
+      if (Spec[SI])
+        Locals[SI] = wrapToWidth(Locals[SI], Spec[SI] >> 1, Spec[SI] & 1);
+  }
   bool drainLaunches();
   bool fail(const std::string &Message);
   bool checkRange(uint64_t Addr, uint64_t Bytes);
@@ -222,6 +277,21 @@ private:
   static void growStack(ThreadCtx &T);
 
   VmProgram Program;
+  /// The decoded execution IR (empty on the bytecode engine).
+  ExecProgram Exec;
+  bool UseDecoded = false;
+  /// Per-function frame-entry normalization specs (paramNormSpec),
+  /// derived once at validation; empty vectors for all-raw signatures.
+  std::vector<std::vector<uint8_t>> NormSpecs;
+  /// Per-function "can this function reach a __syncthreads" (transitive
+  /// over calls), computed at validation. Blocks of barrier-free kernels
+  /// take a streamlined path: each thread runs to completion once, with
+  /// no scheduler bookkeeping.
+  std::vector<uint8_t> MayBarrier;
+  /// Recycled argument buffers for device-side launches: the hot
+  /// parent-launches-children path performs no per-launch allocation in
+  /// steady state.
+  std::vector<std::vector<int64_t>> ArgPool;
   std::vector<uint8_t> Memory;
   uint64_t BumpPtr;
   std::deque<PendingLaunch> Queue;

@@ -286,7 +286,43 @@ __global__ void parent(float *p0x, float *p0y, float *p1x, float *p1y,
 }
 )";
 
+/// Transformability probe: the child performs a __shared__ block
+/// reduction with __syncthreads barriers — both Section III-C
+/// serialization blockers at once. Thresholding must *refuse* to
+/// serialize this child (the rejection path), while coarsening (block-
+/// strided loop, barriers stay block-uniform) and aggregation (one
+/// block per child block, lenient reconvergence masks the tail) remain
+/// applicable and semantics-preserving. The parent shape matches the
+/// corpus convention (one dynamic launch, Fig. 4 ceiling division) so
+/// every registered pipeline parses and runs it.
+const char *SharedChildProbe = R"(
+__global__ void child(int *col, int *sums, int edgeBase, int v, int count) {
+  __shared__ int scratch[128];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  scratch[threadIdx.x] = i < count ? col[edgeBase + i] : 0;
+  __syncthreads();
+  for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+    if (threadIdx.x < stride)
+      scratch[threadIdx.x] += scratch[threadIdx.x + stride];
+    __syncthreads();
+  }
+  if (threadIdx.x == 0)
+    atomicAdd(&sums[v], scratch[0]);
+}
+__global__ void parent(int *rowptr, int *col, int *sums, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = rowptr[v + 1] - rowptr[v];
+    if (count > 0) {
+      child<<<(count + 127) / 128, 128>>>(col, sums, rowptr[v], v, count);
+    }
+  }
+}
+)";
+
 } // namespace
+
+const char *dpo::sharedChildProbeSource() { return SharedChildProbe; }
 
 const char *dpo::kernelSourceFor(BenchmarkId Bench) {
   switch (Bench) {

@@ -44,6 +44,15 @@ namespace dpo {
 /// The DSL translation unit for one benchmark (see file comment).
 const char *kernelSourceFor(BenchmarkId Bench);
 
+/// The corpus' transformability probe: same parent shape as the Table I
+/// sources, but the child kernel uses __shared__ memory and
+/// __syncthreads barriers — the two Section III-C conditions that make
+/// a child non-serializable. The differential suite runs it through
+/// every pipeline to pin the rejection path end to end: thresholding
+/// must leave the dynamic launches in place, while coarsening and
+/// aggregation stay applicable and payload-preserving.
+const char *sharedChildProbeSource();
+
 /// Block dimensions used by the sources (parent launches and the child
 /// launch statement's literal). They match the native batches' dims.
 uint32_t kernelParentBlockDim(BenchmarkId Bench);

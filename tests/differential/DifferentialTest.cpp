@@ -20,14 +20,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "parse/Parser.h"
+#include "sema/Transformability.h"
 #include "transform/PassManager.h"
 #include "transform/Pipeline.h"
 #include "workloads/Differential.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <map>
+#include <random>
 
 using namespace dpo;
 
@@ -111,6 +115,172 @@ TEST(DifferentialSuite, GridAggregationHoistsLaunchesOnRealBfs) {
   ASSERT_TRUE(Agg.Ok) << Agg.Error;
   EXPECT_EQ(Agg.Stats.DeviceLaunches, 0u);
   EXPECT_GT(Agg.Stats.HostLaunches, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized pipeline-ordering fuzz: the fixed matrix above covers the
+// registered variants; this samples *arbitrary* registry orderings with
+// arbitrary knobs per corpus case and demands the same exact payloads.
+//===----------------------------------------------------------------------===//
+
+std::string randomPipeline(std::mt19937 &Rng) {
+  const char *Thresholds[] = {"threshold[4]", "threshold[16]", "threshold[64]",
+                              "threshold[256]", "threshold[1000000]"};
+  const char *Coarsens[] = {"coarsen[2]", "coarsen[3]", "coarsen[4]",
+                            "coarsen[8]"};
+  const char *Aggregates[] = {"aggregate[warp]", "aggregate[block]",
+                              "aggregate[multiblock:4]",
+                              "aggregate[multiblock:8]", "aggregate[grid]"};
+  std::vector<std::string> Parts;
+  if (Rng() % 2)
+    Parts.push_back(Thresholds[Rng() % 5]);
+  if (Rng() % 2)
+    Parts.push_back(Coarsens[Rng() % 4]);
+  if (Rng() % 2)
+    Parts.push_back(Aggregates[Rng() % 5]);
+  if (Parts.empty())
+    Parts.push_back(Thresholds[Rng() % 5]);
+  // Fisher-Yates with the test's own Rng: std::shuffle's ordering is
+  // implementation-defined, and this fuzz must replay identically.
+  for (size_t I = Parts.size(); I > 1; --I)
+    std::swap(Parts[I - 1], Parts[Rng() % I]);
+  std::string Text;
+  for (size_t I = 0; I < Parts.size(); ++I)
+    Text += (I ? "," : "") + Parts[I];
+  return Text;
+}
+
+class PipelineOrderFuzzTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PipelineOrderFuzzTest, RandomOrderingsMatchNative) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  WorkloadOutput Native = Case.reference();
+  std::mt19937 Rng(0xD1FFu + (unsigned)GetParam() * 7919u);
+  constexpr int SeedsPerCase = 3;
+  for (int S = 0; S < SeedsPerCase; ++S) {
+    std::string Pipeline = randomPipeline(Rng);
+    DifferentialRun Run = runKernelCaseOnVm(Case, Pipeline, true);
+    ASSERT_TRUE(Run.Ok) << Case.Name << " [" << Pipeline << "]: " << Run.Error;
+    std::string Why;
+    EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Run.Payload, Why))
+        << Case.Name << " [" << Pipeline << "]: " << Why << "\ntransformed:\n"
+        << Run.TransformedSource;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PipelineOrderFuzzTest,
+    ::testing::Range<size_t>(0, differentialCorpus().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = differentialCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!std::isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// The transformability-rejection path, end to end: a corpus child with
+// __shared__ + __syncthreads must never be serialized, while the other
+// transforms stay applicable and payload-preserving.
+//===----------------------------------------------------------------------===//
+
+struct ProbeRun {
+  bool Ok = false;
+  std::string Error;
+  std::vector<int32_t> Sums;
+  VmStats Stats;
+  std::string Src;
+};
+
+ProbeRun runSharedChildProbe(const std::string &Pipeline) {
+  ProbeRun R;
+  std::string Src = sharedChildProbeSource();
+  if (!Pipeline.empty()) {
+    DiagnosticEngine Diags;
+    Src = transformSourceWithPipeline(Src, Pipeline, literalKnobConfig(),
+                                      Diags);
+    if (Src.empty()) {
+      R.Error = "pipeline failed: " + Diags.str();
+      return R;
+    }
+  }
+  R.Src = Src;
+
+  DiagnosticEngine Diags;
+  auto Dev = buildDevice(Src, Diags);
+  if (!Dev) {
+    R.Error = "build failed: " + Diags.str();
+    return R;
+  }
+
+  // Deterministic skewed CSR: a few hub vertices with hundreds of
+  // edges, many leaves, some isolated vertices.
+  constexpr int NumV = 40;
+  std::vector<int32_t> RowPtr(NumV + 1), Col;
+  std::mt19937 Rng(4242);
+  for (int V = 0; V < NumV; ++V) {
+    RowPtr[V] = (int32_t)Col.size();
+    int Deg = V % 7 == 0 ? 150 + (int)(Rng() % 200)
+                         : (V % 3 == 0 ? (int)(Rng() % 9) : 0);
+    for (int E = 0; E < Deg; ++E)
+      Col.push_back((int32_t)(Rng() % 1000));
+  }
+  RowPtr[NumV] = (int32_t)Col.size();
+
+  uint64_t RowPtrA = Dev->allocI32(RowPtr);
+  uint64_t ColA = Dev->allocI32(Col);
+  uint64_t SumsA = Dev->alloc((uint64_t)NumV * 4);
+  if (!launchWorkloadParent(*Dev, "parent", NumV, 128,
+                            {(int64_t)RowPtrA, (int64_t)ColA, (int64_t)SumsA,
+                             NumV})) {
+    R.Error = "run failed: " + Dev->error();
+    return R;
+  }
+  R.Sums = Dev->readI32Array(SumsA, NumV);
+  R.Stats = Dev->stats();
+  R.Ok = true;
+  return R;
+}
+
+TEST(TransformabilityRejection, AnalysisNamesBothBlockers) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(sharedChildProbeSource(), Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  FunctionDecl *Child = TU->findFunction("child");
+  ASSERT_NE(Child, nullptr);
+  Transformability T = analyzeSerializability(Child, TU);
+  EXPECT_FALSE(T.Serializable);
+  EXPECT_GE(T.Reasons.size(), 2u) << "barrier and shared memory";
+}
+
+TEST(TransformabilityRejection, ThresholdingRefusesToSerialize) {
+  ProbeRun Base = runSharedChildProbe("");
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_GT(Base.Stats.DeviceLaunches, 0u);
+
+  // A threshold that would serialize *every* launch of a serializable
+  // child must leave this one's dynamic launches fully in place.
+  ProbeRun Thresh = runSharedChildProbe("threshold[1000000]");
+  ASSERT_TRUE(Thresh.Ok) << Thresh.Error;
+  EXPECT_EQ(Thresh.Stats.DeviceLaunches, Base.Stats.DeviceLaunches)
+      << Thresh.Src;
+  EXPECT_EQ(Base.Sums, Thresh.Sums);
+  // And the transformed source grew no serial fallback for the child.
+  EXPECT_EQ(Thresh.Src.find("child_serial"), std::string::npos) << Thresh.Src;
+}
+
+TEST(TransformabilityRejection, AllPipelinesPreserveTheProbePayload) {
+  ProbeRun Base = runSharedChildProbe("");
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  for (const std::string &Pipeline : differentialPipelines()) {
+    if (Pipeline.empty())
+      continue;
+    ProbeRun Run = runSharedChildProbe(Pipeline);
+    ASSERT_TRUE(Run.Ok) << "[" << Pipeline << "]: " << Run.Error;
+    EXPECT_EQ(Base.Sums, Run.Sums) << "[" << Pipeline << "]\n" << Run.Src;
+  }
 }
 
 } // namespace

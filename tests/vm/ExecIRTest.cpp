@@ -1,0 +1,259 @@
+//===--- ExecIRTest.cpp - decoded execution IR unit tests ----------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and dynamic checks on the bytecode -> decoded-IR lowering
+/// (vm/ExecIR.cpp) and the decoded dispatch loop:
+///  - decode is 1:1 except for the declared pair fusions, whose step
+///    costs sum to the bytecode instruction count;
+///  - fusion never crosses a jump target and jump operands are rebuilt;
+///  - both engines produce bit-identical memory and identical VmStats on
+///    kernels covering calls, barriers, launches, and frame memory;
+///  - the DPO_VM_EXEC environment override and the explicit ExecMode
+///    both select the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+#include "vm/ExecIR.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+VmProgram compileSource(std::string_view Source, bool Optimize = true) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+  EXPECT_NE(TU, nullptr) << Diags.str();
+  if (!TU)
+    return {};
+  VmCompileOptions Opts;
+  Opts.OptimizeBytecode = Optimize;
+  VmProgram Program = compileProgram(TU, Diags, Opts);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Program;
+}
+
+TEST(ExecIRTest, DecodeIsOneToOneModuloFusions) {
+  const char *Source = R"(
+__global__ void k(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int x = 7;
+    int y = x;
+    out[i] = y;
+  }
+}
+)";
+  VmProgram P = compileSource(Source);
+  ExecProgram E = decodeProgram(P, nullptr);
+  ASSERT_EQ(E.Functions.size(), P.Functions.size());
+  EXPECT_EQ(E.Stats.InstrsIn, (uint64_t)P.Functions[0].Code.size());
+  EXPECT_EQ(E.Stats.InstrsOut + E.Stats.FusedPairs, E.Stats.InstrsIn)
+      << "every fusion merges exactly two instructions";
+  // Step costs must sum back to the bytecode instruction count, the
+  // invariant that keeps VmStats identical across engines.
+  uint64_t CostSum = 0;
+  for (const ExecInstr &I : E.Functions[0].Code)
+    CostSum += I.Cost;
+  EXPECT_EQ(CostSum, (uint64_t)P.Functions[0].Code.size());
+  // `int x = 7;` decodes into the fused immediate store.
+  unsigned StoreImm = 0, CopyLocal = 0, TidStore = 0;
+  for (const ExecInstr &I : E.Functions[0].Code) {
+    StoreImm += I.Code == (uint16_t)XOp::StoreLocalImm;
+    CopyLocal += I.Code == (uint16_t)XOp::CopyLocal;
+    TidStore += I.Code == (uint16_t)XOp::GlobalTidStore;
+  }
+  EXPECT_GE(StoreImm + CopyLocal, 1u);
+  EXPECT_EQ(TidStore, 1u) << "the tid idiom decodes into one fused store";
+}
+
+TEST(ExecIRTest, JumpTargetsSurviveDecodeFusion) {
+  // A loop whose back-edge lands exactly on an instruction that follows
+  // a fusable pair: jumps must be remapped onto decoded indices.
+  const char *Source = R"(
+__global__ void k(int *out, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {
+    int t = i;
+    sum = sum + t;
+  }
+  out[0] = sum;
+}
+)";
+  VmProgram P = compileSource(Source);
+  ExecProgram E = decodeProgram(P, nullptr);
+  const ExecFunc &F = E.Functions[0];
+  for (const ExecInstr &I : F.Code)
+    if (I.Code < NumOpcodes && isJumpOp((Op)I.Code))
+      EXPECT_LT((uint64_t)I.A, F.Code.size()) << "remapped target in range";
+
+  // And the loop still computes the right sum on both engines.
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+    VmProgram Prog = compileSource(Source);
+    Device Dev(std::move(Prog), 16ull << 20, Mode);
+    uint64_t Out = Dev.alloc(4);
+    ASSERT_TRUE(Dev.launchKernel("k", {1, 1, 1}, {1, 1, 1}, {(int64_t)Out, 10}))
+        << Dev.error();
+    EXPECT_EQ(Dev.readI32(Out), 45);
+  }
+}
+
+/// Runs `k(out, n)` on both engines (peephole on and off) and compares
+/// device memory bit-for-bit plus the full VmStats.
+void expectEngineEquivalent(const char *Source, int N, Dim3V Grid,
+                            Dim3V Block) {
+  for (bool Optimize : {true, false}) {
+    std::vector<int32_t> Results[2];
+    VmStats Stats[2];
+    int Idx = 0;
+    for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+      VmProgram P = compileSource(Source, Optimize);
+      Device Dev(std::move(P), 32ull << 20, Mode);
+      ASSERT_EQ(Dev.execMode(), Mode);
+      uint64_t Out = Dev.alloc((uint64_t)N * 4);
+      ASSERT_TRUE(Dev.launchKernel("k", Grid, Block, {(int64_t)Out, N}))
+          << Dev.error();
+      Results[Idx] = Dev.readI32Array(Out, N);
+      Stats[Idx] = Dev.stats();
+      ++Idx;
+    }
+    EXPECT_EQ(Results[0], Results[1]) << Source;
+    EXPECT_EQ(Stats[0].Steps, Stats[1].Steps)
+        << "step accounting diverged, peephole=" << Optimize;
+    EXPECT_EQ(Stats[0].GridsLaunched, Stats[1].GridsLaunched);
+    EXPECT_EQ(Stats[0].DeviceLaunches, Stats[1].DeviceLaunches);
+    EXPECT_EQ(Stats[0].ThreadsExecuted, Stats[1].ThreadsExecuted);
+  }
+}
+
+TEST(ExecIRTest, EnginesAgreeOnCallsAndFrames) {
+  expectEngineEquivalent(R"(
+__device__ int helper(int x, int depth) {
+  int buf[4];
+  buf[x % 4] = x;
+  if (depth > 0) return helper(x + 1, depth - 1) + buf[x % 4];
+  return buf[x % 4];
+}
+__global__ void k(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) out[i] = helper(i, i % 5);
+}
+)",
+                         64, {2, 1, 1}, {32, 1, 1});
+}
+
+TEST(ExecIRTest, EnginesAgreeOnBarriersAndShared) {
+  expectEngineEquivalent(R"(
+__global__ void k(int *out, int n) {
+  __shared__ int scratch[64];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  scratch[threadIdx.x] = i < n ? i * 3 + 1 : 0;
+  __syncthreads();
+  for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+    if (threadIdx.x < stride)
+      scratch[threadIdx.x] += scratch[threadIdx.x + stride];
+    __syncthreads();
+  }
+  if (threadIdx.x == 0)
+    out[blockIdx.x] = scratch[0];
+}
+)",
+                         4, {4, 1, 1}, {64, 1, 1});
+}
+
+TEST(ExecIRTest, EnginesAgreeOnDynamicLaunches) {
+  expectEngineEquivalent(R"(
+__global__ void child(int *out, int base, int count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < count) atomicAdd(&out[base + i], i + 1);
+}
+__global__ void k(int *out, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    child<<<(v + 7) / 8, 8>>>(out, v * 2, v);
+  }
+}
+)",
+                         256, {2, 1, 1}, {16, 1, 1});
+}
+
+TEST(ExecIRTest, TrapsAndStepLimitsFireOnBothEngines) {
+  const char *Source = R"(
+__global__ void k(int *out, int n) {
+  out[0] = 10 / (n - n);
+}
+)";
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P), 16ull << 20, Mode);
+    uint64_t Out = Dev.alloc(4);
+    EXPECT_FALSE(Dev.launchKernel("k", {1, 1, 1}, {1, 1, 1}, {(int64_t)Out, 5}));
+    EXPECT_NE(Dev.error().find("division by zero"), std::string::npos)
+        << Dev.error();
+  }
+  const char *Loop = R"(
+__global__ void k(int *out, int n) {
+  while (n < 100) { n = n - 1; if (n < -1000000) n = 0; }
+  out[0] = n;
+}
+)";
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+    VmProgram P = compileSource(Loop);
+    Device Dev(std::move(P), 16ull << 20, Mode);
+    Dev.setStepLimit(10000);
+    uint64_t Out = Dev.alloc(4);
+    EXPECT_FALSE(Dev.launchKernel("k", {1, 1, 1}, {1, 1, 1}, {(int64_t)Out, 5}));
+    EXPECT_NE(Dev.error().find("step limit"), std::string::npos) << Dev.error();
+  }
+}
+
+TEST(ExecIRTest, EnvironmentOverrideSelectsEngine) {
+#if defined(_WIN32)
+  GTEST_SKIP() << "setenv not available";
+#else
+  const char *Source = "__global__ void k(int *out, int n) { out[0] = n; }";
+  ASSERT_EQ(setenv("DPO_VM_EXEC", "bytecode", 1), 0);
+  {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P));
+    EXPECT_EQ(Dev.execMode(), ExecMode::Bytecode);
+  }
+  unsetenv("DPO_VM_EXEC");
+  {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P));
+    EXPECT_EQ(Dev.execMode(), ExecMode::Decoded);
+  }
+  // Explicit modes beat the environment.
+  ASSERT_EQ(setenv("DPO_VM_EXEC", "bytecode", 1), 0);
+  {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P), 16ull << 20, ExecMode::Decoded);
+    EXPECT_EQ(Dev.execMode(), ExecMode::Decoded);
+  }
+  unsetenv("DPO_VM_EXEC");
+#endif
+}
+
+TEST(ExecIRTest, DecodeStatsExposedOnDevice) {
+  VmProgram P = compileSource(R"(
+__global__ void k(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) out[i] = i;
+}
+)");
+  uint64_t Instrs = P.Functions[0].Code.size();
+  Device Dev(std::move(P), 16ull << 20, ExecMode::Decoded);
+  EXPECT_EQ(Dev.decodeStats().InstrsIn, Instrs);
+  EXPECT_GT(Dev.decodeStats().InstrsOut, 0u);
+}
+
+} // namespace

@@ -86,6 +86,7 @@ std::string randomProgram(unsigned Seed) {
 
 struct RunResult {
   std::vector<int32_t> Out;
+  VmStats Stats;
   bool Ok = false;
 };
 
@@ -128,6 +129,7 @@ RunResult runNested(const std::string &Source,
   if (!Ok)
     return R;
   R.Out = Dev->readI32Array(Out, std::max(1, Total));
+  R.Stats = Dev->stats();
   R.Ok = true;
   return R;
 }
@@ -162,6 +164,29 @@ TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
     ASSERT_TRUE(Other.Ok);
     ASSERT_EQ(Reference.Out, Other.Out)
         << "peephole optimizer changed program semantics, seed " << Seed;
+  }
+
+  // Decoded-vs-baseline axis: both execution engines must produce the
+  // same memory *and* retire the same step counts (decode-time fusions
+  // carry the step cost of the pairs they replace), so tuner pricing is
+  // engine-independent.
+  {
+    VmCompileOptions DecodedOpts = Opts, FallbackOpts = Opts;
+    DecodedOpts.Exec = ExecMode::Decoded;
+    FallbackOpts.Exec = ExecMode::Bytecode;
+    RunResult Dec = runNested(Source, Counts, DecodedOpts);
+    RunResult Base = runNested(Source, Counts, FallbackOpts);
+    ASSERT_TRUE(Dec.Ok);
+    ASSERT_TRUE(Base.Ok);
+    ASSERT_EQ(Reference.Out, Dec.Out)
+        << "decoded engine changed program semantics, seed " << Seed;
+    ASSERT_EQ(Reference.Out, Base.Out)
+        << "bytecode fallback changed program semantics, seed " << Seed;
+    ASSERT_EQ(Dec.Stats.Steps, Base.Stats.Steps)
+        << "decoded engine changed step accounting, seed " << Seed;
+    ASSERT_EQ(Dec.Stats.DeviceLaunches, Base.Stats.DeviceLaunches);
+    ASSERT_EQ(Dec.Stats.BlocksExecuted, Base.Stats.BlocksExecuted);
+    ASSERT_EQ(Dec.Stats.ThreadsExecuted, Base.Stats.ThreadsExecuted);
   }
 
   // Printer round-trip on the original.

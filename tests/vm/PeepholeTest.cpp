@@ -149,10 +149,62 @@ __global__ void k(int *out, int n) {
   const FuncDef *K = findFunc(P, "k");
   ASSERT_NE(K, nullptr);
   // base + i pairs into LoadLoadAddI (both locals are provably
-  // normalized) and the *4 + addr scaling into MulImmAddI.
+  // normalized), and the *4 + addr scaling folds all the way into the
+  // scaled store: [MulImmAddI 4; PushI 7; StI32] -> [PushI 7; StI32Sc].
   EXPECT_EQ(countOp(*K, Op::LoadLoadAddI), 1u) << disassemble(*K);
-  EXPECT_EQ(countOp(*K, Op::MulImmAddI), 1u) << disassemble(*K);
+  EXPECT_EQ(countOp(*K, Op::StI32Sc), 1u) << disassemble(*K);
+  EXPECT_EQ(countOp(*K, Op::MulImmAddI), 0u) << disassemble(*K);
+  EXPECT_EQ(countOp(*K, Op::StI32), 0u) << disassemble(*K);
   EXPECT_EQ(countOp(*K, Op::MulI), 0u) << disassemble(*K);
+}
+
+TEST(PeepholeTest, IndexedLoadFusion) {
+  // counts[v] with a provably-int32 v: the whole address formation and
+  // load collapse into one LoadLocal-indexed load.
+  const char *Source = R"(
+__global__ void k(int *out, int *counts, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n) {
+    int count = counts[v];
+    out[v] = count * 2;
+  }
+}
+)";
+  VmProgram P = compileSource(Source, /*Optimize=*/true);
+  const FuncDef *K = findFunc(P, "k");
+  ASSERT_NE(K, nullptr);
+  EXPECT_GE(countOp(*K, Op::LdI32Idx), 1u) << disassemble(*K);
+  EXPECT_EQ(countOp(*K, Op::LdI32), 0u) << disassemble(*K);
+}
+
+TEST(PeepholeTest, DataflowTracksStrideLoops) {
+  // stride starts at blockDim.x / 2 (range [0, 512] via the
+  // positive-divisor rule) and halves each round; threadIdx.x + stride
+  // stays within int32, so the shared-memory indices need no re-wrap
+  // and the scaled loads/stores fuse.
+  const char *Source = R"(
+__global__ void k(int *out, int n) {
+  __shared__ int scratch[64];
+  scratch[threadIdx.x] = (int)threadIdx.x;
+  __syncthreads();
+  for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+    if (threadIdx.x < stride)
+      scratch[threadIdx.x] += scratch[threadIdx.x + stride];
+    __syncthreads();
+  }
+  if (threadIdx.x == 0)
+    out[blockIdx.x] = scratch[0];
+}
+)";
+  VmProgram P = compileSource(Source, /*Optimize=*/true);
+  const FuncDef *K = findFunc(P, "k");
+  ASSERT_NE(K, nullptr);
+  // The scratch[threadIdx.x + stride] read keeps no TruncI on its index
+  // and at least one scaled access formed somewhere in the kernel.
+  EXPECT_GE(countOp(*K, Op::LdI32Sc) + countOp(*K, Op::LdI32Idx) +
+                countOp(*K, Op::StI32Sc),
+            1u)
+      << disassemble(*K);
 }
 
 TEST(PeepholeTest, DeadShufflesEliminated) {
@@ -194,10 +246,11 @@ __global__ void k(int *out, int n) {
   EXPECT_GE(Stats.Rounds, 1u);
 }
 
-TEST(PeepholeTest, ParamSlotsAreNotAssumedNormalized) {
-  // A kernel parameter arrives as a raw 64-bit slot value: the TruncI
-  // that narrows it on use must survive (only locals with provable
-  // stores may skip re-normalization).
+TEST(PeepholeTest, ParamSlotsFollowTheEntryNormalizationContract) {
+  // Integer parameter slots are wrapped to their declared widths when a
+  // frame is entered (paramSlotNorm in Bytecode.h), so the peephole may
+  // drop the per-use re-wraps the old store-site-local analysis had to
+  // keep: a `unsigned int` parameter is a provable uint32.
   const char *Source = R"(
 __global__ void k(unsigned int *out, unsigned int big) {
   out[0] = big / 2u;
@@ -206,7 +259,26 @@ __global__ void k(unsigned int *out, unsigned int big) {
   VmProgram P = compileSource(Source, /*Optimize=*/true);
   const FuncDef *K = findFunc(P, "k");
   ASSERT_NE(K, nullptr);
-  EXPECT_GE(countOp(*K, Op::TruncI), 1u) << disassemble(*K);
+  EXPECT_EQ(countOp(*K, Op::TruncI), 0u) << disassemble(*K);
+
+  // And the contract holds dynamically on *both* engines: a host passing
+  // an out-of-range slot value sees it wrapped at entry, exactly as the
+  // hardware ABI would truncate it.
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+    DiagnosticEngine Diags;
+    ASTContext Ctx;
+    TranslationUnit *TU = parseSource(Source, Ctx, Diags);
+    ASSERT_NE(TU, nullptr);
+    VmProgram Prog = compileProgram(TU, Diags, {});
+    ASSERT_FALSE(Diags.hasErrors());
+    Device Dev(std::move(Prog), 16ull << 20, Mode);
+    uint64_t Out = Dev.alloc(4);
+    int64_t Big = (int64_t)((1ull << 32) | 10); // wraps to 10
+    ASSERT_TRUE(Dev.launchKernel("k", {1, 1, 1}, {1, 1, 1},
+                                 {(int64_t)Out, Big}))
+        << Dev.error();
+    EXPECT_EQ(Dev.readU32(Out), 5u);
+  }
 }
 
 //===----------------------------------------------------------------------===//
