@@ -16,7 +16,13 @@
 ///    (factor 4), exercising the loop/indexing superinstructions;
 ///  - bfs: a CDP top-down BFS over a synthetic power-law-ish graph,
 ///    exercising dynamic launches, atomics, and frontier bookkeeping;
-///  - compute: a flat arithmetic-loop kernel measuring raw dispatch.
+///  - compute: a flat arithmetic-loop kernel measuring raw dispatch;
+///  - grid_drain: a parent fanning out hundreds of compute-heavy child
+///    grids, drained at 1/2/4/8 device workers (BM_GridDrain/N) — the
+///    multi-worker device's scaling series. The series is tracked for
+///    trajectory only (scripts/bench_compare.py keeps multi-worker
+///    numbers outside the regression gate; wall time depends on host
+///    core count).
 ///
 /// Every workload runs with the peephole optimizer on and off on the
 /// decoded-IR engine (the default); quickstart and compute additionally
@@ -250,6 +256,53 @@ void BM_Compute(benchmark::State &State, bool Optimize,
   reportVmCounters(State, *Dev);
 }
 
+const char *DrainSource = R"(
+__global__ void child(int *out, int v, int rounds) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int acc = v;
+  for (int r = 0; r < rounds; ++r) {
+    acc = acc * 3 + (i ^ r) - (acc >> 4);
+  }
+  out[v * 64 + i] = acc;
+}
+__global__ void parent(int *out, int numV, int rounds) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    child<<<2, 32>>>(out, v, rounds);
+  }
+}
+)";
+
+/// The many-independent-grids workload: one parent wave enqueues NumV
+/// compute-heavy children, which the device drains as a single
+/// concurrent wave across State.range(0) workers. Child payloads are
+/// disjoint slices of `out`, so the result is identical at every worker
+/// count; wall time is the scheduler's scaling measurement.
+void BM_GridDrain(benchmark::State &State) {
+  auto Dev = mustBuild(DrainSource, /*Optimize=*/true);
+  Dev->setWorkers((unsigned)State.range(0));
+  int NumV = 256, Rounds = 400;
+  uint64_t Out = Dev->alloc((uint64_t)NumV * 64 * 4);
+  std::vector<int64_t> Args = {(int64_t)Out, NumV, Rounds};
+  Dim3V Grid = {(uint32_t)((NumV + 63) / 64), 1, 1};
+  Dim3V Block = {64, 1, 1};
+  if (!Dev->launchKernel("parent", Grid, Block, Args)) { // Warm-up.
+    fprintf(stderr, "launch failed: %s\n", Dev->error().c_str());
+    abort();
+  }
+  Dev->resetStats();
+  for (auto _ : State) {
+    if (!Dev->launchKernel("parent", Grid, Block, Args)) {
+      State.SkipWithError(Dev->error().c_str());
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (int64_t)NumV);
+  State.counters["grids_per_sec"] = benchmark::Counter(
+      (double)Dev->stats().GridsLaunched, benchmark::Counter::kIsRate);
+  reportVmCounters(State, *Dev);
+}
+
 void BM_Bfs(benchmark::State &State, bool Optimize) {
   auto Dev = mustBuild(BfsSource, Optimize);
 
@@ -329,6 +382,22 @@ BENCHMARK_CAPTURE(BM_Bfs, peephole_off, false)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Compute, peephole_on, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Compute, peephole_off, false)
+    ->Unit(benchmark::kMillisecond);
+
+// Worker-scaling series: the same drain workload at 1/2/4/8 device
+// workers. BM_GridDrain/1 is the deterministic single-lane baseline.
+// Real-time measurement: work happens on device worker threads while the
+// main thread waits, so main-thread CPU time (the default rate base)
+// would overstate multi-worker throughput; wall time is the honest
+// scaling metric. MeasureProcessCPUTime keeps the CPU column meaningful
+// (total burn across workers).
+BENCHMARK(BM_GridDrain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 
 // Engine comparison (same bytecode, decoded loop vs fallback) and the

@@ -8,7 +8,12 @@
 #   scripts/bench_baseline.sh [vm_output.json [compiler_output.json]]
 #
 # Emits:
-#   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput)
+#   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput,
+#                        including the BM_GridDrain/{1,2,4,8} multi-worker
+#                        scaling series — archived with the snapshot, but
+#                        bench_compare.py gates only the single-worker
+#                        entries since multi-worker wall time depends on
+#                        the host's core count)
 #   BENCH_compiler.json  compiler_throughput (parse, passes, analysis cache)
 #
 # Check mode (the CI regression gate): runs fresh vm_throughput and

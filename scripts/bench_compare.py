@@ -10,6 +10,13 @@ falls more than `tolerance_percent` (default 15) below the baseline.
 Repeated entries (from --benchmark_repetitions) are reduced to their best
 throughput before comparison, which drops scheduler-noise outliers.
 
+Multi-worker scaling entries (BM_GridDrain/N with N > 1) are reported as
+informational only and never flagged: their wall time depends on how many
+host cores the machine running the check has, which the committed
+baseline cannot know. BM_GridDrain/1 — the deterministic single-lane
+drain — stays inside the gate. When the fresh snapshot has the full
+series, a worker-scaling summary (speedup vs one worker) is printed.
+
 Exit status: 0 = no regression, 1 = at least one regression, 2 = bad input.
 
 Caveat: absolute throughput is machine-dependent. Comparing a committed
@@ -20,6 +27,32 @@ reference hardware changes.
 
 import json
 import sys
+
+
+def is_multiworker(name):
+    """Worker-scaling series entries above one worker: host-core-count
+    dependent, tracked for trajectory but exempt from the gate."""
+    if "/" not in name:
+        return False
+    base, _, arg = name.partition("/")
+    return base == "BM_GridDrain" and arg.split("/")[0].isdigit() \
+        and int(arg.split("/")[0]) > 1
+
+
+def scaling_summary(fresh):
+    """Speedup of each BM_GridDrain/N over BM_GridDrain/1 (by wall
+    throughput), printed when the fresh snapshot carries the series."""
+    series = {}
+    for name, (value, _metric) in fresh.items():
+        base, _, arg = name.partition("/")
+        workers = arg.split("/")[0]
+        if base == "BM_GridDrain" and workers.isdigit():
+            series[int(workers)] = value
+    if 1 not in series or len(series) < 2:
+        return
+    print("worker scaling (grid-drain throughput vs 1 worker):")
+    for workers in sorted(series):
+        print(f"  {workers} worker(s): {series[workers] / series[1]:.2f}x")
 
 
 def throughput(entry):
@@ -75,11 +108,14 @@ def main(argv):
         fresh_v, _ = fresh[name]
         delta = (fresh_v / base_v - 1.0) * 100.0
         flag = ""
-        if delta < -tolerance:
+        if is_multiworker(name):
+            flag = "  (info: outside gate)"
+        elif delta < -tolerance:
             regressions += 1
             flag = "  REGRESSION"
         print(f"{name:<44} {base_v:12.3g} {fresh_v:12.3g} {delta:+7.1f}%"
               f"{flag}")
+    scaling_summary(fresh)
     skipped = (set(fresh) | set(base)) - set(common)
     if skipped:
         print(f"(skipped {len(skipped)} benchmark(s) present on one side "

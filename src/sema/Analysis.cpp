@@ -8,6 +8,7 @@
 
 #include "sema/PurityAnalysis.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace dpo;
@@ -27,8 +28,28 @@ const std::vector<LaunchSite> &AnalysisManager::launchSites() {
     ++statsFor(AnalysisID::LaunchSites).Hits;
     return *LaunchSitesCache;
   }
+  // Assemble the whole-TU list in declaration order from the per-function
+  // lists, computing only the functions a scoped invalidation dropped (or
+  // a pass newly added). A full assembly from nothing is one Computed; an
+  // assembly that reused any surviving per-function list also counts one
+  // Hit — the partial-recompute win the scoped invalidation exists for.
   ++statsFor(AnalysisID::LaunchSites).Computed;
-  LaunchSitesCache = findLaunchSites(TU);
+  bool ReusedAny = false;
+  std::vector<LaunchSite> Assembled;
+  for (Decl *D : TU->decls()) {
+    auto *F = dyn_cast<FunctionDecl>(D);
+    if (!F || !F->body())
+      continue;
+    auto It = LaunchSitesByFn.find(F);
+    if (It == LaunchSitesByFn.end())
+      It = LaunchSitesByFn.emplace(F, findLaunchSites(TU, F)).first;
+    else
+      ReusedAny = true;
+    Assembled.insert(Assembled.end(), It->second.begin(), It->second.end());
+  }
+  if (ReusedAny)
+    ++statsFor(AnalysisID::LaunchSites).Hits;
+  LaunchSitesCache = std::move(Assembled);
   return *LaunchSitesCache;
 }
 
@@ -49,40 +70,118 @@ const GridDimInfo &AnalysisManager::gridDim(const FunctionDecl *Parent,
   auto It = GridDimCache.find(GridExpr);
   if (It != GridDimCache.end()) {
     ++statsFor(AnalysisID::GridDim).Hits;
-    return It->second;
+    return It->second.Value;
   }
   ++statsFor(AnalysisID::GridDim).Computed;
-  return GridDimCache.emplace(GridExpr, analyzeGridDim(Ctx, Parent, GridExpr))
-      .first->second;
+  return GridDimCache
+      .emplace(GridExpr,
+               Owned<GridDimInfo>{Parent, analyzeGridDim(Ctx, Parent, GridExpr)})
+      .first->second.Value;
 }
 
-bool AnalysisManager::isPure(const Expr *E) {
+bool AnalysisManager::isPure(const Expr *E, const FunctionDecl *Scope) {
   auto It = PurityCache.find(E);
   if (It != PurityCache.end()) {
     ++statsFor(AnalysisID::Purity).Hits;
-    return It->second;
+    return It->second.Value;
   }
   ++statsFor(AnalysisID::Purity).Computed;
-  return PurityCache.emplace(E, isPureExpr(E)).first->second;
+  return PurityCache.emplace(E, Owned<bool>{Scope, isPureExpr(E)})
+      .first->second.Value;
 }
 
+namespace {
+
+bool contains(const std::vector<const FunctionDecl *> &Fns,
+              const FunctionDecl *F) {
+  return std::find(Fns.begin(), Fns.end(), F) != Fns.end();
+}
+
+/// Erases the map entries a scoped invalidation targets: those owned by a
+/// touched function, plus (conservatively) entries with no recorded owner.
+template <typename Map, typename OwnerOf>
+bool eraseTouched(Map &M, const std::vector<const FunctionDecl *> &Touched,
+                  OwnerOf Owner) {
+  bool Erased = false;
+  for (auto It = M.begin(); It != M.end();) {
+    const FunctionDecl *F = Owner(*It);
+    if (!F || contains(Touched, F)) {
+      It = M.erase(It);
+      Erased = true;
+    } else {
+      ++It;
+    }
+  }
+  return Erased;
+}
+
+} // namespace
+
 void AnalysisManager::invalidate(const PreservedAnalyses &PA) {
-  if (!PA.isPreserved(AnalysisID::LaunchSites) && LaunchSitesCache) {
-    LaunchSitesCache.reset();
-    ++statsFor(AnalysisID::LaunchSites).Invalidations;
+  const bool Scoped = PA.isScoped();
+  const std::vector<const FunctionDecl *> &Touched = PA.touchedFunctions();
+  // Transformability is transitive over __device__ callees and the cache
+  // does not track reverse call edges, so a touched device function
+  // invalidates every verdict, scoped or not.
+  bool TouchedDeviceFn = false;
+  for (const FunctionDecl *F : Touched)
+    if (F && F->qualifiers().Device)
+      TouchedDeviceFn = true;
+
+  if (!PA.isPreserved(AnalysisID::LaunchSites)) {
+    bool Dropped = false;
+    if (Scoped) {
+      Dropped = eraseTouched(LaunchSitesByFn, Touched,
+                             [](const auto &Entry) { return Entry.first; });
+      if (LaunchSitesCache) {
+        LaunchSitesCache.reset();
+        Dropped = true;
+      }
+    } else if (LaunchSitesCache || !LaunchSitesByFn.empty()) {
+      LaunchSitesCache.reset();
+      LaunchSitesByFn.clear();
+      Dropped = true;
+    }
+    if (Dropped)
+      ++statsFor(AnalysisID::LaunchSites).Invalidations;
   }
-  if (!PA.isPreserved(AnalysisID::Transformability) &&
-      !TransformabilityCache.empty()) {
-    TransformabilityCache.clear();
-    ++statsFor(AnalysisID::Transformability).Invalidations;
+  if (!PA.isPreserved(AnalysisID::Transformability)) {
+    bool Dropped = false;
+    if (Scoped && !TouchedDeviceFn) {
+      Dropped = eraseTouched(TransformabilityCache, Touched,
+                             [](const auto &Entry) { return Entry.first; });
+    } else if (!TransformabilityCache.empty()) {
+      TransformabilityCache.clear();
+      Dropped = true;
+    }
+    if (Dropped)
+      ++statsFor(AnalysisID::Transformability).Invalidations;
   }
-  if (!PA.isPreserved(AnalysisID::GridDim) && !GridDimCache.empty()) {
-    GridDimCache.clear();
-    ++statsFor(AnalysisID::GridDim).Invalidations;
+  if (!PA.isPreserved(AnalysisID::GridDim)) {
+    bool Dropped = false;
+    if (Scoped) {
+      Dropped = eraseTouched(GridDimCache, Touched, [](const auto &Entry) {
+        return Entry.second.Owner;
+      });
+    } else if (!GridDimCache.empty()) {
+      GridDimCache.clear();
+      Dropped = true;
+    }
+    if (Dropped)
+      ++statsFor(AnalysisID::GridDim).Invalidations;
   }
-  if (!PA.isPreserved(AnalysisID::Purity) && !PurityCache.empty()) {
-    PurityCache.clear();
-    ++statsFor(AnalysisID::Purity).Invalidations;
+  if (!PA.isPreserved(AnalysisID::Purity)) {
+    bool Dropped = false;
+    if (Scoped) {
+      Dropped = eraseTouched(PurityCache, Touched, [](const auto &Entry) {
+        return Entry.second.Owner;
+      });
+    } else if (!PurityCache.empty()) {
+      PurityCache.clear();
+      Dropped = true;
+    }
+    if (Dropped)
+      ++statsFor(AnalysisID::Purity).Invalidations;
   }
 }
 

@@ -56,6 +56,13 @@ const char *analysisName(AnalysisID ID);
 
 /// The set of analyses a pass run left valid. Defaults to empty (a pass
 /// that mutated the AST and makes no promises).
+///
+/// A pass that knows exactly which functions it mutated can additionally
+/// scope the invalidation with limitToFunctions: abandoned analyses are
+/// then dropped only for results attached to the named functions, and
+/// everything cached for untouched functions survives. The whole-TU
+/// launch-site list is refreshed per function under a scoped
+/// invalidation instead of recomputed from scratch.
 class PreservedAnalyses {
 public:
   /// Everything stays valid (the pass made no changes, or none an analysis
@@ -80,8 +87,27 @@ public:
     return Preserved[static_cast<unsigned>(ID)];
   }
 
+  /// Scopes the abandoned analyses to \p Fns: results attached to any
+  /// other function stay cached. Only sound when the pass mutated nothing
+  /// outside the named functions (new declarations it *added* need no
+  /// entry — nothing was cached for them). Function-level caveat: if a
+  /// touched function is __device__, analyses that look through device
+  /// calls (transformability) are dropped wholesale, since the manager
+  /// does not track reverse call edges.
+  PreservedAnalyses &limitToFunctions(std::vector<const FunctionDecl *> Fns) {
+    Scoped = true;
+    Touched = std::move(Fns);
+    return *this;
+  }
+  bool isScoped() const { return Scoped; }
+  const std::vector<const FunctionDecl *> &touchedFunctions() const {
+    return Touched;
+  }
+
 private:
   std::array<bool, NumAnalysisIDs> Preserved{};
+  bool Scoped = false;
+  std::vector<const FunctionDecl *> Touched;
 };
 
 /// Per-analysis cache counters, exposed for --print-pass-stats and tests.
@@ -117,8 +143,10 @@ public:
   /// AnalysisID::GridDim.
   const GridDimInfo &gridDim(const FunctionDecl *Parent, Expr *GridExpr);
 
-  /// Side-effect freedom of \p E (expression-level).
-  bool isPure(const Expr *E);
+  /// Side-effect freedom of \p E (expression-level). \p Scope is the
+  /// function containing \p E; scoped invalidations keep results for
+  /// untouched scopes and always drop scopeless (null) entries.
+  bool isPure(const Expr *E, const FunctionDecl *Scope = nullptr);
 
   /// Drops every cached result not in \p PA.
   void invalidate(const PreservedAnalyses &PA);
@@ -139,11 +167,22 @@ private:
   ASTContext &Ctx;
   TranslationUnit *TU;
 
+  /// Whole-TU site list, assembled from LaunchSitesByFn in declaration
+  /// order. Reset (cheaply) whenever any per-function list changes.
   std::optional<std::vector<LaunchSite>> LaunchSitesCache;
+  /// Per-function site lists — the unit of scoped invalidation.
+  std::unordered_map<const FunctionDecl *, std::vector<LaunchSite>>
+      LaunchSitesByFn;
   std::unordered_map<const FunctionDecl *, Transformability>
       TransformabilityCache;
-  std::unordered_map<const Expr *, GridDimInfo> GridDimCache;
-  std::unordered_map<const Expr *, bool> PurityCache;
+  /// Expression-level results remember their owning function so a scoped
+  /// invalidation can drop exactly the touched functions' entries.
+  template <typename T> struct Owned {
+    const FunctionDecl *Owner = nullptr;
+    T Value;
+  };
+  std::unordered_map<const Expr *, Owned<GridDimInfo>> GridDimCache;
+  std::unordered_map<const Expr *, Owned<bool>> PurityCache;
 
   std::array<AnalysisStats, NumAnalysisIDs> Stats{};
 };

@@ -139,22 +139,24 @@ PreservedAnalyses BuiltinRewritePass::run(ASTContext &Ctx, TranslationUnit *TU,
                                           DiagnosticEngine &Diags) {
   if (Map.empty())
     return PreservedAnalyses::all();
-  bool Changed = false;
+  std::vector<const FunctionDecl *> Changed;
   for (Decl *D : TU->decls()) {
     auto *F = dyn_cast<FunctionDecl>(D);
     if (!F || !F->body())
       continue;
-    Changed |= rewriteBuiltins(Ctx, F->body(), Map, Diags);
+    if (rewriteBuiltins(Ctx, F->body(), Map, Diags))
+      Changed.push_back(F);
   }
-  if (!Changed)
+  if (Changed.empty())
     return PreservedAnalyses::all();
   PreservedAnalyses PA;
   // Only variable references are replaced: launch nodes and the call/shared
   // structure transformability inspects are untouched. Subexpressions of
   // grid expressions may have been rewritten in place, so grid-dim and
-  // purity keys are stale.
+  // purity keys are stale — in the functions that actually changed.
   PA.preserve(AnalysisID::LaunchSites);
   PA.preserve(AnalysisID::Transformability);
+  PA.limitToFunctions(std::move(Changed));
   return PA;
 }
 

@@ -97,6 +97,7 @@ public:
         ++Result.CoarsenedNestedLaunchKernels;
       coarsenKernel(Child);
       ++Result.CoarsenedKernels;
+      Result.TouchedFunctions.push_back(Child);
       AnyCoarsened = true;
     }
     if (!AnyCoarsened)
@@ -113,6 +114,10 @@ public:
         continue;
       Replacements[Site.Launch] = buildPatchedLaunch(Site, Site.FromKernel);
       ++Result.RewrittenLaunches;
+      if (std::find(Result.TouchedFunctions.begin(),
+                    Result.TouchedFunctions.end(),
+                    Site.Caller) == Result.TouchedFunctions.end())
+        Result.TouchedFunctions.push_back(Site.Caller);
     }
 
     for (Decl *D : TU->decls()) {
@@ -365,6 +370,8 @@ PreservedAnalyses CoarseningPass::run(ASTContext &Ctx, TranslationUnit *TU,
   if (Result.CoarsenedNestedLaunchKernels == 0)
     PA.preserve(AnalysisID::LaunchSites);
   // Coarsened kernels got new bodies and an extra parameter: serializability
-  // verdicts, recovered grid-dim expressions, and purity keys are stale.
+  // verdicts, recovered grid-dim expressions, and purity keys are stale —
+  // for the coarsened kernels and their patched callers only.
+  PA.limitToFunctions(Result.TouchedFunctions);
   return PA;
 }

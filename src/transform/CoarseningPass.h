@@ -49,6 +49,10 @@ struct CoarseningResult {
   /// parallelism). Coarsening clones the body, duplicating those launch
   /// nodes, so a nonzero count invalidates the launch-site analysis.
   unsigned CoarsenedNestedLaunchKernels = 0;
+  /// The functions the pass mutated: coarsened child kernels (new bodies,
+  /// extra parameter) and every caller whose launch was patched — the
+  /// scope of the analysis invalidation.
+  std::vector<const FunctionDecl *> TouchedFunctions;
   std::vector<std::string> SkipReasons;
 };
 

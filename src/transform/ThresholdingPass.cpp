@@ -119,8 +119,8 @@ public:
       P.Info = AM.gridDim(Site.Caller, Site.Launch->gridDim());
       if (!P.Info.Found || (P.Info.NeedsReevaluation && !P.Info.Safe)) {
         if (Options.FallbackToTotalThreads &&
-            AM.isPure(Site.Launch->gridDim()) &&
-            AM.isPure(Site.Launch->blockDim())) {
+            AM.isPure(Site.Launch->gridDim(), Site.Caller) &&
+            AM.isPure(Site.Launch->blockDim(), Site.Caller)) {
           P.UseTotalThreadsFallback = true;
         } else {
           skip(Result, Where + ": " + P.Info.FailureReason);
@@ -158,6 +158,13 @@ public:
 
     Result.TransformedLaunches = Planned.size();
     Result.SerializedNestedLaunches = NestedLaunchSerials;
+    for (const PlannedSite &P : Planned) {
+      const FunctionDecl *Caller = P.Site.Caller;
+      if (std::find(Result.TouchedFunctions.begin(),
+                    Result.TouchedFunctions.end(),
+                    Caller) == Result.TouchedFunctions.end())
+        Result.TouchedFunctions.push_back(Caller);
+    }
     return Result;
   }
 
@@ -420,7 +427,9 @@ PreservedAnalyses ThresholdingPass::run(ASTContext &Ctx, TranslationUnit *TU,
   // exact — unless serialization cloned a body with nested launches.
   if (Result.SerializedNestedLaunches == 0)
     PA.preserve(AnalysisID::LaunchSites);
-  // GridDim results were spliced into the tree and grid expressions were
-  // rewritten in place; purity keys may alias mutated expressions.
+  // GridDim results were spliced into the tree and purity keys may alias
+  // mutated expressions — but only inside the callers whose launches were
+  // rewritten; results cached for other functions stay valid.
+  PA.limitToFunctions(Result.TouchedFunctions);
   return PA;
 }

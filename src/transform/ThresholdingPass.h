@@ -43,6 +43,10 @@ struct ThresholdingResult {
   /// launches (nested dynamic parallelism). Cloning such a body duplicates
   /// launch sites, so a nonzero count invalidates the launch-site analysis.
   unsigned SerializedNestedLaunches = 0;
+  /// The functions whose bodies the pass mutated (launch statements
+  /// rewritten) — the scope of the analysis invalidation. Generated
+  /// serial functions are new declarations and need no entry.
+  std::vector<const FunctionDecl *> TouchedFunctions;
   std::vector<std::string> SkipReasons;
   bool ok() const { return true; } ///< Skips never make the output invalid.
 };

@@ -11,8 +11,11 @@
 #include "vm/Compiler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <random>
+#include <thread>
 
 using namespace dpo;
 
@@ -188,42 +191,32 @@ const VmProgram *EmpiricalEvaluator::programFor(const std::string &Pipeline) {
   return &Programs.emplace(Pipeline, std::move(Program)).first->second;
 }
 
-std::optional<VmMeasurement>
-EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
-  if (Sample.empty()) {
-    LastError = "workload has no batches to measure";
-    return std::nullopt;
-  }
-  Resource = std::clamp(Resource, 1u, maxResource());
-
-  std::string Pipeline = passPipelineTextFor(Config);
-  std::string Key = Pipeline + "|" + std::to_string(Resource);
-  if (auto It = Cache.find(Key); It != Cache.end()) {
-    ++CacheHits;
-    return It->second;
-  }
-
-  const VmProgram *Program = programFor(Pipeline);
-  if (!Program)
-    return std::nullopt;
-
+bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
+                                        const std::string &Pipeline,
+                                        unsigned Resource, VmMeasurement &Out,
+                                        std::string &Err) const {
   // Pin the decoded engine explicitly: measurements must not depend on
   // the DPO_VM_EXEC environment toggle. The scores themselves are
   // engine-independent anyway — both engines retire identical Steps,
   // GridRecords, and launch counts (decode fusions carry the step cost
   // of the pairs they replace), so measuredMakespanCycles prices the
   // same work either way and committed tuned tables stay valid.
-  Device Dev(*Program,
-             std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes),
+  Device Dev(Program, std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes),
              ExecMode::Decoded);
+  // Measurement devices stay single-worker regardless of DPO_VM_WORKERS:
+  // racy kernels (BFS/SSSP frontier CAS) retire worker-count-dependent
+  // step totals, and tuned tables are committed against the sequential
+  // counts. The tuner's parallelism is across candidates (prefetch), not
+  // inside one measurement.
+  Dev.setWorkers(1);
   Dev.setStepLimit(Opts.VmStepLimit);
   Dev.setGridLogEnabled(true);
 
   if (Workload.Binding) {
     std::string SetupError;
     if (!Workload.Binding->setup(Dev, SetupError)) {
-      LastError = "workload binding setup failed: " + SetupError;
-      return std::nullopt;
+      Err = "workload binding setup failed: " + SetupError;
+      return false;
     }
     // The staging runs outside the measurement: only the rounds below
     // count.
@@ -254,23 +247,149 @@ EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
     }
     if (!launchWorkloadParent(Dev, Workload.ParentKernel, (uint32_t)NumV,
                               B.ParentBlockDim, Args)) {
-      LastError = "VM run of pipeline '" + Pipeline +
-                  "' failed: " + Dev.error();
-      return std::nullopt;
+      Err = "VM run of pipeline '" + Pipeline + "' failed: " + Dev.error();
+      return false;
     }
   }
-  ++Evaluations;
 
   const VmStats &S = Dev.stats();
+  Out.Steps = S.Steps;
+  Out.DeviceLaunches = S.DeviceLaunches;
+  Out.HostLaunches = S.HostLaunches;
+  Out.BlocksExecuted = S.BlocksExecuted;
+  Out.ThreadsExecuted = S.ThreadsExecuted;
+  Out.GridsLaunched = S.GridsLaunched;
+  Out.BatchesRun = Resource;
+  Out.Cycles = measuredMakespanCycles(Dev.gridLog(), S, Gpu);
+  return true;
+}
+
+unsigned EmpiricalEvaluator::evalWorkers() const {
+  if (Opts.EvalWorkers)
+    return std::min(Opts.EvalWorkers, 64u);
+  if (const char *E = std::getenv("DPO_TUNER_WORKERS")) {
+    char *End = nullptr;
+    long V = std::strtol(E, &End, 10);
+    if (End != E && *End == '\0' && V >= 1)
+      return (unsigned)std::min<long>(V, 64);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::clamp(HW, 1u, 8u);
+}
+
+void EmpiricalEvaluator::prefetch(const std::vector<ExecConfig> &Configs,
+                                  unsigned Resource) {
+  unsigned Threads = evalWorkers();
+  if (Threads <= 1 || Sample.empty())
+    return;
+  Resource = std::clamp(Resource, 1u, maxResource());
+
+  // Replay the sequential measure() calls' budget/cache decisions to find
+  // the VM runs that will actually happen. A failed run is simulated as
+  // consuming budget (we cannot know failure before running); that can
+  // only under-schedule, and unstaged keys simply fall back to the
+  // sequential path in measure().
+  struct Job {
+    std::string Key;
+    const VmProgram *Program;
+    std::string Pipeline;
+  };
+  std::vector<Job> Jobs;
+  unsigned SimEvals = Evaluations;
+  for (const ExecConfig &C : Configs) {
+    if (SimEvals >= Opts.Budget)
+      break;
+    std::string Pipeline = passPipelineTextFor(C);
+    std::string Key = Pipeline + "|" + std::to_string(Resource);
+    if (Cache.count(Key))
+      continue; // will be a cache hit: free
+    if (auto It = Staged.find(Key); It != Staged.end()) {
+      SimEvals += It->second.Ok ? 1 : 0; // already prefetched
+      continue;
+    }
+    bool Dup = false;
+    for (const Job &J : Jobs)
+      if (J.Key == Key) {
+        Dup = true;
+        break;
+      }
+    if (Dup)
+      continue; // second occurrence hits the cache the first one fills
+    // Compiles stay serial: programFor mutates the shared program cache,
+    // and its counter order must match the sequential execution.
+    const VmProgram *P = programFor(Pipeline);
+    if (!P)
+      continue; // compile failure costs no budget sequentially either
+    Jobs.push_back({std::move(Key), P, std::move(Pipeline)});
+    ++SimEvals;
+  }
+  if (Jobs.size() <= 1)
+    return; // nothing to overlap
+
+  std::vector<StagedMeasurement> Results(Jobs.size());
+  std::atomic<size_t> NextJob{0};
+  auto Work = [&]() {
+    for (size_t I = NextJob.fetch_add(1); I < Jobs.size();
+         I = NextJob.fetch_add(1)) {
+      StagedMeasurement &R = Results[I];
+      R.Ok = runMeasurement(*Jobs[I].Program, Jobs[I].Pipeline, Resource,
+                            R.M, R.Error);
+    }
+  };
+  std::vector<std::thread> Pool;
+  size_t Spawn = std::min<size_t>(Threads, Jobs.size()) - 1;
+  for (size_t T = 0; T < Spawn; ++T)
+    Pool.emplace_back(Work);
+  Work();
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    Staged.emplace(std::move(Jobs[I].Key), std::move(Results[I]));
+}
+
+std::optional<VmMeasurement>
+EmpiricalEvaluator::measure(const ExecConfig &Config, unsigned Resource) {
+  if (Sample.empty()) {
+    LastError = "workload has no batches to measure";
+    return std::nullopt;
+  }
+  Resource = std::clamp(Resource, 1u, maxResource());
+
+  std::string Pipeline = passPipelineTextFor(Config);
+  std::string Key = Pipeline + "|" + std::to_string(Resource);
+  if (auto It = Cache.find(Key); It != Cache.end()) {
+    ++CacheHits;
+    return It->second;
+  }
+
+  // A prefetched run: consume it and perform the counter accounting the
+  // sequential execution would have done here. Failed runs are consumed
+  // too (not negatively cached — the sequential path re-runs on retry,
+  // deterministically failing again).
+  if (auto It = Staged.find(Key); It != Staged.end()) {
+    StagedMeasurement E = std::move(It->second);
+    Staged.erase(It);
+    if (!E.Ok) {
+      LastError = std::move(E.Error);
+      return std::nullopt;
+    }
+    ++Evaluations;
+    Cache.emplace(std::move(Key), E.M);
+    return E.M;
+  }
+
+  const VmProgram *Program = programFor(Pipeline);
+  if (!Program)
+    return std::nullopt;
+
   VmMeasurement M;
-  M.Steps = S.Steps;
-  M.DeviceLaunches = S.DeviceLaunches;
-  M.HostLaunches = S.HostLaunches;
-  M.BlocksExecuted = S.BlocksExecuted;
-  M.ThreadsExecuted = S.ThreadsExecuted;
-  M.GridsLaunched = S.GridsLaunched;
-  M.BatchesRun = Resource;
-  M.Cycles = measuredMakespanCycles(Dev.gridLog(), S, Gpu);
+  std::string Err;
+  if (!runMeasurement(*Program, Pipeline, Resource, M, Err)) {
+    LastError = std::move(Err);
+    return std::nullopt;
+  }
+  ++Evaluations;
   Cache.emplace(std::move(Key), M);
   return M;
 }
@@ -368,7 +487,9 @@ void hillClimb(EmpiricalEvaluator &Eval, const VariantMask &Mask,
   bool Improved = true;
   while (Improved && Eval.evaluations() < Budget) {
     Improved = false;
-    for (const ExecConfig &N : neighborConfigs(Result.Config, Mask)) {
+    std::vector<ExecConfig> Neighbors = neighborConfigs(Result.Config, Mask);
+    Eval.prefetch(Neighbors, MaxRes);
+    for (const ExecConfig &N : Neighbors) {
       if (Eval.evaluations() >= Budget)
         break;
       std::optional<VmMeasurement> M = Eval.measure(N, MaxRes);
@@ -447,6 +568,9 @@ EmpiricalTuneResult dpo::empiricalTune(EmpiricalEvaluator &Eval,
   while (true) {
     Ranked.clear();
     bool RungHasBest = false;
+    // Warm this rung's measurements concurrently; the sequential loop
+    // below consumes them with exact counter replay.
+    Eval.prefetch(Pool, Resource);
     for (const ExecConfig &C : Pool) {
       if (Eval.evaluations() >= Budget)
         break;
@@ -517,10 +641,13 @@ EmpiricalTuneResult dpo::hybridTune(EmpiricalEvaluator &Eval,
   bool HaveBest = false;
 
   size_t Shortlist = std::max<size_t>(1, (Budget + 1) / 2);
-  for (size_t I = 0; I < Order.size() && I < Shortlist; ++I) {
+  std::vector<ExecConfig> ShortlistConfigs;
+  for (size_t I = 0; I < Order.size() && I < Shortlist; ++I)
+    ShortlistConfigs.push_back(Candidates[Order[I]]);
+  Eval.prefetch(ShortlistConfigs, MaxRes);
+  for (const ExecConfig &C : ShortlistConfigs) {
     if (Eval.evaluations() >= Budget)
       break;
-    const ExecConfig &C = Candidates[Order[I]];
     std::optional<VmMeasurement> M = Eval.measure(C, MaxRes);
     if (M && (!HaveBest || M->Cycles < Result.Measured.Cycles)) {
       Result.Config = C;

@@ -78,6 +78,11 @@ struct EmpiricalOptions {
   uint64_t VmMemoryBytes = 32ull << 20;
   /// Step limit per VM run (guards against pathological candidates).
   uint64_t VmStepLimit = 500ull * 1000 * 1000;
+  /// Threads for prefetch()'s concurrent candidate measurement. 0 = auto
+  /// (DPO_TUNER_WORKERS env, else hardware concurrency capped at 8).
+  /// Any value reproduces the sequential search trajectory bit-for-bit:
+  /// prefetch only warms the measurement cache.
+  unsigned EvalWorkers = 0;
 };
 
 /// What one VM execution of a candidate measured. The event counts come
@@ -129,6 +134,18 @@ public:
     return measure(Config, maxResource());
   }
 
+  /// Executes the VM runs that upcoming measure(C, \p Resource) calls
+  /// over \p Configs (in order) would perform, concurrently across
+  /// options().EvalWorkers threads, and parks the results in a staging
+  /// cache that measure() consumes. The budget/cache replay is exact:
+  /// compiles stay serial (they mutate the shared program cache, and are
+  /// cheap next to VM execution), only VM runs fan out, and a consuming
+  /// measure() advances Evaluations/Compiles/CacheHits precisely as the
+  /// sequential execution would have — the search trajectory (rung
+  /// rankings, budget cut-offs, chosen config) is bit-identical at every
+  /// worker count. No-op at one worker.
+  void prefetch(const std::vector<ExecConfig> &Configs, unsigned Resource);
+
   /// Batches in the measurement sample (successive halving's top rung).
   unsigned maxResource() const { return (unsigned)Sample.size(); }
   /// Total child units in the first \p Resource sample batches (used to
@@ -148,6 +165,22 @@ public:
 
 private:
   const VmProgram *programFor(const std::string &PipelineText);
+  /// One VM execution, counter-free and thread-safe (touches only the
+  /// out-parameters and immutable evaluator state): the body shared by
+  /// the sequential measure() path and prefetch()'s worker threads.
+  bool runMeasurement(const VmProgram &Program, const std::string &Pipeline,
+                      unsigned Resource, VmMeasurement &Out,
+                      std::string &Err) const;
+  unsigned evalWorkers() const;
+
+  /// A prefetched measurement waiting for its measure() call (which
+  /// performs the counter accounting). Failed runs are staged too so the
+  /// consuming call reports the same error the sequential run would.
+  struct StagedMeasurement {
+    bool Ok = false;
+    VmMeasurement M;
+    std::string Error;
+  };
 
   GpuModel Gpu;
   VmWorkload Workload;
@@ -159,6 +192,7 @@ private:
   std::map<std::string, VmProgram> Programs;
   std::set<std::string> FailedPipelines; ///< Negative compile cache.
   std::map<std::string, VmMeasurement> Cache;
+  std::map<std::string, StagedMeasurement> Staged;
   unsigned Evaluations = 0;
   unsigned Compiles = 0;
   unsigned CacheHits = 0;

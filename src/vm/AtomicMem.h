@@ -1,0 +1,206 @@
+//===--- AtomicMem.h - Atomic access to flat device memory --------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic accessors over the VM's flat device-memory byte array, shared by
+/// both interpreter engines (VMHandlers.inc). With the multi-worker device
+/// (VM.h) several grids execute concurrently against the same memory, so
+/// the atomic opcodes must be *really* atomic and ordinary loads/stores
+/// must not tear:
+///
+///  - the atomic opcodes (atomicAdd/Min/Max/Exch/Or/And/CAS) map to
+///    sequentially-consistent hardware RMW operations — like their CUDA
+///    namesakes they return the pre-operation value and require the
+///    address to be naturally aligned (the compiler lays atomics on
+///    aligned element offsets; a misaligned address falls back to the
+///    plain read-modify-write, which is only correct single-worker);
+///
+///  - plain device loads and stores use relaxed atomic accesses when the
+///    address is naturally aligned, so racy-but-benign patterns the
+///    workloads rely on (reading a distance another thread may be
+///    atomicMin-ing, re-reading a frontier flag before a CAS claim) are
+///    single-copy-atomic instead of torn, and ThreadSanitizer builds of
+///    the multi-worker suites stay clean. Misaligned accesses keep the
+///    memcpy path — exactly the sequential semantics, unsynchronized.
+///
+/// Memory-ordering contract (documented in src/vm/README.md): atomic
+/// opcodes are seq_cst; plain accesses are relaxed; the scheduler
+/// provides acquire/release edges at grid boundaries (a child grid sees
+/// every write of the grid that launched it, and the host sees every
+/// write of every drained grid). That is strictly stronger than the GPU
+/// model the paper's kernels assume.
+///
+/// All helpers compute identical results to the pre-concurrency memcpy
+/// implementations when execution is sequential — the single-worker
+/// bit-exactness contract (step counts, payloads) is unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_VM_ATOMICMEM_H
+#define DPO_VM_ATOMICMEM_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace dpo {
+
+// Overridable (e.g. -DDPO_VM_REAL_ATOMICS=0) for perf A/B runs and
+// compilers without the __atomic builtins; forcing it off makes
+// multi-worker execution unsound (torn plain accesses, non-atomic RMW).
+#ifndef DPO_VM_REAL_ATOMICS
+#if defined(__GNUC__) || defined(__clang__)
+#define DPO_VM_REAL_ATOMICS 1
+#else
+#define DPO_VM_REAL_ATOMICS 0
+#endif
+#endif
+
+namespace vmatomic {
+
+template <typename T> inline bool aligned(uint64_t Addr) {
+  return (Addr & (sizeof(T) - 1)) == 0;
+}
+
+/// Plain load: single-copy-atomic (relaxed) when aligned, memcpy otherwise.
+template <typename T> inline T load(const uint8_t *Mem, uint64_t Addr) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr)) {
+    T V;
+    __atomic_load(reinterpret_cast<const T *>(Mem + Addr), &V,
+                  __ATOMIC_RELAXED);
+    return V;
+  }
+#endif
+  T V;
+  std::memcpy(&V, Mem + Addr, sizeof(T));
+  return V;
+}
+
+/// Plain store: single-copy-atomic (relaxed) when aligned, memcpy otherwise.
+template <typename T> inline void store(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr)) {
+    __atomic_store(reinterpret_cast<T *>(Mem + Addr), &V, __ATOMIC_RELAXED);
+    return;
+  }
+#endif
+  std::memcpy(Mem + Addr, &V, sizeof(T));
+}
+
+// RMW helpers. T is one of int32_t/uint32_t/int64_t/uint64_t; every
+// helper returns the value the location held *before* the operation
+// (the CUDA atomic contract). Arithmetic wraps: the adds run on the
+// unsigned image of T so signed overflow is two's-complement, matching
+// the interpreter's addWrap-based sequential semantics.
+
+template <typename T> inline T fetchAdd(uint8_t *Mem, uint64_t Addr, T V) {
+  using U = std::conditional_t<sizeof(T) == 4, uint32_t, uint64_t>;
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr))
+    return (T)__atomic_fetch_add(reinterpret_cast<U *>(Mem + Addr), (U)V,
+                                 __ATOMIC_SEQ_CST);
+#endif
+  T Old = load<T>(Mem, Addr);
+  store<T>(Mem, Addr, (T)((U)Old + (U)V));
+  return Old;
+}
+
+template <typename T> inline T fetchOr(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr))
+    return __atomic_fetch_or(reinterpret_cast<T *>(Mem + Addr), V,
+                             __ATOMIC_SEQ_CST);
+#endif
+  T Old = load<T>(Mem, Addr);
+  store<T>(Mem, Addr, (T)(Old | V));
+  return Old;
+}
+
+template <typename T> inline T fetchAnd(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr))
+    return __atomic_fetch_and(reinterpret_cast<T *>(Mem + Addr), V,
+                              __ATOMIC_SEQ_CST);
+#endif
+  T Old = load<T>(Mem, Addr);
+  store<T>(Mem, Addr, (T)(Old & V));
+  return Old;
+}
+
+template <typename T> inline T exchange(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr))
+    return __atomic_exchange_n(reinterpret_cast<T *>(Mem + Addr), V,
+                               __ATOMIC_SEQ_CST);
+#endif
+  T Old = load<T>(Mem, Addr);
+  store<T>(Mem, Addr, V);
+  return Old;
+}
+
+/// atomicMin: CAS loop; stores V only while V compares smaller than the
+/// current value under T's own signedness.
+template <typename T> inline T fetchMin(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr)) {
+    T *P = reinterpret_cast<T *>(Mem + Addr);
+    T Old = __atomic_load_n(P, __ATOMIC_RELAXED);
+    while (V < Old && !__atomic_compare_exchange_n(P, &Old, V, false,
+                                                   __ATOMIC_SEQ_CST,
+                                                   __ATOMIC_SEQ_CST))
+      ;
+    return Old;
+  }
+#endif
+  T Old = load<T>(Mem, Addr);
+  if (V < Old)
+    store<T>(Mem, Addr, V);
+  return Old;
+}
+
+/// atomicMax: CAS loop, mirror of fetchMin.
+template <typename T> inline T fetchMax(uint8_t *Mem, uint64_t Addr, T V) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr)) {
+    T *P = reinterpret_cast<T *>(Mem + Addr);
+    T Old = __atomic_load_n(P, __ATOMIC_RELAXED);
+    while (V > Old && !__atomic_compare_exchange_n(P, &Old, V, false,
+                                                   __ATOMIC_SEQ_CST,
+                                                   __ATOMIC_SEQ_CST))
+      ;
+    return Old;
+  }
+#endif
+  T Old = load<T>(Mem, Addr);
+  if (V > Old)
+    store<T>(Mem, Addr, V);
+  return Old;
+}
+
+/// atomicCAS: one strong compare-exchange; returns the pre-operation
+/// value whether or not the exchange happened.
+template <typename T>
+inline T compareExchange(uint8_t *Mem, uint64_t Addr, T Expected, T Desired) {
+#if DPO_VM_REAL_ATOMICS
+  if (aligned<T>(Addr)) {
+    T *P = reinterpret_cast<T *>(Mem + Addr);
+    T Old = Expected;
+    __atomic_compare_exchange_n(P, &Old, Desired, false, __ATOMIC_SEQ_CST,
+                                __ATOMIC_SEQ_CST);
+    return Old;
+  }
+#endif
+  T Old = load<T>(Mem, Addr);
+  if (Old == Expected)
+    store<T>(Mem, Addr, Desired);
+  return Old;
+}
+
+} // namespace vmatomic
+} // namespace dpo
+
+#endif // DPO_VM_ATOMICMEM_H

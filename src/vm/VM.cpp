@@ -47,6 +47,7 @@
 #include "vm/VM.h"
 
 #include "parse/Parser.h"
+#include "vm/AtomicMem.h"
 #include "vm/SlotOps.h"
 
 #include <cassert>
@@ -78,11 +79,29 @@ bool resolveUseDecoded(ExecMode Mode) {
   return !(Env && std::string_view(Env) == "bytecode");
 }
 
+/// Resolves the worker count from DPO_VM_WORKERS (absent, non-numeric,
+/// or < 1 all mean the deterministic single-worker mode). Capped so a
+/// typo cannot spawn an absurd pool.
+unsigned resolveWorkerCount() {
+  const char *Env = std::getenv("DPO_VM_WORKERS");
+  if (!Env || !*Env)
+    return 1;
+  char *End = nullptr;
+  long N = std::strtol(Env, &End, 10);
+  if (End == Env || (End && *End) || N < 1)
+    return 1;
+  return (unsigned)std::min<long>(N, 64);
+}
+
 } // namespace
 
 Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode Mode)
     : Program(std::move(ProgramIn)), UseDecoded(resolveUseDecoded(Mode)),
-      Memory(MemoryBytes, 0) {
+      Memory(MemoryBytes, 0), Workers(resolveWorkerCount()) {
+  // The main thread's worker context; pool contexts are created lazily
+  // at the first parallel drain.
+  WorkerCtxs.push_back(std::make_unique<WorkerCtx>());
+  WorkerCtxs[0]->IsMain = true;
   // Null page, then globals, then the heap.
   BumpPtr = GlobalBase;
   if (!Program.GlobalImage.empty()) {
@@ -110,12 +129,20 @@ Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode Mode)
   // one-shot call before decoding.
   if (UseDecoded && ValidationError.empty()) {
     const void *const *Labels = nullptr;
-    runThreadExec(nullptr, nullptr, {}, 0, &Labels);
+    runThreadExec(nullptr, nullptr, nullptr, {}, 0, &Labels);
     Exec = decodeProgram(Program, Labels);
   }
 }
 
-Device::~Device() = default;
+Device::~Device() { shutdownWorkers(); }
+
+void Device::setWorkers(unsigned N) {
+  if (N == 0)
+    N = resolveWorkerCount();
+  Workers = std::min(N, 64u);
+  if (Workers == 0)
+    Workers = 1;
+}
 
 void Device::validateProgram() {
   auto Bad = [&](const FuncDef &F, const std::string &What) {
@@ -203,8 +230,14 @@ void Device::validateProgram() {
 }
 
 uint64_t Device::alloc(uint64_t Bytes) {
+  // Called from worker handlers (frame-memory regions, cudaMalloc)
+  // concurrently with other workers executing: the bump pointer is
+  // mutex-guarded, and since Memory never reallocates, data pointers
+  // cached by running interpreter loops stay valid across allocs.
+  std::lock_guard<std::mutex> Lk(AllocMutex);
   uint64_t Addr = (BumpPtr + 7) & ~7ull;
   if (Bytes > Memory.size() || Addr > Memory.size() - Bytes) {
+    std::lock_guard<std::mutex> ELk(ErrMutex);
     LastError = "device out of memory";
     return 0;
   }
@@ -345,6 +378,10 @@ void Device::fillI64(uint64_t Addr, size_t Count, int64_t V) {
 }
 
 bool Device::fail(const std::string &Message) {
+  // Set-once under the mutex: with several workers failing near-
+  // simultaneously, the first failure's message wins deterministically
+  // enough for diagnosis, and later reads (post-join) are race-free.
+  std::lock_guard<std::mutex> Lk(ErrMutex);
   if (LastError.empty())
     LastError = Message;
   return false;
@@ -366,7 +403,7 @@ void Device::growStack(ThreadCtx &T) {
 bool Device::launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
                           const std::vector<int64_t> &Args) {
   LastError.clear();
-  StepsUsed = 0;
+  StepsUsed.store(0, std::memory_order_relaxed);
   if (!ValidationError.empty())
     return fail(ValidationError);
   const FuncDef *F = Program.find(Name);
@@ -386,13 +423,15 @@ bool Device::launchKernel(const std::string &Name, Dim3V Grid, Dim3V Block,
   L.FromHost = true;
   ++Stats.HostLaunches;
   Queue.push_back(std::move(L));
-  return drainLaunches();
+  bool Ok = drainLaunches();
+  mergeWorkerStats();
+  return Ok;
 }
 
 bool Device::callHost(const std::string &Name,
                       const std::vector<int64_t> &Args) {
   LastError.clear();
-  StepsUsed = 0;
+  StepsUsed.store(0, std::memory_order_relaxed);
   if (!ValidationError.empty())
     return fail(ValidationError);
   const FuncDef *F = Program.find(Name);
@@ -410,8 +449,18 @@ bool Device::callHost(const std::string &Name,
   L.Block = {1, 1, 1};
   L.Args = Args;
   L.FromHost = true;
-  bool Ok = runGrid(L) && drainLaunches();
+  // The host pseudo-thread always executes on the main worker; its
+  // buffered launches join the queue when it returns (or at each
+  // cudaDeviceSynchronize inside it).
+  WorkerCtx &W = *WorkerCtxs[0];
+  W.LogSink = &GridLog;
+  bool Ok = runGrid(L, W);
+  for (PendingLaunch &C : W.Pending)
+    Queue.push_back(std::move(C));
+  W.Pending.clear();
+  Ok = Ok && drainLaunches();
   InHostCall = false;
+  mergeWorkerStats();
   return Ok;
 }
 
@@ -426,24 +475,178 @@ bool Device::hasHostFunction(const std::string &Name) const {
 }
 
 bool Device::drainLaunches() {
+  if (Workers > 1)
+    return drainLaunchesParallel();
+  // Sequential mode: FIFO drain on the main worker. Children buffered
+  // during a grid append behind the whole queue when it completes —
+  // exactly where the direct-push implementation put them, since only
+  // one grid ever runs at a time.
+  WorkerCtx &W = *WorkerCtxs[0];
   while (!Queue.empty()) {
     PendingLaunch L = std::move(Queue.front());
     Queue.pop_front();
-    if (!runGrid(L))
+    W.LogSink = &GridLog;
+    bool Ok = runGrid(L, W);
+    for (PendingLaunch &C : W.Pending)
+      Queue.push_back(std::move(C));
+    W.Pending.clear();
+    if (!Ok)
       return false;
     // Recycle the argument buffer: steady-state device-side launching
     // performs no per-launch allocation.
-    if (L.Args.capacity() > 0 && ArgPool.size() < 256)
-      ArgPool.push_back(std::move(L.Args));
+    if (L.Args.capacity() > 0 && W.ArgPool.size() < 256)
+      W.ArgPool.push_back(std::move(L.Args));
   }
   return true;
 }
 
-bool Device::runGrid(PendingLaunch &L) {
+bool Device::drainLaunchesParallel() {
+  ensureWorkersSpawned();
+  WorkerCtx &W0 = *WorkerCtxs[0];
+  while (!Queue.empty()) {
+    // A solo grid has nothing to overlap with: run it inline instead of
+    // waking the pool (deep launch chains — one parent grid per round —
+    // hit this path every round).
+    if (Queue.size() == 1) {
+      PendingLaunch L = std::move(Queue.front());
+      Queue.pop_front();
+      W0.LogSink = &GridLog;
+      bool Ok = runGrid(L, W0);
+      for (PendingLaunch &C : W0.Pending)
+        Queue.push_back(std::move(C));
+      W0.Pending.clear();
+      if (!Ok)
+        return false;
+      if (L.Args.capacity() > 0 && W0.ArgPool.size() < 256)
+        W0.ArgPool.push_back(std::move(L.Args));
+      continue;
+    }
+
+    // Snapshot the whole queue as one wave. Every queued grid is
+    // independent of every other (children of a running grid only enter
+    // the queue after it completes), so the wave may execute in any
+    // interleaving; the per-slot child/record merge below restores the
+    // sequential FIFO linearization.
+    ParallelWave Wave;
+    Wave.Items.reserve(Queue.size());
+    while (!Queue.empty()) {
+      Wave.Items.push_back(std::move(Queue.front()));
+      Queue.pop_front();
+    }
+    Wave.Children.resize(Wave.Items.size());
+    if (GridLogEnabled)
+      Wave.Logs.resize(Wave.Items.size());
+
+    {
+      std::lock_guard<std::mutex> Lk(WaveMutex);
+      CurWave = &Wave;
+      ++WaveGen;
+      WaveActive = (unsigned)WorkerThreads.size();
+    }
+    WaveCv.notify_all();
+    runWaveItems(Wave, W0); // The main thread works the wave too.
+    {
+      std::unique_lock<std::mutex> Lk(WaveMutex);
+      WaveDoneCv.wait(Lk, [&] { return WaveActive == 0; });
+      CurWave = nullptr;
+    }
+
+    for (size_t I = 0; I < Wave.Items.size(); ++I) {
+      if (GridLogEnabled)
+        for (GridRecord &R : Wave.Logs[I])
+          GridLog.push_back(R);
+      for (PendingLaunch &C : Wave.Children[I])
+        Queue.push_back(std::move(C));
+    }
+    if (Wave.Failed.load(std::memory_order_relaxed))
+      return false;
+  }
+  return true;
+}
+
+void Device::runWaveItems(ParallelWave &Wave, WorkerCtx &W) {
+  const size_t N = Wave.Items.size();
+  for (;;) {
+    size_t Idx = Wave.Next.fetch_add(1, std::memory_order_relaxed);
+    if (Idx >= N)
+      return;
+    // After a failure, claim the remaining items without running them so
+    // the wave completes promptly (the error is already recorded).
+    if (Wave.Failed.load(std::memory_order_relaxed))
+      continue;
+    PendingLaunch &L = Wave.Items[Idx];
+    W.LogSink = GridLogEnabled ? &Wave.Logs[Idx] : nullptr;
+    bool Ok = runGrid(L, W);
+    Wave.Children[Idx] = std::move(W.Pending);
+    W.Pending.clear();
+    if (!Ok)
+      Wave.Failed.store(true, std::memory_order_relaxed);
+    else if (L.Args.capacity() > 0 && W.ArgPool.size() < 256)
+      W.ArgPool.push_back(std::move(L.Args));
+  }
+}
+
+void Device::workerLoop(WorkerCtx &W, uint64_t SeenGen) {
+  std::unique_lock<std::mutex> Lk(WaveMutex);
+  for (;;) {
+    WaveCv.wait(Lk, [&] { return ShuttingDown || WaveGen != SeenGen; });
+    if (ShuttingDown)
+      return;
+    SeenGen = WaveGen;
+    ParallelWave *Wave = CurWave;
+    Lk.unlock();
+    if (Wave)
+      runWaveItems(*Wave, W);
+    Lk.lock();
+    if (--WaveActive == 0)
+      WaveDoneCv.notify_all();
+  }
+}
+
+void Device::ensureWorkersSpawned() {
+  while (WorkerCtxs.size() < Workers)
+    WorkerCtxs.push_back(std::make_unique<WorkerCtx>());
+  while (WorkerThreads.size() + 1 < Workers) {
+    WorkerCtx *C = WorkerCtxs[WorkerThreads.size() + 1].get();
+    uint64_t StartGen = WaveGen;
+    WorkerThreads.emplace_back(
+        [this, C, StartGen] { workerLoop(*C, StartGen); });
+  }
+}
+
+void Device::shutdownWorkers() {
+  {
+    std::lock_guard<std::mutex> Lk(WaveMutex);
+    ShuttingDown = true;
+  }
+  WaveCv.notify_all();
+  for (std::thread &T : WorkerThreads)
+    if (T.joinable())
+      T.join();
+  WorkerThreads.clear();
+  ShuttingDown = false;
+}
+
+void Device::mergeWorkerStats() {
+  for (auto &C : WorkerCtxs) {
+    VmStats &S = C->Stats;
+    Stats.GridsLaunched += S.GridsLaunched;
+    Stats.DeviceLaunches += S.DeviceLaunches;
+    Stats.HostLaunches += S.HostLaunches;
+    Stats.BlocksExecuted += S.BlocksExecuted;
+    Stats.ThreadsExecuted += S.ThreadsExecuted;
+    Stats.Steps += S.Steps;
+    Stats.LargestGridBlocks =
+        std::max(Stats.LargestGridBlocks, S.LargestGridBlocks);
+    S = VmStats();
+  }
+}
+
+bool Device::runGrid(PendingLaunch &L, WorkerCtx &W) {
   const FuncDef &F = Program.Functions[L.Func];
-  ++Stats.GridsLaunched;
-  Stats.LargestGridBlocks =
-      std::max(Stats.LargestGridBlocks, (uint64_t)L.Grid.count());
+  ++W.Stats.GridsLaunched;
+  W.Stats.LargestGridBlocks =
+      std::max(W.Stats.LargestGridBlocks, (uint64_t)L.Grid.count());
   if (L.Grid.count() == 0 || L.Block.count() == 0)
     return true; // Empty grids complete immediately.
   if (L.Block.count() > 1024)
@@ -475,16 +678,20 @@ bool Device::runGrid(PendingLaunch &L) {
       return false;
   }
 
-  // Grid-log bookkeeping: snapshot the step counters so this grid's
-  // record reports exclusive work even when a host pseudo-thread drains
-  // nested grids mid-flight, and stack the per-thread maximum (nested
-  // runGrid calls share the member).
-  uint64_t StepsBefore = 0, AttribBefore = 0, SavedMax = 0;
+  // Grid-log bookkeeping: the record reports this grid's *exclusive*
+  // work — WorkerCtx::GridSteps accumulates only this worker's flushes,
+  // and nested grids (a host pseudo-thread draining mid-flight) save,
+  // zero, and restore it so their steps never leak into the parent's
+  // record. The log sink is captured here because a nested drain
+  // repoints W.LogSink while this grid is still running.
+  uint64_t SavedGridSteps = 0, SavedMax = 0;
+  std::vector<GridRecord> *Sink = nullptr;
   if (GridLogEnabled) {
-    StepsBefore = Stats.Steps;
-    AttribBefore = AttributedSteps;
-    SavedMax = CurGridMaxThreadSteps;
-    CurGridMaxThreadSteps = 0;
+    Sink = W.LogSink;
+    SavedGridSteps = W.GridSteps;
+    SavedMax = W.CurGridMaxThreadSteps;
+    W.GridSteps = 0;
+    W.CurGridMaxThreadSteps = 0;
   }
 
   for (uint32_t BZ = 0; BZ < L.Grid.Z; ++BZ)
@@ -492,42 +699,42 @@ bool Device::runGrid(PendingLaunch &L) {
       for (uint32_t BX = 0; BX < L.Grid.X; ++BX) {
         if (SharedBase)
           std::memset(Memory.data() + SharedBase, 0, F.SharedBytes);
-        if (!runBlock(L, {BX, BY, BZ}, SharedBase, Init))
+        if (!runBlock(L, W, {BX, BY, BZ}, SharedBase, Init))
           return false;
       }
 
   if (GridLogEnabled) {
-    uint64_t Total = Stats.Steps - StepsBefore;
-    uint64_t Nested = AttributedSteps - AttribBefore;
     GridRecord R;
     R.Blocks = L.Grid.count();
     R.Threads = L.Grid.count() * L.Block.count();
-    R.Steps = Total - Nested;
-    R.MaxThreadSteps = CurGridMaxThreadSteps;
+    R.Steps = W.GridSteps;
+    R.MaxThreadSteps = W.CurGridMaxThreadSteps;
     R.BlockDim = (uint32_t)L.Block.count();
     R.FromHost = L.FromHost;
-    GridLog.push_back(R);
-    AttributedSteps = AttribBefore + Total;
-    CurGridMaxThreadSteps = SavedMax;
+    if (Sink)
+      Sink->push_back(R);
+    W.GridSteps = SavedGridSteps;
+    W.CurGridMaxThreadSteps = SavedMax;
   }
   return true;
 }
 
-bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
+bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
                       uint64_t SharedBase, const int64_t *InitLocals) {
   const FuncDef &F = Program.Functions[L.Func];
-  ++Stats.BlocksExecuted;
+  ++W.Stats.BlocksExecuted;
 
-  // Acquire the context pool for this nesting depth (depth > 0 only when
-  // a host pseudo-thread's cudaDeviceSynchronize re-enters the engine).
-  if (PoolDepth >= Pools.size())
-    Pools.push_back(std::make_unique<BlockPool>());
-  BlockPool &Pool = *Pools[PoolDepth];
-  ++PoolDepth;
+  // Acquire this worker's context pool for this nesting depth (depth > 0
+  // only when a host pseudo-thread's cudaDeviceSynchronize re-enters the
+  // engine).
+  if (W.PoolDepth >= W.Pools.size())
+    W.Pools.push_back(std::make_unique<BlockPool>());
+  BlockPool &Pool = *W.Pools[W.PoolDepth];
+  ++W.PoolDepth;
   struct DepthGuard {
     unsigned &Depth;
     ~DepthGuard() { --Depth; }
-  } Guard{PoolDepth};
+  } Guard{W.PoolDepth};
 
   size_t NumThreads = (size_t)L.Block.count();
   if (Pool.Threads.size() < NumThreads)
@@ -536,7 +743,7 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
   if (F.FrameBytes > ThreadFrameMemBytes)
     return fail("thread frame-memory stack overflow");
 
-  Stats.ThreadsExecuted += NumThreads;
+  W.Stats.ThreadsExecuted += NumThreads;
   auto SetupThread = [&](ThreadCtx &T, uint32_t TX, uint32_t TY,
                          uint32_t TZ) -> bool {
     T.reset();
@@ -573,9 +780,9 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
     if (!SetupThread(T, 0, 0, 0))
       return false;
     bool Ok = UseDecoded
-                  ? runThreadExec(&T, &L, BlockIdx, SharedBase, nullptr,
+                  ? runThreadExec(&T, &W, &L, BlockIdx, SharedBase, nullptr,
                                   InitLocals, (uint32_t)NumThreads)
-                  : runThread(T, L, BlockIdx, SharedBase, InitLocals,
+                  : runThread(T, W, L, BlockIdx, SharedBase, InitLocals,
                               (uint32_t)NumThreads);
     if (!Ok)
       return false;
@@ -599,8 +806,8 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
       ThreadCtx &T = Pool.Threads[TIdx];
       if (T.State == ThreadState::Ready) {
         AnyRan = true;
-        bool Ok = UseDecoded ? runThreadExec(&T, &L, BlockIdx, SharedBase)
-                             : runThread(T, L, BlockIdx, SharedBase);
+        bool Ok = UseDecoded ? runThreadExec(&T, &W, &L, BlockIdx, SharedBase)
+                             : runThread(T, W, L, BlockIdx, SharedBase);
         if (!Ok)
           return false;
       }
@@ -610,8 +817,8 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
     if (!AnyLive) {
       if (GridLogEnabled)
         for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
-          CurGridMaxThreadSteps = std::max(CurGridMaxThreadSteps,
-                                           Pool.Threads[TIdx].StepsRetired);
+          W.CurGridMaxThreadSteps = std::max(W.CurGridMaxThreadSteps,
+                                             Pool.Threads[TIdx].StepsRetired);
       return true;
     }
     // Release barrier: every live thread is waiting.
@@ -663,10 +870,19 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
 #define VM_TOP() (S[SP - 1])
 
 // Write the cached registers back into the context / device counters.
+// The global step counter is contended only when several workers flush;
+// single-worker flushes (block-mode runs one per thread, ~tens of
+// thousands per launch) take the unlocked load+store path — a lock xadd
+// there costs double-digit percent on dispatch-bound workloads.
 #define VM_FLUSH_STEPS()                                                      \
   do {                                                                        \
-    StepsUsed += LocalSteps;                                                  \
-    Stats.Steps += LocalSteps;                                                \
+    if (MultiWorker)                                                          \
+      StepsUsed.fetch_add(LocalSteps, std::memory_order_relaxed);             \
+    else                                                                      \
+      StepsUsed.store(StepsUsed.load(std::memory_order_relaxed) + LocalSteps, \
+                      std::memory_order_relaxed);                             \
+    W.Stats.Steps += LocalSteps;                                              \
+    W.GridSteps += LocalSteps;                                                \
     T.StepsRetired += LocalSteps;                                             \
     LocalSteps = 0;                                                           \
   } while (0)
@@ -711,9 +927,10 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
 #define VM_BLOCK_THREAD_SWITCH()                                              \
   BlockNextThread:                                                            \
   VM_FLUSH_STEPS();                                                           \
-  StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;             \
+  StepBudget = stepBudgetLeft();                                              \
   if (GridLogEnabled) {                                                       \
-    CurGridMaxThreadSteps = std::max(CurGridMaxThreadSteps, T.StepsRetired);  \
+    W.CurGridMaxThreadSteps =                                                 \
+        std::max(W.CurGridMaxThreadSteps, T.StepsRetired);                    \
     T.StepsRetired = 0;                                                       \
   }                                                                           \
   if (--ThreadsLeft == 0) {                                                   \
@@ -788,9 +1005,9 @@ bool Device::runBlock(const PendingLaunch &L, Dim3V BlockIdx,
 #if defined(__GNUC__) || defined(__clang__)
 __attribute__((cold))
 #endif
-bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
-                       uint64_t SharedBase, const int64_t *InitLocals,
-                       uint32_t ThreadCount) {
+bool Device::runThread(ThreadCtx &T, WorkerCtx &W, const PendingLaunch &L,
+                       Dim3V BlockIdx, uint64_t SharedBase,
+                       const int64_t *InitLocals, uint32_t ThreadCount) {
   // Interpreter registers, re-derived only at frame switches.
   Frame *Fr = &T.Frames.back();
   const FuncDef *FnArr = Program.Functions.data();
@@ -807,7 +1024,8 @@ bool Device::runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
   size_t SCap = T.Stack.size();
   uint8_t *Mem = Memory.data();
   uint64_t LocalSteps = 0;
-  uint64_t StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
+  uint64_t StepBudget = stepBudgetLeft();
+  const bool MultiWorker = Workers > 1;
 
 #if DPO_VM_COMPUTED_GOTO
   static const void *const DispatchTable[NumOpcodes] = {
@@ -881,8 +1099,9 @@ StepLimitHit:
 #define VM_SREG_BUILTIN ((unsigned)I->A)
 #define VM_SREG_COMP ((unsigned)I->B)
 
-bool Device::runThreadExec(ThreadCtx *TPtr, const PendingLaunch *LPtr,
-                           Dim3V BlockIdx, uint64_t SharedBase,
+bool Device::runThreadExec(ThreadCtx *TPtr, WorkerCtx *WPtr,
+                           const PendingLaunch *LPtr, Dim3V BlockIdx,
+                           uint64_t SharedBase,
                            const void *const **LabelsOut,
                            const int64_t *InitLocals, uint32_t ThreadCount) {
 #if DPO_VM_COMPUTED_GOTO
@@ -904,6 +1123,7 @@ bool Device::runThreadExec(ThreadCtx *TPtr, const PendingLaunch *LPtr,
 #endif
 
   ThreadCtx &T = *TPtr;
+  WorkerCtx &W = *WPtr;
   const PendingLaunch &L = *LPtr;
   // Interpreter registers, re-derived only at frame switches.
   Frame *Fr = &T.Frames.back();
@@ -921,7 +1141,8 @@ bool Device::runThreadExec(ThreadCtx *TPtr, const PendingLaunch *LPtr,
   size_t SCap = T.Stack.size();
   uint8_t *Mem = Memory.data();
   uint64_t LocalSteps = 0;
-  uint64_t StepBudget = StepLimit > StepsUsed ? StepLimit - StepsUsed : 0;
+  uint64_t StepBudget = stepBudgetLeft();
+  const bool MultiWorker = Workers > 1;
 
 #if DPO_VM_COMPUTED_GOTO
   VM_NEXT(); // Fetch and dispatch the first instruction.

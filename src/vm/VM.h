@@ -19,9 +19,20 @@
 ///    grids finish before their parent grid is considered complete);
 ///  - host functions execute as a single pseudo-thread with access to the
 ///    cudaMalloc/cudaMemcpy/cudaDeviceSynchronize intrinsics;
-///  - atomics are trivially atomic (execution is sequential), so the VM
-///    checks their *semantics* (returned old values, accumulation), which
-///    is what the transformed code depends on.
+///  - *independent grids of the pending-launch queue run concurrently*
+///    across a worker-thread pool (setWorkers / DPO_VM_WORKERS; default
+///    1). The queue drains in waves: every grid currently queued is
+///    independent (children always enqueue behind the whole queue), so
+///    one wave executes them all concurrently, then appends each grid's
+///    buffered children in wave-slot order — exactly the sequential FIFO
+///    linearization. Atomics are real hardware atomics on device memory
+///    (vm/AtomicMem.h), and plain aligned accesses are single-copy-atomic,
+///    so racy-but-convergent kernels (BFS frontier claims, SSSP
+///    atomicMin relaxations) produce their deterministic payloads at any
+///    worker count; per-thread step *interleavings* — and therefore step
+///    totals of racy programs — are only guaranteed reproducible in
+///    single-worker mode, which keeps the bit-exact step-accounting
+///    contract.
 ///
 /// Performance design (see src/vm/README.md for the full story). The VM
 /// is a three-layer pipeline: portable bytecode (Bytecode.h, the compile
@@ -59,10 +70,14 @@
 #include "vm/ExecIR.h"
 #include "vm/SlotOps.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dpo {
@@ -182,6 +197,16 @@ public:
   /// loops in tests).
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
 
+  /// Sets the worker count for draining independent grids concurrently.
+  /// 0 re-resolves from the DPO_VM_WORKERS environment variable (absent
+  /// or invalid = 1). 1 is the deterministic sequential mode: step
+  /// counts, stats, and grid logs are bit-identical to the
+  /// pre-concurrency device. Must not be called while a launch is
+  /// running.
+  void setWorkers(unsigned N);
+  /// The resolved worker count (>= 1).
+  unsigned workers() const { return Workers; }
+
 private:
   struct PendingLaunch {
     unsigned Func;
@@ -233,12 +258,54 @@ private:
     std::vector<ThreadCtx> Threads;
   };
 
-  /// Runs one grid. Takes the launch mutable: parameter slots are
-  /// normalized once here (per grid, not per thread — every thread of a
-  /// grid receives identical arguments).
-  bool runGrid(PendingLaunch &L);
-  bool runBlock(const PendingLaunch &L, Dim3V BlockIdx, uint64_t SharedBase,
-                const int64_t *InitLocals);
+  /// Everything one executing worker mutates while running a grid. One
+  /// instance per worker thread (index 0 is the main thread), so the
+  /// interpreter's hot paths touch no shared mutable device state:
+  /// stats accumulate into per-worker shards merged deterministically
+  /// after each top-level call, child launches buffer into Pending and
+  /// are sequenced by the scheduler, and context/argument pools are
+  /// worker-private. GridSteps/CurGridMaxThreadSteps implement the
+  /// per-grid exclusive accounting the grid log reports (saved, zeroed,
+  /// and restored around each runGrid, so a host pseudo-thread's nested
+  /// drain never leaks child steps into the parent's record).
+  struct WorkerCtx {
+    std::vector<std::unique_ptr<BlockPool>> Pools;
+    unsigned PoolDepth = 0;
+    /// Recycled argument buffers for device-side launches: the hot
+    /// parent-launches-children path performs no per-launch allocation
+    /// in steady state.
+    std::vector<std::vector<int64_t>> ArgPool;
+    /// Children enqueued by the grid this worker is running; the
+    /// scheduler appends them to the queue in deterministic order after
+    /// the grid completes.
+    std::vector<PendingLaunch> Pending;
+    VmStats Stats; ///< Shard; merged into Device::Stats post-call.
+    uint64_t GridSteps = 0; ///< Current grid's own flushed steps.
+    uint64_t CurGridMaxThreadSteps = 0;
+    /// Where the running grid's records go: the device grid log in
+    /// sequential mode, a per-wave-slot buffer in parallel mode.
+    std::vector<GridRecord> *LogSink = nullptr;
+    bool IsMain = false; ///< Only the main worker may reach CudaSync.
+  };
+
+  /// One wave of the parallel drain: a snapshot of the queue whose grids
+  /// are mutually independent by the queue dependency rule. Workers
+  /// claim items through Next; each item's children and grid records are
+  /// collected per slot so the post-wave merge is deterministic.
+  struct ParallelWave {
+    std::vector<PendingLaunch> Items;
+    std::vector<std::vector<PendingLaunch>> Children;
+    std::vector<std::vector<GridRecord>> Logs;
+    std::atomic<size_t> Next{0};
+    std::atomic<bool> Failed{false};
+  };
+
+  /// Runs one grid on \p W. Takes the launch mutable: parameter slots
+  /// are normalized once here (per grid, not per thread — every thread
+  /// of a grid receives identical arguments).
+  bool runGrid(PendingLaunch &L, WorkerCtx &W);
+  bool runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
+                uint64_t SharedBase, const int64_t *InitLocals);
   /// Executes one thread until a stop event on the bytecode engine.
   /// Returns false on VM error. When \p InitLocals is non-null the call
   /// runs in *block mode*: \p ThreadCount threads of the block execute
@@ -247,15 +314,16 @@ private:
   /// function-call round trip. Block mode requires a barrier-free kernel
   /// (MayBarrier false); \p T must be set up for the block's first
   /// thread.
-  bool runThread(ThreadCtx &T, const PendingLaunch &L, Dim3V BlockIdx,
-                 uint64_t SharedBase, const int64_t *InitLocals = nullptr,
+  bool runThread(ThreadCtx &T, WorkerCtx &W, const PendingLaunch &L,
+                 Dim3V BlockIdx, uint64_t SharedBase,
+                 const int64_t *InitLocals = nullptr,
                  uint32_t ThreadCount = 0);
   /// The decoded-IR engine's thread loop (same contract as runThread,
   /// including block mode). When \p LabelsOut is non-null the function
   /// only exports its dispatch-label table (used once at construction to
   /// resolve ExecInstr handler addresses) and returns.
-  bool runThreadExec(ThreadCtx *T, const PendingLaunch *L, Dim3V BlockIdx,
-                     uint64_t SharedBase,
+  bool runThreadExec(ThreadCtx *T, WorkerCtx *W, const PendingLaunch *L,
+                     Dim3V BlockIdx, uint64_t SharedBase,
                      const void *const **LabelsOut = nullptr,
                      const int64_t *InitLocals = nullptr,
                      uint32_t ThreadCount = 0);
@@ -268,6 +336,24 @@ private:
         Locals[SI] = wrapToWidth(Locals[SI], Spec[SI] >> 1, Spec[SI] & 1);
   }
   bool drainLaunches();
+  /// The parallel queue drain: snapshots the queue as one wave, executes
+  /// it across the worker pool (main thread participating), merges
+  /// per-slot children/records in order, repeats until empty.
+  bool drainLaunchesParallel();
+  /// Claims and runs wave items until the wave is exhausted.
+  void runWaveItems(ParallelWave &Wave, WorkerCtx &W);
+  /// The pool thread body: waits for published waves.
+  void workerLoop(WorkerCtx &W, uint64_t SeenGen);
+  /// Spawns pool threads (and their contexts) up to Workers - 1.
+  void ensureWorkersSpawned();
+  /// Stops and joins all pool threads.
+  void shutdownWorkers();
+  /// Folds every worker shard into Stats (order-independent sums/max).
+  void mergeWorkerStats();
+  uint64_t stepBudgetLeft() const {
+    uint64_t Used = StepsUsed.load(std::memory_order_relaxed);
+    return StepLimit > Used ? StepLimit - Used : 0;
+  }
   bool fail(const std::string &Message);
   bool checkRange(uint64_t Addr, uint64_t Bytes);
   /// One-time static validation (jump targets, slot and callee indices);
@@ -288,10 +374,6 @@ private:
   /// take a streamlined path: each thread runs to completion once, with
   /// no scheduler bookkeeping.
   std::vector<uint8_t> MayBarrier;
-  /// Recycled argument buffers for device-side launches: the hot
-  /// parent-launches-children path performs no per-launch allocation in
-  /// steady state.
-  std::vector<std::vector<int64_t>> ArgPool;
   std::vector<uint8_t> Memory;
   uint64_t BumpPtr;
   std::deque<PendingLaunch> Queue;
@@ -299,19 +381,40 @@ private:
   std::string ValidationError; ///< Non-empty if validateProgram failed.
   VmStats Stats;
   uint64_t StepLimit = 2000ull * 1000 * 1000;
-  uint64_t StepsUsed = 0;
+  /// Steps retired device-wide, published at flush granularity; the
+  /// per-thread budget check reads it relaxed (the step limit is a
+  /// guard rail, not an exact fence, once several workers run).
+  std::atomic<uint64_t> StepsUsed{0};
   bool InHostCall = false;
-  std::vector<std::unique_ptr<BlockPool>> Pools;
-  unsigned PoolDepth = 0;
 
-  // Grid measurement log (setGridLogEnabled). AttributedSteps carries the
-  // steps already credited to completed grids so a parent grid whose
-  // pseudo-thread drains children mid-flight (cudaDeviceSynchronize)
-  // reports only its exclusive work.
+  // Worker pool. WorkerCtxs[0] belongs to the main thread; pool threads
+  // own [1, Workers). Threads spawn lazily at the first parallel drain
+  // and idle on WaveCv between waves; waves are published under
+  // WaveMutex (the lock pair is the acquire/release edge that makes
+  // grid-boundary memory visible across workers).
+  unsigned Workers = 1;
+  std::vector<std::unique_ptr<WorkerCtx>> WorkerCtxs;
+  std::vector<std::thread> WorkerThreads;
+  std::mutex WaveMutex;
+  std::condition_variable WaveCv;     ///< Workers wait for a wave.
+  std::condition_variable WaveDoneCv; ///< Main waits for wave completion.
+  ParallelWave *CurWave = nullptr;
+  uint64_t WaveGen = 0;
+  unsigned WaveActive = 0; ///< Pool threads still inside the wave.
+  bool ShuttingDown = false;
+  /// Guards the bump allocator (alloc is called from worker handlers —
+  /// frame-memory regions, cudaMalloc; Memory itself never reallocates,
+  /// so cached data pointers stay valid across concurrent allocs).
+  std::mutex AllocMutex;
+  /// Guards LastError's set-once write.
+  std::mutex ErrMutex;
+
+  // Grid measurement log (setGridLogEnabled). Records report each grid's
+  // *exclusive* steps via WorkerCtx::GridSteps (saved/zeroed/restored
+  // around nested grids), appended in deterministic order by the
+  // scheduler.
   bool GridLogEnabled = false;
   std::vector<GridRecord> GridLog;
-  uint64_t AttributedSteps = 0;
-  uint64_t CurGridMaxThreadSteps = 0;
 };
 
 /// Convenience: parse + compile + construct a device. Returns nullptr on

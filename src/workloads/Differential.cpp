@@ -250,7 +250,8 @@ bool bitIdentical(double A, double B) {
 DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
                                        std::string_view PipelineText,
                                        bool OptimizeBytecode,
-                                       uint64_t MemoryBytes) {
+                                       uint64_t MemoryBytes,
+                                       unsigned Workers) {
   DifferentialRun R;
 
   std::string Src = Case.source();
@@ -279,6 +280,8 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
     return R;
   }
   auto Dev = std::make_unique<Device>(std::move(Program), MemoryBytes);
+  if (Workers)
+    Dev->setWorkers(Workers);
 
   std::string StageError;
   KernelImage Img = stageKernelCase(*Dev, Case, &StageError);

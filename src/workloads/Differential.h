@@ -49,11 +49,16 @@ struct DifferentialRun {
 
 /// Transforms Case's DSL source through \p PipelineText (empty =
 /// untransformed), lowers to bytecode with the peephole optimizer on or
-/// off, and executes the full algorithm on the VM.
+/// off, and executes the full algorithm on the VM. \p Workers pins the
+/// device worker count (0 keeps the DPO_VM_WORKERS default); the payload
+/// contract holds at every worker count — the corpus kernels claim work
+/// through real atomics — which is what the worker-axis differential
+/// tests assert.
 DifferentialRun runKernelCaseOnVm(const KernelCase &Case,
                                   std::string_view PipelineText,
                                   bool OptimizeBytecode,
-                                  uint64_t MemoryBytes = 16ull << 20);
+                                  uint64_t MemoryBytes = 16ull << 20,
+                                  unsigned Workers = 0);
 
 /// Exact payload comparison for \p Bench. Returns true on a match; on
 /// mismatch \p Why describes the first divergence.

@@ -14,6 +14,8 @@
 #include <cassert>
 #include <cctype>
 #include <limits>
+#include <map>
+#include <mutex>
 
 using namespace dpo;
 
@@ -699,17 +701,27 @@ public:
 
   bool setup(Device &Dev, std::string &Error) override {
     std::string StageError;
-    Img = stageKernelCase(Dev, Case, &StageError);
+    KernelImage Staged = stageKernelCase(Dev, Case, &StageError);
     if (!StageError.empty() || !Dev.error().empty()) {
       Error = "dataset staging failed: " +
               (StageError.empty() ? Dev.error() : StageError);
       return false;
     }
+    // One binding serves concurrent measurement devices (the tuner's
+    // parallel candidate prefetch), so the staged image is kept per
+    // device under a lock instead of in a shared member.
+    std::lock_guard<std::mutex> Lock(ImagesMutex);
+    Images[&Dev] = Staged;
     return true;
   }
 
   std::vector<int64_t> argsFor(Device &Dev, const NestedBatch &Batch,
                                unsigned OriginalIndex) override {
+    KernelImage Img;
+    {
+      std::lock_guard<std::mutex> Lock(ImagesMutex);
+      Img = Images.at(&Dev);
+    }
     uint32_t NumParents = Batch.NumParentThreads;
     uint64_t Frontier = Img.Frontier;
     switch (Case.Bench) {
@@ -745,7 +757,8 @@ private:
 
   KernelCase Case;
   std::vector<std::vector<uint32_t>> ParentItems;
-  KernelImage Img;
+  std::mutex ImagesMutex;
+  std::map<const Device *, KernelImage> Images;
 };
 
 uint64_t datasetBytes(const KernelCase &Case) {

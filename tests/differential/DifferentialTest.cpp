@@ -118,6 +118,64 @@ TEST(DifferentialSuite, GridAggregationHoistsLaunchesOnRealBfs) {
 }
 
 //===----------------------------------------------------------------------===//
+// Worker-count axis: the corpus kernels claim their work through real
+// atomics (CAS frontier claims, atomicMin relaxations), so the payload
+// contract must hold unchanged when independent grids of one batch drain
+// concurrently. Single-worker execution additionally keeps the
+// deterministic step accounting the tuner's committed tables are priced
+// against.
+//===----------------------------------------------------------------------===//
+
+class WorkerAxisTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkerAxisTest, PayloadsIdenticalAtEveryWorkerCount) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  WorkloadOutput Native = Case.reference();
+  const std::string Pipelines[] = {
+      "", "threshold[64],coarsen[4],aggregate[multiblock:8]"};
+  for (const std::string &Pipeline : Pipelines) {
+    DifferentialRun Solo =
+        runKernelCaseOnVm(Case, Pipeline, true, 16ull << 20, /*Workers=*/1);
+    ASSERT_TRUE(Solo.Ok) << Case.Name << " [" << Pipeline
+                         << "]: " << Solo.Error;
+    std::string Why;
+    ASSERT_TRUE(payloadsMatch(Case.Bench, Native, Solo.Payload, Why))
+        << Case.Name << " [" << Pipeline << "] workers=1: " << Why;
+
+    // Determinism mode: a second single-worker run retires the identical
+    // step count (the bit-exact contract DPO_VM_WORKERS=1 documents).
+    DifferentialRun Solo2 =
+        runKernelCaseOnVm(Case, Pipeline, true, 16ull << 20, /*Workers=*/1);
+    ASSERT_TRUE(Solo2.Ok) << Solo2.Error;
+    EXPECT_EQ(Solo.Stats.Steps, Solo2.Stats.Steps)
+        << Case.Name << " [" << Pipeline << "]: single-worker step "
+        << "accounting is not deterministic";
+
+    for (unsigned Workers : {2u, 4u}) {
+      DifferentialRun Par =
+          runKernelCaseOnVm(Case, Pipeline, true, 16ull << 20, Workers);
+      ASSERT_TRUE(Par.Ok) << Case.Name << " [" << Pipeline << "] workers="
+                          << Workers << ": " << Par.Error;
+      EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Par.Payload, Why))
+          << Case.Name << " [" << Pipeline << "] workers=" << Workers << ": "
+          << Why << "\ntransformed:\n"
+          << Par.TransformedSource;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WorkerAxisTest,
+    ::testing::Range<size_t>(0, differentialCorpus().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = differentialCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!std::isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
 // Randomized pipeline-ordering fuzz: the fixed matrix above covers the
 // registered variants; this samples *arbitrary* registry orderings with
 // arbitrary knobs per corpus case and demands the same exact payloads.

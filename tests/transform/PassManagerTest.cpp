@@ -281,6 +281,178 @@ TEST(AnalysisManagerTest, NestedLaunchesInvalidateLaunchSites) {
   EXPECT_GE(AM.stats(AnalysisID::LaunchSites).Computed, 2u);
 }
 
+/// Two independent parent/child pairs: the unit of per-function
+/// invalidation. parent2's grid expression contains no division, so
+/// grid-dim recovery fails there (threshold queries it, caches the
+/// failure, and skips the site without touching parent2).
+const char *TwoParentSource = R"(
+__global__ void child1(int *data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    data[i] = data[i] + 1;
+  }
+}
+__global__ void child2(int *data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    data[i] = data[i] + 2;
+  }
+}
+__global__ void parent1(int *data, int *counts, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = counts[v];
+    if (count > 0) {
+      child1<<<(count + 31) / 32, 32>>>(data, count);
+    }
+  }
+}
+__global__ void parent2(int *data, int *counts, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = counts[v];
+    if (count > 0) {
+      child2<<<count * 2, 32>>>(data, count);
+    }
+  }
+}
+)";
+
+TEST(AnalysisManagerTest, ScopedInvalidationKeepsUntouchedFunctions) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseOrDie(TwoParentSource, Ctx, Diags);
+  AnalysisManager AM(Ctx, TU);
+
+  const std::vector<LaunchSite> &Sites = AM.launchSites();
+  ASSERT_EQ(Sites.size(), 2u);
+  const FunctionDecl *P1 = TU->findFunction("parent1");
+  const FunctionDecl *P2 = TU->findFunction("parent2");
+  // By value: the cached vector is replaced when the list reassembles.
+  const LaunchSite S1 = Sites[0].Caller == P1 ? Sites[0] : Sites[1];
+  const LaunchSite S2 = Sites[0].Caller == P2 ? Sites[0] : Sites[1];
+  ASSERT_EQ(S1.Caller, P1);
+  ASSERT_EQ(S2.Caller, P2);
+
+  AM.serializability(S1.Child);
+  AM.serializability(S2.Child);
+  AM.gridDim(S1.Caller, S1.Launch->gridDim());
+  AM.gridDim(S2.Caller, S2.Launch->gridDim());
+  AM.isPure(S1.Launch->gridDim(), S1.Caller);
+  AM.isPure(S2.Launch->gridDim(), S2.Caller);
+  EXPECT_EQ(AM.stats(AnalysisID::GridDim).Computed, 2u);
+  EXPECT_EQ(AM.stats(AnalysisID::Purity).Computed, 2u);
+
+  // A pass that mutated only parent1.
+  PreservedAnalyses PA;
+  PA.limitToFunctions({P1});
+  AM.invalidate(PA);
+
+  // The whole-TU site list reassembles from the surviving per-function
+  // lists: one Computed (parent1 rescanned), one Hit (the reuse).
+  EXPECT_EQ(AM.launchSites().size(), 2u);
+  EXPECT_EQ(AM.stats(AnalysisID::LaunchSites).Computed, 2u);
+  EXPECT_EQ(AM.stats(AnalysisID::LaunchSites).Hits, 1u);
+
+  // Touched functions were kernels, so child verdicts survive; parent2's
+  // expression-level results survive; parent1's were dropped.
+  AM.serializability(S1.Child);
+  AM.serializability(S2.Child);
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Computed, 2u);
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Hits, 2u);
+  AM.gridDim(S2.Caller, S2.Launch->gridDim());
+  EXPECT_EQ(AM.stats(AnalysisID::GridDim).Hits, 1u);
+  AM.gridDim(S1.Caller, S1.Launch->gridDim());
+  EXPECT_EQ(AM.stats(AnalysisID::GridDim).Computed, 3u);
+  AM.isPure(S2.Launch->gridDim(), S2.Caller);
+  EXPECT_EQ(AM.stats(AnalysisID::Purity).Hits, 1u);
+  AM.isPure(S1.Launch->gridDim(), S1.Caller);
+  EXPECT_EQ(AM.stats(AnalysisID::Purity).Computed, 3u);
+}
+
+TEST(AnalysisManagerTest, TouchedDeviceFunctionDropsAllTransformability) {
+  // Serializability is transitive over __device__ callees and the cache
+  // has no reverse call edges: touching a device function must drop every
+  // verdict, while touching a kernel drops only its own.
+  const char *Source = R"(
+__device__ int bump(int x) {
+  return x + 1;
+}
+__global__ void child(int *data, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    data[i] = bump(data[i]);
+  }
+}
+__global__ void parent(int *data, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    child<<<(numV + 31) / 32, 32>>>(data, numV);
+  }
+}
+)";
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseOrDie(Source, Ctx, Diags);
+  AnalysisManager AM(Ctx, TU);
+
+  const FunctionDecl *Child = TU->findFunction("child");
+  AM.serializability(Child);
+
+  PreservedAnalyses TouchKernel;
+  TouchKernel.limitToFunctions({TU->findFunction("parent")});
+  AM.invalidate(TouchKernel);
+  AM.serializability(Child);
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Hits, 1u);
+
+  PreservedAnalyses TouchDevice;
+  TouchDevice.limitToFunctions({TU->findFunction("bump")});
+  AM.invalidate(TouchDevice);
+  AM.serializability(Child);
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Computed, 2u);
+}
+
+TEST(PassPipelineTest, ScopedInvalidationHitsAcrossPasses) {
+  // Two threshold runs over TwoParentSource. The first transforms
+  // parent1's launch and abandons grid-dim/purity scoped to parent1; the
+  // second re-queries parent2's (cached, failed) grid-dim recovery — a
+  // hit only because the scoped invalidation kept untouched functions.
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseOrDie(TwoParentSource, Ctx, Diags);
+  AnalysisManager AM(Ctx, TU);
+
+  PassManager PM;
+  std::string Error;
+  ASSERT_TRUE(
+      parsePassPipeline(PM, "threshold[32],threshold[32]",
+                        PassPipelineConfig(), Error))
+      << Error;
+  ASSERT_TRUE(PM.run(Ctx, TU, AM, Diags)) << Diags.str();
+
+  // Run 1 computes both parents' grid-dims; run 2 recomputes parent1's
+  // (mutated) and hits parent2's.
+  EXPECT_EQ(AM.stats(AnalysisID::GridDim).Hits, 1u);
+  // Child verdicts survive both runs' invalidations (kernels only).
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Computed, 2u);
+  EXPECT_EQ(AM.stats(AnalysisID::Transformability).Hits, 2u);
+  // The site list is computed once and partially reassembled at most.
+  EXPECT_EQ(AM.stats(AnalysisID::LaunchSites).Computed, 1u);
+
+  // The same numbers flow into --print-pass-stats: the grid-dim row of
+  // the report shows the cross-pass hit.
+  std::string Report = PM.statsReport(AM);
+  unsigned Computed = 0, Hits = 0, Invalidated = 0;
+  size_t Pos = Report.find("grid-dim");
+  ASSERT_NE(Pos, std::string::npos) << Report;
+  ASSERT_EQ(std::sscanf(Report.c_str() + Pos, "grid-dim %u %u %u", &Computed,
+                        &Hits, &Invalidated),
+            3)
+      << Report;
+  EXPECT_EQ(Hits, 1u) << Report;
+  EXPECT_GE(Invalidated, 1u) << Report;
+}
+
 //===----------------------------------------------------------------------===//
 // Pipeline strings
 //===----------------------------------------------------------------------===//

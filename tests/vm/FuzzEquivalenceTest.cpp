@@ -92,13 +92,15 @@ struct RunResult {
 
 RunResult runNested(const std::string &Source,
                     const std::vector<int32_t> &Counts,
-                    const VmCompileOptions &Opts = {}) {
+                    const VmCompileOptions &Opts = {}, unsigned Workers = 0) {
   RunResult R;
   DiagnosticEngine Diags;
   auto Dev = buildDevice(Source, Diags, Opts);
   EXPECT_NE(Dev, nullptr) << Diags.str() << "\n" << Source;
   if (!Dev)
     return R;
+  if (Workers)
+    Dev->setWorkers(Workers);
   int NumV = Counts.size();
   std::vector<int32_t> Offsets(NumV);
   int Total = 0;
@@ -187,6 +189,25 @@ TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
     ASSERT_EQ(Dec.Stats.DeviceLaunches, Base.Stats.DeviceLaunches);
     ASSERT_EQ(Dec.Stats.BlocksExecuted, Base.Stats.BlocksExecuted);
     ASSERT_EQ(Dec.Stats.ThreadsExecuted, Base.Stats.ThreadsExecuted);
+  }
+
+  // Worker-count axis: the fuzz children write disjoint out[] slices, so
+  // the payload is schedule-independent — a multi-worker drain must
+  // reproduce the sequential memory image exactly, and a device pinned to
+  // one worker must also reproduce the step accounting bit-for-bit.
+  {
+    for (unsigned Workers : {2u, 4u}) {
+      RunResult Par = runNested(Source, Counts, Opts, Workers);
+      ASSERT_TRUE(Par.Ok);
+      ASSERT_EQ(Reference.Out, Par.Out)
+          << "workers=" << Workers << " changed program semantics, seed "
+          << Seed;
+    }
+    RunResult Solo = runNested(Source, Counts, Opts, 1);
+    ASSERT_TRUE(Solo.Ok);
+    ASSERT_EQ(Reference.Out, Solo.Out);
+    ASSERT_EQ(Reference.Stats.Steps, Solo.Stats.Steps)
+        << "single-worker step accounting drifted, seed " << Seed;
   }
 
   // Printer round-trip on the original.
