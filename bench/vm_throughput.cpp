@@ -26,13 +26,17 @@
 ///
 /// Every workload runs with the peephole optimizer on and off on the
 /// decoded-IR engine (the default); quickstart and compute additionally
-/// run on the bytecode-interpreter fallback (exec_bytecode series) so
-/// the decoded layer's dispatch-rate win is measured directly, and a
-/// decode-time series (BM_DeviceBuild) prices the load-time lowering
-/// itself. Reported counters:
+/// run on the bytecode-interpreter fallback (exec_bytecode series) and
+/// on the decoded engine with trace formation disabled
+/// (exec_decoded_notrace) so the decode layer's and the trace layer's
+/// dispatch-rate wins are each measured directly, and a decode-time
+/// series (BM_DeviceBuild) prices the load-time lowering itself.
+/// Reported counters:
 ///  - steps_per_sec: bytecode steps retired per second (identical step
 ///    accounting across engines, so the series are comparable);
 ///  - us_per_launch: wall time per top-level kernel run;
+///  - trace_hit_rate: share of trace executions retiring without a guard
+///    side exit (0 on the non-traced series);
 ///  - decode_instrs_per_sec (decode series): decoded instrs per second.
 /// `scripts/bench_baseline.sh` snapshots the numbers to BENCH_vm.json so
 /// future PRs can track the trajectory.
@@ -136,11 +140,18 @@ std::unique_ptr<Device> mustBuild(const std::string &Source, bool Optimize,
 }
 
 void reportVmCounters(benchmark::State &State, Device &Dev) {
-  State.counters["steps_per_sec"] = benchmark::Counter(
-      (double)Dev.stats().Steps, benchmark::Counter::kIsRate);
+  const VmStats &S = Dev.stats();
+  State.counters["steps_per_sec"] =
+      benchmark::Counter((double)S.Steps, benchmark::Counter::kIsRate);
   State.counters["us_per_launch"] = benchmark::Counter(
       (double)State.iterations() / 1e6,
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  // Share of trace executions (entries + closed-loop iterations) that
+  // retired without a guard side exit. 0 when the engine formed or
+  // entered no traces (bytecode / decoded-notrace series).
+  uint64_t Retired = S.TraceEntries + S.TraceIters;
+  State.counters["trace_hit_rate"] =
+      Retired ? 1.0 - (double)S.TraceSideExits / (double)Retired : 0.0;
 }
 
 /// Nested parent/child launch workload (quickstart shape). When
@@ -400,15 +411,24 @@ BENCHMARK(BM_GridDrain)
     ->MeasureProcessCPUTime()
     ->Unit(benchmark::kMillisecond);
 
-// Engine comparison (same bytecode, decoded loop vs fallback) and the
-// decode-time series.
+// Engine comparison (same bytecode, decoded loop with and without traces
+// vs the bytecode fallback) and the decode-time series.
 BENCHMARK_CAPTURE(BM_QuickstartExec, exec_bytecode, ExecMode::Bytecode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_QuickstartExec, exec_decoded_notrace,
+                  ExecMode::DecodedNoTrace)
     ->Unit(benchmark::kMillisecond);
 static void BM_ComputeExecBytecode(benchmark::State &State) {
   BM_Compute(State, /*Optimize=*/true, ExecMode::Bytecode);
 }
 BENCHMARK(BM_ComputeExecBytecode)->Unit(benchmark::kMillisecond);
+static void BM_ComputeExecNoTrace(benchmark::State &State) {
+  BM_Compute(State, /*Optimize=*/true, ExecMode::DecodedNoTrace);
+}
+BENCHMARK(BM_ComputeExecNoTrace)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DeviceBuild, decoded, ExecMode::Decoded)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DeviceBuild, decoded_notrace, ExecMode::DecodedNoTrace)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_DeviceBuild, bytecode, ExecMode::Bytecode)
     ->Unit(benchmark::kMicrosecond);

@@ -34,6 +34,7 @@
 #include "tuner/TunedTable.h"
 #include "workloads/KernelSources.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -81,6 +82,15 @@ static void usage() {
       "                      name is derived from the workload spec; with\n"
       "                      this flag the input file is optional\n"
       "                      (tune-only)\n"
+      "  --print-vm-stats    execute the selected pipeline on the bytecode\n"
+      "                      VM (against --workload=, else the canonical\n"
+      "                      nested workload) and report the run's event\n"
+      "                      counts plus the trace-engine counters: traces\n"
+      "                      formed, entries/iterations retired, side-exit\n"
+      "                      rate. Honors DPO_VM_EXEC, so prefixing\n"
+      "                      DPO_VM_EXEC=decoded-notrace is the A/B lever\n"
+      "                      for the trace layer; input file optional\n"
+      "                      (stats-only)\n"
       "\n"
       "pipeline grammar (also: dpoptcc --list-passes):\n"
       "  pipeline := pass (',' pass)*\n"
@@ -135,6 +145,63 @@ static bool parseCountFlag(const char *Flag, const std::string &Text,
   return false;
 }
 
+/// --print-vm-stats: compile \p Pipeline over the selected workload (a
+/// --workload= Table I case bound to its dataset, else the canonical
+/// nested workload), execute the measurement sample on the VM, and report
+/// the event counts plus the trace-execution counters. The engine follows
+/// DPO_VM_EXEC (decoded / decoded-notrace / bytecode), making the flag the
+/// command-line A/B lever for the trace layer.
+static bool printVmStatsFor(const std::string &Pipeline,
+                            const std::string &WorkloadSpec,
+                            const EmpiricalOptions &Opts) {
+  VmWorkload Workload;
+  if (!WorkloadSpec.empty()) {
+    BenchCase Case;
+    std::string SpecError;
+    if (!parseWorkloadSpec(WorkloadSpec, Case, SpecError)) {
+      std::fprintf(stderr, "error: bad --workload= spec '%s': %s\n",
+                   WorkloadSpec.c_str(), SpecError.c_str());
+      return false;
+    }
+    Workload = kernelVmWorkload(Case);
+  } else {
+    Workload = canonicalTuneWorkload(Opts.Seed);
+  }
+  std::string Name = Workload.Name;
+  GpuModel Gpu;
+  EmpiricalEvaluator Eval(Gpu, std::move(Workload), Opts);
+  std::optional<VmMeasurement> M = Eval.measurePipeline(Pipeline);
+  if (!M) {
+    std::fprintf(stderr, "error: %s\n", Eval.lastError().c_str());
+    return false;
+  }
+  uint64_t Retired = M->TraceEntries + M->TraceIters;
+  std::fprintf(stderr, "vm stats: workload %s, pipeline %s\n", Name.c_str(),
+               Pipeline.empty() ? "(untransformed)" : Pipeline.c_str());
+  std::fprintf(stderr, "  steps            %llu\n",
+               (unsigned long long)M->Steps);
+  std::fprintf(stderr, "  grids launched   %llu (device %llu, host %llu)\n",
+               (unsigned long long)M->GridsLaunched,
+               (unsigned long long)M->DeviceLaunches,
+               (unsigned long long)M->HostLaunches);
+  std::fprintf(stderr, "  blocks executed  %llu\n",
+               (unsigned long long)M->BlocksExecuted);
+  std::fprintf(stderr, "  threads executed %llu\n",
+               (unsigned long long)M->ThreadsExecuted);
+  std::fprintf(stderr, "  traces formed    %llu\n",
+               (unsigned long long)M->TracesFormed);
+  std::fprintf(stderr, "  trace entries    %llu\n",
+               (unsigned long long)M->TraceEntries);
+  std::fprintf(stderr, "  trace iterations %llu\n",
+               (unsigned long long)M->TraceIters);
+  std::fprintf(stderr, "  trace side exits %llu (%.2f%% of %llu retirements)\n",
+               (unsigned long long)M->TraceSideExits,
+               100.0 * (double)M->TraceSideExits /
+                   (double)std::max<uint64_t>(1, Retired),
+               (unsigned long long)Retired);
+  return true;
+}
+
 static void listPasses() {
   std::printf("pipeline grammar:  pipeline := pass (',' pass)*\n"
               "                   pass     := name ('[' param (':' param)* "
@@ -154,6 +221,7 @@ int main(int argc, char **argv) {
   std::string Input, Output, PassText;
   bool AnyPass = false;
   bool PrintPassStats = false;
+  bool PrintVmStats = false;
   bool Tune = false;
   TuneMode Mode = TuneMode::Hybrid;
   EmpiricalOptions TuneOpts;
@@ -224,6 +292,8 @@ int main(int argc, char **argv) {
       TuneReport = Arg.substr(14);
     } else if (Arg == "--print-pass-stats") {
       PrintPassStats = true;
+    } else if (Arg == "--print-vm-stats") {
+      PrintVmStats = true;
     } else if (Arg == "--list-passes") {
       listPasses();
       return 0;
@@ -250,15 +320,19 @@ int main(int argc, char **argv) {
                  "-passes=\n");
     return 1;
   }
-  if ((!WorkloadSpec.empty() || !TuneReport.empty()) && !Tune) {
+  if (!WorkloadSpec.empty() && !Tune && !PrintVmStats) {
     std::fprintf(stderr,
-                 "error: --workload=/--tune-report= require --tune=\n");
+                 "error: --workload= requires --tune= or --print-vm-stats\n");
+    return 1;
+  }
+  if (!TuneReport.empty() && !Tune) {
+    std::fprintf(stderr, "error: --tune-report= requires --tune=\n");
     return 1;
   }
   if (PassText.empty() && !AnyPass && !Tune)
     Options.EnableThresholding = Options.EnableCoarsening =
         Options.EnableAggregation = true;
-  if (Input.empty() && TuneReport.empty()) {
+  if (Input.empty() && TuneReport.empty() && !PrintVmStats) {
     usage();
     return 1;
   }
@@ -329,6 +403,11 @@ int main(int argc, char **argv) {
     PassText = R.Pipeline;
     if (PassText.empty()) {
       // Nothing to do: the tuner chose the untransformed program.
+      if (PrintVmStats &&
+          !printVmStatsFor("", WorkloadSpec, TuneOpts))
+        return 1;
+      if (Input.empty())
+        return 0; // stats-only mode
       std::ifstream TuneIn(Input);
       if (!TuneIn) {
         std::fprintf(stderr, "error: cannot open '%s'\n", Input.c_str());
@@ -345,6 +424,22 @@ int main(int argc, char **argv) {
       }
       return 0;
     }
+  }
+
+  if (PrintVmStats) {
+    // Measure the pipeline about to run. The -t/-c/-a form renders to the
+    // same textual spelling the pass manager would report, so the measured
+    // pipeline and the emitted source always agree.
+    std::string VmPipeline = PassText;
+    if (VmPipeline.empty()) {
+      PassManager Render;
+      buildPassPipeline(Render, Options);
+      VmPipeline = Render.pipelineText();
+    }
+    if (!printVmStatsFor(VmPipeline, WorkloadSpec, TuneOpts))
+      return 1;
+    if (Input.empty())
+      return 0; // stats-only mode
   }
 
   std::ifstream In(Input);

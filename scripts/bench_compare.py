@@ -17,6 +17,12 @@ baseline cannot know. BM_GridDrain/1 — the deterministic single-lane
 drain — stays inside the gate. When the fresh snapshot has the full
 series, a worker-scaling summary (speedup vs one worker) is printed.
 
+The BM_DeviceBuild series (device construction: validation, decoded-IR
+lowering, trace formation) stays inside the gate like any other entry —
+that is what keeps trace-formation cost within the compile-time
+tolerance — and additionally gets a decode-time delta summary breaking
+construction cost down by engine mode.
+
 Exit status: 0 = no regression, 1 = at least one regression, 2 = bad input.
 
 Caveat: absolute throughput is machine-dependent. Comparing a committed
@@ -53,6 +59,28 @@ def scaling_summary(fresh):
     print("worker scaling (grid-drain throughput vs 1 worker):")
     for workers in sorted(series):
         print(f"  {workers} worker(s): {series[workers] / series[1]:.2f}x")
+
+
+def decode_summary(fresh):
+    """Decode-time deltas from the fresh BM_DeviceBuild series: what the
+    ExecIR lowering and trace formation each add to device construction.
+    Entries carry 1/cpu_time throughput, so time ratios invert them."""
+    series = {}
+    for name, (value, _metric) in fresh.items():
+        base, _, variant = name.partition("/")
+        if base == "BM_DeviceBuild" and variant:
+            series[variant] = value
+    if "decoded" not in series:
+        return
+    print("decode-time deltas (device construction cost by engine mode):")
+    if "decoded_notrace" in series:
+        overhead = series["decoded_notrace"] / series["decoded"] - 1.0
+        print(f"  trace formation: {overhead * 100.0:+.1f}% on top of the "
+              "pair-fused decode")
+    if "bytecode" in series:
+        overhead = series["bytecode"] / series["decoded"] - 1.0
+        print(f"  full decode (pairs + traces): {overhead * 100.0:+.1f}% on "
+              "top of validation alone")
 
 
 def throughput(entry):
@@ -116,6 +144,7 @@ def main(argv):
         print(f"{name:<44} {base_v:12.3g} {fresh_v:12.3g} {delta:+7.1f}%"
               f"{flag}")
     scaling_summary(fresh)
+    decode_summary(fresh)
     skipped = (set(fresh) | set(base)) - set(common)
     if skipped:
         print(f"(skipped {len(skipped)} benchmark(s) present on one side "

@@ -9,6 +9,7 @@
 #include "support/StringUtils.h"
 #include "transform/AggregationPass.h"
 #include "transform/BuiltinRewrite.h"
+#include "transform/CanonicalizePass.h"
 #include "transform/CoarseningPass.h"
 #include "transform/ThresholdingPass.h"
 
@@ -179,6 +180,16 @@ std::unique_ptr<TransformPass> makeAggregatePass(std::string_view Params,
 }
 
 std::unique_ptr<TransformPass>
+makeCanonicalizePass(std::string_view Params, const PassPipelineConfig &,
+                     std::string &Error) {
+  if (!Params.empty()) {
+    Error = "canonicalize: takes no parameters";
+    return nullptr;
+  }
+  return std::make_unique<CanonicalizePass>();
+}
+
+std::unique_ptr<TransformPass>
 makeBuiltinRewritePass(std::string_view Params, const PassPipelineConfig &,
                        std::string &Error) {
   std::unordered_map<std::string, BuiltinRemap> Map;
@@ -234,6 +245,11 @@ makeBuiltinRewritePass(std::string_view Params, const PassPipelineConfig &,
 //===----------------------------------------------------------------------===//
 
 PassRegistry::PassRegistry() {
+  registerPass("canonicalize",
+               "normalize launch-dimension spellings (shift-spelled "
+               "divisions, literal folds) so the grid-dim matcher sees "
+               "canonical forms; run ahead of threshold/coarsen",
+               makeCanonicalizePass);
   registerPass("threshold",
                "serialize small child grids behind a launch threshold "
                "(params: N, 'fallback', 'literal'/'macro')",

@@ -194,15 +194,18 @@ const VmProgram *EmpiricalEvaluator::programFor(const std::string &Pipeline) {
 bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
                                         const std::string &Pipeline,
                                         unsigned Resource, VmMeasurement &Out,
-                                        std::string &Err) const {
-  // Pin the decoded engine explicitly: measurements must not depend on
-  // the DPO_VM_EXEC environment toggle. The scores themselves are
-  // engine-independent anyway — both engines retire identical Steps,
-  // GridRecords, and launch counts (decode fusions carry the step cost
-  // of the pairs they replace), so measuredMakespanCycles prices the
-  // same work either way and committed tuned tables stay valid.
+                                        std::string &Err,
+                                        ExecMode Mode) const {
+  // Search measurements pin the decoded engine (the default \p Mode):
+  // they must not depend on the DPO_VM_EXEC environment toggle. The
+  // scores themselves are engine-independent anyway — every engine
+  // retires identical Steps, GridRecords, and launch counts (decode
+  // fusions and traces carry the step cost of what they replace), so
+  // measuredMakespanCycles prices the same work either way and committed
+  // tuned tables stay valid. measurePipeline() passes Auto so the stats
+  // printer can A/B engines through the environment.
   Device Dev(Program, std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes),
-             ExecMode::Decoded);
+             Mode);
   // Measurement devices stay single-worker regardless of DPO_VM_WORKERS:
   // racy kernels (BFS/SSSP frontier CAS) retire worker-count-dependent
   // step totals, and tuned tables are committed against the sequential
@@ -261,7 +264,26 @@ bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
   Out.GridsLaunched = S.GridsLaunched;
   Out.BatchesRun = Resource;
   Out.Cycles = measuredMakespanCycles(Dev.gridLog(), S, Gpu);
+  Out.TracesFormed = Dev.decodeStats().TracesFormed;
+  Out.TraceEntries = S.TraceEntries;
+  Out.TraceIters = S.TraceIters;
+  Out.TraceSideExits = S.TraceSideExits;
   return true;
+}
+
+std::optional<VmMeasurement>
+EmpiricalEvaluator::measurePipeline(const std::string &PipelineText,
+                                    ExecMode Mode) {
+  const VmProgram *Program = programFor(PipelineText);
+  if (!Program)
+    return std::nullopt;
+  VmMeasurement M;
+  std::string Err;
+  if (!runMeasurement(*Program, PipelineText, maxResource(), M, Err, Mode)) {
+    LastError = std::move(Err);
+    return std::nullopt;
+  }
+  return M;
 }
 
 unsigned EmpiricalEvaluator::evalWorkers() const {

@@ -97,6 +97,14 @@ struct VmMeasurement {
   uint64_t GridsLaunched = 0;
   unsigned BatchesRun = 0;
   double Cycles = 0;
+  /// Trace-engine observability (zero under bytecode / decoded-notrace):
+  /// superblocks the decoder formed, entries into them, closed-loop
+  /// iterations retired inside them, and guard side exits. Purely
+  /// diagnostic — Steps and the event counts above are engine-invariant.
+  uint64_t TracesFormed = 0;
+  uint64_t TraceEntries = 0;
+  uint64_t TraceIters = 0;
+  uint64_t TraceSideExits = 0;
 };
 
 /// Prices one VM execution from its per-grid measurements. The VM is a
@@ -134,6 +142,16 @@ public:
     return measure(Config, maxResource());
   }
 
+  /// Compiles \p PipelineText over the workload (empty = untransformed)
+  /// and executes the full measurement sample on a fresh device running
+  /// under \p Mode (Auto follows the DPO_VM_EXEC toggle). Shares the
+  /// compile cache with measure() but spends no search budget; the trace
+  /// counters in the result come from the run's device. Feeds dpoptcc's
+  /// --print-vm-stats and the throughput bench's trace columns.
+  std::optional<VmMeasurement>
+  measurePipeline(const std::string &PipelineText,
+                  ExecMode Mode = ExecMode::Auto);
+
   /// Executes the VM runs that upcoming measure(C, \p Resource) calls
   /// over \p Configs (in order) would perform, concurrently across
   /// options().EvalWorkers threads, and parks the results in a staging
@@ -169,8 +187,8 @@ private:
   /// out-parameters and immutable evaluator state): the body shared by
   /// the sequential measure() path and prefetch()'s worker threads.
   bool runMeasurement(const VmProgram &Program, const std::string &Pipeline,
-                      unsigned Resource, VmMeasurement &Out,
-                      std::string &Err) const;
+                      unsigned Resource, VmMeasurement &Out, std::string &Err,
+                      ExecMode Mode = ExecMode::Decoded) const;
   unsigned evalWorkers() const;
 
   /// A prefetched measurement waiting for its measure() call (which

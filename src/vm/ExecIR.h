@@ -30,12 +30,37 @@
 ///    whose budget falls inside a fused pair: the bytecode engine
 ///    retires the first half before failing, the decoded engine retires
 ///    neither — both fail the run, and the flushed counts differ by at
-///    most one sub-instruction.
+///    most one sub-instruction;
+///  - on top of the pair-fused baseline, the decoder forms *traces*:
+///    straight-line superblocks that follow the predicted path across
+///    basic-block boundaries (function entry and every loop head are
+///    candidate heads; forward conditionals are predicted not-taken —
+///    unless the fall-through is a break-shaped unconditional jump past
+///    the conditional's target, in which case the guard is inverted and
+///    the taken edge walked — and the head's own back edge closes the
+///    loop). Trace code is appended
+///    after the baseline region (ExecFunc::TraceBase); entry happens by
+///    retargeting every jump to a head at its XOp::TraceEnter, so the
+///    baseline region stays intact for side exits. Inside a trace,
+///    control flow is known, which licenses the two rewrites the
+///    peephole cannot do: branch-aware range refinement (a not-taken
+///    guard narrows the slot invariants published by
+///    slotInvariantRanges, eliding now-provably-identity TruncIs) and a
+///    frame-local store-to-load forwarder. Guards side-exit through
+///    XOp::TraceExit trampolines into the baseline region with the
+///    operand stack already exact; step accounting stays exact because
+///    every trace element carries the step cost of the bytecode
+///    instructions it covers (synthetic trace jumps cost 0, and a
+///    folded-away instruction's cost rides on the next element that
+///    retires after it on the original path). A step-limit abort whose
+///    budget falls inside a multi-instruction element diverges by at
+///    most the covered sub-instructions, exactly as with fused pairs.
 ///
 /// The bytecode interpreter remains as a first-class fallback engine
-/// (ExecMode::Bytecode / DPO_VM_EXEC=bytecode); the fuzz and equivalence
-/// suites run both engines against each other and CI keeps the fallback
-/// covered.
+/// (ExecMode::Bytecode / DPO_VM_EXEC=bytecode), and the decoded engine
+/// can run with traces disabled (ExecMode::DecodedNoTrace /
+/// DPO_VM_EXEC=decoded-notrace); the fuzz and equivalence suites run the
+/// engines against each other and CI keeps both fallbacks covered.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,11 +95,30 @@ namespace dpo {
 ///
 /// Width/sign operands pack as (width << 1) | signExtend, exactly the
 /// TruncI encoding; two slot indices pack as lo | (hi << 32).
+///
+/// The trace layer adds four more decode-only forms:
+///
+///   TraceEnter        count a trace entry, fall through       (cost 0)
+///   TraceLoop         count an iteration, jump to A           (cost 0)
+///   TraceExit         count a side exit, jump to baseline A   (cost 0/1)
+///   LoadTrunc         push wrap(locals[A]) per B   [store-to-load forward]
+///
+/// TraceEnter is the retarget destination for every jump into the trace
+/// (it sits immediately before the body, so it needs no operand);
+/// TraceLoop is the loop-closing jump back to the first body element;
+/// TraceExit is the per-(target, cost) trampoline guards branch to. All
+/// three are synthetic — no bytecode instruction corresponds to them —
+/// so they cost 0 steps, with one exception: when a guard was inverted,
+/// the unconditional Jmp it folded executes only on the exit path, so
+/// that trampoline charges the Jmp's step (cost 1). Trampolines can
+/// therefore trip the step budget exactly where the baseline's Jmp
+/// would have.
 #define DPO_FOR_EACH_XOPCODE(X)                                               \
   X(StoreLocalImm) X(CopyLocal) X(GlobalTidStore) X(TeeLocal) X(Push2)        \
   X(AddTrunc) X(MulImmTrunc) X(TruncMulAdd) X(LoadImmAddTrunc) X(LoadLLAdd)   \
   X(JmpLLLTI) X(JmpLLGEI) X(JmpLLLEI) X(JmpLLGTI) X(JmpLLEQ) X(JmpLLNE)       \
-  X(JmpLLLTU) X(JmpLLGEU) X(JmpLLLEU) X(JmpLLGTU)
+  X(JmpLLLTU) X(JmpLLGEU) X(JmpLLLEU) X(JmpLLGTU)                             \
+  X(TraceEnter) X(TraceLoop) X(TraceExit) X(LoadTrunc)
 
 enum class XOp : uint16_t {
   BaseMarker = NumOpcodes - 1,
@@ -90,12 +134,16 @@ constexpr unsigned NumExecOpcodes = (unsigned)XOp::Count;
 /// Printable mnemonic covering both opcode spaces.
 const char *execOpName(uint16_t Code);
 
-/// True when the decoded instruction's A operand is a jump target the
-/// decoder must remap (base jump ops plus the fused JmpLL family).
+/// True when the decoded instruction's A operand is a code index (base
+/// jump ops, the fused JmpLL family, and the trace jumps). In the
+/// baseline region A holds a bytecode PC until the decoder's remap pass;
+/// in the trace region A is emitted as a final decoded index directly.
 inline bool execOpIsJump(uint16_t Code) {
   if (Code < NumOpcodes)
     return isJumpOp((Op)Code);
-  return Code >= (uint16_t)XOp::JmpLLLTI && Code <= (uint16_t)XOp::JmpLLGTU;
+  return (Code >= (uint16_t)XOp::JmpLLLTI &&
+          Code <= (uint16_t)XOp::JmpLLGTU) ||
+         Code == (uint16_t)XOp::TraceLoop || Code == (uint16_t)XOp::TraceExit;
 }
 
 /// One decoded instruction. 32 bytes, fixed width, cache-line aligned in
@@ -120,12 +168,23 @@ struct ExecFunc {
   unsigned FrameBytes = 0;
   bool IsKernel = false;
   bool ReturnsValue = false;
+  /// First trace-region index; Code[0, TraceBase) is the baseline
+  /// (pair-fused, one-to-one accountable) region. == Code.size() when no
+  /// traces were kept.
+  unsigned TraceBase = 0;
+  /// Where a fresh frame starts executing: 0, or the entry trace's
+  /// TraceEnter. Frames suspended mid-run (barriers, child-grid sync,
+  /// calls) resume at their saved PC, which is never 0 — the saved value
+  /// always points past at least one retired instruction.
+  unsigned EntryPC = 0;
 };
 
 struct ExecDecodeStats {
   uint64_t InstrsIn = 0;  ///< Bytecode instructions decoded.
-  uint64_t InstrsOut = 0; ///< Decoded instructions emitted.
+  uint64_t InstrsOut = 0; ///< Baseline decoded instructions emitted.
   uint64_t FusedPairs = 0;
+  uint64_t TracesFormed = 0; ///< Superblock traces kept (profitable).
+  uint64_t TraceInstrs = 0;  ///< Decoded instructions in trace regions.
 };
 
 /// A decoded program: one ExecFunc per bytecode function, same indices.
@@ -138,11 +197,14 @@ struct ExecProgram {
 /// Lowers validated bytecode into the decoded execution IR.
 /// \p Handlers maps every value in [0, NumExecOpcodes) to the decoded
 /// interpreter's handler address; pass nullptr on switch-fallback builds
-/// (Handler fields stay null). The bytecode must already have passed
+/// (Handler fields stay null). \p EnableTraces additionally forms
+/// superblock traces after the baseline region (off for
+/// ExecMode::DecodedNoTrace). The bytecode must already have passed
 /// Device validation — the decoder assumes in-range jump targets, slots,
 /// and callee indices.
 ExecProgram decodeProgram(const VmProgram &Program,
-                          const void *const *Handlers);
+                          const void *const *Handlers,
+                          bool EnableTraces = true);
 
 } // namespace dpo
 

@@ -38,133 +38,17 @@ int64_t wrapTo(int64_t V, int64_t Width, int64_t SignExtend) {
 // eliding the parameter-driven re-wraps the old analysis had to keep.
 //===----------------------------------------------------------------------===//
 
-struct Range {
-  bool Known = false;
-  int64_t Lo = 0, Hi = 0;
-};
-
-bool rangeEq(const Range &A, const Range &B) {
-  if (A.Known != B.Known)
-    return false;
-  return !A.Known || (A.Lo == B.Lo && A.Hi == B.Hi);
-}
-
-/// True when \p Inner is contained in \p Outer (unknown contains all).
-bool rangeContains(const Range &Outer, const Range &Inner) {
-  if (!Outer.Known)
-    return true;
-  return Inner.Known && Inner.Lo >= Outer.Lo && Inner.Hi <= Outer.Hi;
-}
+// The interval domain and its combinators (rAdd, rMul, rTruncOf, ...)
+// live in vm/SlotOps.h so the trace former (vm/ExecIR.cpp) can consume
+// the fixpoint this file publishes through slotInvariantRanges().
+using Range = SlotRange;
 
 Range rangeOfTrunc(int64_t Width, int64_t SignExtend) {
-  switch (Width) {
-  case 1:
-    return SignExtend ? Range{true, -128, 127} : Range{true, 0, 255};
-  case 2:
-    return SignExtend ? Range{true, -32768, 32767} : Range{true, 0, 65535};
-  case 4:
-    return SignExtend ? Range{true, INT32_MIN, INT32_MAX}
-                      : Range{true, 0, (int64_t)UINT32_MAX};
-  default:
-    return {};
-  }
+  return slotRangeOfTrunc(Width, SignExtend);
 }
 
 bool rangeFits(const Range &R, int64_t Width, int64_t SignExtend) {
-  Range T = rangeOfTrunc(Width, SignExtend);
-  return R.Known && T.Known && R.Lo >= T.Lo && R.Hi <= T.Hi;
-}
-
-// Overflow-checked int64 arithmetic (portable; any overflow makes the
-// derived range unknown rather than wrong).
-bool addChecked(int64_t A, int64_t B, int64_t &Out) {
-  if (B > 0 && A > INT64_MAX - B)
-    return false;
-  if (B < 0 && A < INT64_MIN - B)
-    return false;
-  Out = A + B;
-  return true;
-}
-bool mulChecked(int64_t A, int64_t B, int64_t &Out) {
-  if (A == 0 || B == 0) {
-    Out = 0;
-    return true;
-  }
-  if ((A == INT64_MIN && B == -1) || (B == INT64_MIN && A == -1))
-    return false;
-  int64_t R = (int64_t)((uint64_t)A * (uint64_t)B);
-  if (R / B != A)
-    return false;
-  Out = R;
-  return true;
-}
-
-Range rAdd(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known)
-    return {};
-  Range R{true, 0, 0};
-  if (!addChecked(A.Lo, B.Lo, R.Lo) || !addChecked(A.Hi, B.Hi, R.Hi))
-    return {};
-  return R;
-}
-Range rAddConst(const Range &A, int64_t K) { return rAdd(A, {true, K, K}); }
-Range rSub(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known)
-    return {};
-  if (B.Hi == INT64_MIN || B.Lo == INT64_MIN) // -INT64_MIN overflows
-    return {};
-  Range R{true, 0, 0};
-  if (!addChecked(A.Lo, -B.Hi, R.Lo) || !addChecked(A.Hi, -B.Lo, R.Hi))
-    return {};
-  return R;
-}
-Range rMul(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known)
-    return {};
-  int64_t C[4];
-  if (!mulChecked(A.Lo, B.Lo, C[0]) || !mulChecked(A.Lo, B.Hi, C[1]) ||
-      !mulChecked(A.Hi, B.Lo, C[2]) || !mulChecked(A.Hi, B.Hi, C[3]))
-    return {};
-  Range R{true, C[0], C[0]};
-  for (int I = 1; I < 4; ++I) {
-    R.Lo = std::min(R.Lo, C[I]);
-    R.Hi = std::max(R.Hi, C[I]);
-  }
-  return R;
-}
-/// Signed division by a provably positive divisor (quotients are
-/// monotone in each operand over positive divisors, so the four corners
-/// bound the result). Used for the blockDim.x/2-style stride loops.
-Range rDivPos(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known || B.Lo <= 0)
-    return {};
-  int64_t C[4] = {A.Lo / B.Lo, A.Lo / B.Hi, A.Hi / B.Lo, A.Hi / B.Hi};
-  Range R{true, C[0], C[0]};
-  for (int I = 1; I < 4; ++I) {
-    R.Lo = std::min(R.Lo, C[I]);
-    R.Hi = std::max(R.Hi, C[I]);
-  }
-  return R;
-}
-Range rRemPos(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known || B.Lo <= 0 || A.Lo < 0)
-    return {};
-  return {true, 0, std::min(A.Hi, B.Hi - 1)};
-}
-Range rMinI(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known)
-    return {};
-  return {true, std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
-}
-Range rMaxI(const Range &A, const Range &B) {
-  if (!A.Known || !B.Known)
-    return {};
-  return {true, std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
-}
-Range rTruncOf(const Range &V, int64_t Width, int64_t SignExtend) {
-  if (rangeFits(V, Width, SignExtend))
-    return V;
-  return rangeOfTrunc(Width, SignExtend);
+  return slotRangeFits(R, Width, SignExtend);
 }
 
 bool isCompare(Op C) {
@@ -1486,6 +1370,11 @@ bool runRound(FuncDef &F, const VmProgram *Prog,
 }
 
 } // namespace
+
+std::vector<SlotRange> dpo::slotInvariantRanges(const FuncDef &F,
+                                                const VmProgram *Program) {
+  return computeSlotFixpoint(F, computeJumpTargetFlags(F), Program);
+}
 
 PeepholeStats dpo::optimizeFunction(FuncDef &F, const VmProgram *Program) {
   PeepholeStats Stats;

@@ -37,6 +37,9 @@
 #define DPO_VM_PEEPHOLE_H
 
 #include "vm/Bytecode.h"
+#include "vm/SlotOps.h"
+
+#include <vector>
 
 namespace dpo {
 
@@ -61,6 +64,16 @@ PeepholeStats optimizeFunction(FuncDef &F, const VmProgram *Program = nullptr);
 
 /// Optimizes every function of \p Program in place.
 PeepholeStats optimizeProgram(VmProgram &Program);
+
+/// The per-slot dataflow fixpoint of \p F, published for reuse outside
+/// the peephole (the trace former in vm/ExecIR.cpp seeds trace-entry
+/// slot states from it). Entry [s] bounds every value local slot s can
+/// hold at ANY point of any activation of \p F — a dynamic whole-function
+/// invariant, so it is sound to assume at a trace head regardless of how
+/// control reached it. \p Program, when given, models Call stack effects
+/// precisely (callee arity/return) instead of conservatively.
+std::vector<SlotRange> slotInvariantRanges(const FuncDef &F,
+                                           const VmProgram *Program = nullptr);
 
 } // namespace dpo
 

@@ -69,14 +69,17 @@ int64_t asBits(double D) { return slotFromDouble(D); }
 /// Addressable per-thread frame-memory region (reused across blocks).
 constexpr uint64_t ThreadFrameMemBytes = 64 * 1024;
 
-/// Resolves ExecMode::Auto: decoded unless DPO_VM_EXEC=bytecode.
-bool resolveUseDecoded(ExecMode Mode) {
-  if (Mode == ExecMode::Decoded)
-    return true;
-  if (Mode == ExecMode::Bytecode)
-    return false;
+/// Resolves ExecMode::Auto: decoded with traces unless DPO_VM_EXEC
+/// selects another engine ("bytecode" or "decoded-notrace").
+ExecMode resolveExecMode(ExecMode Mode) {
+  if (Mode != ExecMode::Auto)
+    return Mode;
   const char *Env = std::getenv("DPO_VM_EXEC");
-  return !(Env && std::string_view(Env) == "bytecode");
+  if (Env && std::string_view(Env) == "bytecode")
+    return ExecMode::Bytecode;
+  if (Env && std::string_view(Env) == "decoded-notrace")
+    return ExecMode::DecodedNoTrace;
+  return ExecMode::Decoded;
 }
 
 /// Resolves the worker count from DPO_VM_WORKERS (absent, non-numeric,
@@ -95,9 +98,10 @@ unsigned resolveWorkerCount() {
 
 } // namespace
 
-Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode Mode)
-    : Program(std::move(ProgramIn)), UseDecoded(resolveUseDecoded(Mode)),
-      Memory(MemoryBytes, 0), Workers(resolveWorkerCount()) {
+Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode ModeIn)
+    : Program(std::move(ProgramIn)), Mode(resolveExecMode(ModeIn)),
+      UseDecoded(Mode != ExecMode::Bytecode), Memory(MemoryBytes, 0),
+      Workers(resolveWorkerCount()) {
   // The main thread's worker context; pool contexts are created lazily
   // at the first parallel drain.
   WorkerCtxs.push_back(std::make_unique<WorkerCtx>());
@@ -130,7 +134,7 @@ Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode Mode)
   if (UseDecoded && ValidationError.empty()) {
     const void *const *Labels = nullptr;
     runThreadExec(nullptr, nullptr, nullptr, {}, 0, &Labels);
-    Exec = decodeProgram(Program, Labels);
+    Exec = decodeProgram(Program, Labels, Mode == ExecMode::Decoded);
   }
 }
 
@@ -638,6 +642,9 @@ void Device::mergeWorkerStats() {
     Stats.Steps += S.Steps;
     Stats.LargestGridBlocks =
         std::max(Stats.LargestGridBlocks, S.LargestGridBlocks);
+    Stats.TraceEntries += S.TraceEntries;
+    Stats.TraceIters += S.TraceIters;
+    Stats.TraceSideExits += S.TraceSideExits;
     S = VmStats();
   }
 }
@@ -965,7 +972,7 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
   T.LocalsArena.assign(InitLocals, InitLocals + F->NumLocals);                \
   Locals = T.LocalsArena.data();                                              \
   SP = 0;                                                                     \
-  PC = 0;                                                                     \
+  PC = VM_ENTRY_PC; /* 0, or the kernel's entry trace (decoded engine). */    \
   VM_RESUME()
 
 //===----------------------------------------------------------------------===//
@@ -998,6 +1005,9 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
 // operand; the decoded stream pre-splits it (see ExecIR.cpp).
 #define VM_SREG_BUILTIN ((unsigned)I->A / 4)
 #define VM_SREG_COMP ((unsigned)I->A % 4)
+// Where a fresh frame starts: bytecode functions always start at 0; the
+// decoded engine redefines this to the function's entry trace.
+#define VM_ENTRY_PC 0
 
 // The fallback engine never runs in decoded mode; keep its (large) body
 // out of the decoded loop's text so the default path's I-cache and
@@ -1065,6 +1075,7 @@ StepLimitHit:
 #undef VM_RESUME
 #undef VM_SREG_BUILTIN
 #undef VM_SREG_COMP
+#undef VM_ENTRY_PC
 
 //===----------------------------------------------------------------------===//
 // Engine 2: the decoded-IR loop (the default path).
@@ -1098,6 +1109,10 @@ StepLimitHit:
 #endif
 #define VM_SREG_BUILTIN ((unsigned)I->A)
 #define VM_SREG_COMP ((unsigned)I->B)
+// Fresh frames enter through the function's entry trace when one was
+// kept (ExecFunc::EntryPC); suspended frames resume at their saved PC,
+// which always points past at least one retired instruction (never 0).
+#define VM_ENTRY_PC (F->EntryPC)
 
 bool Device::runThreadExec(ThreadCtx *TPtr, WorkerCtx *WPtr,
                            const PendingLaunch *LPtr, Dim3V BlockIdx,
@@ -1134,7 +1149,9 @@ bool Device::runThreadExec(ThreadCtx *TPtr, WorkerCtx *WPtr,
   uint32_t ThreadsLeft = ThreadCount;
   const ExecInstr *CodeBase = F->Code.data();
   const ExecInstr *I = nullptr;
-  unsigned PC = Fr->PC;
+  // A saved PC of 0 means a fresh frame (every suspension saves a
+  // post-increment PC >= 1): enter through the function's entry trace.
+  unsigned PC = Fr->PC ? Fr->PC : F->EntryPC;
   int64_t *Locals = T.LocalsArena.data() + Fr->LocalsBase;
   int64_t *S = T.Stack.data();
   size_t SP = T.StackTop;
@@ -1189,6 +1206,7 @@ StepLimitHit:
 #undef VM_RESUME
 #undef VM_SREG_BUILTIN
 #undef VM_SREG_COMP
+#undef VM_ENTRY_PC
 #undef VM_THREAD_DONE
 #undef VM_BLOCK_THREAD_SWITCH
 #undef DPO_VM_DECODED_OPS

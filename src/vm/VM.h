@@ -112,21 +112,25 @@ struct VmStats {
   uint64_t ThreadsExecuted = 0;
   uint64_t Steps = 0;
   uint64_t LargestGridBlocks = 0;
+  // Trace-layer counters (zero unless the traced decoded engine runs;
+  // purely observational — Steps stays bit-identical across engines).
+  uint64_t TraceEntries = 0;   ///< TraceEnter retirements.
+  uint64_t TraceIters = 0;     ///< TraceLoop back edges taken.
+  uint64_t TraceSideExits = 0; ///< Guard side exits into the baseline.
 };
 
 class Device {
 public:
-  /// \p Mode picks the execution engine: Auto resolves to the decoded-IR
-  /// loop unless the DPO_VM_EXEC=bytecode environment override is set.
-  /// The engine is fixed for the Device's lifetime.
+  /// \p Mode picks the execution engine: Auto resolves to the traced
+  /// decoded-IR loop unless a DPO_VM_EXEC environment override
+  /// ("bytecode" or "decoded-notrace") selects another engine. The
+  /// engine is fixed for the Device's lifetime.
   explicit Device(VmProgram Program, uint64_t MemoryBytes = 256ull << 20,
                   ExecMode Mode = ExecMode::Auto);
   ~Device();
 
   /// The engine this device resolved to (never Auto).
-  ExecMode execMode() const {
-    return UseDecoded ? ExecMode::Decoded : ExecMode::Bytecode;
-  }
+  ExecMode execMode() const { return Mode; }
   /// Decode statistics (all zero when running the bytecode engine).
   const ExecDecodeStats &decodeStats() const { return Exec.Stats; }
 
@@ -365,6 +369,9 @@ private:
   VmProgram Program;
   /// The decoded execution IR (empty on the bytecode engine).
   ExecProgram Exec;
+  /// The resolved engine (never Auto). Declared before UseDecoded: the
+  /// constructor derives one from the other in initialization order.
+  ExecMode Mode = ExecMode::Decoded;
   bool UseDecoded = false;
   /// Per-function frame-entry normalization specs (paramNormSpec),
   /// derived once at validation; empty vectors for all-raw signatures.

@@ -251,7 +251,7 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
                                        std::string_view PipelineText,
                                        bool OptimizeBytecode,
                                        uint64_t MemoryBytes,
-                                       unsigned Workers) {
+                                       unsigned Workers, ExecMode Mode) {
   DifferentialRun R;
 
   std::string Src = Case.source();
@@ -279,7 +279,7 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
     R.Error = "bytecode compile failed: " + Diags.str();
     return R;
   }
-  auto Dev = std::make_unique<Device>(std::move(Program), MemoryBytes);
+  auto Dev = std::make_unique<Device>(std::move(Program), MemoryBytes, Mode);
   if (Workers)
     Dev->setWorkers(Workers);
 

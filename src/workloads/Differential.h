@@ -53,12 +53,15 @@ struct DifferentialRun {
 /// device worker count (0 keeps the DPO_VM_WORKERS default); the payload
 /// contract holds at every worker count — the corpus kernels claim work
 /// through real atomics — which is what the worker-axis differential
-/// tests assert.
+/// tests assert. \p Mode pins the execution engine (Auto keeps the
+/// DPO_VM_EXEC default); Steps must be bit-identical across engines,
+/// which is what the engine-axis differential tests assert.
 DifferentialRun runKernelCaseOnVm(const KernelCase &Case,
                                   std::string_view PipelineText,
                                   bool OptimizeBytecode,
                                   uint64_t MemoryBytes = 16ull << 20,
-                                  unsigned Workers = 0);
+                                  unsigned Workers = 0,
+                                  ExecMode Mode = ExecMode::Auto);
 
 /// Exact payload comparison for \p Bench. Returns true on a match; on
 /// mismatch \p Why describes the first divergence.

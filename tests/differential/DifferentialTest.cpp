@@ -118,6 +118,73 @@ TEST(DifferentialSuite, GridAggregationHoistsLaunchesOnRealBfs) {
 }
 
 //===----------------------------------------------------------------------===//
+// Engine axis: the traced decoded engine, the untraced decoded engine,
+// and the bytecode interpreter are one observable machine. Payloads must
+// match the native reference on each, and the retired step count — the
+// currency the tuner's committed tables are priced in — must be
+// bit-identical across all three, trace side exits included.
+//===----------------------------------------------------------------------===//
+
+class EngineAxisTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EngineAxisTest, StepsBitIdenticalAcrossEngines) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  WorkloadOutput Native = Case.reference();
+  const std::string Pipelines[] = {
+      "", "threshold[64],coarsen[4],aggregate[multiblock:8]"};
+  for (const std::string &Pipeline : Pipelines) {
+    DifferentialRun Ref;
+    for (ExecMode Mode : {ExecMode::Decoded, ExecMode::DecodedNoTrace,
+                          ExecMode::Bytecode}) {
+      DifferentialRun Run = runKernelCaseOnVm(Case, Pipeline, true,
+                                              16ull << 20, /*Workers=*/1,
+                                              Mode);
+      ASSERT_TRUE(Run.Ok) << Case.Name << " [" << Pipeline
+                          << "] engine=" << (int)Mode << ": " << Run.Error;
+      std::string Why;
+      EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Run.Payload, Why))
+          << Case.Name << " [" << Pipeline << "] engine=" << (int)Mode << ": "
+          << Why;
+      if (Mode == ExecMode::Decoded) {
+        Ref = Run;
+        continue;
+      }
+      EXPECT_EQ(Run.Stats.Steps, Ref.Stats.Steps)
+          << Case.Name << " [" << Pipeline << "] engine=" << (int)Mode
+          << ": step accounting diverged from the traced engine";
+      EXPECT_EQ(Run.Stats.GridsLaunched, Ref.Stats.GridsLaunched);
+      EXPECT_EQ(Run.Stats.DeviceLaunches, Ref.Stats.DeviceLaunches);
+      EXPECT_EQ(Run.Stats.ThreadsExecuted, Ref.Stats.ThreadsExecuted);
+    }
+
+    // Engine x worker cross: trace execution composes with the parallel
+    // grid drain — same payload at 2 and 4 workers on the traced engine.
+    for (unsigned Workers : {2u, 4u}) {
+      DifferentialRun Par = runKernelCaseOnVm(Case, Pipeline, true,
+                                              16ull << 20, Workers,
+                                              ExecMode::Decoded);
+      ASSERT_TRUE(Par.Ok) << Case.Name << " [" << Pipeline << "] workers="
+                          << Workers << ": " << Par.Error;
+      std::string Why;
+      EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Par.Payload, Why))
+          << Case.Name << " [" << Pipeline << "] traced workers=" << Workers
+          << ": " << Why;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, EngineAxisTest,
+    ::testing::Range<size_t>(0, differentialCorpus().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = differentialCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!std::isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
 // Worker-count axis: the corpus kernels claim their work through real
 // atomics (CAS frontier claims, atomicMin relaxations), so the payload
 // contract must hold unchanged when independent grids of one batch drain

@@ -170,14 +170,14 @@ QuickstartInput widerInput() {
 TEST(ExamplesDifferentialTest, QuickstartUntransformedMatchesNative) {
   for (const QuickstartInput &In : {exampleInput(), widerInput()}) {
     std::vector<int32_t> Native = quickstartNative(In);
-    for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode})
+    for (ExecMode Mode :
+         {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode})
       for (unsigned Workers : {1u, 2u, 4u}) {
         std::vector<int32_t> Vm =
             runQuickstart(QuickstartSource, In, Mode, /*Optimize=*/true,
                           Workers);
         ASSERT_EQ(Vm, Native)
-            << "engine=" << (Mode == ExecMode::Decoded ? "decoded" : "bytecode")
-            << " workers=" << Workers;
+            << "engine=" << (int)Mode << " workers=" << Workers;
       }
   }
 }
@@ -295,7 +295,8 @@ TEST(ExamplesDifferentialTest, AutotuneSsspMatchesNative) {
 
   // Single-worker only: the example's relaxation is a plain conditional
   // store (no atomicMin), deterministic only on the sequential schedule.
-  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode})
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode})
     for (bool Optimize : {true, false}) {
       auto Dev = buildOrDie(SsspSource, Mode, Optimize, /*Workers=*/1);
       ASSERT_NE(Dev, nullptr);
@@ -321,9 +322,8 @@ TEST(ExamplesDifferentialTest, AutotuneSsspMatchesNative) {
             << Dev->error();
 
       std::vector<int32_t> Vm = Dev->readI32Array(DistA, G.N);
-      ASSERT_EQ(Vm, Native)
-          << "engine=" << (Mode == ExecMode::Decoded ? "decoded" : "bytecode")
-          << " peephole=" << (Optimize ? "on" : "off");
+      ASSERT_EQ(Vm, Native) << "engine=" << (int)Mode
+                            << " peephole=" << (Optimize ? "on" : "off");
     }
 }
 

@@ -58,11 +58,13 @@ __global__ void k(int *out, int n) {
   EXPECT_EQ(E.Stats.InstrsIn, (uint64_t)P.Functions[0].Code.size());
   EXPECT_EQ(E.Stats.InstrsOut + E.Stats.FusedPairs, E.Stats.InstrsIn)
       << "every fusion merges exactly two instructions";
-  // Step costs must sum back to the bytecode instruction count, the
-  // invariant that keeps VmStats identical across engines.
+  // Step costs over the baseline region must sum back to the bytecode
+  // instruction count, the invariant that keeps VmStats identical across
+  // engines. The trace region past TraceBase is an alternate encoding of
+  // the same paths, not an extension of this sum.
   uint64_t CostSum = 0;
-  for (const ExecInstr &I : E.Functions[0].Code)
-    CostSum += I.Cost;
+  for (unsigned I = 0; I < E.Functions[0].TraceBase; ++I)
+    CostSum += E.Functions[0].Code[I].Cost;
   EXPECT_EQ(CostSum, (uint64_t)P.Functions[0].Code.size());
   // `int x = 7;` decodes into the fused immediate store.
   unsigned StoreImm = 0, CopyLocal = 0, TidStore = 0;
@@ -95,8 +97,9 @@ __global__ void k(int *out, int n) {
     if (I.Code < NumOpcodes && isJumpOp((Op)I.Code))
       EXPECT_LT((uint64_t)I.A, F.Code.size()) << "remapped target in range";
 
-  // And the loop still computes the right sum on both engines.
-  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+  // And the loop still computes the right sum on every engine.
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
     VmProgram Prog = compileSource(Source);
     Device Dev(std::move(Prog), 16ull << 20, Mode);
     uint64_t Out = Dev.alloc(4);
@@ -106,15 +109,16 @@ __global__ void k(int *out, int n) {
   }
 }
 
-/// Runs `k(out, n)` on both engines (peephole on and off) and compares
-/// device memory bit-for-bit plus the full VmStats.
+/// Runs `k(out, n)` on all three engines (peephole on and off) and
+/// compares device memory bit-for-bit plus the full VmStats.
 void expectEngineEquivalent(const char *Source, int N, Dim3V Grid,
                             Dim3V Block) {
   for (bool Optimize : {true, false}) {
-    std::vector<int32_t> Results[2];
-    VmStats Stats[2];
+    std::vector<int32_t> Results[3];
+    VmStats Stats[3];
     int Idx = 0;
-    for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+    for (ExecMode Mode :
+         {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
       VmProgram P = compileSource(Source, Optimize);
       Device Dev(std::move(P), 32ull << 20, Mode);
       ASSERT_EQ(Dev.execMode(), Mode);
@@ -125,12 +129,15 @@ void expectEngineEquivalent(const char *Source, int N, Dim3V Grid,
       Stats[Idx] = Dev.stats();
       ++Idx;
     }
-    EXPECT_EQ(Results[0], Results[1]) << Source;
-    EXPECT_EQ(Stats[0].Steps, Stats[1].Steps)
-        << "step accounting diverged, peephole=" << Optimize;
-    EXPECT_EQ(Stats[0].GridsLaunched, Stats[1].GridsLaunched);
-    EXPECT_EQ(Stats[0].DeviceLaunches, Stats[1].DeviceLaunches);
-    EXPECT_EQ(Stats[0].ThreadsExecuted, Stats[1].ThreadsExecuted);
+    for (int I = 1; I < 3; ++I) {
+      EXPECT_EQ(Results[0], Results[I]) << Source << " engine " << I;
+      EXPECT_EQ(Stats[0].Steps, Stats[I].Steps)
+          << "step accounting diverged, engine=" << I
+          << " peephole=" << Optimize;
+      EXPECT_EQ(Stats[0].GridsLaunched, Stats[I].GridsLaunched);
+      EXPECT_EQ(Stats[0].DeviceLaunches, Stats[I].DeviceLaunches);
+      EXPECT_EQ(Stats[0].ThreadsExecuted, Stats[I].ThreadsExecuted);
+    }
   }
 }
 
@@ -191,7 +198,8 @@ __global__ void k(int *out, int n) {
   out[0] = 10 / (n - n);
 }
 )";
-  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
     VmProgram P = compileSource(Source);
     Device Dev(std::move(P), 16ull << 20, Mode);
     uint64_t Out = Dev.alloc(4);
@@ -205,7 +213,8 @@ __global__ void k(int *out, int n) {
   out[0] = n;
 }
 )";
-  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::Bytecode}) {
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
     VmProgram P = compileSource(Loop);
     Device Dev(std::move(P), 16ull << 20, Mode);
     Dev.setStepLimit(10000);
@@ -240,6 +249,15 @@ TEST(ExecIRTest, EnvironmentOverrideSelectsEngine) {
     EXPECT_EQ(Dev.execMode(), ExecMode::Decoded);
   }
   unsetenv("DPO_VM_EXEC");
+  // The trace escape hatch: decoded dispatch without superblocks.
+  ASSERT_EQ(setenv("DPO_VM_EXEC", "decoded-notrace", 1), 0);
+  {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P));
+    EXPECT_EQ(Dev.execMode(), ExecMode::DecodedNoTrace);
+    EXPECT_EQ(Dev.decodeStats().TracesFormed, 0u);
+  }
+  unsetenv("DPO_VM_EXEC");
 #endif
 }
 
@@ -254,6 +272,140 @@ __global__ void k(int *out, int n) {
   Device Dev(std::move(P), 16ull << 20, ExecMode::Decoded);
   EXPECT_EQ(Dev.decodeStats().InstrsIn, Instrs);
   EXPECT_GT(Dev.decodeStats().InstrsOut, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace layer: superblock formation, side exits, and the exact-step
+// contract under abort and concurrency.
+//===----------------------------------------------------------------------===//
+
+/// A hot counted loop with a data-dependent early exit: forms a loop
+/// trace with at least one guard that actually fires.
+const char *TracedLoopSource = R"(
+__global__ void k(int *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int sum = 0;
+  for (int j = 0; j < n; ++j) {
+    sum = sum + (i ^ j);
+    if (sum > 100000)
+      break;
+  }
+  if (i < n) out[i] = sum;
+}
+)";
+
+TEST(ExecIRTest, LoopKernelsFormTracesAndRetireThroughThem) {
+  VmProgram P = compileSource(TracedLoopSource);
+  Device Dev(std::move(P), 16ull << 20, ExecMode::Decoded);
+  ASSERT_GT(Dev.decodeStats().TracesFormed, 0u)
+      << "a counted loop must form at least one trace";
+  EXPECT_GT(Dev.decodeStats().TraceInstrs, 0u);
+  uint64_t Out = Dev.alloc(64 * 4);
+  ASSERT_TRUE(
+      Dev.launchKernel("k", {2, 1, 1}, {32, 1, 1}, {(int64_t)Out, 64}))
+      << Dev.error();
+  const VmStats &S = Dev.stats();
+  EXPECT_GT(S.TraceEntries, 0u) << "threads must enter the formed trace";
+  EXPECT_GT(S.TraceIters, 0u) << "the loop trace must take its back edge";
+  EXPECT_GT(S.TraceSideExits, 0u)
+      << "the break guard must side-exit at least once";
+}
+
+TEST(ExecIRTest, UntracedEnginesReportNoTraceActivity) {
+  for (ExecMode Mode : {ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
+    VmProgram P = compileSource(TracedLoopSource);
+    Device Dev(std::move(P), 16ull << 20, Mode);
+    EXPECT_EQ(Dev.decodeStats().TracesFormed, 0u);
+    uint64_t Out = Dev.alloc(64 * 4);
+    ASSERT_TRUE(
+        Dev.launchKernel("k", {2, 1, 1}, {32, 1, 1}, {(int64_t)Out, 64}))
+        << Dev.error();
+    EXPECT_EQ(Dev.stats().TraceEntries, 0u);
+    EXPECT_EQ(Dev.stats().TraceIters, 0u);
+    EXPECT_EQ(Dev.stats().TraceSideExits, 0u);
+  }
+}
+
+TEST(ExecIRTest, StepLimitAbortsMidTraceWithExactAccounting) {
+  // The infinite loop spins inside a trace; the budget must trip at the
+  // same retired-step count on every engine even though the traced
+  // engine charges multi-instruction regions at once.
+  const char *Loop = R"(
+__global__ void k(int *out, int n) {
+  int sum = 0;
+  for (int j = 0; j < 2000000000; ++j) {
+    sum = sum + (n ^ j);
+    if (sum < -2000000000) break;
+  }
+  out[0] = sum;
+}
+)";
+  uint64_t StepsAtAbort[3];
+  int Idx = 0;
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Bytecode}) {
+    VmProgram P = compileSource(Loop);
+    Device Dev(std::move(P), 16ull << 20, Mode);
+    if (Mode == ExecMode::Decoded)
+      ASSERT_GT(Dev.decodeStats().TracesFormed, 0u);
+    Dev.setStepLimit(12345);
+    uint64_t Out = Dev.alloc(4);
+    EXPECT_FALSE(
+        Dev.launchKernel("k", {1, 1, 1}, {1, 1, 1}, {(int64_t)Out, 5}));
+    EXPECT_NE(Dev.error().find("step limit"), std::string::npos)
+        << Dev.error();
+    StepsAtAbort[Idx++] = Dev.stats().Steps;
+  }
+  EXPECT_EQ(StepsAtAbort[0], StepsAtAbort[1])
+      << "mid-trace abort charged a different step count";
+  EXPECT_EQ(StepsAtAbort[0], StepsAtAbort[2]);
+}
+
+TEST(ExecIRTest, TracedExecutionComposesWithWorkerPool) {
+  // Device-launched child grids with a traced hot loop, drained by 2 and
+  // 4 workers: payload identical to the single-worker run (the children
+  // claim work through an atomic), and the single-worker runs pin the
+  // exact step count the tuner prices against.
+  const char *Source = R"(
+__global__ void child(int *out, int base, int count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < count) {
+    int sum = 0;
+    for (int j = 0; j <= i + base; ++j)
+      sum = sum + j;
+    atomicAdd(&out[(base + i) % 64], sum);
+  }
+}
+__global__ void k(int *out, int n) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < n)
+    child<<<(v + 7) / 8, 8>>>(out, v, v);
+}
+)";
+  auto RunAt = [&](unsigned Workers, std::vector<int32_t> &Out,
+                   uint64_t &Steps) {
+    VmProgram P = compileSource(Source);
+    Device Dev(std::move(P), 16ull << 20, ExecMode::Decoded);
+    ASSERT_GT(Dev.decodeStats().TracesFormed, 0u);
+    Dev.setWorkers(Workers);
+    uint64_t OutA = Dev.alloc(64 * 4);
+    ASSERT_TRUE(
+        Dev.launchKernel("k", {2, 1, 1}, {16, 1, 1}, {(int64_t)OutA, 32}))
+        << Dev.error();
+    EXPECT_GT(Dev.stats().TraceEntries, 0u);
+    Out = Dev.readI32Array(OutA, 64);
+    Steps = Dev.stats().Steps;
+  };
+  std::vector<int32_t> Solo, Solo2, Par;
+  uint64_t SoloSteps = 0, Solo2Steps = 0, ParSteps = 0;
+  RunAt(1, Solo, SoloSteps);
+  RunAt(1, Solo2, Solo2Steps);
+  EXPECT_EQ(SoloSteps, Solo2Steps)
+      << "single-worker traced execution must stay step-deterministic";
+  for (unsigned Workers : {2u, 4u}) {
+    RunAt(Workers, Par, ParSteps);
+    EXPECT_EQ(Solo, Par) << "payload diverged at workers=" << Workers;
+  }
 }
 
 } // namespace

@@ -168,24 +168,33 @@ TEST_P(FuzzEquivalenceTest, RandomProgramsSurviveAllPipelines) {
         << "peephole optimizer changed program semantics, seed " << Seed;
   }
 
-  // Decoded-vs-baseline axis: both execution engines must produce the
-  // same memory *and* retire the same step counts (decode-time fusions
-  // carry the step cost of the pairs they replace), so tuner pricing is
-  // engine-independent.
+  // Engine axis: the traced decoded engine, the untraced decoded engine,
+  // and the bytecode interpreter must produce the same memory *and*
+  // retire the same step counts (decode-time fusions and trace regions
+  // carry the step cost of the instructions they replace), so tuner
+  // pricing is engine-independent.
   {
-    VmCompileOptions DecodedOpts = Opts, FallbackOpts = Opts;
+    VmCompileOptions DecodedOpts = Opts, NoTraceOpts = Opts,
+                     FallbackOpts = Opts;
     DecodedOpts.Exec = ExecMode::Decoded;
+    NoTraceOpts.Exec = ExecMode::DecodedNoTrace;
     FallbackOpts.Exec = ExecMode::Bytecode;
     RunResult Dec = runNested(Source, Counts, DecodedOpts);
+    RunResult Plain = runNested(Source, Counts, NoTraceOpts);
     RunResult Base = runNested(Source, Counts, FallbackOpts);
     ASSERT_TRUE(Dec.Ok);
+    ASSERT_TRUE(Plain.Ok);
     ASSERT_TRUE(Base.Ok);
     ASSERT_EQ(Reference.Out, Dec.Out)
-        << "decoded engine changed program semantics, seed " << Seed;
+        << "traced decoded engine changed program semantics, seed " << Seed;
+    ASSERT_EQ(Reference.Out, Plain.Out)
+        << "untraced decoded engine changed program semantics, seed " << Seed;
     ASSERT_EQ(Reference.Out, Base.Out)
         << "bytecode fallback changed program semantics, seed " << Seed;
     ASSERT_EQ(Dec.Stats.Steps, Base.Stats.Steps)
-        << "decoded engine changed step accounting, seed " << Seed;
+        << "traced engine changed step accounting, seed " << Seed;
+    ASSERT_EQ(Plain.Stats.Steps, Base.Stats.Steps)
+        << "untraced decoded engine changed step accounting, seed " << Seed;
     ASSERT_EQ(Dec.Stats.DeviceLaunches, Base.Stats.DeviceLaunches);
     ASSERT_EQ(Dec.Stats.BlocksExecuted, Base.Stats.BlocksExecuted);
     ASSERT_EQ(Dec.Stats.ThreadsExecuted, Base.Stats.ThreadsExecuted);
