@@ -28,8 +28,10 @@
 
 #include "ast/ASTPrinter.h"
 #include "parse/Parser.h"
+#include "profile/Profile.h"
 #include "support/StringUtils.h"
 #include "transform/Pipeline.h"
+#include "tuner/Calibrate.h"
 #include "tuner/Empirical.h"
 #include "tuner/TunedTable.h"
 #include "workloads/KernelSources.h"
@@ -50,6 +52,7 @@ static void usage() {
       "               [-passes=PIPELINE] [--tune=MODE] [--tune-budget=N]\n"
       "               [--tune-seed=N] [--workload=BENCH:DATASET]\n"
       "               [--tune-report=FILE] [--print-pass-stats]\n"
+      "               [--profile-out=FILE] [--profile-in=FILE] [--calibrate]\n"
       "               [--list-passes] [input.cu] [-o output.cu]\n"
       "\n"
       "pass selection (pick one):\n"
@@ -91,6 +94,20 @@ static void usage() {
       "                      DPO_VM_EXEC=decoded-notrace is the A/B lever\n"
       "                      for the trace layer; input file optional\n"
       "                      (stats-only)\n"
+      "  --profile-out=FILE  execute the selected pipeline on the VM (same\n"
+      "                      workload selection as --print-vm-stats) and\n"
+      "                      write the harvested per-launch-site profile;\n"
+      "                      without -t/-c/-a/-passes= the *untransformed*\n"
+      "                      program is recorded (the usual record step);\n"
+      "                      input file optional (record-only)\n"
+      "  --profile-in=FILE   load a recorded profile; pipeline passes with\n"
+      "                      the 'profile' parameter (threshold[profile],\n"
+      "                      coarsen[profile], speculate[profile]) pick\n"
+      "                      per-launch-site knob values from it\n"
+      "  --calibrate         fit the analytic GpuModel's launch/dispatch\n"
+      "                      constants to VM-measured makespans of the\n"
+      "                      selected workload and print the fit; input\n"
+      "                      file optional (calibrate-only)\n"
       "\n"
       "pipeline grammar (also: dpoptcc --list-passes):\n"
       "  pipeline := pass (',' pass)*\n"
@@ -145,16 +162,11 @@ static bool parseCountFlag(const char *Flag, const std::string &Text,
   return false;
 }
 
-/// --print-vm-stats: compile \p Pipeline over the selected workload (a
+/// Resolves the VM workload the measurement flags run against: a
 /// --workload= Table I case bound to its dataset, else the canonical
-/// nested workload), execute the measurement sample on the VM, and report
-/// the event counts plus the trace-execution counters. The engine follows
-/// DPO_VM_EXEC (decoded / decoded-notrace / bytecode), making the flag the
-/// command-line A/B lever for the trace layer.
-static bool printVmStatsFor(const std::string &Pipeline,
-                            const std::string &WorkloadSpec,
-                            const EmpiricalOptions &Opts) {
-  VmWorkload Workload;
+/// nested workload.
+static bool selectVmWorkload(const std::string &WorkloadSpec,
+                             const EmpiricalOptions &Opts, VmWorkload &Out) {
   if (!WorkloadSpec.empty()) {
     BenchCase Case;
     std::string SpecError;
@@ -163,18 +175,53 @@ static bool printVmStatsFor(const std::string &Pipeline,
                    WorkloadSpec.c_str(), SpecError.c_str());
       return false;
     }
-    Workload = kernelVmWorkload(Case);
+    Out = kernelVmWorkload(Case);
   } else {
-    Workload = canonicalTuneWorkload(Opts.Seed);
+    Out = canonicalTuneWorkload(Opts.Seed);
   }
+  return true;
+}
+
+/// --print-vm-stats / --profile-out: compile \p Pipeline over the selected
+/// workload, execute the measurement sample on the VM, and report the
+/// event counts plus the trace-execution counters (\p PrintStats) and/or
+/// record the harvested per-launch-site profile (\p ProfileOutPath). The
+/// engine follows DPO_VM_EXEC (decoded / decoded-notrace / bytecode),
+/// making the flag the command-line A/B lever for the trace layer.
+/// \p ProfileIn backs the `profile` pass parameter in \p Pipeline.
+static bool runVmPipeline(const std::string &Pipeline,
+                          const std::string &WorkloadSpec,
+                          const EmpiricalOptions &Opts,
+                          const LaunchProfile *ProfileIn,
+                          const std::string &ProfileOutPath, bool PrintStats) {
+  VmWorkload Workload;
+  if (!selectVmWorkload(WorkloadSpec, Opts, Workload))
+    return false;
   std::string Name = Workload.Name;
   GpuModel Gpu;
   EmpiricalEvaluator Eval(Gpu, std::move(Workload), Opts);
-  std::optional<VmMeasurement> M = Eval.measurePipeline(Pipeline);
+  Eval.setProfile(ProfileIn);
+  LaunchProfile Harvested;
+  std::optional<VmMeasurement> M = Eval.measurePipeline(
+      Pipeline, ExecMode::Auto,
+      ProfileOutPath.empty() ? nullptr : &Harvested);
   if (!M) {
     std::fprintf(stderr, "error: %s\n", Eval.lastError().c_str());
     return false;
   }
+  if (!ProfileOutPath.empty()) {
+    std::ofstream Out(ProfileOutPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   ProfileOutPath.c_str());
+      return false;
+    }
+    Out << serializeProfile(Harvested);
+    std::fprintf(stderr, "wrote profile %s (%zu sites)\n",
+                 ProfileOutPath.c_str(), Harvested.Sites.size());
+  }
+  if (!PrintStats)
+    return true;
   uint64_t Retired = M->TraceEntries + M->TraceIters;
   std::fprintf(stderr, "vm stats: workload %s, pipeline %s\n", Name.c_str(),
                Pipeline.empty() ? "(untransformed)" : Pipeline.c_str());
@@ -199,6 +246,10 @@ static bool printVmStatsFor(const std::string &Pipeline,
                100.0 * (double)M->TraceSideExits /
                    (double)std::max<uint64_t>(1, Retired),
                (unsigned long long)Retired);
+  if (M->SpecGuardPass || M->SpecGuardFail)
+    std::fprintf(stderr, "  spec guard       %llu pass, %llu fail\n",
+                 (unsigned long long)M->SpecGuardPass,
+                 (unsigned long long)M->SpecGuardFail);
   return true;
 }
 
@@ -223,9 +274,10 @@ int main(int argc, char **argv) {
   bool PrintPassStats = false;
   bool PrintVmStats = false;
   bool Tune = false;
+  bool Calibrate = false;
   TuneMode Mode = TuneMode::Hybrid;
   EmpiricalOptions TuneOpts;
-  std::string WorkloadSpec, TuneReport;
+  std::string WorkloadSpec, TuneReport, ProfileInPath, ProfileOutPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -290,6 +342,12 @@ int main(int argc, char **argv) {
       WorkloadSpec = Arg.substr(11);
     } else if (Arg.rfind("--tune-report=", 0) == 0) {
       TuneReport = Arg.substr(14);
+    } else if (Arg.rfind("--profile-in=", 0) == 0) {
+      ProfileInPath = Arg.substr(13);
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      ProfileOutPath = Arg.substr(14);
+    } else if (Arg == "--calibrate") {
+      Calibrate = true;
     } else if (Arg == "--print-pass-stats") {
       PrintPassStats = true;
     } else if (Arg == "--print-vm-stats") {
@@ -320,21 +378,67 @@ int main(int argc, char **argv) {
                  "-passes=\n");
     return 1;
   }
-  if (!WorkloadSpec.empty() && !Tune && !PrintVmStats) {
+  if (!WorkloadSpec.empty() && !Tune && !PrintVmStats && !Calibrate &&
+      ProfileOutPath.empty()) {
     std::fprintf(stderr,
-                 "error: --workload= requires --tune= or --print-vm-stats\n");
+                 "error: --workload= requires --tune=, --print-vm-stats, "
+                 "--profile-out=, or --calibrate\n");
     return 1;
   }
   if (!TuneReport.empty() && !Tune) {
     std::fprintf(stderr, "error: --tune-report= requires --tune=\n");
     return 1;
   }
-  if (PassText.empty() && !AnyPass && !Tune)
+  // Profile recording defaults to the *untransformed* program — the
+  // record step of the profile-guided workflow; explicit -t/-c/-a or
+  // -passes= still select a pipeline to record under.
+  if (PassText.empty() && !AnyPass && !Tune && ProfileOutPath.empty())
     Options.EnableThresholding = Options.EnableCoarsening =
         Options.EnableAggregation = true;
-  if (Input.empty() && TuneReport.empty() && !PrintVmStats) {
+  if (Input.empty() && TuneReport.empty() && !PrintVmStats && !Calibrate &&
+      ProfileOutPath.empty()) {
     usage();
     return 1;
+  }
+
+  LaunchProfile ProfileData;
+  bool HaveProfile = false;
+  if (!ProfileInPath.empty()) {
+    std::ifstream PIn(ProfileInPath);
+    if (!PIn) {
+      std::fprintf(stderr, "error: cannot open profile '%s'\n",
+                   ProfileInPath.c_str());
+      return 1;
+    }
+    std::stringstream PBuf;
+    PBuf << PIn.rdbuf();
+    std::string PErr;
+    if (!parseProfile(PBuf.str(), ProfileData, PErr)) {
+      std::fprintf(stderr, "error: bad profile '%s': %s\n",
+                   ProfileInPath.c_str(), PErr.c_str());
+      return 1;
+    }
+    Options.Profile = &ProfileData;
+    HaveProfile = true;
+  }
+
+  if (Calibrate) {
+    // Fit the analytic model's launch/dispatch constants to VM-measured
+    // makespans of the selected workload (src/tuner/Calibrate.h).
+    GpuModel Gpu;
+    VariantMask Full;
+    Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+    VmWorkload Workload;
+    if (!selectVmWorkload(WorkloadSpec, TuneOpts, Workload))
+      return 1;
+    CalibrationOptions COpts;
+    COpts.Empirical = TuneOpts;
+    CalibrationResult CR = calibrateGpuModel(Gpu, Workload, Full, COpts);
+    std::fprintf(stderr, "%s", calibrationReport(CR).c_str());
+    if (!CR.Ok)
+      return 1;
+    if (Input.empty() && !PrintVmStats && ProfileOutPath.empty())
+      return 0; // calibrate-only mode
   }
 
   if (Tune) {
@@ -403,8 +507,10 @@ int main(int argc, char **argv) {
     PassText = R.Pipeline;
     if (PassText.empty()) {
       // Nothing to do: the tuner chose the untransformed program.
-      if (PrintVmStats &&
-          !printVmStatsFor("", WorkloadSpec, TuneOpts))
+      if ((PrintVmStats || !ProfileOutPath.empty()) &&
+          !runVmPipeline("", WorkloadSpec, TuneOpts,
+                         HaveProfile ? &ProfileData : nullptr, ProfileOutPath,
+                         PrintVmStats))
         return 1;
       if (Input.empty())
         return 0; // stats-only mode
@@ -426,7 +532,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (PrintVmStats) {
+  if (PrintVmStats || !ProfileOutPath.empty()) {
     // Measure the pipeline about to run. The -t/-c/-a form renders to the
     // same textual spelling the pass manager would report, so the measured
     // pipeline and the emitted source always agree.
@@ -436,10 +542,12 @@ int main(int argc, char **argv) {
       buildPassPipeline(Render, Options);
       VmPipeline = Render.pipelineText();
     }
-    if (!printVmStatsFor(VmPipeline, WorkloadSpec, TuneOpts))
+    if (!runVmPipeline(VmPipeline, WorkloadSpec, TuneOpts,
+                       HaveProfile ? &ProfileData : nullptr, ProfileOutPath,
+                       PrintVmStats))
       return 1;
     if (Input.empty())
-      return 0; // stats-only mode
+      return 0; // stats-only / record-only mode
   }
 
   std::ifstream In(Input);

@@ -1,0 +1,240 @@
+//===--- Profile.cpp ------------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include "support/StringUtils.h"
+#include "vm/VM.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace dpo;
+
+//===----------------------------------------------------------------------===//
+// Accumulation
+//===----------------------------------------------------------------------===//
+
+void LaunchProfile::addRecord(const std::string &SiteName, uint64_t Blocks,
+                              uint64_t Threads, uint64_t BlockDim) {
+  SiteHistogram &H = Sites[SiteName];
+  ++H.Launches;
+  ++H.Blocks[Blocks];
+  ++H.Threads[Threads];
+  ++H.BlockDims[BlockDim];
+}
+
+void LaunchProfile::merge(const LaunchProfile &Other) {
+  for (const auto &[Name, H] : Other.Sites) {
+    SiteHistogram &Mine = Sites[Name];
+    Mine.Launches += H.Launches;
+    for (const auto &[K, V] : H.Blocks)
+      Mine.Blocks[K] += V;
+    for (const auto &[K, V] : H.Threads)
+      Mine.Threads[K] += V;
+    for (const auto &[K, V] : H.BlockDims)
+      Mine.BlockDims[K] += V;
+  }
+}
+
+LaunchProfile dpo::harvestProfile(const std::vector<GridRecord> &Log,
+                                  const VmProgram &Program) {
+  LaunchProfile P;
+  for (const GridRecord &R : Log) {
+    if (R.Site == 0 || R.Site > Program.LaunchSiteNames.size())
+      continue;
+    P.addRecord(Program.LaunchSiteNames[R.Site - 1], R.Blocks, R.Threads,
+                R.BlockDim);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-site knob selection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Smallest power of two >= \p X (X >= 1; saturates at 2^63).
+uint64_t ceilPow2(uint64_t X) {
+  uint64_t P = 1;
+  while (P < X && P < (1ull << 63))
+    P <<= 1;
+  return P;
+}
+
+/// Largest power of two <= \p X (X >= 1).
+uint64_t floorPow2(uint64_t X) {
+  uint64_t P = 1;
+  while ((P << 1) <= X && P < (1ull << 63))
+    P <<= 1;
+  return P;
+}
+
+/// Smallest key whose cumulative frequency reaches \p Pct percent of the
+/// histogram's total mass (the inclusive percentile). 0 on empty.
+uint64_t percentile(const std::map<uint64_t, uint64_t> &Hist, unsigned Pct) {
+  uint64_t Total = 0;
+  for (const auto &[K, V] : Hist)
+    Total += V;
+  if (Total == 0)
+    return 0;
+  uint64_t Need = (Total * Pct + 99) / 100;
+  uint64_t Seen = 0;
+  for (const auto &[K, V] : Hist) {
+    Seen += V;
+    if (Seen >= Need)
+      return K;
+  }
+  return Hist.rbegin()->first;
+}
+
+} // namespace
+
+unsigned LaunchProfile::siteThreshold(const std::string &SiteName,
+                                      unsigned GlobalK) const {
+  const SiteHistogram *H = find(SiteName);
+  if (!H || H->Threads.empty())
+    return GlobalK;
+  // Largest observed launch the global knob would have serialized.
+  uint64_t MaxSmall = 0;
+  for (const auto &[Threads, Count] : H->Threads)
+    if (Threads < GlobalK)
+      MaxSmall = std::max(MaxSmall, Threads);
+  if (MaxSmall == 0)
+    return 1; // Nothing below the global threshold: never serialize here.
+  uint64_t K = ceilPow2(MaxSmall + 1);
+  return (unsigned)std::min<uint64_t>(K, GlobalK);
+}
+
+unsigned LaunchProfile::siteCoarsenFactor(const std::string &SiteName,
+                                          unsigned GlobalF) const {
+  const SiteHistogram *H = find(SiteName);
+  if (!H || H->Blocks.empty())
+    return GlobalF;
+  uint64_t Median = percentile(H->Blocks, 50);
+  if (Median <= 1)
+    return 1;
+  return (unsigned)std::min<uint64_t>(floorPow2(Median), GlobalF);
+}
+
+bool LaunchProfile::siteSpeculationBound(const std::string &SiteName,
+                                         uint64_t &Bound) const {
+  const SiteHistogram *H = find(SiteName);
+  if (!H || H->Threads.empty())
+    return false;
+  Bound = ceilPow2(std::max<uint64_t>(percentile(H->Threads, 90), 1));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeHist(std::ostringstream &OS, const char *Tag,
+               const std::map<uint64_t, uint64_t> &Hist) {
+  OS << "  " << Tag;
+  for (const auto &[K, V] : Hist)
+    OS << ' ' << K << ':' << V;
+  OS << '\n';
+}
+
+bool parseHistLine(std::string_view Rest, std::map<uint64_t, uint64_t> &Hist,
+                   std::string &Error) {
+  for (std::string_view Pair : split(Rest, ' ')) {
+    Pair = trim(Pair);
+    if (Pair.empty())
+      continue;
+    size_t Colon = Pair.find(':');
+    if (Colon == std::string_view::npos) {
+      Error = "malformed histogram entry '" + std::string(Pair) + "'";
+      return false;
+    }
+    uint64_t K = 0, V = 0;
+    if (!parseU64(Pair.substr(0, Colon), K) ||
+        !parseU64(Pair.substr(Colon + 1), V) || V == 0) {
+      Error = "malformed histogram entry '" + std::string(Pair) + "'";
+      return false;
+    }
+    Hist[K] += V;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string dpo::serializeProfile(const LaunchProfile &Profile) {
+  std::ostringstream OS;
+  OS << "dpo-profile v1\n";
+  for (const auto &[Name, H] : Profile.Sites) {
+    OS << "site " << Name << '\n';
+    OS << "  launches " << H.Launches << '\n';
+    writeHist(OS, "blocks", H.Blocks);
+    writeHist(OS, "threads", H.Threads);
+    writeHist(OS, "blockdims", H.BlockDims);
+  }
+  return OS.str();
+}
+
+bool dpo::parseProfile(std::string_view Text, LaunchProfile &Out,
+                       std::string &Error) {
+  Out = LaunchProfile();
+  SiteHistogram *Cur = nullptr;
+  bool SawHeader = false;
+  for (std::string_view Line : split(Text, '\n')) {
+    std::string_view T = trim(Line);
+    if (T.empty())
+      continue;
+    if (!SawHeader) {
+      if (T != "dpo-profile v1") {
+        Error = "not a dpo-profile v1 file";
+        return false;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (startsWith(T, "site ")) {
+      std::string Name(trim(T.substr(5)));
+      if (Name.empty()) {
+        Error = "empty site name";
+        return false;
+      }
+      Cur = &Out.Sites[Name];
+      continue;
+    }
+    if (!Cur) {
+      Error = "histogram line before any 'site' line";
+      return false;
+    }
+    if (startsWith(T, "launches ")) {
+      uint64_t N = 0;
+      if (!parseU64(trim(T.substr(9)), N)) {
+        Error = "malformed launches line";
+        return false;
+      }
+      Cur->Launches += N;
+    } else if (startsWith(T, "blocks")) {
+      if (!parseHistLine(T.substr(6), Cur->Blocks, Error))
+        return false;
+    } else if (startsWith(T, "threads")) {
+      if (!parseHistLine(T.substr(7), Cur->Threads, Error))
+        return false;
+    } else if (startsWith(T, "blockdims")) {
+      if (!parseHistLine(T.substr(9), Cur->BlockDims, Error))
+        return false;
+    } else {
+      Error = "unrecognized profile line '" + std::string(T) + "'";
+      return false;
+    }
+  }
+  if (!SawHeader) {
+    Error = "empty profile";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,121 @@
+//===--- Profile.h - Per-launch-site execution profiles -------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile artifact: per-launch-site grid-dimension/occupancy
+/// histograms harvested from vm::Device grid logs.
+///
+/// A profile is keyed by *site name* — the stable
+/// "<caller>-><kernel>#<ordinal>" strings the bytecode compiler records
+/// in VmProgram::LaunchSiteNames and every execution engine threads
+/// through to GridRecord::Site. Histograms use sorted maps and count
+/// only quantities that are deterministic at any worker count (grid
+/// blocks, total threads, block dim — never step counts), so the same
+/// workload serializes to byte-identical text no matter how many
+/// workers drained the launch queue or which engine executed it.
+///
+/// Consumers:
+///  - ThresholdingPass / CoarseningPass pick per-site knob values
+///    (pipeline syntax `threshold[profile]` / `coarsen[profile]`);
+///  - SpeculationPass picks the per-site small-grid guard bound;
+///  - dpoptcc --profile-out= / --profile-in= record and replay them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_PROFILE_PROFILE_H
+#define DPO_PROFILE_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpo {
+
+struct GridRecord;
+struct VmProgram;
+
+/// Observed launch distribution of one launch site. Sorted maps keep
+/// serialization order-independent of grid-log arrival order.
+struct SiteHistogram {
+  uint64_t Launches = 0;
+  std::map<uint64_t, uint64_t> Blocks;    ///< grid block count -> frequency
+  std::map<uint64_t, uint64_t> Threads;   ///< total thread count -> frequency
+  std::map<uint64_t, uint64_t> BlockDims; ///< block dim -> frequency
+};
+
+/// A harvested (or parsed) profile: site name -> histogram. The map is
+/// sorted by site name, so iteration — and therefore serialization — is
+/// deterministic.
+class LaunchProfile {
+public:
+  std::map<std::string, SiteHistogram> Sites;
+
+  bool empty() const { return Sites.empty(); }
+
+  /// Folds \p Other into this profile (histograms add).
+  void merge(const LaunchProfile &Other);
+
+  /// Accumulates one grid-log record under \p SiteName.
+  void addRecord(const std::string &SiteName, uint64_t Blocks,
+                 uint64_t Threads, uint64_t BlockDim);
+
+  const SiteHistogram *find(const std::string &SiteName) const {
+    auto It = Sites.find(SiteName);
+    return It == Sites.end() ? nullptr : &It->second;
+  }
+
+  //===--- Per-site knob selection ----------------------------------------===//
+  //
+  // All three rules are pure functions of the site's histogram, so the
+  // same profile always yields the same knob values. Sites absent from
+  // the profile fall back to the global knob.
+
+  /// Per-site serialization threshold for ThresholdingPass. A launch
+  /// whose total thread count is below the threshold runs serialized.
+  ///  - site unseen: \p GlobalK (no evidence, keep the global policy);
+  ///  - every observed launch was >= \p GlobalK: 1 (serialization never
+  ///    fires here — make the check constant-false-shaped and cheap);
+  ///  - otherwise: the smallest power of two strictly above the largest
+  ///    observed sub-threshold launch, capped at \p GlobalK (covers
+  ///    everything the global knob would have serialized, no more).
+  unsigned siteThreshold(const std::string &SiteName,
+                         unsigned GlobalK) const;
+
+  /// Per-site coarsening factor for CoarseningPass: the largest power of
+  /// two no greater than the site's median grid block count, clamped to
+  /// [1, \p GlobalF]. Unseen sites return \p GlobalF; a result of 1
+  /// means "do not coarsen this site".
+  unsigned siteCoarsenFactor(const std::string &SiteName,
+                             unsigned GlobalF) const;
+
+  /// Per-site speculation bound for SpeculationPass: the smallest power
+  /// of two covering the site's 90th-percentile total thread count.
+  /// Returns false when the site was never observed (no basis to
+  /// speculate on).
+  bool siteSpeculationBound(const std::string &SiteName, uint64_t &Bound) const;
+};
+
+/// Builds a profile from a device grid log: every record whose Site
+/// ordinal is attached (non-zero, in range) accumulates under its
+/// VmProgram::LaunchSiteNames entry. Host launches carry no site and are
+/// skipped. Deterministic for any log ordering.
+LaunchProfile harvestProfile(const std::vector<GridRecord> &Log,
+                             const VmProgram &Program);
+
+/// Serializes to the "dpo-profile v1" text format. Byte-deterministic:
+/// sites in name order, histogram entries in key order.
+std::string serializeProfile(const LaunchProfile &Profile);
+
+/// Parses the text format back. Returns false and sets \p Error on
+/// malformed input. parse(serialize(P)) == P exactly.
+bool parseProfile(std::string_view Text, LaunchProfile &Out,
+                  std::string &Error);
+
+} // namespace dpo
+
+#endif // DPO_PROFILE_PROFILE_H

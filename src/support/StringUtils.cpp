@@ -82,3 +82,19 @@ ParseUIntStatus dpo::parsePositiveU32(std::string_view Text, unsigned &Out) {
   Out = static_cast<unsigned>(Value);
   return ParseUIntStatus::Ok;
 }
+
+bool dpo::parseU64(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = (uint64_t)(C - '0');
+    if (Value > (~0ull - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}

@@ -7,6 +7,7 @@
 #ifndef DPO_SUPPORT_STRINGUTILS_H
 #define DPO_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,11 @@ enum class ParseUIntStatus { Ok, Empty, NotANumber, Zero, Overflow };
 /// leading zeros are fine. Shared by the CLI flag parser and the pass
 /// pipeline grammar so both accept exactly the same spellings.
 ParseUIntStatus parsePositiveU32(std::string_view Text, unsigned &Out);
+
+/// Parses a non-negative decimal 64-bit integer. Rejects empty input,
+/// non-digits, and overflow; accepts zero (unlike parsePositiveU32 —
+/// histogram keys and counts legitimately include 0).
+bool parseU64(std::string_view Text, uint64_t &Out);
 
 } // namespace dpo
 

@@ -19,6 +19,7 @@
 
 #include "ast/Clone.h"
 #include "ast/Walk.h"
+#include "profile/Profile.h"
 #include "sema/LaunchSites.h"
 #include "support/Casting.h"
 #include "transform/BuiltinRewrite.h"
@@ -103,16 +104,36 @@ public:
     if (!AnyCoarsened)
       return Result;
 
-    if (Options.Spelling == KnobSpelling::Macro)
+    // Per-site values can't share one macro: profile mode always spells
+    // its factors as literals.
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
       emitMacroDefault(Options.MacroName, Options.Factor);
 
-    // Patch every launch of every coarsened kernel.
+    const LaunchProfile *Profile =
+        Options.UseProfile ? Options.Profile : nullptr;
+
+    // Patch every launch of every coarsened kernel. Site ordinals count
+    // *every* site in walk order — the same counting the bytecode
+    // compiler uses to name sites, so profile lookups key on the names
+    // grid logs recorded.
     std::unordered_map<const Stmt *, Stmt *> Replacements;
+    std::unordered_map<std::string, unsigned> SiteOrdinals;
     for (const LaunchSite &Site : AllSites) {
+      std::string SitePair =
+          Site.Caller->name() + "->" + Site.Launch->kernel();
+      std::string SiteName =
+          SitePair + "#" + std::to_string(SiteOrdinals[SitePair]++);
       if (!Site.Child || Skipped.count(Site.Child) ||
           !Candidates.count(Site.Child))
         continue;
-      Replacements[Site.Launch] = buildPatchedLaunch(Site, Site.FromKernel);
+      unsigned Factor =
+          Profile ? Profile->siteCoarsenFactor(SiteName, Options.Factor)
+                  : Options.Factor;
+      // A per-site factor of 1 keeps the identity configuration (the
+      // kernel is already coarsened in place, so the launch still passes
+      // the original grid, striding exactly once per block).
+      Replacements[Site.Launch] =
+          buildPatchedLaunch(Site, Site.FromKernel && Factor > 1, Factor);
       ++Result.RewrittenLaunches;
       if (std::find(Result.TouchedFunctions.begin(),
                     Result.TouchedFunctions.end(),
@@ -166,10 +187,10 @@ private:
     TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
   }
 
-  Expr *factorExpr() {
-    if (Options.Spelling == KnobSpelling::Macro)
+  Expr *factorExpr(unsigned Factor) {
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
       return Ctx.ref(Options.MacroName);
-    return Ctx.intLit(Options.Factor);
+    return Ctx.intLit(Factor);
   }
 
   /// Rewrites the kernel in place per Fig. 6: appends the original-grid
@@ -267,7 +288,8 @@ private:
 
   /// Fig. 6 lines 08-10 for dynamic launches; identity configuration for
   /// host launches of the same (now coarsened) kernel.
-  Stmt *buildPatchedLaunch(const LaunchSite &Site, bool Coarsen) {
+  Stmt *buildPatchedLaunch(const LaunchSite &Site, bool Coarsen,
+                           unsigned Factor) {
     LaunchExpr *L = Site.Launch;
     unsigned K = SiteCounter++;
     bool Scalar = ScalarMode.at(Site.Child);
@@ -289,8 +311,10 @@ private:
       auto MakeCeilDiv = [&](Expr *Orig) {
         auto *Num = Ctx.binary(
             BinaryOpKind::Sub,
-            Ctx.binary(BinaryOpKind::Add, Orig, factorExpr()), Ctx.intLit(1));
-        return Ctx.binary(BinaryOpKind::Div, Ctx.paren(Num), factorExpr());
+            Ctx.binary(BinaryOpKind::Add, Orig, factorExpr(Factor)),
+            Ctx.intLit(1));
+        return Ctx.binary(BinaryOpKind::Div, Ctx.paren(Num),
+                          factorExpr(Factor));
       };
       if (Scalar) {
         std::string CVar = "_cgDimX" + std::to_string(K);
@@ -352,6 +376,8 @@ CoarseningResult dpo::applyCoarsening(ASTContext &Ctx, TranslationUnit *TU,
 }
 
 std::string CoarseningPass::repr() const {
+  if (Options.UseProfile)
+    return "coarsen[profile]";
   std::string R = "coarsen[" + std::to_string(Options.Factor);
   if (Options.Spelling == KnobSpelling::Literal)
     R += ":literal";

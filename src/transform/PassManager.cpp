@@ -11,6 +11,7 @@
 #include "transform/BuiltinRewrite.h"
 #include "transform/CanonicalizePass.h"
 #include "transform/CoarseningPass.h"
+#include "transform/SpeculationPass.h"
 #include "transform/ThresholdingPass.h"
 
 #include <chrono>
@@ -111,12 +112,15 @@ std::unique_ptr<TransformPass> makeThresholdPass(std::string_view Params,
     for (std::string_view P : split(Params, ':')) {
       if (P == "fallback")
         O.FallbackToTotalThreads = true;
-      else if (applySpellingParam(P, O.Spelling))
+      else if (P == "profile") {
+        O.UseProfile = true;
+        O.Profile = C.Profile;
+      } else if (applySpellingParam(P, O.Spelling))
         ;
       else if (!parsePassUInt(P, O.Threshold)) {
         Error = "threshold: invalid parameter '" + std::string(P) +
-                "' (expected a positive integer, 'fallback', 'literal', or "
-                "'macro')";
+                "' (expected a positive integer, 'profile', 'fallback', "
+                "'literal', or 'macro')";
         return nullptr;
       }
     }
@@ -130,16 +134,42 @@ std::unique_ptr<TransformPass> makeCoarsenPass(std::string_view Params,
   CoarseningOptions O = C.Coarsening;
   if (!Params.empty()) {
     for (std::string_view P : split(Params, ':')) {
-      if (applySpellingParam(P, O.Spelling))
+      if (P == "profile") {
+        O.UseProfile = true;
+        O.Profile = C.Profile;
+      } else if (applySpellingParam(P, O.Spelling))
         ;
       else if (!parsePassUInt(P, O.Factor)) {
         Error = "coarsen: invalid parameter '" + std::string(P) +
-                "' (expected a positive integer, 'literal', or 'macro')";
+                "' (expected a positive integer, 'profile', 'literal', or "
+                "'macro')";
         return nullptr;
       }
     }
   }
   return std::make_unique<CoarseningPass>(O);
+}
+
+std::unique_ptr<TransformPass> makeSpeculatePass(std::string_view Params,
+                                                 const PassPipelineConfig &C,
+                                                 std::string &Error) {
+  SpeculationOptions O = C.Speculation;
+  if (!Params.empty()) {
+    for (std::string_view P : split(Params, ':')) {
+      if (P == "profile") {
+        O.UseProfile = true;
+        O.Profile = C.Profile;
+      } else if (applySpellingParam(P, O.Spelling))
+        ;
+      else if (!parsePassUInt(P, O.MaxThreads)) {
+        Error = "speculate: invalid parameter '" + std::string(P) +
+                "' (expected a positive integer, 'profile', 'literal', or "
+                "'macro')";
+        return nullptr;
+      }
+    }
+  }
+  return std::make_unique<SpeculationPass>(O);
 }
 
 std::unique_ptr<TransformPass> makeAggregatePass(std::string_view Params,
@@ -258,6 +288,11 @@ PassRegistry::PassRegistry() {
                "merge child thread blocks with a block-strided loop "
                "(params: factor, 'literal'/'macro')",
                makeCoarsenPass);
+  registerPass("speculate",
+               "serialize child launches under a small-grid assumption "
+               "behind a runtime guard with a fallback launch (params: "
+               "max threads, 'profile', 'literal'/'macro')",
+               makeSpeculatePass);
   registerPass("aggregate",
                "combine child grids into one launch per group (params: "
                "none|warp|block|multiblock|grid, group size, "

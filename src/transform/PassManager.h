@@ -113,7 +113,13 @@ private:
 struct PassPipelineConfig {
   ThresholdingOptions Thresholding;
   CoarseningOptions Coarsening;
+  SpeculationOptions Speculation;
   AggregationOptions Aggregation;
+  /// Profile consulted by the `profile` pass parameter
+  /// (`threshold[profile]` etc.). Null means "no profile": passes fall
+  /// back to their literal knobs; `speculate[profile]` transforms
+  /// nothing. Not owned; must outlive the constructed passes.
+  const LaunchProfile *Profile = nullptr;
 };
 
 /// Name -> factory map for pipeline parsing. The four builtin passes are

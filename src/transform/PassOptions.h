@@ -21,6 +21,8 @@
 
 namespace dpo {
 
+class LaunchProfile;
+
 /// How the launch threshold / coarsening factor / group size appear in the
 /// generated source.
 enum class KnobSpelling {
@@ -37,12 +39,38 @@ struct ThresholdingOptions {
   /// launch. Off by default (the paper argues total threads is a poor
   /// proxy; Section III-D).
   bool FallbackToTotalThreads = false;
+  /// Pipeline spelling `threshold[profile]`: pick a per-launch-site
+  /// threshold from Profile (see LaunchProfile::siteThreshold) instead
+  /// of the one global knob. Sites the profile never saw — and the whole
+  /// pass when Profile is null — fall back to the literal Threshold.
+  /// Profile mode always spells thresholds as literals.
+  bool UseProfile = false;
+  const LaunchProfile *Profile = nullptr;
 };
 
 struct CoarseningOptions {
   unsigned Factor = 4;
   KnobSpelling Spelling = KnobSpelling::Macro;
   std::string MacroName = "_CFACTOR";
+  /// Pipeline spelling `coarsen[profile]`: per-launch-site factors from
+  /// Profile (LaunchProfile::siteCoarsenFactor), capped at Factor.
+  /// Null Profile falls back to the literal Factor everywhere.
+  bool UseProfile = false;
+  const LaunchProfile *Profile = nullptr;
+};
+
+/// Options for SpeculationPass: serialize a child launch under a
+/// profile-backed small-grid assumption behind a runtime __dpo_spec_guard
+/// check, with a fallback real launch when the guard fails.
+struct SpeculationOptions {
+  /// Global small-grid bound: speculate "this launch runs at most
+  /// MaxThreads total threads". With a profile, each site instead uses
+  /// LaunchProfile::siteSpeculationBound (and unseen sites are skipped).
+  unsigned MaxThreads = 64;
+  KnobSpelling Spelling = KnobSpelling::Macro;
+  std::string MacroName = "_SPEC_BOUND";
+  bool UseProfile = false;
+  const LaunchProfile *Profile = nullptr;
 };
 
 enum class AggGranularity {

@@ -25,14 +25,17 @@ PassPipelineConfig dpo::pipelineConfigFrom(const PipelineOptions &Options) {
   Config.Thresholding = Options.Thresholding;
   Config.Coarsening = Options.Coarsening;
   Config.Aggregation = Options.Aggregation;
+  Config.Profile = Options.Profile;
   return Config;
 }
 
-PassPipelineConfig dpo::literalKnobConfig() {
+PassPipelineConfig dpo::literalKnobConfig(const LaunchProfile *Profile) {
   PassPipelineConfig Config;
   Config.Thresholding.Spelling = KnobSpelling::Literal;
   Config.Coarsening.Spelling = KnobSpelling::Literal;
+  Config.Speculation.Spelling = KnobSpelling::Literal;
   Config.Aggregation.Spelling = KnobSpelling::Literal;
+  Config.Profile = Profile;
   return Config;
 }
 

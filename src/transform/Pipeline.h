@@ -46,6 +46,9 @@ struct PipelineOptions {
   ThresholdingOptions Thresholding;
   CoarseningOptions Coarsening;
   AggregationOptions Aggregation;
+  /// Execution profile handed to passes running in profile mode (the
+  /// `profile` pass parameter). Not owned; may be null.
+  const LaunchProfile *Profile = nullptr;
 
   /// Convenience: spell every knob as a literal (for VM execution).
   void useLiteralKnobs() {
@@ -73,7 +76,8 @@ PassPipelineConfig pipelineConfigFrom(const PipelineOptions &Options);
 /// what VM execution requires (the VM has no preprocessor to give the
 /// `_THRESHOLD`/`_CFACTOR`/`_AGG_SIZE` macros values). The empirical tuner
 /// parses pipelines produced by passPipelineTextFor with these defaults.
-PassPipelineConfig literalKnobConfig();
+/// \p Profile (optional, not owned) backs the `profile` pass parameter.
+PassPipelineConfig literalKnobConfig(const LaunchProfile *Profile = nullptr);
 
 /// Runs the enabled passes in the Fig. 8(a) order, in place, sharing
 /// \p AM's analysis cache across the passes.

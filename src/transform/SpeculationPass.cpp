@@ -1,0 +1,233 @@
+//===--- SpeculationPass.cpp ----------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SpeculationPass.h"
+
+#include "ast/Clone.h"
+#include "ast/Walk.h"
+#include "profile/Profile.h"
+#include "sema/LaunchSites.h"
+#include "sema/PurityAnalysis.h"
+#include "sema/Transformability.h"
+#include "support/Casting.h"
+#include "transform/SerialKernel.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace dpo;
+
+namespace {
+
+class SpeculationTransformer {
+public:
+  SpeculationTransformer(ASTContext &Ctx, TranslationUnit *TU,
+                         const SpeculationOptions &Options,
+                         DiagnosticEngine &Diags, AnalysisManager &AM)
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM),
+        Serial(Ctx, TU, Diags) {}
+
+  SpeculationResult run() {
+    SpeculationResult Result;
+    const std::vector<LaunchSite> &AllSites = AM.launchSites();
+    const LaunchProfile *Profile =
+        Options.UseProfile ? Options.Profile : nullptr;
+
+    struct PlannedSite {
+      LaunchSite Site;
+      uint64_t Bound = 0; ///< Guard bound (total threads <= Bound).
+    };
+    std::vector<PlannedSite> Planned;
+    // Site ordinals count *every* site in walk order — the same counting
+    // the bytecode compiler uses to name sites, so profile lookups key on
+    // the names grid logs recorded.
+    std::unordered_map<std::string, unsigned> SiteOrdinals;
+    for (const LaunchSite &Site : AllSites) {
+      std::string SitePair =
+          Site.Caller->name() + "->" + Site.Launch->kernel();
+      std::string SiteName =
+          SitePair + "#" + std::to_string(SiteOrdinals[SitePair]++);
+      if (!Site.FromKernel)
+        continue; // Host launches are not dynamic parallelism.
+      std::string Where =
+          Site.Caller->name() + " -> " + Site.Launch->kernel();
+      if (!Site.InStatementPosition) {
+        skip(Result, Where + ": launch is not in statement position");
+        continue;
+      }
+      if (!Site.Child || !Site.Child->isDefinition()) {
+        skip(Result, Where + ": child kernel definition not found");
+        continue;
+      }
+      const Transformability &T = AM.serializability(Site.Child);
+      if (!T.Serializable) {
+        skip(Result, Where + ": " + T.Reasons.front());
+        continue;
+      }
+      // The guard multiplies grid by block dim, so both must be scalar —
+      // and both are re-evaluated on each branch, so both must be pure.
+      if (Site.Launch->gridDim()->type().isDim3() ||
+          Site.Launch->blockDim()->type().isDim3()) {
+        skip(Result, Where + ": dim3 launch configuration");
+        continue;
+      }
+      if (!AM.isPure(Site.Launch->gridDim(), Site.Caller) ||
+          !AM.isPure(Site.Launch->blockDim(), Site.Caller)) {
+        skip(Result, Where + ": launch configuration is not pure");
+        continue;
+      }
+      PlannedSite P;
+      P.Site = Site;
+      P.Bound = Options.MaxThreads;
+      if (Options.UseProfile &&
+          (!Profile || !Profile->siteSpeculationBound(SiteName, P.Bound))) {
+        skip(Result, Where + ": site absent from profile");
+        continue;
+      }
+      Planned.push_back(P);
+    }
+
+    if (Planned.empty())
+      return Result;
+
+    // Per-site values can't share one macro: profile mode always spells
+    // its bounds as literals.
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
+      emitMacroDefault(Options.MacroName, Options.MaxThreads);
+    // The guard itself: the VM compiles the call to a dedicated opcode;
+    // host compilers get this macro so the printed source stays valid.
+    TU->decls().insert(
+        TU->decls().begin(),
+        Ctx.create<RawDecl>("#ifndef __dpo_spec_guard\n"
+                            "#define __dpo_spec_guard(n, k) ((n) <= (k))\n"
+                            "#endif"));
+
+    for (const PlannedSite &P : Planned)
+      Serial.ensureSerialVersion(P.Site.Child, AllSites);
+
+    std::unordered_map<const Stmt *, Stmt *> Replacements;
+    for (const PlannedSite &P : Planned)
+      Replacements[P.Site.Launch] = buildSpeculatedLaunch(P.Site, P.Bound);
+
+    for (Decl *D : TU->decls()) {
+      auto *F = dyn_cast<FunctionDecl>(D);
+      if (!F || !F->body())
+        continue;
+      rewriteStmts(F->body(), [&](Stmt *S) -> Stmt * {
+        auto It = Replacements.find(S);
+        return It != Replacements.end() ? It->second : nullptr;
+      });
+    }
+
+    Result.SpeculatedLaunches = Planned.size();
+    Result.SerializedNestedLaunches = Serial.nestedLaunchSerials();
+    for (const PlannedSite &P : Planned) {
+      const FunctionDecl *Caller = P.Site.Caller;
+      if (std::find(Result.TouchedFunctions.begin(),
+                    Result.TouchedFunctions.end(),
+                    Caller) == Result.TouchedFunctions.end())
+        Result.TouchedFunctions.push_back(Caller);
+    }
+    return Result;
+  }
+
+private:
+  void skip(SpeculationResult &Result, std::string Reason) {
+    ++Result.SkippedLaunches;
+    Result.SkipReasons.push_back(std::move(Reason));
+  }
+
+  void emitMacroDefault(const std::string &Macro, unsigned Value) {
+    std::string Text = "#ifndef " + Macro + "\n#define " + Macro + " " +
+                       std::to_string(Value) + "\n#endif";
+    TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
+  }
+
+  Expr *boundExpr(uint64_t Bound) {
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
+      return Ctx.ref(Options.MacroName);
+    return Ctx.intLit(Bound);
+  }
+
+  /// Builds the speculated replacement for one launch:
+  ///   { unsigned long long _specK = (gDim) * (bDim);
+  ///     if (__dpo_spec_guard(_specK, BOUND)) { <serial call>; }
+  ///     else { <launch>; } }
+  Stmt *buildSpeculatedLaunch(const LaunchSite &Site, uint64_t Bound) {
+    LaunchExpr *L = Site.Launch;
+    std::string CountVar = "_spec" + std::to_string(SiteCounter++);
+
+    Expr *CountInit = Ctx.binary(
+        BinaryOpKind::Mul, Ctx.paren(cloneExpr(Ctx, L->gridDim())),
+        Ctx.paren(cloneExpr(Ctx, L->blockDim())));
+    Type CountType(BuiltinKind::ULongLong);
+    auto *CountDecl = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
+        Ctx.create<VarDecl>(CountType, CountVar, CountInit)});
+
+    Expr *SerialCall = Serial.buildSerialCall(Site);
+
+    auto *CountRef = Ctx.ref(CountVar);
+    CountRef->setType(CountType);
+    Expr *Guard = Ctx.create<CallExpr>(
+        Ctx.ref("__dpo_spec_guard"),
+        std::vector<Expr *>{CountRef, boundExpr(Bound)});
+    auto *If = Ctx.create<IfStmt>(Guard, Ctx.compound({SerialCall}),
+                                  Ctx.compound({L}));
+    return Ctx.compound({CountDecl, If});
+  }
+
+  ASTContext &Ctx;
+  TranslationUnit *TU;
+  const SpeculationOptions &Options;
+  DiagnosticEngine &Diags;
+  AnalysisManager &AM;
+  SerialKernelBuilder Serial;
+  unsigned SiteCounter = 0;
+};
+
+} // namespace
+
+SpeculationResult dpo::applySpeculation(ASTContext &Ctx, TranslationUnit *TU,
+                                        const SpeculationOptions &Options,
+                                        DiagnosticEngine &Diags,
+                                        AnalysisManager &AM) {
+  SpeculationTransformer Transformer(Ctx, TU, Options, Diags, AM);
+  return Transformer.run();
+}
+
+SpeculationResult dpo::applySpeculation(ASTContext &Ctx, TranslationUnit *TU,
+                                        const SpeculationOptions &Options,
+                                        DiagnosticEngine &Diags) {
+  AnalysisManager AM(Ctx, TU);
+  return applySpeculation(Ctx, TU, Options, Diags, AM);
+}
+
+std::string SpeculationPass::repr() const {
+  if (Options.UseProfile)
+    return "speculate[profile]";
+  std::string R = "speculate[" + std::to_string(Options.MaxThreads);
+  if (Options.Spelling == KnobSpelling::Literal)
+    R += ":literal";
+  return R + "]";
+}
+
+PreservedAnalyses SpeculationPass::run(ASTContext &Ctx, TranslationUnit *TU,
+                                       AnalysisManager &AM,
+                                       DiagnosticEngine &Diags) {
+  Result = applySpeculation(Ctx, TU, Options, Diags, AM);
+  if (Result.SpeculatedLaunches == 0)
+    return PreservedAnalyses::all();
+  PreservedAnalyses PA;
+  // Child kernel bodies are untouched, so serializability verdicts hold.
+  PA.preserve(AnalysisID::Transformability);
+  // The rewrite keeps the original LaunchExpr node in the else branch, so
+  // the cached site list stays exact — unless serialization cloned a body
+  // with nested launches.
+  if (Result.SerializedNestedLaunches == 0)
+    PA.preserve(AnalysisID::LaunchSites);
+  PA.limitToFunctions(Result.TouchedFunctions);
+  return PA;
+}

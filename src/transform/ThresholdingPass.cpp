@@ -10,12 +10,13 @@
 #include "ast/Clone.h"
 #include "ast/Walk.h"
 #include "parse/Parser.h"
+#include "profile/Profile.h"
 #include "sema/GridDimAnalysis.h"
 #include "sema/LaunchSites.h"
 #include "sema/PurityAnalysis.h"
 #include "sema/Transformability.h"
 #include "support/Casting.h"
-#include "transform/BuiltinRewrite.h"
+#include "transform/SerialKernel.h"
 
 #include <algorithm>
 #include <map>
@@ -37,66 +38,37 @@ const char *dpo::aggGranularityName(AggGranularity G) {
 
 namespace {
 
-/// True if any statement below Root is a return.
-bool containsReturn(const Stmt *Root) {
-  bool Found = false;
-  forEachStmt(Root, [&](const Stmt *S) {
-    if (isa<ReturnStmt>(S))
-      Found = true;
-  });
-  return Found;
-}
-
-/// Decides whether the serial version of \p Child needs y/z loops: true when
-/// the body touches .y/.z of an index builtin or when any launch of the
-/// kernel uses a dim3 configuration (scalar configurations imply y = z = 1).
-bool childNeedsAllDims(const FunctionDecl *Child,
-                       const std::vector<LaunchSite> &Sites) {
-  for (const char *Builtin : {"blockIdx", "threadIdx", "gridDim", "blockDim"})
-    for (const char *Component : {"y", "z"})
-      if (usesBuiltinComponent(Child->body(), Builtin, Component))
-        return true;
-  for (const LaunchSite &Site : Sites) {
-    if (Site.Launch->kernel() != Child->name())
-      continue;
-    if (Site.Launch->gridDim()->type().isDim3() ||
-        Site.Launch->blockDim()->type().isDim3())
-      return true;
-  }
-  return false;
-}
-
-/// Picks a function name not already defined in \p TU.
-std::string freshFunctionName(const TranslationUnit *TU,
-                              const std::string &Base) {
-  if (!TU->findFunction(Base))
-    return Base;
-  for (unsigned I = 1;; ++I) {
-    std::string Candidate = Base + "_" + std::to_string(I);
-    if (!TU->findFunction(Candidate))
-      return Candidate;
-  }
-}
-
 class ThresholdingTransformer {
 public:
   ThresholdingTransformer(ASTContext &Ctx, TranslationUnit *TU,
                           const ThresholdingOptions &Options,
                           DiagnosticEngine &Diags, AnalysisManager &AM)
-      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM) {}
+      : Ctx(Ctx), TU(TU), Options(Options), Diags(Diags), AM(AM),
+        Serial(Ctx, TU, Diags) {}
 
   ThresholdingResult run() {
     ThresholdingResult Result;
     const std::vector<LaunchSite> &AllSites = AM.launchSites();
+    const LaunchProfile *Profile =
+        Options.UseProfile ? Options.Profile : nullptr;
 
     // Plan the transformation of every eligible dynamic launch.
     struct PlannedSite {
       LaunchSite Site;
       GridDimInfo Info;
+      unsigned Threshold = 0; ///< Effective (possibly per-site) knob.
       bool UseTotalThreadsFallback = false;
     };
     std::vector<PlannedSite> Planned;
+    // Per-(caller, kernel) launch ordinals, counted over *every* site in
+    // walk order — the same counting the bytecode compiler uses to name
+    // sites, so profile lookups key on the names grid logs recorded.
+    std::unordered_map<std::string, unsigned> SiteOrdinals;
     for (const LaunchSite &Site : AllSites) {
+      std::string SitePair =
+          Site.Caller->name() + "->" + Site.Launch->kernel();
+      std::string SiteName =
+          SitePair + "#" + std::to_string(SiteOrdinals[SitePair]++);
       if (!Site.FromKernel)
         continue; // Host launches are not dynamic parallelism.
       std::string Where =
@@ -116,6 +88,9 @@ public:
       }
       PlannedSite P;
       P.Site = Site;
+      P.Threshold = Profile ? Profile->siteThreshold(SiteName,
+                                                     Options.Threshold)
+                            : Options.Threshold;
       P.Info = AM.gridDim(Site.Caller, Site.Launch->gridDim());
       if (!P.Info.Found || (P.Info.NeedsReevaluation && !P.Info.Safe)) {
         if (Options.FallbackToTotalThreads &&
@@ -133,18 +108,20 @@ public:
     if (Planned.empty())
       return Result;
 
-    if (Options.Spelling == KnobSpelling::Macro)
+    // Per-site values can't share one macro: profile mode always spells
+    // its thresholds as literals.
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
       emitMacroDefault(Options.MacroName, Options.Threshold);
 
     // Build serial versions (one per distinct child kernel).
     for (const PlannedSite &P : Planned)
-      ensureSerialVersion(P.Site.Child, AllSites);
+      Serial.ensureSerialVersion(P.Site.Child, AllSites);
 
     // Rewrite each launch site.
     std::unordered_map<const Stmt *, Stmt *> Replacements;
     for (PlannedSite &P : Planned)
-      Replacements[P.Site.Launch] =
-          buildThresholdedLaunch(P.Site, P.Info, P.UseTotalThreadsFallback);
+      Replacements[P.Site.Launch] = buildThresholdedLaunch(
+          P.Site, P.Info, P.Threshold, P.UseTotalThreadsFallback);
 
     for (Decl *D : TU->decls()) {
       auto *F = dyn_cast<FunctionDecl>(D);
@@ -157,7 +134,7 @@ public:
     }
 
     Result.TransformedLaunches = Planned.size();
-    Result.SerializedNestedLaunches = NestedLaunchSerials;
+    Result.SerializedNestedLaunches = Serial.nestedLaunchSerials();
     for (const PlannedSite &P : Planned) {
       const FunctionDecl *Caller = P.Site.Caller;
       if (std::find(Result.TouchedFunctions.begin(),
@@ -181,147 +158,10 @@ private:
     TU->decls().insert(TU->decls().begin(), Ctx.create<RawDecl>(Text));
   }
 
-  Expr *thresholdExpr() {
-    if (Options.Spelling == KnobSpelling::Macro)
+  Expr *thresholdExpr(unsigned Threshold) {
+    if (Options.Spelling == KnobSpelling::Macro && !Options.UseProfile)
       return Ctx.ref(Options.MacroName);
-    return Ctx.intLit(Options.Threshold);
-  }
-
-  /// Generates (once per child) the `<child>_serial` device function and
-  /// registers it in the translation unit right after the child kernel.
-  void ensureSerialVersion(FunctionDecl *Child,
-                           const std::vector<LaunchSite> &AllSites) {
-    if (SerialNames.count(Child))
-      return;
-
-    // Cloning a body that launches duplicates its launch sites; the pass
-    // reports this so the launch-site analysis gets invalidated.
-    forEachExpr(Child->body(), [&](const Expr *E) {
-      if (isa<LaunchExpr>(E))
-        ++NestedLaunchSerials;
-    });
-
-    bool AllDims = childNeedsAllDims(Child, AllSites);
-    bool HasReturn = containsReturn(Child->body());
-    std::string SerialName =
-        freshFunctionName(TU, Child->name() + "_serial");
-
-    // The synthesized loop/config variables must not collide with anything
-    // the child declares: a child that was already transformed (e.g. the
-    // coarsening pass's grid-stride loop declares `_bx`) would otherwise
-    // shadow the serial driver's loop variable and read itself in its own
-    // initializer.
-    std::unordered_set<std::string> Taken = declaredNames(Child);
-    std::string GDim = freshVarName(Taken, "_gDim");
-    std::string BDim = freshVarName(Taken, "_bDim");
-    std::string Bx = freshVarName(Taken, "_bx");
-    std::string By = freshVarName(Taken, "_by");
-    std::string Bz = freshVarName(Taken, "_bz");
-    std::string Tx = freshVarName(Taken, "_tx");
-    std::string Ty = freshVarName(Taken, "_ty");
-    std::string Tz = freshVarName(Taken, "_tz");
-
-    // Shared parameter tail: the original launch configuration.
-    auto MakeConfigParams = [&]() {
-      std::vector<VarDecl *> Params;
-      for (const VarDecl *P : Child->params())
-        Params.push_back(cloneVarDecl(Ctx, P));
-      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), GDim));
-      Params.push_back(Ctx.create<VarDecl>(Type(BuiltinKind::Dim3), BDim));
-      return Params;
-    };
-
-    // Index variable names per dimension, block loops then thread loops.
-    std::vector<std::pair<std::string, std::string>> BlockLoops = {{Bx, "x"}};
-    std::vector<std::pair<std::string, std::string>> ThreadLoops = {{Tx, "x"}};
-    if (AllDims) {
-      BlockLoops.insert(BlockLoops.begin(), {{Bz, "z"}, {By, "y"}});
-      ThreadLoops.insert(ThreadLoops.begin(), {{Tz, "z"}, {Ty, "y"}});
-    }
-
-    std::unordered_map<std::string, BuiltinRemap> Map;
-    Map["gridDim"].Whole = GDim;
-    Map["blockDim"].Whole = BDim;
-    Map["blockIdx"].X = Bx;
-    Map["threadIdx"].X = Tx;
-    if (AllDims) {
-      Map["blockIdx"].Y = By;
-      Map["blockIdx"].Z = Bz;
-      Map["threadIdx"].Y = Ty;
-      Map["threadIdx"].Z = Tz;
-    }
-
-    FunctionQualifiers Quals;
-    Quals.Device = true;
-
-    // The innermost statement executed per serialized child thread.
-    Stmt *PerThread = nullptr;
-    FunctionDecl *ThreadFn = nullptr;
-    if (HasReturn) {
-      // Early returns force the per-thread body into its own function so
-      // `return` keeps per-thread semantics.
-      std::vector<VarDecl *> ThreadParams = MakeConfigParams();
-      for (auto &Loops : {BlockLoops, ThreadLoops})
-        for (const auto &[VarName, Component] : Loops)
-          ThreadParams.push_back(
-              Ctx.create<VarDecl>(Type(BuiltinKind::UInt), VarName));
-      auto *ThreadBody = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
-      rewriteBuiltins(Ctx, ThreadBody, Map, Diags);
-      std::string ThreadFnName =
-          freshFunctionName(TU, Child->name() + "_serial_thread");
-      ThreadFn = Ctx.create<FunctionDecl>(Quals, Type(BuiltinKind::Void),
-                                          ThreadFnName,
-                                          std::move(ThreadParams), ThreadBody);
-      // Call it from the loops.
-      std::vector<Expr *> CallArgs;
-      for (const VarDecl *P : Child->params())
-        CallArgs.push_back(Ctx.ref(P->name()));
-      CallArgs.push_back(Ctx.ref(GDim));
-      CallArgs.push_back(Ctx.ref(BDim));
-      for (auto &Loops : {BlockLoops, ThreadLoops})
-        for (const auto &[VarName, Component] : Loops)
-          CallArgs.push_back(Ctx.ref(VarName));
-      PerThread = Ctx.create<CallExpr>(Ctx.ref(ThreadFnName),
-                                       std::move(CallArgs));
-    } else {
-      auto *Body = cast<CompoundStmt>(cloneStmt(Ctx, Child->body()));
-      rewriteBuiltins(Ctx, Body, Map, Diags);
-      PerThread = Body;
-    }
-
-    // Wrap in loops: thread loops innermost.
-    auto MakeLoop = [&](const std::string &Var, const std::string &Bound,
-                        const std::string &Component, Stmt *Body) -> Stmt * {
-      auto *Init = Ctx.create<DeclStmt>(std::vector<VarDecl *>{
-          Ctx.create<VarDecl>(Type(BuiltinKind::UInt), Var, Ctx.intLit(0))});
-      auto *Cond = Ctx.binary(BinaryOpKind::LT, Ctx.ref(Var),
-                              Ctx.member(Bound, Component));
-      auto *Inc = Ctx.create<UnaryOperator>(UnaryOpKind::PreInc, Ctx.ref(Var));
-      return Ctx.create<ForStmt>(Init, Cond, Inc, Body);
-    };
-
-    Stmt *Loops = PerThread;
-    for (auto It = ThreadLoops.rbegin(); It != ThreadLoops.rend(); ++It)
-      Loops = MakeLoop(It->first, BDim, It->second, Loops);
-    for (auto It = BlockLoops.rbegin(); It != BlockLoops.rend(); ++It)
-      Loops = MakeLoop(It->first, GDim, It->second, Loops);
-
-    auto *SerialBody = Ctx.compound({Loops});
-    auto *Serial =
-        Ctx.create<FunctionDecl>(Quals, Type(BuiltinKind::Void), SerialName,
-                                 MakeConfigParams(), SerialBody);
-
-    // Insert after the child kernel definition (thread helper first so it
-    // precedes its caller).
-    auto It = std::find(TU->decls().begin(), TU->decls().end(),
-                        static_cast<Decl *>(Child));
-    assert(It != TU->decls().end() && "child kernel not in translation unit");
-    ++It;
-    if (ThreadFn)
-      It = std::next(TU->decls().insert(It, ThreadFn));
-    TU->decls().insert(It, Serial);
-
-    SerialNames[Child] = SerialName;
+    return Ctx.intLit(Threshold);
   }
 
   /// Builds the Fig. 3 replacement for one launch:
@@ -329,7 +169,7 @@ private:
   ///     if (_threadsK >= _THRESHOLD) { <launch> }
   ///     else { <child>_serial(args, gDim, bDim); } }
   Stmt *buildThresholdedLaunch(const LaunchSite &Site, const GridDimInfo &Info,
-                               bool TotalThreadsFallback) {
+                               unsigned Threshold, bool TotalThreadsFallback) {
     LaunchExpr *L = Site.Launch;
     std::string ThreadsVar = "_threads" + std::to_string(SiteCounter++);
 
@@ -361,17 +201,12 @@ private:
 
     // Serial call: original args plus the (post-substitution) launch
     // configuration.
-    std::vector<Expr *> SerialArgs;
-    for (Expr *Arg : L->args())
-      SerialArgs.push_back(cloneExpr(Ctx, Arg));
-    SerialArgs.push_back(cloneExpr(Ctx, L->gridDim()));
-    SerialArgs.push_back(cloneExpr(Ctx, L->blockDim()));
-    auto *SerialCall = Ctx.create<CallExpr>(
-        Ctx.ref(SerialNames.at(Site.Child)), std::move(SerialArgs));
+    Expr *SerialCall = Serial.buildSerialCall(Site);
 
     auto *CountRef = Ctx.ref(ThreadsVar);
     CountRef->setType(CountType);
-    Expr *Cond = Ctx.binary(BinaryOpKind::GE, CountRef, thresholdExpr());
+    Expr *Cond =
+        Ctx.binary(BinaryOpKind::GE, CountRef, thresholdExpr(Threshold));
     auto *If = Ctx.create<IfStmt>(Cond, Ctx.compound({L}),
                                   Ctx.compound({SerialCall}));
     return Ctx.compound({CountDecl, If});
@@ -382,9 +217,8 @@ private:
   const ThresholdingOptions &Options;
   DiagnosticEngine &Diags;
   AnalysisManager &AM;
-  std::map<const FunctionDecl *, std::string> SerialNames;
+  SerialKernelBuilder Serial;
   unsigned SiteCounter = 0;
-  unsigned NestedLaunchSerials = 0;
 };
 
 } // namespace
@@ -405,7 +239,14 @@ ThresholdingResult dpo::applyThresholding(ASTContext &Ctx, TranslationUnit *TU,
 }
 
 std::string ThresholdingPass::repr() const {
-  std::string R = "threshold[" + std::to_string(Options.Threshold);
+  std::string R = "threshold[";
+  if (Options.UseProfile) {
+    R += "profile";
+    if (Options.FallbackToTotalThreads)
+      R += ":fallback";
+    return R + "]";
+  }
+  R += std::to_string(Options.Threshold);
   if (Options.FallbackToTotalThreads)
     R += ":fallback";
   if (Options.Spelling == KnobSpelling::Literal)

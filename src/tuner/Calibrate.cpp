@@ -1,0 +1,170 @@
+//===--- Calibrate.cpp ----------------------------------------------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Calibrate.h"
+
+#include "sim/Simulator.h"
+#include "tuner/Tuner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace dpo;
+
+const std::vector<CalibrationKnob> &dpo::calibrationKnobs() {
+  // The launch-subsystem and dispatch constants: the costs the paper's
+  // optimizations trade against each other, and therefore the ones whose
+  // miscalibration flips analytic-vs-empirical rankings. Compute-fabric
+  // parameters (SM count, clock) are the device's spec sheet and stay put.
+  static const std::vector<CalibrationKnob> Knobs = {
+      {"LaunchBaseLatencyUs", &GpuModel::LaunchBaseLatencyUs},
+      {"LaunchServiceUs", &GpuModel::LaunchServiceUs},
+      {"LaunchIssueCycles", &GpuModel::LaunchIssueCycles},
+      {"BlockDispatchUs", &GpuModel::BlockDispatchUs},
+  };
+  return Knobs;
+}
+
+double dpo::calibrationError(const GpuModel &Model,
+                             const std::vector<NestedBatch> &SampleBatches,
+                             const std::vector<CalibrationPoint> &Points) {
+  if (Points.empty())
+    return 0;
+  double Sum = 0;
+  for (const CalibrationPoint &P : Points) {
+    double Pred = simulateBatches(Model, SampleBatches, P.Config).TimeUs;
+    // Degenerate predictions/measurements (zero time) contribute a large
+    // fixed penalty instead of a NaN, so the descent steers away.
+    double E = (Pred > 0 && P.MeasuredUs > 0)
+                   ? std::log(Pred / P.MeasuredUs)
+                   : 10.0;
+    Sum += E * E;
+  }
+  return std::sqrt(Sum / (double)Points.size());
+}
+
+CalibrationResult dpo::calibrateGpuModel(const GpuModel &Base,
+                                         const VmWorkload &Workload,
+                                         const VariantMask &Mask,
+                                         const CalibrationOptions &Opts) {
+  CalibrationResult R;
+  R.Fitted = Base;
+  R.Scales.assign(calibrationKnobs().size(), 1.0);
+
+  // Ground truth: VM measurements priced with the *base* model. The
+  // evaluator's model never changes during the fit, so the fit target is
+  // fixed — fitting the simulator to measurements that themselves moved
+  // with the fitted model would be circular.
+  EmpiricalEvaluator Eval(Base, Workload, Opts.Empirical);
+  if (Eval.maxResource() == 0) {
+    R.Error = "workload has no batches to measure";
+    return R;
+  }
+
+  // A deterministic spread over the candidate grid: always the
+  // untransformed config (index 0 of enumerateConfigs), then evenly
+  // spaced picks through the rest of the sweep order.
+  std::vector<ExecConfig> Grid = enumerateConfigs(Mask);
+  if (Grid.empty()) {
+    R.Error = "variant mask admits no configurations";
+    return R;
+  }
+  unsigned NumPoints = Opts.MaxPoints < 2 ? 2 : Opts.MaxPoints;
+  if (NumPoints > Grid.size())
+    NumPoints = (unsigned)Grid.size();
+  std::vector<size_t> Picks;
+  for (unsigned I = 0; I < NumPoints; ++I)
+    Picks.push_back(NumPoints == 1
+                        ? 0
+                        : (size_t)I * (Grid.size() - 1) / (NumPoints - 1));
+
+  for (size_t Idx : Picks) {
+    const ExecConfig &Config = Grid[Idx];
+    std::optional<VmMeasurement> M = Eval.measure(Config);
+    if (!M)
+      continue; // Unmeasurable candidates simply drop out of the fit.
+    CalibrationPoint P;
+    P.Config = Config;
+    P.Pipeline = passPipelineTextFor(Config);
+    P.MeasuredUs = Base.cyclesToUs(M->Cycles);
+    R.Points.push_back(P);
+  }
+  R.VmEvaluations = Eval.evaluations();
+  if (R.Points.size() < 2) {
+    R.Error = "fewer than two measurable calibration points (" +
+              Eval.lastError() + ")";
+    return R;
+  }
+
+  const std::vector<NestedBatch> &Sample = Eval.sampleBatches();
+  R.BaseError = calibrationError(Base, Sample, R.Points);
+
+  // Coordinate descent on multiplicative scales of each knob relative to
+  // its base value. The scale grid brackets one order of magnitude each
+  // way; only strict improvements are accepted, so the fitted model is
+  // never worse than the base model on the fit set.
+  static const double ScaleGrid[] = {0.1, 0.25, 0.4,  0.6, 0.8, 1.0,
+                                     1.25, 1.6, 2.5,  4.0, 10.0};
+  const std::vector<CalibrationKnob> &Knobs = calibrationKnobs();
+  double BestError = R.BaseError;
+  for (unsigned Sweep = 0; Sweep < Opts.Sweeps; ++Sweep) {
+    bool Improved = false;
+    for (size_t K = 0; K < Knobs.size(); ++K) {
+      double BaseValue = Base.*(Knobs[K].Field);
+      for (double Scale : ScaleGrid) {
+        GpuModel Candidate = R.Fitted;
+        Candidate.*(Knobs[K].Field) = BaseValue * Scale;
+        double E = calibrationError(Candidate, Sample, R.Points);
+        if (E < BestError) {
+          BestError = E;
+          R.Fitted = Candidate;
+          R.Scales[K] = Scale;
+          Improved = true;
+        }
+      }
+    }
+    if (!Improved)
+      break;
+  }
+  R.FittedError = BestError;
+
+  for (CalibrationPoint &P : R.Points) {
+    P.BaseUs = simulateBatches(Base, Sample, P.Config).TimeUs;
+    P.FittedUs = simulateBatches(R.Fitted, Sample, P.Config).TimeUs;
+  }
+  R.Ok = true;
+  return R;
+}
+
+std::string dpo::calibrationReport(const CalibrationResult &R) {
+  std::ostringstream OS;
+  if (!R.Ok) {
+    OS << "calibration failed: " << R.Error << "\n";
+    return OS.str();
+  }
+  char Line[160];
+  OS << "gpu model calibration (" << R.Points.size() << " points, "
+     << R.VmEvaluations << " VM evaluations)\n";
+  const std::vector<CalibrationKnob> &Knobs = calibrationKnobs();
+  for (size_t K = 0; K < Knobs.size(); ++K) {
+    std::snprintf(Line, sizeof(Line), "  %-22s x%-5g -> %g\n", Knobs[K].Name,
+                  R.Scales[K], R.Fitted.*(Knobs[K].Field));
+    OS << Line;
+  }
+  std::snprintf(Line, sizeof(Line),
+                "  rms log error: %.4f (base) -> %.4f (fitted)\n", R.BaseError,
+                R.FittedError);
+  OS << Line;
+  OS << "  points (measured / base / fitted us):\n";
+  for (const CalibrationPoint &P : R.Points) {
+    std::snprintf(Line, sizeof(Line), "    %-48s %10.2f %10.2f %10.2f\n",
+                  P.Pipeline.empty() ? "<untransformed>" : P.Pipeline.c_str(),
+                  P.MeasuredUs, P.BaseUs, P.FittedUs);
+    OS << Line;
+  }
+  return OS.str();
+}

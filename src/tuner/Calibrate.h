@@ -1,0 +1,97 @@
+//===--- Calibrate.h - Fitting the GpuModel to VM measurements --------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GpuModel calibration: fit the launch/dispatch cost constants of the
+/// analytic timing model so its predictions track the VM-measured
+/// makespans of the same configurations, making analytic and empirical
+/// tuner rankings agree (dpoptcc --calibrate).
+///
+/// Method: measure a deterministic spread of candidate ExecConfigs on the
+/// VM (EmpiricalEvaluator; the measurements are priced with the *base*
+/// model and stay fixed — the fit never chases its own output), simulate
+/// the exact sample batches under the analytic model, and minimize the
+/// RMS log-ratio error between predicted and measured microseconds by
+/// coordinate descent over multiplicative scales on a small set of model
+/// constants (launch latency/service/issue, block dispatch). Everything
+/// is deterministic: fixed candidate spread, fixed scale grid, fixed
+/// sweep order, strict-improvement acceptance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_TUNER_CALIBRATE_H
+#define DPO_TUNER_CALIBRATE_H
+
+#include "tuner/Empirical.h"
+
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+/// One model constant the fit may scale.
+struct CalibrationKnob {
+  const char *Name;
+  double GpuModel::*Field;
+};
+
+/// The constants calibration adjusts, fixed order (the coordinate-descent
+/// sweep order and the CalibrationResult::Scales order).
+const std::vector<CalibrationKnob> &calibrationKnobs();
+
+/// One measured configuration in the fit.
+struct CalibrationPoint {
+  ExecConfig Config;
+  std::string Pipeline; ///< passPipelineTextFor(Config).
+  double MeasuredUs = 0; ///< VM-measured makespan (base-model pricing).
+  double BaseUs = 0;     ///< Analytic prediction under the base model.
+  double FittedUs = 0;   ///< Analytic prediction under the fitted model.
+};
+
+struct CalibrationOptions {
+  /// Configurations measured (spread evenly over the candidate grid; the
+  /// untransformed config is always included).
+  unsigned MaxPoints = 8;
+  /// Coordinate-descent sweeps over the knob set.
+  unsigned Sweeps = 3;
+  EmpiricalOptions Empirical;
+};
+
+struct CalibrationResult {
+  bool Ok = false;
+  std::string Error;
+  GpuModel Fitted;
+  std::vector<CalibrationPoint> Points;
+  /// RMS |log(predicted/measured)| before and after the fit; the fit
+  /// accepts only strict improvements, so FittedError <= BaseError.
+  double BaseError = 0;
+  double FittedError = 0;
+  /// Scale applied to each calibrationKnobs() entry, knob order.
+  std::vector<double> Scales;
+  unsigned VmEvaluations = 0;
+};
+
+/// RMS log-ratio prediction error of \p Model over \p Points (uses each
+/// point's MeasuredUs as ground truth). Exposed for the regression tests.
+double calibrationError(const GpuModel &Model,
+                        const std::vector<NestedBatch> &SampleBatches,
+                        const std::vector<CalibrationPoint> &Points);
+
+/// Runs the calibration described above. \p Base seeds both the ground
+/// truth pricing and the fit's starting point; \p Mask bounds the
+/// candidate grid the measured spread is drawn from.
+CalibrationResult calibrateGpuModel(const GpuModel &Base,
+                                    const VmWorkload &Workload,
+                                    const VariantMask &Mask,
+                                    const CalibrationOptions &Opts = {});
+
+/// Human-readable fit summary (knob scales, per-point table, errors) for
+/// dpoptcc --calibrate.
+std::string calibrationReport(const CalibrationResult &R);
+
+} // namespace dpo
+
+#endif // DPO_TUNER_CALIBRATE_H

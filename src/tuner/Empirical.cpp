@@ -7,6 +7,7 @@
 #include "tuner/Empirical.h"
 
 #include "parse/Parser.h"
+#include "profile/Profile.h"
 #include "transform/Pipeline.h"
 #include "vm/Compiler.h"
 
@@ -167,7 +168,7 @@ const VmProgram *EmpiricalEvaluator::programFor(const std::string &Pipeline) {
   } else {
     DiagnosticEngine Diags;
     Src = transformSourceWithPipeline(Workload.Source, Pipeline,
-                                      literalKnobConfig(), Diags);
+                                      literalKnobConfig(Profile), Diags);
     if (Src.empty()) {
       LastError = "pipeline '" + Pipeline + "' failed: " + Diags.str();
       FailedPipelines.insert(Pipeline);
@@ -194,8 +195,8 @@ const VmProgram *EmpiricalEvaluator::programFor(const std::string &Pipeline) {
 bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
                                         const std::string &Pipeline,
                                         unsigned Resource, VmMeasurement &Out,
-                                        std::string &Err,
-                                        ExecMode Mode) const {
+                                        std::string &Err, ExecMode Mode,
+                                        LaunchProfile *ProfileOut) const {
   // Search measurements pin the decoded engine (the default \p Mode):
   // they must not depend on the DPO_VM_EXEC environment toggle. The
   // scores themselves are engine-independent anyway — every engine
@@ -268,18 +269,23 @@ bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
   Out.TraceEntries = S.TraceEntries;
   Out.TraceIters = S.TraceIters;
   Out.TraceSideExits = S.TraceSideExits;
+  Out.SpecGuardPass = S.SpecGuardPass;
+  Out.SpecGuardFail = S.SpecGuardFail;
+  if (ProfileOut)
+    *ProfileOut = harvestProfile(Dev.gridLog(), Dev.program());
   return true;
 }
 
 std::optional<VmMeasurement>
 EmpiricalEvaluator::measurePipeline(const std::string &PipelineText,
-                                    ExecMode Mode) {
+                                    ExecMode Mode, LaunchProfile *ProfileOut) {
   const VmProgram *Program = programFor(PipelineText);
   if (!Program)
     return std::nullopt;
   VmMeasurement M;
   std::string Err;
-  if (!runMeasurement(*Program, PipelineText, maxResource(), M, Err, Mode)) {
+  if (!runMeasurement(*Program, PipelineText, maxResource(), M, Err, Mode,
+                      ProfileOut)) {
     LastError = std::move(Err);
     return std::nullopt;
   }

@@ -51,6 +51,8 @@
 
 namespace dpo {
 
+class LaunchProfile;
+
 enum class TuneMode { Analytic, Empirical, Hybrid };
 
 const char *tuneModeName(TuneMode Mode);
@@ -105,6 +107,11 @@ struct VmMeasurement {
   uint64_t TraceEntries = 0;
   uint64_t TraceIters = 0;
   uint64_t TraceSideExits = 0;
+  /// Speculative-serialization guard outcomes (zero unless the pipeline
+  /// ran a `speculate` pass): how often the small-grid assumption held
+  /// (serialized path) vs. fell back to the real launch.
+  uint64_t SpecGuardPass = 0;
+  uint64_t SpecGuardFail = 0;
 };
 
 /// Prices one VM execution from its per-grid measurements. The VM is a
@@ -148,9 +155,20 @@ public:
   /// compile cache with measure() but spends no search budget; the trace
   /// counters in the result come from the run's device. Feeds dpoptcc's
   /// --print-vm-stats and the throughput bench's trace columns.
+  /// \p ProfileOut, when non-null, receives the run's harvested
+  /// per-launch-site profile (the grid log is always on during
+  /// measurement) — dpoptcc --profile-out records through here.
   std::optional<VmMeasurement>
   measurePipeline(const std::string &PipelineText,
-                  ExecMode Mode = ExecMode::Auto);
+                  ExecMode Mode = ExecMode::Auto,
+                  LaunchProfile *ProfileOut = nullptr);
+
+  /// Backs the `profile` parameter of measured pipelines
+  /// (`threshold[profile]`, ...). Not owned; must outlive the evaluator's
+  /// compiles. Distinct profiles compile distinct programs, so set this
+  /// before the first measurement of a pipeline that names it.
+  void setProfile(const LaunchProfile *P) { Profile = P; }
+  const LaunchProfile *profile() const { return Profile; }
 
   /// Executes the VM runs that upcoming measure(C, \p Resource) calls
   /// over \p Configs (in order) would perform, concurrently across
@@ -166,6 +184,11 @@ public:
 
   /// Batches in the measurement sample (successive halving's top rung).
   unsigned maxResource() const { return (unsigned)Sample.size(); }
+  /// The measurement sample itself (unit-capped copies, stream order) —
+  /// what a full-resource measure() executed. Calibration simulates these
+  /// exact batches so analytic predictions and VM measurements price the
+  /// same work.
+  const std::vector<NestedBatch> &sampleBatches() const { return Sample; }
   /// Total child units in the first \p Resource sample batches (used to
   /// extrapolate partial-rung measurements to full-sample time).
   uint64_t sampleUnits(unsigned Resource) const;
@@ -188,7 +211,8 @@ private:
   /// the sequential measure() path and prefetch()'s worker threads.
   bool runMeasurement(const VmProgram &Program, const std::string &Pipeline,
                       unsigned Resource, VmMeasurement &Out, std::string &Err,
-                      ExecMode Mode = ExecMode::Decoded) const;
+                      ExecMode Mode = ExecMode::Decoded,
+                      LaunchProfile *ProfileOut = nullptr) const;
   unsigned evalWorkers() const;
 
   /// A prefetched measurement waiting for its measure() call (which
@@ -203,6 +227,7 @@ private:
   GpuModel Gpu;
   VmWorkload Workload;
   EmpiricalOptions Opts;
+  const LaunchProfile *Profile = nullptr;
   std::vector<NestedBatch> Sample;
   /// Each sample batch's index in the workload's full stream (bound
   /// workloads replay the recorded round with that index).

@@ -99,6 +99,10 @@ namespace dpo {
   X(Math1) /* One double operand. */                                          \
   X(Math2) /* Two double operands. */                                         \
   X(MinI) X(MaxI) X(MinU) X(MaxU)                                             \
+  /* Speculation guard: [n, k] -> [n <= k] (unsigned compare), counting       \
+     the pass/fail outcome in VmStats so speculative-serialization hit        \
+     rates are observable. Emitted for __dpo_spec_guard(n, k) calls. */       \
+  X(SpecGuard)                                                                \
   X(Trap) /* A = trap message index; aborts execution. */                     \
   /*===--- Superinstructions (synthesized by vm/Peephole.cpp only) ---===*/   \
   /* Fused local/immediate pushes and arithmetic. */                          \
@@ -239,6 +243,11 @@ struct Instr {
   Op Code;
   int64_t A = 0;
   int64_t B = 0;
+  /// Launch-site ordinal for Op::Launch (1-based index into
+  /// VmProgram::LaunchSiteNames; 0 = no site attached). Other opcodes
+  /// leave it 0. Carried in the instruction so every execution engine
+  /// (bytecode, decoded, traced) tags grid-log records identically.
+  uint32_t C = 0;
 };
 
 /// One compiled function.
@@ -323,6 +332,11 @@ struct VmProgram {
   std::vector<uint8_t> GlobalImage;
   /// Global variable name -> offset in GlobalImage.
   std::unordered_map<std::string, unsigned> GlobalOffsets;
+  /// Stable launch-site names, indexed by Instr::C - 1 on Op::Launch.
+  /// A site is "<caller>-><kernel>#<ordinal>" in source emission order,
+  /// so the same source always yields the same site names — the key the
+  /// profile subsystem (src/profile) aggregates grid logs under.
+  std::vector<std::string> LaunchSiteNames;
 
   const FuncDef *find(const std::string &Name) const {
     auto It = FunctionIndex.find(Name);

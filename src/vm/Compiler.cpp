@@ -66,11 +66,25 @@ public:
     return Program.TrapMessages.size() - 1;
   }
 
+  /// Registers one launch site and returns its 1-based ordinal (the
+  /// Launch instruction's C operand). Sites are named
+  /// "<caller>-><kernel>#<n>" with n counting that caller/kernel pair in
+  /// emission order, so recompiling the same source reproduces the same
+  /// site names — the stability the profile artifact depends on.
+  unsigned launchSite(const std::string &Caller, const std::string &Kernel) {
+    std::string Pair = Caller + "->" + Kernel;
+    unsigned Ordinal = SiteOrdinals[Pair]++;
+    Program.LaunchSiteNames.push_back(Pair + "#" + std::to_string(Ordinal));
+    return (unsigned)Program.LaunchSiteNames.size();
+  }
+
   const TranslationUnit *TU;
   DiagnosticEngine &Diags;
   VmProgram Program;
   /// Function name -> declared signature (param types, returns value).
   std::unordered_map<std::string, const FunctionDecl *> Signatures;
+  /// (caller, kernel) pair -> next per-pair launch-site ordinal.
+  std::unordered_map<std::string, unsigned> SiteOrdinals;
 };
 
 class FunctionCompiler {
@@ -1042,7 +1056,8 @@ void FunctionCompiler::compileLaunch(const LaunchExpr *L) {
   }
   compileDim3(L->gridDim());
   compileDim3(L->blockDim());
-  emit(Op::Launch, It->second, ArgSlots);
+  unsigned Idx = emit(Op::Launch, It->second, ArgSlots);
+  Out.Code[Idx].C = PC.launchSite(F->name(), L->kernel());
 }
 
 unsigned FunctionCompiler::compileCall(const CallExpr *Call) {
@@ -1074,6 +1089,16 @@ unsigned FunctionCompiler::compileCall(const CallExpr *Call) {
       Name == "__threadfence_block" || Name == "__threadfence_system") {
     emit(Op::ThreadFence);
     emit(Op::PushI, 0);
+    return 1;
+  }
+
+  // Speculation guard intrinsic: __dpo_spec_guard(n, k) -> n <= k
+  // (unsigned), counted in VmStats::SpecGuardPass/Fail. Printed source
+  // carries a #define so it stays valid CUDA outside the VM.
+  if (Name == "__dpo_spec_guard" && Args.size() == 2) {
+    compileScalar(Args[0], Type(BuiltinKind::ULongLong));
+    compileScalar(Args[1], Type(BuiltinKind::ULongLong));
+    emit(Op::SpecGuard);
     return 1;
   }
 

@@ -561,6 +561,10 @@ void applyTransfer(AbsEval &St, const Instr &I, const VmProgram *Prog) {
   case Op::Launch:
     St.popN(6 + (unsigned)I.B);
     break;
+  case Op::SpecGuard:
+    St.popN(2);
+    St.pushR({true, 0, 1});
+    break;
   case Op::CudaMalloc:
     St.popN(2);
     St.pushR({true, 0, 0});
@@ -644,6 +648,7 @@ void applyTransfer(AbsEval &St, const Instr &I, const VmProgram *Prog) {
 struct TraceElem {
   uint16_t Code = 0;
   int64_t A = 0, B = 0;
+  uint32_t C = 0; ///< Launch-site ordinal (Op::Launch only).
   unsigned Cost = 0;
   int32_t Exit = -1;
   /// Steps the side-exit trampoline itself retires: nonzero when the
@@ -814,6 +819,7 @@ TraceBuild walkTrace(const FuncDef &F, const VmProgram &Program,
     E.Code = (uint16_t)I.Code;
     E.A = I.A;
     E.B = I.B;
+    E.C = I.C;
     E.Cost = 1 + Pending;
     Pending = 0;
     T.Elems.push_back(E);
@@ -1021,6 +1027,7 @@ void emitTrace(const TraceBuild &T, unsigned Head,
     X.Code = E.Code;
     X.A = E.A;
     X.B = E.B;
+    X.C = E.C;
     X.Cost = (uint8_t)E.Cost;
     if (E.Exit >= 0) {
       std::pair<int32_t, unsigned> Key{E.Exit, E.ExitCost};
@@ -1162,6 +1169,7 @@ ExecFunc decodeFunction(const FuncDef &F, const VmProgram &Program,
     E.Code = (uint16_t)I.Code;
     E.A = I.A;
     E.B = I.B;
+    E.C = I.C;
     if (I.Code == Op::SReg) {
       // Pre-split the dim*4+component encoding.
       E.A = (unsigned)I.A / 4;

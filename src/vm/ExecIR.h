@@ -155,6 +155,9 @@ struct ExecInstr {
   int64_t B = 0;
   uint16_t Code = 0; ///< Op value, or XOp value for decode-only forms.
   uint8_t Cost = 1;  ///< Bytecode steps this instruction accounts for.
+  /// Launch-site ordinal, copied verbatim from Instr::C on Op::Launch
+  /// (0 elsewhere). Fits in the struct's padding — decoding stays 32B.
+  uint32_t C = 0;
 };
 
 static_assert(sizeof(ExecInstr) == 32, "decoded instructions are fixed-width");

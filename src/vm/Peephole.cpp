@@ -445,6 +445,10 @@ std::vector<Range> dataflowStep(const FuncDef &F,
     case Op::Launch:
       St.popN(6 + (unsigned)I.B);
       break;
+    case Op::SpecGuard:
+      St.popN(2);
+      St.push({true, 0, 1});
+      break;
     case Op::CudaMalloc:
       St.popN(2);
       St.push({true, 0, 0});

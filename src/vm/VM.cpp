@@ -197,6 +197,9 @@ void Device::validateProgram() {
           // per-step bounds check — the slot count must match here.
           Bad(F, std::string("argument slot count mismatch in ") +
                      opName(I.Code));
+        } else if (I.Code == Op::Launch &&
+                   (uint64_t)I.C > Program.LaunchSiteNames.size()) {
+          Bad(F, "launch site ordinal out of range");
         }
         break;
       case Op::Trap:
@@ -645,6 +648,8 @@ void Device::mergeWorkerStats() {
     Stats.TraceEntries += S.TraceEntries;
     Stats.TraceIters += S.TraceIters;
     Stats.TraceSideExits += S.TraceSideExits;
+    Stats.SpecGuardPass += S.SpecGuardPass;
+    Stats.SpecGuardFail += S.SpecGuardFail;
     S = VmStats();
   }
 }
@@ -717,6 +722,7 @@ bool Device::runGrid(PendingLaunch &L, WorkerCtx &W) {
     R.Steps = W.GridSteps;
     R.MaxThreadSteps = W.CurGridMaxThreadSteps;
     R.BlockDim = (uint32_t)L.Block.count();
+    R.Site = L.Site;
     R.FromHost = L.FromHost;
     if (Sink)
       Sink->push_back(R);

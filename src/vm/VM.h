@@ -99,6 +99,10 @@ struct GridRecord {
   uint64_t Steps = 0;          ///< Bytecode steps retired by this grid only.
   uint64_t MaxThreadSteps = 0; ///< Steps of the slowest thread.
   uint32_t BlockDim = 0;
+  /// Launch-site ordinal (1-based into VmProgram::LaunchSiteNames) of the
+  /// Op::Launch that enqueued this grid; 0 for host launches and grids
+  /// with no recorded site. The profile subsystem keys histograms on it.
+  uint32_t Site = 0;
   bool FromHost = false; ///< Launched by the host (or a host pseudo-thread).
 };
 
@@ -117,6 +121,12 @@ struct VmStats {
   uint64_t TraceEntries = 0;   ///< TraceEnter retirements.
   uint64_t TraceIters = 0;     ///< TraceLoop back edges taken.
   uint64_t TraceSideExits = 0; ///< Guard side exits into the baseline.
+  // Speculative-serialization guard outcomes (Op::SpecGuard). Pass means
+  // the small-grid assumption held (the serialized path runs); Fail means
+  // the guarded fallback launch runs. Counted identically by every
+  // engine — the guard is one retired step in all of them.
+  uint64_t SpecGuardPass = 0;
+  uint64_t SpecGuardFail = 0;
 };
 
 class Device {
@@ -197,6 +207,10 @@ public:
   const std::vector<GridRecord> &gridLog() const { return GridLog; }
   void clearGridLog() { GridLog.clear(); }
 
+  /// The loaded program (profile harvesting resolves GridRecord::Site
+  /// ordinals against its LaunchSiteNames).
+  const VmProgram &program() const { return Program; }
+
   /// Maximum bytecode steps per top-level call (guards against runaway
   /// loops in tests).
   void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
@@ -216,6 +230,7 @@ private:
     unsigned Func;
     Dim3V Grid, Block;
     std::vector<int64_t> Args;
+    uint32_t Site = 0;     ///< Launch-site ordinal (0 = host / unknown).
     bool FromHost = false; ///< Enqueued by the host / a host pseudo-thread.
   };
 

@@ -251,14 +251,16 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
                                        std::string_view PipelineText,
                                        bool OptimizeBytecode,
                                        uint64_t MemoryBytes,
-                                       unsigned Workers, ExecMode Mode) {
+                                       unsigned Workers, ExecMode Mode,
+                                       const LaunchProfile *ProfileIn,
+                                       LaunchProfile *ProfileOut) {
   DifferentialRun R;
 
   std::string Src = Case.source();
   if (!PipelineText.empty()) {
     DiagnosticEngine Diags;
-    Src = transformSourceWithPipeline(Src, PipelineText, literalKnobConfig(),
-                                      Diags);
+    Src = transformSourceWithPipeline(Src, PipelineText,
+                                      literalKnobConfig(ProfileIn), Diags);
     if (Src.empty()) {
       R.Error = "pipeline '" + std::string(PipelineText) +
                 "' failed: " + Diags.str();
@@ -282,6 +284,8 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
   auto Dev = std::make_unique<Device>(std::move(Program), MemoryBytes, Mode);
   if (Workers)
     Dev->setWorkers(Workers);
+  if (ProfileOut)
+    Dev->setGridLogEnabled(true);
 
   std::string StageError;
   KernelImage Img = stageKernelCase(*Dev, Case, &StageError);
@@ -308,6 +312,8 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
     return R;
 
   R.Stats = Dev->stats();
+  if (ProfileOut)
+    *ProfileOut = harvestProfile(Dev->gridLog(), Dev->program());
   R.Ok = true;
   return R;
 }
@@ -412,6 +418,12 @@ const std::vector<std::string> &dpo::differentialPipelines() {
       // Repeated application: the second coarsening must detect the
       // already-coarsened kernel and stay semantics-preserving.
       "coarsen[2],coarsen[2]",
+      // Speculative serialization: a tiny bound (guard almost always
+      // fails, fallback launch path), a huge bound (guard always passes,
+      // serialized path), and the composition after thresholding.
+      "speculate[4]",
+      "speculate[1000000]",
+      "threshold[32],speculate[64]",
   };
   return Pipelines;
 }

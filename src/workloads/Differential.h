@@ -26,6 +26,7 @@
 #ifndef DPO_WORKLOADS_DIFFERENTIAL_H
 #define DPO_WORKLOADS_DIFFERENTIAL_H
 
+#include "profile/Profile.h"
 #include "vm/VM.h"
 #include "workloads/KernelSources.h"
 
@@ -56,12 +57,20 @@ struct DifferentialRun {
 /// tests assert. \p Mode pins the execution engine (Auto keeps the
 /// DPO_VM_EXEC default); Steps must be bit-identical across engines,
 /// which is what the engine-axis differential tests assert.
+///
+/// \p ProfileIn (optional, not owned) backs the `profile` parameter of
+/// pipeline passes (`threshold[profile]`, `speculate[profile]`, ...).
+/// \p ProfileOut, when non-null, turns the device grid log on and
+/// receives the harvested per-site profile of this run — the
+/// profile-guided workflow's record step.
 DifferentialRun runKernelCaseOnVm(const KernelCase &Case,
                                   std::string_view PipelineText,
                                   bool OptimizeBytecode,
                                   uint64_t MemoryBytes = 16ull << 20,
                                   unsigned Workers = 0,
-                                  ExecMode Mode = ExecMode::Auto);
+                                  ExecMode Mode = ExecMode::Auto,
+                                  const LaunchProfile *ProfileIn = nullptr,
+                                  LaunchProfile *ProfileOut = nullptr);
 
 /// Exact payload comparison for \p Bench. Returns true on a match; on
 /// mismatch \p Why describes the first divergence.

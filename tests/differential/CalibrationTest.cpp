@@ -1,0 +1,147 @@
+//===--- CalibrationTest.cpp - GpuModel calibration regression gate -----------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression gate for `dpoptcc --calibrate`: on every committed
+/// bench/tuned/ workload the fitted model must (a) never predict worse
+/// than the base model on the fit set — the descent accepts only strict
+/// improvements — (b) reproduce the VM-measured makespans within a
+/// fixed log-ratio tolerance, (c) be bit-deterministic across repeated
+/// fits, and (d) never *flip* an analytic-vs-empirical top-1 ranking:
+/// wherever the base model already agreed with the measurements about
+/// the best configuration, the fitted model must agree too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tuner/Calibrate.h"
+#include "tuner/TunedTable.h"
+#include "workloads/KernelSources.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace dpo;
+
+#ifndef DPO_SOURCE_DIR
+#define DPO_SOURCE_DIR "."
+#endif
+
+namespace {
+
+/// Absolute tolerance on the canonical tuning workload, where the
+/// analytic model's shape matches the measured batches: mean prediction
+/// error within a factor of ~2.2x (RMS of log(pred/measured)). The real
+/// kernel workloads contain configurations the model mispredicts by
+/// orders of magnitude — shape error a multiplicative 4-knob fit cannot
+/// close — so they are gated on the relative invariants instead (never
+/// worse than base, no top-1 flip).
+constexpr double CanonicalFitTolerance = 0.8;
+
+struct CommittedWorkload {
+  VmWorkload Workload;
+  bool Canonical = false;
+};
+
+std::vector<CommittedWorkload> committedWorkloads() {
+  std::vector<CommittedWorkload> Workloads;
+  std::filesystem::path Dir =
+      std::filesystem::path(DPO_SOURCE_DIR) / "bench" / "tuned";
+  if (!std::filesystem::exists(Dir))
+    return Workloads;
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".json")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &Path : Paths) {
+    TunedEntry Entry;
+    std::string Error;
+    if (!loadTunedEntryFile(Path, Entry, Error))
+      continue;
+    if (Entry.Workload == "canonical") {
+      Workloads.push_back({canonicalTuneWorkload(Entry.Seed), true});
+    } else {
+      BenchCase Case;
+      if (parseWorkloadSpec(Entry.Workload, Case, Error))
+        Workloads.push_back({kernelVmWorkload(Case), false});
+    }
+  }
+  return Workloads;
+}
+
+size_t argMin(const std::vector<CalibrationPoint> &Points,
+              double CalibrationPoint::*Field) {
+  size_t Best = 0;
+  for (size_t I = 1; I < Points.size(); ++I)
+    if (Points[I].*Field < Points[Best].*Field)
+      Best = I;
+  return Best;
+}
+
+TEST(CalibrationRegression, FitImprovesWithinToleranceOnCommittedWorkloads) {
+  std::vector<CommittedWorkload> Workloads = committedWorkloads();
+  ASSERT_FALSE(Workloads.empty())
+      << "bench/tuned/ is missing tables (regenerate with "
+         "scripts/tune_table.sh)";
+  GpuModel Base;
+  VariantMask Mask;
+  Mask.Thresholding = Mask.Coarsening = Mask.Aggregation = true;
+
+  for (const CommittedWorkload &CW : Workloads) {
+    const VmWorkload &Workload = CW.Workload;
+    CalibrationResult R = calibrateGpuModel(Base, Workload, Mask, {});
+    ASSERT_TRUE(R.Ok) << Workload.Name << ": " << R.Error;
+    ASSERT_GE(R.Points.size(), 2u) << Workload.Name;
+
+    // Strict-improvement acceptance: fitting can only help the fit set.
+    EXPECT_LE(R.FittedError, R.BaseError)
+        << Workload.Name << ":\n"
+        << calibrationReport(R);
+    if (CW.Canonical)
+      EXPECT_LE(R.FittedError, CanonicalFitTolerance)
+          << Workload.Name
+          << ": fitted model no longer reproduces the measured makespans:\n"
+          << calibrationReport(R);
+
+    // No ranking flips: where the base analytic model already picked the
+    // measured-best configuration, the fitted model must keep picking it.
+    size_t MeasuredTop = argMin(R.Points, &CalibrationPoint::MeasuredUs);
+    size_t BaseTop = argMin(R.Points, &CalibrationPoint::BaseUs);
+    size_t FittedTop = argMin(R.Points, &CalibrationPoint::FittedUs);
+    if (BaseTop == MeasuredTop)
+      EXPECT_EQ(FittedTop, MeasuredTop)
+          << Workload.Name
+          << ": calibration flipped the analytic-vs-empirical top-1:\n"
+          << calibrationReport(R);
+  }
+}
+
+TEST(CalibrationRegression, FitIsDeterministic) {
+  GpuModel Base;
+  VariantMask Mask;
+  Mask.Thresholding = Mask.Coarsening = Mask.Aggregation = true;
+  VmWorkload Workload = canonicalTuneWorkload(1);
+
+  CalibrationResult A = calibrateGpuModel(Base, Workload, Mask, {});
+  CalibrationResult B = calibrateGpuModel(Base, Workload, Mask, {});
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(A.Scales, B.Scales);
+  EXPECT_EQ(A.FittedError, B.FittedError);
+  EXPECT_EQ(A.BaseError, B.BaseError);
+  ASSERT_EQ(A.Points.size(), B.Points.size());
+  for (size_t I = 0; I < A.Points.size(); ++I) {
+    EXPECT_EQ(A.Points[I].Pipeline, B.Points[I].Pipeline);
+    EXPECT_EQ(A.Points[I].MeasuredUs, B.Points[I].MeasuredUs);
+    EXPECT_EQ(A.Points[I].FittedUs, B.Points[I].FittedUs);
+  }
+}
+
+} // namespace

@@ -21,9 +21,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "parse/Parser.h"
+#include "profile/Profile.h"
 #include "sema/Transformability.h"
 #include "transform/PassManager.h"
 #include "transform/Pipeline.h"
+#include "vm/Compiler.h"
 #include "workloads/Differential.h"
 
 #include <gtest/gtest.h>
@@ -406,6 +408,345 @@ TEST(TransformabilityRejection, AllPipelinesPreserveTheProbePayload) {
     ASSERT_TRUE(Run.Ok) << "[" << Pipeline << "]: " << Run.Error;
     EXPECT_EQ(Base.Sums, Run.Sums) << "[" << Pipeline << "]\n" << Run.Src;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-guided axis: record a per-site launch profile from a real run,
+// replay it into the profile-parameterized passes, and hold the payload
+// contract. The deliberately *wrong* profile below is the pinned
+// guard-failure axis: a corrupted small-grid assumption must route every
+// speculated launch through the guarded fallback and still be payload-
+// and step-exact against the native references on every engine and
+// worker count.
+//===----------------------------------------------------------------------===//
+
+/// The guard-failure forcing function: rewrites every site's observed
+/// thread counts to 1, so siteSpeculationBound picks a bound of 1 and
+/// any real launch (>= one warp) fails its guard.
+LaunchProfile corruptToTinyBounds(const LaunchProfile &Real) {
+  LaunchProfile Wrong = Real;
+  for (auto &[Name, H] : Wrong.Sites) {
+    H.Threads.clear();
+    H.Threads[1] = H.Launches;
+  }
+  return Wrong;
+}
+
+class ProfileAxisTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ProfileAxisTest, HarvestedProfileIsRunAndWorkerDeterministic) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  LaunchProfile First;
+  DifferentialRun R0 = runKernelCaseOnVm(Case, "", true, 16ull << 20,
+                                         /*Workers=*/1, ExecMode::Auto,
+                                         nullptr, &First);
+  ASSERT_TRUE(R0.Ok) << Case.Name << ": " << R0.Error;
+  std::string Canonical = serializeProfile(First);
+
+  // Byte-identical on a repeat run and at every worker count: the
+  // histograms count only worker-deterministic quantities.
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    LaunchProfile P;
+    DifferentialRun R = runKernelCaseOnVm(Case, "", true, 16ull << 20,
+                                          Workers, ExecMode::Auto, nullptr,
+                                          &P);
+    ASSERT_TRUE(R.Ok) << Case.Name << " workers=" << Workers << ": "
+                      << R.Error;
+    EXPECT_EQ(serializeProfile(P), Canonical)
+        << Case.Name << ": profile drifted at workers=" << Workers;
+  }
+
+  // And the serialized artifact round-trips exactly through the text
+  // format the CLI's --profile-out/--profile-in exchange.
+  LaunchProfile Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseProfile(Canonical, Parsed, Error)) << Error;
+  EXPECT_EQ(serializeProfile(Parsed), Canonical);
+}
+
+TEST_P(ProfileAxisTest, ProfileBackedPipelinesMatchNative) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  WorkloadOutput Native = Case.reference();
+  LaunchProfile Real;
+  DifferentialRun Record = runKernelCaseOnVm(Case, "", true, 16ull << 20, 1,
+                                             ExecMode::Auto, nullptr, &Real);
+  ASSERT_TRUE(Record.Ok) << Case.Name << ": " << Record.Error;
+
+  const std::string Pipelines[] = {
+      "threshold[profile]", "coarsen[profile]", "speculate[profile]",
+      "threshold[profile],coarsen[profile]"};
+  for (const std::string &Pipeline : Pipelines) {
+    DifferentialRun Run = runKernelCaseOnVm(Case, Pipeline, true,
+                                            16ull << 20, 1, ExecMode::Auto,
+                                            &Real);
+    ASSERT_TRUE(Run.Ok) << Case.Name << " [" << Pipeline
+                        << "]: " << Run.Error;
+    std::string Why;
+    EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Run.Payload, Why))
+        << Case.Name << " [" << Pipeline << "]: " << Why << "\ntransformed:\n"
+        << Run.TransformedSource;
+  }
+}
+
+TEST_P(ProfileAxisTest, WrongProfileGuardFailureFallsBackExactly) {
+  const KernelCase &Case = differentialCorpus()[GetParam()];
+  WorkloadOutput Native = Case.reference();
+  LaunchProfile Real;
+  DifferentialRun Record = runKernelCaseOnVm(Case, "", true, 16ull << 20, 1,
+                                             ExecMode::Auto, nullptr, &Real);
+  ASSERT_TRUE(Record.Ok) << Case.Name << ": " << Record.Error;
+  LaunchProfile Wrong = corruptToTinyBounds(Real);
+
+  DifferentialRun Ref;
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::DecodedNoTrace,
+                        ExecMode::Bytecode}) {
+    DifferentialRun Run =
+        runKernelCaseOnVm(Case, "speculate[profile]", true, 16ull << 20,
+                          /*Workers=*/1, Mode, &Wrong);
+    ASSERT_TRUE(Run.Ok) << Case.Name << " engine=" << (int)Mode << ": "
+                        << Run.Error;
+    std::string Why;
+    EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Run.Payload, Why))
+        << Case.Name << " engine=" << (int)Mode
+        << ": guarded fallback diverged: " << Why << "\ntransformed:\n"
+        << Run.TransformedSource;
+    if (Run.TransformedSource.find("__dpo_spec_guard") != std::string::npos)
+      EXPECT_GT(Run.Stats.SpecGuardPass + Run.Stats.SpecGuardFail, 0u)
+          << Case.Name << ": speculated site never evaluated its guard";
+    if (Mode == ExecMode::Decoded) {
+      Ref = Run;
+      continue;
+    }
+    // Guard evaluations are retired steps: the accounting must stay
+    // bit-identical across engines, failures included.
+    EXPECT_EQ(Run.Stats.Steps, Ref.Stats.Steps) << Case.Name;
+    EXPECT_EQ(Run.Stats.SpecGuardPass, Ref.Stats.SpecGuardPass) << Case.Name;
+    EXPECT_EQ(Run.Stats.SpecGuardFail, Ref.Stats.SpecGuardFail) << Case.Name;
+    EXPECT_EQ(Run.Stats.DeviceLaunches, Ref.Stats.DeviceLaunches)
+        << Case.Name;
+  }
+
+  for (unsigned Workers : {2u, 4u}) {
+    DifferentialRun Par =
+        runKernelCaseOnVm(Case, "speculate[profile]", true, 16ull << 20,
+                          Workers, ExecMode::Auto, &Wrong);
+    ASSERT_TRUE(Par.Ok) << Case.Name << " workers=" << Workers << ": "
+                        << Par.Error;
+    std::string Why;
+    EXPECT_TRUE(payloadsMatch(Case.Bench, Native, Par.Payload, Why))
+        << Case.Name << " workers=" << Workers
+        << ": guarded fallback diverged: " << Why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ProfileAxisTest,
+    ::testing::Range<size_t>(0, differentialCorpus().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = differentialCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!std::isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Speculation probe: a serializable child (pure atomics, no barriers, no
+// shared memory) whose parent shape matches the corpus convention. With
+// full control of the profile this pins the exact guard arithmetic: a
+// tiny-bound profile fails every guard and falls back, a huge literal
+// bound passes every guard and serializes every launch.
+//===----------------------------------------------------------------------===//
+
+const char *SpecProbeSource = R"(
+__global__ void child(int *col, int *sums, int edgeBase, int v, int count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < count)
+    atomicAdd(&sums[v], col[edgeBase + i]);
+}
+__global__ void parent(int *rowptr, int *col, int *sums, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = rowptr[v + 1] - rowptr[v];
+    if (count > 0) {
+      child<<<(count + 31) / 32, 32>>>(col, sums, rowptr[v], v, count);
+    }
+  }
+}
+)";
+
+ProbeRun runSpecProbe(const std::string &Pipeline,
+                      const LaunchProfile *ProfileIn = nullptr,
+                      unsigned Workers = 1, ExecMode Mode = ExecMode::Auto,
+                      LaunchProfile *ProfileOut = nullptr) {
+  ProbeRun R;
+  std::string Src = SpecProbeSource;
+  if (!Pipeline.empty()) {
+    DiagnosticEngine Diags;
+    Src = transformSourceWithPipeline(Src, Pipeline,
+                                      literalKnobConfig(ProfileIn), Diags);
+    if (Src.empty()) {
+      R.Error = "pipeline failed: " + Diags.str();
+      return R;
+    }
+  }
+  R.Src = Src;
+
+  DiagnosticEngine Diags;
+  ASTContext Ctx;
+  TranslationUnit *TU = parseSource(Src, Ctx, Diags);
+  VmProgram Program;
+  if (TU)
+    Program = compileProgram(TU, Diags, {});
+  if (!TU || Diags.hasErrors()) {
+    R.Error = "compile failed: " + Diags.str();
+    return R;
+  }
+  auto Dev = std::make_unique<Device>(std::move(Program), 16ull << 20, Mode);
+  Dev->setWorkers(Workers);
+  if (ProfileOut)
+    Dev->setGridLogEnabled(true);
+
+  // The shared-child probe's skewed CSR: hubs with hundreds of edges,
+  // many leaves, some isolated vertices.
+  constexpr int NumV = 40;
+  std::vector<int32_t> RowPtr(NumV + 1), Col;
+  std::mt19937 Rng(4242);
+  for (int V = 0; V < NumV; ++V) {
+    RowPtr[V] = (int32_t)Col.size();
+    int Deg = V % 7 == 0 ? 150 + (int)(Rng() % 200)
+                         : (V % 3 == 0 ? (int)(Rng() % 9) : 0);
+    for (int E = 0; E < Deg; ++E)
+      Col.push_back((int32_t)(Rng() % 1000));
+  }
+  RowPtr[NumV] = (int32_t)Col.size();
+
+  uint64_t RowPtrA = Dev->allocI32(RowPtr);
+  uint64_t ColA = Dev->allocI32(Col);
+  uint64_t SumsA = Dev->alloc((uint64_t)NumV * 4);
+  if (!launchWorkloadParent(*Dev, "parent", NumV, 128,
+                            {(int64_t)RowPtrA, (int64_t)ColA, (int64_t)SumsA,
+                             NumV})) {
+    R.Error = "run failed: " + Dev->error();
+    return R;
+  }
+  R.Sums = Dev->readI32Array(SumsA, NumV);
+  R.Stats = Dev->stats();
+  if (ProfileOut)
+    *ProfileOut = harvestProfile(Dev->gridLog(), Dev->program());
+  R.Ok = true;
+  return R;
+}
+
+TEST(SpeculationGuard, WrongProfileFailsEveryGuardAndFallsBack) {
+  LaunchProfile Real;
+  ProbeRun Base = runSpecProbe("", nullptr, 1, ExecMode::Auto, &Real);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_GT(Base.Stats.DeviceLaunches, 0u);
+  ASSERT_FALSE(Real.Sites.empty());
+  LaunchProfile Wrong = corruptToTinyBounds(Real);
+
+  ProbeRun Ref;
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::DecodedNoTrace,
+                        ExecMode::Bytecode}) {
+    for (unsigned Workers : {1u, 2u, 4u}) {
+      ProbeRun Run = runSpecProbe("speculate[profile]", &Wrong, Workers,
+                                  Mode);
+      ASSERT_TRUE(Run.Ok) << "engine=" << (int)Mode << " workers=" << Workers
+                          << ": " << Run.Error;
+      // Every real launch is at least one 32-thread block, so a bound of
+      // 1 fails every guard: the fallback path must relaunch everything
+      // and reproduce the payload exactly.
+      EXPECT_EQ(Run.Sums, Base.Sums)
+          << "engine=" << (int)Mode << " workers=" << Workers << "\n"
+          << Run.Src;
+      EXPECT_EQ(Run.Stats.SpecGuardFail, Base.Stats.DeviceLaunches);
+      EXPECT_EQ(Run.Stats.SpecGuardPass, 0u);
+      EXPECT_EQ(Run.Stats.DeviceLaunches, Base.Stats.DeviceLaunches)
+          << "a failed guard must not swallow its launch";
+      // Step accounting stays exact across engines at the deterministic
+      // worker count.
+      if (Workers != 1)
+        continue;
+      if (Mode == ExecMode::Decoded) {
+        Ref = Run;
+        continue;
+      }
+      EXPECT_EQ(Run.Stats.Steps, Ref.Stats.Steps)
+          << "engine=" << (int)Mode
+          << ": guard-failure path step accounting diverged";
+      EXPECT_EQ(Run.Stats.ThreadsExecuted, Ref.Stats.ThreadsExecuted);
+    }
+  }
+}
+
+TEST(SpeculationGuard, HugeBoundPassesEveryGuardAndSerializes) {
+  ProbeRun Base = runSpecProbe("");
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_GT(Base.Stats.DeviceLaunches, 0u);
+
+  for (ExecMode Mode : {ExecMode::Decoded, ExecMode::DecodedNoTrace,
+                        ExecMode::Bytecode}) {
+    ProbeRun Run = runSpecProbe("speculate[1000000]", nullptr, 1, Mode);
+    ASSERT_TRUE(Run.Ok) << Run.Error;
+    EXPECT_EQ(Run.Sums, Base.Sums) << Run.Src;
+    EXPECT_EQ(Run.Stats.SpecGuardPass, Base.Stats.DeviceLaunches);
+    EXPECT_EQ(Run.Stats.SpecGuardFail, 0u);
+    EXPECT_EQ(Run.Stats.DeviceLaunches, 0u)
+        << "a passed guard serializes instead of launching";
+  }
+}
+
+TEST(SpeculationGuard, RealProfileSpeculationIsExactAndAccounted) {
+  LaunchProfile Real;
+  ProbeRun Base = runSpecProbe("", nullptr, 1, ExecMode::Auto, &Real);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+
+  ProbeRun Run = runSpecProbe("speculate[profile]", &Real);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  EXPECT_EQ(Run.Sums, Base.Sums) << Run.Src;
+  // Every original launch evaluates its guard exactly once, and every
+  // failure is exactly one fallback launch.
+  EXPECT_EQ(Run.Stats.SpecGuardPass + Run.Stats.SpecGuardFail,
+            Base.Stats.DeviceLaunches);
+  EXPECT_EQ(Run.Stats.DeviceLaunches, Run.Stats.SpecGuardFail);
+  // The p90-derived bound covers the bulk of the distribution by
+  // construction.
+  EXPECT_GT(Run.Stats.SpecGuardPass, 0u);
+}
+
+TEST(SpeculationGuard, PerSiteThresholdMatchesTightenedGlobalLiteral) {
+  // The probe's sub-threshold launches are all single 32-thread blocks
+  // (leaf degrees <= 8); hubs launch >= 160 threads. Against a global
+  // threshold of 128 the profile rule tightens this site to the smallest
+  // power of two above 32 — so `threshold[profile]` must produce the
+  // *identical* transformed source, and therefore identical bytecode, as
+  // the best hand-picked literal `threshold[64:literal]`.
+  LaunchProfile Real;
+  ProbeRun Base = runSpecProbe("", nullptr, 1, ExecMode::Auto, &Real);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_EQ(Real.siteThreshold("parent->child#0", 128), 64u)
+      << serializeProfile(Real);
+
+  DiagnosticEngine DiagsA, DiagsB;
+  std::string Profiled = transformSourceWithPipeline(
+      SpecProbeSource, "threshold[profile]", literalKnobConfig(&Real),
+      DiagsA);
+  std::string Literal = transformSourceWithPipeline(
+      SpecProbeSource, "threshold[64:literal]", literalKnobConfig(), DiagsB);
+  ASSERT_FALSE(Profiled.empty()) << DiagsA.str();
+  ASSERT_FALSE(Literal.empty()) << DiagsB.str();
+  EXPECT_EQ(Profiled, Literal);
+
+  // And the equivalence holds end to end: same payload, same steps.
+  ProbeRun A = runSpecProbe("threshold[profile]", &Real);
+  ProbeRun B = runSpecProbe("threshold[64:literal]");
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(A.Sums, Base.Sums);
+  EXPECT_EQ(A.Sums, B.Sums);
+  EXPECT_EQ(A.Stats.Steps, B.Stats.Steps);
+  EXPECT_EQ(A.Stats.DeviceLaunches, B.Stats.DeviceLaunches);
 }
 
 } // namespace

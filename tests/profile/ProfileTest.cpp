@@ -1,0 +1,235 @@
+//===--- ProfileTest.cpp - Launch-profile artifact unit tests -----------------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile artifact in isolation: histogram accumulation and merge,
+/// the three per-site knob rules as pure functions of a histogram, the
+/// "dpo-profile v1" text format (byte-deterministic serialization, exact
+/// parse round-trip, malformed-input rejection), and harvesting from a
+/// real device grid log with compiler-assigned site names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace dpo;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Accumulation and merge
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileTest, AddRecordAccumulatesHistograms) {
+  LaunchProfile P;
+  P.addRecord("a->b#0", 2, 64, 32);
+  P.addRecord("a->b#0", 2, 64, 32);
+  P.addRecord("a->b#0", 5, 160, 32);
+  const SiteHistogram *H = P.find("a->b#0");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Launches, 3u);
+  EXPECT_EQ(H->Blocks.at(2), 2u);
+  EXPECT_EQ(H->Blocks.at(5), 1u);
+  EXPECT_EQ(H->Threads.at(64), 2u);
+  EXPECT_EQ(H->Threads.at(160), 1u);
+  EXPECT_EQ(H->BlockDims.at(32), 3u);
+  EXPECT_EQ(P.find("a->b#1"), nullptr);
+}
+
+TEST(ProfileTest, MergeAddsHistograms) {
+  LaunchProfile A, B;
+  A.addRecord("a->b#0", 1, 32, 32);
+  B.addRecord("a->b#0", 1, 32, 32);
+  B.addRecord("c->d#0", 4, 512, 128);
+  A.merge(B);
+  EXPECT_EQ(A.find("a->b#0")->Launches, 2u);
+  EXPECT_EQ(A.find("a->b#0")->Blocks.at(1), 2u);
+  ASSERT_NE(A.find("c->d#0"), nullptr);
+  EXPECT_EQ(A.find("c->d#0")->Threads.at(512), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-site knob rules (pure functions of the histogram)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileTest, SiteThresholdUnseenSiteKeepsGlobalKnob) {
+  LaunchProfile P;
+  EXPECT_EQ(P.siteThreshold("never->seen#0", 128), 128u);
+}
+
+TEST(ProfileTest, SiteThresholdNothingBelowGlobalDisables) {
+  // Every observed launch is at or above the global threshold:
+  // serialization never fires at this site, so the per-site knob
+  // collapses to 1 (a constant-false-shaped, cheap check).
+  LaunchProfile P;
+  P.addRecord("a->b#0", 4, 128, 32);
+  P.addRecord("a->b#0", 8, 256, 32);
+  EXPECT_EQ(P.siteThreshold("a->b#0", 128), 1u);
+}
+
+TEST(ProfileTest, SiteThresholdCoversLargestSmallLaunch) {
+  // Sub-threshold observations at 33 and 60 threads: the tightened
+  // per-site threshold is the smallest power of two strictly above 60.
+  LaunchProfile P;
+  P.addRecord("a->b#0", 2, 33, 32);
+  P.addRecord("a->b#0", 2, 60, 32);
+  P.addRecord("a->b#0", 8, 256, 32);
+  EXPECT_EQ(P.siteThreshold("a->b#0", 128), 64u);
+}
+
+TEST(ProfileTest, SiteThresholdNeverExceedsGlobal) {
+  // The largest sub-threshold observation rounds up past the global
+  // knob; the cap keeps the per-site policy a subset of the global one.
+  LaunchProfile P;
+  P.addRecord("a->b#0", 4, 100, 32);
+  EXPECT_EQ(P.siteThreshold("a->b#0", 128), 128u);
+}
+
+TEST(ProfileTest, SiteCoarsenFactorTracksMedianBlocks) {
+  LaunchProfile P;
+  // Blocks histogram {1:1, 6:2}: median 6, floor-pow2 4.
+  P.addRecord("a->b#0", 1, 32, 32);
+  P.addRecord("a->b#0", 6, 192, 32);
+  P.addRecord("a->b#0", 6, 192, 32);
+  EXPECT_EQ(P.siteCoarsenFactor("a->b#0", 8), 4u);
+  // Clamped at the global factor.
+  EXPECT_EQ(P.siteCoarsenFactor("a->b#0", 2), 2u);
+  // Unseen sites keep the global factor.
+  EXPECT_EQ(P.siteCoarsenFactor("x->y#0", 8), 8u);
+}
+
+TEST(ProfileTest, SiteCoarsenFactorSingleBlockMedianDisables) {
+  LaunchProfile P;
+  P.addRecord("a->b#0", 1, 32, 32);
+  P.addRecord("a->b#0", 1, 32, 32);
+  P.addRecord("a->b#0", 16, 512, 32);
+  EXPECT_EQ(P.siteCoarsenFactor("a->b#0", 8), 1u);
+}
+
+TEST(ProfileTest, SiteSpeculationBoundCoversNinetiethPercentile) {
+  LaunchProfile P;
+  // Nine launches at 40 threads, one at 4096: p90 is 40, bound 64 — the
+  // speculative small-grid assumption covers the common case and lets
+  // the outlier fall back through the guard.
+  for (int I = 0; I < 9; ++I)
+    P.addRecord("a->b#0", 2, 40, 20);
+  P.addRecord("a->b#0", 128, 4096, 32);
+  uint64_t Bound = 0;
+  ASSERT_TRUE(P.siteSpeculationBound("a->b#0", Bound));
+  EXPECT_EQ(Bound, 64u);
+  // No observations: no basis to speculate.
+  EXPECT_FALSE(P.siteSpeculationBound("x->y#0", Bound));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: byte determinism and exact round-trip
+//===----------------------------------------------------------------------===//
+
+LaunchProfile sampleProfile() {
+  LaunchProfile P;
+  P.addRecord("parent->child#0", 2, 64, 32);
+  P.addRecord("parent->child#0", 5, 160, 32);
+  P.addRecord("parent->child#1", 1, 8, 8);
+  P.addRecord("outer->parent#0", 10, 1280, 128);
+  return P;
+}
+
+TEST(ProfileTest, SerializationIsInsertionOrderIndependent) {
+  LaunchProfile Forward = sampleProfile();
+  LaunchProfile Backward;
+  Backward.addRecord("outer->parent#0", 10, 1280, 128);
+  Backward.addRecord("parent->child#1", 1, 8, 8);
+  Backward.addRecord("parent->child#0", 5, 160, 32);
+  Backward.addRecord("parent->child#0", 2, 64, 32);
+  EXPECT_EQ(serializeProfile(Forward), serializeProfile(Backward));
+}
+
+TEST(ProfileTest, ParseRoundTripIsExact) {
+  std::string Text = serializeProfile(sampleProfile());
+  LaunchProfile Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseProfile(Text, Parsed, Error)) << Error;
+  EXPECT_EQ(serializeProfile(Parsed), Text);
+  const SiteHistogram *H = Parsed.find("parent->child#0");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Launches, 2u);
+  EXPECT_EQ(H->Threads.at(160), 1u);
+}
+
+TEST(ProfileTest, ParseRejectsMalformedInput) {
+  LaunchProfile P;
+  std::string Error;
+  EXPECT_FALSE(parseProfile("", P, Error));
+  EXPECT_FALSE(parseProfile("not a profile\n", P, Error));
+  EXPECT_FALSE(parseProfile("dpo-profile v1\n  launches 3\n", P, Error))
+      << "histogram lines before any site must be rejected";
+  EXPECT_FALSE(
+      parseProfile("dpo-profile v1\nsite a->b#0\n  blocks 4\n", P, Error))
+      << "histogram entries must be key:count pairs";
+  EXPECT_FALSE(
+      parseProfile("dpo-profile v1\nsite a->b#0\n  bogus 1:1\n", P, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Harvesting from a real device grid log
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileTest, HarvestFromDeviceGridLog) {
+  DiagnosticEngine Diags;
+  auto Dev = buildDevice(R"(
+__global__ void child(int *out, int *counts, int *offsets, int v) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < counts[v])
+    out[offsets[v] + i] = v;
+}
+__global__ void parent(int *out, int *counts, int *offsets, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v >= numV)
+    return;
+  if (counts[v] > 0)
+    child<<<(counts[v] + 31) / 32, 32>>>(out, counts, offsets, v);
+}
+)",
+                         Diags);
+  ASSERT_NE(Dev, nullptr) << Diags.str();
+  Dev->setGridLogEnabled(true);
+
+  uint64_t Counts = Dev->allocI32({5, 0, 40, 33});
+  uint64_t Offsets = Dev->allocI32({0, 5, 5, 45});
+  uint64_t Out = Dev->alloc(78 * 4);
+  ASSERT_TRUE(Dev->launchKernel("parent", {1, 1, 1}, {4, 1, 1},
+                                {(int64_t)Out, (int64_t)Counts,
+                                 (int64_t)Offsets, 4}))
+      << Dev->error();
+
+  LaunchProfile P = harvestProfile(Dev->gridLog(), Dev->program());
+  // One device launch site; the host's parent launch carries no site
+  // ordinal and must not appear.
+  ASSERT_EQ(P.Sites.size(), 1u) << serializeProfile(P);
+  const SiteHistogram *H = P.find("parent->child#0");
+  ASSERT_NE(H, nullptr) << serializeProfile(P);
+  // counts {5, 0, 40, 33}: v=1 skips its launch; grids are 1, 2, and 2
+  // blocks of 32 threads.
+  EXPECT_EQ(H->Launches, 3u);
+  EXPECT_EQ(H->Blocks.at(1), 1u);
+  EXPECT_EQ(H->Blocks.at(2), 2u);
+  EXPECT_EQ(H->Threads.at(32), 1u);
+  EXPECT_EQ(H->Threads.at(64), 2u);
+  EXPECT_EQ(H->BlockDims.at(32), 3u);
+  EXPECT_EQ(H->Launches, Dev->stats().DeviceLaunches);
+
+  // The knob rules applied to the harvested profile.
+  EXPECT_EQ(P.siteThreshold("parent->child#0", 256), 128u);
+  EXPECT_EQ(P.siteCoarsenFactor("parent->child#0", 8), 2u);
+  uint64_t Bound = 0;
+  ASSERT_TRUE(P.siteSpeculationBound("parent->child#0", Bound));
+  EXPECT_EQ(Bound, 64u);
+}
+
+} // namespace

@@ -562,4 +562,39 @@ __global__ void k(int *out) {
   EXPECT_EQ(Dev->readI32(Out + 7 * 4), 13);
 }
 
+TEST(VmTest, SpecGuardIntrinsicCountsOutcomes) {
+  // __dpo_spec_guard(n, k) -> n <= k, the speculative-serialization
+  // guard. Each evaluation bumps exactly one of the two stat counters.
+  auto Dev = makeDevice(R"(
+__global__ void k(int *out, int n, int bound) {
+  if (__dpo_spec_guard(n, bound))
+    out[0] = 1;
+  else
+    out[0] = 0;
+}
+)");
+  uint64_t Out = Dev->alloc(4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {1, 1, 1},
+                                {(int64_t)Out, 4, 8}))
+      << Dev->error();
+  EXPECT_EQ(Dev->readI32(Out), 1);
+  EXPECT_EQ(Dev->stats().SpecGuardPass, 1u);
+  EXPECT_EQ(Dev->stats().SpecGuardFail, 0u);
+
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {1, 1, 1},
+                                {(int64_t)Out, 9, 8}))
+      << Dev->error();
+  EXPECT_EQ(Dev->readI32(Out), 0);
+  EXPECT_EQ(Dev->stats().SpecGuardPass, 1u);
+  EXPECT_EQ(Dev->stats().SpecGuardFail, 1u);
+
+  // Boundary: n == k passes.
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {1, 1, 1},
+                                {(int64_t)Out, 8, 8}))
+      << Dev->error();
+  EXPECT_EQ(Dev->readI32(Out), 1);
+  EXPECT_EQ(Dev->stats().SpecGuardPass, 2u);
+  EXPECT_EQ(Dev->stats().SpecGuardFail, 1u);
+}
+
 } // namespace
