@@ -314,6 +314,60 @@ void BM_GridDrain(benchmark::State &State) {
   reportVmCounters(State, *Dev);
 }
 
+const char *BarrierBlockSource = R"(
+__global__ void reduce(int *in, int *out, int n, int rounds) {
+  __shared__ int tile[128];
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int acc = 0;
+  for (int r = 0; r < rounds; r = r + 1) {
+    tile[threadIdx.x] = i < n ? in[i] + r : 0;
+    __syncthreads();
+    for (int s = blockDim.x / 2; s > 0; s = s / 2) {
+      if (threadIdx.x < s)
+        tile[threadIdx.x] = tile[threadIdx.x] + tile[threadIdx.x + s];
+      __syncthreads();
+    }
+    acc = acc + tile[0];
+    __syncthreads();
+  }
+  if (i < n)
+    out[i] = acc;
+}
+)";
+
+/// Cooperative block-mode throughput: repeated shared-memory tree
+/// reductions, every round crossing several __syncthreads barriers. The
+/// series prices barrier parking/resume and the cooperative scheduler's
+/// round-robin switching — the block-mode hot path PR'd alongside the
+/// engines it runs on, so regressions in the park/release machinery show
+/// up here rather than in the barrier-free series.
+void BM_BarrierBlock(benchmark::State &State, bool Optimize,
+                     ExecMode Mode = ExecMode::Decoded) {
+  auto Dev = mustBuild(BarrierBlockSource, Optimize, Mode);
+  int N = 1024, Rounds = 16;
+  std::vector<int32_t> In(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = (I * 13) % 101;
+  uint64_t InA = Dev->allocI32(In);
+  uint64_t OutA = Dev->alloc((uint64_t)N * 4);
+  std::vector<int64_t> Args = {(int64_t)InA, (int64_t)OutA, N, Rounds};
+  Dim3V Grid = {(uint32_t)((N + 127) / 128), 1, 1};
+  Dim3V Block = {128, 1, 1};
+  if (!Dev->launchKernel("reduce", Grid, Block, Args)) { // Warm-up.
+    fprintf(stderr, "launch failed: %s\n", Dev->error().c_str());
+    abort();
+  }
+  Dev->resetStats();
+  for (auto _ : State) {
+    if (!Dev->launchKernel("reduce", Grid, Block, Args)) {
+      State.SkipWithError(Dev->error().c_str());
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (int64_t)N * Rounds);
+  reportVmCounters(State, *Dev);
+}
+
 void BM_Bfs(benchmark::State &State, bool Optimize) {
   auto Dev = mustBuild(BfsSource, Optimize);
 
@@ -394,6 +448,10 @@ BENCHMARK_CAPTURE(BM_Compute, peephole_on, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Compute, peephole_off, false)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BarrierBlock, peephole_on, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BarrierBlock, peephole_off, false)
+    ->Unit(benchmark::kMillisecond);
 
 // Worker-scaling series: the same drain workload at 1/2/4/8 device
 // workers. BM_GridDrain/1 is the deterministic single-lane baseline.
@@ -426,6 +484,10 @@ static void BM_ComputeExecNoTrace(benchmark::State &State) {
   BM_Compute(State, /*Optimize=*/true, ExecMode::DecodedNoTrace);
 }
 BENCHMARK(BM_ComputeExecNoTrace)->Unit(benchmark::kMillisecond);
+static void BM_BarrierBlockExecBytecode(benchmark::State &State) {
+  BM_BarrierBlock(State, /*Optimize=*/true, ExecMode::Bytecode);
+}
+BENCHMARK(BM_BarrierBlockExecBytecode)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DeviceBuild, decoded, ExecMode::Decoded)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_DeviceBuild, decoded_notrace, ExecMode::DecodedNoTrace)

@@ -803,6 +803,14 @@ Type Parser::typeOfCall(const std::string &Name,
   if (Name == "__syncthreads" || Name == "__threadfence" ||
       Name == "__threadfence_block" || Name == "__syncwarp")
     return Type(BuiltinKind::Void);
+  // Warp/block collectives: values round-trip through 64-bit VM slots.
+  if (Name == "__shfl_sync" || Name == "__shfl_up_sync" ||
+      Name == "__shfl_down_sync" || Name == "__shfl_xor_sync" ||
+      Name == "__block_reduce_add" || Name == "__block_reduce_min" ||
+      Name == "__block_reduce_max")
+    return Type(BuiltinKind::LongLong);
+  if (Name == "__ballot_sync")
+    return Type(BuiltinKind::UInt);
   return Type(BuiltinKind::Int);
 }
 

@@ -7,6 +7,7 @@
 #include "sema/Transformability.h"
 
 #include "ast/Walk.h"
+#include "sema/PurityAnalysis.h"
 #include "support/Casting.h"
 #include "support/StringUtils.h"
 
@@ -25,17 +26,346 @@ bool dpo::isBarrierOrWarpPrimitive(const std::string &Name) {
   if (Exact.count(Name))
     return true;
   // __shfl_sync, __shfl_up_sync, __shfl_down_sync, __shfl_xor_sync, legacy
-  // __shfl*, and the __reduce_*_sync family.
-  if (startsWith(Name, "__shfl") || startsWith(Name, "__reduce_"))
+  // __shfl*, the __reduce_*_sync family, and our __block_reduce_* idiom.
+  if (startsWith(Name, "__shfl") || startsWith(Name, "__reduce_") ||
+      startsWith(Name, "__block_reduce_"))
     return true;
   return false;
 }
 
 namespace {
 
-void analyzeBody(const FunctionDecl *F, const TranslationUnit *TU,
-                 std::unordered_set<std::string> &Visited,
-                 Transformability &Result) {
+bool isSyncthreadsCall(const Stmt *S) {
+  const auto *Call = dyn_cast<CallExpr>(S);
+  return Call && Call->calleeName() == "__syncthreads";
+}
+
+bool containsSyncthreads(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (isSyncthreadsCall(S))
+      Found = true;
+  });
+  return Found;
+}
+
+bool containsSharedDecl(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (const auto *DS = dyn_cast<DeclStmt>(S))
+      for (const VarDecl *D : DS->decls())
+        if (D->isShared())
+          Found = true;
+  });
+  return Found;
+}
+
+bool containsReturnStmt(const Stmt *Root) {
+  bool Found = false;
+  forEachStmt(Root, [&](const Stmt *S) {
+    if (isa<ReturnStmt>(S))
+      Found = true;
+  });
+  return Found;
+}
+
+const Expr *stripParens(const Expr *E) {
+  while (const auto *P = dyn_cast_or_null<ParenExpr>(E))
+    E = P->inner();
+  return E;
+}
+
+/// Textual assignments (including ++/-- and address-taken uses) to \p Name
+/// below \p Root. The statement-scoped sibling of countAssignments.
+unsigned countAssignmentsIn(const Stmt *Root, const std::string &Name) {
+  unsigned N = 0;
+  forEachExpr(Root, [&](const Expr *E) {
+    if (const auto *B = dyn_cast<BinaryOperator>(E)) {
+      if (!isAssignmentOp(B->op()))
+        return;
+      if (const auto *L = dyn_cast_or_null<DeclRefExpr>(stripParens(B->lhs())))
+        if (L->name() == Name)
+          ++N;
+      return;
+    }
+    if (const auto *U = dyn_cast<UnaryOperator>(E)) {
+      bool Mutating = U->op() == UnaryOpKind::PreInc ||
+                      U->op() == UnaryOpKind::PreDec ||
+                      U->op() == UnaryOpKind::PostInc ||
+                      U->op() == UnaryOpKind::PostDec ||
+                      U->op() == UnaryOpKind::AddrOf;
+      if (!Mutating)
+        return;
+      if (const auto *R =
+              dyn_cast_or_null<DeclRefExpr>(stripParens(U->operand())))
+        if (R->name() == Name)
+          ++N;
+    }
+  });
+  return N;
+}
+
+/// Structural expression check shared by the block-uniformity and
+/// rematerialization rules: pure arithmetic over literals, names in
+/// \p AllowedNames, and index builtins. \p AllowThreadIdx distinguishes the
+/// two: a rematerialized per-thread initializer may read threadIdx, a
+/// hoisted block-level loop bound may not.
+bool isStructuralExpr(const Expr *Root,
+                      const std::unordered_set<std::string> &AllowedNames,
+                      bool AllowThreadIdx) {
+  if (!Root)
+    return true;
+  bool Ok = true;
+  forEachExpr(Root, [&](const Expr *E) {
+    switch (E->kind()) {
+    case StmtKind::IntegerLit:
+    case StmtKind::FloatLit:
+    case StmtKind::BoolLit:
+    case StmtKind::Paren:
+    case StmtKind::Cast:
+    case StmtKind::Conditional:
+    case StmtKind::SizeofE:
+    case StmtKind::Member:
+      return; // Member bases are validated as DeclRefs below.
+    case StmtKind::Unary: {
+      UnaryOpKind Op = cast<UnaryOperator>(E)->op();
+      if (Op == UnaryOpKind::PreInc || Op == UnaryOpKind::PreDec ||
+          Op == UnaryOpKind::PostInc || Op == UnaryOpKind::PostDec ||
+          Op == UnaryOpKind::Deref || Op == UnaryOpKind::AddrOf)
+        Ok = false;
+      return;
+    }
+    case StmtKind::Binary:
+      if (isAssignmentOp(cast<BinaryOperator>(E)->op()))
+        Ok = false;
+      return;
+    case StmtKind::DeclRef: {
+      const std::string &N = cast<DeclRefExpr>(E)->name();
+      if (AllowedNames.count(N) || N == "blockIdx" || N == "blockDim" ||
+          N == "gridDim" || (AllowThreadIdx && N == "threadIdx"))
+        return;
+      Ok = false;
+      return;
+    }
+    default:
+      // Calls, launches, subscripts (memory reads are not stable across
+      // segments), string literals.
+      Ok = false;
+      return;
+    }
+  });
+  return Ok;
+}
+
+/// Validates the barrier structure of a child kernel body per the rules in
+/// Transformability.h and accumulates rejection reasons.
+class BarrierStructureChecker {
+public:
+  BarrierStructureChecker(const FunctionDecl *F, Transformability &Result)
+      : F(F), Result(Result) {
+    for (const VarDecl *P : F->params())
+      Allowed.insert(P->name());
+  }
+
+  void run() { checkLevel(F->body()->body(), /*BodyTop=*/true); }
+
+private:
+  const FunctionDecl *F;
+  Transformability &Result;
+  /// Names usable in rematerialized initializers: parameters plus locals
+  /// already proven rematerializable, in declaration order.
+  std::unordered_set<std::string> Allowed;
+
+  void reject(const std::string &Why) {
+    Result.Serializable = false;
+    Result.Reasons.push_back(Why);
+  }
+
+  /// break/continue that would bind to a hoisted barrier loop (i.e. not
+  /// inside a nested loop of its body).
+  bool hasLoopExitAtLevel(const Stmt *S) {
+    if (!S)
+      return false;
+    switch (S->kind()) {
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return true;
+    case StmtKind::Compound:
+      for (const Stmt *C : cast<CompoundStmt>(S)->body())
+        if (hasLoopExitAtLevel(C))
+          return true;
+      return false;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return hasLoopExitAtLevel(I->thenStmt()) ||
+             hasLoopExitAtLevel(I->elseStmt());
+    }
+    default:
+      return false; // Nested loops re-bind break/continue.
+    }
+  }
+
+  /// Uniform increment forms: `++v`/`v++`/`--v`/`v--`, or `v = expr` /
+  /// `v op= expr` with a block-uniform right-hand side.
+  bool isUniformInc(const Expr *Inc, const std::string &V) {
+    std::unordered_set<std::string> Names = {V};
+    if (const auto *U = dyn_cast_or_null<UnaryOperator>(Inc)) {
+      const auto *R = dyn_cast_or_null<DeclRefExpr>(stripParens(U->operand()));
+      bool IncDec = U->op() == UnaryOpKind::PreInc ||
+                    U->op() == UnaryOpKind::PreDec ||
+                    U->op() == UnaryOpKind::PostInc ||
+                    U->op() == UnaryOpKind::PostDec;
+      return IncDec && R && R->name() == V;
+    }
+    if (const auto *B = dyn_cast_or_null<BinaryOperator>(Inc)) {
+      if (!isAssignmentOp(B->op()))
+        return false;
+      const auto *L = dyn_cast_or_null<DeclRefExpr>(stripParens(B->lhs()));
+      for (const VarDecl *P : F->params())
+        Names.insert(P->name());
+      return L && L->name() == V &&
+             isStructuralExpr(B->rhs(), Names, /*AllowThreadIdx=*/false);
+    }
+    return false;
+  }
+
+  /// A `for` loop whose body contains barriers: hoisted to block level by
+  /// the serializer, so its control must be block-uniform.
+  void checkBarrierLoop(const ForStmt *For) {
+    const auto *InitDS = dyn_cast_or_null<DeclStmt>(For->init());
+    const VarDecl *LV = InitDS ? InitDS->singleDecl() : nullptr;
+    if (!LV || LV->isShared() || LV->isArray() || !LV->init()) {
+      reject("barrier-bearing loop in '" + F->name() +
+             "' must declare a single initialized loop variable");
+      return;
+    }
+    std::unordered_set<std::string> Names;
+    for (const VarDecl *P : F->params())
+      Names.insert(P->name());
+    std::unordered_set<std::string> CondNames = Names;
+    CondNames.insert(LV->name());
+    if (!isStructuralExpr(LV->init(), Names, /*AllowThreadIdx=*/false) ||
+        !For->cond() ||
+        !isStructuralExpr(For->cond(), CondNames, /*AllowThreadIdx=*/false) ||
+        !isUniformInc(For->inc(), LV->name())) {
+      reject("barrier-bearing loop in '" + F->name() +
+             "' has non-block-uniform bounds ('" + LV->name() + "')");
+      return;
+    }
+    if (countAssignmentsIn(For->body(), LV->name()) != 0) {
+      reject("barrier-bearing loop variable '" + LV->name() + "' in '" +
+             F->name() + "' is modified in the loop body");
+      return;
+    }
+    if (hasLoopExitAtLevel(For->body())) {
+      reject("break/continue binding to a barrier-bearing loop in '" +
+             F->name() + "'");
+      return;
+    }
+    if (const auto *CS = dyn_cast<CompoundStmt>(For->body()))
+      checkLevel(CS->body(), /*BodyTop=*/false);
+    else
+      checkLevel({const_cast<Stmt *>(For->body())}, /*BodyTop=*/false);
+  }
+
+  void checkLevel(const std::vector<Stmt *> &Stmts, bool BodyTop) {
+    // Pass A: assign a segment index to every statement (barriers and
+    // barrier-bearing loops are their own boundaries) and validate barrier
+    // placement.
+    std::vector<int> Seg(Stmts.size(), 0);
+    std::vector<const Stmt *> Recurse;
+    int Cur = 0;
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      const Stmt *S = Stmts[I];
+      if (isSyncthreadsCall(S)) {
+        Seg[I] = -1;
+        ++Cur;
+        continue;
+      }
+      if (!containsSyncthreads(S)) {
+        // A __shared__ declaration buried inside ordinary control flow
+        // never reaches pass B's placement check; reject it here.
+        if (!isa<DeclStmt>(S) && containsSharedDecl(S)) {
+          reject("__shared__ declaration below the top level of '" +
+                 F->name() + "'");
+          return;
+        }
+        Seg[I] = Cur;
+        continue;
+      }
+      if (isa<ForStmt>(S) || isa<CompoundStmt>(S)) {
+        Seg[I] = ++Cur;
+        ++Cur;
+        Recurse.push_back(S);
+        continue;
+      }
+      reject("__syncthreads under divergent control flow in '" + F->name() +
+             "'");
+      return;
+    }
+
+    // Pass B: per-thread locals at this level. Shared declarations must
+    // sit at the top level of the body; anything live across a segment
+    // boundary must be rematerializable.
+    for (size_t I = 0; I < Stmts.size(); ++I) {
+      const auto *DS = dyn_cast<DeclStmt>(Stmts[I]);
+      if (!DS)
+        continue;
+      for (const VarDecl *D : DS->decls()) {
+        if (D->isShared()) {
+          if (!BodyTop)
+            reject("__shared__ declaration ('" + D->name() +
+                   "') below the top level of '" + F->name() + "'");
+          else if (D->arrayDims().size() > 1)
+            reject("multi-dimensional __shared__ array ('" + D->name() +
+                   "' in '" + F->name() + "')");
+          continue;
+        }
+        bool Eligible = D->init() && !D->isArray() && !D->type().isDim3() &&
+                        countAssignments(F, D->name()) == 0 &&
+                        isStructuralExpr(D->init(), Allowed,
+                                         /*AllowThreadIdx=*/true);
+        bool Crosses = false;
+        for (size_t J = I + 1; J < Stmts.size() && !Crosses; ++J) {
+          if (Seg[J] == Seg[I] || Seg[J] == -1)
+            continue;
+          forEachExpr(Stmts[J], [&](const Expr *E) {
+            if (const auto *R = dyn_cast<DeclRefExpr>(E))
+              if (R->name() == D->name())
+                Crosses = true;
+          });
+        }
+        if (Crosses && !Eligible)
+          reject("per-thread local '" + D->name() + "' in '" + F->name() +
+                 "' is live across __syncthreads and cannot be "
+                 "rematerialized");
+        if (Eligible)
+          Allowed.insert(D->name());
+      }
+    }
+    if (!Result.Serializable)
+      return;
+
+    // Pass C: descend into barrier-bearing loops and blocks (after pass B
+    // so rematerializable outer locals are visible to inner initializers).
+    for (const Stmt *S : Recurse) {
+      if (const auto *For = dyn_cast<ForStmt>(S))
+        checkBarrierLoop(For);
+      else if (const auto *CS = dyn_cast<CompoundStmt>(S))
+        checkLevel(CS->body(), /*BodyTop=*/false);
+      if (!Result.Serializable)
+        return;
+    }
+  }
+};
+
+/// The strict per-callee analysis: segmentation cannot cross a call
+/// boundary, so any barrier/warp primitive or shared declaration reached
+/// through a __device__ callee rules serialization out (the original
+/// Section III-C rule).
+void analyzeCalleeBody(const FunctionDecl *F, const TranslationUnit *TU,
+                       std::unordered_set<std::string> &Visited,
+                       Transformability &Result) {
   if (!F->body() || !Visited.insert(F->name()).second)
     return;
 
@@ -61,12 +391,40 @@ void analyzeBody(const FunctionDecl *F, const TranslationUnit *TU,
                                Callee + "' in '" + F->name() + "')");
       return;
     }
-    // Transitive: follow __device__ callees defined in this TU.
     if (TU) {
       if (const FunctionDecl *Target = TU->findFunction(Callee))
         if (Target->qualifiers().Device)
-          analyzeBody(Target, TU, Visited, Result);
+          analyzeCalleeBody(Target, TU, Visited, Result);
     }
+  });
+}
+
+/// An atomic builtin inside a loop condition is the inter-block spin-wait
+/// idiom: the loop terminates only when *another block* flips the flag, so
+/// collapsing the grid into one serial thread deadlocks it.
+void checkAtomicSpinWait(const FunctionDecl *F, Transformability &Result) {
+  forEachStmt(F->body(), [&](const Stmt *S) {
+    const Expr *Cond = nullptr;
+    if (const auto *W = dyn_cast<WhileStmt>(S))
+      Cond = W->cond();
+    else if (const auto *D = dyn_cast<DoStmt>(S))
+      Cond = D->cond();
+    else if (const auto *Fo = dyn_cast<ForStmt>(S))
+      Cond = Fo->cond();
+    if (!Cond)
+      return;
+    forEachExpr(Cond, [&](const Expr *E) {
+      const auto *Call = dyn_cast<CallExpr>(E);
+      if (!Call)
+        return;
+      std::string Name = Call->calleeName();
+      if (startsWith(Name, "atomic")) {
+        Result.Serializable = false;
+        Result.Reasons.push_back(
+            "inter-block synchronization through an atomic spin-wait ('" +
+            Name + "' in a loop condition of '" + F->name() + "')");
+      }
+    });
   });
 }
 
@@ -75,7 +433,57 @@ void analyzeBody(const FunctionDecl *F, const TranslationUnit *TU,
 Transformability dpo::analyzeSerializability(const FunctionDecl *Child,
                                              const TranslationUnit *TU) {
   Transformability Result;
+  if (!Child->body())
+    return Result;
+
+  bool HasBarrier = false;
+  bool HasShared = false;
   std::unordered_set<std::string> Visited;
-  analyzeBody(Child, TU, Visited, Result);
+  Visited.insert(Child->name());
+
+  forEachStmt(const_cast<CompoundStmt *>(Child->body()), [&](Stmt *S) {
+    if (auto *DS = dyn_cast<DeclStmt>(S)) {
+      for (const VarDecl *D : DS->decls())
+        if (D->isShared())
+          HasShared = true;
+      return;
+    }
+    auto *Call = dyn_cast<CallExpr>(S);
+    if (!Call)
+      return;
+    std::string Callee = Call->calleeName();
+    if (Callee.empty())
+      return;
+    if (Callee == "__syncthreads") {
+      HasBarrier = true; // Structurally serializable; validated below.
+      return;
+    }
+    if (isBarrierOrWarpPrimitive(Callee)) {
+      Result.Serializable = false;
+      Result.Reasons.push_back("performs warp-level synchronization ('" +
+                               Callee + "' in '" + Child->name() + "')");
+      return;
+    }
+    if (TU) {
+      if (const FunctionDecl *Target = TU->findFunction(Callee))
+        if (Target->qualifiers().Device)
+          analyzeCalleeBody(Target, TU, Visited, Result);
+    }
+  });
+
+  checkAtomicSpinWait(Child, Result);
+
+  if ((HasBarrier || HasShared) && Result.Serializable) {
+    if (containsReturnStmt(Child->body())) {
+      Result.Serializable = false;
+      Result.Reasons.push_back("early return in barrier kernel '" +
+                               Child->name() +
+                               "' (a returned thread skips later segments)");
+    } else {
+      BarrierStructureChecker(Child, Result).run();
+    }
+    if (Result.Serializable)
+      Result.NeedsBarrierSegmentation = true;
+  }
   return Result;
 }

@@ -5,13 +5,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Section III-C of the paper: a child kernel cannot be serialized into its
-/// parent thread when it (1) performs barrier synchronization
-/// (__syncthreads or warp-level primitives), because serializing
-/// barrier-synchronized code requires scalar expansion that is prohibitively
-/// expensive on a GPU and usually indicates an algorithm with a better
-/// sequential form; or (2) uses shared memory, because each parent thread
-/// would need an entire block's worth of shared memory.
+/// Section III-C of the paper, relaxed for cooperative kernels: a child
+/// kernel CAN be serialized into its parent thread even when it uses
+/// `__shared__` memory or `__syncthreads`, provided the barrier semantics
+/// survive serialization structurally:
+///
+///  - every `__syncthreads` sits at the top level of the body or at the top
+///    level of a block-uniform `for` loop (bounds computed from parameters,
+///    literals, and block-uniform builtins) — the serializer splits the body
+///    into barrier-free segments, each its own thread loop, and hoists the
+///    uniform loops to block level;
+///  - `__shared__` declarations sit at the top level of the body (scalars or
+///    1-D literal-sized arrays) — they become block-scope locals;
+///  - per-thread locals live across a barrier only when they are
+///    rematerializable: single-assignment, initializer built from literals,
+///    parameters, index builtins, and other rematerializable locals;
+///  - the kernel has no early returns (a returned thread skips later
+///    segments, which a segment-per-loop serialization cannot express).
+///
+/// Still rejected: warp-level primitives (shuffle/ballot/reduce exchange
+/// values between concurrently-running threads; the serial form has no
+/// second thread to exchange with), barriers under divergent control flow
+/// or inside `while`/`do` loops, barriers reached through __device__
+/// callees (segmentation cannot cross a call boundary), and inter-block
+/// synchronization through an atomic spin-wait (an atomic builtin in a loop
+/// condition), which deadlocks when the loop is collapsed into one thread.
 ///
 /// The analysis is transitive over __device__ functions defined in the same
 /// translation unit.
@@ -31,6 +49,10 @@ namespace dpo {
 struct Transformability {
   bool Serializable = true;
   std::vector<std::string> Reasons;
+  /// True when the child is serializable but carries `__shared__` state or
+  /// `__syncthreads` barriers, so the serializer must use the segmented
+  /// (barrier-preserving) form instead of one whole-body thread loop.
+  bool NeedsBarrierSegmentation = false;
 };
 
 /// Decides whether \p Child can be turned into a serial __device__ version
@@ -39,8 +61,10 @@ struct Transformability {
 Transformability analyzeSerializability(const FunctionDecl *Child,
                                         const TranslationUnit *TU = nullptr);
 
-/// True if \p Name is a barrier or warp-level primitive that rules out
-/// serialization.
+/// True if \p Name is a barrier or warp-level primitive. `__syncthreads`
+/// itself is structurally serializable in the child's own body (see the
+/// file comment); everything else in this set rules out serialization
+/// outright.
 bool isBarrierOrWarpPrimitive(const std::string &Name);
 
 } // namespace dpo

@@ -220,6 +220,24 @@ private:
     Type ParamType =
         Scalar ? Type(BuiltinKind::UInt) : Type(BuiltinKind::Dim3);
 
+    // A cooperative child re-runs its body in the same physical block
+    // once per strided iteration, reusing the block's shared window. An
+    // iteration's lagging readers (threads still consuming shared state
+    // after the body's last barrier) must not race the lead thread's
+    // re-staging in the next iteration, so each iteration is closed with
+    // a barrier — the standard CUDA grid-stride idiom for __shared__
+    // kernels.
+    bool Cooperative = false;
+    forEachStmt(Child->body(), [&](const Stmt *S) {
+      if (const auto *Call = dyn_cast<CallExpr>(S))
+        if (Call->calleeName() == "__syncthreads")
+          Cooperative = true;
+      if (const auto *DS = dyn_cast<DeclStmt>(S))
+        for (const VarDecl *D : DS->decls())
+          if (D->isShared())
+            Cooperative = true;
+    });
+
     Stmt *PerBlock = nullptr;
     if (containsReturn(Child->body())) {
       // Early returns would abort the remaining coarsening iterations, so
@@ -256,6 +274,10 @@ private:
       rewriteBuiltins(Ctx, Body, Map, Diags);
       PerBlock = Body;
     }
+    if (Cooperative)
+      PerBlock = Ctx.compound(
+          {PerBlock, Ctx.create<CallExpr>(Ctx.ref("__syncthreads"),
+                                          std::vector<Expr *>{})});
 
     // for (unsigned int _bx = blockIdx.x; _bx < <bound>; _bx += gridDim.x)
     Expr *Bound = Scalar ? static_cast<Expr *>(Ctx.ref(ParamName))

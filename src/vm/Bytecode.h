@@ -81,6 +81,15 @@ namespace dpo {
   /* Barriers / fences. */                                                    \
   X(SyncThreads)                                                              \
   X(ThreadFence) /* No-op in the sequential VM (memory is coherent). */       \
+  /* Warp/block collectives (cooperative block mode). WarpShfl: A = mode     \
+     (0 idx, 1 up, 2 down, 3 xor), stack [mask, value, lane] -> [result].    \
+     WarpBallot: stack [mask, predicate] -> [lane bitmask]. BlockReduce:     \
+     A = kind (0 add, 1 min, 2 max), stack [value] -> [block-wide result].   \
+     Each parks the thread like SyncThreads; the cooperative scheduler       \
+     resolves the group and deposits results (see vm/VM.cpp). */             \
+  X(WarpShfl)                                                                 \
+  X(WarpBallot)                                                               \
+  X(BlockReduce)                                                              \
   /* Atomics (address, value on stack; push old value). Width in A (4 or     \
      8), B = 1 for signed element types. */                                   \
   X(AtomicAdd) X(AtomicMax) X(AtomicMin) X(AtomicExch) X(AtomicCAS)           \

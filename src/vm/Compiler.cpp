@@ -1092,6 +1092,44 @@ unsigned FunctionCompiler::compileCall(const CallExpr *Call) {
     return 1;
   }
 
+  // Warp/block collectives (cooperative block mode; see vm/VM.cpp).
+  // __shfl_sync(mask, value, lane) and the up/down/xor variants lower to
+  // WarpShfl with A = mode; __ballot_sync(mask, pred) to WarpBallot;
+  // __block_reduce_add/min/max(value) to BlockReduce with A = kind. Values
+  // travel as 64-bit slots, so the result type is long long (ballot: the
+  // 32-lane bitmask as unsigned).
+  {
+    int ShflMode = Name == "__shfl_sync"        ? 0
+                   : Name == "__shfl_up_sync"   ? 1
+                   : Name == "__shfl_down_sync" ? 2
+                   : Name == "__shfl_xor_sync"  ? 3
+                                                : -1;
+    if (ShflMode >= 0 && Args.size() == 3) {
+      compileScalar(Args[0], Type(BuiltinKind::UInt));
+      compileScalar(Args[1], Type(BuiltinKind::LongLong));
+      compileScalar(Args[2], Type(BuiltinKind::UInt));
+      emit(Op::WarpShfl, ShflMode);
+      return 1;
+    }
+  }
+  if (Name == "__ballot_sync" && Args.size() == 2) {
+    compileScalar(Args[0], Type(BuiltinKind::UInt));
+    compileScalar(Args[1], Type(BuiltinKind::LongLong));
+    emit(Op::WarpBallot);
+    return 1;
+  }
+  {
+    int ReduceKind = Name == "__block_reduce_add"   ? 0
+                     : Name == "__block_reduce_min" ? 1
+                     : Name == "__block_reduce_max" ? 2
+                                                    : -1;
+    if (ReduceKind >= 0 && Args.size() == 1) {
+      compileScalar(Args[0], Type(BuiltinKind::LongLong));
+      emit(Op::BlockReduce, ReduceKind);
+      return 1;
+    }
+  }
+
   // Speculation guard intrinsic: __dpo_spec_guard(n, k) -> n <= k
   // (unsigned), counted in VmStats::SpecGuardPass/Fail. Printed source
   // carries a #define so it stays valid CUDA outside the VM.

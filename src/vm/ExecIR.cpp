@@ -549,6 +549,18 @@ void applyTransfer(AbsEval &St, const Instr &I, const VmProgram *Prog) {
   case Op::ThreadFence:
   case Op::CudaSync:
     break;
+  case Op::WarpShfl:
+    St.popN(3);
+    St.pushR({});
+    break;
+  case Op::WarpBallot:
+    St.popN(2);
+    St.pushR(slotRangeOfTrunc(4, 0));
+    break;
+  case Op::BlockReduce:
+    St.pop();
+    St.pushR({});
+    break;
   case Op::AtomicAdd: case Op::AtomicMax: case Op::AtomicMin:
   case Op::AtomicExch: case Op::AtomicOr: case Op::AtomicAnd:
     St.popN(2);
@@ -950,6 +962,7 @@ void forwardFrameStores(std::vector<TraceElem> &Elems) {
       case Op::AtomicAnd:
       case Op::Call: case Op::Launch:
       case Op::SyncThreads: case Op::ThreadFence: case Op::CudaSync:
+      case Op::WarpShfl: case Op::WarpBallot: case Op::BlockReduce:
       case Op::CudaMalloc: case Op::CudaFree:
       case Op::CudaMemset: case Op::CudaMemcpy:
         KillAll();

@@ -429,6 +429,18 @@ std::vector<Range> dataflowStep(const FuncDef &F,
     case Op::ThreadFence:
     case Op::CudaSync:
       break;
+    case Op::WarpShfl:
+      St.popN(3);
+      St.push({});
+      break;
+    case Op::WarpBallot:
+      St.popN(2);
+      St.push(rangeOfTrunc(4, false));
+      break;
+    case Op::BlockReduce:
+      St.pop();
+      St.push({});
+      break;
     case Op::AtomicAdd:
     case Op::AtomicMax:
     case Op::AtomicMin:

@@ -213,13 +213,15 @@ void Device::validateProgram() {
   }
 
   // Per-function barrier reachability (transitive over calls): kernels
-  // that provably never hit __syncthreads run their blocks through the
-  // fast no-scheduler path in runBlock.
+  // that provably never hit __syncthreads (or a warp/block collective,
+  // which parks the same way) run their blocks through the fast
+  // no-scheduler path in runBlock.
   size_t N = Program.Functions.size();
   MayBarrier.assign(N, 0);
   for (size_t FI = 0; FI < N; ++FI)
     for (const Instr &I : Program.Functions[FI].Code)
-      if (I.Code == Op::SyncThreads)
+      if (I.Code == Op::SyncThreads || I.Code == Op::WarpShfl ||
+          I.Code == Op::WarpBallot || I.Code == Op::BlockReduce)
         MayBarrier[FI] = 1;
   for (bool Changed = true; Changed;) {
     Changed = false;
@@ -805,6 +807,14 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
     return true;
   }
 
+  // Cooperative block mode: every thread context of the block is set up
+  // front, then ONE interpreter invocation runs them all — __syncthreads
+  // and the warp/block collectives are in-loop yield points (the handler
+  // parks the thread and jumps to the cooperative scheduler, which
+  // restores the next ready context without leaving the function). The
+  // thread execution order is index-ascending between release points,
+  // identical to the retired round-robin scheduler, so payloads and
+  // per-thread step counts are unchanged.
   size_t TI = 0;
   for (uint32_t TZ = 0; TZ < L.Block.Z; ++TZ)
     for (uint32_t TY = 0; TY < L.Block.Y; ++TY)
@@ -812,44 +822,165 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
         if (!SetupThread(Pool.Threads[TI++], TX, TY, TZ))
           return false;
 
-  while (true) {
-    bool AnyRan = false;
-    bool AnyLive = false;
-    for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx) {
-      ThreadCtx &T = Pool.Threads[TIdx];
-      if (T.State == ThreadState::Ready) {
-        AnyRan = true;
-        bool Ok = UseDecoded ? runThreadExec(&T, &W, &L, BlockIdx, SharedBase)
-                             : runThread(T, W, L, BlockIdx, SharedBase);
-        if (!Ok)
-          return false;
-      }
-      if (T.State != ThreadState::Done)
-        AnyLive = true;
-    }
-    if (!AnyLive) {
-      if (GridLogEnabled)
-        for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
-          W.CurGridMaxThreadSteps = std::max(W.CurGridMaxThreadSteps,
-                                             Pool.Threads[TIdx].StepsRetired);
-      return true;
-    }
-    // Release barrier: every live thread is waiting.
-    bool AllAtBarrier = true;
+  ThreadCtx *CT = Pool.Threads.data();
+  bool Ok = UseDecoded
+                ? runThreadExec(CT, &W, &L, BlockIdx, SharedBase, nullptr,
+                                nullptr, 0, CT, (uint32_t)NumThreads)
+                : runThread(*CT, W, L, BlockIdx, SharedBase, nullptr, 0, CT,
+                            (uint32_t)NumThreads);
+  if (!Ok)
+    return false;
+  if (GridLogEnabled)
     for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
-      if (Pool.Threads[TIdx].State == ThreadState::Ready)
-        AllAtBarrier = false;
-    if (AllAtBarrier) {
-      bool Released = false;
-      for (size_t TIdx = 0; TIdx < NumThreads; ++TIdx)
-        if (Pool.Threads[TIdx].State == ThreadState::AtBarrier) {
-          Pool.Threads[TIdx].State = ThreadState::Ready;
-          Released = true;
+      W.CurGridMaxThreadSteps =
+          std::max(W.CurGridMaxThreadSteps, Pool.Threads[TIdx].StepsRetired);
+  return true;
+}
+
+int Device::coopRelease(ThreadCtx *Threads, uint32_t Count, size_t &NextTI) {
+  // 1. Resolve complete collective groups. A warp group spans the 32
+  // index-contiguous threads sharing linear-tid/32 (runBlock sets the
+  // contexts up in linear order); a block-reduce group spans the whole
+  // block. Since no thread is Ready when this runs, a group is complete
+  // exactly when its live members are all parked at the triggering
+  // thread's site; live members parked elsewhere (a masked tail at a
+  // wrapper barrier) are simply not part of the group — the same lenient
+  // semantics barriers have. Resolution order is index-ascending, so
+  // results are deterministic.
+  auto PushResult = [&](ThreadCtx &P, int64_t V) {
+    if (P.StackTop == P.Stack.size())
+      growStack(P);
+    P.Stack[P.StackTop++] = V;
+  };
+  bool Resolved = false;
+  for (uint32_t I = 0; I < Count; ++I) {
+    ThreadCtx &T = Threads[I];
+    if (T.State != ThreadState::AtCollective)
+      continue;
+    const Frame &TF = T.Frames.back();
+    uint32_t Lo = T.CollOp == CollKind::Reduce ? 0 : (I & ~31u);
+    uint32_t Hi = T.CollOp == CollKind::Reduce
+                      ? Count
+                      : std::min<uint32_t>(Lo + 32, Count);
+    // Gather the group: members parked at this exact site.
+    uint32_t Members[1024];
+    uint32_t NumMembers = 0;
+    for (uint32_t J = Lo; J < Hi; ++J) {
+      ThreadCtx &P = Threads[J];
+      if (P.State != ThreadState::AtCollective || P.CollOp != T.CollOp)
+        continue;
+      const Frame &PF = P.Frames.back();
+      if (PF.Func != TF.Func || PF.PC != TF.PC)
+        continue;
+      Members[NumMembers++] = J;
+    }
+    switch (T.CollOp) {
+    case CollKind::Shfl: {
+      // Per-member result: the contributed value of the source lane, or
+      // the member's own value when the source lane is out of range,
+      // absent (exited), or outside the mask.
+      for (uint32_t MI = 0; MI < NumMembers; ++MI) {
+        ThreadCtx &P = Threads[Members[MI]];
+        uint32_t Lane = Members[MI] & 31u;
+        int64_t Delta = P.CollArg;
+        int64_t Src = -1;
+        switch (P.CollMode) {
+        case 0: Src = Delta & 31; break;                        // idx
+        case 1: Src = (int64_t)Lane - Delta; break;             // up
+        case 2: Src = (int64_t)Lane + Delta; break;             // down
+        default: Src = (int64_t)(Lane ^ ((uint64_t)Delta & 31)); break;
         }
-      if (!Released && !AnyRan)
-        return fail("scheduling deadlock in '" + F.Name + "'");
+        int64_t Res = P.CollVal;
+        if (Src >= 0 && Src < 32 && ((P.CollMask >> Src) & 1)) {
+          for (uint32_t MJ = 0; MJ < NumMembers; ++MJ)
+            if ((Members[MJ] & 31u) == (uint32_t)Src) {
+              Res = Threads[Members[MJ]].CollVal;
+              break;
+            }
+        }
+        PushResult(P, Res);
+      }
+      break;
+    }
+    case CollKind::Ballot: {
+      // One bitmask for the whole group: lane bits where the lane is in
+      // the triggering mask and its predicate was nonzero.
+      uint64_t Bits = 0;
+      for (uint32_t MI = 0; MI < NumMembers; ++MI) {
+        ThreadCtx &P = Threads[Members[MI]];
+        uint32_t Lane = Members[MI] & 31u;
+        if (((T.CollMask >> Lane) & 1) && P.CollVal != 0)
+          Bits |= 1ull << Lane;
+      }
+      for (uint32_t MI = 0; MI < NumMembers; ++MI)
+        PushResult(Threads[Members[MI]], (int64_t)(uint32_t)Bits);
+      break;
+    }
+    case CollKind::Reduce: {
+      int64_t Acc = T.CollVal;
+      for (uint32_t MI = 0; MI < NumMembers; ++MI) {
+        int64_t V = Threads[Members[MI]].CollVal;
+        if (Members[MI] == I)
+          continue;
+        switch (T.CollMode) {
+        case 0: Acc = (int64_t)((uint64_t)Acc + (uint64_t)V); break;
+        case 1: Acc = std::min(Acc, V); break;
+        default: Acc = std::max(Acc, V); break;
+        }
+      }
+      for (uint32_t MI = 0; MI < NumMembers; ++MI)
+        PushResult(Threads[Members[MI]], Acc);
+      break;
+    }
+    }
+    for (uint32_t MI = 0; MI < NumMembers; ++MI)
+      Threads[Members[MI]].State = ThreadState::Ready;
+    Resolved = true;
+  }
+
+  // 2. Lenient barrier release: every parked waiter goes, regardless of
+  // which barrier site it reached — finished threads are not waited for.
+  if (!Resolved) {
+    bool AnyWaiting = false;
+    for (uint32_t I = 0; I < Count; ++I)
+      if (Threads[I].State == ThreadState::AtBarrier) {
+        Threads[I].State = ThreadState::Ready;
+        AnyWaiting = true;
+      }
+    if (!AnyWaiting) {
+      for (uint32_t I = 0; I < Count; ++I)
+        if (Threads[I].State != ThreadState::Done) {
+          fail("cooperative scheduling deadlock (thread neither runnable, "
+               "parked, nor done)");
+          return 2;
+        }
+      return 1; // Block complete.
     }
   }
+  for (uint32_t I = 0; I < Count; ++I)
+    if (Threads[I].State == ThreadState::Ready) {
+      NextTI = I;
+      return 0;
+    }
+  fail("cooperative scheduling deadlock (release produced no runnable "
+       "thread)");
+  return 2;
+}
+
+bool Device::failStepLimit(const ThreadCtx *CoopThreads, uint32_t CoopCount) {
+  std::string Msg = "step limit exceeded (possible infinite loop)";
+  if (CoopThreads) {
+    uint32_t Parked = 0;
+    for (uint32_t I = 0; I < CoopCount; ++I)
+      if (CoopThreads[I].State == ThreadState::AtBarrier ||
+          CoopThreads[I].State == ThreadState::AtCollective)
+        ++Parked;
+    if (Parked)
+      Msg += "; " + std::to_string(Parked) +
+             " thread(s) of the block were parked at __syncthreads or a "
+             "collective (divergent barrier)";
+  }
+  return fail(Msg);
 }
 
 //===----------------------------------------------------------------------===//
@@ -919,8 +1050,9 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
   } while (0)
 
 // A thread's root frame returned. In block mode (barrier-free kernels)
-// fall through to the in-loop thread switch; otherwise publish Done and
-// return to the scheduler.
+// fall through to the in-loop thread switch; in cooperative block mode
+// publish Done and let the in-loop scheduler pick the next thread;
+// otherwise return to the caller.
 #define VM_THREAD_DONE()                                                      \
   do {                                                                        \
     if (InitLocals)                                                           \
@@ -928,6 +1060,8 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
     T.State = ThreadState::Done;                                              \
     T.StackTop = SP;                                                          \
     VM_FLUSH_STEPS();                                                         \
+    if (CoopThreads)                                                          \
+      goto CoopSched;                                                         \
     return true;                                                              \
   } while (0)
 
@@ -981,6 +1115,51 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
   PC = VM_ENTRY_PC; /* 0, or the kernel's entry trace (decoded engine). */    \
   VM_RESUME()
 
+// The cooperative-block-mode scheduler, shared verbatim by both engines.
+// Reached (via goto from the park sites: __syncthreads, the collectives,
+// VM_THREAD_DONE) with the current thread's registers already written
+// back and its steps flushed. Picks the next Ready thread in ascending
+// wrap-around order — the same index-ascending order between release
+// points as the retired round-robin scheduler, so payloads and step
+// accounting are bit-identical to it. When none is ready, coopRelease
+// resolves collective groups / releases barrier waiters or declares the
+// block complete. Resuming re-derives every cached register from the
+// incoming context; the step budget is re-derived so the global limit
+// spans thread switches exactly.
+#define VM_COOP_SCHED()                                                       \
+  CoopSched : {                                                               \
+    size_t NextTI = CoopCount;                                                \
+    for (uint32_t Off = 1; Off <= CoopCount; ++Off) {                         \
+      size_t Cand = CoopTI + Off;                                             \
+      if (Cand >= CoopCount)                                                  \
+        Cand -= CoopCount;                                                    \
+      if (CoopThreads[Cand].State == ThreadState::Ready) {                    \
+        NextTI = Cand;                                                        \
+        break;                                                                \
+      }                                                                       \
+    }                                                                         \
+    if (NextTI == CoopCount) {                                                \
+      int R = coopRelease(CoopThreads, CoopCount, NextTI);                    \
+      if (R == 1)                                                             \
+        return true;                                                          \
+      if (R == 2)                                                             \
+        return false;                                                         \
+    }                                                                         \
+    CoopTI = NextTI;                                                          \
+    TC = &CoopThreads[CoopTI];                                                \
+    T.State = ThreadState::Ready;                                             \
+    Fr = &T.Frames.back();                                                    \
+    F = &FnArr[Fr->Func];                                                     \
+    CodeBase = F->Code.data();                                                \
+    Locals = T.LocalsArena.data() + Fr->LocalsBase;                           \
+    S = T.Stack.data();                                                       \
+    SP = T.StackTop;                                                          \
+    SCap = T.Stack.size();                                                    \
+    PC = Fr->PC ? Fr->PC : VM_ENTRY_PC;                                       \
+    StepBudget = stepBudgetLeft();                                            \
+    VM_RESUME();                                                              \
+  }
+
 //===----------------------------------------------------------------------===//
 // Engine 1: the bytecode interpreter (the fallback path).
 //
@@ -1021,10 +1200,17 @@ bool Device::runBlock(const PendingLaunch &L, WorkerCtx &W, Dim3V BlockIdx,
 #if defined(__GNUC__) || defined(__clang__)
 __attribute__((cold))
 #endif
-bool Device::runThread(ThreadCtx &T, WorkerCtx &W, const PendingLaunch &L,
+bool Device::runThread(ThreadCtx &TIn, WorkerCtx &W, const PendingLaunch &L,
                        Dim3V BlockIdx, uint64_t SharedBase,
-                       const int64_t *InitLocals, uint32_t ThreadCount) {
-  // Interpreter registers, re-derived only at frame switches.
+                       const int64_t *InitLocals, uint32_t ThreadCount,
+                       ThreadCtx *CoopThreads, uint32_t CoopCount) {
+  // The current thread context. A plain reference in single-thread and
+  // block mode; cooperative block mode re-seats it at every in-loop
+  // thread switch, so every handler reads it through this pointer.
+  ThreadCtx *TC = &TIn;
+  size_t CoopTI = 0;
+#define T (*TC)
+  // Interpreter registers, re-derived only at frame/thread switches.
   Frame *Fr = &T.Frames.back();
   const FuncDef *FnArr = Program.Functions.data();
   const FuncDef *F = &FnArr[Fr->Func];
@@ -1068,14 +1254,16 @@ DispatchTop:
 #endif
 
   VM_BLOCK_THREAD_SWITCH();
+  VM_COOP_SCHED();
 
 StepLimitHit:
   T.State = ThreadState::Failed;
   T.StackTop = SP;
   VM_FLUSH_STEPS();
-  return fail("step limit exceeded (possible infinite loop)");
+  return failStepLimit(CoopThreads, CoopCount);
 }
 
+#undef T
 #undef VM_CASE
 #undef VM_NEXT
 #undef VM_RESUME
@@ -1124,7 +1312,8 @@ bool Device::runThreadExec(ThreadCtx *TPtr, WorkerCtx *WPtr,
                            const PendingLaunch *LPtr, Dim3V BlockIdx,
                            uint64_t SharedBase,
                            const void *const **LabelsOut,
-                           const int64_t *InitLocals, uint32_t ThreadCount) {
+                           const int64_t *InitLocals, uint32_t ThreadCount,
+                           ThreadCtx *CoopThreads, uint32_t CoopCount) {
 #if DPO_VM_COMPUTED_GOTO
   static const void *const ExecDispatchTable[NumExecOpcodes] = {
 #define DPO_OPCODE_LABEL(name) &&XL_##name,
@@ -1143,10 +1332,14 @@ bool Device::runThreadExec(ThreadCtx *TPtr, WorkerCtx *WPtr,
   }
 #endif
 
-  ThreadCtx &T = *TPtr;
+  // The current thread context; cooperative block mode re-seats it at
+  // every in-loop thread switch (see runThread).
+  ThreadCtx *TC = TPtr;
+  size_t CoopTI = 0;
+#define T (*TC)
   WorkerCtx &W = *WPtr;
   const PendingLaunch &L = *LPtr;
-  // Interpreter registers, re-derived only at frame switches.
+  // Interpreter registers, re-derived only at frame/thread switches.
   Frame *Fr = &T.Frames.back();
   const ExecFunc *FnArr = Exec.Functions.data();
   const ExecFunc *F = &FnArr[Fr->Func];
@@ -1187,6 +1380,7 @@ DispatchTop:
 #endif
 
   VM_BLOCK_THREAD_SWITCH();
+  VM_COOP_SCHED();
 
 StepLimitHit:
   // The refused instruction was charged before the budget check:
@@ -1197,9 +1391,10 @@ StepLimitHit:
   T.State = ThreadState::Failed;
   T.StackTop = SP;
   VM_FLUSH_STEPS();
-  return fail("step limit exceeded (possible infinite loop)");
+  return failStepLimit(CoopThreads, CoopCount);
 }
 
+#undef T
 #undef VM_PUSH
 #undef VM_POP
 #undef VM_TOP
@@ -1215,6 +1410,7 @@ StepLimitHit:
 #undef VM_ENTRY_PC
 #undef VM_THREAD_DONE
 #undef VM_BLOCK_THREAD_SWITCH
+#undef VM_COOP_SCHED
 #undef DPO_VM_DECODED_OPS
 
 std::unique_ptr<Device> dpo::buildDevice(std::string_view Source,

@@ -244,7 +244,11 @@ private:
     uint64_t FrameMemBase = 0;
   };
 
-  enum class ThreadState { Ready, AtBarrier, Done, Failed };
+  enum class ThreadState { Ready, AtBarrier, AtCollective, Done, Failed };
+
+  /// Which collective a thread is parked at (meaningful in state
+  /// AtCollective; the parked frame's Func/PC identifies the site).
+  enum class CollKind : uint8_t { Shfl, Ballot, Reduce };
 
   /// Reusable per-thread execution state. All vectors retain capacity
   /// across reset(), so steady-state runs allocate nothing.
@@ -259,6 +263,16 @@ private:
                                ///< per pool slot, reused across blocks.
     uint64_t StackMemUsed = 0;
     uint64_t StepsRetired = 0; ///< This thread's own steps (grid log).
+
+    // Collective-park payload (state AtCollective): the contributed
+    // value, the lane/delta operand (shuffle), the participation mask,
+    // and which collective opcode parked here. Written by the handler,
+    // consumed by Device::coopRelease.
+    int64_t CollVal = 0;
+    int64_t CollArg = 0;
+    uint64_t CollMask = 0;
+    CollKind CollOp = CollKind::Shfl;
+    uint8_t CollMode = 0; ///< Shuffle mode / reduction kind (Instr A).
 
     void reset() {
       StackTop = 0;
@@ -333,19 +347,44 @@ private:
   /// function-call round trip. Block mode requires a barrier-free kernel
   /// (MayBarrier false); \p T must be set up for the block's first
   /// thread.
+  ///
+  /// When \p CoopThreads is non-null the call runs in *cooperative block
+  /// mode* instead: all \p CoopCount thread contexts of the block (set up
+  /// by runBlock, CoopThreads[0] == &T) execute inside this one
+  /// invocation, and __syncthreads / warp / block collectives become
+  /// in-loop yield points — the scheduler switches to the next ready
+  /// thread, releasing barriers and resolving collective groups when
+  /// none remains. Mutually exclusive with \p InitLocals.
   bool runThread(ThreadCtx &T, WorkerCtx &W, const PendingLaunch &L,
                  Dim3V BlockIdx, uint64_t SharedBase,
                  const int64_t *InitLocals = nullptr,
-                 uint32_t ThreadCount = 0);
+                 uint32_t ThreadCount = 0, ThreadCtx *CoopThreads = nullptr,
+                 uint32_t CoopCount = 0);
   /// The decoded-IR engine's thread loop (same contract as runThread,
-  /// including block mode). When \p LabelsOut is non-null the function
-  /// only exports its dispatch-label table (used once at construction to
-  /// resolve ExecInstr handler addresses) and returns.
+  /// including block mode and cooperative block mode). When \p LabelsOut
+  /// is non-null the function only exports its dispatch-label table
+  /// (used once at construction to resolve ExecInstr handler addresses)
+  /// and returns.
   bool runThreadExec(ThreadCtx *T, WorkerCtx *W, const PendingLaunch *L,
                      Dim3V BlockIdx, uint64_t SharedBase,
                      const void *const **LabelsOut = nullptr,
                      const int64_t *InitLocals = nullptr,
-                     uint32_t ThreadCount = 0);
+                     uint32_t ThreadCount = 0, ThreadCtx *CoopThreads = nullptr,
+                     uint32_t CoopCount = 0);
+  /// Cooperative-mode release step, shared by both engines: called when
+  /// no thread of the block is Ready. Resolves complete collective
+  /// groups (depositing results on the parked operand stacks), else
+  /// releases barrier waiters (lenient reconvergence: finished threads
+  /// are not waited for — aggregation's masked tails depend on this).
+  /// Returns 0 with \p NextTI set to the lowest-index runnable thread,
+  /// 1 when every thread is Done (block complete), 2 on error (LastError
+  /// set).
+  int coopRelease(ThreadCtx *Threads, uint32_t Count, size_t &NextTI);
+  /// The step-limit diagnostic: notes threads parked at a barrier or
+  /// collective (the divergent-barrier signature) so exhaustion while a
+  /// block waits is diagnosed deterministically, never reported as a
+  /// plain runaway loop.
+  bool failStepLimit(const ThreadCtx *CoopThreads, uint32_t CoopCount);
   /// Wraps the callee's integer parameter slots to their declared widths
   /// (the frame-entry normalization contract, see paramSlotNorm).
   void normalizeParamSlots(unsigned Func, int64_t *Locals) {

@@ -288,15 +288,17 @@ __global__ void parent(float *p0x, float *p0y, float *p1x, float *p1y,
 }
 )";
 
-/// Transformability probe: the child performs a __shared__ block
-/// reduction with __syncthreads barriers — both Section III-C
-/// serialization blockers at once. Thresholding must *refuse* to
-/// serialize this child (the rejection path), while coarsening (block-
-/// strided loop, barriers stay block-uniform) and aggregation (one
-/// block per child block, lenient reconvergence masks the tail) remain
-/// applicable and semantics-preserving. The parent shape matches the
-/// corpus convention (one dynamic launch, Fig. 4 ceiling division) so
-/// every registered pipeline parses and runs it.
+/// Cooperative transformability probe: the child performs a __shared__
+/// block reduction with __syncthreads barriers. The barriers are
+/// structural — body top level plus a block-uniform for loop — so the
+/// relaxed Section III-C analysis accepts the child and thresholding
+/// serializes it in the segmented form (thread loop per barrier-free
+/// segment, shared state as zero-initialized block locals). Coarsening
+/// (block-strided loop, barriers stay block-uniform) and aggregation
+/// (one block per child block, lenient reconvergence masks the tail)
+/// remain applicable and semantics-preserving. The parent shape matches
+/// the corpus convention (one dynamic launch, Fig. 4 ceiling division)
+/// so every registered pipeline parses and runs it.
 const char *SharedChildProbe = R"(
 __global__ void child(int *col, int *sums, int edgeBase, int v, int count) {
   __shared__ int scratch[128];
@@ -322,9 +324,38 @@ __global__ void parent(int *rowptr, int *col, int *sums, int numV) {
 }
 )";
 
+/// Untransformable probe: thread 0 of each child block publishes a flag
+/// with an atomic and then spin-waits on it in a loop *condition* — the
+/// inter-block-synchronization idiom the relaxed analysis still rejects
+/// outright (a serial thread loop would spin forever if the flag were
+/// set by a later thread). The spin resolves instantly on the real
+/// device, so the probe stays runnable through every pipeline.
+const char *SpinWaitProbe = R"(
+__global__ void child(int *flag, int *sums, int v, int count) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0) {
+    atomicAdd(&flag[v], 1);
+    while (atomicAdd(&flag[v], 0) < 1) { sums[v] = sums[v]; }
+  }
+  if (i < count)
+    atomicAdd(&sums[v], 1);
+}
+__global__ void parent(int *rowptr, int *col, int *sums, int numV) {
+  int v = blockIdx.x * blockDim.x + threadIdx.x;
+  if (v < numV) {
+    int count = rowptr[v + 1] - rowptr[v];
+    if (count > 0) {
+      child<<<(count + 127) / 128, 128>>>(sums, sums, v, count);
+    }
+  }
+}
+)";
+
 } // namespace
 
 const char *dpo::sharedChildProbeSource() { return SharedChildProbe; }
+
+const char *dpo::spinWaitProbeSource() { return SpinWaitProbe; }
 
 const char *dpo::kernelSourceFor(BenchmarkId Bench) {
   switch (Bench) {

@@ -44,14 +44,23 @@ namespace dpo {
 /// The DSL translation unit for one benchmark (see file comment).
 const char *kernelSourceFor(BenchmarkId Bench);
 
-/// The corpus' transformability probe: same parent shape as the Table I
-/// sources, but the child kernel uses __shared__ memory and
-/// __syncthreads barriers — the two Section III-C conditions that make
-/// a child non-serializable. The differential suite runs it through
-/// every pipeline to pin the rejection path end to end: thresholding
-/// must leave the dynamic launches in place, while coarsening and
-/// aggregation stay applicable and payload-preserving.
+/// The corpus' cooperative-transformability probe: same parent shape as
+/// the Table I sources, but the child kernel performs a __shared__ block
+/// reduction with __syncthreads barriers. Under the relaxed Section III-C
+/// analysis this child IS serializable — the barriers are structural
+/// (body top level and a block-uniform for loop), so thresholding lowers
+/// it to the segmented serial form (one thread loop per barrier-free
+/// segment, shared state hoisted to zero-initialized block locals). The
+/// differential suite runs it through every pipeline to pin that path
+/// end to end, payload-exact against the untransformed run.
 const char *sharedChildProbeSource();
+
+/// The genuinely-untransformable probe: the child synchronizes across
+/// blocks through an atomic spin-wait (an atomic in a while condition),
+/// which would never terminate once collapsed into one serial thread.
+/// Thresholding must refuse to serialize it and leave the dynamic
+/// launches fully in place.
+const char *spinWaitProbeSource();
 
 /// Block dimensions used by the sources (parent launches and the child
 /// launch statement's literal). They match the native batches' dims.

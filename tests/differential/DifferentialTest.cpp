@@ -307,9 +307,10 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 //===----------------------------------------------------------------------===//
-// The transformability-rejection path, end to end: a corpus child with
-// __shared__ + __syncthreads must never be serialized, while the other
-// transforms stay applicable and payload-preserving.
+// The cooperative-transformability path, end to end: a corpus child with
+// structural __shared__ + __syncthreads is serialized in the segmented
+// (barrier-preserving) form, payload-exact; a child that synchronizes
+// across blocks through an atomic spin-wait is still refused.
 //===----------------------------------------------------------------------===//
 
 struct ProbeRun {
@@ -320,9 +321,9 @@ struct ProbeRun {
   std::string Src;
 };
 
-ProbeRun runSharedChildProbe(const std::string &Pipeline) {
+ProbeRun runProbeSource(const char *Source, const std::string &Pipeline) {
   ProbeRun R;
-  std::string Src = sharedChildProbeSource();
+  std::string Src = Source;
   if (!Pipeline.empty()) {
     DiagnosticEngine Diags;
     Src = transformSourceWithPipeline(Src, Pipeline, literalKnobConfig(),
@@ -370,7 +371,11 @@ ProbeRun runSharedChildProbe(const std::string &Pipeline) {
   return R;
 }
 
-TEST(TransformabilityRejection, AnalysisNamesBothBlockers) {
+ProbeRun runSharedChildProbe(const std::string &Pipeline) {
+  return runProbeSource(sharedChildProbeSource(), Pipeline);
+}
+
+TEST(CooperativeTransformability, AnalysisAcceptsStructuralBarriers) {
   ASTContext Ctx;
   DiagnosticEngine Diags;
   TranslationUnit *TU = parseSource(sharedChildProbeSource(), Ctx, Diags);
@@ -378,27 +383,27 @@ TEST(TransformabilityRejection, AnalysisNamesBothBlockers) {
   FunctionDecl *Child = TU->findFunction("child");
   ASSERT_NE(Child, nullptr);
   Transformability T = analyzeSerializability(Child, TU);
-  EXPECT_FALSE(T.Serializable);
-  EXPECT_GE(T.Reasons.size(), 2u) << "barrier and shared memory";
+  EXPECT_TRUE(T.Serializable) << (T.Reasons.empty() ? "" : T.Reasons[0]);
+  EXPECT_TRUE(T.NeedsBarrierSegmentation);
+  EXPECT_TRUE(T.Reasons.empty());
 }
 
-TEST(TransformabilityRejection, ThresholdingRefusesToSerialize) {
+TEST(CooperativeTransformability, ThresholdingSerializesViaSegmentation) {
   ProbeRun Base = runSharedChildProbe("");
   ASSERT_TRUE(Base.Ok) << Base.Error;
   ASSERT_GT(Base.Stats.DeviceLaunches, 0u);
 
-  // A threshold that would serialize *every* launch of a serializable
-  // child must leave this one's dynamic launches fully in place.
+  // A threshold above every observed launch serializes all of them: the
+  // dynamic launches disappear, replaced by the segmented serial form,
+  // and the payload is untouched.
   ProbeRun Thresh = runSharedChildProbe("threshold[1000000]");
   ASSERT_TRUE(Thresh.Ok) << Thresh.Error;
-  EXPECT_EQ(Thresh.Stats.DeviceLaunches, Base.Stats.DeviceLaunches)
-      << Thresh.Src;
-  EXPECT_EQ(Base.Sums, Thresh.Sums);
-  // And the transformed source grew no serial fallback for the child.
-  EXPECT_EQ(Thresh.Src.find("child_serial"), std::string::npos) << Thresh.Src;
+  EXPECT_EQ(Thresh.Stats.DeviceLaunches, 0u) << Thresh.Src;
+  EXPECT_NE(Thresh.Src.find("child_serial"), std::string::npos) << Thresh.Src;
+  EXPECT_EQ(Base.Sums, Thresh.Sums) << Thresh.Src;
 }
 
-TEST(TransformabilityRejection, AllPipelinesPreserveTheProbePayload) {
+TEST(CooperativeTransformability, AllPipelinesPreserveTheProbePayload) {
   ProbeRun Base = runSharedChildProbe("");
   ASSERT_TRUE(Base.Ok) << Base.Error;
   for (const std::string &Pipeline : differentialPipelines()) {
@@ -408,6 +413,34 @@ TEST(TransformabilityRejection, AllPipelinesPreserveTheProbePayload) {
     ASSERT_TRUE(Run.Ok) << "[" << Pipeline << "]: " << Run.Error;
     EXPECT_EQ(Base.Sums, Run.Sums) << "[" << Pipeline << "]\n" << Run.Src;
   }
+}
+
+TEST(TransformabilityRejection, SpinWaitProbeIsNamedAndRefused) {
+  ASTContext Ctx;
+  DiagnosticEngine Diags;
+  TranslationUnit *TU = parseSource(spinWaitProbeSource(), Ctx, Diags);
+  ASSERT_NE(TU, nullptr) << Diags.str();
+  FunctionDecl *Child = TU->findFunction("child");
+  ASSERT_NE(Child, nullptr);
+  Transformability T = analyzeSerializability(Child, TU);
+  EXPECT_FALSE(T.Serializable);
+  ASSERT_GE(T.Reasons.size(), 1u);
+  EXPECT_NE(T.Reasons[0].find("spin-wait"), std::string::npos) << T.Reasons[0];
+}
+
+TEST(TransformabilityRejection, ThresholdingRefusesTheSpinWaitProbe) {
+  ProbeRun Base = runProbeSource(spinWaitProbeSource(), "");
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_GT(Base.Stats.DeviceLaunches, 0u);
+
+  // The spin-wait child must keep every dynamic launch: serializing it
+  // would deadlock, so thresholding leaves the site alone.
+  ProbeRun Thresh = runProbeSource(spinWaitProbeSource(), "threshold[1000000]");
+  ASSERT_TRUE(Thresh.Ok) << Thresh.Error;
+  EXPECT_EQ(Thresh.Stats.DeviceLaunches, Base.Stats.DeviceLaunches)
+      << Thresh.Src;
+  EXPECT_EQ(Thresh.Src.find("child_serial"), std::string::npos) << Thresh.Src;
+  EXPECT_EQ(Base.Sums, Thresh.Sums);
 }
 
 //===----------------------------------------------------------------------===//

@@ -46,7 +46,9 @@ __global__ void child(int *d, int n) {
   EXPECT_TRUE(R.Reasons.empty());
 }
 
-TEST_F(TransformabilityTest, SyncthreadsBlocksSerialization) {
+TEST_F(TransformabilityTest, SyncthreadsSerializableViaSegmentation) {
+  // A structural top-level barrier survives serialization: the body splits
+  // into barrier-free segments, each its own thread loop.
   auto R = analyze(R"(
 __global__ void child(int *d) {
   d[threadIdx.x] = 1;
@@ -54,12 +56,14 @@ __global__ void child(int *d) {
   d[threadIdx.x] += d[0];
 }
 )");
-  EXPECT_FALSE(R.Serializable);
-  ASSERT_EQ(R.Reasons.size(), 1u);
-  EXPECT_NE(R.Reasons[0].find("__syncthreads"), std::string::npos);
+  EXPECT_TRUE(R.Serializable) << (R.Reasons.empty() ? "" : R.Reasons[0]);
+  EXPECT_TRUE(R.NeedsBarrierSegmentation);
+  EXPECT_TRUE(R.Reasons.empty());
 }
 
-TEST_F(TransformabilityTest, SharedMemoryBlocksSerialization) {
+TEST_F(TransformabilityTest, SharedMemorySerializableViaSegmentation) {
+  // Top-level __shared__ state becomes a block-scope local in the serial
+  // form; with no barrier the single segment already preserves semantics.
   auto R = analyze(R"(
 __global__ void child(int *d) {
   __shared__ int tile[128];
@@ -67,9 +71,134 @@ __global__ void child(int *d) {
   d[threadIdx.x] = tile[127 - threadIdx.x];
 }
 )");
+  EXPECT_TRUE(R.Serializable) << (R.Reasons.empty() ? "" : R.Reasons[0]);
+  EXPECT_TRUE(R.NeedsBarrierSegmentation);
+  EXPECT_TRUE(R.Reasons.empty());
+}
+
+TEST_F(TransformabilityTest, BarrierInUniformLoopIsSerializable) {
+  // Tree reduction: the barrier sits in a for loop whose bounds are
+  // block-uniform (literals + blockDim), so the loop hoists to block level.
+  auto R = analyze(R"(
+__global__ void child(int *out, int *in) {
+  __shared__ int tile[128];
+  unsigned int t = threadIdx.x;
+  tile[t] = in[blockIdx.x * blockDim.x + t];
+  __syncthreads();
+  for (unsigned int s = 64; s > 0; s /= 2) {
+    if (t < s) tile[t] += tile[t + s];
+    __syncthreads();
+  }
+  if (t == 0) out[blockIdx.x] = tile[0];
+}
+)");
+  EXPECT_TRUE(R.Serializable) << (R.Reasons.empty() ? "" : R.Reasons[0]);
+  EXPECT_TRUE(R.NeedsBarrierSegmentation);
+}
+
+TEST_F(TransformabilityTest, BarrierUnderIfIsRejected) {
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  if (threadIdx.x < 16) {
+    d[threadIdx.x] = 1;
+    __syncthreads();
+  }
+  d[threadIdx.x] += d[0];
+}
+)");
   EXPECT_FALSE(R.Serializable);
   ASSERT_GE(R.Reasons.size(), 1u);
-  EXPECT_NE(R.Reasons[0].find("shared memory"), std::string::npos);
+  EXPECT_NE(R.Reasons[0].find("divergent"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, BarrierInWhileLoopIsRejected) {
+  // Only counted `for` loops with uniform bounds hoist; a while loop's
+  // trip count is not provably block-uniform.
+  auto R = analyze(R"(
+__global__ void child(int *d, int n) {
+  int i = 0;
+  while (i < n) {
+    d[threadIdx.x] += 1;
+    __syncthreads();
+    i += 1;
+  }
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, EarlyReturnWithBarrierIsRejected) {
+  auto R = analyze(R"(
+__global__ void child(int *d, int n) {
+  if (threadIdx.x >= n) return;
+  d[threadIdx.x] = 1;
+  __syncthreads();
+  d[threadIdx.x] += d[0];
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_GE(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("return"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, NonRematerializableCrossingLocalIsRejected) {
+  // `v` is loaded from memory before the barrier and read after it; the
+  // serializer cannot re-derive it in the second segment (the store may
+  // have changed d[] in between).
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  int v = d[threadIdx.x];
+  __syncthreads();
+  d[threadIdx.x] = v + d[0];
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_GE(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("rematerialized"), std::string::npos);
+}
+
+TEST_F(TransformabilityTest, RematerializableCrossingLocalIsAccepted) {
+  // `i` is single-assignment and built purely from builtins, so the
+  // serializer can re-declare it in the segment after the barrier.
+  auto R = analyze(R"(
+__global__ void child(int *d) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  d[i] = 1;
+  __syncthreads();
+  d[i] += d[0];
+}
+)");
+  EXPECT_TRUE(R.Serializable) << (R.Reasons.empty() ? "" : R.Reasons[0]);
+  EXPECT_TRUE(R.NeedsBarrierSegmentation);
+}
+
+TEST_F(TransformabilityTest, SharedDeclBelowBodyTopIsRejected) {
+  auto R = analyze(R"(
+__global__ void child(int *d, int n) {
+  for (int i = 0; i < n; i += 1) {
+    __shared__ int tile[32];
+    tile[threadIdx.x % 32] = d[i];
+    d[i] = tile[0];
+  }
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+}
+
+TEST_F(TransformabilityTest, AtomicSpinWaitIsRejected) {
+  // Inter-block synchronization through a global atomic flag: the loop
+  // would never terminate once collapsed into a single serial thread.
+  auto R = analyze(R"(
+__global__ void child(int *flag, int *d) {
+  if (threadIdx.x == 0) {
+    while (atomicAdd(flag, 0) < 1) { d[0] = d[0]; }
+  }
+  d[threadIdx.x] = 1;
+}
+)");
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_GE(R.Reasons.size(), 1u);
+  EXPECT_NE(R.Reasons[0].find("spin-wait"), std::string::npos);
 }
 
 TEST_F(TransformabilityTest, WarpShuffleBlocksSerialization) {

@@ -152,14 +152,16 @@ TEST(SpeculationPassTest, ProfileModeWithoutProfileTransformsNothing) {
 }
 
 TEST(SpeculationPassTest, SkipsNonSerializableChild) {
+  // A barrier under divergent control flow stays non-serializable even
+  // under the relaxed (segmentation-capable) transformability contract.
   RunResult R = runSpeculation(R"(
 __global__ void child(int *data, int n) {
-  __shared__ int buf[128];
   int i = threadIdx.x;
-  buf[i] = data[i];
-  __syncthreads();
-  if (i < n)
-    data[i] = buf[n - 1 - i];
+  if (i < n) {
+    data[i] = data[i] + 1;
+    __syncthreads();
+    data[i] = data[n - 1 - i];
+  }
 }
 __global__ void parent(int *data, int *counts, int numV) {
   int v = blockIdx.x * blockDim.x + threadIdx.x;

@@ -110,7 +110,9 @@ TEST(ThresholdingPassTest, LiteralSpelling) {
   EXPECT_EQ(R.Output.find("#define"), std::string::npos);
 }
 
-TEST(ThresholdingPassTest, SkipsBarrierKernels) {
+TEST(ThresholdingPassTest, SerializesBarrierKernelViaSegmentation) {
+  // A top-level barrier is structural: the serializer splits the body
+  // at it, one thread-loop nest per barrier-free segment.
   RunResult R = runThresholding(R"(
 __global__ void child(int *data) {
   data[threadIdx.x] = 1;
@@ -121,15 +123,27 @@ __global__ void parent(int *data, int n) {
   child<<<(n + 31) / 32, 32>>>(data);
 }
 )");
-  EXPECT_EQ(R.Report.TransformedLaunches, 0u);
-  EXPECT_EQ(R.Report.SkippedLaunches, 1u);
-  ASSERT_EQ(R.Report.SkipReasons.size(), 1u);
-  EXPECT_NE(R.Report.SkipReasons[0].find("__syncthreads"), std::string::npos);
-  // Output unchanged: no serial version, no guard.
-  EXPECT_EQ(R.Output.find("child_serial"), std::string::npos);
+  EXPECT_EQ(R.Report.TransformedLaunches, 1u);
+  EXPECT_EQ(R.Report.SkippedLaunches, 0u);
+  EXPECT_NE(R.Output.find("child_serial"), std::string::npos) << R.Output;
+  // Two segments -> two thread loops; the barrier call itself is gone.
+  size_t First =
+      R.Output.find("for (unsigned int _tx = 0; _tx < _bDim.x; ++_tx)");
+  ASSERT_NE(First, std::string::npos) << R.Output;
+  EXPECT_NE(
+      R.Output.find("for (unsigned int _tx = 0; _tx < _bDim.x; ++_tx)",
+                    First + 1),
+      std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("__syncthreads", R.Output.find("child_serial")),
+            std::string::npos)
+      << R.Output;
 }
 
-TEST(ThresholdingPassTest, SkipsSharedMemoryKernels) {
+TEST(ThresholdingPassTest, SerializesSharedMemoryKernel) {
+  // __shared__ at body top lowers to a block-scope local (with an
+  // explicit zero-init loop, matching the VM's zeroed-per-block
+  // window) in the serial version.
   RunResult R = runThresholding(R"(
 __global__ void child(int *data) {
   __shared__ int tile[64];
@@ -140,9 +154,14 @@ __global__ void parent(int *data, int n) {
   child<<<(n + 63) / 64, 64>>>(data);
 }
 )");
-  EXPECT_EQ(R.Report.TransformedLaunches, 0u);
-  ASSERT_EQ(R.Report.SkipReasons.size(), 1u);
-  EXPECT_NE(R.Report.SkipReasons[0].find("shared memory"), std::string::npos);
+  EXPECT_EQ(R.Report.TransformedLaunches, 1u);
+  EXPECT_EQ(R.Report.SkippedLaunches, 0u);
+  size_t Serial = R.Output.find("child_serial");
+  ASSERT_NE(Serial, std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("int tile[64]", Serial), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("__shared__", Serial), std::string::npos)
+      << R.Output;
 }
 
 TEST(ThresholdingPassTest, SkipsUnrecognizedGridExpression) {

@@ -58,18 +58,43 @@ std::string randomIntExpr(std::mt19937 &Rng, int Depth = 0) {
 std::string randomProgram(unsigned Seed) {
   std::mt19937 Rng(Seed);
   std::ostringstream OS;
-  OS << "__global__ void child(int *out, int base, int count) {\n"
-     << "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
-     << "  if (i < count) {\n";
-  if (Rng() % 2)
-    OS << "    if (i % " << (2 + Rng() % 5) << " == 0) {\n"
-       << "      out[base + i] = " << randomIntExpr(Rng) << ";\n"
-       << "    } else {\n"
-       << "      out[base + i] = " << randomIntExpr(Rng) << ";\n"
-       << "    }\n";
-  else
-    OS << "    out[base + i] = " << randomIntExpr(Rng) << ";\n";
-  OS << "  }\n}\n";
+  // Every third seed emits a cooperative child: a __shared__ tile staged
+  // from a random expression, a tree reduction with __syncthreads per
+  // round, and every live lane mixing the block sum into its own slot.
+  // The slices stay disjoint, so the payload is schedule-independent and
+  // the barrier kernels ride the same pipeline-ordering, engine, and
+  // worker axes as the plain ones.
+  bool Cooperative = Seed % 3 == 2;
+  if (Cooperative) {
+    OS << "__global__ void child(int *out, int base, int count) {\n"
+       << "  __shared__ int tile[128];\n"
+       << "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       << "  tile[threadIdx.x] = i < count ? " << randomIntExpr(Rng)
+       << " : 0;\n"
+       << "  __syncthreads();\n"
+       << "  for (int s = blockDim.x / 2; s > 0; s = s / 2) {\n"
+       << "    if (threadIdx.x < s)\n"
+       << "      tile[threadIdx.x] = tile[threadIdx.x] + tile[threadIdx.x + "
+          "s];\n"
+       << "    __syncthreads();\n"
+       << "  }\n"
+       << "  if (i < count) {\n"
+       << "    out[base + i] = " << randomIntExpr(Rng) << " + tile[0];\n"
+       << "  }\n}\n";
+  } else {
+    OS << "__global__ void child(int *out, int base, int count) {\n"
+       << "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       << "  if (i < count) {\n";
+    if (Rng() % 2)
+      OS << "    if (i % " << (2 + Rng() % 5) << " == 0) {\n"
+         << "      out[base + i] = " << randomIntExpr(Rng) << ";\n"
+         << "    } else {\n"
+         << "      out[base + i] = " << randomIntExpr(Rng) << ";\n"
+         << "    }\n";
+    else
+      OS << "    out[base + i] = " << randomIntExpr(Rng) << ";\n";
+    OS << "  }\n}\n";
+  }
 
   unsigned BlockDim = 1u << (4 + Rng() % 4); // 16..128
   OS << "__global__ void parent(int *out, int *counts, int *offsets, "

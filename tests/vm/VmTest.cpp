@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace dpo;
 
 namespace {
@@ -595,6 +597,230 @@ __global__ void k(int *out, int n, int bound) {
   EXPECT_EQ(Dev->readI32(Out), 1);
   EXPECT_EQ(Dev->stats().SpecGuardPass, 2u);
   EXPECT_EQ(Dev->stats().SpecGuardFail, 1u);
+}
+
+//===--- Warp/block collectives (cooperative block mode) ------------------===//
+
+std::unique_ptr<Device> makeDeviceMode(std::string_view Source, ExecMode Mode) {
+  DiagnosticEngine Diags;
+  VmCompileOptions Opts;
+  Opts.Exec = Mode;
+  auto Dev = buildDevice(Source, Diags, Opts);
+  EXPECT_NE(Dev, nullptr) << Diags.str();
+  return Dev;
+}
+
+TEST(VmTest, WarpShuffleVariants) {
+  auto Dev = makeDevice(R"(
+__global__ void k(int *idx, int *up, int *down, int *xr) {
+  unsigned int t = threadIdx.x;
+  int v = t * 10 + 1;
+  idx[t] = __shfl_sync(0xffffffffu, v, (t + 5) % 32);
+  up[t] = __shfl_up_sync(0xffffffffu, v, 3);
+  down[t] = __shfl_down_sync(0xffffffffu, v, 3);
+  xr[t] = __shfl_xor_sync(0xffffffffu, v, 1);
+}
+)");
+  uint64_t Idx = Dev->alloc(32 * 4), Up = Dev->alloc(32 * 4);
+  uint64_t Down = Dev->alloc(32 * 4), Xor = Dev->alloc(32 * 4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {32, 1, 1},
+                                {(int64_t)Idx, (int64_t)Up, (int64_t)Down,
+                                 (int64_t)Xor}))
+      << Dev->error();
+  auto Val = [](int Lane) { return Lane * 10 + 1; };
+  for (int L = 0; L < 32; ++L) {
+    EXPECT_EQ(Dev->readI32(Idx + L * 4), Val((L + 5) % 32)) << "lane " << L;
+    EXPECT_EQ(Dev->readI32(Up + L * 4), Val(L < 3 ? L : L - 3)) << "lane " << L;
+    EXPECT_EQ(Dev->readI32(Down + L * 4), Val(L > 28 ? L : L + 3))
+        << "lane " << L;
+    EXPECT_EQ(Dev->readI32(Xor + L * 4), Val(L ^ 1)) << "lane " << L;
+  }
+}
+
+TEST(VmTest, WarpShuffleEarlyExitAndMaskedLanes) {
+  // Lanes that returned before the collective are not in the group, and
+  // lanes outside the mask are never read: both cases fall back to the
+  // reader's own contributed value.
+  auto Dev = makeDevice(R"(
+__global__ void k(int *a, int *b, int n) {
+  unsigned int t = threadIdx.x;
+  if (t >= n) return;
+  a[t] = __shfl_sync(0xffu, t + 100, (t + 1) % 8);
+  b[t] = __shfl_sync(0x0fu, t + 200, (t + 1) % 8);
+}
+)");
+  uint64_t A = Dev->alloc(8 * 4), B = Dev->alloc(8 * 4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {8, 1, 1},
+                                {(int64_t)A, (int64_t)B, 6}))
+      << Dev->error();
+  // Lanes 0..5 live. a: full 8-lane mask, so lane 5's source (lane 6)
+  // exited early -> own value. b: mask 0x0f, so sources 4..7 are never
+  // read even when live.
+  int ExpA[] = {101, 102, 103, 104, 105, 105};
+  int ExpB[] = {201, 202, 203, 203, 204, 205};
+  for (int L = 0; L < 6; ++L) {
+    EXPECT_EQ(Dev->readI32(A + L * 4), ExpA[L]) << "lane " << L;
+    EXPECT_EQ(Dev->readI32(B + L * 4), ExpB[L]) << "lane " << L;
+  }
+}
+
+TEST(VmTest, BallotSyncAcrossLiveLanes) {
+  auto Dev = makeDevice(R"(
+__global__ void k(unsigned int *out, int n) {
+  unsigned int t = threadIdx.x;
+  if (t >= n) return;
+  out[t] = __ballot_sync(0xffffffffu, t % 3 == 0);
+}
+)");
+  uint64_t Out = Dev->alloc(32 * 4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {32, 1, 1},
+                                {(int64_t)Out, 20}))
+      << Dev->error();
+  uint32_t Expected = 0;
+  for (int L = 0; L < 20; ++L)
+    if (L % 3 == 0)
+      Expected |= 1u << L;
+  for (int L = 0; L < 20; ++L)
+    EXPECT_EQ(Dev->readU32(Out + L * 4), Expected) << "lane " << L;
+}
+
+TEST(VmTest, BlockReduceAddMinMax) {
+  // Block-wide (cross-warp) reduction over the live threads only: the
+  // tail that returned early contributes nothing.
+  auto Dev = makeDevice(R"(
+__global__ void k(int *s, int *mn, int *mx, int n) {
+  int t = threadIdx.x;
+  if (t >= n) return;
+  int v = t - 5;
+  s[t] = __block_reduce_add(v);
+  mn[t] = __block_reduce_min(v);
+  mx[t] = __block_reduce_max(v);
+}
+)");
+  uint64_t S = Dev->alloc(64 * 4), Mn = Dev->alloc(64 * 4);
+  uint64_t Mx = Dev->alloc(64 * 4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {64, 1, 1},
+                                {(int64_t)S, (int64_t)Mn, (int64_t)Mx, 48}))
+      << Dev->error();
+  int Sum = 0;
+  for (int T = 0; T < 48; ++T)
+    Sum += T - 5;
+  for (int T = 0; T < 48; ++T) {
+    EXPECT_EQ(Dev->readI32(S + T * 4), Sum) << "thread " << T;
+    EXPECT_EQ(Dev->readI32(Mn + T * 4), -5) << "thread " << T;
+    EXPECT_EQ(Dev->readI32(Mx + T * 4), 42) << "thread " << T;
+  }
+}
+
+TEST(VmTest, WarpAllReduceButterfly) {
+  // The classic shfl_xor butterfly allreduce -- collectives inside a
+  // loop body, which also exercises them inside superblock traces.
+  auto Dev = makeDevice(R"(
+__global__ void k(int *out) {
+  int v = threadIdx.x + 1;
+  for (int off = 16; off > 0; off = off / 2)
+    v += __shfl_xor_sync(0xffffffffu, v, off);
+  out[threadIdx.x] = v;
+}
+)");
+  uint64_t Out = Dev->alloc(32 * 4);
+  ASSERT_TRUE(Dev->launchKernel("k", {1, 1, 1}, {32, 1, 1}, {(int64_t)Out}))
+      << Dev->error();
+  for (int L = 0; L < 32; ++L)
+    EXPECT_EQ(Dev->readI32(Out + L * 4), 32 * 33 / 2) << "lane " << L;
+}
+
+TEST(VmTest, SharedMemoryBarrierReduction) {
+  // The canonical tiled tree reduction: shared scratch, guarded load,
+  // barrier, stride-halving loop with an in-loop barrier.
+  auto Dev = makeDevice(R"(
+__global__ void k(int *in, int *out, int n) {
+  __shared__ int scratch[64];
+  unsigned int t = threadIdx.x;
+  unsigned int i = blockIdx.x * blockDim.x + t;
+  scratch[t] = i < n ? in[i] : 0;
+  __syncthreads();
+  for (int stride = blockDim.x / 2; stride > 0; stride = stride / 2) {
+    if (t < stride)
+      scratch[t] = scratch[t] + scratch[t + stride];
+    __syncthreads();
+  }
+  if (t == 0)
+    out[blockIdx.x] = scratch[0];
+}
+)");
+  int N = 150;
+  uint64_t In = Dev->alloc(N * 4), Out = Dev->alloc(3 * 4);
+  std::vector<int32_t> Data(N);
+  for (int I = 0; I < N; ++I)
+    Data[I] = (I * 7) % 23 - 11;
+  Dev->writeI32Array(In, Data);
+  ASSERT_TRUE(Dev->launchKernel("k", {3, 1, 1}, {64, 1, 1},
+                                {(int64_t)In, (int64_t)Out, N}))
+      << Dev->error();
+  for (int B = 0; B < 3; ++B) {
+    int Exp = 0;
+    for (int I = B * 64; I < std::min(N, (B + 1) * 64); ++I)
+      Exp += Data[I];
+    EXPECT_EQ(Dev->readI32(Out + B * 4), Exp) << "block " << B;
+  }
+}
+
+// A divergent barrier: thread 3 spins forever and never reaches the
+// barrier the other three threads are parked at. The step budget must be
+// retired exactly (bytecode engine; the decoded engines may stop one
+// fused sub-instruction short, see vm/README.md) and the diagnostic must
+// name the parked threads deterministically.
+constexpr std::string_view DivergentBarrierSrc = R"(
+__global__ void k(int *out) {
+  if (threadIdx.x == 3) {
+    while (1 == 1) out[0] = out[0] + 1;
+  }
+  __syncthreads();
+  out[threadIdx.x] = 7;
+}
+)";
+
+TEST(VmTest, StepLimitAtBarrierRetiresExactBudget) {
+  auto Run = [](ExecMode Mode) {
+    auto Dev = makeDeviceMode(DivergentBarrierSrc, Mode);
+    Dev->setStepLimit(5000);
+    uint64_t Out = Dev->alloc(4 * 4);
+    EXPECT_FALSE(Dev->launchKernel("k", {1, 1, 1}, {4, 1, 1}, {(int64_t)Out}));
+    EXPECT_NE(Dev->error().find("step limit"), std::string::npos)
+        << Dev->error();
+    return Dev->stats().Steps;
+  };
+  // Bytecode checks the budget before charging: exactly the budget.
+  EXPECT_EQ(Run(ExecMode::Bytecode), 5000u);
+  // Decoded engines uncharge the overrunning instruction; a fused pair
+  // can leave at most one sub-instruction of slack.
+  for (ExecMode Mode :
+       {ExecMode::Decoded, ExecMode::DecodedNoTrace, ExecMode::Auto}) {
+    uint64_t Steps = Run(Mode);
+    EXPECT_LE(Steps, 5000u);
+    EXPECT_GE(Steps, 4999u);
+    // Deterministic: a second identical run retires the identical count.
+    EXPECT_EQ(Run(Mode), Steps);
+  }
+}
+
+TEST(VmTest, DivergentBarrierDiagnosedDeterministically) {
+  auto Run = [](ExecMode Mode) {
+    auto Dev = makeDeviceMode(DivergentBarrierSrc, Mode);
+    Dev->setStepLimit(20000);
+    uint64_t Out = Dev->alloc(4 * 4);
+    EXPECT_FALSE(Dev->launchKernel("k", {1, 1, 1}, {4, 1, 1}, {(int64_t)Out}));
+    return Dev->error();
+  };
+  for (ExecMode Mode :
+       {ExecMode::Bytecode, ExecMode::Decoded, ExecMode::DecodedNoTrace}) {
+    std::string Err = Run(Mode);
+    EXPECT_NE(Err.find("step limit"), std::string::npos) << Err;
+    EXPECT_NE(Err.find("divergent barrier"), std::string::npos) << Err;
+    EXPECT_NE(Err.find("3 thread(s)"), std::string::npos) << Err;
+    EXPECT_EQ(Run(Mode), Err) << "diagnostic must be deterministic";
+  }
 }
 
 } // namespace
