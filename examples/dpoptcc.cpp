@@ -29,6 +29,7 @@
 #include "ast/ASTPrinter.h"
 #include "parse/Parser.h"
 #include "profile/Profile.h"
+#include "service/CompileService.h"
 #include "support/StringUtils.h"
 #include "transform/Pipeline.h"
 #include "tuner/Calibrate.h"
@@ -37,10 +38,13 @@
 #include "workloads/KernelSources.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 using namespace dpo;
 
@@ -54,6 +58,26 @@ static void usage() {
       "               [--tune-report=FILE] [--print-pass-stats]\n"
       "               [--profile-out=FILE] [--profile-in=FILE] [--calibrate]\n"
       "               [--list-passes] [input.cu] [-o output.cu]\n"
+      "       dpoptcc --serve=REQFILE [--cache-dir=DIR] [--cache-bytes=MIB]\n"
+      "               [--service-workers=N] [--tuned-dir=DIR] [--cache-stats]\n"
+      "\n"
+      "service mode:\n"
+      "  --serve=REQFILE     drain a request-list file through one\n"
+      "                      CompileService: one request per line,\n"
+      "                      'compile src=FILE [passes=PIPELINE] [bytecode=1]\n"
+      "                      [out=FILE]' or 'tune workload=SPEC [mode=M]\n"
+      "                      [budget=N] [seed=N] [warm=1] [out=FILE]';\n"
+      "                      requests run concurrently, results report in\n"
+      "                      request order\n"
+      "  --cache-dir=DIR     content-addressed artifact cache directory\n"
+      "                      (also DPO_CACHE_DIR; empty disables disk cache)\n"
+      "  --cache-bytes=MIB   cache size bound in MiB, LRU-evicted\n"
+      "                      (also DPO_CACHE_MAX_BYTES, in bytes)\n"
+      "  --service-workers=N concurrent drain workers (also\n"
+      "                      DPO_SERVICE_WORKERS; default: hardware threads)\n"
+      "  --tuned-dir=DIR     committed tuned-table directory used to seed\n"
+      "                      warm-started tunes (bench/tuned/ format)\n"
+      "  --cache-stats       print hit/miss/eviction/byte counters on exit\n"
       "\n"
       "pass selection (pick one):\n"
       "  -t/-c/-a            enable thresholding / coarsening / aggregation\n"
@@ -253,6 +277,163 @@ static bool runVmPipeline(const std::string &Pipeline,
   return true;
 }
 
+/// --serve=FILE: drain a request-list file through one CompileService —
+/// compiles and tunes processed concurrently on the service worker pool,
+/// artifacts shared through the content-addressed cache, results reported
+/// in request order. Returns the process exit code.
+static int runServe(const std::string &ServePath, ServiceConfig SC,
+                    bool PrintCacheStats) {
+  std::ifstream In(ServePath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", ServePath.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::vector<ServeRequest> Reqs;
+  std::string ParseError;
+  if (!parseServeRequests(Buf.str(), Reqs, ParseError)) {
+    std::fprintf(stderr, "error: bad request file '%s': %s\n",
+                 ServePath.c_str(), ParseError.c_str());
+    return 1;
+  }
+  if (Reqs.empty()) {
+    std::fprintf(stderr, "error: '%s' holds no requests\n", ServePath.c_str());
+    return 1;
+  }
+
+  CompileService Service(SC);
+
+  // Stage compile sources up front (sequential file IO, deterministic
+  // diagnostics); workers then touch only the in-memory requests.
+  std::vector<CompileRequest> CompileReqs(Reqs.size());
+  std::vector<std::string> StageErrors(Reqs.size());
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    const ServeRequest &R = Reqs[I];
+    if (R.Kind != ServeRequest::Compile)
+      continue;
+    std::ifstream Src(R.SourcePath);
+    if (!Src) {
+      StageErrors[I] = "cannot open '" + R.SourcePath + "'";
+      continue;
+    }
+    std::stringstream SrcBuf;
+    SrcBuf << Src.rdbuf();
+    CompileRequest &C = CompileReqs[I];
+    C.Name = R.SourcePath;
+    C.Source = SrcBuf.str();
+    C.Pipeline = R.Pipeline;
+    C.WantBytecode = R.WantBytecode;
+    // Bytecode-bound requests need literal knob spellings (the VM has no
+    // preprocessor); plain source-to-source requests keep the driver's
+    // macro-spelling default.
+    if (R.WantBytecode)
+      C.Knobs = literalKnobConfig();
+  }
+
+  std::vector<CompileResponse> CompileResults(Reqs.size());
+  std::vector<TuneResponse> TuneResults(Reqs.size());
+  std::atomic<size_t> Next{0};
+  auto Work = [&]() {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Reqs.size())
+        return;
+      if (!StageErrors[I].empty())
+        continue;
+      const ServeRequest &R = Reqs[I];
+      if (R.Kind == ServeRequest::Compile) {
+        CompileResults[I] = Service.compile(CompileReqs[I]);
+      } else {
+        TuneRequest T;
+        T.WorkloadSpec = R.WorkloadSpec;
+        T.Mode = R.Mode;
+        T.Opts.Budget = R.Budget;
+        T.Opts.Seed = R.Seed;
+        T.WarmStart = R.WarmStart;
+        TuneResults[I] = Service.tune(T);
+      }
+    }
+  };
+  unsigned N = std::min<size_t>(Service.workers(), Reqs.size());
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T + 1 < N; ++T)
+    Pool.emplace_back(Work);
+  Work(); // the driver thread participates too
+  for (std::thread &T : Pool)
+    T.join();
+
+  // Report and write outputs in request order: the drain's schedule never
+  // shows in what the user sees.
+  unsigned Failures = 0;
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    const ServeRequest &R = Reqs[I];
+    if (!StageErrors[I].empty()) {
+      std::fprintf(stderr, "[%zu] error: %s\n", I + 1,
+                   StageErrors[I].c_str());
+      ++Failures;
+      continue;
+    }
+    if (R.Kind == ServeRequest::Compile) {
+      const CompileResponse &Resp = CompileResults[I];
+      if (!Resp.Ok) {
+        std::fprintf(stderr, "[%zu] compile %s: error: %s\n", I + 1,
+                     R.SourcePath.c_str(), Resp.Error.c_str());
+        ++Failures;
+        continue;
+      }
+      const char *How = Resp.Outcome == CacheOutcome::MemoryHit
+                            ? "hit(memory)"
+                            : Resp.Outcome == CacheOutcome::DiskHit
+                                  ? "hit(disk)"
+                                  : "miss";
+      std::fprintf(stderr, "[%zu] compile %s: %s\n", I + 1,
+                   R.SourcePath.c_str(), How);
+      if (!R.OutputPath.empty()) {
+        std::ofstream Out(R.OutputPath);
+        Out << Resp.TransformedSource;
+        if (!Out.good()) {
+          std::fprintf(stderr, "[%zu] error: cannot write '%s'\n", I + 1,
+                       R.OutputPath.c_str());
+          ++Failures;
+        }
+      }
+    } else {
+      const TuneResponse &Resp = TuneResults[I];
+      if (!Resp.Ok) {
+        std::fprintf(stderr, "[%zu] tune %s: error: %s\n", I + 1,
+                     R.WorkloadSpec.c_str(), Resp.Error.c_str());
+        ++Failures;
+        continue;
+      }
+      std::fprintf(stderr, "[%zu] tune %s: %s chose %s%s\n", I + 1,
+                   R.WorkloadSpec.c_str(), tuneModeName(Resp.Result.Mode),
+                   Resp.Result.Pipeline.empty() ? "(no transformation)"
+                                                : Resp.Result.Pipeline.c_str(),
+                   Resp.CacheHit ? " [cached]" : "");
+      if (!R.TuneReportPath.empty()) {
+        TunedEntry Entry;
+        Entry.Workload = R.WorkloadSpec;
+        Entry.Mode = Resp.Result.Mode;
+        Entry.Budget = R.Budget;
+        Entry.Seed = R.Seed;
+        Entry.Pipeline = Resp.Result.Pipeline;
+        Entry.TimeUs = Resp.Result.TimeUs;
+        Entry.VmEvaluations = Resp.Result.VmEvaluations;
+        if (!writeTunedEntryFile(R.TuneReportPath, Entry)) {
+          std::fprintf(stderr, "[%zu] error: cannot write '%s'\n", I + 1,
+                       R.TuneReportPath.c_str());
+          ++Failures;
+        }
+      }
+    }
+  }
+
+  if (PrintCacheStats)
+    std::fputs(Service.statsReport().c_str(), stdout);
+  return Failures ? 1 : 0;
+}
+
 static void listPasses() {
   std::printf("pipeline grammar:  pipeline := pass (',' pass)*\n"
               "                   pass     := name ('[' param (':' param)* "
@@ -278,6 +459,10 @@ int main(int argc, char **argv) {
   TuneMode Mode = TuneMode::Hybrid;
   EmpiricalOptions TuneOpts;
   std::string WorkloadSpec, TuneReport, ProfileInPath, ProfileOutPath;
+  std::string ServePath;
+  bool PrintCacheStats = false;
+  bool HaveServiceFlag = false;
+  ServiceConfig ServiceCfg = serviceConfigFromEnv();
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -346,6 +531,30 @@ int main(int argc, char **argv) {
       ProfileInPath = Arg.substr(13);
     } else if (Arg.rfind("--profile-out=", 0) == 0) {
       ProfileOutPath = Arg.substr(14);
+    } else if (Arg.rfind("--serve=", 0) == 0) {
+      ServePath = Arg.substr(8);
+      HaveServiceFlag = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      ServiceCfg.CacheDir = Arg.substr(12);
+      HaveServiceFlag = true;
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      unsigned MiB = 0;
+      if (!parseCountFlag("--cache-bytes", Arg.substr(14), MiB))
+        return 1;
+      ServiceCfg.CacheMaxBytes = (uint64_t)MiB * 1024 * 1024;
+      HaveServiceFlag = true;
+    } else if (Arg.rfind("--service-workers=", 0) == 0) {
+      unsigned W = 0;
+      if (!parseCountFlag("--service-workers", Arg.substr(18), W))
+        return 1;
+      ServiceCfg.Workers = W;
+      HaveServiceFlag = true;
+    } else if (Arg.rfind("--tuned-dir=", 0) == 0) {
+      ServiceCfg.TunedTableDir = Arg.substr(12);
+      HaveServiceFlag = true;
+    } else if (Arg == "--cache-stats") {
+      PrintCacheStats = true;
+      HaveServiceFlag = true;
     } else if (Arg == "--calibrate") {
       Calibrate = true;
     } else if (Arg == "--print-pass-stats") {
@@ -367,6 +576,22 @@ int main(int argc, char **argv) {
       usage();
       return 1;
     }
+  }
+  if (!ServePath.empty()) {
+    if (AnyPass || !PassText.empty() || Tune || Calibrate || PrintVmStats ||
+        !Input.empty()) {
+      std::fprintf(stderr,
+                   "error: --serve= runs a request file and cannot be "
+                   "combined with per-file compile or tune flags\n");
+      return 1;
+    }
+    return runServe(ServePath, ServiceCfg, PrintCacheStats);
+  }
+  if (HaveServiceFlag) {
+    std::fprintf(stderr,
+                 "error: --cache-dir=/--cache-bytes=/--service-workers=/"
+                 "--tuned-dir=/--cache-stats require --serve=\n");
+    return 1;
   }
   if (!PassText.empty() && AnyPass) {
     std::fprintf(stderr, "error: -passes= cannot be combined with -t/-c/-a\n");

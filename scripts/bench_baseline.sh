@@ -5,7 +5,7 @@
 # results as JSON so future PRs can compare performance against this
 # baseline:
 #
-#   scripts/bench_baseline.sh [vm_output.json [compiler_output.json]]
+#   scripts/bench_baseline.sh [vm_output.json [compiler_output.json [service_output.json]]]
 #
 # Emits:
 #   BENCH_vm.json        vm_throughput (interpreter dispatch/throughput,
@@ -15,18 +15,23 @@
 #                        entries since multi-worker wall time depends on
 #                        the host's core count)
 #   BENCH_compiler.json  compiler_throughput (parse, passes, analysis cache)
+#   BENCH_service.json   service_throughput (compile-service cold/warm/
+#                        duplicate-mix/disk-warm series; the
+#                        BM_ServeBatch/{2,4} worker entries are outside
+#                        the gate like BM_GridDrain)
 #
 # Check mode (the CI regression gate): runs fresh vm_throughput and
 # compiler_throughput snapshots and compares each against its committed
 # baseline with bench_compare.py, failing on >15% per-benchmark
 # throughput regression:
 #
-#   scripts/bench_baseline.sh --check [vm_fresh.json [compiler_fresh.json]]
+#   scripts/bench_baseline.sh --check [vm_fresh.json [compiler_fresh.json [service_fresh.json]]]
 #
 # To refresh the committed baselines after an intentional perf change:
 #
 #   scripts/bench_baseline.sh bench/baselines/BENCH_vm.json \
-#                             bench/baselines/BENCH_compiler.json
+#                             bench/baselines/BENCH_compiler.json \
+#                             bench/baselines/BENCH_service.json
 #
 # Environment:
 #   BUILD_DIR              cmake build directory (default: build)
@@ -37,6 +42,8 @@
 #                          (default: bench/baselines/BENCH_vm.json)
 #   BENCH_COMPILER_BASELINE  compiler baseline JSON for --check
 #                          (default: bench/baselines/BENCH_compiler.json)
+#   BENCH_SERVICE_BASELINE  service baseline JSON for --check
+#                          (default: bench/baselines/BENCH_service.json)
 #   BENCH_CHECK_TOLERANCE  allowed regression percent (default: 15)
 #
 #===---------------------------------------------------------------------------===#
@@ -54,16 +61,20 @@ fi
 
 VM_OUT="${1:-BENCH_vm.json}"
 COMPILER_OUT="${2:-BENCH_compiler.json}"
+SERVICE_OUT="${3:-BENCH_service.json}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target vm_throughput --target compiler_throughput >/dev/null
+cmake --build "$BUILD_DIR" -j --target vm_throughput --target compiler_throughput \
+      --target service_throughput >/dev/null
 
 if [[ "$CHECK" == 1 ]]; then
   BASELINE="${BENCH_BASELINE:-bench/baselines/BENCH_vm.json}"
   COMPILER_BASELINE="${BENCH_COMPILER_BASELINE:-bench/baselines/BENCH_compiler.json}"
+  SERVICE_BASELINE="${BENCH_SERVICE_BASELINE:-bench/baselines/BENCH_service.json}"
   STATUS=0
   for PAIR in "vm_throughput:$VM_OUT:$BASELINE" \
-              "compiler_throughput:$COMPILER_OUT:$COMPILER_BASELINE"; do
+              "compiler_throughput:$COMPILER_OUT:$COMPILER_BASELINE" \
+              "service_throughput:$SERVICE_OUT:$SERVICE_BASELINE"; do
     IFS=: read -r HARNESS FRESH COMMITTED <<<"$PAIR"
     if [[ ! -f "$COMMITTED" ]]; then
       echo "bench_baseline.sh: no committed baseline at $COMMITTED" >&2
@@ -94,6 +105,13 @@ echo "wrote $VM_OUT"
   --benchmark_repetitions="${BENCH_REPS:-1}" \
   ${BENCH_ARGS:-}
 echo "wrote $COMPILER_OUT"
+
+"$BUILD_DIR/service_throughput" \
+  --benchmark_out="$SERVICE_OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-1}" \
+  ${BENCH_ARGS:-}
+echo "wrote $SERVICE_OUT"
 
 # Extend the committed performance trajectory: snapshot mode runs when
 # baselines are being refreshed, so archive this commit's vm snapshot

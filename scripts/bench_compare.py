@@ -37,12 +37,14 @@ import sys
 
 def is_multiworker(name):
     """Worker-scaling series entries above one worker: host-core-count
-    dependent, tracked for trajectory but exempt from the gate."""
+    dependent, tracked for trajectory but exempt from the gate. Covers
+    both the VM grid-drain series and the compile-service batch-drain
+    series; BM_GridDrain/1 and BM_ServeBatch/1 stay inside the gate."""
     if "/" not in name:
         return False
     base, _, arg = name.partition("/")
-    return base == "BM_GridDrain" and arg.split("/")[0].isdigit() \
-        and int(arg.split("/")[0]) > 1
+    return base in ("BM_GridDrain", "BM_ServeBatch") \
+        and arg.split("/")[0].isdigit() and int(arg.split("/")[0]) > 1
 
 
 def scaling_summary(fresh):
@@ -81,6 +83,28 @@ def decode_summary(fresh):
         overhead = series["bytecode"] / series["decoded"] - 1.0
         print(f"  full decode (pairs + traces): {overhead * 100.0:+.1f}% on "
               "top of validation alone")
+
+
+def service_summary(fresh):
+    """Warm-over-cold speedup of the compile service on the duplicate
+    request mix — the acceptance bar for the artifact cache is >=10x —
+    plus batch-drain worker scaling when the series is present."""
+    if "BM_DuplicateMixCold" in fresh and "BM_DuplicateMixWarm" in fresh:
+        cold = fresh["BM_DuplicateMixCold"][0]
+        warm = fresh["BM_DuplicateMixWarm"][0]
+        if cold > 0:
+            print("compile service (duplicate-request mix): warm cache "
+                  f"{warm / cold:.1f}x over cold")
+    series = {}
+    for name, (value, _metric) in fresh.items():
+        base, _, arg = name.partition("/")
+        workers = arg.split("/")[0]
+        if base == "BM_ServeBatch" and workers.isdigit():
+            series[int(workers)] = value
+    if 1 in series and len(series) > 1:
+        print("service batch-drain scaling (throughput vs 1 worker):")
+        for workers in sorted(series):
+            print(f"  {workers} worker(s): {series[workers] / series[1]:.2f}x")
 
 
 def throughput(entry):
@@ -145,6 +169,7 @@ def main(argv):
               f"{flag}")
     scaling_summary(fresh)
     decode_summary(fresh)
+    service_summary(fresh)
     skipped = (set(fresh) | set(base)) - set(common)
     if skipped:
         print(f"(skipped {len(skipped)} benchmark(s) present on one side "

@@ -1,0 +1,175 @@
+//===--- ArtifactCache.cpp - Content-addressed on-disk artifact store -----===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactCache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace dpo;
+
+namespace {
+
+constexpr const char *ArtifactSuffix = ".dpoart";
+
+/// One artifact file observed during an eviction scan.
+struct DirEntry {
+  fs::path Path;
+  uint64_t Size = 0;
+  fs::file_time_type MTime;
+};
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string Dir, uint64_t MaxBytes)
+    : Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
+
+std::string ArtifactCache::fileFor(const std::string &Key) const {
+  return (fs::path(Dir) / (Key + ArtifactSuffix)).string();
+}
+
+bool ArtifactCache::load(const std::string &Key, std::string &Bytes) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Dir.empty()) {
+    ++Stats.Misses;
+    return false;
+  }
+  std::ifstream In(fileFor(Key), std::ios::binary);
+  if (!In) {
+    ++Stats.Misses;
+    return false;
+  }
+  std::string Blob((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof()) {
+    ++Stats.Misses;
+    return false;
+  }
+  Bytes = std::move(Blob);
+  // Touch for LRU; best-effort (a read-only cache dir still serves hits).
+  std::error_code EC;
+  fs::last_write_time(fileFor(Key), fs::file_time_type::clock::now(), EC);
+  ++Stats.Hits;
+  return true;
+}
+
+uint64_t ArtifactCache::scanResidentBytes() const {
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Dir, EC)) {
+    if (E.path().extension() != ArtifactSuffix)
+      continue;
+    uint64_t Size = E.file_size(EC);
+    if (!EC)
+      Total += Size;
+  }
+  return Total;
+}
+
+void ArtifactCache::evictToFit(uint64_t Incoming) {
+  std::error_code EC;
+  std::vector<DirEntry> Entries;
+  uint64_t Total = 0;
+  for (const auto &E : fs::directory_iterator(Dir, EC)) {
+    if (E.path().extension() != ArtifactSuffix)
+      continue;
+    DirEntry D;
+    D.Path = E.path();
+    D.Size = E.file_size(EC);
+    if (EC)
+      continue;
+    D.MTime = E.last_write_time(EC);
+    if (EC)
+      continue;
+    Total += D.Size;
+    Entries.push_back(std::move(D));
+  }
+  if (Total + Incoming <= MaxBytes) {
+    Stats.ResidentBytes = Total;
+    return;
+  }
+  // Oldest first; path as the tie-break so eviction order is
+  // deterministic when mtimes collide (coarse filesystem clocks).
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DirEntry &A, const DirEntry &B) {
+              if (A.MTime != B.MTime)
+                return A.MTime < B.MTime;
+              return A.Path < B.Path;
+            });
+  for (const DirEntry &E : Entries) {
+    if (Total + Incoming <= MaxBytes)
+      break;
+    if (fs::remove(E.Path, EC) && !EC) {
+      Total -= E.Size;
+      ++Stats.Evictions;
+    }
+  }
+  Stats.ResidentBytes = Total;
+}
+
+bool ArtifactCache::store(const std::string &Key, std::string_view Bytes) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Dir.empty())
+    return false;
+  if (Bytes.size() > MaxBytes)
+    return false; // larger than the whole budget; caching it is pointless
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC)
+    return false;
+
+  evictToFit(Bytes.size());
+
+  // Unique-enough tmp name: keyed by this object's address + key, so two
+  // processes writing the same key race only at the atomic rename.
+  std::string Tmp = fileFor(Key) + ".tmp" + std::to_string((uintptr_t)this);
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF) {
+      return false;
+    }
+    OutF.write(Bytes.data(), (std::streamsize)Bytes.size());
+    if (!OutF.good()) {
+      OutF.close();
+      fs::remove(Tmp, EC);
+      return false;
+    }
+  }
+  fs::rename(Tmp, fileFor(Key), EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  ++Stats.Stores;
+  Stats.ResidentBytes += Bytes.size();
+  return true;
+}
+
+void ArtifactCache::remove(const std::string &Key) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (Dir.empty())
+    return;
+  std::error_code EC;
+  if (fs::remove(fileFor(Key), EC) && !EC) {
+    ++Stats.Removes;
+    Stats.ResidentBytes = scanResidentBytes();
+  }
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> G(Lock);
+  ArtifactCacheStats S = Stats;
+  // The running counter goes stale across processes (a warm run that never
+  // stores would report zero) and on same-key overwrites; the directory is
+  // the source of truth.
+  if (!Dir.empty())
+    S.ResidentBytes = scanResidentBytes();
+  return S;
+}

@@ -1,0 +1,81 @@
+//===--- ArtifactCache.h - Content-addressed on-disk artifact store -------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disk layer of the compile service's artifact cache: a directory of
+/// content-addressed blobs, one file per key (`<dir>/<key>.dpoart`),
+/// size-bounded with LRU eviction. The cache is deliberately dumb about
+/// content — it stores and returns raw bytes; the CompileService layers
+/// the versioned, checksummed artifact format on top and treats any blob
+/// that fails validation as a miss (recompile, remove, re-store).
+///
+/// Durability model: stores write to a temporary file and rename into
+/// place, so readers never observe a half-written artifact even with
+/// concurrent writers. Recency for LRU is the file mtime; loads touch it.
+/// All operations tolerate a hostile directory state (missing dir,
+/// unreadable files, files vanishing mid-scan) by degrading to a miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SERVICE_ARTIFACTCACHE_H
+#define DPO_SERVICE_ARTIFACTCACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dpo {
+
+struct ArtifactCacheStats {
+  uint64_t Hits = 0;      ///< load() found the key.
+  uint64_t Misses = 0;    ///< load() did not.
+  uint64_t Stores = 0;    ///< Successful store() calls.
+  uint64_t Evictions = 0; ///< Artifacts removed to respect MaxBytes.
+  uint64_t Removes = 0;   ///< Explicit remove() calls that deleted a file.
+  uint64_t ResidentBytes = 0; ///< Total artifact bytes after the last op.
+};
+
+class ArtifactCache {
+public:
+  /// \p Dir empty disables the cache: every load misses, stores are
+  /// dropped. Otherwise the directory is created on first store.
+  ArtifactCache(std::string Dir, uint64_t MaxBytes);
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &directory() const { return Dir; }
+  uint64_t maxBytes() const { return MaxBytes; }
+
+  /// Loads the blob stored under \p Key into \p Bytes. Returns false on
+  /// a miss (or read failure). A hit refreshes the artifact's recency.
+  bool load(const std::string &Key, std::string &Bytes);
+
+  /// Stores \p Bytes under \p Key (atomically: tmp file + rename),
+  /// evicting least-recently-used artifacts first so the directory stays
+  /// within maxBytes(). A blob larger than the bound itself is refused.
+  bool store(const std::string &Key, std::string_view Bytes);
+
+  /// Deletes \p Key's artifact if present (used when validation rejects
+  /// a corrupt blob, so the poisoned entry cannot be served again).
+  void remove(const std::string &Key);
+
+  ArtifactCacheStats stats() const;
+
+private:
+  std::string fileFor(const std::string &Key) const;
+  /// Under Lock: delete oldest artifacts until Incoming more bytes fit.
+  void evictToFit(uint64_t Incoming);
+  uint64_t scanResidentBytes() const;
+
+  std::string Dir;
+  uint64_t MaxBytes;
+  mutable std::mutex Lock;
+  ArtifactCacheStats Stats;
+};
+
+} // namespace dpo
+
+#endif // DPO_SERVICE_ARTIFACTCACHE_H

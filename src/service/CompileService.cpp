@@ -1,0 +1,722 @@
+//===--- CompileService.cpp - Persistent compile+tune session layer -------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "parse/Parser.h"
+#include "support/StringUtils.h"
+#include "transform/Pipeline.h"
+#include "tuner/TunedTable.h"
+#include "vm/BytecodeIO.h"
+#include "vm/Compiler.h"
+#include "workloads/KernelSources.h"
+#include "workloads/VmWorkload.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+using namespace dpo;
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+ServiceConfig dpo::serviceConfigFromEnv() {
+  ServiceConfig C;
+  if (const char *Dir = std::getenv("DPO_CACHE_DIR"))
+    C.CacheDir = Dir;
+  if (const char *Max = std::getenv("DPO_CACHE_MAX_BYTES")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Max, &End, 10);
+    if (End && *End == '\0' && V > 0)
+      C.CacheMaxBytes = V;
+  }
+  if (const char *W = std::getenv("DPO_SERVICE_WORKERS")) {
+    unsigned Parsed = 0;
+    if (parsePositiveU32(W, Parsed) == ParseUIntStatus::Ok)
+      C.Workers = Parsed;
+  }
+  return C;
+}
+
+unsigned CompileService::workers() const {
+  if (Config.Workers)
+    return Config.Workers;
+  if (const char *W = std::getenv("DPO_SERVICE_WORKERS")) {
+    unsigned Parsed = 0;
+    if (parsePositiveU32(W, Parsed) == ParseUIntStatus::Ok)
+      return Parsed;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(HW, 8u));
+}
+
+CompileService::CompileService(ServiceConfig ConfigIn)
+    : Config(std::move(ConfigIn)),
+      Disk(Config.CacheDir, Config.CacheMaxBytes) {}
+
+CompileService::~CompileService() = default;
+
+//===----------------------------------------------------------------------===//
+// Cache keys
+//===----------------------------------------------------------------------===//
+
+std::string CompileService::cacheKeyFor(const CompileRequest &Req,
+                                        std::string &Error) {
+  std::string Canonical;
+  if (!canonicalPipelineText(Req.Pipeline, Req.Knobs, Canonical, Error))
+    return std::string();
+
+  // Keyed material: everything that can change the artifact's bytes.
+  // Versions are included so a format bump is a clean cache miss, not a
+  // poisoned load.
+  std::string Material;
+  Material += "artifact-v" + std::to_string(ArtifactFormatVersion);
+  Material += "|bytecode-v" + std::to_string(BytecodeFormatVersion);
+  Material += "|opt=";
+  Material += Req.OptimizeBytecode ? '1' : '0';
+  Material += "|pipeline=" + Canonical;
+  Material += "|knobs=" + knobSignature(Req.Knobs);
+  Material += "|source=";
+  Material += Req.Source;
+
+  // Two independent 64-bit FNV streams give a 128-bit content address —
+  // short enough for a file name, wide enough that distinct requests
+  // do not collide in practice.
+  uint64_t H0 = fnv1a64(Material);
+  uint64_t H1 = fnv1a64(Material, 0x9e3779b97f4a7c15ull);
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64 "%016" PRIx64, H0, H1);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact container: "DPOA" + versions + transformed source + optional
+// bytecode image (BytecodeIO's own framed format) + trailing checksum.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char ArtifactMagic[4] = {'D', 'P', 'O', 'A'};
+
+void putU32(std::string &S, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    S.push_back((char)((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &S, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    S.push_back((char)((V >> (8 * I)) & 0xff));
+}
+
+bool getU32(std::string_view S, size_t &Pos, uint32_t &V) {
+  if (Pos + 4 > S.size())
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= (uint32_t)(uint8_t)S[Pos + I] << (8 * I);
+  Pos += 4;
+  return true;
+}
+
+bool getU64(std::string_view S, size_t &Pos, uint64_t &V) {
+  if (Pos + 8 > S.size())
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= (uint64_t)(uint8_t)S[Pos + I] << (8 * I);
+  Pos += 8;
+  return true;
+}
+
+} // namespace
+
+std::string CompileService::encodeArtifact(const MemEntry &E) {
+  std::string Blob;
+  Blob.append(ArtifactMagic, sizeof(ArtifactMagic));
+  putU32(Blob, ArtifactFormatVersion);
+  putU32(Blob, E.Program ? 1u : 0u); // flags: bit0 = has bytecode image
+  putU64(Blob, E.TransformedSource.size());
+  Blob += E.TransformedSource;
+  if (E.Program) {
+    std::string Image = serializeVmProgram(*E.Program);
+    putU64(Blob, Image.size());
+    Blob += Image;
+  }
+  // Whole-blob checksum (covers everything before it): cheap end-to-end
+  // integrity for the source half; the program image adds its own.
+  putU64(Blob, fnv1a64(Blob));
+  return Blob;
+}
+
+bool CompileService::decodeArtifact(std::string_view Blob, MemEntry &Out,
+                                    std::string &Error) {
+  if (Blob.size() < sizeof(ArtifactMagic) + 8 ||
+      std::memcmp(Blob.data(), ArtifactMagic, sizeof(ArtifactMagic)) != 0) {
+    Error = "not a dpopt artifact (bad magic)";
+    return false;
+  }
+  size_t Body = Blob.size() - 8;
+  size_t Pos = Body;
+  uint64_t Checksum = 0;
+  getU64(Blob, Pos, Checksum);
+  if (fnv1a64(Blob.substr(0, Body)) != Checksum) {
+    Error = "artifact checksum mismatch (corrupt or truncated)";
+    return false;
+  }
+  Pos = sizeof(ArtifactMagic);
+  uint32_t Version = 0, Flags = 0;
+  uint64_t SrcLen = 0;
+  if (!getU32(Blob, Pos, Version) || !getU32(Blob, Pos, Flags) ||
+      !getU64(Blob, Pos, SrcLen)) {
+    Error = "truncated artifact header";
+    return false;
+  }
+  if (Version != ArtifactFormatVersion) {
+    Error = "artifact format version " + std::to_string(Version) +
+            " (expected " + std::to_string(ArtifactFormatVersion) + ")";
+    return false;
+  }
+  if (Flags & ~1u) {
+    Error = "unknown artifact flags";
+    return false;
+  }
+  if (Pos + SrcLen > Body) {
+    Error = "truncated artifact source";
+    return false;
+  }
+  MemEntry E;
+  E.TransformedSource = std::string(Blob.substr(Pos, SrcLen));
+  Pos += SrcLen;
+  if (Flags & 1) {
+    uint64_t ImageLen = 0;
+    if (!getU64(Blob, Pos, ImageLen) || Pos + ImageLen > Body) {
+      Error = "truncated artifact image";
+      return false;
+    }
+    VmProgram Program;
+    if (!deserializeVmProgram(Blob.substr(Pos, ImageLen), Program, Error))
+      return false;
+    Pos += ImageLen;
+    E.Program = std::make_shared<const VmProgram>(std::move(Program));
+  }
+  if (Pos != Body) {
+    Error = "trailing bytes in artifact";
+    return false;
+  }
+  Out = std::move(E);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Compile path
+//===----------------------------------------------------------------------===//
+
+bool CompileService::compileUncached(const CompileRequest &Req, MemEntry &Out,
+                                     std::string &Error) const {
+  std::string Source(Req.Source);
+  if (!Req.Pipeline.empty()) {
+    DiagnosticEngine Diags;
+    Source = transformSourceWithPipeline(Req.Source, Req.Pipeline, Req.Knobs,
+                                         Diags);
+    if (Source.empty()) {
+      Error = "pipeline '" + Req.Pipeline + "' failed: " + Diags.str();
+      return false;
+    }
+  }
+  Out.TransformedSource = std::move(Source);
+
+  if (Req.WantBytecode) {
+    DiagnosticEngine Diags;
+    ASTContext Ctx;
+    TranslationUnit *TU = parseSource(Out.TransformedSource, Ctx, Diags);
+    VmCompileOptions Opts;
+    Opts.OptimizeBytecode = Req.OptimizeBytecode;
+    VmProgram Program;
+    if (TU)
+      Program = compileProgram(TU, Diags, Opts);
+    if (!TU || Diags.hasErrors()) {
+      Error = "bytecode compile failed: " + Diags.str();
+      return false;
+    }
+    Out.Program = std::make_shared<const VmProgram>(std::move(Program));
+  }
+  return true;
+}
+
+CompileResponse CompileService::compile(const CompileRequest &Req) {
+  CompileResponse Resp;
+  std::string KeyError;
+  Resp.Key = cacheKeyFor(Req, KeyError);
+  if (Resp.Key.empty()) {
+    Resp.Error = "invalid pass pipeline: " + KeyError;
+    std::lock_guard<std::mutex> G(Lock);
+    ++Stats.Requests;
+    return Resp;
+  }
+
+  // Fast path + single flight: under the lock, either serve the memory
+  // entry, or wait for the in-flight compile of this key, or claim it.
+  {
+    std::unique_lock<std::mutex> G(Lock);
+    ++Stats.Requests;
+    while (true) {
+      auto It = Memory.find(Resp.Key);
+      if (It != Memory.end()) {
+        bool NeedsProgram = Req.WantBytecode && !It->second.Program;
+        if (!NeedsProgram) {
+          ++Stats.MemoryHits;
+          Resp.Ok = true;
+          Resp.Outcome = CacheOutcome::MemoryHit;
+          Resp.TransformedSource = It->second.TransformedSource;
+          Resp.Program = It->second.Program;
+          return Resp;
+        }
+        // The cached entry lacks the program image this request wants;
+        // fall through and upgrade it (still skipping the transform).
+      }
+      if (!InFlight.count(Resp.Key))
+        break;
+      KeyDone.wait(G);
+    }
+    InFlight.insert(Resp.Key);
+  }
+
+  // Slow path, no locks: disk probe, then compile (or upgrade).
+  MemEntry Entry;
+  bool HaveEntry = false;
+  bool FromDisk = false;
+  bool Corrupt = false;
+  std::string DiskBlob;
+  if (Disk.load(Resp.Key, DiskBlob)) {
+    std::string DecodeError;
+    if (decodeArtifact(DiskBlob, Entry, DecodeError)) {
+      HaveEntry = true;
+      FromDisk = true;
+    } else {
+      // Corruption-safe load: diagnose, drop the poisoned blob, and
+      // recompile from source. Never abort, never serve bad bytes.
+      std::fprintf(stderr,
+                   "dpopt-service: discarding cached artifact %s: %s\n",
+                   Resp.Key.c_str(), DecodeError.c_str());
+      Disk.remove(Resp.Key);
+      Corrupt = true;
+    }
+  }
+
+  // Memory had a source-only entry and the request wants bytecode too:
+  // reuse the transformed source, compile only the program half.
+  std::string UpgradeSource;
+  if (!HaveEntry) {
+    std::lock_guard<std::mutex> G(Lock);
+    auto It = Memory.find(Resp.Key);
+    if (It != Memory.end())
+      UpgradeSource = It->second.TransformedSource;
+  }
+
+  bool NeedsProgram = Req.WantBytecode && !Entry.Program;
+  std::string CompileError;
+  bool Ok = true;
+  if (!HaveEntry && !UpgradeSource.empty()) {
+    CompileRequest Precompiled = Req;
+    Precompiled.Source = UpgradeSource;
+    Precompiled.Pipeline.clear(); // transform already applied
+    Ok = compileUncached(Precompiled, Entry, CompileError);
+    HaveEntry = Ok;
+  } else if (!HaveEntry) {
+    Ok = compileUncached(Req, Entry, CompileError);
+    HaveEntry = Ok;
+  } else if (NeedsProgram) {
+    CompileRequest Precompiled = Req;
+    Precompiled.Source = Entry.TransformedSource;
+    Precompiled.Pipeline.clear();
+    MemEntry Upgraded;
+    Ok = compileUncached(Precompiled, Upgraded, CompileError);
+    if (Ok)
+      Entry = std::move(Upgraded);
+  }
+
+  // Persist: anything freshly compiled (or upgraded) goes to disk so the
+  // next process starts warm.
+  if (Ok && (!FromDisk || NeedsProgram))
+    Disk.store(Resp.Key, encodeArtifact(Entry));
+
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    if (Ok) {
+      Memory[Resp.Key] = Entry;
+      if (FromDisk)
+        ++Stats.DiskHits;
+      else if (!UpgradeSource.empty())
+        ++Stats.MemoryHits; // transform reused; only the lowering ran
+      else
+        ++Stats.Misses;
+    } else {
+      ++Stats.Misses;
+    }
+    if (Corrupt)
+      ++Stats.CorruptArtifacts;
+    InFlight.erase(Resp.Key);
+    KeyDone.notify_all();
+  }
+
+  if (!Ok) {
+    Resp.Error = CompileError;
+    return Resp;
+  }
+  Resp.Ok = true;
+  Resp.Outcome = FromDisk ? CacheOutcome::DiskHit : CacheOutcome::Miss;
+  Resp.TransformedSource = Entry.TransformedSource;
+  Resp.Program = Entry.Program;
+  return Resp;
+}
+
+std::vector<CompileResponse>
+CompileService::compileBatch(const std::vector<CompileRequest> &Reqs) {
+  std::vector<CompileResponse> Out(Reqs.size());
+  unsigned N = std::min<unsigned>(workers(), (unsigned)Reqs.size());
+  if (N <= 1) {
+    for (size_t I = 0; I < Reqs.size(); ++I)
+      Out[I] = compile(Reqs[I]);
+    return Out;
+  }
+  // Atomic work-claiming drain: responses land positionally, so the
+  // result order — and every per-key artifact, via the single-flight
+  // compile path — is deterministic at any worker count.
+  std::atomic<size_t> Next{0};
+  auto Work = [&]() {
+    while (true) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Reqs.size())
+        return;
+      Out[I] = compile(Reqs[I]);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(N);
+  for (unsigned T = 0; T < N; ++T)
+    Pool.emplace_back(Work);
+  for (std::thread &T : Pool)
+    T.join();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Tune path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tune results cache as a small key=value text blob (stored through the
+/// same ArtifactCache, under a "tune-" prefixed key).
+std::string encodeTuneResult(const EmpiricalTuneResult &R) {
+  std::ostringstream S;
+  S << "dpo-tune-result v1\n";
+  S << "mode " << tuneModeName(R.Mode) << '\n';
+  S << "pipeline " << R.Pipeline << '\n';
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", R.TimeUs);
+  S << "timeus " << Buf << '\n';
+  S << "evals " << R.VmEvaluations << '\n';
+  S << "simprobes " << R.SimProbes << '\n';
+  return S.str();
+}
+
+bool decodeTuneResult(std::string_view Text, EmpiricalTuneResult &R,
+                      std::string &Error) {
+  std::istringstream S{std::string(Text)};
+  std::string Line;
+  if (!std::getline(S, Line) || Line != "dpo-tune-result v1") {
+    Error = "bad tune-result header";
+    return false;
+  }
+  EmpiricalTuneResult Out;
+  bool SawMode = false, SawPipeline = false;
+  while (std::getline(S, Line)) {
+    if (Line.empty())
+      continue;
+    size_t Space = Line.find(' ');
+    std::string Key = Line.substr(0, Space);
+    std::string Value =
+        Space == std::string::npos ? std::string() : Line.substr(Space + 1);
+    if (Key == "mode") {
+      if (!parseTuneMode(Value, Out.Mode)) {
+        Error = "bad tune mode '" + Value + "'";
+        return false;
+      }
+      SawMode = true;
+    } else if (Key == "pipeline") {
+      Out.Pipeline = Value;
+      SawPipeline = true;
+    } else if (Key == "timeus") {
+      Out.TimeUs = std::strtod(Value.c_str(), nullptr);
+    } else if (Key == "evals") {
+      Out.VmEvaluations = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+    } else if (Key == "simprobes") {
+      Out.SimProbes = (unsigned)std::strtoul(Value.c_str(), nullptr, 10);
+    } // unknown keys: forward compatibility
+  }
+  if (!SawMode || !SawPipeline) {
+    Error = "tune result missing mode/pipeline";
+    return false;
+  }
+  if (!execConfigFromPipelineText(Out.Pipeline, Out.Config)) {
+    Error = "tune result pipeline outside ExecConfig vocabulary";
+    return false;
+  }
+  R = std::move(Out);
+  return true;
+}
+
+} // namespace
+
+TuneResponse CompileService::tune(const TuneRequest &Req) {
+  TuneResponse Resp;
+  std::string Spec =
+      Req.WorkloadSpec.empty() ? std::string("canonical") : Req.WorkloadSpec;
+
+  // Tune cache key: the full determinism envelope of a search.
+  std::string Material = "tune|spec=" + Spec;
+  Material += "|mode=" + std::string(tuneModeName(Req.Mode));
+  Material += "|budget=" + std::to_string(Req.Opts.Budget);
+  Material += "|seed=" + std::to_string(Req.Opts.Seed);
+  Material += "|batches=" + std::to_string(Req.Opts.SampleBatches);
+  Material += "|units=" + std::to_string(Req.Opts.MaxSampleUnits);
+  Material += "|warm=";
+  Material += Req.WarmStart ? '1' : '0';
+  uint64_t H0 = fnv1a64(Material);
+  uint64_t H1 = fnv1a64(Material, 0x9e3779b97f4a7c15ull);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "tune-%016" PRIx64 "%016" PRIx64, H0, H1);
+  Resp.Key = Buf;
+
+  {
+    // Single-flight, sharing the compile path's machinery (the "tune-"
+    // key prefix keeps the namespaces disjoint): concurrent identical
+    // tune requests run the search once; the rest wait and reuse it.
+    std::unique_lock<std::mutex> G(Lock);
+    ++Stats.TuneRequests;
+    while (true) {
+      auto It = TuneMemory.find(Resp.Key);
+      if (It != TuneMemory.end()) {
+        ++Stats.TuneCacheHits;
+        TuneResponse Cached = It->second;
+        Cached.Key = Resp.Key;
+        Cached.CacheHit = true;
+        return Cached;
+      }
+      if (!InFlight.count(Resp.Key)) {
+        InFlight.insert(Resp.Key);
+        break;
+      }
+      KeyDone.wait(G);
+    }
+  }
+  // From here on every exit must release the in-flight claim.
+  auto Release = [&]() {
+    std::lock_guard<std::mutex> G(Lock);
+    InFlight.erase(Resp.Key);
+    KeyDone.notify_all();
+  };
+  std::string DiskBlob;
+  if (Disk.load(Resp.Key, DiskBlob)) {
+    std::string DecodeError;
+    EmpiricalTuneResult Cached;
+    if (decodeTuneResult(DiskBlob, Cached, DecodeError)) {
+      Resp.Ok = true;
+      Resp.CacheHit = true;
+      Resp.Result = std::move(Cached);
+      std::lock_guard<std::mutex> G(Lock);
+      ++Stats.TuneCacheHits;
+      TuneResponse Memo = Resp;
+      Memo.CacheHit = false; // memory hits re-mark on the way out
+      TuneMemory[Resp.Key] = Memo;
+      InFlight.erase(Resp.Key);
+      KeyDone.notify_all();
+      return Resp;
+    }
+    std::fprintf(stderr,
+                 "dpopt-service: discarding cached tune result %s: %s\n",
+                 Resp.Key.c_str(), DecodeError.c_str());
+    Disk.remove(Resp.Key);
+    std::lock_guard<std::mutex> G(Lock);
+    ++Stats.CorruptArtifacts;
+  }
+
+  // Cold search. Resolve the workload.
+  VmWorkload Workload;
+  if (Spec == "canonical") {
+    Workload = canonicalTuneWorkload(Req.Opts.Seed);
+  } else {
+    BenchCase Case;
+    std::string SpecError;
+    if (!parseWorkloadSpec(Spec, Case, SpecError)) {
+      Resp.Error = "bad workload spec '" + Spec + "': " + SpecError;
+      Release(); // errors are not memoized: a retry gets a fresh attempt
+      return Resp;
+    }
+    Workload = kernelVmWorkload(Case);
+  }
+
+  EmpiricalOptions Opts = Req.Opts;
+  if (Req.WarmStart && !Config.TunedTableDir.empty() &&
+      Req.Mode != TuneMode::Analytic) {
+    // Seed the search from the committed tuned table for this workload,
+    // when one exists and its pipeline is ExecConfig-representable.
+    std::string TablePath =
+        (std::filesystem::path(Config.TunedTableDir) / tunedTableFileName(Spec))
+            .string();
+    TunedEntry Entry;
+    std::string LoadError;
+    ExecConfig Seed;
+    if (loadTunedEntryFile(TablePath, Entry, LoadError) &&
+        execConfigFromPipelineText(Entry.Pipeline, Seed)) {
+      Opts.WarmStart = Seed;
+      std::lock_guard<std::mutex> G(Lock);
+      ++Stats.TuneWarmStarts;
+    }
+  }
+
+  GpuModel Gpu;
+  VariantMask Full;
+  Full.Thresholding = Full.Coarsening = Full.Aggregation = true;
+  Resp.Result = tuneWorkload(Req.Mode, Gpu, Workload, Full, Opts);
+  Resp.Ok = true;
+
+  Disk.store(Resp.Key, encodeTuneResult(Resp.Result));
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    TuneMemory[Resp.Key] = Resp;
+    InFlight.erase(Resp.Key);
+    KeyDone.notify_all();
+  }
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+ServiceStats CompileService::stats() const {
+  ServiceStats S;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    S = Stats;
+  }
+  ArtifactCacheStats D = Disk.stats();
+  S.DiskStores = D.Stores;
+  S.Evictions = D.Evictions;
+  S.ResidentBytes = D.ResidentBytes;
+  return S;
+}
+
+std::string CompileService::statsReport() const {
+  ServiceStats S = stats();
+  std::ostringstream Out;
+  Out << "cache stats:\n";
+  Out << "  requests          " << S.Requests << '\n';
+  Out << "  memory hits       " << S.MemoryHits << '\n';
+  Out << "  disk hits         " << S.DiskHits << '\n';
+  Out << "  misses            " << S.Misses << '\n';
+  Out << "  corrupt artifacts " << S.CorruptArtifacts << '\n';
+  Out << "  disk stores       " << S.DiskStores << '\n';
+  Out << "  evictions         " << S.Evictions << '\n';
+  Out << "  resident bytes    " << S.ResidentBytes << '\n';
+  Out << "  tune requests     " << S.TuneRequests << '\n';
+  Out << "  tune cache hits   " << S.TuneCacheHits << '\n';
+  Out << "  tune warm starts  " << S.TuneWarmStarts << '\n';
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// --serve request files
+//===----------------------------------------------------------------------===//
+
+bool dpo::parseServeRequests(std::string_view Text,
+                             std::vector<ServeRequest> &Out,
+                             std::string &Error) {
+  std::istringstream In{std::string(Text)};
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    // Trim + skip comments/blanks.
+    size_t Begin = Line.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos || Line[Begin] == '#')
+      continue;
+    size_t Last = Line.find_last_not_of(" \t\r");
+    std::string Body = Line.substr(Begin, Last - Begin + 1);
+
+    std::istringstream Fields(Body);
+    std::string Verb;
+    Fields >> Verb;
+    ServeRequest R;
+    R.Line = LineNo;
+
+    auto Fail = [&](const std::string &Why) {
+      Error = "line " + std::to_string(LineNo) + ": " + Why;
+      return false;
+    };
+
+    if (Verb == "compile")
+      R.Kind = ServeRequest::Compile;
+    else if (Verb == "tune")
+      R.Kind = ServeRequest::Tune;
+    else
+      return Fail("unknown verb '" + Verb + "' (expected compile or tune)");
+
+    std::string Field;
+    while (Fields >> Field) {
+      size_t Eq = Field.find('=');
+      if (Eq == std::string::npos)
+        return Fail("malformed field '" + Field + "' (expected key=value)");
+      std::string Key = Field.substr(0, Eq);
+      std::string Value = Field.substr(Eq + 1);
+      if (R.Kind == ServeRequest::Compile) {
+        if (Key == "src")
+          R.SourcePath = Value;
+        else if (Key == "passes")
+          R.Pipeline = Value;
+        else if (Key == "out")
+          R.OutputPath = Value;
+        else if (Key == "bytecode")
+          R.WantBytecode = Value == "1" || Value == "true";
+        else
+          return Fail("unknown compile field '" + Key + "'");
+      } else {
+        if (Key == "workload")
+          R.WorkloadSpec = Value;
+        else if (Key == "mode") {
+          if (!parseTuneMode(Value, R.Mode))
+            return Fail("unknown tune mode '" + Value + "'");
+        } else if (Key == "budget") {
+          if (parsePositiveU32(Value, R.Budget) != ParseUIntStatus::Ok)
+            return Fail("bad budget '" + Value + "'");
+        } else if (Key == "seed") {
+          if (parsePositiveU32(Value, R.Seed) != ParseUIntStatus::Ok)
+            return Fail("bad seed '" + Value + "'");
+        } else if (Key == "warm")
+          R.WarmStart = Value == "1" || Value == "true";
+        else if (Key == "out")
+          R.TuneReportPath = Value;
+        else
+          return Fail("unknown tune field '" + Key + "'");
+      }
+    }
+    if (R.Kind == ServeRequest::Compile && R.SourcePath.empty())
+      return Fail("compile requires src=FILE");
+    if (R.Kind == ServeRequest::Tune && R.WorkloadSpec.empty())
+      return Fail("tune requires workload=SPEC");
+    Out.push_back(std::move(R));
+  }
+  return true;
+}

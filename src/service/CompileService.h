@@ -1,0 +1,245 @@
+//===--- CompileService.h - Persistent compile+tune session layer ---------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compilation-as-a-service: the reusable session layer behind
+/// `dpoptcc --serve` and the service-throughput bench. One CompileService
+/// owns the pass registry view, an in-memory artifact map, and a
+/// content-addressed on-disk ArtifactCache, and serves compile and tune
+/// requests from them:
+///
+///  - compile(): source + textual pipeline + knob config -> transformed
+///    source and (when requested) a compiled VmProgram, keyed by a stable
+///    content hash of (source, canonical pipeline text, knob signature,
+///    bytecode format version, peephole flag). Repeat requests cost one
+///    cache probe; on-disk artifacts survive the process and warm the
+///    next one. Corrupt/truncated/stale-version artifacts degrade to a
+///    clean recompile with a diagnostic, never an abort.
+///  - compileBatch(): many requests drained concurrently on a worker
+///    pool; responses come back in request order and per-request stat
+///    shards are merged in request order, so totals are deterministic at
+///    every worker count.
+///  - tune(): autotune requests with result caching and optional
+///    warm-starting from committed bench/tuned/ tables and previously
+///    cached tune results (EmpiricalOptions::WarmStart; strictly opt-in,
+///    so recorded searches stay reproducible).
+///
+/// Concurrency: every entry point is thread-safe. Concurrent requests for
+/// the same key are single-flighted — one compiles, the rest wait and
+/// share the artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DPO_SERVICE_COMPILESERVICE_H
+#define DPO_SERVICE_COMPILESERVICE_H
+
+#include "service/ArtifactCache.h"
+#include "transform/PassManager.h"
+#include "tuner/Empirical.h"
+#include "vm/Bytecode.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpo {
+
+/// Version of the *artifact container* (the blob wrapping transformed
+/// source + optional program image). Independent of BytecodeFormatVersion,
+/// which versions the embedded program image; both fold into cache keys.
+constexpr uint32_t ArtifactFormatVersion = 1;
+
+struct ServiceConfig {
+  /// Artifact-cache directory; empty disables the disk layer (the
+  /// in-memory map still works). serviceConfigFromEnv() reads
+  /// DPO_CACHE_DIR.
+  std::string CacheDir;
+  /// Disk-cache size bound (LRU eviction). DPO_CACHE_MAX_BYTES.
+  uint64_t CacheMaxBytes = 256ull << 20;
+  /// Workers for compileBatch(). 0 = auto: DPO_SERVICE_WORKERS env, else
+  /// hardware concurrency capped at 8.
+  unsigned Workers = 0;
+  /// Directory of committed tuned tables used to warm-start tune
+  /// requests (bench/tuned/ in the repo). Empty disables table seeding.
+  std::string TunedTableDir;
+};
+
+/// ServiceConfig with CacheDir/CacheMaxBytes/Workers taken from the
+/// DPO_CACHE_DIR / DPO_CACHE_MAX_BYTES / DPO_SERVICE_WORKERS environment.
+ServiceConfig serviceConfigFromEnv();
+
+struct CompileRequest {
+  /// Label for reports and batch output (e.g. the input path).
+  std::string Name;
+  std::string Source;
+  /// Textual pass pipeline ("" = emit the source untransformed).
+  std::string Pipeline;
+  /// Knob defaults backing the pipeline text (spellings, profile, ...).
+  PassPipelineConfig Knobs;
+  /// Also lower to VM bytecode and embed the image in the artifact.
+  /// Requires knobs the VM can execute (literal spellings — the VM has
+  /// no preprocessor for knob macros).
+  bool WantBytecode = false;
+  /// Peephole-optimize the bytecode (part of the cache key).
+  bool OptimizeBytecode = true;
+};
+
+enum class CacheOutcome : uint8_t {
+  Miss,      ///< Fully compiled in this call.
+  MemoryHit, ///< Served from this service's in-memory map.
+  DiskHit,   ///< Loaded (and validated) from the on-disk cache.
+};
+
+struct CompileResponse {
+  bool Ok = false;
+  std::string Error;
+  std::string Key; ///< Content-address of the artifact.
+  CacheOutcome Outcome = CacheOutcome::Miss;
+  std::string TransformedSource;
+  /// Compiled program when the request asked for bytecode. Shared:
+  /// concurrent requests for one key get the same immutable image.
+  std::shared_ptr<const VmProgram> Program;
+};
+
+struct TuneRequest {
+  /// Workload spec: "canonical" (or empty) for the canonical nested
+  /// workload, else a Table I spec like "bfs:road_ny" (parseWorkloadSpec).
+  std::string WorkloadSpec;
+  TuneMode Mode = TuneMode::Hybrid;
+  EmpiricalOptions Opts;
+  /// Seed the search from committed tuned tables (ServiceConfig::
+  /// TunedTableDir) via EmpiricalOptions::WarmStart. Opt-in.
+  bool WarmStart = false;
+};
+
+struct TuneResponse {
+  bool Ok = false;
+  std::string Error;
+  std::string Key;
+  bool CacheHit = false; ///< Served from the tune-result cache.
+  EmpiricalTuneResult Result;
+};
+
+/// Aggregate counters across the service's lifetime. Batch drains merge
+/// per-request shards in request order, so these are deterministic for a
+/// given request sequence at any worker count (eviction aside: evictions
+/// depend on store order once the disk bound is hit).
+struct ServiceStats {
+  uint64_t Requests = 0;
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t Misses = 0;        ///< Requests that ran the full compile.
+  uint64_t CorruptArtifacts = 0; ///< Disk blobs rejected by validation.
+  uint64_t TuneRequests = 0;
+  uint64_t TuneCacheHits = 0;
+  uint64_t TuneWarmStarts = 0; ///< Searches seeded from a tuned table.
+  /// Disk-layer counters (ArtifactCache).
+  uint64_t DiskStores = 0;
+  uint64_t Evictions = 0;
+  uint64_t ResidentBytes = 0;
+};
+
+class CompileService {
+public:
+  explicit CompileService(ServiceConfig Config = {});
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  const ServiceConfig &config() const { return Config; }
+
+  /// The content-address of \p Req: a 128-bit hex hash over the
+  /// preprocessed source, the *canonical* pipeline text (parse +
+  /// re-render, so equivalent spellings alias), the knob signature, the
+  /// bytecode format + artifact container versions, and the peephole
+  /// flag. Returns "" (with \p Error) when the pipeline fails to parse.
+  static std::string cacheKeyFor(const CompileRequest &Req,
+                                 std::string &Error);
+
+  CompileResponse compile(const CompileRequest &Req);
+
+  /// Drains \p Reqs on min(config workers, #requests) threads. Responses
+  /// are positionally aligned with \p Reqs; stat shards merge in request
+  /// order.
+  std::vector<CompileResponse> compileBatch(
+      const std::vector<CompileRequest> &Reqs);
+
+  TuneResponse tune(const TuneRequest &Req);
+
+  /// Effective batch worker count (resolves the 0 = auto rule).
+  unsigned workers() const;
+
+  ServiceStats stats() const;
+  /// The --cache-stats text: one aligned line per counter.
+  std::string statsReport() const;
+
+private:
+  struct MemEntry {
+    std::string TransformedSource;
+    std::shared_ptr<const VmProgram> Program;
+  };
+
+  /// The compile-and-encode slow path (no locks held).
+  bool compileUncached(const CompileRequest &Req, MemEntry &Out,
+                       std::string &Error) const;
+  /// Artifact container encode/decode (wraps BytecodeIO for the image).
+  static std::string encodeArtifact(const MemEntry &E);
+  static bool decodeArtifact(std::string_view Blob, MemEntry &Out,
+                             std::string &Error);
+
+  ServiceConfig Config;
+  ArtifactCache Disk;
+
+  mutable std::mutex Lock;
+  std::condition_variable KeyDone;
+  std::map<std::string, MemEntry> Memory;
+  std::set<std::string> InFlight;
+  std::map<std::string, TuneResponse> TuneMemory;
+  ServiceStats Stats;
+};
+
+//===----------------------------------------------------------------------===//
+// Request-list files (`dpoptcc --serve=FILE`)
+//===----------------------------------------------------------------------===//
+
+/// One parsed line of a --serve request file.
+struct ServeRequest {
+  enum Kind { Compile, Tune } Kind = Compile;
+  // Compile fields.
+  std::string SourcePath;
+  std::string Pipeline;
+  std::string OutputPath; ///< Empty = don't write the transformed source.
+  bool WantBytecode = false;
+  // Tune fields.
+  std::string WorkloadSpec;
+  TuneMode Mode = TuneMode::Hybrid;
+  unsigned Budget = 48;
+  unsigned Seed = 1;
+  bool WarmStart = false;
+  std::string TuneReportPath;
+  unsigned Line = 0; ///< 1-based source line, for diagnostics.
+};
+
+/// Parses the line-based --serve request format:
+///
+///   # comment / blank lines ignored
+///   compile src=FILE [passes=PIPELINE] [bytecode=1] [out=FILE]
+///   tune workload=SPEC [mode=analytic|empirical|hybrid] [budget=N]
+///        [seed=N] [warm=1] [out=FILE]
+///
+/// Returns false with \p Error naming the offending line.
+bool parseServeRequests(std::string_view Text,
+                        std::vector<ServeRequest> &Out, std::string &Error);
+
+} // namespace dpo
+
+#endif // DPO_SERVICE_COMPILESERVICE_H

@@ -8,6 +8,7 @@
 
 #include "ast/ASTPrinter.h"
 #include "parse/Parser.h"
+#include "profile/Profile.h"
 
 using namespace dpo;
 
@@ -119,4 +120,68 @@ std::string dpo::transformSourceWithPipeline(std::string_view Source,
   if (!Ok)
     return std::string();
   return printTranslationUnit(TU);
+}
+
+bool dpo::canonicalPipelineText(std::string_view PipelineText,
+                                const PassPipelineConfig &Config,
+                                std::string &Canonical, std::string &Error) {
+  if (PipelineText.empty()) {
+    Canonical.clear();
+    return true;
+  }
+  PassManager PM;
+  if (!parsePassPipeline(PM, PipelineText, Config, Error))
+    return false;
+  Canonical = PM.pipelineText();
+  return true;
+}
+
+namespace {
+
+const char *spellingName(KnobSpelling S) {
+  return S == KnobSpelling::Macro ? "macro" : "literal";
+}
+
+} // namespace
+
+std::string dpo::knobSignature(const PassPipelineConfig &Config) {
+  std::string S;
+  auto Field = [&](const char *Key, const std::string &Value) {
+    S += Key;
+    S += '=';
+    S += Value;
+    S += ';';
+  };
+  const ThresholdingOptions &T = Config.Thresholding;
+  Field("thr", std::to_string(T.Threshold));
+  Field("thr.spell", spellingName(T.Spelling));
+  Field("thr.macro", T.MacroName);
+  Field("thr.fallback", T.FallbackToTotalThreads ? "1" : "0");
+  Field("thr.profile", T.UseProfile ? "1" : "0");
+  const CoarseningOptions &C = Config.Coarsening;
+  Field("cf", std::to_string(C.Factor));
+  Field("cf.spell", spellingName(C.Spelling));
+  Field("cf.macro", C.MacroName);
+  Field("cf.profile", C.UseProfile ? "1" : "0");
+  const SpeculationOptions &Sp = Config.Speculation;
+  Field("spec", std::to_string(Sp.MaxThreads));
+  Field("spec.spell", spellingName(Sp.Spelling));
+  Field("spec.macro", Sp.MacroName);
+  Field("spec.profile", Sp.UseProfile ? "1" : "0");
+  const AggregationOptions &A = Config.Aggregation;
+  Field("agg", aggGranularityName(A.Granularity));
+  Field("agg.group", std::to_string(A.GroupSize));
+  Field("agg.spell", spellingName(A.Spelling));
+  Field("agg.macro", A.GroupSizeMacroName);
+  Field("agg.thr", A.UseAggregationThreshold
+                       ? std::to_string(A.AggregationThreshold)
+                       : std::string("off"));
+  Field("agg.thrmacro", A.AggThresholdMacroName);
+  Field("agg.wrapper", A.EmitHostWrapper ? "1" : "0");
+  // A profile changes what profile-mode passes emit; hash its canonical
+  // textual serialization so distinct profiles never alias. (Passes copy
+  // the per-option Profile pointers from this one in pipeline parsing.)
+  Field("profile",
+        Config.Profile ? serializeProfile(*Config.Profile) : std::string());
+  return S;
 }

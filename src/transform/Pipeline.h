@@ -108,6 +108,23 @@ std::string transformSourceWithPipeline(std::string_view Source,
                                         DiagnosticEngine &Diags,
                                         std::string *StatsReport = nullptr);
 
+/// Canonicalizes \p PipelineText by parsing it against \p Config and
+/// re-rendering via PassManager::pipelineText(), so differently-spelled
+/// but equivalent pipelines ("threshold[128]" written with default knobs
+/// vs. spelled out) hash to the same artifact-cache key. Returns false
+/// with \p Error on a parse failure. An empty pipeline canonicalizes to
+/// the empty string.
+bool canonicalPipelineText(std::string_view PipelineText,
+                           const PassPipelineConfig &Config,
+                           std::string &Canonical, std::string &Error);
+
+/// A deterministic textual rendering of every knob in \p Config that can
+/// change a pass's output (thresholds, factors, spellings, aggregation
+/// shape, speculation, and whether a profile is attached — profiles are
+/// content-hashed via their textual serialization). The service layer
+/// folds this into artifact-cache keys so knob changes never alias.
+std::string knobSignature(const PassPipelineConfig &Config);
+
 } // namespace dpo
 
 #endif // DPO_TRANSFORM_PIPELINE_H

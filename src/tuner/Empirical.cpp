@@ -229,29 +229,9 @@ bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
   }
 
   for (unsigned I = 0; I < Resource; ++I) {
-    const NestedBatch &B = Sample[I];
-    std::vector<int64_t> Args;
-    int64_t NumV = (int64_t)B.ChildUnits.size();
-    if (Workload.Binding) {
-      Args = Workload.Binding->argsFor(Dev, B, SampleIndex[I]);
-    } else {
-      std::vector<int32_t> Counts(B.ChildUnits.size());
-      std::vector<int32_t> Offsets(B.ChildUnits.size());
-      int64_t Total = 0;
-      for (size_t V = 0; V < B.ChildUnits.size(); ++V) {
-        Offsets[V] = (int32_t)Total;
-        Counts[V] = (int32_t)std::min<uint32_t>(
-            B.ChildUnits[V], (uint32_t)std::numeric_limits<int32_t>::max());
-        Total += Counts[V];
-      }
-      uint64_t OutA = Dev.alloc((uint64_t)std::max<int64_t>(1, Total) * 4);
-      uint64_t CountsA = Dev.allocI32(Counts);
-      uint64_t OffsetsA = Dev.allocI32(Offsets);
-      Args = {(int64_t)OutA, (int64_t)CountsA, (int64_t)OffsetsA, NumV};
-    }
-    if (!launchWorkloadParent(Dev, Workload.ParentKernel, (uint32_t)NumV,
-                              B.ParentBlockDim, Args)) {
-      Err = "VM run of pipeline '" + Pipeline + "' failed: " + Dev.error();
+    std::string RoundErr;
+    if (!runSampleRound(Dev, I, RoundErr)) {
+      Err = "VM run of pipeline '" + Pipeline + "' failed: " + RoundErr;
       return false;
     }
   }
@@ -273,6 +253,116 @@ bool EmpiricalEvaluator::runMeasurement(const VmProgram &Program,
   Out.SpecGuardFail = S.SpecGuardFail;
   if (ProfileOut)
     *ProfileOut = harvestProfile(Dev.gridLog(), Dev.program());
+  return true;
+}
+
+bool EmpiricalEvaluator::runSampleRound(Device &Dev, unsigned I,
+                                        std::string &Err) const {
+  const NestedBatch &B = Sample[I];
+  std::vector<int64_t> Args;
+  int64_t NumV = (int64_t)B.ChildUnits.size();
+  if (Workload.Binding) {
+    Args = Workload.Binding->argsFor(Dev, B, SampleIndex[I]);
+  } else {
+    std::vector<int32_t> Counts(B.ChildUnits.size());
+    std::vector<int32_t> Offsets(B.ChildUnits.size());
+    int64_t Total = 0;
+    for (size_t V = 0; V < B.ChildUnits.size(); ++V) {
+      Offsets[V] = (int32_t)Total;
+      Counts[V] = (int32_t)std::min<uint32_t>(
+          B.ChildUnits[V], (uint32_t)std::numeric_limits<int32_t>::max());
+      Total += Counts[V];
+    }
+    uint64_t OutA = Dev.alloc((uint64_t)std::max<int64_t>(1, Total) * 4);
+    uint64_t CountsA = Dev.allocI32(Counts);
+    uint64_t OffsetsA = Dev.allocI32(Offsets);
+    Args = {(int64_t)OutA, (int64_t)CountsA, (int64_t)OffsetsA, NumV};
+  }
+  if (!launchWorkloadParent(Dev, Workload.ParentKernel, (uint32_t)NumV,
+                            B.ParentBlockDim, Args)) {
+    Err = Dev.error();
+    return false;
+  }
+  return true;
+}
+
+bool EmpiricalEvaluator::replayRoundExact(const std::string &PipelineText,
+                                          unsigned Rounds, VmMeasurement &Out,
+                                          std::string &Err) {
+  const VmProgram *Program = programFor(PipelineText);
+  if (!Program) {
+    Err = LastError;
+    return false;
+  }
+  unsigned Resource =
+      std::max(1u, std::min(Rounds, (unsigned)Sample.size()));
+
+  // Same device shape as runMeasurement: decoded engine, one worker,
+  // grid log on — the replay must reproduce the measured path exactly.
+  Device Dev(*Program, std::max(Opts.VmMemoryBytes, Workload.MinMemoryBytes),
+             ExecMode::Decoded);
+  Dev.setWorkers(1);
+  Dev.setStepLimit(Opts.VmStepLimit);
+  Dev.setGridLogEnabled(true);
+
+  if (Workload.Binding) {
+    std::string SetupError;
+    if (!Workload.Binding->setup(Dev, SetupError)) {
+      Err = "workload binding setup failed: " + SetupError;
+      return false;
+    }
+    Dev.resetStats();
+    Dev.clearGridLog();
+  }
+
+  for (unsigned I = 0; I + 1 < Resource; ++I)
+    if (!runSampleRound(Dev, I, Err)) {
+      Err = "warm-up round " + std::to_string(I) + " failed: " + Err;
+      return false;
+    }
+
+  // Checkpoint, run the final round, snapshot; restore and run it again.
+  // Identical end states prove the round is a pure function of the
+  // checkpointed device state (allocations land at the same addresses
+  // because BumpPtr is part of the snapshot).
+  DeviceCheckpoint Before = Dev.checkpoint();
+  if (!runSampleRound(Dev, Resource - 1, Err)) {
+    Err = "final round failed: " + Err;
+    return false;
+  }
+  DeviceCheckpoint First = Dev.checkpoint();
+  if (!Dev.restore(Before)) {
+    Err = "checkpoint restore failed (memory size mismatch)";
+    return false;
+  }
+  if (!runSampleRound(Dev, Resource - 1, Err)) {
+    Err = "replayed round failed: " + Err;
+    return false;
+  }
+  DeviceCheckpoint Second = Dev.checkpoint();
+  if (!(First == Second)) {
+    Err = "replayed round diverged from its first execution (steps " +
+          std::to_string(First.Stats.Steps) + " vs " +
+          std::to_string(Second.Stats.Steps) + ")";
+    return false;
+  }
+
+  const VmStats &S = Dev.stats();
+  Out = VmMeasurement();
+  Out.Steps = S.Steps;
+  Out.DeviceLaunches = S.DeviceLaunches;
+  Out.HostLaunches = S.HostLaunches;
+  Out.BlocksExecuted = S.BlocksExecuted;
+  Out.ThreadsExecuted = S.ThreadsExecuted;
+  Out.GridsLaunched = S.GridsLaunched;
+  Out.BatchesRun = Resource;
+  Out.Cycles = measuredMakespanCycles(Dev.gridLog(), S, Gpu);
+  Out.TracesFormed = Dev.decodeStats().TracesFormed;
+  Out.TraceEntries = S.TraceEntries;
+  Out.TraceIters = S.TraceIters;
+  Out.TraceSideExits = S.TraceSideExits;
+  Out.SpecGuardPass = S.SpecGuardPass;
+  Out.SpecGuardFail = S.SpecGuardFail;
   return true;
 }
 
@@ -584,6 +674,15 @@ EmpiricalTuneResult dpo::empiricalTune(EmpiricalEvaluator &Eval,
   size_t Opening = std::max<size_t>(2, Budget / 2);
   if (Pool.size() > Opening)
     Pool.resize(Opening);
+  // Warm start (opt-in; the service layer's cached/tabled seed): measure
+  // the known-good config first so the search never does worse than it.
+  // Default searches leave WarmStart unset and keep the recorded
+  // trajectory bit-for-bit (the bench/tuned/ drift gate's contract).
+  if (Eval.options().WarmStart) {
+    const ExecConfig &W = *Eval.options().WarmStart;
+    Pool.erase(std::remove(Pool.begin(), Pool.end(), W), Pool.end());
+    Pool.insert(Pool.begin(), W);
+  }
 
   EmpiricalTuneResult Result;
   Result.Mode = TuneMode::Empirical;
@@ -672,6 +771,15 @@ EmpiricalTuneResult dpo::hybridTune(EmpiricalEvaluator &Eval,
   std::vector<ExecConfig> ShortlistConfigs;
   for (size_t I = 0; I < Order.size() && I < Shortlist; ++I)
     ShortlistConfigs.push_back(Candidates[Order[I]]);
+  // Warm start (opt-in): the seeded config jumps the analytic ranking and
+  // is measured first. Off by default — see empiricalTune.
+  if (Eval.options().WarmStart) {
+    const ExecConfig &W = *Eval.options().WarmStart;
+    ShortlistConfigs.erase(
+        std::remove(ShortlistConfigs.begin(), ShortlistConfigs.end(), W),
+        ShortlistConfigs.end());
+    ShortlistConfigs.insert(ShortlistConfigs.begin(), W);
+  }
   Eval.prefetch(ShortlistConfigs, MaxRes);
   for (const ExecConfig &C : ShortlistConfigs) {
     if (Eval.evaluations() >= Budget)

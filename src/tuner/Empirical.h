@@ -85,6 +85,14 @@ struct EmpiricalOptions {
   /// Any value reproduces the sequential search trajectory bit-for-bit:
   /// prefetch only warms the measurement cache.
   unsigned EvalWorkers = 0;
+  /// Optional warm-start seed for empirical/hybrid searches: the service
+  /// layer sets this from committed bench/tuned/ tables or cached tune
+  /// results so a repeat request starts at (and never does worse than)
+  /// the known-good config — it is measured first, ahead of the sampled
+  /// pool / analytic shortlist. Strictly opt-in and off by default:
+  /// recorded searches (the bench/tuned/ drift gate) replay the default
+  /// trajectory bit-for-bit.
+  std::optional<ExecConfig> WarmStart;
 };
 
 /// What one VM execution of a candidate measured. The event counts come
@@ -163,6 +171,21 @@ public:
                   ExecMode Mode = ExecMode::Auto,
                   LaunchProfile *ProfileOut = nullptr);
 
+  /// Exact-state replay (the ROADMAP's "checkpoint device state per
+  /// round" lever): runs \p Rounds measurement rounds of \p PipelineText
+  /// (clamped to [1, maxResource()]) exactly as a measure() would, but
+  /// checkpoints the device before the final round, runs that round,
+  /// restores, and runs it again — then demands the two end states be
+  /// bit-identical (full memory image, stats, grid log). This is the
+  /// proof obligation behind serving cached / warm-started tune results:
+  /// a measurement round is a pure function of the checkpointed device
+  /// state, so a cached result is exactly what a cold re-run would
+  /// produce. On success \p Out holds the measurement over all rounds
+  /// (identical to the measure() path's); on divergence or any VM
+  /// failure, returns false with \p Err. Spends no search budget.
+  bool replayRoundExact(const std::string &PipelineText, unsigned Rounds,
+                        VmMeasurement &Out, std::string &Err);
+
   /// Backs the `profile` parameter of measured pipelines
   /// (`threshold[profile]`, ...). Not owned; must outlive the evaluator's
   /// compiles. Distinct profiles compile distinct programs, so set this
@@ -213,6 +236,10 @@ private:
                       unsigned Resource, VmMeasurement &Out, std::string &Err,
                       ExecMode Mode = ExecMode::Decoded,
                       LaunchProfile *ProfileOut = nullptr) const;
+  /// One measurement round: stage sample batch \p I's arguments and
+  /// launch the parent. Shared by runMeasurement and replayRoundExact so
+  /// the replay executes exactly the round the measurement ran.
+  bool runSampleRound(Device &Dev, unsigned I, std::string &Err) const;
   unsigned evalWorkers() const;
 
   /// A prefetched measurement waiting for its measure() call (which

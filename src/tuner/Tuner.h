@@ -83,6 +83,16 @@ PipelineOptions pipelineOptionsFor(const ExecConfig &Config);
 /// when \p Config enables no transformation.
 std::string passPipelineTextFor(const ExecConfig &Config);
 
+/// The inverse of passPipelineTextFor, for warm-starting searches from
+/// committed tuned tables: parses a pipeline in the subset that ExecConfig
+/// can represent (threshold[N], coarsen[N], aggregate[...], knob-spelling
+/// and fallback suffixes ignored; the NoCdp spelling maps back to
+/// ExecConfig::noCdp()). Returns false when the text uses anything outside
+/// that subset — profile-mode knobs, speculate, builtin-rewrite, an
+/// unknown pass — leaving \p Out untouched. An empty pipeline is the
+/// default (untransformed) config.
+bool execConfigFromPipelineText(std::string_view Text, ExecConfig &Out);
+
 } // namespace dpo
 
 #endif // DPO_TUNER_TUNER_H

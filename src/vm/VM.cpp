@@ -140,6 +140,66 @@ Device::Device(VmProgram ProgramIn, uint64_t MemoryBytes, ExecMode ModeIn)
 
 Device::~Device() { shutdownWorkers(); }
 
+bool dpo::operator==(const VmStats &A, const VmStats &B) {
+  return A.GridsLaunched == B.GridsLaunched &&
+         A.DeviceLaunches == B.DeviceLaunches &&
+         A.HostLaunches == B.HostLaunches &&
+         A.BlocksExecuted == B.BlocksExecuted &&
+         A.ThreadsExecuted == B.ThreadsExecuted && A.Steps == B.Steps &&
+         A.LargestGridBlocks == B.LargestGridBlocks &&
+         A.TraceEntries == B.TraceEntries && A.TraceIters == B.TraceIters &&
+         A.TraceSideExits == B.TraceSideExits &&
+         A.SpecGuardPass == B.SpecGuardPass &&
+         A.SpecGuardFail == B.SpecGuardFail;
+}
+
+bool dpo::operator==(const GridRecord &A, const GridRecord &B) {
+  return A.Blocks == B.Blocks && A.Threads == B.Threads &&
+         A.Steps == B.Steps && A.MaxThreadSteps == B.MaxThreadSteps &&
+         A.BlockDim == B.BlockDim && A.Site == B.Site &&
+         A.FromHost == B.FromHost;
+}
+
+bool dpo::operator==(const DeviceCheckpoint &A, const DeviceCheckpoint &B) {
+  return A.BumpPtr == B.BumpPtr && A.Stats == B.Stats &&
+         A.Memory == B.Memory && A.GridLog == B.GridLog;
+}
+
+DeviceCheckpoint Device::checkpoint() const {
+  DeviceCheckpoint C;
+  C.Memory = Memory;
+  C.BumpPtr = BumpPtr;
+  C.Stats = Stats;
+  C.GridLog = GridLog;
+  return C;
+}
+
+bool Device::restore(const DeviceCheckpoint &C) {
+  if (C.Memory.size() != Memory.size())
+    return false;
+  Memory = C.Memory;
+  BumpPtr = C.BumpPtr;
+  Stats = C.Stats;
+  GridLog = C.GridLog;
+  // Pooled thread contexts cache their lazily bump-allocated frame-memory
+  // regions across launches. A region at or above the restored bump
+  // pointer was allocated after the checkpoint: the restored allocator
+  // has forgotten it, so keeping the cache would let later allocations
+  // land inside live frame memory. Drop those caches — the replayed run
+  // re-allocates them in the same order the original run did. Regions
+  // below the restored pointer were already cached at checkpoint time
+  // and must stay cached for replays to be bit-exact.
+  for (auto &W : WorkerCtxs)
+    for (auto &Pool : W->Pools)
+      for (ThreadCtx &T : Pool->Threads)
+        if (T.StackMemBase >= BumpPtr) {
+          T.StackMemBase = 0;
+          T.StackMemUsed = 0;
+        }
+  LastError.clear();
+  return true;
+}
+
 void Device::setWorkers(unsigned N) {
   if (N == 0)
     N = resolveWorkerCount();

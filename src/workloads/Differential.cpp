@@ -281,10 +281,24 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
     R.Error = "bytecode compile failed: " + Diags.str();
     return R;
   }
+  DifferentialRun Run = runKernelCaseOnVmProgram(
+      Case, std::move(Program), MemoryBytes, Workers, Mode,
+      /*CaptureGridLog=*/false, ProfileOut);
+  Run.TransformedSource = std::move(R.TransformedSource);
+  return Run;
+}
+
+DifferentialRun dpo::runKernelCaseOnVmProgram(const KernelCase &Case,
+                                              VmProgram Program,
+                                              uint64_t MemoryBytes,
+                                              unsigned Workers, ExecMode Mode,
+                                              bool CaptureGridLog,
+                                              LaunchProfile *ProfileOut) {
+  DifferentialRun R;
   auto Dev = std::make_unique<Device>(std::move(Program), MemoryBytes, Mode);
   if (Workers)
     Dev->setWorkers(Workers);
-  if (ProfileOut)
+  if (ProfileOut || CaptureGridLog)
     Dev->setGridLogEnabled(true);
 
   std::string StageError;
@@ -312,6 +326,8 @@ DifferentialRun dpo::runKernelCaseOnVm(const KernelCase &Case,
     return R;
 
   R.Stats = Dev->stats();
+  if (CaptureGridLog)
+    R.GridLog = Dev->gridLog();
   if (ProfileOut)
     *ProfileOut = harvestProfile(Dev->gridLog(), Dev->program());
   R.Ok = true;

@@ -44,6 +44,10 @@ struct DifferentialRun {
   /// fields only; Batches stays empty).
   WorkloadOutput Payload;
   VmStats Stats;
+  /// Per-grid execution records, captured when the run asked for them
+  /// (runKernelCaseOnVmProgram with CaptureGridLog): the service-axis
+  /// tests compare these across cached-artifact and in-memory programs.
+  std::vector<GridRecord> GridLog;
   /// The source that actually executed (post-transform), for diagnosis.
   std::string TransformedSource;
 };
@@ -71,6 +75,21 @@ DifferentialRun runKernelCaseOnVm(const KernelCase &Case,
                                   ExecMode Mode = ExecMode::Auto,
                                   const LaunchProfile *ProfileIn = nullptr,
                                   LaunchProfile *ProfileOut = nullptr);
+
+/// As runKernelCaseOnVm, but executes a precompiled \p Program instead of
+/// transforming and compiling Case's source — the service path: a program
+/// deserialized from a cached artifact must drive the full algorithm
+/// exactly like one compiled in-process, which is what the service-axis
+/// differential tests assert. \p CaptureGridLog turns the device grid log
+/// on and copies it into DifferentialRun::GridLog for record-level
+/// comparison. TransformedSource stays empty (the caller owns the source).
+DifferentialRun runKernelCaseOnVmProgram(const KernelCase &Case,
+                                         VmProgram Program,
+                                         uint64_t MemoryBytes = 16ull << 20,
+                                         unsigned Workers = 0,
+                                         ExecMode Mode = ExecMode::Auto,
+                                         bool CaptureGridLog = false,
+                                         LaunchProfile *ProfileOut = nullptr);
 
 /// Exact payload comparison for \p Bench. Returns true on a match; on
 /// mismatch \p Why describes the first divergence.

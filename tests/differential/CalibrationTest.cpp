@@ -144,4 +144,61 @@ TEST(CalibrationRegression, FitIsDeterministic) {
   }
 }
 
+TEST(CalibrationRegression, CommittedPipelinesReplayExactlyFromCheckpoints) {
+  // The service layer's exact-state tuner replay, pinned on the committed
+  // tables: for every bench/tuned/ entry, re-running the final sample
+  // round from a device checkpoint must retire a bit-identical end state
+  // (replayRoundExact fails otherwise), and the replayed measurement must
+  // price exactly what a plain measurement of the committed pipeline
+  // prices. This is what makes cached and warm-started tune results
+  // trustworthy stand-ins for cold searches.
+  std::filesystem::path Dir =
+      std::filesystem::path(DPO_SOURCE_DIR) / "bench" / "tuned";
+  ASSERT_TRUE(std::filesystem::exists(Dir));
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".json")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  ASSERT_FALSE(Paths.empty());
+
+  GpuModel Gpu;
+  for (const std::string &Path : Paths) {
+    TunedEntry Entry;
+    std::string Error;
+    ASSERT_TRUE(loadTunedEntryFile(Path, Entry, Error)) << Path << ": "
+                                                        << Error;
+    VmWorkload Workload;
+    if (Entry.Workload == "canonical") {
+      Workload = canonicalTuneWorkload(Entry.Seed);
+    } else {
+      BenchCase Case;
+      ASSERT_TRUE(parseWorkloadSpec(Entry.Workload, Case, Error))
+          << Path << ": " << Error;
+      Workload = kernelVmWorkload(Case);
+    }
+
+    EmpiricalOptions Opts;
+    Opts.Seed = Entry.Seed;
+    EmpiricalEvaluator Eval(Gpu, Workload, Opts);
+    std::optional<VmMeasurement> Measured =
+        Eval.measurePipeline(Entry.Pipeline, ExecMode::Decoded);
+    ASSERT_TRUE(Measured.has_value())
+        << Entry.Workload << ": " << Eval.lastError();
+
+    VmMeasurement Replayed;
+    ASSERT_TRUE(Eval.replayRoundExact(Entry.Pipeline, Eval.maxResource(),
+                                      Replayed, Error))
+        << Entry.Workload << ": " << Error;
+    EXPECT_EQ(Measured->Steps, Replayed.Steps) << Entry.Workload;
+    EXPECT_EQ(Measured->GridsLaunched, Replayed.GridsLaunched)
+        << Entry.Workload;
+    EXPECT_EQ(Measured->BlocksExecuted, Replayed.BlocksExecuted)
+        << Entry.Workload;
+    EXPECT_EQ(Measured->ThreadsExecuted, Replayed.ThreadsExecuted)
+        << Entry.Workload;
+    EXPECT_DOUBLE_EQ(Measured->Cycles, Replayed.Cycles) << Entry.Workload;
+  }
+}
+
 } // namespace

@@ -1,0 +1,470 @@
+//===--- CompileServiceTest.cpp - Session-layer and artifact-cache tests -------===//
+//
+// Part of the dpopt project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation-as-a-service contract (src/service/):
+///  - content-addressed keys: stable, spelling-insensitive, sensitive to
+///    source/pipeline/knob/format changes;
+///  - hit paths: in-memory on repeat requests, on-disk across service
+///    instances, bit-identical artifacts either way;
+///  - robustness: truncated / bit-flipped / wrong-version artifacts fall
+///    back to a clean recompile with a diagnostic and never crash;
+///    eviction respects the size bound;
+///  - concurrency: same-key requests single-flight, batch drains return
+///    deterministic results at every worker count;
+///  - tune caching and tuned-table warm starts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+#include "tuner/TunedTable.h"
+#include "transform/Pipeline.h"
+#include "vm/BytecodeIO.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace fs = std::filesystem;
+using namespace dpo;
+
+namespace {
+
+const char *NestedSource =
+    "__global__ void child(int *out, int base, int count) {\n"
+    "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+    "  if (i < count) {\n"
+    "    out[base + i] = base * 7 + i * 3 + count;\n"
+    "  }\n"
+    "}\n"
+    "__global__ void parent(int *out, int *counts, int *offsets, int numV) "
+    "{\n"
+    "  int v = blockIdx.x * blockDim.x + threadIdx.x;\n"
+    "  if (v < numV) {\n"
+    "    int count = counts[v];\n"
+    "    if (count > 0) {\n"
+    "      child<<<(count + 31) / 32, 32>>>(out, offsets[v], count);\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+/// Fresh per-test scratch directory, removed on teardown.
+class CompileServiceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Scratch = fs::temp_directory_path() /
+              (std::string("dpo_service_") + Info->name());
+    fs::remove_all(Scratch);
+    fs::create_directories(Scratch);
+  }
+  void TearDown() override { fs::remove_all(Scratch); }
+
+  std::string cacheDir() const { return (Scratch / "cache").string(); }
+  ServiceConfig diskConfig(uint64_t MaxBytes = 256ull << 20) const {
+    ServiceConfig C;
+    C.CacheDir = cacheDir();
+    C.CacheMaxBytes = MaxBytes;
+    return C;
+  }
+
+  CompileRequest request(const std::string &Pipeline = "threshold[256]",
+                         bool WantBytecode = false) const {
+    CompileRequest R;
+    R.Name = "nested.cu";
+    R.Source = NestedSource;
+    R.Pipeline = Pipeline;
+    R.WantBytecode = WantBytecode;
+    if (WantBytecode)
+      R.Knobs = literalKnobConfig();
+    return R;
+  }
+
+  fs::path Scratch;
+};
+
+//===----------------------------------------------------------------------===//
+// Cache keys
+//===----------------------------------------------------------------------===//
+
+TEST_F(CompileServiceTest, CacheKeysAreStableAndContentSensitive) {
+  std::string Error;
+  CompileRequest R = request();
+  std::string K1 = CompileService::cacheKeyFor(R, Error);
+  ASSERT_FALSE(K1.empty()) << Error;
+  EXPECT_EQ(K1, CompileService::cacheKeyFor(R, Error));
+
+  // The name is a label, not content.
+  CompileRequest Renamed = R;
+  Renamed.Name = "other.cu";
+  EXPECT_EQ(K1, CompileService::cacheKeyFor(Renamed, Error));
+
+  // Source, pipeline, bytecode demand, and peephole flag are content.
+  CompileRequest Edited = R;
+  Edited.Source += "\n";
+  EXPECT_NE(K1, CompileService::cacheKeyFor(Edited, Error));
+  CompileRequest OtherPipe = R;
+  OtherPipe.Pipeline = "threshold[128]";
+  EXPECT_NE(K1, CompileService::cacheKeyFor(OtherPipe, Error));
+  CompileRequest WithCode = request("threshold[256:literal]", true);
+  CompileRequest NoOpt = WithCode;
+  NoOpt.OptimizeBytecode = false;
+  EXPECT_NE(CompileService::cacheKeyFor(WithCode, Error),
+            CompileService::cacheKeyFor(NoOpt, Error));
+
+  // Equivalent pipeline spellings alias (the key hashes the canonical
+  // re-render, not the user's text).
+  CompileRequest Canonical = R;
+  std::string Rendered;
+  PassPipelineConfig Defaults;
+  ASSERT_TRUE(canonicalPipelineText(R.Pipeline, Defaults, Rendered, Error));
+  Canonical.Pipeline = Rendered;
+  EXPECT_EQ(K1, CompileService::cacheKeyFor(Canonical, Error));
+
+  // Invalid pipelines produce no key and a diagnostic.
+  CompileRequest Bad = R;
+  Bad.Pipeline = "nonsense[1]";
+  EXPECT_TRUE(CompileService::cacheKeyFor(Bad, Error).empty());
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Hit paths
+//===----------------------------------------------------------------------===//
+
+TEST_F(CompileServiceTest, RepeatRequestHitsMemory) {
+  CompileService Service;
+  CompileResponse First = Service.compile(request());
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.Outcome, CacheOutcome::Miss);
+  EXPECT_NE(First.TransformedSource.find("_THRESHOLD"), std::string::npos);
+
+  CompileResponse Second = Service.compile(request());
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(Second.Outcome, CacheOutcome::MemoryHit);
+  EXPECT_EQ(First.TransformedSource, Second.TransformedSource);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Requests, 2u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.MemoryHits, 1u);
+}
+
+TEST_F(CompileServiceTest, DiskArtifactsWarmANewServiceInstance) {
+  CompileRequest Req = request("threshold[256:literal],coarsen[4:literal]",
+                               /*WantBytecode=*/true);
+  std::string ColdImage;
+  {
+    CompileService Cold(diskConfig());
+    CompileResponse R = Cold.compile(Req);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Outcome, CacheOutcome::Miss);
+    ASSERT_NE(R.Program, nullptr);
+    ColdImage = serializeVmProgram(*R.Program);
+    EXPECT_EQ(Cold.stats().DiskStores, 1u);
+  }
+  CompileService Warm(diskConfig());
+  CompileResponse R = Warm.compile(Req);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outcome, CacheOutcome::DiskHit);
+  ASSERT_NE(R.Program, nullptr);
+  // The cached artifact is bit-identical to the in-memory compilation.
+  EXPECT_EQ(ColdImage, serializeVmProgram(*R.Program));
+  EXPECT_EQ(Warm.stats().DiskHits, 1u);
+  EXPECT_EQ(Warm.stats().Misses, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: corrupt artifacts degrade to clean recompiles
+//===----------------------------------------------------------------------===//
+
+class CorruptionTest : public CompileServiceTest {
+protected:
+  /// Seeds the disk cache with one artifact and returns its path.
+  fs::path seedArtifact(const CompileRequest &Req) {
+    CompileService Service(diskConfig());
+    CompileResponse R = Service.compile(Req);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    fs::path File = fs::path(cacheDir()) / (R.Key + ".dpoart");
+    EXPECT_TRUE(fs::exists(File));
+    return File;
+  }
+
+  /// A fresh service over the (tampered) cache dir must recompile
+  /// cleanly: correct output, Miss outcome, corruption counted, and the
+  /// bad blob replaced by a fresh valid one.
+  void expectCleanRecovery(const CompileRequest &Req) {
+    CompileService Service(diskConfig());
+    CompileResponse R = Service.compile(Req);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Outcome, CacheOutcome::Miss);
+    EXPECT_NE(R.TransformedSource.find("child"), std::string::npos);
+    EXPECT_EQ(Service.stats().CorruptArtifacts, 1u);
+
+    // And the rewritten artifact is valid again.
+    CompileService After(diskConfig());
+    CompileResponse Reload = After.compile(Req);
+    ASSERT_TRUE(Reload.Ok);
+    EXPECT_EQ(Reload.Outcome, CacheOutcome::DiskHit);
+    EXPECT_EQ(R.TransformedSource, Reload.TransformedSource);
+  }
+};
+
+TEST_F(CorruptionTest, TruncatedArtifactRecompiles) {
+  CompileRequest Req = request("threshold[128:literal]", true);
+  fs::path File = seedArtifact(Req);
+  auto Size = fs::file_size(File);
+  ASSERT_GT(Size, 16u);
+  fs::resize_file(File, Size / 2);
+  expectCleanRecovery(Req);
+}
+
+TEST_F(CorruptionTest, BitFlippedArtifactRecompiles) {
+  CompileRequest Req = request("threshold[128:literal]", true);
+  fs::path File = seedArtifact(Req);
+  std::fstream F(File, std::ios::in | std::ios::out | std::ios::binary);
+  F.seekg(0, std::ios::end);
+  auto Size = (uint64_t)F.tellg();
+  F.seekp((std::streamoff)(Size / 2));
+  char Byte = 0;
+  F.seekg((std::streamoff)(Size / 2));
+  F.read(&Byte, 1);
+  Byte ^= 0x20;
+  F.seekp((std::streamoff)(Size / 2));
+  F.write(&Byte, 1);
+  F.close();
+  expectCleanRecovery(Req);
+}
+
+TEST_F(CorruptionTest, WrongContainerVersionRecompiles) {
+  CompileRequest Req = request("threshold[128:literal]", true);
+  fs::path File = seedArtifact(Req);
+  // Rewrite the artifact as a (checksum-valid) blob of a future container
+  // version: the version gate itself must reject it.
+  std::string Blob = "DPOA";
+  uint32_t Version = ArtifactFormatVersion + 7;
+  Blob.append((const char *)&Version, 4);
+  Blob.append(32, '\0');
+  uint64_t Sum = fnv1a64(Blob);
+  Blob.append((const char *)&Sum, 8);
+  std::ofstream(File, std::ios::binary | std::ios::trunc) << Blob;
+  expectCleanRecovery(Req);
+}
+
+TEST_F(CompileServiceTest, EvictionRespectsTheSizeBound) {
+  // A bound small enough that a handful of distinct artifacts overflow
+  // it. Each artifact for this source is a few KiB.
+  constexpr uint64_t Bound = 8 * 1024;
+  CompileService Service(diskConfig(Bound));
+  for (int I = 0; I < 8; ++I) {
+    CompileRequest R = request("threshold[" + std::to_string(32 << I) + "]");
+    CompileResponse Resp = Service.compile(R);
+    ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.ResidentBytes, Bound);
+
+  // The directory agrees with the counter.
+  uint64_t OnDisk = 0;
+  for (const auto &E : fs::directory_iterator(cacheDir()))
+    OnDisk += fs::file_size(E.path());
+  EXPECT_LE(OnDisk, Bound);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+TEST_F(CompileServiceTest, ConcurrentSameKeyRequestsSingleFlight) {
+  CompileService Service(diskConfig());
+  constexpr unsigned N = 8;
+  std::vector<CompileResponse> Out(N);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back(
+        [&, I]() { Out[I] = Service.compile(request()); });
+  for (auto &T : Threads)
+    T.join();
+
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_TRUE(Out[I].Ok) << Out[I].Error;
+    EXPECT_EQ(Out[I].TransformedSource, Out[0].TransformedSource);
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Requests, N);
+  // Exactly one request compiled; everyone else shared it.
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.MemoryHits + S.DiskHits, N - 1);
+  EXPECT_EQ(S.DiskStores, 1u);
+}
+
+TEST_F(CompileServiceTest, BatchResultsAreDeterministicAcrossWorkerCounts) {
+  // A duplicate-heavy mix: 4 unique pipelines, 16 requests.
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 16; ++I)
+    Reqs.push_back(request("threshold[" + std::to_string(64 << (I % 4)) +
+                           "]"));
+
+  std::vector<std::string> Reference;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    ServiceConfig C = diskConfig();
+    C.CacheDir = (Scratch / ("cache_w" + std::to_string(Workers))).string();
+    C.Workers = Workers;
+    CompileService Service(C);
+    std::vector<CompileResponse> Out = Service.compileBatch(Reqs);
+    ASSERT_EQ(Out.size(), Reqs.size());
+    std::vector<std::string> Sources;
+    for (const CompileResponse &R : Out) {
+      ASSERT_TRUE(R.Ok) << R.Error;
+      Sources.push_back(R.TransformedSource);
+    }
+    if (Reference.empty())
+      Reference = Sources;
+    else
+      EXPECT_EQ(Reference, Sources) << "at " << Workers << " workers";
+    ServiceStats S = Service.stats();
+    EXPECT_EQ(S.Requests, 16u);
+    EXPECT_EQ(S.Misses, 4u) << "at " << Workers << " workers";
+    EXPECT_EQ(S.MemoryHits + S.DiskHits, 12u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Tune caching and warm starts
+//===----------------------------------------------------------------------===//
+
+TEST_F(CompileServiceTest, TuneResultsAreCachedInMemoryAndOnDisk) {
+  TuneRequest Req;
+  Req.WorkloadSpec = "canonical";
+  Req.Mode = TuneMode::Analytic;
+
+  EmpiricalTuneResult Cold;
+  {
+    CompileService Service(diskConfig());
+    TuneResponse First = Service.tune(Req);
+    ASSERT_TRUE(First.Ok) << First.Error;
+    EXPECT_FALSE(First.CacheHit);
+    Cold = First.Result;
+
+    TuneResponse Second = Service.tune(Req);
+    ASSERT_TRUE(Second.Ok);
+    EXPECT_TRUE(Second.CacheHit);
+    EXPECT_EQ(Cold.Pipeline, Second.Result.Pipeline);
+    EXPECT_EQ(Cold.TimeUs, Second.Result.TimeUs);
+    EXPECT_EQ(Service.stats().TuneCacheHits, 1u);
+  }
+
+  // A new instance over the same cache dir hits the disk copy, and the
+  // decoded result is identical to the cold search — pipeline, cost,
+  // and the re-derived ExecConfig.
+  CompileService Warm(diskConfig());
+  TuneResponse R = Warm.tune(Req);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.CacheHit);
+  EXPECT_EQ(Cold.Pipeline, R.Result.Pipeline);
+  EXPECT_EQ(Cold.TimeUs, R.Result.TimeUs);
+  EXPECT_TRUE(Cold.Config == R.Result.Config);
+}
+
+TEST_F(CompileServiceTest, WarmStartSeedsFromCommittedTunedTables) {
+  // Commit a tuned entry for the canonical workload, then ask for a
+  // warm-started search: the table seed must be picked up (counter) and
+  // the search must stay deterministic.
+  fs::path Tables = Scratch / "tuned";
+  fs::create_directories(Tables);
+  TunedEntry Entry;
+  Entry.Workload = "canonical";
+  Entry.Mode = TuneMode::Empirical;
+  Entry.Budget = 6;
+  Entry.Seed = 3;
+  Entry.Pipeline = "threshold[256],coarsen[8]";
+  Entry.TimeUs = 1.0;
+  Entry.VmEvaluations = 6;
+  ASSERT_TRUE(writeTunedEntryFile(
+      (Tables / tunedTableFileName("canonical")).string(), Entry));
+
+  ServiceConfig C; // memory-only: the searches must actually run twice
+  C.TunedTableDir = Tables.string();
+  TuneRequest Req;
+  Req.WorkloadSpec = "canonical";
+  Req.Mode = TuneMode::Empirical;
+  Req.Opts.Budget = 6;
+  Req.Opts.Seed = 3;
+  Req.Opts.SampleBatches = 2;
+  Req.Opts.MaxSampleUnits = 4000;
+  Req.WarmStart = true;
+
+  CompileService A(C);
+  TuneResponse First = A.tune(Req);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(A.stats().TuneWarmStarts, 1u);
+
+  CompileService B(C);
+  TuneResponse Second = B.tune(Req);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(First.Result.Pipeline, Second.Result.Pipeline);
+  EXPECT_EQ(First.Result.TimeUs, Second.Result.TimeUs);
+  EXPECT_EQ(First.Result.VmEvaluations, Second.Result.VmEvaluations);
+
+  // Warm and cold searches are distinct cache keys: caching a seeded
+  // search never masks an unseeded one.
+  TuneRequest ColdReq = Req;
+  ColdReq.WarmStart = false;
+  EXPECT_NE(First.Key, B.tune(ColdReq).Key);
+}
+
+//===----------------------------------------------------------------------===//
+// Request-file parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeRequestTest, ParsesCompileAndTuneLines) {
+  std::vector<ServeRequest> Reqs;
+  std::string Error;
+  ASSERT_TRUE(parseServeRequests(
+      "# header comment\n"
+      "\n"
+      "compile src=a.cu passes=threshold[256] out=a.out.cu\n"
+      "compile src=b.cu bytecode=1\n"
+      "tune workload=bfs:road_ny mode=analytic budget=12 seed=7 warm=1 "
+      "out=t.json\n",
+      Reqs, Error))
+      << Error;
+  ASSERT_EQ(Reqs.size(), 3u);
+  EXPECT_EQ(Reqs[0].Kind, ServeRequest::Compile);
+  EXPECT_EQ(Reqs[0].SourcePath, "a.cu");
+  EXPECT_EQ(Reqs[0].Pipeline, "threshold[256]");
+  EXPECT_EQ(Reqs[0].OutputPath, "a.out.cu");
+  EXPECT_FALSE(Reqs[0].WantBytecode);
+  EXPECT_TRUE(Reqs[1].WantBytecode);
+  EXPECT_EQ(Reqs[2].Kind, ServeRequest::Tune);
+  EXPECT_EQ(Reqs[2].WorkloadSpec, "bfs:road_ny");
+  EXPECT_EQ(Reqs[2].Mode, TuneMode::Analytic);
+  EXPECT_EQ(Reqs[2].Budget, 12u);
+  EXPECT_EQ(Reqs[2].Seed, 7u);
+  EXPECT_TRUE(Reqs[2].WarmStart);
+  EXPECT_EQ(Reqs[2].TuneReportPath, "t.json");
+}
+
+TEST(ServeRequestTest, RejectsMalformedLinesWithLineNumbers) {
+  std::vector<ServeRequest> Reqs;
+  std::string Error;
+  EXPECT_FALSE(parseServeRequests("compile src=a.cu\nfrobnicate x=1\n", Reqs,
+                                  Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+
+  EXPECT_FALSE(parseServeRequests("compile passes=threshold[8]\n", Reqs,
+                                  Error));
+  EXPECT_NE(Error.find("src="), std::string::npos) << Error;
+
+  EXPECT_FALSE(parseServeRequests("tune workload=canonical budget=zero\n",
+                                  Reqs, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos) << Error;
+}
+
+} // namespace

@@ -237,6 +237,102 @@ TEST(EmpiricalTunerTest, EvaluatorMeasuresTransformedPrograms) {
   EXPECT_DOUBLE_EQ(Again->Cycles, Serial->Cycles);
 }
 
+TEST(EmpiricalTunerTest, ReplayRoundExactMatchesTheMeasurement) {
+  // The exact-state replay contract behind cached/warm-started tune
+  // results: re-running the final sample round from a device checkpoint
+  // retires a bit-identical end state, and the measurement it reports
+  // equals what a plain measure() of the same pipeline reports — every
+  // event count and the priced makespan.
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+  for (const char *Pipeline :
+       {"", "threshold[256:literal]",
+        "threshold[256:literal],coarsen[8:literal]",
+        "threshold[128:literal],coarsen[4:literal],"
+        "aggregate[multiblock:8:literal]"}) {
+    EmpiricalEvaluator Eval(Gpu, W, smallOptions());
+    std::optional<VmMeasurement> Measured =
+        Eval.measurePipeline(Pipeline, ExecMode::Decoded);
+    ASSERT_TRUE(Measured.has_value())
+        << Pipeline << ": " << Eval.lastError();
+
+    VmMeasurement Replayed;
+    std::string Err;
+    ASSERT_TRUE(
+        Eval.replayRoundExact(Pipeline, Eval.maxResource(), Replayed, Err))
+        << Pipeline << ": " << Err;
+    EXPECT_EQ(Measured->Steps, Replayed.Steps) << Pipeline;
+    EXPECT_EQ(Measured->GridsLaunched, Replayed.GridsLaunched) << Pipeline;
+    EXPECT_EQ(Measured->DeviceLaunches, Replayed.DeviceLaunches) << Pipeline;
+    EXPECT_EQ(Measured->HostLaunches, Replayed.HostLaunches) << Pipeline;
+    EXPECT_EQ(Measured->BlocksExecuted, Replayed.BlocksExecuted) << Pipeline;
+    EXPECT_EQ(Measured->ThreadsExecuted, Replayed.ThreadsExecuted)
+        << Pipeline;
+    EXPECT_EQ(Measured->BatchesRun, Replayed.BatchesRun) << Pipeline;
+    EXPECT_EQ(Measured->TraceEntries, Replayed.TraceEntries) << Pipeline;
+    EXPECT_EQ(Measured->TraceIters, Replayed.TraceIters) << Pipeline;
+    EXPECT_DOUBLE_EQ(Measured->Cycles, Replayed.Cycles) << Pipeline;
+  }
+}
+
+TEST(EmpiricalTunerTest, WarmStartIsDeterministicAndBudgetNeutral) {
+  // EmpiricalOptions::WarmStart moves the seeded config to the front of
+  // the search order. The search stays deterministic, stays within
+  // budget, and evaluates the seed (so a committed tuned-table entry is
+  // never silently dropped from a warm-started search).
+  GpuModel Gpu;
+  VmWorkload W = smallVmWorkload();
+  ExecConfig Seed;
+  Seed.Threshold = 256;
+  Seed.CoarsenFactor = 8;
+
+  EmpiricalOptions Opts = smallOptions(8, 3);
+  Opts.WarmStart = Seed;
+
+  EmpiricalEvaluator A(Gpu, W, Opts);
+  EmpiricalTuneResult First = empiricalTune(A, fullMask());
+  EXPECT_LE(A.evaluations(), Opts.Budget);
+
+  EmpiricalEvaluator B(Gpu, W, Opts);
+  EmpiricalTuneResult Second = empiricalTune(B, fullMask());
+  EXPECT_EQ(First.Pipeline, Second.Pipeline);
+  EXPECT_EQ(First.VmEvaluations, Second.VmEvaluations);
+  EXPECT_DOUBLE_EQ(First.TimeUs, Second.TimeUs);
+
+  // Hybrid honors the same seed.
+  EmpiricalEvaluator C(Gpu, W, Opts);
+  EmpiricalTuneResult H1 = hybridTune(C, fullMask());
+  EmpiricalEvaluator D(Gpu, W, Opts);
+  EmpiricalTuneResult H2 = hybridTune(D, fullMask());
+  EXPECT_EQ(H1.Pipeline, H2.Pipeline);
+  EXPECT_DOUBLE_EQ(H1.TimeUs, H2.TimeUs);
+}
+
+TEST(TunerTest, ExecConfigPipelineTextRoundTrips) {
+  // execConfigFromPipelineText must invert passPipelineTextFor on the
+  // whole enumerated config space — the property the tuned-table warm
+  // start rests on.
+  for (const ExecConfig &C : enumerateConfigs(fullMask())) {
+    std::string Text = passPipelineTextFor(C);
+    ExecConfig Back;
+    ASSERT_TRUE(execConfigFromPipelineText(Text, Back)) << Text;
+    EXPECT_TRUE(Back == C) << Text;
+  }
+  // The NoCdp spelling maps back to the serialize-everything config.
+  ExecConfig Back;
+  ASSERT_TRUE(
+      execConfigFromPipelineText(passPipelineTextFor(ExecConfig::noCdp()),
+                                 Back));
+  EXPECT_TRUE(Back == ExecConfig::noCdp());
+  // Empty pipeline = default config.
+  ASSERT_TRUE(execConfigFromPipelineText("", Back));
+  EXPECT_TRUE(Back == ExecConfig());
+  // Outside the vocabulary: profile knobs and unknown passes refuse.
+  EXPECT_FALSE(execConfigFromPipelineText("threshold[profile]", Back));
+  EXPECT_FALSE(execConfigFromPipelineText("speculate[64]", Back));
+  EXPECT_FALSE(execConfigFromPipelineText("bogus", Back));
+}
+
 TEST(EmpiricalTunerTest, RankConfigsIsStableAndComplete) {
   GpuModel Gpu;
   std::vector<NestedBatch> Batches = irregularBatches(2, 5000, 9);
